@@ -1,0 +1,79 @@
+// Extension bench (beyond the paper's Table IV rows): the classic
+// pre-deep-learning KT models the paper's background discusses — BKT
+// (Corbett & Anderson, ref. [1]), PFA (ref. [30]) and KTM (ref. [12]) — on
+// the same prefix-sample protocol, next to DKT and RCKT-DKT reference
+// points. Expected shape: the classics are competitive at small scale but
+// are overtaken by the neural models as data grows (the historical arc the
+// paper's introduction describes).
+#include "bench/bench_common.h"
+#include "models/bkt.h"
+#include "models/ktm.h"
+#include "models/pfa.h"
+
+namespace kt {
+namespace bench {
+namespace {
+
+std::unique_ptr<models::KTModel> MakeClassic(const std::string& name,
+                                             const data::Dataset& train) {
+  if (name == "BKT") {
+    return std::make_unique<models::BKT>(train.num_concepts,
+                                         models::BktConfig{});
+  }
+  if (name == "PFA") {
+    return std::make_unique<models::PFA>(train.num_concepts,
+                                         models::PfaConfig{});
+  }
+  if (name == "KTM") {
+    return std::make_unique<models::KTM>(train.num_questions,
+                                         train.num_concepts,
+                                         models::KtmConfig{});
+  }
+  return MakeBaselineByName(name, train, /*seed=*/91);
+}
+
+void Run() {
+  PrintHeader("Extension: classic KT baselines (BKT / PFA / KTM)",
+              "historical arc: BKT -> PFA/KTM -> deep models; classics are "
+              "strong at small scale, neural models win at real scale");
+
+  const BenchScale scale = GetScale();
+  constexpr const char* kModels[] = {"BKT", "PFA", "KTM", "IKT", "DKT"};
+  constexpr const char* kDatasets[] = {"assist09", "eedi"};
+
+  std::vector<std::string> header = {"Model"};
+  for (const char* dataset : kDatasets) {
+    header.push_back(std::string(dataset) + " AUC");
+    header.push_back(std::string(dataset) + " ACC");
+  }
+  TablePrinter table(header);
+
+  for (const char* model_name : kModels) {
+    std::vector<std::string> row = {model_name};
+    for (const char* dataset : kDatasets) {
+      data::Dataset windows = MakeWindows(dataset);
+      eval::ModelFactory factory =
+          [&](const data::Dataset& train) -> std::unique_ptr<models::KTModel> {
+        return MakeClassic(model_name, train);
+      };
+      const auto cv = rckt::RunBaselineCrossValidation(
+          windows, scale.folds, factory, BaselineTrainOptions(5),
+          RcktBenchOptions(5), /*seed=*/11, ValidationFraction());
+      row.push_back(Fmt4(cv.auc_mean));
+      row.push_back(Fmt4(cv.acc_mean));
+      std::fprintf(stderr, "[classic] %s/%s auc %.4f\n", dataset, model_name,
+                   cv.auc_mean);
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kt
+
+int main() {
+  kt::bench::Run();
+  return 0;
+}

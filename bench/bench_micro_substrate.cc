@@ -1,0 +1,154 @@
+// Micro-benchmarks of the numeric substrate (google-benchmark): GEMM,
+// LSTM and attention forward passes, autograd overhead, simulator
+// throughput, and RCKT approximate-vs-exact single-batch scoring — the
+// kernel-level counterpart of Table VI.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "data/presets.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "rckt/rckt_model.h"
+#include "rckt/samples.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedAttentionScores(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  Rng rng(2);
+  Tensor q = Tensor::Uniform({16, t, 32}, -1, 1, rng);
+  Tensor k = Tensor::Uniform({16, t, 32}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor scores = BatchMatMul(q, k.TransposeLast2());
+    Tensor probs = SoftmaxLastDim(scores);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_BatchedAttentionScores)->Arg(25)->Arg(50);
+
+void BM_LstmForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  Rng rng(3);
+  nn::LSTM lstm(32, 32, rng);
+  Tensor x = Tensor::Uniform({16, t, 32}, -1, 1, rng);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable out = lstm.Forward(ag::Constant(x));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(25)->Arg(50);
+
+void BM_TransformerBlockForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  Rng rng(4);
+  nn::TransformerBlock block(32, 2, 0.0f, /*monotonic=*/true, rng);
+  Tensor x = Tensor::Uniform({16, t, 32}, -1, 1, rng);
+  const Tensor mask =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalInclusive);
+  nn::Context ctx;
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable out = block.Forward(ag::Constant(x), mask, ctx);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_TransformerBlockForward)->Arg(25)->Arg(50);
+
+void BM_AutogradBackwardMlp(benchmark::State& state) {
+  Rng rng(5);
+  ag::Variable w1 = ag::Variable::Leaf(Tensor::Uniform({64, 64}, -1, 1, rng),
+                                       true);
+  ag::Variable w2 = ag::Variable::Leaf(Tensor::Uniform({64, 1}, -1, 1, rng),
+                                       true);
+  Tensor x = Tensor::Uniform({128, 64}, -1, 1, rng);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    ag::Variable loss = ag::MeanAll(
+        ag::MatMul(ag::Sigmoid(ag::MatMul(ag::Constant(x), w1)), w2));
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+}
+BENCHMARK(BM_AutogradBackwardMlp);
+
+void BM_SimulatorGenerate(benchmark::State& state) {
+  data::SimulatorConfig config = data::Assist09Preset(0.05);
+  data::StudentSimulator simulator(config);
+  for (auto _ : state) {
+    data::Dataset ds = simulator.Generate();
+    benchmark::DoNotOptimize(ds.sequences.data());
+  }
+  state.SetItemsProcessed(state.iterations() * config.num_students);
+}
+BENCHMARK(BM_SimulatorGenerate);
+
+// The Table VI kernel: approximate (4 passes) vs exact (t+1 passes) RCKT
+// scoring of one prefix batch.
+class RcktScoringFixture {
+ public:
+  RcktScoringFixture() : windows_(MakeWindows()) {
+    rckt::RcktConfig config;
+    config.dim = 32;
+    config.seed = 9;
+    model_ = std::make_unique<rckt::RCKT>(windows_.num_questions,
+                                          windows_.num_concepts, config);
+    std::vector<rckt::PrefixSample> samples;
+    for (const auto& seq : windows_.sequences) {
+      if (seq.length() > 24) samples.push_back({&seq, 24});
+      if (samples.size() == 16) break;
+    }
+    batch_ = rckt::MakePrefixBatch(samples);
+  }
+
+  static data::Dataset MakeWindows() {
+    data::SimulatorConfig config = data::Assist09Preset(0.05);
+    data::StudentSimulator simulator(config);
+    return data::SplitIntoWindows(simulator.Generate(), 50, 5);
+  }
+
+  data::Dataset windows_;
+  std::unique_ptr<rckt::RCKT> model_;
+  data::Batch batch_;
+};
+
+void BM_RcktScoreApproximate(benchmark::State& state) {
+  RcktScoringFixture fixture;
+  for (auto _ : state) {
+    auto scores = fixture.model_->ScoreTargets(fixture.batch_);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.batch_.batch_size);
+}
+BENCHMARK(BM_RcktScoreApproximate);
+
+void BM_RcktScoreExact(benchmark::State& state) {
+  RcktScoringFixture fixture;
+  for (auto _ : state) {
+    auto scores = fixture.model_->ScoreTargetsExact(fixture.batch_);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.batch_.batch_size);
+}
+BENCHMARK(BM_RcktScoreExact);
+
+}  // namespace
+}  // namespace kt
+
+BENCHMARK_MAIN();

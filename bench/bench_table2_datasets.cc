@@ -1,0 +1,57 @@
+// Reproduces Table II: statistics of the four (synthetic stand-in)
+// preprocessed datasets. Paper values are printed alongside for reference;
+// absolute counts are scaled down (see DESIGN.md), while the structural
+// columns (#concept/question, %correct) are reproduction targets.
+#include "bench/bench_common.h"
+
+namespace kt {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  const char* dataset;
+  const char* responses;
+  const char* sequences;
+  const char* questions;
+  const char* concepts;
+  double concepts_per_question;
+  double correct_rate;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"assist09", "0.4m", "10.7k", "13.5k", "151", 1.22, 0.63},
+    {"assist12", "2.7m", "62.6k", "53.1k", "265", 1.0, 0.70},
+    {"slepemapy", "10.0m", "234.5k", "2.2k", "1458", 1.0, 0.78},
+    {"eedi", "(challenge)", "-", "-", "-", 1.0, 0.64},
+};
+
+void Run() {
+  PrintHeader("Table II: dataset statistics",
+              "paper: response/sequence/question/concept counts, "
+              "#concept/question, %correct");
+
+  TablePrinter table({"dataset", "#response", "#sequence", "#question",
+                      "#concept", "#concept/question", "%correct",
+                      "paper #c/q", "paper %correct"});
+  for (const PaperRow& row : kPaperRows) {
+    data::Dataset windows = MakeWindows(row.dataset);
+    table.AddRow({windows.name, std::to_string(windows.TotalResponses()),
+                  std::to_string(windows.sequences.size()),
+                  std::to_string(windows.num_questions),
+                  std::to_string(windows.num_concepts),
+                  FormatFloat(windows.ConceptsPerQuestion(), 2),
+                  FormatFloat(windows.CorrectRate(), 2),
+                  FormatFloat(row.concepts_per_question, 2),
+                  FormatFloat(row.correct_rate, 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kt
+
+int main() {
+  kt::bench::Run();
+  return 0;
+}

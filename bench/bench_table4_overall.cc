@@ -1,0 +1,201 @@
+// Reproduces Table IV: overall AUC/ACC of six baselines and three RCKT
+// variants on all four datasets, with the paper's "improv." row (best RCKT
+// vs best baseline) and a t-test over per-fold AUCs.
+//
+// Every model — baseline or RCKT — is scored on the identical prefix-sample
+// protocol (rckt/samples.h), so the comparison is apples-to-apples. The
+// paper's Table III hyper-parameters (lr, lambda, l2, dropout, layers) are
+// applied per dataset/encoder and printed below the table.
+#include <array>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "eval/ttest.h"
+
+namespace kt {
+namespace bench {
+namespace {
+
+constexpr const char* kBaselines[] = {"DKT",   "SAKT", "AKT",
+                                      "DIMKT", "IKT",  "QIKT"};
+constexpr rckt::EncoderKind kEncoders[] = {
+    rckt::EncoderKind::kDKT, rckt::EncoderKind::kSAKT,
+    rckt::EncoderKind::kAKT};
+constexpr const char* kDatasets[] = {"assist09", "assist12", "slepemapy",
+                                     "eedi"};
+
+// Paper Table IV values for reference printing: {auc, acc} per dataset in
+// kDatasets order.
+const std::map<std::string, std::array<double, 8>> kPaperTable4 = {
+    {"DKT", {0.7706, 0.7263, 0.7287, 0.7345, 0.7813, 0.7988, 0.7391, 0.7014}},
+    {"SAKT", {0.7674, 0.7248, 0.7283, 0.7344, 0.7850, 0.8012, 0.7417, 0.7030}},
+    {"AKT", {0.7837, 0.7343, 0.7718, 0.7536, 0.7866, 0.8019, 0.7828, 0.7281}},
+    {"DIMKT", {0.7854, 0.7387, 0.7709, 0.7541, 0.7888, 0.8021, 0.7835, 0.7285}},
+    {"IKT", {0.7774, 0.7261, 0.7624, 0.7452, 0.6664, 0.7846, 0.7680, 0.7192}},
+    {"QIKT", {0.7815, 0.7324, 0.7623, 0.7462, 0.7832, 0.8003, 0.7803, 0.7260}},
+    {"RCKT-DKT",
+     {0.7929, 0.7439, 0.7746, 0.7545, 0.7879, 0.8036, 0.7857, 0.7303}},
+    {"RCKT-SAKT",
+     {0.7899, 0.7425, 0.7728, 0.7559, 0.7844, 0.8041, 0.7807, 0.7285}},
+    {"RCKT-AKT",
+     {0.7947, 0.7449, 0.7782, 0.7576, 0.7955, 0.8047, 0.7868, 0.7311}},
+};
+
+struct CellResult {
+  eval::CrossValidationResult cv;
+};
+
+void Run() {
+  PrintHeader(
+      "Table IV: overall performance (AUC/ACC), 5-fold CV",
+      "paper: RCKT-AKT best everywhere; RCKT variants take 7 of 8 second "
+      "places; improv. +0.35%..+1.19% AUC over the best baseline");
+
+  const BenchScale scale = GetScale();
+  // model -> dataset -> cv result
+  std::map<std::string, std::map<std::string, CellResult>> results;
+
+  for (const char* dataset : kDatasets) {
+    data::Dataset windows = MakeWindows(dataset);
+    std::fprintf(stderr, "[table4] dataset %s: %zu windows\n", dataset,
+                 windows.sequences.size());
+
+    for (const char* baseline : kBaselines) {
+      eval::ModelFactory factory =
+          [&](const data::Dataset& train) -> std::unique_ptr<models::KTModel> {
+        return MakeBaselineByName(baseline, train, /*seed=*/91);
+      };
+      CellResult cell;
+      cell.cv = rckt::RunBaselineCrossValidation(
+          windows, scale.folds, factory, BaselineTrainOptions(5),
+          RcktBenchOptions(5), /*seed=*/11, ValidationFraction());
+      std::fprintf(stderr, "[table4] %s/%s auc %.4f\n", dataset, baseline,
+                   cell.cv.auc_mean);
+      results[baseline][dataset] = cell;
+    }
+
+    for (rckt::EncoderKind encoder : kEncoders) {
+      const std::string name =
+          std::string("RCKT-") + rckt::EncoderKindName(encoder);
+      rckt::RcktFactory factory =
+          [&](const data::Dataset& train) -> std::unique_ptr<rckt::RCKT> {
+        return std::make_unique<rckt::RCKT>(
+            train.num_questions, train.num_concepts,
+            BenchRcktConfig(dataset, encoder, /*seed=*/91));
+      };
+      CellResult cell;
+      cell.cv = rckt::RunRcktCrossValidation(windows, scale.folds, factory,
+                                             RcktBenchOptions(5),
+                                             /*seed=*/11,
+                                             ValidationFraction());
+      std::fprintf(stderr, "[table4] %s/%s auc %.4f\n", dataset, name.c_str(),
+                   cell.cv.auc_mean);
+      results[name][dataset] = cell;
+    }
+  }
+
+  // Render the table in paper row order.
+  std::vector<std::string> row_order;
+  for (const char* b : kBaselines) row_order.push_back(b);
+  for (rckt::EncoderKind e : kEncoders) {
+    row_order.push_back(std::string("RCKT-") + rckt::EncoderKindName(e));
+  }
+
+  std::vector<std::string> header = {"Model"};
+  for (const char* dataset : kDatasets) {
+    header.push_back(std::string(dataset) + " AUC");
+    header.push_back(std::string(dataset) + " ACC");
+  }
+  TablePrinter table(header);
+  for (const auto& model : row_order) {
+    std::vector<std::string> row = {model};
+    for (const char* dataset : kDatasets) {
+      const auto& cv = results[model][dataset].cv;
+      row.push_back(Fmt4(cv.auc_mean));
+      row.push_back(Fmt4(cv.acc_mean));
+    }
+    table.AddRow(row);
+    if (model == "QIKT") table.AddSeparator();
+  }
+
+  // improv. row: best RCKT vs best baseline per dataset (AUC), plus t-test.
+  std::vector<std::string> improv_row = {"improv. (AUC)"};
+  std::vector<std::string> ttest_row = {"t-test p (AUC)"};
+  for (const char* dataset : kDatasets) {
+    double best_baseline = 0.0;
+    std::string best_baseline_name;
+    for (const char* b : kBaselines) {
+      const double auc = results[b][dataset].cv.auc_mean;
+      if (auc > best_baseline) {
+        best_baseline = auc;
+        best_baseline_name = b;
+      }
+    }
+    double best_rckt = 0.0;
+    std::string best_rckt_name;
+    for (rckt::EncoderKind e : kEncoders) {
+      const std::string name =
+          std::string("RCKT-") + rckt::EncoderKindName(e);
+      const double auc = results[name][dataset].cv.auc_mean;
+      if (auc > best_rckt) {
+        best_rckt = auc;
+        best_rckt_name = name;
+      }
+    }
+    const double improv = (best_rckt / best_baseline - 1.0) * 100.0;
+    improv_row.push_back(StrPrintf("%+.2f%%", improv));
+    improv_row.push_back(best_rckt_name);
+    const auto t = eval::WelchTTest(
+        results[best_rckt_name][dataset].cv.fold_auc,
+        results[best_baseline_name][dataset].cv.fold_auc);
+    ttest_row.push_back(StrPrintf("p=%.3f", t.p_value));
+    ttest_row.push_back("vs " + best_baseline_name);
+  }
+  table.AddSeparator();
+  table.AddRow(improv_row);
+  table.AddRow(ttest_row);
+  table.Print(std::cout);
+
+  // Paper reference values.
+  std::printf("\npaper Table IV reference (AUC/ACC):\n");
+  TablePrinter paper(header);
+  for (const auto& model : row_order) {
+    std::vector<std::string> row = {model};
+    const auto& vals = kPaperTable4.at(model);
+    for (size_t d = 0; d < 4; ++d) {
+      row.push_back(Fmt4(vals[2 * d]));
+      row.push_back(Fmt4(vals[2 * d + 1]));
+    }
+    paper.AddRow(row);
+  }
+  paper.Print(std::cout);
+
+  // Table III: the RCKT hyper-parameters actually used.
+  std::printf("\nTable III hyper-parameters {lr, lambda, l2, dropout, layers} "
+              "(layers capped at %s):\n",
+              FullMode() ? "2" : "1 in smoke mode");
+  TablePrinter hp({"dataset", "RCKT-DKT", "RCKT-SAKT", "RCKT-AKT"});
+  for (const char* dataset : kDatasets) {
+    std::vector<std::string> row = {dataset};
+    for (rckt::EncoderKind e : kEncoders) {
+      rckt::RcktConfig c = BenchRcktConfig(dataset, e, 0);
+      row.push_back(StrPrintf("{%g, %g, %g, %g, %lld}",
+                              static_cast<double>(c.lr),
+                              static_cast<double>(c.lambda),
+                              static_cast<double>(c.weight_decay),
+                              static_cast<double>(c.dropout),
+                              static_cast<long long>(c.num_layers)));
+    }
+    hp.AddRow(row);
+  }
+  hp.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kt
+
+int main() {
+  kt::bench::Run();
+  return 0;
+}

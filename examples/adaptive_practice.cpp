@@ -1,0 +1,115 @@
+// Adaptive practice: the downstream application the paper's introduction
+// motivates — use RCKT's interpretable outputs to drive question
+// recommendation. For a student mid-session we (1) trace proficiency on
+// every concept, (2) pick the weakest concept, and (3) rank its candidate
+// questions by predicted success probability, recommending one in the
+// "zone of proximal development" (closest to 70% success).
+//
+// Build & run:  ./build/examples/adaptive_practice
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "data/presets.h"
+#include "rckt/rckt_model.h"
+#include "rckt/rckt_trainer.h"
+
+int main() {
+  using namespace kt;
+
+  data::StudentSimulator simulator(data::Assist09Preset(/*scale=*/0.2));
+  data::Dataset windows = data::SplitIntoWindows(simulator.Generate(), 50, 5);
+
+  Rng rng(7);
+  const auto folds = data::KFoldAssignment(
+      static_cast<int64_t>(windows.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(windows, folds, 0, 0.1, rng);
+
+  rckt::RcktConfig config;
+  config.encoder = rckt::EncoderKind::kDKT;
+  config.dim = 32;
+  rckt::RCKT model(windows.num_questions, windows.num_concepts, config);
+  rckt::RcktTrainOptions options;
+  options.max_epochs = 5;
+  options.patience = 3;
+  rckt::TrainAndEvaluateRckt(model, split, options);
+
+  // A student mid-session.
+  data::ResponseSequence student = simulator.GenerateStudent(15, 4242);
+  std::printf("student history (15 responses):");
+  for (const auto& it : student.interactions) {
+    std::printf(" k%lld%s", static_cast<long long>(it.concepts[0]),
+                it.response ? "+" : "-");
+  }
+  std::printf("\n\n");
+
+  std::map<int64_t, std::vector<int64_t>> concept_questions;
+  for (int64_t q = 0; q < windows.num_questions; ++q) {
+    for (int64_t k : simulator.question_concepts()[static_cast<size_t>(q)]) {
+      concept_questions[k].push_back(q);
+    }
+  }
+
+  // 1. Proficiency per practiced concept.
+  data::ResponseSequence probe_prefix = student;
+  probe_prefix.interactions.push_back({0, 0, {0}});
+  data::Batch probe_batch = data::MakeBatch({&probe_prefix});
+  std::map<int64_t, float> proficiency;
+  for (const auto& it : student.interactions) {
+    const int64_t k = it.concepts[0];
+    if (proficiency.count(k)) continue;
+    proficiency[k] =
+        model.ScoreConceptProbe(probe_batch, concept_questions[k], k)[0];
+  }
+  int64_t weakest = proficiency.begin()->first;
+  std::printf("traced proficiency:\n");
+  for (const auto& [k, p] : proficiency) {
+    std::printf("  concept k%-4lld %.3f%s\n", static_cast<long long>(k), p,
+                p < proficiency[weakest] ? "" : "");
+    if (p < proficiency[weakest]) weakest = k;
+  }
+  std::printf("weakest concept: k%lld\n\n", static_cast<long long>(weakest));
+
+  // 2. Rank that concept's questions by predicted success probability: for
+  // each candidate, append it as the target and score.
+  struct Candidate {
+    int64_t question;
+    float p_correct;
+  };
+  std::vector<Candidate> candidates;
+  for (int64_t q : concept_questions[weakest]) {
+    data::ResponseSequence with_target = student;
+    with_target.interactions.push_back(
+        {q, 0, simulator.question_concepts()[static_cast<size_t>(q)]});
+    data::Batch batch = data::MakeBatch({&with_target});
+    candidates.push_back({q, model.ScoreTargets(batch)[0]});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.p_correct > b.p_correct;
+            });
+
+  std::printf("candidate questions for k%lld (predicted success):\n",
+              static_cast<long long>(weakest));
+  for (size_t i = 0; i < candidates.size() && i < 8; ++i) {
+    std::printf("  q%-4lld p=%.3f\n",
+                static_cast<long long>(candidates[i].question),
+                candidates[i].p_correct);
+  }
+
+  // 3. Recommend the question closest to 70% predicted success.
+  const Candidate* recommended = &candidates.front();
+  for (const auto& c : candidates) {
+    if (std::fabs(c.p_correct - 0.7f) <
+        std::fabs(recommended->p_correct - 0.7f)) {
+      recommended = &c;
+    }
+  }
+  std::printf(
+      "\nrecommended next question: q%lld (predicted success %.3f, "
+      "closest to the 0.70 practice sweet spot)\n",
+      static_cast<long long>(recommended->question), recommended->p_correct);
+  return 0;
+}

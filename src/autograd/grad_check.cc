@@ -1,0 +1,48 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+namespace kt {
+namespace ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>& params, float epsilon, float tol) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Variable& p : params) p.ZeroGrad();
+  Variable loss = fn(params);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const Variable& p : params) analytic.push_back(p.grad());
+
+  // Numeric gradients by central differences, one coordinate at a time.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi].mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float saved = value.flat(i);
+
+      value.flat(i) = saved + epsilon;
+      const float up = fn(params).value().item();
+      value.flat(i) = saved - epsilon;
+      const float down = fn(params).value().item();
+      value.flat(i) = saved;
+
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float a = analytic[pi].flat(i);
+      const float abs_err = std::fabs(a - numeric);
+      const float rel_err = abs_err / std::max(1.0f, std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > tol * std::max(1.0f, std::fabs(numeric))) {
+        result.ok = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace kt

@@ -1,0 +1,36 @@
+// Finite-difference gradient verification, used by the test suite to pin the
+// correctness of every differentiable op and module.
+#ifndef KT_AUTOGRAD_GRAD_CHECK_H_
+#define KT_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace kt {
+namespace ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  // Largest |analytic - numeric| over all checked coordinates.
+  float max_abs_error = 0.0f;
+  // Largest relative error (scaled by max(1, |numeric|)).
+  float max_rel_error = 0.0f;
+};
+
+// Checks analytic gradients of `fn` against central finite differences.
+//
+// `fn` must rebuild the computation from the given leaf variables and return
+// a scalar loss; it is invoked repeatedly with perturbed leaf values.
+// `params` are the leaves whose gradients are verified (each must have
+// requires_grad). Tolerance is absolute-or-relative: a coordinate passes if
+// |a - n| <= tol * max(1, |n|).
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>& params, float epsilon = 1e-3f, float tol = 2e-2f);
+
+}  // namespace ag
+}  // namespace kt
+
+#endif  // KT_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,341 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace ag {
+namespace {
+
+using internal::Node;
+
+// Expands `g` (shape of a reduced tensor) back over dimension `d` of
+// `full_shape` by repetition; the adjoint of Sum(dim).
+Tensor ExpandAlongDim(const Tensor& g, const Shape& full_shape, int64_t d,
+                      bool keepdim) {
+  Tensor out(full_shape);
+  const int64_t dim_size = full_shape[static_cast<size_t>(d)];
+  int64_t outer = 1;
+  for (int64_t i = 0; i < d; ++i) outer *= full_shape[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (size_t i = static_cast<size_t>(d) + 1; i < full_shape.size(); ++i)
+    inner *= full_shape[i];
+  (void)keepdim;  // g's layout is [outer, inner] either way.
+  const float* src = g.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < dim_size; ++j) {
+      std::memcpy(dst + (o * dim_size + j) * inner, src + o * inner,
+                  sizeof(float) * static_cast<size_t>(inner));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOpNode(kt::Add(a.value(), b.value()), {a, b}, [](Node& self) {
+    if (self.inputs[0]->requires_grad) self.inputs[0]->AccumulateGrad(self.grad);
+    if (self.inputs[1]->requires_grad) self.inputs[1]->AccumulateGrad(self.grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOpNode(kt::Sub(a.value(), b.value()), {a, b}, [](Node& self) {
+    if (self.inputs[0]->requires_grad) self.inputs[0]->AccumulateGrad(self.grad);
+    if (self.inputs[1]->requires_grad)
+      self.inputs[1]->AccumulateGrad(kt::Neg(self.grad));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeOpNode(kt::Mul(a.value(), b.value()), {a, b}, [](Node& self) {
+    if (self.inputs[0]->requires_grad)
+      self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, self.inputs[1]->value));
+    if (self.inputs[1]->requires_grad)
+      self.inputs[1]->AccumulateGrad(kt::Mul(self.grad, self.inputs[0]->value));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  return MakeOpNode(kt::Div(a.value(), b.value()), {a, b}, [](Node& self) {
+    const Tensor& bv = self.inputs[1]->value;
+    if (self.inputs[0]->requires_grad)
+      self.inputs[0]->AccumulateGrad(kt::Div(self.grad, bv));
+    if (self.inputs[1]->requires_grad) {
+      // d(a/b)/db = -a / b^2
+      Tensor t = kt::Div(kt::Mul(self.grad, self.inputs[0]->value),
+                         kt::Mul(bv, bv));
+      self.inputs[1]->AccumulateGrad(kt::Neg(t));
+    }
+  });
+}
+
+Variable Maximum(const Variable& a, const Variable& b) {
+  return MakeOpNode(
+      kt::Maximum(a.value(), b.value()), {a, b}, [](Node& self) {
+        const Tensor& av = self.inputs[0]->value;
+        const Tensor& bv = self.inputs[1]->value;
+        // Indicator masks: gradient goes to the winner; ties favor a.
+        Tensor mask_a = kt::GreaterEqualMask(av, bv);
+        if (self.inputs[0]->requires_grad)
+          self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, mask_a));
+        if (self.inputs[1]->requires_grad) {
+          Tensor mask_b = kt::Map(mask_a, [](float m) { return 1.0f - m; });
+          self.inputs[1]->AccumulateGrad(kt::Mul(self.grad, mask_b));
+        }
+      });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return MakeOpNode(kt::AddScalar(a.value(), s), {a}, [](Node& self) {
+    self.inputs[0]->AccumulateGrad(self.grad);
+  });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return MakeOpNode(kt::MulScalar(a.value(), s), {a}, [s](Node& self) {
+    self.inputs[0]->AccumulateGrad(kt::MulScalar(self.grad, s));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  return MakeOpNode(kt::MatMul(a.value(), b.value()), {a, b}, [](Node& self) {
+    const Tensor& av = self.inputs[0]->value;
+    const Tensor& bv = self.inputs[1]->value;
+    if (self.inputs[0]->requires_grad)
+      self.inputs[0]->AccumulateGrad(kt::MatMul(self.grad, bv.TransposeLast2()));
+    if (self.inputs[1]->requires_grad)
+      self.inputs[1]->AccumulateGrad(kt::MatMul(av.TransposeLast2(), self.grad));
+  });
+}
+
+Variable BatchMatMul(const Variable& a, const Variable& b) {
+  return MakeOpNode(
+      kt::BatchMatMul(a.value(), b.value()), {a, b}, [](Node& self) {
+        const Tensor& av = self.inputs[0]->value;
+        const Tensor& bv = self.inputs[1]->value;
+        if (self.inputs[0]->requires_grad)
+          self.inputs[0]->AccumulateGrad(
+              kt::BatchMatMul(self.grad, bv.TransposeLast2()));
+        if (self.inputs[1]->requires_grad)
+          self.inputs[1]->AccumulateGrad(
+              kt::BatchMatMul(av.TransposeLast2(), self.grad));
+      });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = kt::Sigmoid(a.value());
+  return MakeOpNode(y, {a}, [y](Node& self) {
+    // dy/dx = y (1 - y)
+    Tensor d = kt::Map(y, [](float v) { return v * (1.0f - v); });
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, d));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = kt::Tanh(a.value());
+  return MakeOpNode(y, {a}, [y](Node& self) {
+    Tensor d = kt::Map(y, [](float v) { return 1.0f - v * v; });
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, d));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  return MakeOpNode(kt::Relu(a.value()), {a}, [](Node& self) {
+    const Tensor& x = self.inputs[0]->value;
+    Tensor d = kt::Map(x, [](float v) { return v > 0.0f ? 1.0f : 0.0f; });
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, d));
+  });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor y = kt::Exp(a.value());
+  return MakeOpNode(y, {a}, [y](Node& self) {
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  return MakeOpNode(kt::Log(a.value()), {a}, [](Node& self) {
+    self.inputs[0]->AccumulateGrad(kt::Div(self.grad, self.inputs[0]->value));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor y = kt::Sqrt(a.value());
+  return MakeOpNode(y, {a}, [y](Node& self) {
+    Tensor d = kt::Map(y, [](float v) { return 0.5f / v; });
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, d));
+  });
+}
+
+Variable SoftmaxLastDim(const Variable& a) {
+  Tensor y = kt::SoftmaxLastDim(a.value());
+  return MakeOpNode(y, {a}, [y](Node& self) {
+    // dx = y * (g - sum(g * y, last))
+    Tensor gy = kt::Mul(self.grad, y);
+    Tensor s = kt::Sum(gy, -1, /*keepdim=*/true);
+    Tensor dx = kt::Mul(y, kt::Sub(self.grad, s));
+    self.inputs[0]->AccumulateGrad(dx);
+  });
+}
+
+Variable Reshape(const Variable& a, Shape shape) {
+  Tensor out = a.value().Reshape(std::move(shape));
+  Shape in_shape = a.value().shape();
+  return MakeOpNode(out, {a}, [in_shape](Node& self) {
+    self.inputs[0]->AccumulateGrad(self.grad.Reshape(in_shape));
+  });
+}
+
+Variable TransposeLast2(const Variable& a) {
+  return MakeOpNode(a.value().TransposeLast2(), {a}, [](Node& self) {
+    self.inputs[0]->AccumulateGrad(self.grad.TransposeLast2());
+  });
+}
+
+Variable Slice(const Variable& a, int64_t d, int64_t start, int64_t end) {
+  if (d < 0) d += a.value().dim();
+  Tensor out = a.value().Slice(d, start, end);
+  return MakeOpNode(out, {a}, [d, start, end](Node& self) {
+    const Shape& in_shape = self.inputs[0]->value.shape();
+    // Scatter grad back into a zero tensor of the input shape.
+    Tensor full = Tensor::Zeros(in_shape);
+    const int64_t dim_size = in_shape[static_cast<size_t>(d)];
+    int64_t outer = 1;
+    for (int64_t i = 0; i < d; ++i) outer *= in_shape[static_cast<size_t>(i)];
+    int64_t inner = 1;
+    for (size_t i = static_cast<size_t>(d) + 1; i < in_shape.size(); ++i)
+      inner *= in_shape[i];
+    const int64_t span = (end - start) * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(full.data() + (o * dim_size + start) * inner,
+                  self.grad.data() + o * span,
+                  sizeof(float) * static_cast<size_t>(span));
+    }
+    self.inputs[0]->AccumulateGrad(full);
+  });
+}
+
+Variable Concat(const std::vector<Variable>& inputs, int64_t d) {
+  KT_CHECK(!inputs.empty());
+  std::vector<Tensor> values;
+  values.reserve(inputs.size());
+  for (const Variable& v : inputs) values.push_back(v.value());
+  Tensor out = Tensor::Concat(values, d);
+  int64_t axis = d < 0 ? d + out.dim() : d;
+  return MakeOpNode(out, inputs, [axis](Node& self) {
+    int64_t offset = 0;
+    for (auto& input : self.inputs) {
+      const int64_t extent = input->value.size(axis);
+      if (input->requires_grad) {
+        input->AccumulateGrad(self.grad.Slice(axis, offset, offset + extent));
+      }
+      offset += extent;
+    }
+  });
+}
+
+Variable SumAll(const Variable& a) {
+  return MakeOpNode(kt::SumAll(a.value()), {a}, [](Node& self) {
+    self.inputs[0]->AccumulateGrad(
+        Tensor::Full(self.inputs[0]->value.shape(), self.grad.item()));
+  });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv_n = 1.0f / static_cast<float>(a.numel());
+  return MakeOpNode(kt::MeanAll(a.value()), {a}, [inv_n](Node& self) {
+    self.inputs[0]->AccumulateGrad(Tensor::Full(
+        self.inputs[0]->value.shape(), self.grad.item() * inv_n));
+  });
+}
+
+Variable Sum(const Variable& a, int64_t d, bool keepdim) {
+  if (d < 0) d += a.value().dim();
+  Tensor out = kt::Sum(a.value(), d, keepdim);
+  return MakeOpNode(out, {a}, [d, keepdim](Node& self) {
+    self.inputs[0]->AccumulateGrad(ExpandAlongDim(
+        self.grad, self.inputs[0]->value.shape(), d, keepdim));
+  });
+}
+
+Variable Mean(const Variable& a, int64_t d, bool keepdim) {
+  if (d < 0) d += a.value().dim();
+  const float inv = 1.0f / static_cast<float>(a.value().size(d));
+  return MulScalar(Sum(a, d, keepdim), inv);
+}
+
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int64_t>& indices) {
+  Tensor out = Tensor::IndexSelectRows(table.value(), indices);
+  return MakeOpNode(out, {table}, [indices](Node& self) {
+    Node* table_node = self.inputs[0].get();
+    if (!table_node->requires_grad) return;
+    table_node->EnsureGrad();
+    const int64_t cols = table_node->value.size(1);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const float* src = self.grad.data() + static_cast<int64_t>(i) * cols;
+      float* dst = table_node->grad.data() + indices[i] * cols;
+      for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable EmbeddingBagMean(const Variable& table,
+                          const std::vector<std::vector<int64_t>>& bags) {
+  KT_CHECK_EQ(table.value().dim(), 2);
+  const int64_t rows = table.value().size(0);
+  const int64_t cols = table.value().size(1);
+  Tensor out(Shape{static_cast<int64_t>(bags.size()), cols});
+  for (size_t i = 0; i < bags.size(); ++i) {
+    if (bags[i].empty()) continue;
+    float* dst = out.data() + static_cast<int64_t>(i) * cols;
+    for (int64_t r : bags[i]) {
+      KT_CHECK(r >= 0 && r < rows) << "bag index " << r << " out of " << rows;
+      const float* src = table.value().data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+    }
+    const float inv = 1.0f / static_cast<float>(bags[i].size());
+    for (int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+  }
+  return MakeOpNode(out, {table}, [bags](Node& self) {
+    Node* table_node = self.inputs[0].get();
+    if (!table_node->requires_grad) return;
+    table_node->EnsureGrad();
+    const int64_t cols = table_node->value.size(1);
+    for (size_t i = 0; i < bags.size(); ++i) {
+      if (bags[i].empty()) continue;
+      const float inv = 1.0f / static_cast<float>(bags[i].size());
+      const float* src = self.grad.data() + static_cast<int64_t>(i) * cols;
+      for (int64_t r : bags[i]) {
+        float* dst = table_node->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) dst[c] += src[c] * inv;
+      }
+    }
+  });
+}
+
+Variable Dropout(const Variable& a, float p, Rng& rng, bool train) {
+  if (!train || p <= 0.0f) return a;
+  KT_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(a.value().shape());
+  for (int64_t i = 0; i < mask.numel(); ++i)
+    mask.flat(i) = rng.Bernoulli(p) ? 0.0f : scale;
+  Tensor out = kt::Mul(a.value(), mask);
+  return MakeOpNode(out, {a}, [mask](Node& self) {
+    self.inputs[0]->AccumulateGrad(kt::Mul(self.grad, mask));
+  });
+}
+
+Variable Constant(Tensor t) { return Variable::Leaf(std::move(t), false); }
+
+}  // namespace ag
+}  // namespace kt

@@ -1,0 +1,77 @@
+// Differentiable operations over ag::Variable.
+//
+// Every function computes the forward result with the kernels in
+// tensor/tensor_ops.h and records a backward closure when gradients are
+// required. Binary arithmetic broadcasts like NumPy; gradients of broadcast
+// inputs are reduced back to the input shape.
+#ifndef KT_AUTOGRAD_OPS_H_
+#define KT_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/rng.h"
+
+namespace kt {
+namespace ag {
+
+// ---- Arithmetic (broadcasting) ----
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+// Elementwise max; gradient flows to the larger operand (ties favor `a`).
+Variable Maximum(const Variable& a, const Variable& b);
+
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable Neg(const Variable& a);
+
+// ---- Matrix products ----
+Variable MatMul(const Variable& a, const Variable& b);
+Variable BatchMatMul(const Variable& a, const Variable& b);
+
+// ---- Activations / pointwise ----
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Exp(const Variable& a);
+// Natural log; inputs must be positive (callers clamp or offset).
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable SoftmaxLastDim(const Variable& a);
+
+// ---- Shape ----
+Variable Reshape(const Variable& a, Shape shape);
+Variable TransposeLast2(const Variable& a);
+Variable Slice(const Variable& a, int64_t d, int64_t start, int64_t end);
+Variable Concat(const std::vector<Variable>& inputs, int64_t d);
+
+// ---- Reductions ----
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+Variable Sum(const Variable& a, int64_t d, bool keepdim = false);
+Variable Mean(const Variable& a, int64_t d, bool keepdim = false);
+
+// ---- Lookup / regularization ----
+// Rows of a 2-D `table` gathered by `indices`: result [indices.size(), dim].
+// Backward scatter-adds into the table gradient.
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int64_t>& indices);
+// Mean of table rows per bag: result[i, :] = mean_{j in bags[i]} table[j, :].
+// An empty bag yields a zero row. Used for the paper's Eq. 23 (question
+// embedding plus the mean of its concept embeddings).
+Variable EmbeddingBagMean(const Variable& table,
+                          const std::vector<std::vector<int64_t>>& bags);
+// Inverted dropout: scales kept activations by 1/(1-p) during training; the
+// identity when `train` is false or p == 0.
+Variable Dropout(const Variable& a, float p, Rng& rng, bool train);
+
+// ---- Constants ----
+// Wraps a tensor as a non-differentiable graph input.
+Variable Constant(Tensor t);
+
+}  // namespace ag
+}  // namespace kt
+
+#endif  // KT_AUTOGRAD_OPS_H_

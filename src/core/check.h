@@ -1,0 +1,59 @@
+// Assertion macros for programmer errors.
+//
+// Per the project's error-handling policy (see DESIGN.md), exceptions are not
+// used. KT_CHECK* macros abort with a readable message on violated
+// invariants; they stay enabled in release builds because the cost of a
+// branch is negligible next to the numeric kernels they guard.
+#ifndef KT_CORE_CHECK_H_
+#define KT_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kt {
+namespace internal {
+
+// Accumulates a failure message and aborts when destroyed. Used only by the
+// KT_CHECK macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "KT_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kt
+
+// Aborts with a message when `condition` is false. Additional context can be
+// streamed: KT_CHECK(n > 0) << "n=" << n;
+#define KT_CHECK(condition)                                              \
+  if (!(condition))                                                      \
+  ::kt::internal::CheckFailure(__FILE__, __LINE__, #condition).stream()  \
+      << " "
+
+#define KT_CHECK_EQ(a, b) KT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KT_CHECK_NE(a, b) KT_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KT_CHECK_LT(a, b) KT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KT_CHECK_LE(a, b) KT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KT_CHECK_GT(a, b) KT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KT_CHECK_GE(a, b) KT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+// Debug-only check for hot paths (indexing in inner loops).
+#ifdef NDEBUG
+#define KT_DCHECK(condition) KT_CHECK(true)
+#else
+#define KT_DCHECK(condition) KT_CHECK(condition)
+#endif
+
+#endif  // KT_CORE_CHECK_H_

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the CLI tool.
+//
+// Accepts "--key value" and "--key=value" forms; everything else is a
+// positional argument. Typed getters validate and report errors with the
+// offending flag name.
+#ifndef KT_CORE_FLAGS_H_
+#define KT_CORE_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace kt {
+
+class FlagParser {
+ public:
+  // Parses argv[1..argc); malformed input ("--" with no key) yields an
+  // error status from Parse.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  // Typed getters return `fallback` when the flag is absent and abort the
+  // program (with a clear message) when the value does not parse — CLI
+  // misuse is a user error we surface immediately.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kt
+
+#endif  // KT_CORE_FLAGS_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: KT_LOG(INFO) << "epoch " << e << " auc=" << auc;
+// The global threshold defaults to INFO and can be raised to silence
+// training chatter in tests (see SetLogLevel).
+#ifndef KT_CORE_LOGGING_H_
+#define KT_CORE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace kt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is emitted. Thread-compatible (set once at
+// startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Buffers one log line and flushes it (with level/file/line prefix) on
+// destruction at the end of the full expression.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Spelling aliases so KT_LOG(INFO) expands to a valid enumerator.
+inline constexpr LogLevel kLogDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
+
+}  // namespace internal
+}  // namespace kt
+
+#define KT_LOG(severity)                                              \
+  if (::kt::internal::kLog##severity >= ::kt::GetLogLevel())          \
+  ::kt::internal::LogMessage(::kt::internal::kLog##severity,          \
+                             __FILE__, __LINE__)                      \
+      .stream()
+
+#endif  // KT_CORE_LOGGING_H_

@@ -1,0 +1,99 @@
+// Lightweight Status / Result<T> types for recoverable errors (file I/O,
+// config parsing). Programmer errors use KT_CHECK instead.
+#ifndef KT_CORE_STATUS_H_
+#define KT_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/check.h"
+
+namespace kt {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "Code: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Mirrors
+// absl::StatusOr<T> at a fraction of the size.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    KT_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+  // Requires ok(); aborts otherwise.
+  const T& value() const& {
+    KT_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    KT_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    KT_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace kt
+
+#endif  // KT_CORE_STATUS_H_

@@ -1,0 +1,50 @@
+#include "core/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace kt {
+
+std::string StrPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (size > 0) {
+    out.resize(static_cast<size_t>(size));
+    // +1 for the terminating NUL vsnprintf writes.
+    std::vsnprintf(out.data(), static_cast<size_t>(size) + 1, format,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in(s);
+  while (std::getline(in, field, delim)) out.push_back(field);
+  if (!s.empty() && s.back() == delim) out.push_back("");
+  return out;
+}
+
+std::string FormatFloat(double value, int digits) {
+  return StrPrintf("%.*f", digits, value);
+}
+
+}  // namespace kt

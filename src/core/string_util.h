@@ -1,0 +1,27 @@
+// Small string helpers shared across modules (gcc 12 lacks std::format).
+#ifndef KT_CORE_STRING_UTIL_H_
+#define KT_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace kt {
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+// Formats a double with `digits` places after the decimal point, e.g.
+// FormatFloat(0.79468, 4) == "0.7947".
+std::string FormatFloat(double value, int digits);
+
+}  // namespace kt
+
+#endif  // KT_CORE_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace kt {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  KT_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  KT_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto render_separator = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      line += std::string(width[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = row[c];
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::ostringstream out;
+  out << render_separator() << render_row(header_) << render_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << render_separator();
+    } else {
+      out << render_row(row);
+    }
+  }
+  out << render_separator();
+  return out.str();
+}
+
+}  // namespace kt

@@ -1,0 +1,33 @@
+// Renders aligned ASCII tables; used by the bench harness to print the same
+// rows the paper's tables report.
+#ifndef KT_CORE_TABLE_PRINTER_H_
+#define KT_CORE_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kt {
+
+class TablePrinter {
+ public:
+  // `header` defines the number of columns; every AddRow must match it.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  // Renders with column alignment and outer borders.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kt
+
+#endif  // KT_CORE_TABLE_PRINTER_H_

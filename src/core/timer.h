@@ -1,0 +1,30 @@
+// Wall-clock timer used by the efficiency experiments (Table VI).
+#ifndef KT_CORE_TIMER_H_
+#define KT_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace kt {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart(), in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kt
+
+#endif  // KT_CORE_TIMER_H_

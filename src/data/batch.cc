@@ -1,0 +1,82 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace kt {
+namespace data {
+
+Batch MakeBatch(const std::vector<const ResponseSequence*>& sequences,
+                int64_t pad_to) {
+  KT_CHECK(!sequences.empty());
+  Batch batch;
+  batch.batch_size = static_cast<int64_t>(sequences.size());
+  int64_t max_len = 0;
+  for (const auto* seq : sequences)
+    max_len = std::max(max_len, seq->length());
+  if (pad_to > 0) {
+    KT_CHECK_LE(max_len, pad_to);
+    max_len = pad_to;
+  }
+  batch.max_len = max_len;
+
+  const int64_t flat = batch.batch_size * max_len;
+  batch.questions.assign(static_cast<size_t>(flat), 0);
+  batch.responses.assign(static_cast<size_t>(flat), 0);
+  batch.concept_bags.assign(static_cast<size_t>(flat), {});
+  batch.valid = Tensor::Zeros(Shape{batch.batch_size, max_len});
+  batch.targets = Tensor::Zeros(Shape{batch.batch_size, max_len});
+
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const ResponseSequence& seq = *sequences[static_cast<size_t>(b)];
+    batch.lengths.push_back(seq.length());
+    for (int64_t t = 0; t < seq.length(); ++t) {
+      const Interaction& it = seq.interactions[static_cast<size_t>(t)];
+      const int64_t i = batch.FlatIndex(b, t);
+      batch.questions[static_cast<size_t>(i)] = it.question;
+      batch.responses[static_cast<size_t>(i)] = it.response;
+      batch.concept_bags[static_cast<size_t>(i)] = it.concepts;
+      batch.valid.flat(i) = 1.0f;
+      batch.targets.flat(i) = static_cast<float>(it.response);
+    }
+  }
+  return batch;
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, int64_t batch_size,
+                             Rng& rng, bool shuffle)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle) {
+  KT_CHECK_GT(batch_size, 0);
+  order_.resize(dataset.sequences.size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  Reset();
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.Shuffle(order_);
+}
+
+int64_t BatchIterator::NumBatches() const {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+bool BatchIterator::Next(Batch* batch) {
+  if (cursor_ >= order_.size()) return false;
+  std::vector<const ResponseSequence*> members;
+  while (cursor_ < order_.size() &&
+         static_cast<int64_t>(members.size()) < batch_size_) {
+    members.push_back(&dataset_.sequences[order_[cursor_]]);
+    ++cursor_;
+  }
+  *batch = MakeBatch(members);
+  return true;
+}
+
+}  // namespace data
+}  // namespace kt

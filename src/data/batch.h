@@ -1,0 +1,59 @@
+// Mini-batching: pads variable-length windows into rectangular batches with
+// validity masks, flattening index fields for embedding lookups.
+#ifndef KT_DATA_BATCH_H_
+#define KT_DATA_BATCH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace kt {
+namespace data {
+
+struct Batch {
+  int64_t batch_size = 0;
+  int64_t max_len = 0;
+  // Flattened [B * T] row-major (sequence-major) fields; padding entries
+  // hold question 0, response 0, empty concept bag, valid 0.
+  std::vector<int64_t> questions;
+  std::vector<int> responses;
+  std::vector<std::vector<int64_t>> concept_bags;
+  std::vector<int64_t> lengths;  // [B]
+  Tensor valid;                  // [B, T] 1/0
+  Tensor targets;                // [B, T] float correctness
+
+  int64_t FlatIndex(int64_t b, int64_t t) const { return b * max_len + t; }
+};
+
+// Builds a batch from sequence pointers. If `pad_to` > 0, every sequence is
+// padded to that length (sequences longer than pad_to are rejected);
+// otherwise the batch pads to its longest member.
+Batch MakeBatch(const std::vector<const ResponseSequence*>& sequences,
+                int64_t pad_to = 0);
+
+// Iterates a dataset in shuffled mini-batches; reshuffles each epoch.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, int64_t batch_size, Rng& rng,
+                bool shuffle = true);
+
+  // Returns false at epoch end; call Reset() to start the next epoch.
+  bool Next(Batch* batch);
+  void Reset();
+
+  int64_t NumBatches() const;
+
+ private:
+  const Dataset& dataset_;
+  int64_t batch_size_;
+  Rng& rng_;
+  bool shuffle_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace kt
+
+#endif  // KT_DATA_BATCH_H_

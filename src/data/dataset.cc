@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "core/check.h"
+
+namespace kt {
+namespace data {
+
+int64_t Dataset::TotalResponses() const {
+  int64_t total = 0;
+  for (const auto& seq : sequences) total += seq.length();
+  return total;
+}
+
+double Dataset::CorrectRate() const {
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (const auto& seq : sequences) {
+    for (const auto& it : seq.interactions) {
+      correct += it.response;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+double Dataset::ConceptsPerQuestion() const {
+  int64_t concepts = 0;
+  int64_t total = 0;
+  for (const auto& seq : sequences) {
+    for (const auto& it : seq.interactions) {
+      concepts += static_cast<int64_t>(it.concepts.size());
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(concepts) / total;
+}
+
+Dataset SplitIntoWindows(const Dataset& raw, int64_t window,
+                         int64_t min_length) {
+  KT_CHECK_GT(window, 0);
+  KT_CHECK_GT(min_length, 0);
+  Dataset out;
+  out.name = raw.name;
+  out.num_questions = raw.num_questions;
+  out.num_concepts = raw.num_concepts;
+  for (const auto& seq : raw.sequences) {
+    for (int64_t start = 0; start < seq.length(); start += window) {
+      const int64_t end = std::min(start + window, seq.length());
+      if (end - start < min_length) continue;
+      ResponseSequence piece;
+      piece.student = seq.student;
+      piece.interactions.assign(
+          seq.interactions.begin() + static_cast<size_t>(start),
+          seq.interactions.begin() + static_cast<size_t>(end));
+      out.sequences.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+std::vector<int> KFoldAssignment(int64_t num_sequences, int k, Rng& rng) {
+  KT_CHECK_GT(k, 1);
+  std::vector<int> folds(static_cast<size_t>(num_sequences));
+  for (size_t i = 0; i < folds.size(); ++i)
+    folds[i] = static_cast<int>(i % static_cast<size_t>(k));
+  rng.Shuffle(folds);
+  return folds;
+}
+
+FoldSplit MakeFold(const Dataset& dataset, const std::vector<int>& folds,
+                   int test_fold, double validation_fraction, Rng& rng) {
+  KT_CHECK_EQ(static_cast<int64_t>(folds.size()),
+              static_cast<int64_t>(dataset.sequences.size()));
+  FoldSplit split;
+  for (Dataset* d : {&split.train, &split.validation, &split.test}) {
+    d->name = dataset.name;
+    d->num_questions = dataset.num_questions;
+    d->num_concepts = dataset.num_concepts;
+  }
+
+  std::vector<size_t> train_indices;
+  for (size_t i = 0; i < dataset.sequences.size(); ++i) {
+    if (folds[i] == test_fold) {
+      split.test.sequences.push_back(dataset.sequences[i]);
+    } else {
+      train_indices.push_back(i);
+    }
+  }
+  rng.Shuffle(train_indices);
+  const size_t val_count = static_cast<size_t>(
+      validation_fraction * static_cast<double>(train_indices.size()));
+  for (size_t j = 0; j < train_indices.size(); ++j) {
+    const auto& seq = dataset.sequences[train_indices[j]];
+    if (j < val_count) {
+      split.validation.sequences.push_back(seq);
+    } else {
+      split.train.sequences.push_back(seq);
+    }
+  }
+  return split;
+}
+
+}  // namespace data
+}  // namespace kt

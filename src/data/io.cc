@@ -1,0 +1,125 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "core/string_util.h"
+
+namespace kt {
+namespace data {
+namespace {
+
+// Parses one non-negative integer field; returns -1 on failure.
+int64_t ParseId(const std::string& field) {
+  if (field.empty()) return -1;
+  int64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  if (line != "student_id,question_id,correct,concept_ids") {
+    return Status::InvalidArgument(
+        "unexpected header (want "
+        "'student_id,question_id,correct,concept_ids'): " +
+        line);
+  }
+
+  // Preserve first-seen student order so the output is deterministic.
+  std::map<int64_t, size_t> student_index;
+  Dataset dataset;
+  dataset.name = path;
+  int64_t max_question = -1;
+  int64_t max_concept = -1;
+  int64_t line_number = 1;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s:%lld: expected 4 fields, got %zu", path.c_str(),
+          static_cast<long long>(line_number), fields.size()));
+    }
+    const int64_t student = ParseId(fields[0]);
+    const int64_t question = ParseId(fields[1]);
+    const int64_t correct = ParseId(fields[2]);
+    if (student < 0 || question < 0 || correct < 0 || correct > 1) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s:%lld: malformed ids or correctness", path.c_str(),
+          static_cast<long long>(line_number)));
+    }
+
+    Interaction interaction;
+    interaction.question = question;
+    interaction.response = static_cast<int>(correct);
+    for (const std::string& concept_field : Split(fields[3], ';')) {
+      const int64_t k = ParseId(concept_field);
+      if (k < 0) {
+        return Status::InvalidArgument(StrPrintf(
+            "%s:%lld: malformed concept id '%s'", path.c_str(),
+            static_cast<long long>(line_number), concept_field.c_str()));
+      }
+      interaction.concepts.push_back(k);
+      max_concept = std::max(max_concept, k);
+    }
+    if (interaction.concepts.empty()) {
+      return Status::InvalidArgument(
+          StrPrintf("%s:%lld: no concepts", path.c_str(),
+                    static_cast<long long>(line_number)));
+    }
+    max_question = std::max(max_question, question);
+
+    auto [it, inserted] =
+        student_index.try_emplace(student, dataset.sequences.size());
+    if (inserted) {
+      ResponseSequence seq;
+      seq.student = student;
+      dataset.sequences.push_back(std::move(seq));
+    }
+    dataset.sequences[it->second].interactions.push_back(
+        std::move(interaction));
+  }
+
+  if (dataset.sequences.empty()) {
+    return Status::InvalidArgument("no interactions in " + path);
+  }
+  dataset.num_questions = max_question + 1;
+  dataset.num_concepts = max_concept + 1;
+  return dataset;
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "student_id,question_id,correct,concept_ids\n";
+  for (const auto& seq : dataset.sequences) {
+    for (const auto& it : seq.interactions) {
+      out << seq.student << ',' << it.question << ',' << it.response << ',';
+      for (size_t i = 0; i < it.concepts.size(); ++i) {
+        if (i) out << ';';
+        out << it.concepts[i];
+      }
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace data
+}  // namespace kt

@@ -1,0 +1,35 @@
+// Dataset import/export in a simple CSV format, so users can run the
+// library on real response logs (e.g. preprocessed ASSISTments exports)
+// instead of the synthetic simulator.
+//
+// Format: one interaction per line, header required:
+//   student_id,question_id,correct,concept_ids
+// where concept_ids is a ';'-separated list (at least one). Lines are
+// assumed time-ordered within each student; students may interleave.
+// Example:
+//   student_id,question_id,correct,concept_ids
+//   17,403,1,12;13
+//   17,92,0,12
+#ifndef KT_DATA_IO_H_
+#define KT_DATA_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/dataset.h"
+
+namespace kt {
+namespace data {
+
+// Parses `path` into a Dataset. `num_questions`/`num_concepts` are set to
+// 1 + max id encountered. Malformed lines produce descriptive errors with
+// line numbers.
+Result<Dataset> LoadCsv(const std::string& path);
+
+// Writes `dataset` in the same format (students in sequence order).
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace data
+}  // namespace kt
+
+#endif  // KT_DATA_IO_H_

@@ -1,0 +1,101 @@
+#include "data/presets.h"
+
+#include "core/check.h"
+
+namespace kt {
+namespace data {
+namespace {
+
+int64_t ScaleCount(int64_t base, double scale) {
+  const int64_t scaled = static_cast<int64_t>(base * scale);
+  return scaled < 8 ? 8 : scaled;
+}
+
+}  // namespace
+
+SimulatorConfig Assist09Preset(double scale) {
+  SimulatorConfig c;
+  c.name = "assist09";
+  // Paper: 0.4m responses, 10.7k sequences, 13.5k questions, 151 concepts,
+  // 1.22 concepts/question, 63% correct. Scaled ~25x down.
+  c.num_students = ScaleCount(420, scale);
+  c.num_questions = 520;
+  c.num_concepts = 24;
+  c.avg_concepts_per_question = 1.22;
+  c.min_responses = 20;
+  c.max_responses = 90;
+  c.target_correct_rate = 0.63;
+  c.seed = 109;
+  return c;
+}
+
+SimulatorConfig Assist12Preset(double scale) {
+  SimulatorConfig c;
+  c.name = "assist12";
+  // Paper: 2.7m responses, 62.6k sequences, 53.1k questions, 265 concepts,
+  // 1 concept/question, 70% correct.
+  c.num_students = ScaleCount(600, scale);
+  c.num_questions = 800;
+  c.num_concepts = 36;
+  c.avg_concepts_per_question = 1.0;
+  c.min_responses = 25;
+  c.max_responses = 100;
+  c.target_correct_rate = 0.70;
+  c.seed = 112;
+  return c;
+}
+
+SimulatorConfig SlepemapyPreset(double scale) {
+  SimulatorConfig c;
+  c.name = "slepemapy";
+  // Paper: 10.0m responses, 234.5k sequences, 2.2k questions, 1458 concepts,
+  // 1 concept/question, 78% correct. Geography facts: many concepts, few
+  // question types per place, easy items.
+  c.num_students = ScaleCount(800, scale);
+  c.num_questions = 300;
+  c.num_concepts = 120;
+  c.avg_concepts_per_question = 1.0;
+  c.min_responses = 30;
+  c.max_responses = 110;
+  c.target_correct_rate = 0.78;
+  // Drill-style practice: faster learning, more within-topic repetition.
+  c.learn_rate = 0.2;
+  c.concept_switch_prob = 0.15;
+  c.seed = 135;
+  return c;
+}
+
+SimulatorConfig EediPreset(double scale) {
+  SimulatorConfig c;
+  c.name = "eedi";
+  // Paper: NeurIPS 2020 challenge math questions with a concept tree; we use
+  // leaf concepts. Correct rate ~64% (diagnostic 4-choice questions; guess
+  // rate 0.25).
+  c.num_students = ScaleCount(700, scale);
+  c.num_questions = 640;
+  c.num_concepts = 40;
+  c.avg_concepts_per_question = 1.0;
+  c.min_responses = 20;
+  c.max_responses = 90;
+  c.target_correct_rate = 0.64;
+  c.guess = 0.25;  // four-option multiple choice
+  c.seed = 120;
+  return c;
+}
+
+std::vector<SimulatorConfig> AllPresets(double scale) {
+  return {Assist09Preset(scale), Assist12Preset(scale),
+          SlepemapyPreset(scale), EediPreset(scale)};
+}
+
+SimulatorConfig PresetByName(const std::string& name, double scale) {
+  if (name == "assist09") return Assist09Preset(scale);
+  if (name == "assist12") return Assist12Preset(scale);
+  if (name == "slepemapy") return SlepemapyPreset(scale);
+  if (name == "eedi") return EediPreset(scale);
+  KT_CHECK(false) << "unknown preset: " << name;
+  return {};
+}
+
+}  // namespace data
+}  // namespace kt

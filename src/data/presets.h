@@ -1,0 +1,34 @@
+// Simulator presets mirroring the four paper datasets (Table II).
+//
+// Counts are scaled down from the real logs so CPU training stays tractable;
+// the structural statistics the models depend on (correct rate, concepts per
+// question, question/concept ratios) follow the paper's Table II.
+#ifndef KT_DATA_PRESETS_H_
+#define KT_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/simulator.h"
+
+namespace kt {
+namespace data {
+
+// `scale` in (0, 1] multiplies the student count (and thus #responses);
+// 1.0 is the default evaluation size used by the benches in full mode.
+SimulatorConfig Assist09Preset(double scale = 1.0);
+SimulatorConfig Assist12Preset(double scale = 1.0);
+SimulatorConfig SlepemapyPreset(double scale = 1.0);
+SimulatorConfig EediPreset(double scale = 1.0);
+
+// All four presets in paper order.
+std::vector<SimulatorConfig> AllPresets(double scale = 1.0);
+
+// Preset by dataset name ("assist09", "assist12", "slepemapy", "eedi");
+// aborts on unknown names.
+SimulatorConfig PresetByName(const std::string& name, double scale = 1.0);
+
+}  // namespace data
+}  // namespace kt
+
+#endif  // KT_DATA_PRESETS_H_

@@ -1,0 +1,183 @@
+#include "data/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace kt {
+namespace data {
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+StudentSimulator::StudentSimulator(SimulatorConfig config)
+    : config_(std::move(config)) {
+  KT_CHECK_GT(config_.num_students, 0);
+  KT_CHECK_GT(config_.num_questions, 0);
+  KT_CHECK_GT(config_.num_concepts, 0);
+  KT_CHECK_GE(config_.avg_concepts_per_question, 1.0);
+  KT_CHECK_LE(config_.avg_concepts_per_question, 2.0);
+  KT_CHECK(config_.guess + config_.slip < 1.0);
+  BuildQuestionBank();
+  CalibrateOffset();
+}
+
+void StudentSimulator::BuildQuestionBank() {
+  Rng rng(config_.seed * 1000003 + 17);
+  question_concepts_.resize(static_cast<size_t>(config_.num_questions));
+  question_difficulty_.resize(static_cast<size_t>(config_.num_questions));
+  question_discrimination_.resize(static_cast<size_t>(config_.num_questions));
+  concept_questions_.assign(static_cast<size_t>(config_.num_concepts), {});
+
+  const double extra_prob = config_.avg_concepts_per_question - 1.0;
+  for (int64_t q = 0; q < config_.num_questions; ++q) {
+    const int64_t primary = rng.UniformInt(config_.num_concepts);
+    auto& concepts = question_concepts_[static_cast<size_t>(q)];
+    concepts.push_back(primary);
+    if (config_.num_concepts > 1 && rng.Bernoulli(extra_prob)) {
+      // A related concept: ring-neighbor of the primary, so "relatedness"
+      // is structured rather than arbitrary.
+      concepts.push_back((primary + 1) % config_.num_concepts);
+    }
+    question_difficulty_[static_cast<size_t>(q)] =
+        rng.Gaussian(0.0, config_.difficulty_std);
+    // Mild heterogeneity around the configured discrimination.
+    question_discrimination_[static_cast<size_t>(q)] =
+        config_.discrimination * std::exp(rng.Gaussian(0.0, 0.2));
+    concept_questions_[static_cast<size_t>(primary)].push_back(q);
+  }
+  // Ensure no concept has an empty question pool (selection needs one).
+  for (int64_t k = 0; k < config_.num_concepts; ++k) {
+    if (concept_questions_[static_cast<size_t>(k)].empty()) {
+      const int64_t q = rng.UniformInt(config_.num_questions);
+      concept_questions_[static_cast<size_t>(k)].push_back(q);
+    }
+  }
+}
+
+ResponseSequence StudentSimulator::SimulateOne(int64_t length, Rng& rng,
+                                               double offset,
+                                               SimulationTrace* trace) const {
+  const int64_t num_concepts = config_.num_concepts;
+
+  // Latent state: initial and current proficiency per concept.
+  const double base = rng.Gaussian(0.0, config_.general_ability_std);
+  std::vector<double> initial(static_cast<size_t>(num_concepts));
+  std::vector<double> theta(static_cast<size_t>(num_concepts));
+  for (int64_t k = 0; k < num_concepts; ++k) {
+    initial[static_cast<size_t>(k)] =
+        base + rng.Gaussian(0.0, config_.concept_ability_std);
+    theta[static_cast<size_t>(k)] = initial[static_cast<size_t>(k)];
+  }
+
+  ResponseSequence seq;
+  seq.interactions.reserve(static_cast<size_t>(length));
+  int64_t current_concept = rng.UniformInt(num_concepts);
+
+  for (int64_t t = 0; t < length; ++t) {
+    if (rng.Bernoulli(config_.concept_switch_prob)) {
+      current_concept = rng.UniformInt(num_concepts);
+    }
+    const auto& pool = concept_questions_[static_cast<size_t>(current_concept)];
+    const int64_t q = pool[static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(pool.size())))];
+    const auto& concepts = question_concepts_[static_cast<size_t>(q)];
+
+    double mean_theta = 0.0;
+    for (int64_t k : concepts) mean_theta += theta[static_cast<size_t>(k)];
+    mean_theta /= static_cast<double>(concepts.size());
+
+    const double irt = SigmoidD(
+        question_discrimination_[static_cast<size_t>(q)] *
+        (mean_theta + offset - question_difficulty_[static_cast<size_t>(q)]));
+    const double p_correct =
+        config_.guess + (1.0 - config_.guess - config_.slip) * irt;
+    const int response = rng.Bernoulli(p_correct) ? 1 : 0;
+
+    Interaction interaction;
+    interaction.question = q;
+    interaction.response = response;
+    interaction.concepts = concepts;
+    seq.interactions.push_back(std::move(interaction));
+
+    // Learning on practiced concepts (slightly stronger after an incorrect
+    // answer, mirroring remediation), forgetting elsewhere.
+    for (int64_t k = 0; k < num_concepts; ++k) {
+      const bool practiced =
+          std::find(concepts.begin(), concepts.end(), k) != concepts.end();
+      double& v = theta[static_cast<size_t>(k)];
+      if (practiced) {
+        const double gain = config_.learn_rate * (response ? 1.0 : 1.3);
+        // Diminishing returns near mastery.
+        v += gain * (1.0 - SigmoidD(v - 1.5));
+      } else {
+        v -= config_.forget_rate * (v - initial[static_cast<size_t>(k)]);
+      }
+    }
+    if (trace) trace->proficiency.push_back(theta);
+  }
+  return seq;
+}
+
+void StudentSimulator::CalibrateOffset() {
+  // Bisection on the ability offset: simulate a small probe population and
+  // adjust until the correct rate lands near the target. Probe seeds are
+  // disjoint from generation seeds so calibration doesn't reuse students.
+  double lo = -3.0, hi = 3.0;
+  const int64_t probe_students = std::min<int64_t>(80, std::max<int64_t>(30, config_.num_students));
+  auto probe_rate = [&](double offset) {
+    int64_t correct = 0, total = 0;
+    for (int64_t s = 0; s < probe_students; ++s) {
+      Rng rng(config_.seed * 7919 + 31 * static_cast<uint64_t>(s) + 1);
+      const int64_t len =
+          (config_.min_responses + config_.max_responses) / 2;
+      ResponseSequence seq = SimulateOne(len, rng, offset, nullptr);
+      for (const auto& it : seq.interactions) {
+        correct += it.response;
+        ++total;
+      }
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  };
+  for (int iter = 0; iter < 12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe_rate(mid) < config_.target_correct_rate) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  ability_offset_ = 0.5 * (lo + hi);
+}
+
+ResponseSequence StudentSimulator::GenerateStudent(
+    int64_t length, uint64_t student_seed, SimulationTrace* trace) const {
+  Rng rng(config_.seed * 104729 + student_seed * 13 + 5);
+  ResponseSequence seq = SimulateOne(length, rng, ability_offset_, trace);
+  seq.student = static_cast<int64_t>(student_seed);
+  return seq;
+}
+
+Dataset StudentSimulator::Generate() const {
+  Dataset out;
+  out.name = config_.name;
+  out.num_questions = config_.num_questions;
+  out.num_concepts = config_.num_concepts;
+  out.sequences.reserve(static_cast<size_t>(config_.num_students));
+  for (int64_t s = 0; s < config_.num_students; ++s) {
+    Rng rng(config_.seed * 104729 + static_cast<uint64_t>(s) * 13 + 5);
+    const int64_t len =
+        config_.min_responses +
+        rng.UniformInt(config_.max_responses - config_.min_responses + 1);
+    ResponseSequence seq = SimulateOne(len, rng, ability_offset_, nullptr);
+    seq.student = s;
+    out.sequences.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace kt

@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace kt {
+namespace eval {
+
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<int>& labels) {
+  KT_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int64_t positives = 0;
+  for (int y : labels) positives += y;
+  const int64_t negatives = static_cast<int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney U) with midranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double rank_sum_positive = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Midrank of the tie group [i, j] (1-based ranks).
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_positive += midrank;
+    }
+    i = j + 1;
+  }
+  const double u = rank_sum_positive -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double ComputeAcc(const std::vector<float>& scores,
+                  const std::vector<int>& labels, double threshold) {
+  KT_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int predicted = scores[i] >= threshold ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+void MetricAccumulator::Add(const Tensor& probs, const Tensor& targets,
+                            const Tensor& mask) {
+  KT_CHECK(probs.SameShape(targets));
+  KT_CHECK(probs.SameShape(mask));
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    if (mask.flat(i) != 0.0f) {
+      AddOne(probs.flat(i), targets.flat(i) >= 0.5f ? 1 : 0);
+    }
+  }
+}
+
+void MetricAccumulator::AddOne(float score, int label) {
+  scores_.push_back(score);
+  labels_.push_back(label);
+}
+
+}  // namespace eval
+}  // namespace kt

@@ -1,0 +1,46 @@
+// Binary-classification metrics used throughout the paper: AUC and ACC.
+#ifndef KT_EVAL_METRICS_H_
+#define KT_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace kt {
+namespace eval {
+
+// Area under the ROC curve via the rank statistic (ties share ranks).
+// Returns 0.5 when either class is absent.
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<int>& labels);
+
+// Accuracy at `threshold`.
+double ComputeAcc(const std::vector<float>& scores,
+                  const std::vector<int>& labels, double threshold = 0.5);
+
+// Streams masked batch predictions into flat score/label arrays.
+class MetricAccumulator {
+ public:
+  // `probs`, `targets`, `mask` share one shape; entries with mask != 0 are
+  // recorded.
+  void Add(const Tensor& probs, const Tensor& targets, const Tensor& mask);
+  void AddOne(float score, int label);
+
+  double Auc() const { return ComputeAuc(scores_, labels_); }
+  double Acc(double threshold = 0.5) const {
+    return ComputeAcc(scores_, labels_, threshold);
+  }
+  int64_t count() const { return static_cast<int64_t>(scores_.size()); }
+
+  const std::vector<float>& scores() const { return scores_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  std::vector<float> scores_;
+  std::vector<int> labels_;
+};
+
+}  // namespace eval
+}  // namespace kt
+
+#endif  // KT_EVAL_METRICS_H_

@@ -1,0 +1,123 @@
+#include "eval/trainer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "data/batch.h"
+#include "eval/metrics.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace eval {
+
+EvalResult Evaluate(models::KTModel& model, const data::Dataset& dataset,
+                    int64_t batch_size) {
+  MetricAccumulator accumulator;
+  Rng rng(1);  // unused: evaluation never shuffles
+  data::BatchIterator it(dataset, batch_size, rng, /*shuffle=*/false);
+  data::Batch batch;
+  while (it.Next(&batch)) {
+    Tensor probs = model.PredictBatch(batch);
+    accumulator.Add(probs, batch.targets, models::EvalMask(batch));
+  }
+  EvalResult result;
+  result.auc = accumulator.Auc();
+  result.acc = accumulator.Acc();
+  result.num_predictions = accumulator.count();
+  return result;
+}
+
+TrainResult TrainAndEvaluate(models::KTModel& model,
+                             const data::FoldSplit& split,
+                             const TrainOptions& options) {
+  TrainResult result;
+
+  if (!model.SupportsBatchTraining()) {
+    model.Fit(split.train);
+    result.test = Evaluate(model, split.test, options.batch_size);
+    result.epochs_run = 1;
+    result.best_epoch = 0;
+    return result;
+  }
+
+  auto* module = dynamic_cast<nn::Module*>(&model);
+  std::vector<Tensor> best_state;
+  Rng shuffle_rng(options.seed * 977 + 3);
+
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    data::BatchIterator it(split.train, options.batch_size, shuffle_rng,
+                           /*shuffle=*/true);
+    data::Batch batch;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    while (it.Next(&batch)) {
+      loss_sum += model.TrainBatch(batch);
+      ++batches;
+    }
+    ++result.epochs_run;
+
+    const EvalResult val = Evaluate(model, split.validation, options.batch_size);
+    result.val_auc_history.push_back(val.auc);
+    if (options.verbose) {
+      KT_LOG(INFO) << model.name() << " epoch " << epoch << " loss "
+                   << loss_sum / std::max<int64_t>(batches, 1) << " val auc "
+                   << val.auc;
+    }
+    if (val.auc > result.best_val_auc) {
+      result.best_val_auc = val.auc;
+      result.best_epoch = epoch;
+      epochs_since_best = 0;
+      if (module) best_state = module->StateClone();
+    } else {
+      ++epochs_since_best;
+      if (epochs_since_best >= options.patience) break;
+    }
+  }
+
+  if (module && !best_state.empty()) module->SetState(best_state);
+  result.test = Evaluate(model, split.test, options.batch_size);
+  return result;
+}
+
+CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
+                                         const ModelFactory& factory,
+                                         const TrainOptions& options,
+                                         uint64_t seed,
+                                         double validation_fraction) {
+  CrossValidationResult result;
+  Rng fold_rng(seed);
+  const std::vector<int> folds =
+      data::KFoldAssignment(static_cast<int64_t>(windows.sequences.size()), k,
+                            fold_rng);
+  for (int fold = 0; fold < k; ++fold) {
+    Rng split_rng(seed * 131 + static_cast<uint64_t>(fold));
+    data::FoldSplit split =
+        data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
+    std::unique_ptr<models::KTModel> model = factory(split.train);
+    TrainResult fold_result = TrainAndEvaluate(*model, split, options);
+    result.fold_auc.push_back(fold_result.test.auc);
+    result.fold_acc.push_back(fold_result.test.acc);
+    if (options.verbose) {
+      KT_LOG(INFO) << "fold " << fold << " auc " << fold_result.test.auc
+                   << " acc " << fold_result.test.acc;
+    }
+  }
+
+  double auc_sum = 0.0, acc_sum = 0.0;
+  for (size_t i = 0; i < result.fold_auc.size(); ++i) {
+    auc_sum += result.fold_auc[i];
+    acc_sum += result.fold_acc[i];
+  }
+  const double n = static_cast<double>(result.fold_auc.size());
+  result.auc_mean = auc_sum / n;
+  result.acc_mean = acc_sum / n;
+  double var = 0.0;
+  for (double v : result.fold_auc)
+    var += (v - result.auc_mean) * (v - result.auc_mean);
+  result.auc_std = n > 1 ? std::sqrt(var / (n - 1)) : 0.0;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace kt

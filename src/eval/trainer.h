@@ -1,0 +1,77 @@
+// Training loop with validation-based early stopping, evaluation, and the
+// k-fold cross-validation driver used by every experiment bench.
+#ifndef KT_EVAL_TRAINER_H_
+#define KT_EVAL_TRAINER_H_
+
+#include <functional>
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/kt_model.h"
+
+namespace kt {
+namespace eval {
+
+struct TrainOptions {
+  int max_epochs = 25;
+  // Early stopping: stop after this many epochs without validation-AUC
+  // improvement (paper: 10).
+  int patience = 10;
+  int64_t batch_size = 64;
+  uint64_t seed = 3;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double auc = 0.0;
+  double acc = 0.0;
+  int64_t num_predictions = 0;
+};
+
+struct TrainResult {
+  EvalResult test;
+  double best_val_auc = 0.0;
+  int best_epoch = -1;
+  int epochs_run = 0;
+  std::vector<double> val_auc_history;
+};
+
+// Masked evaluation of `model` over `dataset` (positions t >= 1 of every
+// window).
+EvalResult Evaluate(models::KTModel& model, const data::Dataset& dataset,
+                    int64_t batch_size = 64);
+
+// Trains with early stopping on split.validation, restores the best-epoch
+// weights (neural models), then evaluates on split.test. Closed-form models
+// (SupportsBatchTraining() == false) are Fit once on split.train.
+TrainResult TrainAndEvaluate(models::KTModel& model,
+                             const data::FoldSplit& split,
+                             const TrainOptions& options);
+
+// Builds a model for one fold; receives the fold's training split so models
+// that need training-set statistics (DIMKT difficulty, IKT) can use them.
+using ModelFactory = std::function<std::unique_ptr<models::KTModel>(
+    const data::Dataset& train)>;
+
+struct CrossValidationResult {
+  std::vector<double> fold_auc;
+  std::vector<double> fold_acc;
+  double auc_mean = 0.0;
+  double acc_mean = 0.0;
+  double auc_std = 0.0;
+};
+
+// k-fold cross validation over `windows` (already windowed sequences);
+// carves `validation_fraction` of each fold's training data for validation
+// (paper protocol: 10%; small smoke datasets use more for a stable early
+// stopping signal).
+CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
+                                         const ModelFactory& factory,
+                                         const TrainOptions& options,
+                                         uint64_t seed = 11,
+                                         double validation_fraction = 0.1);
+
+}  // namespace eval
+}  // namespace kt
+
+#endif  // KT_EVAL_TRAINER_H_

@@ -1,0 +1,108 @@
+#include "eval/ttest.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace kt {
+namespace eval {
+namespace {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Numerical Recipes "betacf" scheme).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  KT_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  KT_CHECK_GE(a.size(), 2u);
+  KT_CHECK_GE(b.size(), 2u);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  double mean_a = 0.0, mean_b = 0.0;
+  for (double v : a) mean_a += v;
+  for (double v : b) mean_b += v;
+  mean_a /= na;
+  mean_b /= nb;
+
+  double var_a = 0.0, var_b = 0.0;
+  for (double v : a) var_a += (v - mean_a) * (v - mean_a);
+  for (double v : b) var_b += (v - mean_b) * (v - mean_b);
+  var_a /= (na - 1.0);
+  var_b /= (nb - 1.0);
+
+  const double se2 = var_a / na + var_b / nb;
+  TTestResult result;
+  if (se2 <= 0.0) {
+    // Identical constant samples: no evidence either way.
+    result.t_statistic = 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = mean_a == mean_b ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = (mean_a - mean_b) / std::sqrt(se2);
+  const double df_num = se2 * se2;
+  const double df_den = (var_a / na) * (var_a / na) / (na - 1.0) +
+                        (var_b / nb) * (var_b / nb) / (nb - 1.0);
+  result.degrees_of_freedom = df_num / df_den;
+
+  // Two-sided p-value from the Student-t CDF:
+  // p = I_{df/(df+t^2)}(df/2, 1/2).
+  const double t2 = result.t_statistic * result.t_statistic;
+  const double x = result.degrees_of_freedom / (result.degrees_of_freedom + t2);
+  result.p_value = IncompleteBeta(result.degrees_of_freedom / 2.0, 0.5, x);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace kt

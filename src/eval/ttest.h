@@ -1,0 +1,29 @@
+// Welch's t-test, used for the significance markers in Table IV.
+#ifndef KT_EVAL_TTEST_H_
+#define KT_EVAL_TTEST_H_
+
+#include <vector>
+
+namespace kt {
+namespace eval {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  // Two-sided p-value.
+  double p_value = 1.0;
+};
+
+// Welch's unequal-variance t-test between two samples (e.g. per-fold AUCs
+// of two models). Requires at least two observations per sample.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+// Regularized incomplete beta function I_x(a, b) by continued fraction;
+// exposed for testing.
+double IncompleteBeta(double a, double b, double x);
+
+}  // namespace eval
+}  // namespace kt
+
+#endif  // KT_EVAL_TTEST_H_

@@ -1,0 +1,54 @@
+// AKT (Ghosh et al., 2020): context-aware attentive knowledge tracing.
+//
+// Two AKT signatures are reproduced:
+//   * monotonic attention — attention scores decay exponentially with
+//     position distance at a learned per-head rate (nn::MultiHeadAttention
+//     with monotonic=true),
+//   * Rasch embeddings — the question embedding is its concept embedding
+//     plus a scalar question-difficulty parameter times a concept variation
+//     vector: e_q = c_{k(q)} + mu_q * d_{k(q)}.
+// The encoder stack is: self-attention over interactions (knowledge
+// encoder) followed by cross-attention of target-question embeddings over
+// the knowledge states (knowledge retriever), both causal.
+#ifndef KT_MODELS_AKT_H_
+#define KT_MODELS_AKT_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/neural_base.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace kt {
+namespace models {
+
+class AKT : public NeuralKTModel {
+ public:
+  AKT(int64_t num_questions, int64_t num_concepts, NeuralConfig config);
+
+ protected:
+  ag::Variable ForwardLogits(const data::Batch& batch,
+                             const nn::Context& ctx) override;
+
+ private:
+  // Rasch question embedding e and interaction embedding a, both [B, T, d].
+  ag::Variable RaschQuestionEmbed(const data::Batch& batch) const;
+  ag::Variable RaschInteractionEmbed(const data::Batch& batch,
+                                     const ag::Variable& e) const;
+
+  nn::Embedding concept_emb_;
+  nn::Embedding variation_emb_;
+  nn::Embedding response_emb_;   // 3 categories (shared convention)
+  ag::Variable difficulty_;      // [num_questions, 1] scalar mu_q
+  std::vector<std::unique_ptr<nn::TransformerBlock>> knowledge_blocks_;
+  std::unique_ptr<nn::TransformerBlock> retriever_;
+  nn::Linear hidden_;
+  nn::Linear out_;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_AKT_H_

@@ -1,0 +1,204 @@
+#include "models/bkt.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "core/check.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+BKT::BKT(int64_t num_concepts, BktConfig config)
+    : num_concepts_(num_concepts),
+      config_(config),
+      params_(static_cast<size_t>(num_concepts)) {}
+
+const BKT::ConceptParams& BKT::params(int64_t concept_id) const {
+  KT_CHECK(concept_id >= 0 && concept_id < num_concepts_);
+  return params_[static_cast<size_t>(concept_id)];
+}
+
+double BKT::CorrectProbability(const ConceptParams& p, double mastery) {
+  return mastery * (1.0 - p.p_slip) + (1.0 - mastery) * p.p_guess;
+}
+
+BKT::ConceptParams BKT::EmStep(
+    const ConceptParams& current,
+    const std::vector<std::vector<int>>& sequences) const {
+  // Two-state HMM, state 0 = unmastered, state 1 = mastered (absorbing).
+  const double pi[2] = {1.0 - current.p_init, current.p_init};
+  const double trans[2][2] = {
+      {1.0 - current.p_learn, current.p_learn},
+      {0.0, 1.0},
+  };
+  auto emission = [&](int state, int obs) {
+    if (state == 0) return obs ? current.p_guess : 1.0 - current.p_guess;
+    return obs ? 1.0 - current.p_slip : current.p_slip;
+  };
+
+  double init_mastered = 0.0, init_total = 0.0;
+  double learn_num = 0.0, learn_den = 0.0;
+  double guess_num = 0.0, guess_den = 0.0;
+  double slip_num = 0.0, slip_den = 0.0;
+
+  for (const auto& obs : sequences) {
+    const size_t n = obs.size();
+    if (n == 0) continue;
+    // Scaled forward-backward.
+    std::vector<std::array<double, 2>> alpha(n), beta(n);
+    std::vector<double> scale(n);
+    alpha[0] = {pi[0] * emission(0, obs[0]), pi[1] * emission(1, obs[0])};
+    scale[0] = alpha[0][0] + alpha[0][1];
+    alpha[0][0] /= scale[0];
+    alpha[0][1] /= scale[0];
+    for (size_t t = 1; t < n; ++t) {
+      for (int s = 0; s < 2; ++s) {
+        alpha[t][static_cast<size_t>(s)] =
+            (alpha[t - 1][0] * trans[0][s] + alpha[t - 1][1] * trans[1][s]) *
+            emission(s, obs[t]);
+      }
+      scale[t] = alpha[t][0] + alpha[t][1];
+      if (scale[t] <= 0) scale[t] = 1e-300;
+      alpha[t][0] /= scale[t];
+      alpha[t][1] /= scale[t];
+    }
+    beta[n - 1] = {1.0, 1.0};
+    for (size_t t = n - 1; t > 0; --t) {
+      for (int s = 0; s < 2; ++s) {
+        beta[t - 1][static_cast<size_t>(s)] =
+            (trans[s][0] * emission(0, obs[t]) * beta[t][0] +
+             trans[s][1] * emission(1, obs[t]) * beta[t][1]) /
+            scale[t];
+      }
+    }
+
+    // Posterior state marginals gamma and transition posteriors xi.
+    for (size_t t = 0; t < n; ++t) {
+      double gamma0 = alpha[t][0] * beta[t][0];
+      double gamma1 = alpha[t][1] * beta[t][1];
+      const double z = gamma0 + gamma1;
+      if (z <= 0) continue;
+      gamma0 /= z;
+      gamma1 /= z;
+
+      if (t == 0) {
+        init_mastered += gamma1;
+        init_total += 1.0;
+      }
+      if (obs[t]) {
+        guess_num += gamma0;
+        slip_den += gamma1;
+      } else {
+        slip_num += gamma1;
+      }
+      guess_den += gamma0;
+
+      if (t + 1 < n) {
+        // xi_t(0 -> 1) and gamma_t(0) for the learn-rate update.
+        const double xi01 = alpha[t][0] * trans[0][1] *
+                            emission(1, obs[t + 1]) * beta[t + 1][1] /
+                            scale[t + 1];
+        learn_num += xi01;
+        learn_den += gamma0;
+      }
+    }
+  }
+
+  ConceptParams next = current;
+  if (init_total > 0) next.p_init = Clamp(init_mastered / init_total, 1e-4, 0.999);
+  if (learn_den > 0) {
+    next.p_learn =
+        Clamp(learn_num / learn_den, config_.min_learn, 0.5);
+  }
+  if (guess_den > 0) {
+    next.p_guess = Clamp(guess_num / guess_den, 1e-3, config_.max_guess);
+  }
+  if (slip_den > 0) {
+    next.p_slip = Clamp(slip_num / slip_den, 1e-3, config_.max_slip);
+  }
+  return next;
+}
+
+void BKT::Fit(const data::Dataset& train) {
+  // Gather per-concept observation sequences (one per window that touches
+  // the concept).
+  std::vector<std::vector<std::vector<int>>> observations(
+      static_cast<size_t>(num_concepts_));
+  for (const auto& seq : train.sequences) {
+    std::map<int64_t, std::vector<int>> per_concept;
+    for (const auto& it : seq.interactions) {
+      for (int64_t k : it.concepts) {
+        KT_CHECK_LT(k, num_concepts_);
+        per_concept[k].push_back(it.response);
+      }
+    }
+    for (auto& [k, obs] : per_concept) {
+      observations[static_cast<size_t>(k)].push_back(std::move(obs));
+    }
+  }
+
+  for (int64_t k = 0; k < num_concepts_; ++k) {
+    ConceptParams p;  // default start
+    const auto& sequences = observations[static_cast<size_t>(k)];
+    if (!sequences.empty()) {
+      for (int iteration = 0; iteration < config_.em_iterations; ++iteration) {
+        p = EmStep(p, sequences);
+      }
+    }
+    params_[static_cast<size_t>(k)] = p;
+  }
+  fitted_ = true;
+}
+
+Tensor BKT::PredictBatch(const data::Batch& batch) {
+  KT_CHECK(fitted_) << "BKT::Fit must run before prediction";
+  Tensor out(Shape{batch.batch_size, batch.max_len});
+  std::vector<double> mastery(static_cast<size_t>(num_concepts_));
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    for (int64_t k = 0; k < num_concepts_; ++k) {
+      mastery[static_cast<size_t>(k)] = params_[static_cast<size_t>(k)].p_init;
+    }
+    const int64_t len = batch.lengths[static_cast<size_t>(b)];
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t i = batch.FlatIndex(b, t);
+      const auto& concepts = batch.concept_bags[static_cast<size_t>(i)];
+      // Predict: mean over tagged concepts.
+      double p_correct = 0.0;
+      for (int64_t k : concepts) {
+        p_correct += CorrectProbability(params_[static_cast<size_t>(k)],
+                                        mastery[static_cast<size_t>(k)]);
+      }
+      p_correct /= std::max<size_t>(concepts.size(), 1);
+      out.flat(i) = static_cast<float>(p_correct);
+
+      // Observe and update each tagged concept: Bayes posterior on the
+      // response, then the learning transition.
+      const int r = batch.responses[static_cast<size_t>(i)];
+      for (int64_t k : concepts) {
+        const ConceptParams& p = params_[static_cast<size_t>(k)];
+        double& m = mastery[static_cast<size_t>(k)];
+        double posterior;
+        if (r == 1) {
+          const double z = m * (1.0 - p.p_slip) + (1.0 - m) * p.p_guess;
+          posterior = z > 0 ? m * (1.0 - p.p_slip) / z : m;
+        } else {
+          const double z = m * p.p_slip + (1.0 - m) * (1.0 - p.p_guess);
+          posterior = z > 0 ? m * p.p_slip / z : m;
+        }
+        m = posterior + (1.0 - posterior) * p.p_learn;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace kt

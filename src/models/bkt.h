@@ -1,0 +1,78 @@
+// BKT (Corbett & Anderson, 1994): Bayesian Knowledge Tracing.
+//
+// The classic per-concept two-state Hidden Markov Model that the paper's
+// introduction positions as the interpretable ancestor DKT displaced. Each
+// knowledge concept has four parameters:
+//   p_init  — probability the concept starts mastered  (L0)
+//   p_learn — probability of transitioning to mastered after a practice (T)
+//   p_guess — probability of answering correctly while unmastered       (G)
+//   p_slip  — probability of answering incorrectly while mastered       (S)
+// Parameters are fit per concept with expectation-maximization (Baum-Welch
+// specialized to the 2-state chain), and prediction runs the standard
+// forward update. Questions tagged with several concepts average their
+// concepts' predictions.
+#ifndef KT_MODELS_BKT_H_
+#define KT_MODELS_BKT_H_
+
+#include <vector>
+
+#include "models/kt_model.h"
+
+namespace kt {
+namespace models {
+
+struct BktConfig {
+  int em_iterations = 20;
+  // Parameter clamps keeping the model identifiable (standard practice:
+  // guess <= 0.3, slip <= 0.1 in Corbett & Anderson; we allow slightly
+  // looser bounds).
+  double max_guess = 0.4;
+  double max_slip = 0.3;
+  double min_learn = 1e-3;
+};
+
+class BKT : public KTModel {
+ public:
+  struct ConceptParams {
+    double p_init = 0.3;
+    double p_learn = 0.15;
+    double p_guess = 0.2;
+    double p_slip = 0.1;
+  };
+
+  BKT(int64_t num_concepts, BktConfig config);
+
+  std::string name() const override { return "BKT"; }
+  bool SupportsBatchTraining() const override { return false; }
+  void Fit(const data::Dataset& train) override;
+  Tensor PredictBatch(const data::Batch& batch) override;
+  float TrainBatch(const data::Batch& batch) override { return 0.0f; }
+  int64_t NumParameters() const override { return 4 * num_concepts_; }
+
+  const ConceptParams& params(int64_t concept_id) const;
+
+  // p(correct | mastery probability m) = m (1 - slip) + (1 - m) guess.
+  static double CorrectProbability(const ConceptParams& p, double mastery);
+
+ private:
+  // Splits a window's responses into per-concept observation sequences.
+  // Multi-concept questions contribute their response to every tagged
+  // concept.
+  static std::vector<std::vector<std::pair<int64_t, int>>> PerConcept(
+      const data::Dataset& dataset, int64_t num_concepts);
+
+  // One EM pass over the observation sequences of one concept; returns the
+  // updated parameters.
+  ConceptParams EmStep(const ConceptParams& current,
+                       const std::vector<std::vector<int>>& sequences) const;
+
+  int64_t num_concepts_;
+  BktConfig config_;
+  std::vector<ConceptParams> params_;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_BKT_H_

@@ -1,0 +1,47 @@
+#include "models/difficulty.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace kt {
+namespace models {
+
+DifficultyTable ComputeDifficulty(const data::Dataset& train,
+                                  int64_t num_questions, int num_levels,
+                                  double smoothing) {
+  KT_CHECK_GT(num_levels, 1);
+  std::vector<double> correct(static_cast<size_t>(num_questions), 0.0);
+  std::vector<double> total(static_cast<size_t>(num_questions), 0.0);
+  int64_t global_correct = 0, global_total = 0;
+  for (const auto& seq : train.sequences) {
+    for (const auto& it : seq.interactions) {
+      KT_CHECK_LT(it.question, num_questions);
+      correct[static_cast<size_t>(it.question)] += it.response;
+      total[static_cast<size_t>(it.question)] += 1.0;
+      global_correct += it.response;
+      ++global_total;
+    }
+  }
+
+  DifficultyTable table;
+  table.num_levels = num_levels;
+  table.global_rate = global_total == 0
+                          ? 0.5
+                          : static_cast<double>(global_correct) / global_total;
+  table.correct_rate.resize(static_cast<size_t>(num_questions));
+  table.level.resize(static_cast<size_t>(num_questions));
+  for (int64_t q = 0; q < num_questions; ++q) {
+    const double rate =
+        (correct[static_cast<size_t>(q)] + smoothing * table.global_rate) /
+        (total[static_cast<size_t>(q)] + smoothing);
+    table.correct_rate[static_cast<size_t>(q)] = rate;
+    int level = static_cast<int>(rate * num_levels);
+    table.level[static_cast<size_t>(q)] =
+        std::clamp(level, 0, num_levels - 1);
+  }
+  return table;
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,33 @@
+// Empirical question-difficulty estimation shared by DIMKT, QIKT analysis,
+// and IKT features: per-question correct rates from training data, bucketed
+// into discrete levels with Laplace smoothing toward the global rate.
+#ifndef KT_MODELS_DIFFICULTY_H_
+#define KT_MODELS_DIFFICULTY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace kt {
+namespace models {
+
+struct DifficultyTable {
+  // Smoothed probability of a correct answer per question id.
+  std::vector<double> correct_rate;
+  // Discretized difficulty level per question in [0, num_levels); level 0 is
+  // hardest (lowest correct rate).
+  std::vector<int> level;
+  int num_levels = 0;
+  double global_rate = 0.5;
+};
+
+// `smoothing` is the Laplace pseudo-count pulling sparse questions toward
+// the global correct rate.
+DifficultyTable ComputeDifficulty(const data::Dataset& train,
+                                  int64_t num_questions, int num_levels = 10,
+                                  double smoothing = 5.0);
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_DIFFICULTY_H_

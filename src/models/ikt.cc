@@ -1,0 +1,276 @@
+#include "models/ikt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+// Per-position raw (undiscretized) features plus the label, collected over a
+// dataset for structure learning and counting.
+struct Example {
+  std::array<int, IKT::kNumFeatures> bins;
+  int label;
+};
+
+}  // namespace
+
+IKT::IKT(int64_t num_questions, IktConfig config)
+    : num_questions_(num_questions), config_(config) {
+  parents_.fill(-1);
+  class_prior_ = {0.5, 0.5};
+}
+
+int IKT::Discretize(double value01) const {
+  const int bin = static_cast<int>(value01 * config_.num_bins);
+  return std::clamp(bin, 0, config_.num_bins - 1);
+}
+
+std::array<int, IKT::kNumFeatures> IKT::ExtractFeatures(
+    const std::vector<int64_t>& questions,
+    const std::vector<std::vector<int64_t>>& concepts,
+    const std::vector<int>& responses, int64_t t) const {
+  // Skill mastery: smoothed correct rate over prior attempts sharing a
+  // concept with question t.
+  double mastery_correct = 0.0, mastery_total = 0.0;
+  const auto& target_concepts = concepts[static_cast<size_t>(t)];
+  for (int64_t i = 0; i < t; ++i) {
+    bool shares = false;
+    for (int64_t k : concepts[static_cast<size_t>(i)]) {
+      if (std::find(target_concepts.begin(), target_concepts.end(), k) !=
+          target_concepts.end()) {
+        shares = true;
+        break;
+      }
+    }
+    if (shares) {
+      mastery_correct += responses[static_cast<size_t>(i)];
+      mastery_total += 1.0;
+    }
+  }
+  const double mastery =
+      (mastery_correct + 1.0) / (mastery_total + 2.0);  // Laplace
+
+  // Ability profile: recent-window correct rate.
+  const int64_t window_start =
+      std::max<int64_t>(0, t - config_.ability_window);
+  double recent_correct = 0.0, recent_total = 0.0;
+  for (int64_t i = window_start; i < t; ++i) {
+    recent_correct += responses[static_cast<size_t>(i)];
+    recent_total += 1.0;
+  }
+  const double ability = (recent_correct + 1.0) / (recent_total + 2.0);
+
+  // Problem difficulty from the fitted table (as a correct rate, so higher
+  // means easier).
+  const double difficulty =
+      fitted_ ? difficulty_.correct_rate[static_cast<size_t>(
+                    questions[static_cast<size_t>(t)])]
+              : 0.5;
+
+  return {Discretize(mastery), Discretize(ability), Discretize(difficulty)};
+}
+
+void IKT::Fit(const data::Dataset& train) {
+  difficulty_ = ComputeDifficulty(train, num_questions_, config_.num_bins);
+  fitted_ = true;
+
+  // Collect discretized examples at every predictable position (t >= 1).
+  std::vector<Example> examples;
+  for (const auto& seq : train.sequences) {
+    std::vector<int64_t> questions;
+    std::vector<std::vector<int64_t>> concepts;
+    std::vector<int> responses;
+    for (const auto& it : seq.interactions) {
+      questions.push_back(it.question);
+      concepts.push_back(it.concepts);
+      responses.push_back(it.response);
+    }
+    for (int64_t t = 1; t < seq.length(); ++t) {
+      Example ex;
+      ex.bins = ExtractFeatures(questions, concepts, responses, t);
+      ex.label = responses[static_cast<size_t>(t)];
+      examples.push_back(ex);
+    }
+  }
+  KT_CHECK(!examples.empty());
+
+  // Class prior.
+  double positives = 0.0;
+  for (const auto& ex : examples) positives += ex.label;
+  class_prior_[1] = (positives + config_.smoothing) /
+                    (static_cast<double>(examples.size()) + 2 * config_.smoothing);
+  class_prior_[0] = 1.0 - class_prior_[1];
+
+  // TAN structure: conditional mutual information I(Xi; Xj | Y) for each
+  // feature pair, maximum spanning tree rooted at feature 0.
+  const int bins = config_.num_bins;
+  auto cmi = [&](int fi, int fj) {
+    // joint[y][bi][bj]
+    std::vector<std::vector<std::vector<double>>> joint(
+        2, std::vector<std::vector<double>>(
+               static_cast<size_t>(bins),
+               std::vector<double>(static_cast<size_t>(bins), 1e-4)));
+    for (const auto& ex : examples) {
+      joint[static_cast<size_t>(ex.label)]
+           [static_cast<size_t>(ex.bins[static_cast<size_t>(fi)])]
+           [static_cast<size_t>(ex.bins[static_cast<size_t>(fj)])] += 1.0;
+    }
+    double total = 0.0;
+    for (const auto& per_y : joint)
+      for (const auto& row : per_y)
+        for (double v : row) total += v;
+
+    double mi = 0.0;
+    for (int y = 0; y < 2; ++y) {
+      double py = 0.0;
+      std::vector<double> pi(static_cast<size_t>(bins), 0.0);
+      std::vector<double> pj(static_cast<size_t>(bins), 0.0);
+      for (int a = 0; a < bins; ++a)
+        for (int b = 0; b < bins; ++b) {
+          const double v = joint[static_cast<size_t>(y)][static_cast<size_t>(a)]
+                                [static_cast<size_t>(b)];
+          py += v;
+          pi[static_cast<size_t>(a)] += v;
+          pj[static_cast<size_t>(b)] += v;
+        }
+      for (int a = 0; a < bins; ++a) {
+        for (int b = 0; b < bins; ++b) {
+          const double pxy = joint[static_cast<size_t>(y)]
+                                  [static_cast<size_t>(a)]
+                                  [static_cast<size_t>(b)] /
+                             total;
+          const double denom = (pi[static_cast<size_t>(a)] / total) *
+                               (pj[static_cast<size_t>(b)] / total) /
+                               (py / total);
+          mi += pxy * std::log(pxy / denom);
+        }
+      }
+    }
+    return mi;
+  };
+
+  // With kNumFeatures features, Prim's algorithm from feature 0.
+  parents_.fill(-1);
+  std::array<bool, kNumFeatures> in_tree{};
+  in_tree[0] = true;
+  for (int added = 1; added < kNumFeatures; ++added) {
+    double best = -1.0;
+    int best_node = -1, best_parent = -1;
+    for (int u = 0; u < kNumFeatures; ++u) {
+      if (!in_tree[static_cast<size_t>(u)]) continue;
+      for (int v = 0; v < kNumFeatures; ++v) {
+        if (in_tree[static_cast<size_t>(v)]) continue;
+        const double w = cmi(u, v);
+        if (w > best) {
+          best = w;
+          best_node = v;
+          best_parent = u;
+        }
+      }
+    }
+    KT_CHECK_GE(best_node, 0);
+    parents_[static_cast<size_t>(best_node)] = best_parent;
+    in_tree[static_cast<size_t>(best_node)] = true;
+  }
+
+  // Conditional probability tables: P(x_f | parent_bin, y).
+  tables_.assign(
+      kNumFeatures,
+      std::vector<std::vector<std::vector<double>>>(
+          2, std::vector<std::vector<double>>(
+                 static_cast<size_t>(bins),
+                 std::vector<double>(static_cast<size_t>(bins),
+                                     config_.smoothing))));
+  for (const auto& ex : examples) {
+    for (int f = 0; f < kNumFeatures; ++f) {
+      const int parent = parents_[static_cast<size_t>(f)];
+      const int pb = parent < 0 ? 0 : ex.bins[static_cast<size_t>(parent)];
+      tables_[static_cast<size_t>(f)][static_cast<size_t>(ex.label)]
+             [static_cast<size_t>(pb)]
+             [static_cast<size_t>(ex.bins[static_cast<size_t>(f)])] += 1.0;
+    }
+  }
+  // Normalize per (y, parent_bin).
+  for (int f = 0; f < kNumFeatures; ++f) {
+    for (int y = 0; y < 2; ++y) {
+      const int parent_bins = parents_[static_cast<size_t>(f)] < 0 ? 1 : bins;
+      for (int pb = 0; pb < parent_bins; ++pb) {
+        auto& row = tables_[static_cast<size_t>(f)][static_cast<size_t>(y)]
+                           [static_cast<size_t>(pb)];
+        double total = 0.0;
+        for (double v : row) total += v;
+        for (double& v : row) v /= total;
+      }
+    }
+  }
+}
+
+double IKT::PredictOne(const std::array<int, kNumFeatures>& features) const {
+  double log_odds[2];
+  for (int y = 0; y < 2; ++y) {
+    double lp = std::log(class_prior_[static_cast<size_t>(y)]);
+    for (int f = 0; f < kNumFeatures; ++f) {
+      const int parent = parents_[static_cast<size_t>(f)];
+      const int pb =
+          parent < 0 ? 0 : features[static_cast<size_t>(parent)];
+      lp += std::log(tables_[static_cast<size_t>(f)][static_cast<size_t>(y)]
+                            [static_cast<size_t>(pb)]
+                            [static_cast<size_t>(
+                                features[static_cast<size_t>(f)])]);
+    }
+    log_odds[y] = lp;
+  }
+  // p(y=1 | x) via the log-sum-exp of two terms.
+  const double m = std::max(log_odds[0], log_odds[1]);
+  const double z =
+      std::exp(log_odds[0] - m) + std::exp(log_odds[1] - m);
+  return std::exp(log_odds[1] - m) / z;
+}
+
+Tensor IKT::PredictBatch(const data::Batch& batch) {
+  KT_CHECK(fitted_) << "IKT::Fit must run before prediction";
+  Tensor out(Shape{batch.batch_size, batch.max_len});
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    std::vector<int64_t> questions;
+    std::vector<std::vector<int64_t>> concepts;
+    std::vector<int> responses;
+    const int64_t len = batch.lengths[static_cast<size_t>(b)];
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t i = batch.FlatIndex(b, t);
+      questions.push_back(batch.questions[static_cast<size_t>(i)]);
+      concepts.push_back(batch.concept_bags[static_cast<size_t>(i)]);
+      responses.push_back(batch.responses[static_cast<size_t>(i)]);
+    }
+    for (int64_t t = 0; t < len; ++t) {
+      const double p =
+          t == 0 ? class_prior_[1]
+                 : PredictOne(ExtractFeatures(questions, concepts, responses, t));
+      out.flat(batch.FlatIndex(b, t)) = static_cast<float>(p);
+    }
+  }
+  return out;
+}
+
+float IKT::TrainBatch(const data::Batch& batch) {
+  // Closed-form model: per-batch gradient steps do not apply.
+  return 0.0f;
+}
+
+int64_t IKT::NumParameters() const {
+  int64_t total = 2;  // class prior
+  for (int f = 0; f < kNumFeatures; ++f) {
+    const int parent_bins = parents_[static_cast<size_t>(f)] < 0
+                                ? 1
+                                : config_.num_bins;
+    total += 2 * parent_bins * config_.num_bins;
+  }
+  return total;
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,73 @@
+// IKT (Minn et al., 2022): interpretable knowledge tracing with a
+// Tree-Augmented Naive Bayes (TAN) classifier — no neural network.
+//
+// Three interpretable features are extracted for each prediction point t:
+//   * skill mastery  — smoothed per-concept correct rate over the student's
+//     history within the window,
+//   * ability profile — correct rate over the most recent responses,
+//   * problem difficulty — the question's training-set correct rate.
+// Features are discretized into equal-width bins; a TAN structure (the
+// maximum spanning tree over class-conditional mutual information, rooted
+// at the mastery feature) augments Naive Bayes with one feature-to-feature
+// dependency per node. All probabilities come from Laplace-smoothed counts.
+#ifndef KT_MODELS_IKT_H_
+#define KT_MODELS_IKT_H_
+
+#include <array>
+#include <vector>
+
+#include "models/difficulty.h"
+#include "models/kt_model.h"
+
+namespace kt {
+namespace models {
+
+struct IktConfig {
+  int num_bins = 8;
+  // Recent-window size for the ability profile feature.
+  int ability_window = 10;
+  // Laplace smoothing pseudo-count for probability tables.
+  double smoothing = 1.0;
+};
+
+class IKT : public KTModel {
+ public:
+  static constexpr int kNumFeatures = 3;
+
+  IKT(int64_t num_questions, IktConfig config);
+
+  std::string name() const override { return "IKT"; }
+  bool SupportsBatchTraining() const override { return false; }
+  void Fit(const data::Dataset& train) override;
+  Tensor PredictBatch(const data::Batch& batch) override;
+  float TrainBatch(const data::Batch& batch) override;
+  int64_t NumParameters() const override;
+
+  // Learned TAN parent of each feature (-1 = class only). Exposed for tests.
+  const std::array<int, kNumFeatures>& parents() const { return parents_; }
+
+ private:
+  // Discretized features for position t of a sequence prefix.
+  std::array<int, kNumFeatures> ExtractFeatures(
+      const std::vector<int64_t>& questions,
+      const std::vector<std::vector<int64_t>>& concepts,
+      const std::vector<int>& responses, int64_t t) const;
+  int Discretize(double value01) const;
+  double PredictOne(const std::array<int, kNumFeatures>& features) const;
+
+  int64_t num_questions_;
+  IktConfig config_;
+  DifficultyTable difficulty_;
+  bool fitted_ = false;
+
+  // TAN parameters.
+  std::array<int, kNumFeatures> parents_;
+  std::array<double, 2> class_prior_;
+  // counts[f][y][parent_bin][bin]; parent_bin 0 when parent is -1.
+  std::vector<std::vector<std::vector<std::vector<double>>>> tables_;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_IKT_H_

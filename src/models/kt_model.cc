@@ -1,0 +1,15 @@
+#include "models/kt_model.h"
+
+namespace kt {
+namespace models {
+
+Tensor EvalMask(const data::Batch& batch) {
+  Tensor mask = batch.valid.Clone();
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    mask.flat(batch.FlatIndex(b, 0)) = 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,50 @@
+// Common interface for knowledge-tracing models.
+//
+// Protocol (shared by all baselines and RCKT so comparisons are fair):
+// for every position t in a window, the model predicts the probability that
+// interaction t is answered correctly given interactions 0..t-1 (and, for
+// bidirectional RCKT inference, the assumed target outcome — see kt_rckt).
+// Position 0 has no history and is excluded from losses and metrics via
+// EvalMask().
+#ifndef KT_MODELS_KT_MODEL_H_
+#define KT_MODELS_KT_MODEL_H_
+
+#include <string>
+
+#include "data/batch.h"
+#include "tensor/tensor.h"
+
+namespace kt {
+namespace models {
+
+class KTModel {
+ public:
+  virtual ~KTModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Probability of a correct response at every position, [B, T]. Entries at
+  // invalid (padding) or position-0 slots are unspecified.
+  virtual Tensor PredictBatch(const data::Batch& batch) = 0;
+
+  // One optimization step on `batch`; returns the training loss. Models own
+  // their optimizer and training randomness.
+  virtual float TrainBatch(const data::Batch& batch) = 0;
+
+  virtual int64_t NumParameters() const = 0;
+
+  // Gradient-trained models return true and learn through TrainBatch over
+  // epochs; closed-form models (IKT) return false and learn through Fit.
+  virtual bool SupportsBatchTraining() const { return true; }
+  // One-shot fit on the full training split (only for models with
+  // SupportsBatchTraining() == false).
+  virtual void Fit(const data::Dataset& train) {}
+};
+
+// Mask of positions that participate in loss/metrics: valid AND t >= 1.
+Tensor EvalMask(const data::Batch& batch);
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_KT_MODEL_H_

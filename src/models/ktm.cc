@@ -1,0 +1,158 @@
+#include "models/ktm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+KTM::KTM(int64_t num_questions, int64_t num_concepts, KtmConfig config)
+    : num_questions_(num_questions),
+      num_concepts_(num_concepts),
+      config_(config) {
+  Rng rng(config.seed * 131 + 7);
+  w_.assign(static_cast<size_t>(num_features()), 0.0);
+  v_.resize(static_cast<size_t>(num_features() * config_.factor_dim));
+  for (auto& value : v_) value = rng.Gaussian(0.0, 0.05);
+}
+
+int64_t KTM::NumParameters() const {
+  return 1 + num_features() * (1 + config_.factor_dim);
+}
+
+KTM::Features KTM::BuildFeatures(int64_t question,
+                                 const std::vector<int64_t>& concepts,
+                                 const std::vector<double>& wins,
+                                 const std::vector<double>& fails) const {
+  Features features;
+  features.emplace_back(QuestionFeature(question), 1.0);
+  for (size_t j = 0; j < concepts.size(); ++j) {
+    const int64_t k = concepts[j];
+    features.emplace_back(ConceptFeature(k), 1.0);
+    if (wins[j] > 0) features.emplace_back(WinFeature(k), std::log1p(wins[j]));
+    if (fails[j] > 0)
+      features.emplace_back(FailFeature(k), std::log1p(fails[j]));
+  }
+  return features;
+}
+
+double KTM::Predict(const Features& features,
+                    std::vector<double>* cache_sum) const {
+  const int64_t d = config_.factor_dim;
+  double y = w0_;
+  for (const auto& [i, x] : features) y += w_[static_cast<size_t>(i)] * x;
+
+  // Pairwise term via 0.5 * sum_f [ (sum_i v_if x_i)^2 - sum_i v_if^2 x_i^2 ].
+  if (cache_sum) cache_sum->assign(static_cast<size_t>(d), 0.0);
+  for (int64_t f = 0; f < d; ++f) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& [i, x] : features) {
+      const double vx = v_[static_cast<size_t>(i * d + f)] * x;
+      sum += vx;
+      sum_sq += vx * vx;
+    }
+    y += 0.5 * (sum * sum - sum_sq);
+    if (cache_sum) (*cache_sum)[static_cast<size_t>(f)] = sum;
+  }
+  return y;
+}
+
+void KTM::SgdUpdate(const Features& features, int label) {
+  std::vector<double> sum_cache;
+  const double p = SigmoidD(Predict(features, &sum_cache));
+  const double err = p - label;  // d loss / d y
+  const int64_t d = config_.factor_dim;
+
+  w0_ -= config_.lr * err;
+  for (const auto& [i, x] : features) {
+    double& w = w_[static_cast<size_t>(i)];
+    w -= config_.lr * (err * x + config_.l2 * w);
+    for (int64_t f = 0; f < d; ++f) {
+      double& vif = v_[static_cast<size_t>(i * d + f)];
+      const double grad =
+          err * x * (sum_cache[static_cast<size_t>(f)] - vif * x);
+      vif -= config_.lr * (grad + config_.l2 * vif);
+    }
+  }
+}
+
+void KTM::Fit(const data::Dataset& train) {
+  // Materialize per-position features once.
+  struct Instance {
+    Features features;
+    int label;
+  };
+  std::vector<Instance> instances;
+  std::vector<double> wins(static_cast<size_t>(num_concepts_));
+  std::vector<double> fails(static_cast<size_t>(num_concepts_));
+  for (const auto& seq : train.sequences) {
+    std::fill(wins.begin(), wins.end(), 0.0);
+    std::fill(fails.begin(), fails.end(), 0.0);
+    for (const auto& it : seq.interactions) {
+      KT_CHECK_LT(it.question, num_questions_);
+      std::vector<double> w_counts, f_counts;
+      for (int64_t k : it.concepts) {
+        KT_CHECK_LT(k, num_concepts_);
+        w_counts.push_back(wins[static_cast<size_t>(k)]);
+        f_counts.push_back(fails[static_cast<size_t>(k)]);
+      }
+      instances.push_back(
+          {BuildFeatures(it.question, it.concepts, w_counts, f_counts),
+           it.response});
+      for (int64_t k : it.concepts) {
+        (it.response ? wins : fails)[static_cast<size_t>(k)] += 1.0;
+      }
+    }
+  }
+  KT_CHECK(!instances.empty());
+
+  Rng shuffle_rng(config_.seed * 977 + 5);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    for (size_t i : order) {
+      SgdUpdate(instances[i].features, instances[i].label);
+    }
+  }
+  fitted_ = true;
+}
+
+Tensor KTM::PredictBatch(const data::Batch& batch) {
+  KT_CHECK(fitted_) << "KTM::Fit must run before prediction";
+  Tensor out(Shape{batch.batch_size, batch.max_len});
+  std::vector<double> wins(static_cast<size_t>(num_concepts_));
+  std::vector<double> fails(static_cast<size_t>(num_concepts_));
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    std::fill(wins.begin(), wins.end(), 0.0);
+    std::fill(fails.begin(), fails.end(), 0.0);
+    const int64_t len = batch.lengths[static_cast<size_t>(b)];
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t i = batch.FlatIndex(b, t);
+      const auto& concepts = batch.concept_bags[static_cast<size_t>(i)];
+      std::vector<double> w_counts, f_counts;
+      for (int64_t k : concepts) {
+        w_counts.push_back(wins[static_cast<size_t>(k)]);
+        f_counts.push_back(fails[static_cast<size_t>(k)]);
+      }
+      const Features features =
+          BuildFeatures(batch.questions[static_cast<size_t>(i)], concepts,
+                        w_counts, f_counts);
+      out.flat(i) = static_cast<float>(SigmoidD(Predict(features, nullptr)));
+      const int r = batch.responses[static_cast<size_t>(i)];
+      for (int64_t k : concepts) {
+        (r ? wins : fails)[static_cast<size_t>(k)] += 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,80 @@
+// KTM (Vie & Kashima, 2019): Knowledge Tracing Machines.
+//
+// A degree-2 factorization machine over sparse interaction features
+// (paper background ref. [12]):
+//   y = w0 + sum_i w_i x_i + sum_{i<j} <v_i, v_j> x_i x_j
+// with the standard O(k d) pairwise trick. Features per prediction point:
+//   * question one-hot,
+//   * concept one-hots,
+//   * per-concept win counts (log-compressed, continuous),
+//   * per-concept fail counts.
+// Student one-hots are omitted: test students are unseen under the CV
+// protocol, so they would train weights that never fire at test time.
+// Trained with SGD on logistic loss.
+#ifndef KT_MODELS_KTM_H_
+#define KT_MODELS_KTM_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "models/kt_model.h"
+
+namespace kt {
+namespace models {
+
+struct KtmConfig {
+  int64_t factor_dim = 8;
+  int epochs = 12;
+  double lr = 0.05;
+  double l2 = 1e-4;
+  uint64_t seed = 1;
+};
+
+class KTM : public KTModel {
+ public:
+  KTM(int64_t num_questions, int64_t num_concepts, KtmConfig config);
+
+  std::string name() const override { return "KTM"; }
+  bool SupportsBatchTraining() const override { return false; }
+  void Fit(const data::Dataset& train) override;
+  Tensor PredictBatch(const data::Batch& batch) override;
+  float TrainBatch(const data::Batch& batch) override { return 0.0f; }
+  int64_t NumParameters() const override;
+
+ private:
+  // Sparse feature vector: (feature index, value).
+  using Features = std::vector<std::pair<int64_t, double>>;
+
+  // Feature index layout: [questions | concepts | concept wins |
+  // concept fails].
+  int64_t QuestionFeature(int64_t q) const { return q; }
+  int64_t ConceptFeature(int64_t k) const { return num_questions_ + k; }
+  int64_t WinFeature(int64_t k) const {
+    return num_questions_ + num_concepts_ + k;
+  }
+  int64_t FailFeature(int64_t k) const {
+    return num_questions_ + 2 * num_concepts_ + k;
+  }
+  int64_t num_features() const { return num_questions_ + 3 * num_concepts_; }
+
+  Features BuildFeatures(int64_t question,
+                         const std::vector<int64_t>& concepts,
+                         const std::vector<double>& wins,
+                         const std::vector<double>& fails) const;
+  double Predict(const Features& features,
+                 std::vector<double>* cache_sum) const;
+  void SgdUpdate(const Features& features, int label);
+
+  int64_t num_questions_;
+  int64_t num_concepts_;
+  KtmConfig config_;
+  double w0_ = 0.0;
+  std::vector<double> w_;  // [num_features]
+  std::vector<double> v_;  // [num_features * factor_dim], row-major
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_KTM_H_

@@ -1,0 +1,39 @@
+#include "models/neural_base.h"
+
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace models {
+
+NeuralKTModel::NeuralKTModel(std::string name, NeuralConfig config)
+    : config_(config), rng_(config.seed * 33 + 5), name_(std::move(name)) {}
+
+void NeuralKTModel::FinishInit() {
+  nn::AdamOptions options;
+  options.lr = config_.lr;
+  options.weight_decay = config_.weight_decay;
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), options);
+}
+
+Tensor NeuralKTModel::PredictBatch(const data::Batch& batch) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;  // inference: no dropout
+  ag::Variable logits = ForwardLogits(batch, ctx);
+  return kt::Sigmoid(logits.value());
+}
+
+float NeuralKTModel::TrainBatch(const data::Batch& batch) {
+  KT_CHECK(optimizer_ != nullptr) << "FinishInit() not called";
+  nn::Context ctx{/*train=*/true, &rng_};
+  ag::Variable logits = ForwardLogits(batch, ctx);
+  ag::Variable loss = nn::BinaryCrossEntropyWithLogits(
+      logits, batch.targets, EvalMask(batch));
+  optimizer_->ZeroGrad();
+  loss.Backward();
+  optimizer_->Step();
+  return loss.value().item();
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,60 @@
+// Shared training/inference plumbing for the neural baselines.
+//
+// Subclasses implement ForwardLogits(); this base supplies masked-BCE
+// training with Adam, sigmoid inference under NoGradGuard, and the common
+// hyper-parameter surface.
+#ifndef KT_MODELS_NEURAL_BASE_H_
+#define KT_MODELS_NEURAL_BASE_H_
+
+#include <memory>
+#include <string>
+
+#include "models/kt_model.h"
+#include "nn/adam.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace models {
+
+struct NeuralConfig {
+  int64_t dim = 32;
+  int64_t num_layers = 1;
+  int64_t num_heads = 2;
+  float dropout = 0.1f;
+  float lr = 1e-3f;
+  float weight_decay = 1e-5f;
+  uint64_t seed = 1;
+};
+
+class NeuralKTModel : public KTModel, public nn::Module {
+ public:
+  NeuralKTModel(std::string name, NeuralConfig config);
+
+  std::string name() const final { return name_; }
+  Tensor PredictBatch(const data::Batch& batch) final;
+  float TrainBatch(const data::Batch& batch) final;
+  int64_t NumParameters() const final { return nn::Module::NumParameters(); }
+
+  const NeuralConfig& config() const { return config_; }
+
+ protected:
+  // Next-step correctness logits, [B, T].
+  virtual ag::Variable ForwardLogits(const data::Batch& batch,
+                                     const nn::Context& ctx) = 0;
+
+  // Must be called at the end of the subclass constructor, after all
+  // parameters are registered, to create the optimizer.
+  void FinishInit();
+
+  NeuralConfig config_;
+  Rng rng_;  // dropout stream
+
+ private:
+  std::string name_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_NEURAL_BASE_H_

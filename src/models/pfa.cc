@@ -1,0 +1,135 @@
+#include "models/pfa.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// One training instance: the question's concepts plus the pre-response
+// success/failure counts on each of them.
+struct Instance {
+  std::vector<int64_t> concepts;
+  std::vector<double> successes;  // parallel to concepts
+  std::vector<double> failures;
+  int label = 0;
+};
+
+}  // namespace
+
+PFA::PFA(int64_t num_concepts, PfaConfig config)
+    : num_concepts_(num_concepts),
+      config_(config),
+      weights_(static_cast<size_t>(num_concepts)) {}
+
+const PFA::ConceptWeights& PFA::weights(int64_t concept_id) const {
+  KT_CHECK(concept_id >= 0 && concept_id < num_concepts_);
+  return weights_[static_cast<size_t>(concept_id)];
+}
+
+double PFA::CompressCount(double n) const {
+  return config_.log_counts ? std::log1p(n) : n;
+}
+
+double PFA::Logit(const std::vector<int64_t>& concepts,
+                  const std::vector<double>& successes,
+                  const std::vector<double>& failures) const {
+  double logit = bias_;
+  for (size_t j = 0; j < concepts.size(); ++j) {
+    const ConceptWeights& w = weights_[static_cast<size_t>(concepts[j])];
+    logit += w.beta + w.gamma * successes[j] + w.rho * failures[j];
+  }
+  return logit;
+}
+
+void PFA::Fit(const data::Dataset& train) {
+  // Materialize instances once; counts are cheap to recompute per window.
+  std::vector<Instance> instances;
+  std::vector<double> s(static_cast<size_t>(num_concepts_));
+  std::vector<double> f(static_cast<size_t>(num_concepts_));
+  for (const auto& seq : train.sequences) {
+    std::fill(s.begin(), s.end(), 0.0);
+    std::fill(f.begin(), f.end(), 0.0);
+    for (const auto& it : seq.interactions) {
+      Instance instance;
+      instance.concepts = it.concepts;
+      for (int64_t k : it.concepts) {
+        KT_CHECK_LT(k, num_concepts_);
+        instance.successes.push_back(
+            CompressCount(s[static_cast<size_t>(k)]));
+        instance.failures.push_back(CompressCount(f[static_cast<size_t>(k)]));
+      }
+      instance.label = it.response;
+      instances.push_back(std::move(instance));
+      for (int64_t k : it.concepts) {
+        (it.response ? s : f)[static_cast<size_t>(k)] += 1.0;
+      }
+    }
+  }
+  KT_CHECK(!instances.empty());
+
+  // Full-batch gradient descent on the logistic loss (convex).
+  const double inv_n = 1.0 / static_cast<double>(instances.size());
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    double grad_bias = 0.0;
+    std::vector<ConceptWeights> grads(static_cast<size_t>(num_concepts_));
+    for (const Instance& instance : instances) {
+      const double p =
+          SigmoidD(Logit(instance.concepts, instance.successes,
+                         instance.failures));
+      const double err = p - instance.label;  // d loss / d logit
+      grad_bias += err;
+      for (size_t j = 0; j < instance.concepts.size(); ++j) {
+        ConceptWeights& g =
+            grads[static_cast<size_t>(instance.concepts[j])];
+        g.beta += err;
+        g.gamma += err * instance.successes[j];
+        g.rho += err * instance.failures[j];
+      }
+    }
+    bias_ -= config_.lr * grad_bias * inv_n;
+    for (int64_t k = 0; k < num_concepts_; ++k) {
+      ConceptWeights& w = weights_[static_cast<size_t>(k)];
+      const ConceptWeights& g = grads[static_cast<size_t>(k)];
+      w.beta -= config_.lr * (g.beta * inv_n + config_.l2 * w.beta);
+      w.gamma -= config_.lr * (g.gamma * inv_n + config_.l2 * w.gamma);
+      w.rho -= config_.lr * (g.rho * inv_n + config_.l2 * w.rho);
+    }
+  }
+  fitted_ = true;
+}
+
+Tensor PFA::PredictBatch(const data::Batch& batch) {
+  KT_CHECK(fitted_) << "PFA::Fit must run before prediction";
+  Tensor out(Shape{batch.batch_size, batch.max_len});
+  std::vector<double> s(static_cast<size_t>(num_concepts_));
+  std::vector<double> f(static_cast<size_t>(num_concepts_));
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    std::fill(s.begin(), s.end(), 0.0);
+    std::fill(f.begin(), f.end(), 0.0);
+    const int64_t len = batch.lengths[static_cast<size_t>(b)];
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t i = batch.FlatIndex(b, t);
+      const auto& concepts = batch.concept_bags[static_cast<size_t>(i)];
+      std::vector<double> successes, failures;
+      for (int64_t k : concepts) {
+        successes.push_back(CompressCount(s[static_cast<size_t>(k)]));
+        failures.push_back(CompressCount(f[static_cast<size_t>(k)]));
+      }
+      out.flat(i) =
+          static_cast<float>(SigmoidD(Logit(concepts, successes, failures)));
+      const int r = batch.responses[static_cast<size_t>(i)];
+      for (int64_t k : concepts) {
+        (r ? s : f)[static_cast<size_t>(k)] += 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace kt

@@ -1,0 +1,67 @@
+// PFA (Pavlik, Cen & Koedinger, 2009): Performance Factors Analysis.
+//
+// Logistic regression over per-concept practice counts: for a question
+// tagged with concepts K,
+//   logit = sum_{k in K} (beta_k + gamma_k * s_k + rho_k * f_k)
+// where s_k / f_k count the student's prior successes / failures on
+// concept k within the window. Three interpretable parameters per concept,
+// fit by gradient descent on the (convex) logistic loss with L2 shrinkage.
+// Referenced by the paper's background as a classic machine-learning KT
+// method ([30]).
+#ifndef KT_MODELS_PFA_H_
+#define KT_MODELS_PFA_H_
+
+#include <vector>
+
+#include "models/kt_model.h"
+
+namespace kt {
+namespace models {
+
+struct PfaConfig {
+  int iterations = 400;
+  double lr = 0.5;
+  double l2 = 1e-4;
+  // Counts are log-compressed (log(1+n)) as in common PFA practice, keeping
+  // long windows from saturating the logit.
+  bool log_counts = true;
+};
+
+class PFA : public KTModel {
+ public:
+  PFA(int64_t num_concepts, PfaConfig config);
+
+  std::string name() const override { return "PFA"; }
+  bool SupportsBatchTraining() const override { return false; }
+  void Fit(const data::Dataset& train) override;
+  Tensor PredictBatch(const data::Batch& batch) override;
+  float TrainBatch(const data::Batch& batch) override { return 0.0f; }
+  int64_t NumParameters() const override { return 3 * num_concepts_ + 1; }
+
+  // Interpretable per-concept parameters: {easiness beta, success weight
+  // gamma, failure weight rho}.
+  struct ConceptWeights {
+    double beta = 0.0;
+    double gamma = 0.0;
+    double rho = 0.0;
+  };
+  const ConceptWeights& weights(int64_t concept_id) const;
+
+ private:
+  double CompressCount(double n) const;
+  // Logit for one interaction given per-concept success/failure counts.
+  double Logit(const std::vector<int64_t>& concepts,
+               const std::vector<double>& successes,
+               const std::vector<double>& failures) const;
+
+  int64_t num_concepts_;
+  PfaConfig config_;
+  double bias_ = 0.0;
+  std::vector<ConceptWeights> weights_;
+  bool fitted_ = false;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_PFA_H_

@@ -1,0 +1,51 @@
+// SAKT (Pandey & Karypis, 2019): self-attentive knowledge tracing.
+//
+// The embedding of the target question attends over past interaction
+// embeddings with a strict causal mask; stacked transformer blocks refine
+// the context, and an MLP on [context (+) e_t] emits the logit.
+//
+// The `plus_question_ids` flag reproduces the paper's SAKT+ variant used in
+// the Fig. 6 case study (question ID embeddings added to the inputs); the
+// base SAKT configuration already includes them through the shared
+// embedder, so the flag additionally exposes per-head attention maps.
+#ifndef KT_MODELS_SAKT_H_
+#define KT_MODELS_SAKT_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/embedder.h"
+#include "models/neural_base.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+
+namespace kt {
+namespace models {
+
+class SAKT : public NeuralKTModel {
+ public:
+  SAKT(int64_t num_questions, int64_t num_concepts, NeuralConfig config);
+
+  // Average per-head attention of the first block from the most recent
+  // PredictBatch call, [B, T, T] (queries = positions, keys = history).
+  // Empty until PredictBatch runs with capture enabled.
+  void set_capture_attention(bool capture) { capture_attention_ = capture; }
+  const Tensor& last_attention() const { return last_attention_; }
+
+ protected:
+  ag::Variable ForwardLogits(const data::Batch& batch,
+                             const nn::Context& ctx) override;
+
+ private:
+  InteractionEmbedder embedder_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  nn::Linear hidden_;
+  nn::Linear out_;
+  bool capture_attention_ = false;
+  Tensor last_attention_;
+};
+
+}  // namespace models
+}  // namespace kt
+
+#endif  // KT_MODELS_SAKT_H_

@@ -1,0 +1,64 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace kt {
+namespace nn {
+
+Adam::Adam(std::vector<ag::Variable> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+float Adam::GradNorm() const {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g.flat(i)) * g.flat(i);
+    }
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    const float norm = GradNorm();
+    if (norm > options_.clip_norm) clip_scale = options_.clip_norm / norm;
+  }
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = params_[i].mutable_value();
+    Tensor grad = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      float g = grad.flat(j) * clip_scale;
+      if (options_.weight_decay > 0.0f) {
+        g += options_.weight_decay * value.flat(j);
+      }
+      m.flat(j) = options_.beta1 * m.flat(j) + (1.0f - options_.beta1) * g;
+      v.flat(j) = options_.beta2 * v.flat(j) + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m.flat(j) / bias1;
+      const float v_hat = v.flat(j) / bias2;
+      value.flat(j) -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace kt

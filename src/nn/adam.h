@@ -1,0 +1,51 @@
+// Adam optimizer with decoupled L2 regularization and gradient clipping.
+#ifndef KT_NN_ADAM_H_
+#define KT_NN_ADAM_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace kt {
+namespace nn {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  // L2 penalty added to gradients (the paper's l2-normalization term).
+  float weight_decay = 0.0f;
+  // Global gradient-norm clip; <= 0 disables.
+  float clip_norm = 5.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<ag::Variable> params, AdamOptions options);
+
+  // Applies one update using the gradients currently accumulated on the
+  // parameters, then leaves gradients untouched (call ZeroGrad before the
+  // next backward).
+  void Step();
+  void ZeroGrad();
+
+  // Global L2 norm of all parameter gradients.
+  float GradNorm() const;
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_ = 0;
+};
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_ADAM_H_

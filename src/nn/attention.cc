@@ -1,0 +1,183 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace nn {
+
+Tensor MakeAttentionMask(int64_t t, AttentionMaskKind kind) {
+  Tensor mask(Shape{t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      bool allowed = false;
+      switch (kind) {
+        case AttentionMaskKind::kCausalStrict:
+          allowed = j < i;
+          break;
+        case AttentionMaskKind::kCausalInclusive:
+          allowed = j <= i;
+          break;
+        case AttentionMaskKind::kAntiCausalInclusive:
+          allowed = j >= i;
+          break;
+        case AttentionMaskKind::kBidirectionalNoSelf:
+          allowed = j != i;
+          break;
+        case AttentionMaskKind::kFull:
+          allowed = true;
+          break;
+      }
+      mask.at({i, j}) = allowed ? 1.0f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
+                                       float dropout_p, bool monotonic,
+                                       Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      dropout_p_(dropout_p),
+      monotonic_(monotonic),
+      q_proj_(dim, dim, rng, /*use_bias=*/false),
+      k_proj_(dim, dim, rng, /*use_bias=*/false),
+      v_proj_(dim, dim, rng, /*use_bias=*/false),
+      out_proj_(dim, dim, rng) {
+  KT_CHECK_EQ(dim % num_heads, 0)
+      << "dim " << dim << " not divisible by heads " << num_heads;
+  RegisterChild("q_proj", &q_proj_);
+  RegisterChild("k_proj", &k_proj_);
+  RegisterChild("v_proj", &v_proj_);
+  RegisterChild("out_proj", &out_proj_);
+  if (monotonic_) {
+    // softplus(0) ~ 0.69 decay per unit distance initially.
+    decay_ = RegisterParameter("decay", Tensor::Zeros(Shape{num_heads}));
+  }
+}
+
+ag::Variable MultiHeadAttention::Forward(
+    const ag::Variable& q, const ag::Variable& k, const ag::Variable& v,
+    const Tensor& mask, const Context& ctx,
+    std::vector<Tensor>* attention_out) const {
+  const int64_t tq = q.size(1);
+  const int64_t tk = k.size(1);
+  KT_CHECK_EQ(mask.size(0), tq);
+  KT_CHECK_EQ(mask.size(1), tk);
+
+  ag::Variable qp = q_proj_.Forward(q);
+  ag::Variable kp = k_proj_.Forward(k);
+  ag::Variable vp = v_proj_.Forward(v);
+
+  // Additive mask: 0 where allowed, -1e9 where blocked, shaped [1, Tq, Tk]
+  // to broadcast over the batch.
+  Tensor additive = Map(mask, [](float m) { return (m - 1.0f) * 1e9f; })
+                        .Reshape(Shape{1, tq, tk});
+  ag::Variable additive_mask = ag::Constant(additive);
+  // Zero-out factor for rows with no attendable positions, [1, Tq, 1].
+  Tensor row_any(Shape{1, tq, 1});
+  for (int64_t i = 0; i < tq; ++i) {
+    float any = 0.0f;
+    for (int64_t j = 0; j < tk; ++j) any = std::max(any, mask.at({i, j}));
+    row_any.flat(i) = any;
+  }
+  ag::Variable row_any_mask = ag::Constant(row_any);
+
+  // Distance matrix for monotonic decay, [1, Tq, Tk].
+  ag::Variable distance;
+  if (monotonic_) {
+    Tensor dist(Shape{1, tq, tk});
+    for (int64_t i = 0; i < tq; ++i)
+      for (int64_t j = 0; j < tk; ++j)
+        dist.flat(i * tk + j) =
+            static_cast<float>(std::abs(i - j));
+    distance = ag::Constant(dist);
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<ag::Variable> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t lo = h * head_dim_;
+    const int64_t hi = lo + head_dim_;
+    ag::Variable qh = ag::Slice(qp, 2, lo, hi);  // [B, Tq, dh]
+    ag::Variable kh = ag::Slice(kp, 2, lo, hi);  // [B, Tk, dh]
+    ag::Variable vh = ag::Slice(vp, 2, lo, hi);  // [B, Tk, dh]
+
+    ag::Variable scores = ag::MulScalar(
+        ag::BatchMatMul(qh, ag::TransposeLast2(kh)), scale);  // [B, Tq, Tk]
+    if (monotonic_) {
+      // softplus keeps the decay positive; larger distance -> lower score.
+      ag::Variable theta = ag::Slice(decay_, 0, h, h + 1);        // [1]
+      ag::Variable softplus =
+          ag::Log(ag::AddScalar(ag::Exp(theta), 1.0f));           // [1]
+      ag::Variable penalty =
+          ag::Mul(ag::Reshape(softplus, Shape{1, 1, 1}), distance);
+      scores = ag::Sub(scores, penalty);
+    }
+    scores = ag::Add(scores, additive_mask);
+    ag::Variable probs = ag::SoftmaxLastDim(scores);
+    // Rows that can attend nowhere become exact zeros instead of uniform.
+    probs = ag::Mul(probs, row_any_mask);
+    if (attention_out) attention_out->push_back(probs.value().Clone());
+    if (ctx.train && dropout_p_ > 0.0f) {
+      KT_CHECK(ctx.rng != nullptr);
+      probs = ag::Dropout(probs, dropout_p_, *ctx.rng, ctx.train);
+    }
+    head_outputs.push_back(ag::BatchMatMul(probs, vh));  // [B, Tq, dh]
+  }
+
+  ag::Variable merged = num_heads_ == 1 ? head_outputs[0]
+                                        : ag::Concat(head_outputs, 2);
+  return out_proj_.Forward(merged);
+}
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
+                                   float dropout_p, bool monotonic, Rng& rng)
+    : attention_(dim, num_heads, dropout_p, monotonic, rng),
+      norm1_(dim),
+      norm2_(dim),
+      ff1_(dim, 2 * dim, rng),
+      ff2_(2 * dim, dim, rng),
+      dropout_p_(dropout_p) {
+  RegisterChild("attention", &attention_);
+  RegisterChild("norm1", &norm1_);
+  RegisterChild("norm2", &norm2_);
+  RegisterChild("ff1", &ff1_);
+  RegisterChild("ff2", &ff2_);
+}
+
+ag::Variable TransformerBlock::FeedForward(const ag::Variable& x,
+                                           const Context& ctx) const {
+  ag::Variable hidden = ag::Relu(ff1_.Forward(x));
+  if (ctx.train && dropout_p_ > 0.0f) {
+    hidden = ag::Dropout(hidden, dropout_p_, *ctx.rng, ctx.train);
+  }
+  return ff2_.Forward(hidden);
+}
+
+ag::Variable TransformerBlock::Forward(const ag::Variable& x,
+                                       const Tensor& mask, const Context& ctx,
+                                       std::vector<Tensor>* attention_out) const {
+  ag::Variable normed = norm1_.Forward(x);
+  ag::Variable attended =
+      attention_.Forward(normed, normed, normed, mask, ctx, attention_out);
+  ag::Variable mid = ag::Add(x, attended);
+  return ag::Add(mid, FeedForward(norm2_.Forward(mid), ctx));
+}
+
+ag::Variable TransformerBlock::ForwardCross(
+    const ag::Variable& q, const ag::Variable& kv, const Tensor& mask,
+    const Context& ctx, std::vector<Tensor>* attention_out) const {
+  ag::Variable qn = norm1_.Forward(q);
+  ag::Variable attended =
+      attention_.Forward(qn, kv, kv, mask, ctx, attention_out);
+  ag::Variable mid = ag::Add(q, attended);
+  return ag::Add(mid, FeedForward(norm2_.Forward(mid), ctx));
+}
+
+}  // namespace nn
+}  // namespace kt

@@ -1,0 +1,104 @@
+// Multi-head scaled dot-product attention and a transformer block.
+//
+// Heads are realized by chunking the feature dimension (dim / num_heads per
+// head) rather than by a 4-D permute; with the small dimensions used in this
+// library the two are equivalent and chunking keeps the tensor rank at 3.
+//
+// Two score variants are supported:
+//   * standard dot-product (SAKT),
+//   * monotonic distance decay (AKT): score_ij - softplus(theta_h) * |i-j|
+//     before softmax, a learned-per-head exponential decay with position
+//     distance. Because it depends on |i-j|, the same mechanism works in
+//     both causal and bidirectional settings ("duality of distance",
+//     paper Sec. V-A4).
+#ifndef KT_NN_ATTENTION_H_
+#define KT_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/layer_norm.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace nn {
+
+// Builds a [t, t] mask where entry (i, j) is 1 if position i may attend to
+// position j.
+//   kCausalStrict:          j <  i (SAKT-style, no self)
+//   kCausalInclusive:       j <= i (forward stream of a bidirectional
+//                                   encoder; outputs are shifted afterwards)
+//   kAntiCausalInclusive:   j >= i (backward stream)
+//   kBidirectionalNoSelf:   j != i
+//   kFull:                  all ones
+enum class AttentionMaskKind {
+  kCausalStrict,
+  kCausalInclusive,
+  kAntiCausalInclusive,
+  kBidirectionalNoSelf,
+  kFull,
+};
+Tensor MakeAttentionMask(int64_t t, AttentionMaskKind kind);
+
+class MultiHeadAttention : public Module {
+ public:
+  // `monotonic` enables the AKT-style distance decay.
+  MultiHeadAttention(int64_t dim, int64_t num_heads, float dropout_p,
+                     bool monotonic, Rng& rng);
+
+  // q, k, v: [B, T, dim]; `mask` is [Tq, Tk] (1 = attend). If
+  // `attention_out` is non-null it receives one [B, Tq, Tk] probability
+  // tensor per head (detached; for interpretability analyses).
+  ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
+                       const ag::Variable& v, const Tensor& mask,
+                       const Context& ctx,
+                       std::vector<Tensor>* attention_out = nullptr) const;
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  float dropout_p_;
+  bool monotonic_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  ag::Variable decay_;  // [num_heads] raw decay params (monotonic only)
+};
+
+// Pre-LN transformer block: x + Attn(LN(x)) then x + FFN(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int64_t num_heads, float dropout_p,
+                   bool monotonic, Rng& rng);
+
+  // Self-attention over x with the given mask.
+  ag::Variable Forward(const ag::Variable& x, const Tensor& mask,
+                       const Context& ctx,
+                       std::vector<Tensor>* attention_out = nullptr) const;
+
+  // Cross-attention: queries from `q`, keys/values from `kv`.
+  ag::Variable ForwardCross(const ag::Variable& q, const ag::Variable& kv,
+                            const Tensor& mask, const Context& ctx,
+                            std::vector<Tensor>* attention_out = nullptr) const;
+
+ private:
+  ag::Variable FeedForward(const ag::Variable& x, const Context& ctx) const;
+
+  MultiHeadAttention attention_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Linear ff1_;
+  Linear ff2_;
+  float dropout_p_;
+};
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_ATTENTION_H_

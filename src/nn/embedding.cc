@@ -1,0 +1,19 @@
+#include "nn/embedding.h"
+
+#include "nn/init.h"
+
+namespace kt {
+namespace nn {
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  table_ = RegisterParameter("table",
+                             EmbeddingNormal(num_embeddings, dim, rng));
+}
+
+ag::Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return ag::EmbeddingLookup(table_, indices);
+}
+
+}  // namespace nn
+}  // namespace kt

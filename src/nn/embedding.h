@@ -1,0 +1,37 @@
+// Trainable embedding table with index lookup.
+#ifndef KT_NN_EMBEDDING_H_
+#define KT_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  // Returns [indices.size(), dim]. Each index must be in
+  // [0, num_embeddings).
+  ag::Variable Forward(const std::vector<int64_t>& indices) const;
+
+  // Direct access to the table variable (e.g. for averaging question
+  // embeddings in concept-proficiency tracing, paper Eq. 30).
+  const ag::Variable& table() const { return table_; }
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  ag::Variable table_;  // [num_embeddings, dim]
+};
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_EMBEDDING_H_

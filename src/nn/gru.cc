@@ -1,0 +1,67 @@
+#include "nn/gru.h"
+
+#include "nn/init.h"
+
+namespace kt {
+namespace nn {
+
+GRUCell::GRUCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_x_ = RegisterParameter(
+      "w_x", LstmUniform(Shape{input_size, 3 * hidden_size}, hidden_size, rng));
+  w_h_ = RegisterParameter(
+      "w_h",
+      LstmUniform(Shape{hidden_size, 3 * hidden_size}, hidden_size, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{3 * hidden_size}));
+}
+
+ag::Variable GRUCell::Forward(const ag::Variable& x,
+                              const ag::Variable& h) const {
+  KT_CHECK_EQ(x.shape().back(), input_size_);
+  const int64_t n = hidden_size_;
+  ag::Variable zx = ag::Add(ag::MatMul(x, w_x_), bias_);  // [B, 3h]
+  ag::Variable zh = ag::MatMul(h, w_h_);                  // [B, 3h]
+
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(zx, 1, 0, n), ag::Slice(zh, 1, 0, n)));
+  ag::Variable z = ag::Sigmoid(
+      ag::Add(ag::Slice(zx, 1, n, 2 * n), ag::Slice(zh, 1, n, 2 * n)));
+  ag::Variable candidate = ag::Tanh(ag::Add(
+      ag::Slice(zx, 1, 2 * n, 3 * n),
+      ag::Mul(r, ag::Slice(zh, 1, 2 * n, 3 * n))));
+
+  // h' = (1 - z) * candidate + z * h
+  ag::Variable one_minus_z =
+      ag::Sub(ag::Constant(Tensor::Ones(z.shape())), z);
+  return ag::Add(ag::Mul(one_minus_z, candidate), ag::Mul(z, h));
+}
+
+ag::Variable GRUCell::InitialState(int64_t batch) const {
+  return ag::Constant(Tensor::Zeros(Shape{batch, hidden_size_}));
+}
+
+GRU::GRU(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterChild("cell", &cell_);
+}
+
+ag::Variable GRU::Forward(const ag::Variable& x, bool reverse) const {
+  KT_CHECK_EQ(x.shape().size(), 3u);
+  const int64_t batch = x.size(0);
+  const int64_t steps = x.size(1);
+
+  ag::Variable h = cell_.InitialState(batch);
+  std::vector<ag::Variable> outputs(static_cast<size_t>(steps));
+  for (int64_t s = 0; s < steps; ++s) {
+    const int64_t t = reverse ? steps - 1 - s : s;
+    ag::Variable x_t =
+        ag::Reshape(ag::Slice(x, 1, t, t + 1), Shape{batch, x.size(2)});
+    h = cell_.Forward(x_t, h);
+    outputs[static_cast<size_t>(t)] =
+        ag::Reshape(h, Shape{batch, 1, cell_.hidden_size()});
+  }
+  return ag::Concat(outputs, 1);
+}
+
+}  // namespace nn
+}  // namespace kt

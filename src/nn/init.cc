@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace kt {
+namespace nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(Shape{fan_in, fan_out}, -bound, bound, rng);
+}
+
+Tensor LstmUniform(Shape shape, int64_t hidden, Rng& rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden));
+  return Tensor::Uniform(std::move(shape), -bound, bound, rng);
+}
+
+Tensor EmbeddingNormal(int64_t rows, int64_t cols, Rng& rng, float scale) {
+  return Tensor::Randn(Shape{rows, cols}, 0.0f, scale, rng);
+}
+
+}  // namespace nn
+}  // namespace kt

@@ -1,0 +1,25 @@
+// Parameter initialization schemes.
+#ifndef KT_NN_INIT_H_
+#define KT_NN_INIT_H_
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace kt {
+namespace nn {
+
+// Xavier/Glorot uniform for a [fan_in, fan_out] weight matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// Uniform(-1/sqrt(fan_in), 1/sqrt(fan_in)) for recurrent weights (PyTorch
+// LSTM default).
+Tensor LstmUniform(Shape shape, int64_t hidden, Rng& rng);
+
+// N(0, scale) embedding initialization.
+Tensor EmbeddingNormal(int64_t rows, int64_t cols, Rng& rng,
+                       float scale = 0.05f);
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_INIT_H_

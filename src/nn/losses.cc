@@ -1,0 +1,56 @@
+#include "nn/losses.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace nn {
+namespace {
+
+float MaskSum(const Tensor& mask) {
+  float total = SumAll(mask).item();
+  KT_CHECK_GT(total, 0.0f) << "loss mask is empty";
+  return total;
+}
+
+}  // namespace
+
+ag::Variable BinaryCrossEntropyWithLogits(const ag::Variable& logits,
+                                          const Tensor& targets,
+                                          const Tensor& mask) {
+  KT_CHECK(logits.value().SameShape(targets));
+  KT_CHECK(logits.value().SameShape(mask));
+
+  ag::Variable zero = ag::Constant(Tensor::Zeros(logits.shape()));
+  ag::Variable y = ag::Constant(targets);
+  // |x| = max(x, -x)
+  ag::Variable abs_x = ag::Maximum(logits, ag::Neg(logits));
+  ag::Variable elem = ag::Add(
+      ag::Sub(ag::Maximum(logits, zero), ag::Mul(logits, y)),
+      ag::Log(ag::AddScalar(ag::Exp(ag::Neg(abs_x)), 1.0f)));
+  ag::Variable masked = ag::Mul(elem, ag::Constant(mask));
+  return ag::MulScalar(ag::SumAll(masked), 1.0f / MaskSum(mask));
+}
+
+ag::Variable BinaryCrossEntropyFromProbs(const ag::Variable& probs,
+                                         const Tensor& targets,
+                                         const Tensor& mask, float eps) {
+  KT_CHECK(probs.value().SameShape(targets));
+  KT_CHECK(probs.value().SameShape(mask));
+
+  ag::Variable y = ag::Constant(targets);
+  ag::Variable one_minus_y = ag::Constant(Map(targets, [](float v) {
+    return 1.0f - v;
+  }));
+  ag::Variable log_p = ag::Log(ag::AddScalar(probs, eps));
+  ag::Variable log_q =
+      ag::Log(ag::AddScalar(ag::Sub(ag::Constant(Tensor::Ones(probs.shape())),
+                                    probs),
+                            eps));
+  ag::Variable elem =
+      ag::Neg(ag::Add(ag::Mul(y, log_p), ag::Mul(one_minus_y, log_q)));
+  ag::Variable masked = ag::Mul(elem, ag::Constant(mask));
+  return ag::MulScalar(ag::SumAll(masked), 1.0f / MaskSum(mask));
+}
+
+}  // namespace nn
+}  // namespace kt

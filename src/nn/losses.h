@@ -1,0 +1,30 @@
+// Loss functions shared by the baselines and RCKT's joint-training terms.
+#ifndef KT_NN_LOSSES_H_
+#define KT_NN_LOSSES_H_
+
+#include "autograd/ops.h"
+
+namespace kt {
+namespace nn {
+
+// Numerically stable binary cross entropy from raw logits:
+//   mean over mask of [ max(x,0) - x*y + log(1 + exp(-|x|)) ].
+// `logits`, `targets` (0/1) and `mask` (0/1) share one shape. Positions with
+// mask == 0 contribute nothing; the mean is over the mask sum (which must be
+// positive).
+ag::Variable BinaryCrossEntropyWithLogits(const ag::Variable& logits,
+                                          const Tensor& targets,
+                                          const Tensor& mask);
+
+// BCE from probabilities in (0, 1), with an epsilon clamp inside the logs.
+// Used where the model's interface hands out probabilities rather than
+// logits (RCKT's probability generator).
+ag::Variable BinaryCrossEntropyFromProbs(const ag::Variable& probs,
+                                         const Tensor& targets,
+                                         const Tensor& mask,
+                                         float eps = 1e-6f);
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_LOSSES_H_

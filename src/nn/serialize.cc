@@ -1,0 +1,112 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace kt {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'T', 'W', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+
+  const auto params = module.Parameters();
+  const auto names = module.ParameterNames();
+  KT_CHECK_EQ(params.size(), names.size());
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& value = params[i].value();
+    WritePod(out, static_cast<uint32_t>(names[i].size()));
+    out.write(names[i].data(),
+              static_cast<std::streamsize>(names[i].size()));
+    WritePod(out, static_cast<uint32_t>(value.dim()));
+    for (int64_t d = 0; d < value.dim(); ++d) {
+      WritePod(out, static_cast<int64_t>(value.size(d)));
+    }
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(sizeof(float) * value.numel()));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadModule(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+
+  auto params = module.Parameters();
+  const auto names = module.ParameterNames();
+
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", module has " + std::to_string(params.size()));
+  }
+
+  // Stage everything first so a mid-file error leaves the module untouched.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) return Status::IoError("truncated name len");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) return Status::IoError("truncated name");
+    if (name != names[i]) {
+      return Status::InvalidArgument("parameter name mismatch at index " +
+                                     std::to_string(i) + ": file '" + name +
+                                     "' vs module '" + names[i] + "'");
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank)) return Status::IoError("truncated rank");
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &shape[d])) return Status::IoError("truncated shape");
+    }
+    if (shape != params[i].value().shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': file " + ShapeToString(shape) +
+          " vs module " + ShapeToString(params[i].value().shape()));
+    }
+    Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(sizeof(float) * value.numel()));
+    if (!in) return Status::IoError("truncated data for '" + name + "'");
+    staged.push_back(std::move(value));
+  }
+
+  module.SetState(staged);
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace kt

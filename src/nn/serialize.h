@@ -1,0 +1,30 @@
+// Binary (de)serialization of module parameters.
+//
+// Format (little-endian):
+//   magic "KTW1" | uint64 param_count |
+//   per param: uint32 name_len | name bytes | uint32 rank |
+//              int64 dims[rank] | float data[numel]
+// Loading verifies parameter names and shapes against the module, so a
+// checkpoint cannot be silently applied to a different architecture.
+#ifndef KT_NN_SERIALIZE_H_
+#define KT_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace nn {
+
+// Writes all parameters of `module` to `path`.
+Status SaveModule(const Module& module, const std::string& path);
+
+// Restores parameters from `path` into `module`. Fails (without partial
+// modification) on magic/name/shape mismatch.
+Status LoadModule(Module& module, const std::string& path);
+
+}  // namespace nn
+}  // namespace kt
+
+#endif  // KT_NN_SERIALIZE_H_

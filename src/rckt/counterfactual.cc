@@ -1,0 +1,95 @@
+#include "rckt/counterfactual.h"
+
+#include "core/check.h"
+#include "models/embedder.h"
+
+namespace kt {
+namespace rckt {
+namespace {
+
+using models::kResponseMasked;
+
+void CheckArgs(const std::vector<int>& responses, int64_t target) {
+  KT_CHECK(!responses.empty());
+  KT_CHECK(target >= 0 &&
+           target < static_cast<int64_t>(responses.size()));
+  for (int r : responses) KT_CHECK(r == 0 || r == 1);
+}
+
+}  // namespace
+
+std::vector<int> AssumedFactualCategories(const std::vector<int>& responses,
+                                          int64_t target,
+                                          int assumed_correct) {
+  CheckArgs(responses, target);
+  KT_CHECK(assumed_correct == 0 || assumed_correct == 1);
+  std::vector<int> categories = responses;
+  categories[static_cast<size_t>(target)] = assumed_correct;
+  return categories;
+}
+
+std::vector<int> BackwardCounterfactualCategories(
+    const std::vector<int>& responses, int64_t target, int flipped_correct,
+    bool apply_monotonicity) {
+  CheckArgs(responses, target);
+  KT_CHECK(flipped_correct == 0 || flipped_correct == 1);
+  std::vector<int> categories = responses;
+  categories[static_cast<size_t>(target)] = flipped_correct;
+  if (!apply_monotonicity) return categories;
+
+  // Monotonicity: flipping the target to `flipped_correct` moves inferred
+  // proficiency in that direction, so responses of the SAME correctness
+  // remain consistent (retained) while opposite ones become unreliable
+  // (masked).
+  for (int64_t i = 0; i < static_cast<int64_t>(responses.size()); ++i) {
+    if (i == target) continue;
+    if (responses[static_cast<size_t>(i)] != flipped_correct) {
+      categories[static_cast<size_t>(i)] = kResponseMasked;
+    }
+  }
+  return categories;
+}
+
+std::vector<int> ForwardCounterfactualCategories(
+    const std::vector<int>& responses, int64_t target, int64_t flip_index,
+    bool apply_monotonicity) {
+  CheckArgs(responses, target);
+  KT_CHECK(flip_index >= 0 &&
+           flip_index < static_cast<int64_t>(responses.size()));
+  KT_CHECK_NE(flip_index, target);
+
+  const int flipped = 1 - responses[static_cast<size_t>(flip_index)];
+  std::vector<int> categories = responses;
+  categories[static_cast<size_t>(flip_index)] = flipped;
+  categories[static_cast<size_t>(target)] = kResponseMasked;
+  if (!apply_monotonicity) return categories;
+
+  for (int64_t i = 0; i < static_cast<int64_t>(responses.size()); ++i) {
+    if (i == flip_index || i == target) continue;
+    if (responses[static_cast<size_t>(i)] != flipped) {
+      categories[static_cast<size_t>(i)] = kResponseMasked;
+    }
+  }
+  return categories;
+}
+
+std::vector<int> MaskedTargetCategories(const std::vector<int>& responses,
+                                        int64_t target) {
+  CheckArgs(responses, target);
+  std::vector<int> categories = responses;
+  categories[static_cast<size_t>(target)] = kResponseMasked;
+  return categories;
+}
+
+std::vector<int> MaskByCorrectness(const std::vector<int>& responses,
+                                   bool keep_correct) {
+  std::vector<int> categories = responses;
+  for (auto& c : categories) {
+    KT_CHECK(c == 0 || c == 1);
+    if ((c == 1) != keep_correct) c = kResponseMasked;
+  }
+  return categories;
+}
+
+}  // namespace rckt
+}  // namespace kt

@@ -1,0 +1,63 @@
+// Counterfactual sequence construction (paper Sec. IV-B).
+//
+// Pure functions over response-category vectors, independent of any model,
+// so the mask/retain logic mandated by the monotonicity assumption is
+// testable in isolation. Categories use the shared convention
+// {0 incorrect, 1 correct, 2 masked} (models::kResponse*).
+//
+// Two directions exist:
+//   * Backward (the response-influence approximation, Eq. 19): the
+//     intervention is applied to the TARGET position; past responses that
+//     agree with the flipped target outcome are retained, the rest masked.
+//   * Forward (the original formulation, Eq. 4-5, kept for Table VI): the
+//     intervention flips ONE PAST response; all other responses agreeing
+//     with the flip direction are retained, the rest masked, and the target
+//     is masked because it is what we predict.
+#ifndef KT_RCKT_COUNTERFACTUAL_H_
+#define KT_RCKT_COUNTERFACTUAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kt {
+namespace rckt {
+
+// Factual categories with the target position set to an ASSUMED outcome.
+// `responses` covers positions 0..n-1 of a prefix window whose last position
+// `target` is the target question. Sets cat[target] = assumed_correct.
+std::vector<int> AssumedFactualCategories(const std::vector<int>& responses,
+                                          int64_t target, int assumed_correct);
+
+// Backward counterfactual after flipping the assumed target outcome
+// (Eq. 19). With the target flipped to incorrect (flipped_correct == 0),
+// proficiency dropped: incorrect past responses are retained, correct ones
+// masked. Vice versa for flipped_correct == 1.
+// When `apply_monotonicity` is false (the -mono ablation), no mask/retain is
+// performed: only the target category changes.
+std::vector<int> BackwardCounterfactualCategories(
+    const std::vector<int>& responses, int64_t target, int flipped_correct,
+    bool apply_monotonicity = true);
+
+// Forward counterfactual for flipping past response `flip_index` (Eq. 4-5).
+// The flipped position takes the opposite of its factual value; responses
+// elsewhere that match the flipped value are retained, others masked; the
+// target position is masked (it is the prediction).
+std::vector<int> ForwardCounterfactualCategories(
+    const std::vector<int>& responses, int64_t target, int64_t flip_index,
+    bool apply_monotonicity = true);
+
+// Factual categories with the target masked — the forward-mode factual
+// input for predicting the target.
+std::vector<int> MaskedTargetCategories(const std::vector<int>& responses,
+                                        int64_t target);
+
+// Joint-training augmentations (Eq. 28): factual categories with every
+// response of the given correctness masked. keep_correct == true masks the
+// incorrect responses (yielding {(Q,R)+, (Q,M)-}), and vice versa.
+std::vector<int> MaskByCorrectness(const std::vector<int>& responses,
+                                   bool keep_correct);
+
+}  // namespace rckt
+}  // namespace kt
+
+#endif  // KT_RCKT_COUNTERFACTUAL_H_

@@ -1,0 +1,148 @@
+#include "rckt/encoders.h"
+
+#include "autograd/ops.h"
+
+namespace kt {
+namespace rckt {
+
+const char* EncoderKindName(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kDKT:
+      return "DKT";
+    case EncoderKind::kSAKT:
+      return "SAKT";
+    case EncoderKind::kAKT:
+      return "AKT";
+    case EncoderKind::kGRU:
+      return "GRU";
+  }
+  return "?";
+}
+
+ag::Variable ShiftAndAdd(const ag::Variable& forward_stream,
+                         const ag::Variable& backward_stream) {
+  const int64_t b = forward_stream.size(0);
+  const int64_t t = forward_stream.size(1);
+  const int64_t d = forward_stream.size(2);
+  ag::Variable zeros = ag::Constant(Tensor::Zeros(Shape{b, 1, d}));
+  // fwd_{i-1}: shift right; bwd_{i+1}: shift left.
+  ag::Variable f_shift =
+      ag::Concat({zeros, ag::Slice(forward_stream, 1, 0, t - 1)}, 1);
+  ag::Variable b_shift =
+      ag::Concat({ag::Slice(backward_stream, 1, 1, t), zeros}, 1);
+  return ag::Add(f_shift, b_shift);
+}
+
+BiLstmEncoder::BiLstmEncoder(int64_t dim, int64_t num_layers, float dropout_p,
+                             Rng& rng)
+    : dropout_p_(dropout_p) {
+  KT_CHECK_GT(num_layers, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    forward_layers_.push_back(std::make_unique<nn::LSTM>(dim, dim, rng));
+    RegisterChild("fwd" + std::to_string(l), forward_layers_.back().get());
+    backward_layers_.push_back(std::make_unique<nn::LSTM>(dim, dim, rng));
+    RegisterChild("bwd" + std::to_string(l), backward_layers_.back().get());
+  }
+}
+
+ag::Variable BiLstmEncoder::Encode(const ag::Variable& a,
+                                   const nn::Context& ctx) {
+  ag::Variable f = a;
+  for (const auto& layer : forward_layers_) {
+    f = layer->Forward(f, /*reverse=*/false);
+    if (ctx.train && dropout_p_ > 0.0f)
+      f = ag::Dropout(f, dropout_p_, *ctx.rng, true);
+  }
+  ag::Variable b = a;
+  for (const auto& layer : backward_layers_) {
+    b = layer->Forward(b, /*reverse=*/true);
+    if (ctx.train && dropout_p_ > 0.0f)
+      b = ag::Dropout(b, dropout_p_, *ctx.rng, true);
+  }
+  return ShiftAndAdd(f, b);
+}
+
+BiGruEncoder::BiGruEncoder(int64_t dim, int64_t num_layers, float dropout_p,
+                           Rng& rng)
+    : dropout_p_(dropout_p) {
+  KT_CHECK_GT(num_layers, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    forward_layers_.push_back(std::make_unique<nn::GRU>(dim, dim, rng));
+    RegisterChild("fwd" + std::to_string(l), forward_layers_.back().get());
+    backward_layers_.push_back(std::make_unique<nn::GRU>(dim, dim, rng));
+    RegisterChild("bwd" + std::to_string(l), backward_layers_.back().get());
+  }
+}
+
+ag::Variable BiGruEncoder::Encode(const ag::Variable& a,
+                                  const nn::Context& ctx) {
+  ag::Variable f = a;
+  for (const auto& layer : forward_layers_) {
+    f = layer->Forward(f, /*reverse=*/false);
+    if (ctx.train && dropout_p_ > 0.0f)
+      f = ag::Dropout(f, dropout_p_, *ctx.rng, true);
+  }
+  ag::Variable b = a;
+  for (const auto& layer : backward_layers_) {
+    b = layer->Forward(b, /*reverse=*/true);
+    if (ctx.train && dropout_p_ > 0.0f)
+      b = ag::Dropout(b, dropout_p_, *ctx.rng, true);
+  }
+  return ShiftAndAdd(f, b);
+}
+
+BiAttentionEncoder::BiAttentionEncoder(int64_t dim, int64_t num_layers,
+                                       int64_t num_heads, float dropout_p,
+                                       bool monotonic, Rng& rng) {
+  KT_CHECK_GT(num_layers, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    forward_blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        dim, num_heads, dropout_p, monotonic, rng));
+    RegisterChild("fwd" + std::to_string(l), forward_blocks_.back().get());
+    backward_blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        dim, num_heads, dropout_p, monotonic, rng));
+    RegisterChild("bwd" + std::to_string(l), backward_blocks_.back().get());
+  }
+}
+
+ag::Variable BiAttentionEncoder::Encode(const ag::Variable& a,
+                                        const nn::Context& ctx) {
+  const int64_t t = a.size(1);
+  const Tensor causal =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalInclusive);
+  const Tensor anticausal =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kAntiCausalInclusive);
+
+  ag::Variable f = a;
+  for (const auto& block : forward_blocks_) {
+    f = block->Forward(f, causal, ctx);
+  }
+  ag::Variable b = a;
+  for (const auto& block : backward_blocks_) {
+    b = block->Forward(b, anticausal, ctx);
+  }
+  return ShiftAndAdd(f, b);
+}
+
+std::unique_ptr<BiEncoder> MakeBiEncoder(EncoderKind kind, int64_t dim,
+                                         int64_t num_layers,
+                                         int64_t num_heads, float dropout_p,
+                                         Rng& rng) {
+  switch (kind) {
+    case EncoderKind::kDKT:
+      return std::make_unique<BiLstmEncoder>(dim, num_layers, dropout_p, rng);
+    case EncoderKind::kSAKT:
+      return std::make_unique<BiAttentionEncoder>(
+          dim, num_layers, num_heads, dropout_p, /*monotonic=*/false, rng);
+    case EncoderKind::kAKT:
+      return std::make_unique<BiAttentionEncoder>(
+          dim, num_layers, num_heads, dropout_p, /*monotonic=*/true, rng);
+    case EncoderKind::kGRU:
+      return std::make_unique<BiGruEncoder>(dim, num_layers, dropout_p, rng);
+  }
+  KT_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace rckt
+}  // namespace kt

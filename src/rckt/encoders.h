@@ -1,0 +1,94 @@
+// Bidirectional knowledge-state encoders (paper Eq. 25).
+//
+// h_i = FwdEnc(a_{0..i-1}) + BwdEnc(a_{i+1..T-1}):
+// a forward stream summarizing everything strictly before i plus a backward
+// stream summarizing everything strictly after i. The two streams never mix
+// until the final shift-and-add, which guarantees the encoder output at
+// position i carries NO information about a_i itself — essential, because
+// a_i contains the response label the probability generator predicts, and
+// any multi-layer bidirectional mixing (a BERT-style no-self mask) would
+// leak it through two hops.
+//
+// Three flavors adapt the sequential encoders of DKT, SAKT and AKT
+// (paper Sec. V-A4):
+//   * BiLstmEncoder          — stacked LSTMs per direction (RCKT-DKT),
+//   * BiAttentionEncoder     — stacked transformer blocks with causal /
+//     anticausal inclusive masks; standard dot-product attention (RCKT-SAKT)
+//     or monotonic distance-decay attention (RCKT-AKT).
+#ifndef KT_RCKT_ENCODERS_H_
+#define KT_RCKT_ENCODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+
+namespace kt {
+namespace rckt {
+
+// kGRU is an extension beyond the paper's three variants, demonstrating
+// the encoder adaptivity claim with a fourth sequential core.
+enum class EncoderKind { kDKT, kSAKT, kAKT, kGRU };
+const char* EncoderKindName(EncoderKind kind);
+
+class BiEncoder : public nn::Module {
+ public:
+  ~BiEncoder() override = default;
+
+  // `a` is [B, T, d]; the result [B, T, d] at position i depends only on
+  // positions j != i (j < i through the forward stream, j > i backward).
+  virtual ag::Variable Encode(const ag::Variable& a,
+                              const nn::Context& ctx) = 0;
+};
+
+class BiLstmEncoder : public BiEncoder {
+ public:
+  BiLstmEncoder(int64_t dim, int64_t num_layers, float dropout_p, Rng& rng);
+  ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
+
+ private:
+  float dropout_p_;
+  std::vector<std::unique_ptr<nn::LSTM>> forward_layers_;
+  std::vector<std::unique_ptr<nn::LSTM>> backward_layers_;
+};
+
+class BiGruEncoder : public BiEncoder {
+ public:
+  BiGruEncoder(int64_t dim, int64_t num_layers, float dropout_p, Rng& rng);
+  ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
+
+ private:
+  float dropout_p_;
+  std::vector<std::unique_ptr<nn::GRU>> forward_layers_;
+  std::vector<std::unique_ptr<nn::GRU>> backward_layers_;
+};
+
+class BiAttentionEncoder : public BiEncoder {
+ public:
+  BiAttentionEncoder(int64_t dim, int64_t num_layers, int64_t num_heads,
+                     float dropout_p, bool monotonic, Rng& rng);
+  ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
+
+ private:
+  std::vector<std::unique_ptr<nn::TransformerBlock>> forward_blocks_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> backward_blocks_;
+};
+
+// Factory over the three paper variants.
+std::unique_ptr<BiEncoder> MakeBiEncoder(EncoderKind kind, int64_t dim,
+                                         int64_t num_layers,
+                                         int64_t num_heads, float dropout_p,
+                                         Rng& rng);
+
+// Combines per-direction streams: out_i = fwd_{i-1} + bwd_{i+1} with zero
+// boundaries (exposed for testing).
+ag::Variable ShiftAndAdd(const ag::Variable& forward_stream,
+                         const ag::Variable& backward_stream);
+
+}  // namespace rckt
+}  // namespace kt
+
+#endif  // KT_RCKT_ENCODERS_H_

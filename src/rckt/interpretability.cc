@@ -1,0 +1,160 @@
+#include "rckt/interpretability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "rckt/samples.h"
+
+namespace kt {
+namespace rckt {
+namespace {
+
+// Rebuilds a prefix sequence with the history positions in `drop` removed
+// (the target stays last).
+data::ResponseSequence DropPositions(const data::ResponseSequence& seq,
+                                     int64_t target,
+                                     const std::vector<int64_t>& drop) {
+  data::ResponseSequence out;
+  out.student = seq.student;
+  for (int64_t t = 0; t <= target; ++t) {
+    if (t != target &&
+        std::find(drop.begin(), drop.end(), t) != drop.end()) {
+      continue;
+    }
+    out.interactions.push_back(seq.interactions[static_cast<size_t>(t)]);
+  }
+  return out;
+}
+
+float ScoreOne(RCKT& model, const data::ResponseSequence& prefix) {
+  data::ResponseSequence copy = prefix;  // MakePrefixBatch needs a target
+  PrefixSample sample{&copy, copy.length() - 1};
+  data::Batch batch = MakePrefixBatch({sample});
+  return model.ScoreTargets(batch)[0];
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  KT_CHECK_EQ(a.size(), b.size());
+  const double n = static_cast<double>(a.size());
+  if (n < 2) return 0.0;
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+DeletionFidelityResult DeletionFidelity(RCKT& model,
+                                        const data::Dataset& dataset,
+                                        int64_t k, int64_t max_samples,
+                                        Rng& rng) {
+  KT_CHECK_GT(k, 0);
+  DeletionFidelityResult result;
+  double targeted_total = 0.0, random_total = 0.0;
+
+  for (const auto& seq : dataset.sequences) {
+    if (result.num_samples >= max_samples) break;
+    const int64_t target = seq.length() - 1;
+    if (target < k + 2) continue;
+
+    PrefixSample sample{&seq, target};
+    data::Batch batch = MakePrefixBatch({sample});
+    const float base = model.ScoreTargets(batch)[0];
+    const auto explanation = model.ExplainTargets(batch).front();
+
+    // Top-k history positions by |influence|.
+    std::vector<int64_t> order(static_cast<size_t>(target));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+      return std::fabs(explanation.influence[static_cast<size_t>(x)]) >
+             std::fabs(explanation.influence[static_cast<size_t>(y)]);
+    });
+    std::vector<int64_t> top(order.begin(), order.begin() + k);
+    const float targeted =
+        ScoreOne(model, DropPositions(seq, target, top));
+
+    // k uniformly random history positions.
+    rng.Shuffle(order);
+    std::vector<int64_t> random_pick(order.begin(), order.begin() + k);
+    const float random_score =
+        ScoreOne(model, DropPositions(seq, target, random_pick));
+
+    targeted_total += std::fabs(targeted - base);
+    random_total += std::fabs(random_score - base);
+    ++result.num_samples;
+  }
+
+  if (result.num_samples > 0) {
+    result.targeted_shift = targeted_total / result.num_samples;
+    result.random_shift = random_total / result.num_samples;
+    result.fidelity_ratio =
+        result.random_shift > 1e-12
+            ? result.targeted_shift / result.random_shift
+            : 0.0;
+  }
+  return result;
+}
+
+ProficiencyFidelityResult ProficiencyFidelity(
+    RCKT& model, const data::StudentSimulator& simulator,
+    int64_t num_students, int64_t sequence_length) {
+  // Concept -> question pool for the Eq. 30 probe.
+  std::map<int64_t, std::vector<int64_t>> concept_questions;
+  for (int64_t q = 0;
+       q < static_cast<int64_t>(simulator.question_concepts().size()); ++q) {
+    for (int64_t k : simulator.question_concepts()[static_cast<size_t>(q)]) {
+      concept_questions[k].push_back(q);
+    }
+  }
+
+  ProficiencyFidelityResult result;
+  double correlation_total = 0.0;
+  for (int64_t s = 0; s < num_students; ++s) {
+    data::SimulationTrace trace;
+    const data::ResponseSequence student = simulator.GenerateStudent(
+        sequence_length, /*student_seed=*/700000 + static_cast<uint64_t>(s),
+        &trace);
+
+    // Most practiced primary concept.
+    std::map<int64_t, int> counts;
+    for (const auto& it : student.interactions) counts[it.concepts[0]]++;
+    int64_t traced = student.interactions[0].concepts[0];
+    for (const auto& [k, c] : counts) {
+      if (c > counts[traced]) traced = k;
+    }
+
+    std::vector<double> predicted, truth;
+    for (int64_t t = 1; t < sequence_length; ++t) {
+      data::ResponseSequence prefix;
+      prefix.student = student.student;
+      prefix.interactions.assign(
+          student.interactions.begin(),
+          student.interactions.begin() + static_cast<size_t>(t + 1));
+      prefix.interactions.push_back({0, 0, {0}});  // probe placeholder
+      data::Batch batch = data::MakeBatch({&prefix});
+      predicted.push_back(
+          model.ScoreConceptProbe(batch, concept_questions[traced], traced)[0]);
+      truth.push_back(trace.proficiency[static_cast<size_t>(t)]
+                                       [static_cast<size_t>(traced)]);
+    }
+    correlation_total += PearsonCorrelation(predicted, truth);
+    ++result.num_students;
+  }
+  if (result.num_students > 0) {
+    result.mean_correlation = correlation_total / result.num_students;
+  }
+  return result;
+}
+
+}  // namespace rckt
+}  // namespace kt

@@ -1,0 +1,68 @@
+// Quantitative interpretability metrics for response influences.
+//
+// The paper (Sec. V-E) argues influence quality cannot be quantified on
+// real datasets: there are no explanation annotations, and deleting
+// responses perturbs the student's entire inferred state. Our synthetic
+// substrate removes both obstacles, so this module implements two
+// quantitative checks as an extension:
+//
+//   * Deletion fidelity: mask the k MOST influential history responses and
+//     measure the change in the model's decision statistic, against masking
+//     k RANDOM responses. Faithful influences => targeted deletion moves
+//     the score more than random deletion.
+//   * Proficiency fidelity: Pearson correlation between the traced
+//     per-concept proficiency (Eq. 30 probe) and the simulator's
+//     ground-truth latent theta along a student's trajectory.
+#ifndef KT_RCKT_INTERPRETABILITY_H_
+#define KT_RCKT_INTERPRETABILITY_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/simulator.h"
+#include "rckt/rckt_model.h"
+
+namespace kt {
+namespace rckt {
+
+struct DeletionFidelityResult {
+  // Mean |score change| when masking the top-k most influential responses.
+  double targeted_shift = 0.0;
+  // Mean |score change| when masking k uniformly random responses.
+  double random_shift = 0.0;
+  // targeted / random; > 1 means influences identify the responses that
+  // actually matter.
+  double fidelity_ratio = 0.0;
+  int64_t num_samples = 0;
+};
+
+// Runs the deletion test over prefix samples drawn from `dataset`.
+// `k` responses are masked per sample; samples with fewer than k + 2
+// history responses are skipped.
+DeletionFidelityResult DeletionFidelity(RCKT& model,
+                                        const data::Dataset& dataset,
+                                        int64_t k, int64_t max_samples,
+                                        Rng& rng);
+
+struct ProficiencyFidelityResult {
+  // Mean per-student Pearson correlation between traced proficiency and
+  // ground-truth theta on the most practiced concept.
+  double mean_correlation = 0.0;
+  int64_t num_students = 0;
+};
+
+// Generates `num_students` fresh simulated students (with ground-truth
+// traces) and correlates the model's concept-probe proficiency against the
+// latent theta.
+ProficiencyFidelityResult ProficiencyFidelity(
+    RCKT& model, const data::StudentSimulator& simulator,
+    int64_t num_students, int64_t sequence_length);
+
+// Pearson correlation helper (exposed for tests).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace rckt
+}  // namespace kt
+
+#endif  // KT_RCKT_INTERPRETABILITY_H_

@@ -1,0 +1,522 @@
+#include "rckt/rckt_model.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/losses.h"
+#include "rckt/counterfactual.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace rckt {
+namespace {
+
+constexpr float kLogEps = 1e-6f;
+
+// Extracts one row's responses from a flattened batch.
+std::vector<int> RowResponses(const data::Batch& batch, int64_t b) {
+  std::vector<int> out(static_cast<size_t>(batch.max_len));
+  for (int64_t t = 0; t < batch.max_len; ++t) {
+    out[static_cast<size_t>(t)] =
+        batch.responses[static_cast<size_t>(batch.FlatIndex(b, t))];
+  }
+  return out;
+}
+
+// Writes one row's categories back into a flattened vector.
+void PutRow(std::vector<int>& flat, const data::Batch& batch, int64_t b,
+            const std::vector<int>& row) {
+  for (int64_t t = 0; t < batch.max_len; ++t) {
+    flat[static_cast<size_t>(batch.FlatIndex(b, t))] =
+        row[static_cast<size_t>(t)];
+  }
+}
+
+}  // namespace
+
+RcktConfig RcktConfigFor(const std::string& dataset, EncoderKind encoder) {
+  // Paper Table III: {lr, lambda, l2, dropout, layers} per dataset/encoder.
+  // Values follow the table; layer counts are capped at 2 for the CPU build.
+  struct Row {
+    float lr, lambda, l2, dropout;
+    int64_t layers;
+  };
+  auto pick = [&]() -> Row {
+    const bool dkt = encoder == EncoderKind::kDKT;
+    const bool sakt = encoder == EncoderKind::kSAKT;
+    if (dataset == "assist09") {
+      if (dkt) return {1e-3f, 0.1f, 1e-5f, 0.3f, 2};
+      if (sakt) return {2e-3f, 0.1f, 2e-4f, 0.2f, 2};
+      return {5e-4f, 0.01f, 5e-5f, 0.0f, 2};
+    }
+    if (dataset == "assist12") {
+      if (dkt) return {2e-3f, 0.01f, 1e-5f, 0.0f, 2};
+      if (sakt) return {2e-3f, 0.1f, 5e-4f, 0.2f, 2};
+      return {5e-4f, 0.05f, 1e-5f, 0.0f, 2};
+    }
+    if (dataset == "slepemapy") {
+      if (dkt) return {1e-3f, 0.1f, 0.0f, 0.0f, 2};
+      if (sakt) return {5e-4f, 0.4f, 1e-5f, 0.0f, 2};
+      return {5e-4f, 0.01f, 1e-5f, 0.0f, 2};
+    }
+    // eedi (default)
+    if (dkt) return {1e-3f, 0.1f, 0.0f, 0.0f, 2};
+    if (sakt) return {1e-3f, 0.1f, 1e-5f, 0.0f, 2};
+    return {5e-4f, 0.01f, 1e-5f, 0.0f, 2};
+  };
+  const Row row = pick();
+  RcktConfig config;
+  config.encoder = encoder;
+  config.lr = row.lr;
+  config.lambda = row.lambda;
+  config.weight_decay = row.l2;
+  config.dropout = row.dropout;
+  config.num_layers = row.layers;
+  return config;
+}
+
+RCKT::RCKT(int64_t num_questions, int64_t num_concepts, RcktConfig config)
+    : config_(config),
+      rng_(config.seed * 77 + 13),
+      embedder_(num_questions, num_concepts, config.dim, rng_),
+      mlp_hidden_(2 * config.dim, config.dim, rng_),
+      mlp_out_(config.dim, 1, rng_) {
+  RegisterChild("embedder", &embedder_);
+  encoder_ = MakeBiEncoder(config.encoder, config.dim, config.num_layers,
+                           config.num_heads, config.dropout, rng_);
+  RegisterChild("encoder", encoder_.get());
+  RegisterChild("mlp_hidden", &mlp_hidden_);
+  RegisterChild("mlp_out", &mlp_out_);
+
+  nn::AdamOptions options;
+  options.lr = config.lr;
+  options.weight_decay = config.weight_decay;
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), options);
+}
+
+std::string RCKT::name() const {
+  return std::string("RCKT-") + EncoderKindName(config_.encoder);
+}
+
+void RCKT::CheckEqualLength(const data::Batch& batch) {
+  for (int64_t len : batch.lengths) {
+    KT_CHECK_EQ(len, batch.max_len)
+        << "RCKT requires equal-length prefix batches";
+  }
+  KT_CHECK_GE(batch.max_len, 2) << "need at least one history response";
+}
+
+ag::Variable RCKT::GenerateProbs(const data::Batch& batch,
+                                 const std::vector<int>& categories,
+                                 const nn::Context& ctx,
+                                 const ag::Variable* probe) const {
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.max_len;
+  const int64_t d = config_.dim;
+
+  ag::Variable e = embedder_.QuestionEmbed(batch);  // [B, T, d]
+  if (probe != nullptr) {
+    // Replace the target (last) position's question embedding with the
+    // probe, broadcast across the batch.
+    ag::Variable probe_rows = ag::Add(
+        ag::Reshape(*probe, Shape{1, 1, d}),
+        ag::Constant(Tensor::Zeros(Shape{b, 1, d})));
+    e = ag::Concat({ag::Slice(e, 1, 0, t - 1), probe_rows}, 1);
+  }
+
+  std::vector<int64_t> r_idx(categories.begin(), categories.end());
+  ag::Variable r = ag::Reshape(
+      ag::EmbeddingLookup(embedder_.response_table(), r_idx), Shape{b, t, d});
+  ag::Variable a = ag::Add(e, r);
+
+  ag::Variable h = encoder_->Encode(a, ctx);
+  ag::Variable x = ag::Concat({h, e}, 2);  // [B, T, 2d]
+  ag::Variable mid = ag::Relu(mlp_hidden_.Forward(x));
+  if (ctx.train && config_.dropout > 0.0f) {
+    mid = ag::Dropout(mid, config_.dropout, *ctx.rng, true);
+  }
+  return ag::Reshape(ag::Sigmoid(mlp_out_.Forward(mid)), Shape{b, t});
+}
+
+std::vector<ag::Variable> RCKT::GenerateProbsStacked(
+    const data::Batch& batch,
+    const std::vector<const std::vector<int>*>& category_sets,
+    const nn::Context& ctx, const ag::Variable* probe) const {
+  const int64_t k = static_cast<int64_t>(category_sets.size());
+  KT_CHECK_GT(k, 0);
+  if (k == 1) {
+    return {GenerateProbs(batch, *category_sets[0], ctx, probe)};
+  }
+  // Replicate the batch's index fields K times along the batch dimension.
+  data::Batch stacked;
+  stacked.batch_size = k * batch.batch_size;
+  stacked.max_len = batch.max_len;
+  std::vector<int> categories;
+  categories.reserve(static_cast<size_t>(stacked.batch_size * stacked.max_len));
+  for (int64_t rep = 0; rep < k; ++rep) {
+    stacked.questions.insert(stacked.questions.end(), batch.questions.begin(),
+                             batch.questions.end());
+    stacked.responses.insert(stacked.responses.end(), batch.responses.begin(),
+                             batch.responses.end());
+    stacked.concept_bags.insert(stacked.concept_bags.end(),
+                                batch.concept_bags.begin(),
+                                batch.concept_bags.end());
+    stacked.lengths.insert(stacked.lengths.end(), batch.lengths.begin(),
+                           batch.lengths.end());
+    categories.insert(categories.end(),
+                      category_sets[static_cast<size_t>(rep)]->begin(),
+                      category_sets[static_cast<size_t>(rep)]->end());
+  }
+  ag::Variable all = GenerateProbs(stacked, categories, ctx, probe);
+  std::vector<ag::Variable> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t rep = 0; rep < k; ++rep) {
+    out.push_back(ag::Slice(all, 0, rep * batch.batch_size,
+                            (rep + 1) * batch.batch_size));
+  }
+  return out;
+}
+
+RCKT::InfluenceTensors RCKT::ComputeInfluences(const data::Batch& batch,
+                                               const nn::Context& ctx,
+                                               const ag::Variable* probe) const {
+  CheckEqualLength(batch);
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.max_len;
+  const int64_t target = t - 1;
+  const size_t flat = static_cast<size_t>(b * t);
+
+  // Category assignments for the four generator passes.
+  std::vector<int> cats_f_plus(flat), cats_cf_minus(flat), cats_f_minus(flat),
+      cats_cf_plus(flat);
+  for (int64_t row = 0; row < b; ++row) {
+    const std::vector<int> responses = RowResponses(batch, row);
+    PutRow(cats_f_plus, batch, row,
+           AssumedFactualCategories(responses, target, 1));
+    PutRow(cats_f_minus, batch, row,
+           AssumedFactualCategories(responses, target, 0));
+    PutRow(cats_cf_minus, batch, row,
+           BackwardCounterfactualCategories(responses, target, 0,
+                                            config_.use_monotonicity));
+    PutRow(cats_cf_plus, batch, row,
+           BackwardCounterfactualCategories(responses, target, 1,
+                                            config_.use_monotonicity));
+  }
+
+  // All four assignments run as one stacked generator pass.
+  const auto probs = GenerateProbsStacked(
+      batch, {&cats_f_plus, &cats_cf_minus, &cats_f_minus, &cats_cf_plus},
+      ctx, probe);
+  const ag::Variable& p_a = probs[0];
+  const ag::Variable& p_b = probs[1];
+  const ag::Variable& p_c = probs[2];
+  const ag::Variable& p_d = probs[3];
+
+  InfluenceTensors result;
+  result.mask_correct = Tensor::Zeros(Shape{b, t});
+  result.mask_incorrect = Tensor::Zeros(Shape{b, t});
+  for (int64_t row = 0; row < b; ++row) {
+    for (int64_t i = 0; i < target; ++i) {
+      const int64_t idx = batch.FlatIndex(row, i);
+      if (batch.responses[static_cast<size_t>(idx)] == 1) {
+        result.mask_correct.flat(idx) = 1.0f;
+      } else {
+        result.mask_incorrect.flat(idx) = 1.0f;
+      }
+    }
+  }
+
+  // Delta+_i = pA_i - pB_i (drop in p(correct) when target flips to
+  // incorrect); Delta-_i = pD_i - pC_i (drop in p(incorrect), rewritten in
+  // terms of p(correct)).
+  result.delta_plus_per_pos = ag::Sub(p_a, p_b);
+  result.delta_minus_per_pos = ag::Sub(p_d, p_c);
+  result.delta_plus = ag::Sum(
+      ag::Mul(result.delta_plus_per_pos, ag::Constant(result.mask_correct)),
+      1);
+  result.delta_minus = ag::Sum(
+      ag::Mul(result.delta_minus_per_pos,
+              ag::Constant(result.mask_incorrect)),
+      1);
+  return result;
+}
+
+RCKT::InfluenceTensors RCKT::ComputeInfluencesExact(
+    const data::Batch& batch, const nn::Context& ctx) const {
+  CheckEqualLength(batch);
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.max_len;
+  const int64_t target = t - 1;
+  const size_t flat = static_cast<size_t>(b * t);
+
+  // Factual pass: target masked, history factual; prediction read at target.
+  std::vector<int> cats_f(flat);
+  for (int64_t row = 0; row < b; ++row) {
+    PutRow(cats_f, batch, row,
+           MaskedTargetCategories(RowResponses(batch, row), target));
+  }
+  ag::Variable p_f = GenerateProbs(batch, cats_f, ctx, nullptr);  // [B, T]
+  // p(correct at target) per row, [B].
+  ag::Variable pf_target =
+      ag::Reshape(ag::Slice(p_f, 1, target, target + 1), Shape{b});
+
+  // One counterfactual pass per history position: flip response i, apply
+  // mask/retain, read the target probability. Influences accumulate into
+  // per-position tensors via Concat along the time axis.
+  std::vector<ag::Variable> plus_cols, minus_cols;
+  InfluenceTensors result;
+  result.mask_correct = Tensor::Zeros(Shape{b, t});
+  result.mask_incorrect = Tensor::Zeros(Shape{b, t});
+  for (int64_t row = 0; row < b; ++row) {
+    for (int64_t i = 0; i < target; ++i) {
+      const int64_t idx = batch.FlatIndex(row, i);
+      if (batch.responses[static_cast<size_t>(idx)] == 1) {
+        result.mask_correct.flat(idx) = 1.0f;
+      } else {
+        result.mask_incorrect.flat(idx) = 1.0f;
+      }
+    }
+  }
+
+  for (int64_t i = 0; i < t; ++i) {
+    if (i == target) {
+      ag::Variable zero = ag::Constant(Tensor::Zeros(Shape{b, 1}));
+      plus_cols.push_back(zero);
+      minus_cols.push_back(zero);
+      continue;
+    }
+    std::vector<int> cats_cf(flat);
+    for (int64_t row = 0; row < b; ++row) {
+      PutRow(cats_cf, batch, row,
+             ForwardCounterfactualCategories(RowResponses(batch, row), target,
+                                             i, config_.use_monotonicity));
+    }
+    ag::Variable p_cf = GenerateProbs(batch, cats_cf, ctx, nullptr);
+    ag::Variable pcf_target =
+        ag::Reshape(ag::Slice(p_cf, 1, target, target + 1), Shape{b});
+    // Correct i:  Delta+ = p_f - p_cf (drop in p(correct)).
+    // Incorrect i: Delta- = (1-p_f) - (1-p_cf) = p_cf - p_f.
+    ag::Variable delta_plus_col =
+        ag::Reshape(ag::Sub(pf_target, pcf_target), Shape{b, 1});
+    ag::Variable delta_minus_col =
+        ag::Reshape(ag::Sub(pcf_target, pf_target), Shape{b, 1});
+    plus_cols.push_back(delta_plus_col);
+    minus_cols.push_back(delta_minus_col);
+  }
+
+  result.delta_plus_per_pos = ag::Concat(plus_cols, 1);    // [B, T]
+  result.delta_minus_per_pos = ag::Concat(minus_cols, 1);  // [B, T]
+  result.delta_plus = ag::Sum(
+      ag::Mul(result.delta_plus_per_pos, ag::Constant(result.mask_correct)),
+      1);
+  result.delta_minus = ag::Sum(
+      ag::Mul(result.delta_minus_per_pos,
+              ag::Constant(result.mask_incorrect)),
+      1);
+  return result;
+}
+
+ag::Variable RCKT::BuildLoss(const data::Batch& batch,
+                             const InfluenceTensors& influences,
+                             const nn::Context& ctx) const {
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.max_len;
+  const int64_t target = t - 1;
+  const float inv_2t = 1.0f / (2.0f * static_cast<float>(target));
+
+  // Sign per row: (-1)^{r_target} — -1 for a correct target, +1 otherwise.
+  Tensor sign(Shape{b});
+  for (int64_t row = 0; row < b; ++row) {
+    const int r = batch.responses[static_cast<size_t>(
+        batch.FlatIndex(row, target))];
+    sign.flat(row) = r == 1 ? -1.0f : 1.0f;
+  }
+
+  // L_CF = -log( sign * (Delta- - Delta+) / (2t) + 1/2 )      (Eq. 16)
+  ag::Variable diff = ag::Sub(influences.delta_minus, influences.delta_plus);
+  ag::Variable scaled =
+      ag::MulScalar(ag::Mul(diff, ag::Constant(sign)), inv_2t);
+  ag::Variable inside = ag::AddScalar(scaled, 0.5f + kLogEps);
+  ag::Variable loss = ag::MeanAll(ag::Neg(ag::Log(inside)));
+
+  // Constraint term L* (Eq. 17): hinge on negative influences.
+  if (config_.use_constraint && config_.alpha > 0.0f) {
+    ag::Variable zero_pp = ag::Constant(Tensor::Zeros(Shape{b, t}));
+    ag::Variable violation_plus = ag::Mul(
+        ag::Maximum(ag::Neg(influences.delta_plus_per_pos), zero_pp),
+        ag::Constant(influences.mask_correct));
+    ag::Variable violation_minus = ag::Mul(
+        ag::Maximum(ag::Neg(influences.delta_minus_per_pos), zero_pp),
+        ag::Constant(influences.mask_incorrect));
+    ag::Variable constraint = ag::MulScalar(
+        ag::Add(ag::SumAll(violation_plus), ag::SumAll(violation_minus)),
+        1.0f / static_cast<float>(b));
+    loss = ag::Add(loss, ag::MulScalar(constraint, config_.alpha));
+  }
+
+  // Joint training terms (Eq. 27-29): BCE of the generator on the factual
+  // sequence and the two correctness-masked augmentations.
+  if (config_.joint_training && config_.lambda > 0.0f) {
+    const size_t flat = static_cast<size_t>(b * t);
+    std::vector<int> cats_factual(flat), cats_keep_correct(flat),
+        cats_keep_incorrect(flat);
+    for (int64_t row = 0; row < b; ++row) {
+      const std::vector<int> responses = RowResponses(batch, row);
+      PutRow(cats_factual, batch, row, responses);
+      PutRow(cats_keep_correct, batch, row,
+             MaskByCorrectness(responses, /*keep_correct=*/true));
+      PutRow(cats_keep_incorrect, batch, row,
+             MaskByCorrectness(responses, /*keep_correct=*/false));
+    }
+    const Tensor all_positions = Tensor::Ones(Shape{b, t});
+    const auto joint_probs = GenerateProbsStacked(
+        batch, {&cats_factual, &cats_keep_correct, &cats_keep_incorrect},
+        ctx, nullptr);
+    ag::Variable l_f = nn::BinaryCrossEntropyFromProbs(
+        joint_probs[0], batch.targets, all_positions);
+    ag::Variable l_m_plus = nn::BinaryCrossEntropyFromProbs(
+        joint_probs[1], batch.targets, all_positions);
+    ag::Variable l_m_minus = nn::BinaryCrossEntropyFromProbs(
+        joint_probs[2], batch.targets, all_positions);
+    ag::Variable joint = ag::Add(ag::Add(l_f, l_m_plus), l_m_minus);
+    loss = ag::Add(loss, ag::MulScalar(joint, config_.lambda));
+  }
+  return loss;
+}
+
+float RCKT::RunTrainStep(const data::Batch& prefix_batch, bool exact) {
+  nn::Context ctx{/*train=*/true, &rng_};
+  InfluenceTensors influences =
+      exact ? ComputeInfluencesExact(prefix_batch, ctx)
+            : ComputeInfluences(prefix_batch, ctx, nullptr);
+  ag::Variable loss = BuildLoss(prefix_batch, influences, ctx);
+  optimizer_->ZeroGrad();
+  loss.Backward();
+  optimizer_->Step();
+  return loss.value().item();
+}
+
+float RCKT::TrainStep(const data::Batch& prefix_batch) {
+  return RunTrainStep(prefix_batch, /*exact=*/false);
+}
+
+float RCKT::TrainStepExact(const data::Batch& prefix_batch) {
+  return RunTrainStep(prefix_batch, /*exact=*/true);
+}
+
+std::vector<float> RCKT::ScoreFromInfluences(
+    const InfluenceTensors& influences, int64_t history_length) const {
+  KT_CHECK_GT(history_length, 0);
+  const Tensor& plus = influences.delta_plus.value();
+  const Tensor& minus = influences.delta_minus.value();
+  std::vector<float> scores(static_cast<size_t>(plus.numel()));
+  const float inv_t = 1.0f / static_cast<float>(history_length);
+  for (int64_t i = 0; i < plus.numel(); ++i) {
+    // sigmoid((Delta+ - Delta-) / t): monotone in the paper's decision
+    // statistic with the sign rule's boundary mapped to 0.5. The 1/t
+    // normalization (mean rather than summed influence difference) keeps
+    // scores comparable across history lengths when AUC pools samples of
+    // different prefix sizes — the sign (Eq. 13) is unaffected.
+    const float diff = (plus.flat(i) - minus.flat(i)) * inv_t;
+    scores[static_cast<size_t>(i)] = 1.0f / (1.0f + std::exp(-diff));
+  }
+  return scores;
+}
+
+std::vector<float> RCKT::ScoreTargets(const data::Batch& prefix_batch) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;
+  return ScoreFromInfluences(ComputeInfluences(prefix_batch, ctx, nullptr),
+                             prefix_batch.max_len - 1);
+}
+
+std::vector<float> RCKT::GeneratorScoreTargets(
+    const data::Batch& prefix_batch) {
+  ag::NoGradGuard no_grad;
+  CheckEqualLength(prefix_batch);
+  nn::Context ctx;
+  const int64_t b = prefix_batch.batch_size;
+  const int64_t t = prefix_batch.max_len;
+  const int64_t target = t - 1;
+  std::vector<int> categories(static_cast<size_t>(b * t));
+  for (int64_t row = 0; row < b; ++row) {
+    PutRow(categories, prefix_batch, row,
+           MaskedTargetCategories(RowResponses(prefix_batch, row), target));
+  }
+  ag::Variable probs = GenerateProbs(prefix_batch, categories, ctx, nullptr);
+  std::vector<float> out(static_cast<size_t>(b));
+  for (int64_t row = 0; row < b; ++row) {
+    out[static_cast<size_t>(row)] =
+        probs.value().flat(prefix_batch.FlatIndex(row, target));
+  }
+  return out;
+}
+
+std::vector<float> RCKT::ScoreTargetsExact(const data::Batch& prefix_batch) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;
+  return ScoreFromInfluences(ComputeInfluencesExact(prefix_batch, ctx),
+                             prefix_batch.max_len - 1);
+}
+
+std::vector<RCKT::Explanation> RCKT::ExplainTargets(
+    const data::Batch& prefix_batch) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;
+  return ExplanationsFromInfluences(
+      prefix_batch, ComputeInfluences(prefix_batch, ctx, nullptr));
+}
+
+std::vector<RCKT::Explanation> RCKT::ExplainConceptProbe(
+    const data::Batch& prefix_batch,
+    const std::vector<int64_t>& concept_questions, int64_t concept_id) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;
+  ag::Variable probe =
+      embedder_.ConceptProbeEmbed(concept_questions, concept_id);
+  return ExplanationsFromInfluences(
+      prefix_batch, ComputeInfluences(prefix_batch, ctx, &probe));
+}
+
+std::vector<RCKT::Explanation> RCKT::ExplanationsFromInfluences(
+    const data::Batch& prefix_batch,
+    const InfluenceTensors& influences) const {
+  const int64_t b = prefix_batch.batch_size;
+  const int64_t t = prefix_batch.max_len;
+  const Tensor& plus_pp = influences.delta_plus_per_pos.value();
+  const Tensor& minus_pp = influences.delta_minus_per_pos.value();
+
+  std::vector<Explanation> out(static_cast<size_t>(b));
+  for (int64_t row = 0; row < b; ++row) {
+    Explanation& ex = out[static_cast<size_t>(row)];
+    ex.influence.assign(static_cast<size_t>(t), 0.0f);
+    ex.responses = RowResponses(prefix_batch, row);
+    for (int64_t i = 0; i < t; ++i) {
+      const int64_t idx = prefix_batch.FlatIndex(row, i);
+      if (influences.mask_correct.flat(idx) != 0.0f) {
+        ex.influence[static_cast<size_t>(i)] = plus_pp.flat(idx);
+        ex.total_correct += plus_pp.flat(idx);
+      } else if (influences.mask_incorrect.flat(idx) != 0.0f) {
+        ex.influence[static_cast<size_t>(i)] = minus_pp.flat(idx);
+        ex.total_incorrect += minus_pp.flat(idx);
+      }
+    }
+    ex.score = ex.total_correct - ex.total_incorrect;
+    ex.predicted_correct = ex.score >= 0.0f;
+  }
+  return out;
+}
+
+std::vector<float> RCKT::ScoreConceptProbe(
+    const data::Batch& prefix_batch,
+    const std::vector<int64_t>& concept_questions, int64_t concept_id) {
+  ag::NoGradGuard no_grad;
+  nn::Context ctx;
+  ag::Variable probe =
+      embedder_.ConceptProbeEmbed(concept_questions, concept_id);
+  return ScoreFromInfluences(ComputeInfluences(prefix_batch, ctx, &probe),
+                             prefix_batch.max_len - 1);
+}
+
+}  // namespace rckt
+}  // namespace kt

@@ -1,0 +1,186 @@
+// RCKT: Response influence-based Counterfactual Knowledge Tracing
+// (the paper's primary contribution, Sec. IV).
+//
+// The model consists of:
+//   * an adaptive probability generator (Sec. IV-D): the shared
+//     question/concept/response embedder (Eq. 23-24), a bidirectional
+//     knowledge-state encoder (Eq. 25, adapted from DKT/SAKT/AKT), and a
+//     sigmoid MLP head (Eq. 26) producing p_i = p(r_i = 1 | everything but
+//     position i);
+//   * response-influence counterfactual reasoning with the backward
+//     approximation (Sec. IV-C4): interventions are applied to the target
+//     question, requiring only four generator passes per sample —
+//       pA: target assumed correct, history factual        (F+)
+//       pB: target flipped incorrect, mask/retain applied  (CF-)
+//       pC: target assumed incorrect, history factual      (F-)
+//       pD: target flipped correct, mask/retain applied    (CF+)
+//     giving per-response influences
+//       Delta+_i = pA_i - pB_i   at correct history positions,
+//       Delta-_i = pD_i - pC_i   at incorrect history positions,
+//     and the prediction rule  r^ = 1(sum Delta+ >= sum Delta-)  (Eq. 13);
+//   * the counterfactual optimization (Eq. 16-17) with the non-negativity
+//     constraint, jointly trained with the generator BCE terms L_F, L_M+,
+//     L_M- (Eq. 27-29);
+//   * the exact forward formulation (Eq. 4-9), retained for the Table VI
+//     efficiency comparison, costing one generator pass per history
+//     response.
+//
+// Batching contract: RCKT consumes batches of EQUAL-LENGTH prefix windows
+// whose last position is the target question (see rckt/samples.h). This
+// removes padding entirely, which matters because the bidirectional encoder
+// would otherwise see pad tokens from the right.
+#ifndef KT_RCKT_RCKT_MODEL_H_
+#define KT_RCKT_RCKT_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "models/embedder.h"
+#include "nn/adam.h"
+#include "nn/linear.h"
+#include "rckt/encoders.h"
+
+namespace kt {
+namespace rckt {
+
+struct RcktConfig {
+  EncoderKind encoder = EncoderKind::kDKT;
+  int64_t dim = 32;
+  int64_t num_layers = 1;
+  int64_t num_heads = 2;
+  float dropout = 0.1f;
+  float lr = 1e-3f;
+  float weight_decay = 1e-5f;
+  // Loss balancer lambda (Eq. 29) and constraint weight alpha (Eq. 16).
+  float lambda = 0.1f;
+  float alpha = 1.0f;
+  // Ablation switches (paper Table V): -joint, -mono, -con.
+  bool joint_training = true;
+  bool use_monotonicity = true;
+  bool use_constraint = true;
+  uint64_t seed = 1;
+};
+
+// Hyper-parameters from the paper's Table III, keyed by dataset and encoder:
+// {lr, lambda, l2, dropout, layers}. Layer counts are capped at 2 in this
+// CPU build.
+RcktConfig RcktConfigFor(const std::string& dataset, EncoderKind encoder);
+
+class RCKT : public nn::Module {
+ public:
+  RCKT(int64_t num_questions, int64_t num_concepts, RcktConfig config);
+
+  std::string name() const;
+  const RcktConfig& config() const { return config_; }
+
+  // ---- Training (approximate/backward mode, the default) ----
+  // One Adam step on an equal-length prefix batch; returns the total loss
+  // (Eq. 29) value.
+  float TrainStep(const data::Batch& prefix_batch);
+
+  // ---- Inference ----
+  // Probability-like score sigmoid(Delta+ - Delta-) per row; >= 0.5 means
+  // "predict correct" (equivalent to the paper's sign rule, Eq. 13).
+  std::vector<float> ScoreTargets(const data::Batch& prefix_batch);
+
+  // Per-position response influences for each row (interpretability API).
+  struct Explanation {
+    // influence[i] = Delta+_i at correct positions, Delta-_i at incorrect
+    // ones, 0 at the target position.
+    std::vector<float> influence;
+    std::vector<int> responses;  // factual correctness per position
+    float total_correct = 0.0f;
+    float total_incorrect = 0.0f;
+    float score = 0.0f;  // total_correct - total_incorrect
+    bool predicted_correct = false;
+  };
+  std::vector<Explanation> ExplainTargets(const data::Batch& prefix_batch);
+
+  // Influence breakdown when the target is a concept probe instead of a
+  // concrete question (Fig. 5's per-concept influence groups): the target
+  // position's question embedding is replaced as in ScoreConceptProbe.
+  std::vector<Explanation> ExplainConceptProbe(
+      const data::Batch& prefix_batch,
+      const std::vector<int64_t>& concept_questions, int64_t concept_id);
+
+  // Concept-proficiency probe (paper Eq. 30): scores the batch with the
+  // target question embedding replaced by mean(q in concept_questions) +
+  // k_emb[concept]. Result in (0,1) is the traced proficiency.
+  std::vector<float> ScoreConceptProbe(
+      const data::Batch& prefix_batch,
+      const std::vector<int64_t>& concept_questions, int64_t concept_id);
+
+  // Ablation scoring: the generator's own direct prediction at the target
+  // (target category masked, no counterfactual reasoning). Used to isolate
+  // how much of RCKT's accuracy comes from the probability generator vs the
+  // influence aggregation (see bench_interpretability).
+  std::vector<float> GeneratorScoreTargets(const data::Batch& prefix_batch);
+
+  // ---- Exact forward mode (Table VI) ----
+  // Influence computation without the backward approximation: one generator
+  // pass per history response. Same decision rule.
+  std::vector<float> ScoreTargetsExact(const data::Batch& prefix_batch);
+  float TrainStepExact(const data::Batch& prefix_batch);
+
+ private:
+  struct InfluenceTensors {
+    ag::Variable delta_plus_per_pos;   // [B, T]
+    ag::Variable delta_minus_per_pos;  // [B, T]
+    ag::Variable delta_plus;           // [B]
+    ag::Variable delta_minus;          // [B]
+    Tensor mask_correct;               // [B, T] history positions with r=1
+    Tensor mask_incorrect;             // [B, T] history positions with r=0
+  };
+
+  // One generator pass: probabilities [B, T] for the given flattened
+  // category assignment. If `probe` (shape [1, d]) is non-null it replaces
+  // the question embedding at the target (last) position of every row.
+  ag::Variable GenerateProbs(const data::Batch& batch,
+                             const std::vector<int>& categories,
+                             const nn::Context& ctx,
+                             const ag::Variable* probe) const;
+
+  // Runs K category assignments through the generator as ONE stacked pass
+  // over a K*B-row batch and returns K probability tensors of [B, T] each.
+  // Identical math to K GenerateProbs calls, but amortizes the tape and
+  // GEMM overhead — the main training-throughput lever on CPU.
+  std::vector<ag::Variable> GenerateProbsStacked(
+      const data::Batch& batch,
+      const std::vector<const std::vector<int>*>& category_sets,
+      const nn::Context& ctx, const ag::Variable* probe) const;
+
+  InfluenceTensors ComputeInfluences(const data::Batch& batch,
+                                     const nn::Context& ctx,
+                                     const ag::Variable* probe) const;
+  InfluenceTensors ComputeInfluencesExact(const data::Batch& batch,
+                                          const nn::Context& ctx) const;
+
+  // Shared loss assembly (Eq. 16-17 + joint terms) given influences.
+  ag::Variable BuildLoss(const data::Batch& batch,
+                         const InfluenceTensors& influences,
+                         const nn::Context& ctx) const;
+
+  float RunTrainStep(const data::Batch& prefix_batch, bool exact);
+  std::vector<float> ScoreFromInfluences(const InfluenceTensors& influences,
+                                         int64_t history_length) const;
+  std::vector<Explanation> ExplanationsFromInfluences(
+      const data::Batch& prefix_batch,
+      const InfluenceTensors& influences) const;
+
+  static void CheckEqualLength(const data::Batch& batch);
+
+  RcktConfig config_;
+  Rng rng_;
+  models::InteractionEmbedder embedder_;
+  std::unique_ptr<BiEncoder> encoder_;
+  nn::Linear mlp_hidden_;  // [2d -> d], Eq. 26 W1
+  nn::Linear mlp_out_;     // [d -> 1],  Eq. 26 W2
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace rckt
+}  // namespace kt
+
+#endif  // KT_RCKT_RCKT_MODEL_H_

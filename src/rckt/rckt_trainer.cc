@@ -1,0 +1,186 @@
+#include "rckt/rckt_trainer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "eval/metrics.h"
+
+namespace kt {
+namespace rckt {
+namespace {
+
+// Scores samples with `score_fn` (one batch of equal-length prefixes at a
+// time) and accumulates AUC/ACC against the target correctness.
+template <typename ScoreFn>
+eval::EvalResult EvaluateSamples(const data::Dataset& dataset,
+                                 const RcktTrainOptions& options,
+                                 ScoreFn score_fn) {
+  std::vector<PrefixSample> samples =
+      MakePrefixSamples(dataset, options.eval_stride, options.min_target);
+  eval::MetricAccumulator accumulator;
+  for (const auto& group :
+       GroupIntoBatches(std::move(samples), options.batch_size, nullptr)) {
+    data::Batch batch = MakePrefixBatch(group);
+    const std::vector<float> scores = score_fn(batch);
+    KT_CHECK_EQ(static_cast<int64_t>(scores.size()), batch.batch_size);
+    const int64_t target = batch.max_len - 1;
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const int label = batch.responses[static_cast<size_t>(
+          batch.FlatIndex(b, target))];
+      accumulator.AddOne(scores[static_cast<size_t>(b)], label);
+    }
+  }
+  eval::EvalResult result;
+  result.auc = accumulator.Auc();
+  result.acc = accumulator.Acc();
+  result.num_predictions = accumulator.count();
+  return result;
+}
+
+}  // namespace
+
+eval::EvalResult EvaluateRckt(RCKT& model, const data::Dataset& dataset,
+                              const RcktTrainOptions& options) {
+  return EvaluateSamples(dataset, options, [&](const data::Batch& batch) {
+    return options.exact ? model.ScoreTargetsExact(batch)
+                         : model.ScoreTargets(batch);
+  });
+}
+
+eval::EvalResult EvaluateModelOnSamples(models::KTModel& model,
+                                        const data::Dataset& dataset,
+                                        const RcktTrainOptions& options) {
+  return EvaluateSamples(dataset, options, [&](const data::Batch& batch) {
+    Tensor probs = model.PredictBatch(batch);
+    const int64_t target = batch.max_len - 1;
+    std::vector<float> scores(static_cast<size_t>(batch.batch_size));
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      scores[static_cast<size_t>(b)] =
+          probs.flat(batch.FlatIndex(b, target));
+    }
+    return scores;
+  });
+}
+
+RcktTrainResult TrainAndEvaluateRckt(RCKT& model,
+                                     const data::FoldSplit& split,
+                                     const RcktTrainOptions& options) {
+  RcktTrainResult result;
+  Rng shuffle_rng(options.seed * 31 + 7);
+  std::vector<Tensor> best_state;
+
+  std::vector<PrefixSample> train_samples = MakePrefixSamples(
+      split.train, options.train_stride, options.min_target);
+
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (const auto& group : GroupIntoBatches(
+             train_samples, options.batch_size, &shuffle_rng)) {
+      data::Batch batch = MakePrefixBatch(group);
+      loss_sum += options.exact ? model.TrainStepExact(batch)
+                                : model.TrainStep(batch);
+      ++batches;
+    }
+    ++result.epochs_run;
+
+    const eval::EvalResult val =
+        EvaluateRckt(model, split.validation, options);
+    if (options.verbose) {
+      KT_LOG(INFO) << model.name() << " epoch " << epoch << " loss "
+                   << loss_sum / std::max<int64_t>(batches, 1) << " val auc "
+                   << val.auc;
+    }
+    if (val.auc > result.best_val_auc) {
+      result.best_val_auc = val.auc;
+      result.best_epoch = epoch;
+      epochs_since_best = 0;
+      best_state = model.StateClone();
+    } else if (++epochs_since_best >= options.patience) {
+      break;
+    }
+  }
+
+  if (!best_state.empty()) model.SetState(best_state);
+  result.test = EvaluateRckt(model, split.test, options);
+  return result;
+}
+
+namespace {
+
+void Summarize(eval::CrossValidationResult& result) {
+  double auc_sum = 0.0, acc_sum = 0.0;
+  for (size_t i = 0; i < result.fold_auc.size(); ++i) {
+    auc_sum += result.fold_auc[i];
+    acc_sum += result.fold_acc[i];
+  }
+  const double n = static_cast<double>(result.fold_auc.size());
+  result.auc_mean = auc_sum / n;
+  result.acc_mean = acc_sum / n;
+  double var = 0.0;
+  for (double v : result.fold_auc)
+    var += (v - result.auc_mean) * (v - result.auc_mean);
+  result.auc_std = n > 1 ? std::sqrt(var / (n - 1)) : 0.0;
+}
+
+}  // namespace
+
+eval::CrossValidationResult RunRcktCrossValidation(
+    const data::Dataset& windows, int k, const RcktFactory& factory,
+    const RcktTrainOptions& options, uint64_t seed,
+    double validation_fraction, int folds_to_run) {
+  eval::CrossValidationResult result;
+  Rng fold_rng(seed);
+  const std::vector<int> folds = data::KFoldAssignment(
+      static_cast<int64_t>(windows.sequences.size()), k, fold_rng);
+  const int run_count = folds_to_run < 0 ? k : std::min(k, folds_to_run);
+  for (int fold = 0; fold < run_count; ++fold) {
+    Rng split_rng(seed * 131 + static_cast<uint64_t>(fold));
+    data::FoldSplit split =
+        data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
+    std::unique_ptr<RCKT> model = factory(split.train);
+    RcktTrainResult fold_result = TrainAndEvaluateRckt(*model, split, options);
+    result.fold_auc.push_back(fold_result.test.auc);
+    result.fold_acc.push_back(fold_result.test.acc);
+    if (options.verbose) {
+      KT_LOG(INFO) << model->name() << " fold " << fold << " auc "
+                   << fold_result.test.auc;
+    }
+  }
+  Summarize(result);
+  return result;
+}
+
+eval::CrossValidationResult RunBaselineCrossValidation(
+    const data::Dataset& windows, int k, const eval::ModelFactory& factory,
+    const eval::TrainOptions& train_options,
+    const RcktTrainOptions& sample_options, uint64_t seed,
+    double validation_fraction) {
+  eval::CrossValidationResult result;
+  Rng fold_rng(seed);
+  const std::vector<int> folds = data::KFoldAssignment(
+      static_cast<int64_t>(windows.sequences.size()), k, fold_rng);
+  for (int fold = 0; fold < k; ++fold) {
+    Rng split_rng(seed * 131 + static_cast<uint64_t>(fold));
+    data::FoldSplit split =
+        data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
+    std::unique_ptr<models::KTModel> model = factory(split.train);
+    // Train with the model's own scheme (window BCE / closed-form fit)...
+    eval::TrainAndEvaluate(*model, split, train_options);
+    // ...but report the test metric on the shared prefix-sample protocol.
+    const eval::EvalResult test =
+        EvaluateModelOnSamples(*model, split.test, sample_options);
+    result.fold_auc.push_back(test.auc);
+    result.fold_acc.push_back(test.acc);
+    if (train_options.verbose) {
+      KT_LOG(INFO) << model->name() << " fold " << fold << " sample auc "
+                   << test.auc;
+    }
+  }
+  Summarize(result);
+  return result;
+}
+
+}  // namespace rckt
+}  // namespace kt

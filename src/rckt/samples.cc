@@ -1,0 +1,73 @@
+#include "rckt/samples.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/check.h"
+
+namespace kt {
+namespace rckt {
+
+std::vector<PrefixSample> MakePrefixSamples(const data::Dataset& dataset,
+                                            int64_t stride,
+                                            int64_t min_target) {
+  KT_CHECK_GT(stride, 0);
+  KT_CHECK_GE(min_target, 1);
+  std::vector<PrefixSample> samples;
+  for (const auto& seq : dataset.sequences) {
+    const int64_t last = seq.length() - 1;
+    if (last < min_target) continue;
+    for (int64_t t = min_target; t < last; t += stride) {
+      samples.push_back({&seq, t});
+    }
+    samples.push_back({&seq, last});
+  }
+  return samples;
+}
+
+data::Batch MakePrefixBatch(const std::vector<PrefixSample>& samples) {
+  KT_CHECK(!samples.empty());
+  const int64_t target = samples.front().target;
+  // Prefix copies live for the duration of this function; MakeBatch copies
+  // the data out, so returning the batch is safe.
+  std::vector<data::ResponseSequence> prefixes;
+  prefixes.reserve(samples.size());
+  for (const PrefixSample& s : samples) {
+    KT_CHECK_EQ(s.target, target) << "mixed-length prefix batch";
+    KT_CHECK_LT(s.target, s.sequence->length());
+    data::ResponseSequence prefix;
+    prefix.student = s.sequence->student;
+    prefix.interactions.assign(
+        s.sequence->interactions.begin(),
+        s.sequence->interactions.begin() + static_cast<size_t>(target + 1));
+    prefixes.push_back(std::move(prefix));
+  }
+  std::vector<const data::ResponseSequence*> pointers;
+  pointers.reserve(prefixes.size());
+  for (const auto& p : prefixes) pointers.push_back(&p);
+  return data::MakeBatch(pointers);
+}
+
+std::vector<std::vector<PrefixSample>> GroupIntoBatches(
+    std::vector<PrefixSample> samples, int64_t batch_size, Rng* rng) {
+  KT_CHECK_GT(batch_size, 0);
+  std::map<int64_t, std::vector<PrefixSample>> buckets;
+  for (const PrefixSample& s : samples) buckets[s.target].push_back(s);
+
+  std::vector<std::vector<PrefixSample>> batches;
+  for (auto& [target, bucket] : buckets) {
+    if (rng) rng->Shuffle(bucket);
+    for (size_t start = 0; start < bucket.size();
+         start += static_cast<size_t>(batch_size)) {
+      const size_t end =
+          std::min(bucket.size(), start + static_cast<size_t>(batch_size));
+      batches.emplace_back(bucket.begin() + static_cast<int64_t>(start),
+                           bucket.begin() + static_cast<int64_t>(end));
+    }
+  }
+  if (rng) rng->Shuffle(batches);
+  return batches;
+}
+
+}  // namespace rckt
+}  // namespace kt

@@ -1,0 +1,52 @@
+// Prefix-sample protocol shared by RCKT and the baselines in every
+// experiment bench.
+//
+// The paper treats one (response window, target question) pair as one
+// sample: the last position of a prefix is the target, everything before it
+// is history (Sec. IV-D2: "this total loss is for one response sequence
+// with one target question"). We enumerate targets along each window at a
+// stride and group samples into EQUAL-LENGTH batches, which eliminates
+// padding — important for bidirectional encoders, whose backward stream
+// would otherwise consume pad tokens.
+//
+// Baselines are evaluated on exactly the same samples (prediction read at
+// the target position of the same prefix batch), keeping Table IV
+// apples-to-apples.
+#ifndef KT_RCKT_SAMPLES_H_
+#define KT_RCKT_SAMPLES_H_
+
+#include <vector>
+
+#include "data/batch.h"
+#include "data/dataset.h"
+
+namespace kt {
+namespace rckt {
+
+struct PrefixSample {
+  const data::ResponseSequence* sequence = nullptr;
+  // Target position within the sequence; history is [0, target).
+  int64_t target = 0;
+};
+
+// Enumerates targets min_target, min_target + stride, ... plus always the
+// final position of each window (so every window contributes its endpoint).
+std::vector<PrefixSample> MakePrefixSamples(const data::Dataset& dataset,
+                                            int64_t stride,
+                                            int64_t min_target = 4);
+
+// Materializes a batch of prefixes (positions 0..target inclusive). All
+// samples must share the same target so rows have equal length.
+data::Batch MakePrefixBatch(const std::vector<PrefixSample>& samples);
+
+// Buckets samples by prefix length and chunks each bucket into batches of
+// at most `batch_size`. If `rng` is non-null, samples are shuffled within
+// buckets and batch order is shuffled (training); otherwise order is
+// deterministic (evaluation).
+std::vector<std::vector<PrefixSample>> GroupIntoBatches(
+    std::vector<PrefixSample> samples, int64_t batch_size, Rng* rng);
+
+}  // namespace rckt
+}  // namespace kt
+
+#endif  // KT_RCKT_SAMPLES_H_

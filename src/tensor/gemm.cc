@@ -1,0 +1,70 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+namespace kt {
+namespace {
+
+// Shared inner loop: C (+)= A * B with the i-k-j ordering. The innermost j
+// loop is a contiguous saxpy over the output row, which the compiler
+// auto-vectorizes.
+inline void GemmIkj(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+  GemmIkj(a, b, c, m, k, n);
+}
+
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  GemmIkj(a, b, c, m, k, n);
+}
+
+void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n) {
+  // A is [k, m] row-major; we want C += A^T B. Loop over p (rows of A and B):
+  // C[i, j] += A[p, i] * B[p, j]. Inner j loop stays contiguous.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+void GemmTransBAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n) {
+  // B is [n, k] row-major; C[i, j] += sum_p A[i, p] * B[j, p]. The inner p
+  // loop is a dot product of two contiguous rows.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+}  // namespace kt

@@ -1,0 +1,32 @@
+// Single-precision general matrix multiply kernels.
+//
+// The library runs on one CPU core, so we use a register-blocked,
+// cache-friendly loop order (i-k-j with accumulation into the output row)
+// rather than naive i-j-k. This is the single hottest kernel in training.
+#ifndef KT_TENSOR_GEMM_H_
+#define KT_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace kt {
+
+// C = A * B where A is [m, k], B is [k, n], C is [m, n], all row-major.
+// C is overwritten.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+
+// C += A * B (accumulating form, used by autograd backward passes).
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+
+// C += A^T * B where A is [k, m] stored row-major (so A^T is [m, k]).
+void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n);
+
+// C += A * B^T where B is [n, k] stored row-major (so B^T is [k, n]).
+void GemmTransBAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n);
+
+}  // namespace kt
+
+#endif  // KT_TENSOR_GEMM_H_

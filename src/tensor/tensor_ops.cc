@@ -1,0 +1,308 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace kt {
+namespace {
+
+// Row-major strides for `shape`.
+std::vector<int64_t> Strides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i)
+    strides[i] = strides[i + 1] * shape[i + 1];
+  return strides;
+}
+
+// Strides of `shape` expanded (right-aligned) to broadcast over `out_shape`,
+// with 0-stride on broadcast dimensions.
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const auto base = Strides(shape);
+  std::vector<int64_t> out(out_shape.size(), 0);
+  const int64_t offset =
+      static_cast<int64_t>(out_shape.size()) - static_cast<int64_t>(shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] != 1) out[static_cast<size_t>(offset) + i] = base[i];
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
+  // Fast path: identical shapes.
+  if (a.SameShape(b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const auto so = Strides(out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const int64_t n = out.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  int64_t ia = 0, ib = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[ia], pb[ib]);
+    // Odometer increment over the output index space, updating input offsets.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      idx[static_cast<size_t>(d)]++;
+      ia += sa[static_cast<size_t>(d)];
+      ib += sb[static_cast<size_t>(d)];
+      if (idx[static_cast<size_t>(d)] < out_shape[static_cast<size_t>(d)]) break;
+      ia -= sa[static_cast<size_t>(d)] * out_shape[static_cast<size_t>(d)];
+      ib -= sb[static_cast<size_t>(d)] * out_shape[static_cast<size_t>(d)];
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  (void)so;
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryOp(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    KT_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast " << ShapeToString(a) << " vs "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+bool BroadcastsTo(const Shape& from, const Shape& to) {
+  if (from.size() > to.size()) return false;
+  const size_t offset = to.size() - from.size();
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i] != 1 && from[i] != to[offset + i]) return false;
+  }
+  return true;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  KT_CHECK(BroadcastsTo(target, t.shape()))
+      << ShapeToString(target) << " does not broadcast to "
+      << ShapeToString(t.shape());
+  if (t.shape() == target) return t.Clone();
+
+  // Sum out leading extra dims first, then dims where target has size 1.
+  Tensor cur = t;
+  while (cur.dim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdim=*/false);
+  }
+  for (int64_t d = 0; d < cur.dim(); ++d) {
+    if (target[static_cast<size_t>(d)] == 1 && cur.size(d) != 1) {
+      cur = Sum(cur, d, /*keepdim=*/true);
+    }
+  }
+  return cur.Reshape(target);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+}
+Tensor GreaterEqualMask(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return UnaryOp(a, fn);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  KT_CHECK_EQ(a.dim(), 2);
+  KT_CHECK_EQ(b.dim(), 2);
+  KT_CHECK_EQ(a.size(1), b.size(0))
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  Tensor out(Shape{m, n});
+  Gemm(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  KT_CHECK_GE(a.dim(), 2);
+  KT_CHECK_EQ(a.dim(), b.dim());
+  for (int64_t d = 0; d < a.dim() - 2; ++d) KT_CHECK_EQ(a.size(d), b.size(d));
+  const int64_t m = a.size(-2), k = a.size(-1);
+  KT_CHECK_EQ(b.size(-2), k)
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  const int64_t n = b.size(-1);
+  const int64_t batch = a.numel() / (m * k);
+
+  Shape out_shape = a.shape();
+  out_shape[out_shape.size() - 1] = n;
+  Tensor out(out_shape);
+  for (int64_t i = 0; i < batch; ++i) {
+    Gemm(a.data() + i * m * k, b.data() + i * k * n, out.data() + i * m * n, m,
+         k, n);
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a.flat(i);
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  KT_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.numel()));
+}
+
+Tensor Sum(const Tensor& a, int64_t d, bool keepdim) {
+  if (d < 0) d += a.dim();
+  KT_CHECK(d >= 0 && d < a.dim());
+  const int64_t dim_size = a.size(d);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < d; ++i) outer *= a.size(i);
+  int64_t inner = 1;
+  for (int64_t i = d + 1; i < a.dim(); ++i) inner *= a.size(i);
+
+  Shape out_shape;
+  for (int64_t i = 0; i < a.dim(); ++i) {
+    if (i == d) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(i));
+    }
+  }
+  Tensor out(out_shape);
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < dim_size; ++j) {
+      const float* s = src + (o * dim_size + j) * inner;
+      float* t = dst + o * inner;
+      for (int64_t i = 0; i < inner; ++i) t[i] += s[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t d, bool keepdim) {
+  if (d < 0) d += a.dim();
+  Tensor out = Sum(a, d, keepdim);
+  out.MulInPlace(1.0f / static_cast<float>(a.size(d)));
+  return out;
+}
+
+Tensor MaxLastDim(const Tensor& a, std::vector<int64_t>* argmax) {
+  KT_CHECK_GE(a.dim(), 1);
+  const int64_t cols = a.size(-1);
+  KT_CHECK_GT(cols, 0);
+  const int64_t rows = a.numel() / cols;
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  Tensor out(out_shape);
+  if (argmax) argmax->assign(static_cast<size_t>(rows), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* s = a.data() + r * cols;
+    int64_t best = 0;
+    for (int64_t c = 1; c < cols; ++c)
+      if (s[c] > s[best]) best = c;
+    out.flat(r) = s[best];
+    if (argmax) (*argmax)[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  KT_CHECK_GE(a.dim(), 1);
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+  Tensor out(a.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* s = a.data() + r * cols;
+    float* t = out.data() + r * cols;
+    float max_val = s[0];
+    for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, s[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      t[c] = std::exp(s[c] - max_val);
+      denom += t[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t c = 0; c < cols; ++c) t[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace kt

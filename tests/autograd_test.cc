@@ -1,0 +1,294 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace ag {
+namespace {
+
+Variable Param(Tensor t) { return Variable::Leaf(std::move(t), true); }
+
+// Convenience: run CheckGradients on a 1-param function.
+void ExpectGradOk(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> params) {
+  GradCheckResult result = CheckGradients(fn, params);
+  EXPECT_TRUE(result.ok) << "max abs err " << result.max_abs_error
+                         << " max rel err " << result.max_rel_error;
+}
+
+TEST(VariableTest, LeafHoldsValueAndGrad) {
+  Variable v = Param(Tensor({2}, {1, 2}));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FLOAT_EQ(v.grad().flat(0), 0.0f);  // zeros before backward
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable v = Param(Tensor({2}, {1, 2}));
+  EXPECT_DEATH(v.Backward(), "scalar");
+}
+
+TEST(VariableTest, SimpleChainRule) {
+  // loss = sum(3 * x) -> dx = 3 everywhere.
+  Variable x = Param(Tensor({4}, {1, 2, 3, 4}));
+  Variable loss = SumAll(MulScalar(x, 3.0f));
+  loss.Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad().flat(i), 3.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossUses) {
+  // loss = sum(x + x): dx = 2.
+  Variable x = Param(Tensor({3}, {1, 1, 1}));
+  Variable loss = SumAll(Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 2.0f);
+}
+
+TEST(VariableTest, ZeroGradResets) {
+  Variable x = Param(Tensor({2}, {1, 2}));
+  SumAll(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 1.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 0.0f);
+}
+
+TEST(VariableTest, NoGradGuardSkipsTape) {
+  Variable x = Param(Tensor({2}, {1, 2}));
+  NoGradGuard guard;
+  Variable y = MulScalar(x, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(VariableTest, ConstantDoesNotRequireGrad) {
+  Variable c = Constant(Tensor({2}, {1, 2}));
+  EXPECT_FALSE(c.requires_grad());
+  Variable y = MulScalar(c, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(VariableTest, DiamondGraphAccumulates) {
+  // y = x*x; z = y + y; loss = sum(z). dz/dx = 4x.
+  Variable x = Param(Tensor({2}, {3, -2}));
+  Variable y = Mul(x, x);
+  Variable loss = SumAll(Add(y, y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 12.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(1), -8.0f);
+}
+
+// ---- Gradient checks per op ----
+
+TEST(GradCheckTest, AddSubMulDiv) {
+  Rng rng(1);
+  auto make = [&]() {
+    return std::vector<Variable>{
+        Param(Tensor::Uniform({2, 3}, 0.5f, 2.0f, rng)),
+        Param(Tensor::Uniform({2, 3}, 0.5f, 2.0f, rng))};
+  };
+  ExpectGradOk([](const auto& p) { return SumAll(Add(p[0], p[1])); }, make());
+  ExpectGradOk([](const auto& p) { return SumAll(Sub(p[0], p[1])); }, make());
+  ExpectGradOk([](const auto& p) { return SumAll(Mul(p[0], p[1])); }, make());
+  ExpectGradOk([](const auto& p) { return SumAll(Div(p[0], p[1])); }, make());
+}
+
+TEST(GradCheckTest, BroadcastBinary) {
+  Rng rng(2);
+  std::vector<Variable> params{
+      Param(Tensor::Uniform({2, 3}, 0.5f, 2.0f, rng)),
+      Param(Tensor::Uniform({3}, 0.5f, 2.0f, rng))};
+  ExpectGradOk([](const auto& p) { return SumAll(Mul(p[0], p[1])); }, params);
+  std::vector<Variable> params2{
+      Param(Tensor::Uniform({2, 1}, 0.5f, 2.0f, rng)),
+      Param(Tensor::Uniform({1, 4}, 0.5f, 2.0f, rng))};
+  ExpectGradOk([](const auto& p) { return SumAll(Add(p[0], p[1])); }, params2);
+}
+
+TEST(GradCheckTest, Activations) {
+  Rng rng(3);
+  auto one = [&](float lo, float hi) {
+    return std::vector<Variable>{Param(Tensor::Uniform({3, 2}, lo, hi, rng))};
+  };
+  ExpectGradOk([](const auto& p) { return SumAll(Sigmoid(p[0])); },
+               one(-2, 2));
+  ExpectGradOk([](const auto& p) { return SumAll(Tanh(p[0])); }, one(-2, 2));
+  ExpectGradOk([](const auto& p) { return SumAll(Exp(p[0])); }, one(-1, 1));
+  ExpectGradOk([](const auto& p) { return SumAll(Log(p[0])); },
+               one(0.5f, 3.0f));
+  ExpectGradOk([](const auto& p) { return SumAll(Sqrt(p[0])); },
+               one(0.5f, 3.0f));
+  // Relu away from the kink.
+  ExpectGradOk([](const auto& p) { return SumAll(Relu(p[0])); },
+               one(0.5f, 2.0f));
+}
+
+TEST(GradCheckTest, MatMulAndBatched) {
+  Rng rng(4);
+  std::vector<Variable> params{
+      Param(Tensor::Uniform({3, 4}, -1, 1, rng)),
+      Param(Tensor::Uniform({4, 2}, -1, 1, rng))};
+  ExpectGradOk([](const auto& p) { return SumAll(MatMul(p[0], p[1])); },
+               params);
+
+  std::vector<Variable> batched{
+      Param(Tensor::Uniform({2, 3, 4}, -1, 1, rng)),
+      Param(Tensor::Uniform({2, 4, 2}, -1, 1, rng))};
+  ExpectGradOk(
+      [](const auto& p) { return SumAll(BatchMatMul(p[0], p[1])); }, batched);
+}
+
+TEST(GradCheckTest, SoftmaxComposition) {
+  Rng rng(5);
+  std::vector<Variable> params{Param(Tensor::Uniform({2, 5}, -2, 2, rng))};
+  // Weighted sum so the softmax gradient isn't identically zero.
+  Tensor weights = Tensor::Uniform({2, 5}, -1, 1, rng);
+  ExpectGradOk(
+      [weights](const auto& p) {
+        return SumAll(Mul(SoftmaxLastDim(p[0]), Constant(weights)));
+      },
+      params);
+}
+
+TEST(GradCheckTest, ShapeOps) {
+  Rng rng(6);
+  std::vector<Variable> params{Param(Tensor::Uniform({2, 6}, -1, 1, rng))};
+  Tensor w1 = Tensor::Uniform({3, 4}, -1, 1, rng);
+  ExpectGradOk(
+      [w1](const auto& p) {
+        return SumAll(Mul(Reshape(p[0], {3, 4}), Constant(w1)));
+      },
+      params);
+  Tensor w2 = Tensor::Uniform({6, 2}, -1, 1, rng);
+  ExpectGradOk(
+      [w2](const auto& p) {
+        return SumAll(Mul(TransposeLast2(p[0]), Constant(w2)));
+      },
+      params);
+  Tensor w3 = Tensor::Uniform({2, 3}, -1, 1, rng);
+  ExpectGradOk(
+      [w3](const auto& p) {
+        return SumAll(Mul(Slice(p[0], 1, 2, 5), Constant(w3)));
+      },
+      params);
+}
+
+TEST(GradCheckTest, ConcatRoutesGradients) {
+  Rng rng(7);
+  std::vector<Variable> params{
+      Param(Tensor::Uniform({2, 2}, -1, 1, rng)),
+      Param(Tensor::Uniform({2, 3}, -1, 1, rng))};
+  Tensor w = Tensor::Uniform({2, 5}, -1, 1, rng);
+  ExpectGradOk(
+      [w](const auto& p) {
+        return SumAll(Mul(Concat({p[0], p[1]}, 1), Constant(w)));
+      },
+      params);
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(8);
+  std::vector<Variable> params{Param(Tensor::Uniform({3, 4}, -1, 1, rng))};
+  ExpectGradOk([](const auto& p) { return MeanAll(p[0]); }, params);
+  Tensor w = Tensor::Uniform({4}, -1, 1, rng);
+  ExpectGradOk(
+      [w](const auto& p) { return SumAll(Mul(Sum(p[0], 0), Constant(w))); },
+      params);
+  Tensor w2 = Tensor::Uniform({3, 1}, -1, 1, rng);
+  ExpectGradOk(
+      [w2](const auto& p) {
+        return SumAll(Mul(Mean(p[0], 1, true), Constant(w2)));
+      },
+      params);
+}
+
+TEST(GradCheckTest, MaximumRoutesToWinner) {
+  // Values chosen away from ties so the subgradient is unambiguous.
+  std::vector<Variable> params{Param(Tensor({3}, {1.0f, 5.0f, -2.0f})),
+                               Param(Tensor({3}, {2.0f, 1.0f, 3.0f}))};
+  ExpectGradOk(
+      [](const auto& p) { return SumAll(Maximum(p[0], p[1])); }, params);
+
+  Variable a = Param(Tensor({3}, {1.0f, 5.0f, -2.0f}));
+  Variable b = Param(Tensor({3}, {2.0f, 1.0f, 3.0f}));
+  SumAll(Maximum(a, b)).Backward();
+  EXPECT_FLOAT_EQ(a.grad().flat(0), 0.0f);
+  EXPECT_FLOAT_EQ(a.grad().flat(1), 1.0f);
+  EXPECT_FLOAT_EQ(b.grad().flat(2), 1.0f);
+}
+
+TEST(GradCheckTest, EmbeddingScattersIntoRows) {
+  Rng rng(9);
+  Variable table = Param(Tensor::Uniform({5, 3}, -1, 1, rng));
+  std::vector<int64_t> indices = {1, 3, 1};
+  Variable out = EmbeddingLookup(table, indices);
+  EXPECT_EQ(out.shape(), (Shape{3, 3}));
+  SumAll(out).Backward();
+  // Row 1 was looked up twice, row 3 once, others never.
+  EXPECT_FLOAT_EQ(table.grad().at({1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(table.grad().at({3, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad().at({0, 0}), 0.0f);
+}
+
+TEST(GradCheckTest, EmbeddingBagMean) {
+  Rng rng(10);
+  Variable table = Param(Tensor::Uniform({4, 2}, -1, 1, rng));
+  std::vector<std::vector<int64_t>> bags = {{0, 1}, {2}, {}};
+  Variable out = EmbeddingBagMean(table, bags);
+  EXPECT_EQ(out.shape(), (Shape{3, 2}));
+  // Bag 0 is the mean of rows 0 and 1.
+  EXPECT_NEAR(out.value().at({0, 0}),
+              0.5f * (table.value().at({0, 0}) + table.value().at({1, 0})),
+              1e-6f);
+  // Empty bag yields zeros.
+  EXPECT_FLOAT_EQ(out.value().at({2, 0}), 0.0f);
+  SumAll(out).Backward();
+  EXPECT_FLOAT_EQ(table.grad().at({0, 0}), 0.5f);
+  EXPECT_FLOAT_EQ(table.grad().at({2, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad().at({3, 0}), 0.0f);
+}
+
+TEST(DropoutTest, IdentityWhenNotTraining) {
+  Rng rng(11);
+  Variable x = Param(Tensor::Uniform({4, 4}, -1, 1, rng));
+  Variable y = Dropout(x, 0.5f, rng, /*train=*/false);
+  EXPECT_TRUE(y.value().AllClose(x.value()));
+}
+
+TEST(DropoutTest, ScalesKeptUnits) {
+  Rng rng(12);
+  Variable x = Param(Tensor::Ones({1000}));
+  Variable y = Dropout(x, 0.5f, rng, /*train=*/true);
+  // Each kept unit is 2.0; expectation preserved.
+  int64_t kept = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float v = y.value().flat(i);
+    EXPECT_TRUE(v == 0.0f || v == 2.0f);
+    if (v != 0.0f) ++kept;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 1000.0, 0.5, 0.08);
+  // Gradient uses the same mask.
+  SumAll(y).Backward();
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().flat(i), y.value().flat(i));
+  }
+}
+
+TEST(GradCheckTest, CompositeExpressionMatchesNumeric) {
+  // A small MLP-like composite: sum(sigmoid(x W1) W2).
+  Rng rng(13);
+  std::vector<Variable> params{
+      Param(Tensor::Uniform({2, 3}, -1, 1, rng)),
+      Param(Tensor::Uniform({3, 4}, -1, 1, rng)),
+      Param(Tensor::Uniform({4, 1}, -1, 1, rng))};
+  ExpectGradOk(
+      [](const auto& p) {
+        return SumAll(MatMul(Sigmoid(MatMul(p[0], p[1])), p[2]));
+      },
+      params);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace kt

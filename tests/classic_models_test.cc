@@ -1,0 +1,187 @@
+// Tests for the classic (non-deep) knowledge-tracing models: BKT, PFA, KTM.
+#include <gtest/gtest.h>
+
+#include "data/simulator.h"
+#include "eval/trainer.h"
+#include "models/bkt.h"
+#include "models/ktm.h"
+#include "models/pfa.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+data::SimulatorConfig TinyConfig() {
+  data::SimulatorConfig config;
+  config.num_students = 80;
+  config.num_questions = 40;
+  config.num_concepts = 6;
+  config.min_responses = 12;
+  config.max_responses = 30;
+  config.seed = 21;
+  return config;
+}
+
+data::Batch FirstBatch(const data::Dataset& ds, int64_t n = 8) {
+  std::vector<const data::ResponseSequence*> members;
+  for (int64_t i = 0; i < n; ++i)
+    members.push_back(&ds.sequences[static_cast<size_t>(i)]);
+  return data::MakeBatch(members);
+}
+
+// ---- BKT ----
+
+TEST(BktTest, FitRecoversGenerativeStructure) {
+  // Hand-built data: concept 0 starts unmastered, is learned quickly, and
+  // afterwards answered correctly -> fitted p_learn should be well above
+  // the floor and p_init low-ish.
+  data::Dataset train;
+  train.num_questions = 1;
+  train.num_concepts = 1;
+  Rng rng(5);
+  for (int s = 0; s < 60; ++s) {
+    data::ResponseSequence seq;
+    bool mastered = false;
+    for (int t = 0; t < 15; ++t) {
+      if (!mastered && rng.Bernoulli(0.3)) mastered = true;
+      const bool correct =
+          mastered ? !rng.Bernoulli(0.05) : rng.Bernoulli(0.15);
+      seq.interactions.push_back({0, correct ? 1 : 0, {0}});
+    }
+    train.sequences.push_back(seq);
+  }
+  BKT model(1, BktConfig{});
+  model.Fit(train);
+  const auto& p = model.params(0);
+  EXPECT_LT(p.p_init, 0.5);
+  EXPECT_GT(p.p_learn, 0.1);
+  EXPECT_LT(p.p_guess, 0.4);
+  EXPECT_LT(p.p_slip, 0.3);
+}
+
+TEST(BktTest, MasteryUpdateDirections) {
+  BKT::ConceptParams p;
+  p.p_guess = 0.2;
+  p.p_slip = 0.1;
+  // Correct evidence raises p(correct); more mastery -> higher probability.
+  EXPECT_GT(BKT::CorrectProbability(p, 0.9), BKT::CorrectProbability(p, 0.1));
+  EXPECT_NEAR(BKT::CorrectProbability(p, 0.0), 0.2, 1e-12);
+  EXPECT_NEAR(BKT::CorrectProbability(p, 1.0), 0.9, 1e-12);
+}
+
+TEST(BktTest, PredictionsInRangeAndAdaptive) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  BKT model(ds.num_concepts, BktConfig{});
+  model.Fit(ds);
+  data::Batch batch = FirstBatch(ds);
+  Tensor probs = model.PredictBatch(batch);
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    for (int64_t t = 0; t < batch.lengths[static_cast<size_t>(b)]; ++t) {
+      const float p = probs.flat(batch.FlatIndex(b, t));
+      EXPECT_GT(p, 0.0f);
+      EXPECT_LT(p, 1.0f);
+    }
+  }
+}
+
+TEST(BktTest, BeatsChance) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  Rng rng(31);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.1, rng);
+  BKT model(ds.num_concepts, BktConfig{});
+  eval::TrainOptions options;
+  const auto result = eval::TrainAndEvaluate(model, split, options);
+  EXPECT_GT(result.test.auc, 0.55);
+}
+
+// ---- PFA ----
+
+TEST(PfaTest, LearnsSuccessHelpsFailureHurts) {
+  // Synthetic data where prior successes strongly predict correctness.
+  data::Dataset train;
+  train.num_questions = 1;
+  train.num_concepts = 1;
+  Rng rng(7);
+  for (int s = 0; s < 80; ++s) {
+    data::ResponseSequence seq;
+    int wins = 0;
+    for (int t = 0; t < 12; ++t) {
+      const double p = 0.25 + 0.12 * std::min(wins, 5);
+      const bool correct = rng.Bernoulli(p);
+      seq.interactions.push_back({0, correct ? 1 : 0, {0}});
+      if (correct) ++wins;
+    }
+    train.sequences.push_back(seq);
+  }
+  PFA model(1, PfaConfig{});
+  model.Fit(train);
+  EXPECT_GT(model.weights(0).gamma, 0.0);           // successes help
+  EXPECT_GT(model.weights(0).gamma, model.weights(0).rho);
+}
+
+TEST(PfaTest, BeatsChance) {
+  data::SimulatorConfig config = TinyConfig();
+  config.num_students = 200;  // count-based features need more folds' worth
+  data::StudentSimulator sim(config);
+  data::Dataset ds = sim.Generate();
+  Rng rng(33);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.1, rng);
+  PFA model(ds.num_concepts, PfaConfig{});
+  eval::TrainOptions options;
+  const auto result = eval::TrainAndEvaluate(model, split, options);
+  EXPECT_GT(result.test.auc, 0.55);
+}
+
+TEST(PfaTest, PredictBeforeFitDies) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  PFA model(ds.num_concepts, PfaConfig{});
+  data::Batch batch = FirstBatch(ds);
+  EXPECT_DEATH(model.PredictBatch(batch), "Fit");
+}
+
+// ---- KTM ----
+
+TEST(KtmTest, ParameterCountMatchesLayout) {
+  KtmConfig config;
+  config.factor_dim = 4;
+  KTM model(10, 3, config);
+  // features = 10 questions + 3*3 concept blocks = 19; params = 1 + 19*(1+4).
+  EXPECT_EQ(model.NumParameters(), 1 + 19 * 5);
+}
+
+TEST(KtmTest, BeatsChance) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  Rng rng(35);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.1, rng);
+  KTM model(ds.num_questions, ds.num_concepts, KtmConfig{});
+  eval::TrainOptions options;
+  const auto result = eval::TrainAndEvaluate(model, split, options);
+  EXPECT_GT(result.test.auc, 0.55);
+}
+
+TEST(KtmTest, DeterministicForSeed) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  KtmConfig config;
+  config.epochs = 3;
+  KTM a(ds.num_questions, ds.num_concepts, config);
+  KTM b(ds.num_questions, ds.num_concepts, config);
+  a.Fit(ds);
+  b.Fit(ds);
+  data::Batch batch = FirstBatch(ds, 4);
+  EXPECT_TRUE(a.PredictBatch(batch).AllClose(b.PredictBatch(batch)));
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace kt

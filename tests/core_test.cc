@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "core/timer.h"
+
+namespace kt {
+namespace {
+
+TEST(CheckTest, PassesAndFails) {
+  KT_CHECK(true) << "never printed";
+  KT_CHECK_EQ(2 + 2, 4);
+  EXPECT_DEATH(KT_CHECK_LT(3, 2) << "context", "KT_CHECK");
+  EXPECT_DEATH(KT_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "Ok");
+  Status err = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_DEATH(bad.value(), "NotFound");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(5);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 5);
+    counts[static_cast<size_t>(v)]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+  EXPECT_DEATH(rng.UniformInt(0), "KT_CHECK");
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(23);
+  Rng child = a.Fork();
+  // Forked stream differs from the parent's continuation.
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(StringUtilTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrPrintf("%s", ""), "");
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, FormatFloat) {
+  EXPECT_EQ(FormatFloat(0.79468, 4), "0.7947");
+  EXPECT_EQ(FormatFloat(1.0, 2), "1.00");
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Model", "AUC"});
+  table.AddRow({"DKT", "0.7706"});
+  table.AddSeparator();
+  table.AddRow({"RCKT-AKT", "0.7947"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  EXPECT_NE(out.find("| RCKT-AKT | 0.7947 |"), std::string::npos);
+  EXPECT_DEATH(table.AddRow({"only one"}), "KT_CHECK");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(timer.ElapsedMs(), 0.0);
+  EXPECT_LT(timer.ElapsedSeconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace kt

@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/batch.h"
+#include "data/dataset.h"
+#include "data/presets.h"
+#include "data/simulator.h"
+
+namespace kt {
+namespace data {
+namespace {
+
+SimulatorConfig TinyConfig() {
+  SimulatorConfig config;
+  config.num_students = 30;
+  config.num_questions = 40;
+  config.num_concepts = 6;
+  config.min_responses = 10;
+  config.max_responses = 30;
+  config.seed = 5;
+  return config;
+}
+
+TEST(DatasetTest, Statistics) {
+  Dataset ds;
+  ds.num_questions = 3;
+  ds.num_concepts = 2;
+  ResponseSequence seq;
+  seq.interactions = {{0, 1, {0}}, {1, 0, {0, 1}}, {2, 1, {1}}};
+  ds.sequences.push_back(seq);
+  EXPECT_EQ(ds.TotalResponses(), 3);
+  EXPECT_NEAR(ds.CorrectRate(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(ds.ConceptsPerQuestion(), 4.0 / 3.0, 1e-9);
+}
+
+TEST(WindowingTest, SplitsAndDropsShortTails) {
+  Dataset raw;
+  raw.num_questions = 10;
+  raw.num_concepts = 2;
+  ResponseSequence seq;
+  for (int i = 0; i < 23; ++i) seq.interactions.push_back({i % 10, 1, {0}});
+  raw.sequences.push_back(seq);
+
+  Dataset windows = SplitIntoWindows(raw, 10, 5);
+  // 23 -> windows of 10, 10, 3; the 3-tail is dropped.
+  ASSERT_EQ(windows.sequences.size(), 2u);
+  EXPECT_EQ(windows.sequences[0].length(), 10);
+  EXPECT_EQ(windows.sequences[1].length(), 10);
+}
+
+TEST(WindowingTest, KeepsShortButValidTails) {
+  Dataset raw;
+  raw.num_questions = 10;
+  raw.num_concepts = 1;
+  ResponseSequence seq;
+  for (int i = 0; i < 17; ++i) seq.interactions.push_back({i % 10, 0, {0}});
+  raw.sequences.push_back(seq);
+  Dataset windows = SplitIntoWindows(raw, 10, 5);
+  ASSERT_EQ(windows.sequences.size(), 2u);
+  EXPECT_EQ(windows.sequences[1].length(), 7);
+}
+
+TEST(KFoldTest, BalancedAndComplete) {
+  Rng rng(3);
+  const auto folds = KFoldAssignment(103, 5, rng);
+  ASSERT_EQ(folds.size(), 103u);
+  std::vector<int> counts(5, 0);
+  for (int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    counts[static_cast<size_t>(f)]++;
+  }
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(MakeFoldTest, PartitionsWithoutOverlap) {
+  StudentSimulator sim(TinyConfig());
+  Dataset ds = sim.Generate();
+  Rng rng(9);
+  const auto folds =
+      KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  FoldSplit split = MakeFold(ds, folds, 2, 0.1, rng);
+  EXPECT_EQ(split.train.sequences.size() + split.validation.sequences.size() +
+                split.test.sequences.size(),
+            ds.sequences.size());
+  EXPECT_GT(split.test.sequences.size(), 0u);
+  EXPECT_GT(split.validation.sequences.size(), 0u);
+  // Metadata propagated.
+  EXPECT_EQ(split.train.num_questions, ds.num_questions);
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  StudentSimulator a(TinyConfig());
+  StudentSimulator b(TinyConfig());
+  Dataset da = a.Generate();
+  Dataset db = b.Generate();
+  ASSERT_EQ(da.sequences.size(), db.sequences.size());
+  for (size_t s = 0; s < da.sequences.size(); ++s) {
+    ASSERT_EQ(da.sequences[s].length(), db.sequences[s].length());
+    for (int64_t t = 0; t < da.sequences[s].length(); ++t) {
+      const auto& ia = da.sequences[s].interactions[static_cast<size_t>(t)];
+      const auto& ib = db.sequences[s].interactions[static_cast<size_t>(t)];
+      EXPECT_EQ(ia.question, ib.question);
+      EXPECT_EQ(ia.response, ib.response);
+    }
+  }
+}
+
+TEST(SimulatorTest, QuestionsHaveConceptsInRange) {
+  StudentSimulator sim(TinyConfig());
+  const auto& qc = sim.question_concepts();
+  ASSERT_EQ(qc.size(), 40u);
+  for (const auto& concepts : qc) {
+    ASSERT_GE(concepts.size(), 1u);
+    for (int64_t k : concepts) {
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, 6);
+    }
+  }
+}
+
+TEST(SimulatorTest, CalibrationHitsTargetRate) {
+  SimulatorConfig config = TinyConfig();
+  config.num_students = 120;
+  config.target_correct_rate = 0.7;
+  StudentSimulator sim(config);
+  Dataset ds = sim.Generate();
+  EXPECT_NEAR(ds.CorrectRate(), 0.7, 0.06);
+
+  config.target_correct_rate = 0.55;
+  config.seed = 6;
+  StudentSimulator sim2(config);
+  EXPECT_NEAR(sim2.Generate().CorrectRate(), 0.55, 0.06);
+}
+
+TEST(SimulatorTest, LearningImprovesProficiency) {
+  StudentSimulator sim(TinyConfig());
+  SimulationTrace trace;
+  sim.GenerateStudent(40, 1, &trace);
+  ASSERT_EQ(trace.proficiency.size(), 40u);
+  // Mean proficiency at the end exceeds the start (learning dominates
+  // forgetting when practicing).
+  auto mean = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (double x : v) total += x;
+    return total / static_cast<double>(v.size());
+  };
+  EXPECT_GT(mean(trace.proficiency.back()), mean(trace.proficiency.front()));
+}
+
+TEST(SimulatorTest, TraceMatchesSequenceLength) {
+  StudentSimulator sim(TinyConfig());
+  SimulationTrace trace;
+  ResponseSequence seq = sim.GenerateStudent(15, 2, &trace);
+  EXPECT_EQ(seq.length(), 15);
+  EXPECT_EQ(trace.proficiency.size(), 15u);
+}
+
+TEST(PresetTest, AllPresetsMatchTable2Structure) {
+  // Table II structure: concepts/question and %correct bands.
+  struct Expectation {
+    const char* name;
+    double concepts_per_question;
+    double correct_rate;
+  };
+  const Expectation expectations[] = {
+      {"assist09", 1.22, 0.63},
+      {"assist12", 1.0, 0.70},
+      {"slepemapy", 1.0, 0.78},
+      {"eedi", 1.0, 0.64},
+  };
+  const auto presets = data::AllPresets(/*scale=*/0.25);
+  ASSERT_EQ(presets.size(), 4u);
+  for (size_t i = 0; i < presets.size(); ++i) {
+    StudentSimulator sim(presets[i]);
+    Dataset ds = sim.Generate();
+    EXPECT_EQ(ds.name, expectations[i].name);
+    EXPECT_NEAR(ds.ConceptsPerQuestion(), expectations[i].concepts_per_question,
+                0.08)
+        << ds.name;
+    EXPECT_NEAR(ds.CorrectRate(), expectations[i].correct_rate, 0.06)
+        << ds.name;
+  }
+}
+
+TEST(PresetTest, PresetByName) {
+  EXPECT_EQ(PresetByName("eedi").name, "eedi");
+  EXPECT_DEATH(PresetByName("nope"), "unknown preset");
+}
+
+TEST(BatchTest, PadsAndMasks) {
+  ResponseSequence a;
+  a.interactions = {{1, 1, {0}}, {2, 0, {1}}};
+  ResponseSequence b;
+  b.interactions = {{3, 1, {0}}, {4, 1, {0}}, {5, 0, {1}}};
+  Batch batch = MakeBatch({&a, &b});
+  EXPECT_EQ(batch.batch_size, 2);
+  EXPECT_EQ(batch.max_len, 3);
+  EXPECT_EQ(batch.questions[batch.FlatIndex(0, 1)], 2);
+  EXPECT_EQ(batch.questions[batch.FlatIndex(0, 2)], 0);  // padding
+  EXPECT_FLOAT_EQ(batch.valid.flat(batch.FlatIndex(0, 2)), 0.0f);
+  EXPECT_FLOAT_EQ(batch.valid.flat(batch.FlatIndex(1, 2)), 1.0f);
+  EXPECT_FLOAT_EQ(batch.targets.flat(batch.FlatIndex(1, 0)), 1.0f);
+  EXPECT_EQ(batch.lengths[0], 2);
+}
+
+TEST(BatchTest, PadToRejectsTooLong) {
+  ResponseSequence a;
+  a.interactions = {{1, 1, {0}}, {2, 0, {1}}, {3, 1, {0}}};
+  EXPECT_DEATH(MakeBatch({&a}, /*pad_to=*/2), "KT_CHECK");
+  Batch padded = MakeBatch({&a}, /*pad_to=*/5);
+  EXPECT_EQ(padded.max_len, 5);
+}
+
+TEST(BatchIteratorTest, CoversAllSequencesOncePerEpoch) {
+  StudentSimulator sim(TinyConfig());
+  Dataset ds = sim.Generate();
+  Rng rng(21);
+  BatchIterator it(ds, 7, rng, /*shuffle=*/true);
+  Batch batch;
+  int64_t total = 0;
+  int64_t batches = 0;
+  while (it.Next(&batch)) {
+    total += batch.batch_size;
+    ++batches;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(ds.sequences.size()));
+  EXPECT_EQ(batches, it.NumBatches());
+  // Reset starts a fresh epoch.
+  it.Reset();
+  EXPECT_TRUE(it.Next(&batch));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace kt

@@ -1,0 +1,181 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/simulator.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "eval/ttest.h"
+#include "models/dkt.h"
+
+namespace kt {
+namespace eval {
+namespace {
+
+TEST(AucTest, PerfectAndInvertedRanking) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, RandomScoresGiveHalf) {
+  Rng rng(3);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucTest, TiesGetMidranks) {
+  // Two positives and two negatives all tied -> AUC 0.5 exactly.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AucTest, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantUnderMonotoneTransform) {
+  Rng rng(5);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const float s = static_cast<float>(rng.Uniform(-3, 3));
+    scores.push_back(s);
+    labels.push_back(rng.Bernoulli(1.0 / (1.0 + std::exp(-s))) ? 1 : 0);
+  }
+  std::vector<float> transformed;
+  for (float s : scores) {
+    transformed.push_back(1.0f / (1.0f + std::exp(-s)));  // sigmoid
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels), ComputeAuc(transformed, labels),
+              1e-9);
+}
+
+TEST(AccTest, ThresholdBehaviour) {
+  const std::vector<float> scores = {0.4f, 0.6f, 0.5f};
+  const std::vector<int> labels = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(ComputeAcc(scores, labels), 1.0);  // 0.5 counts as positive
+  EXPECT_DOUBLE_EQ(ComputeAcc(scores, labels, 0.7), 1.0 / 3.0);
+}
+
+TEST(MetricAccumulatorTest, MaskedAdd) {
+  MetricAccumulator acc;
+  Tensor probs({2, 2}, {0.9f, 0.1f, 0.8f, 0.3f});
+  Tensor targets({2, 2}, {1, 0, 1, 1});
+  Tensor mask({2, 2}, {1, 1, 1, 0});
+  acc.Add(probs, targets, mask);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.Auc(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Acc(), 1.0);
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(IncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-9);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(IncompleteBeta(2.0, 2.0, 0.4), 0.4 * 0.4 * (3 - 0.8), 1e-9);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(3.0, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(3.0, 5.0, 1.0), 1.0);
+}
+
+TEST(WelchTTestTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {0.5, 0.51, 0.49, 0.5};
+  const auto result = WelchTTest(a, a);
+  EXPECT_NEAR(result.t_statistic, 0.0, 1e-12);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(WelchTTestTest, ClearlySeparatedSamplesSignificant) {
+  const std::vector<double> a = {0.80, 0.81, 0.79, 0.80, 0.82};
+  const std::vector<double> b = {0.70, 0.71, 0.69, 0.70, 0.72};
+  const auto result = WelchTTest(a, b);
+  EXPECT_GT(result.t_statistic, 5.0);
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(WelchTTestTest, MatchesReferenceImplementation) {
+  // Hand-computed reference: a = [1..5], b = [2,4,6,8,10]:
+  // mean 3 vs 6, var 2.5 vs 10, se^2 = 2.5, t = -3/sqrt(2.5) = -1.8974,
+  // Welch df = 6.25/1.0625 = 5.882, two-sided p ~ 0.1075.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  const auto result = WelchTTest(a, b);
+  EXPECT_NEAR(result.t_statistic, -1.8974, 1e-3);
+  EXPECT_NEAR(result.degrees_of_freedom, 5.882, 1e-2);
+  EXPECT_NEAR(result.p_value, 0.1075, 2e-3);
+}
+
+TEST(TrainerTest, EarlyStoppingRestoresBestEpoch) {
+  data::SimulatorConfig config;
+  config.num_students = 50;
+  config.num_questions = 30;
+  config.num_concepts = 4;
+  config.min_responses = 10;
+  config.max_responses = 20;
+  config.seed = 3;
+  data::StudentSimulator sim(config);
+  data::Dataset ds = sim.Generate();
+  Rng rng(5);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.2, rng);
+
+  models::NeuralConfig nc;
+  nc.dim = 8;
+  nc.lr = 5e-3f;
+  models::DKT model(ds.num_questions, ds.num_concepts, nc);
+  TrainOptions options;
+  options.max_epochs = 12;
+  options.patience = 3;
+  options.batch_size = 16;
+  TrainResult result = TrainAndEvaluate(model, split, options);
+
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_LE(result.epochs_run, options.max_epochs);
+  // The recorded best validation AUC is the max of the history.
+  double max_val = 0.0;
+  for (double v : result.val_auc_history) max_val = std::max(max_val, v);
+  EXPECT_DOUBLE_EQ(result.best_val_auc, max_val);
+  // Early stopping fired no later than best + patience.
+  EXPECT_LE(result.epochs_run,
+            result.best_epoch + options.patience + 1);
+}
+
+TEST(CrossValidationTest, ProducesOneResultPerFold) {
+  data::SimulatorConfig config;
+  config.num_students = 40;
+  config.num_questions = 25;
+  config.num_concepts = 4;
+  config.min_responses = 8;
+  config.max_responses = 16;
+  config.seed = 4;
+  data::StudentSimulator sim(config);
+  data::Dataset ds = sim.Generate();
+
+  TrainOptions options;
+  options.max_epochs = 2;
+  options.patience = 2;
+  options.batch_size = 16;
+  ModelFactory factory =
+      [](const data::Dataset& train) -> std::unique_ptr<models::KTModel> {
+    models::NeuralConfig nc;
+    nc.dim = 8;
+    return std::make_unique<models::DKT>(train.num_questions,
+                                         train.num_concepts, nc);
+  };
+  const auto cv = RunCrossValidation(ds, 3, factory, options);
+  EXPECT_EQ(cv.fold_auc.size(), 3u);
+  EXPECT_EQ(cv.fold_acc.size(), 3u);
+  double mean = 0.0;
+  for (double v : cv.fold_auc) mean += v;
+  EXPECT_NEAR(cv.auc_mean, mean / 3.0, 1e-12);
+  EXPECT_GE(cv.auc_std, 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace kt

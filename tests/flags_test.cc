@@ -1,0 +1,72 @@
+#include "core/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace kt {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(parser.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, KeyValueForms) {
+  FlagParser flags = Parse({"--alpha", "3", "--beta=hello", "--gamma"});
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetString("beta", ""), "hello");
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_FALSE(flags.Has("delta"));
+}
+
+TEST(FlagParserTest, Fallbacks) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = Parse({"train", "--lr", "0.1", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "train");
+  EXPECT_EQ(flags.positional()[1], "extra");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.1);
+}
+
+TEST(FlagParserTest, BooleanBeforeAnotherFlag) {
+  FlagParser flags = Parse({"--verbose", "--lr", "0.2"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.2);
+}
+
+TEST(FlagParserTest, ExplicitBooleanValues) {
+  FlagParser flags = Parse({"--a=false", "--b", "true", "--c=1", "--d=0"});
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagParserTest, MalformedValuesDie) {
+  FlagParser flags = Parse({"--n=abc", "--x=1.2.3", "--flag=maybe"});
+  EXPECT_DEATH(flags.GetInt("n", 0), "expects an integer");
+  EXPECT_DEATH(flags.GetDouble("x", 0.0), "expects a number");
+  EXPECT_DEATH(flags.GetBool("flag", false), "true/false");
+}
+
+TEST(FlagParserTest, BareDashesRejected) {
+  FlagParser parser;
+  const char* args[] = {"prog", "--"};
+  EXPECT_FALSE(parser.Parse(2, args).ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags = Parse({"--lr=0.1", "--lr=0.2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.2);
+}
+
+}  // namespace
+}  // namespace kt

@@ -1,0 +1,257 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/batch.h"
+#include "data/simulator.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "models/akt.h"
+#include "models/difficulty.h"
+#include "models/dimkt.h"
+#include "models/dkt.h"
+#include "models/ikt.h"
+#include "models/qikt.h"
+#include "models/sakt.h"
+
+namespace kt {
+namespace models {
+namespace {
+
+data::SimulatorConfig TinyConfig() {
+  data::SimulatorConfig config;
+  config.num_students = 60;
+  config.num_questions = 50;
+  config.num_concepts = 6;
+  config.min_responses = 12;
+  config.max_responses = 30;
+  config.seed = 8;
+  return config;
+}
+
+NeuralConfig SmallNeural() {
+  NeuralConfig config;
+  config.dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.lr = 3e-3f;
+  return config;
+}
+
+data::Batch FirstBatch(const data::Dataset& ds, int64_t batch_size = 8) {
+  std::vector<const data::ResponseSequence*> members;
+  for (int64_t i = 0;
+       i < batch_size && i < static_cast<int64_t>(ds.sequences.size()); ++i) {
+    members.push_back(&ds.sequences[static_cast<size_t>(i)]);
+  }
+  return data::MakeBatch(members);
+}
+
+// A factory covering every neural baseline, for parameterized suites.
+enum class BaselineKind { kDKT, kSAKT, kAKT, kDIMKT, kQIKT };
+
+std::unique_ptr<KTModel> MakeBaseline(BaselineKind kind,
+                                      const data::Dataset& train) {
+  const NeuralConfig config = SmallNeural();
+  switch (kind) {
+    case BaselineKind::kDKT:
+      return std::make_unique<DKT>(train.num_questions, train.num_concepts,
+                                   config);
+    case BaselineKind::kSAKT:
+      return std::make_unique<SAKT>(train.num_questions, train.num_concepts,
+                                    config);
+    case BaselineKind::kAKT:
+      return std::make_unique<AKT>(train.num_questions, train.num_concepts,
+                                   config);
+    case BaselineKind::kDIMKT:
+      return std::make_unique<DIMKT>(
+          train.num_questions, train.num_concepts,
+          ComputeDifficulty(train, train.num_questions), config);
+    case BaselineKind::kQIKT:
+      return std::make_unique<QIKT>(train.num_questions, train.num_concepts,
+                                    config);
+  }
+  return nullptr;
+}
+
+TEST(EvalMaskTest, ExcludesPositionZeroAndPadding) {
+  data::ResponseSequence a;
+  a.interactions = {{1, 1, {0}}, {2, 0, {1}}};
+  data::ResponseSequence b;
+  b.interactions = {{3, 1, {0}}, {4, 1, {0}}, {5, 0, {1}}};
+  data::Batch batch = data::MakeBatch({&a, &b});
+  Tensor mask = EvalMask(batch);
+  EXPECT_FLOAT_EQ(mask.flat(batch.FlatIndex(0, 0)), 0.0f);
+  EXPECT_FLOAT_EQ(mask.flat(batch.FlatIndex(0, 1)), 1.0f);
+  EXPECT_FLOAT_EQ(mask.flat(batch.FlatIndex(0, 2)), 0.0f);  // padding
+  EXPECT_FLOAT_EQ(mask.flat(batch.FlatIndex(1, 2)), 1.0f);
+}
+
+class BaselineSuite : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineSuite, PredictsProbabilitiesInRange) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  auto model = MakeBaseline(GetParam(), ds);
+  data::Batch batch = FirstBatch(ds);
+  Tensor probs = model->PredictBatch(batch);
+  EXPECT_EQ(probs.shape(), (Shape{batch.batch_size, batch.max_len}));
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_GE(probs.flat(i), 0.0f);
+    EXPECT_LE(probs.flat(i), 1.0f);
+  }
+}
+
+TEST_P(BaselineSuite, TrainingReducesLoss) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  auto model = MakeBaseline(GetParam(), ds);
+  data::Batch batch = FirstBatch(ds, 16);
+  const float first = model->TrainBatch(batch);
+  float last = first;
+  for (int step = 0; step < 15; ++step) last = model->TrainBatch(batch);
+  EXPECT_LT(last, first);
+}
+
+TEST_P(BaselineSuite, PredictionIsDeterministicAtInference) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  auto model = MakeBaseline(GetParam(), ds);
+  data::Batch batch = FirstBatch(ds);
+  Tensor p1 = model->PredictBatch(batch);
+  Tensor p2 = model->PredictBatch(batch);
+  EXPECT_TRUE(p1.AllClose(p2));
+}
+
+TEST_P(BaselineSuite, BeatsChanceAfterShortTraining) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  Rng rng(17);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.1, rng);
+
+  auto model = MakeBaseline(GetParam(), split.train);
+  eval::TrainOptions options;
+  options.max_epochs = 14;
+  options.patience = 14;
+  options.batch_size = 16;
+  eval::TrainResult result = eval::TrainAndEvaluate(*model, split, options);
+  EXPECT_GT(result.test.auc, 0.55) << "model failed to learn";
+  EXPECT_GT(result.test.num_predictions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSuite,
+                         ::testing::Values(BaselineKind::kDKT,
+                                           BaselineKind::kSAKT,
+                                           BaselineKind::kAKT,
+                                           BaselineKind::kDIMKT,
+                                           BaselineKind::kQIKT),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BaselineKind::kDKT: return "DKT";
+                             case BaselineKind::kSAKT: return "SAKT";
+                             case BaselineKind::kAKT: return "AKT";
+                             case BaselineKind::kDIMKT: return "DIMKT";
+                             case BaselineKind::kQIKT: return "QIKT";
+                           }
+                           return "unknown";
+                         });
+
+TEST(DifficultyTest, RatesAndLevels) {
+  data::Dataset train;
+  train.num_questions = 3;
+  train.num_concepts = 1;
+  data::ResponseSequence seq;
+  // Question 0 always correct (easy), question 1 always wrong (hard).
+  for (int i = 0; i < 20; ++i) {
+    seq.interactions.push_back({0, 1, {0}});
+    seq.interactions.push_back({1, 0, {0}});
+  }
+  train.sequences.push_back(seq);
+  DifficultyTable table = ComputeDifficulty(train, 3, /*num_levels=*/10);
+  EXPECT_GT(table.correct_rate[0], 0.8);
+  EXPECT_LT(table.correct_rate[1], 0.2);
+  // Unseen question 2 falls back to the global rate (0.5 here).
+  EXPECT_NEAR(table.correct_rate[2], 0.5, 1e-6);
+  EXPECT_GT(table.level[0], table.level[1]);
+}
+
+TEST(QiktTest, ExposesIrtTerms) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  QIKT model(ds.num_questions, ds.num_concepts, SmallNeural());
+  data::Batch batch = FirstBatch(ds);
+  model.PredictBatch(batch);
+  const auto& terms = model.last_terms();
+  EXPECT_EQ(terms.mastery.shape(), (Shape{batch.batch_size, batch.max_len}));
+  // Discrimination is positive by construction (softplus).
+  for (int64_t i = 0; i < terms.discrimination.numel(); ++i) {
+    EXPECT_GT(terms.discrimination.flat(i), 0.0f);
+  }
+}
+
+TEST(SaktTest, CapturesAttentionMaps) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  SAKT model(ds.num_questions, ds.num_concepts, SmallNeural());
+  model.set_capture_attention(true);
+  data::Batch batch = FirstBatch(ds, 2);
+  model.PredictBatch(batch);
+  const Tensor& attention = model.last_attention();
+  EXPECT_EQ(attention.shape(),
+            (Shape{batch.batch_size, batch.max_len, batch.max_len}));
+  // Strict causal: upper triangle including the diagonal is zero.
+  for (int64_t i = 0; i < batch.max_len; ++i) {
+    for (int64_t j = i; j < batch.max_len; ++j) {
+      EXPECT_FLOAT_EQ(attention.at({0, i, j}), 0.0f);
+    }
+  }
+}
+
+TEST(IktTest, FitLearnsTanStructureAndPredicts) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  IKT model(ds.num_questions, IktConfig{});
+  EXPECT_FALSE(model.SupportsBatchTraining());
+  model.Fit(ds);
+  // Each non-root feature has the root or another feature as parent.
+  int with_parent = 0;
+  for (int f = 0; f < IKT::kNumFeatures; ++f) {
+    if (model.parents()[static_cast<size_t>(f)] >= 0) ++with_parent;
+  }
+  EXPECT_EQ(with_parent, IKT::kNumFeatures - 1);
+
+  data::Batch batch = FirstBatch(ds);
+  Tensor probs = model.PredictBatch(batch);
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_GE(probs.flat(i), 0.0f);
+    EXPECT_LE(probs.flat(i), 1.0f);
+  }
+}
+
+TEST(IktTest, BeatsChance) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  Rng rng(23);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 5, rng);
+  data::FoldSplit split = data::MakeFold(ds, folds, 0, 0.1, rng);
+  IKT model(ds.num_questions, IktConfig{});
+  eval::TrainOptions options;
+  eval::TrainResult result = eval::TrainAndEvaluate(model, split, options);
+  EXPECT_GT(result.test.auc, 0.55);
+}
+
+TEST(IktTest, PredictBeforeFitDies) {
+  data::StudentSimulator sim(TinyConfig());
+  data::Dataset ds = sim.Generate();
+  IKT model(ds.num_questions, IktConfig{});
+  data::Batch batch = FirstBatch(ds);
+  EXPECT_DEATH(model.PredictBatch(batch), "Fit");
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace kt

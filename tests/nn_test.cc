@@ -1,0 +1,383 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapePreservesLeadingDims) {
+  Rng rng(1);
+  Linear linear(4, 3, rng);
+  ag::Variable x = ag::Constant(Tensor::Uniform({2, 5, 4}, -1, 1, rng));
+  ag::Variable y = linear.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 3}));
+}
+
+TEST(LinearTest, MatchesManualComputation) {
+  Rng rng(2);
+  Linear linear(2, 1, rng);
+  auto params = linear.Parameters();
+  ASSERT_EQ(params.size(), 2u);  // weight, bias
+  Tensor w = params[0].value();
+  Tensor b = params[1].value();
+  ag::Variable x = ag::Constant(Tensor({1, 2}, {3.0f, -1.0f}));
+  float expected = 3.0f * w.at({0, 0}) - 1.0f * w.at({1, 0}) + b.flat(0);
+  EXPECT_NEAR(linear.Forward(x).value().item(), expected, 1e-5f);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(3);
+  Linear linear(3, 2, rng);
+  Tensor x = Tensor::Uniform({4, 3}, -1, 1, rng);
+  std::vector<ag::Variable> params = linear.Parameters();
+  ag::GradCheckResult result = ag::CheckGradients(
+      [&](const std::vector<ag::Variable>&) {
+        return ag::SumAll(linear.Forward(ag::Constant(x)));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.max_abs_error;
+}
+
+TEST(ModuleTest, ParameterCollectionAndNames) {
+  Rng rng(4);
+  Linear linear(3, 2, rng);
+  EXPECT_EQ(linear.NumParameters(), 3 * 2 + 2);
+  auto names = linear.ParameterNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "weight");
+  EXPECT_EQ(names[1], "bias");
+}
+
+TEST(ModuleTest, StateCloneRoundTrip) {
+  Rng rng(5);
+  Linear linear(2, 2, rng);
+  std::vector<Tensor> saved = linear.StateClone();
+  linear.Parameters()[0].mutable_value().Fill(99.0f);
+  linear.SetState(saved);
+  EXPECT_TRUE(linear.Parameters()[0].value().AllClose(saved[0]));
+}
+
+TEST(EmbeddingTest, LookupAndShape) {
+  Rng rng(6);
+  Embedding emb(10, 4, rng);
+  ag::Variable out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+  // Identical indices give identical rows.
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(out.value().at({0, c}), out.value().at({1, c}));
+  }
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  Rng rng(7);
+  LayerNorm norm(6);
+  ag::Variable x = ag::Constant(Tensor::Uniform({3, 6}, -4, 4, rng));
+  Tensor y = norm.Forward(x).value();
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t c = 0; c < 6; ++c) mean += y.at({r, c});
+    mean /= 6.0f;
+    for (int64_t c = 0; c < 6; ++c)
+      var += (y.at({r, c}) - mean) * (y.at({r, c}) - mean);
+    var /= 6.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);  // gamma=1, beta=0 initially
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(8);
+  LayerNorm norm(4);
+  Tensor x = Tensor::Uniform({2, 4}, -2, 2, rng);
+  Tensor w = Tensor::Uniform({2, 4}, -1, 1, rng);
+  std::vector<ag::Variable> params = norm.Parameters();
+  ag::GradCheckResult result = ag::CheckGradients(
+      [&](const std::vector<ag::Variable>&) {
+        return ag::SumAll(
+            ag::Mul(norm.Forward(ag::Constant(x)), ag::Constant(w)));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.max_abs_error;
+}
+
+TEST(LstmTest, OutputShapeAndCausality) {
+  Rng rng(9);
+  LSTM lstm(3, 5, rng);
+  Tensor x = Tensor::Uniform({2, 4, 3}, -1, 1, rng);
+  nn::Context ctx;
+  ag::Variable out = lstm.Forward(ag::Constant(x));
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 5}));
+
+  // Causality: changing x at t=3 must not affect outputs at t<3.
+  Tensor x2 = x.Clone();
+  x2.at({0, 3, 0}) += 10.0f;
+  ag::Variable out2 = lstm.Forward(ag::Constant(x2));
+  EXPECT_TRUE(out2.value()
+                  .Slice(1, 0, 3)
+                  .AllClose(out.value().Slice(1, 0, 3)));
+  // ...but does affect t=3.
+  EXPECT_FALSE(out2.value()
+                   .Slice(1, 3, 4)
+                   .AllClose(out.value().Slice(1, 3, 4)));
+  (void)ctx;
+}
+
+TEST(LstmTest, ReverseProcessesRightToLeft) {
+  Rng rng(10);
+  LSTM lstm(2, 3, rng);
+  Tensor x = Tensor::Uniform({1, 5, 2}, -1, 1, rng);
+  ag::Variable out = lstm.Forward(ag::Constant(x), /*reverse=*/true);
+  // Anticausality: changing x at t=0 must not affect outputs at t>0.
+  Tensor x2 = x.Clone();
+  x2.at({0, 0, 1}) += 5.0f;
+  ag::Variable out2 = lstm.Forward(ag::Constant(x2), /*reverse=*/true);
+  EXPECT_TRUE(out2.value()
+                  .Slice(1, 1, 5)
+                  .AllClose(out.value().Slice(1, 1, 5)));
+  EXPECT_FALSE(out2.value()
+                   .Slice(1, 0, 1)
+                   .AllClose(out.value().Slice(1, 0, 1)));
+}
+
+TEST(LstmTest, GradFlowsThroughTime) {
+  Rng rng(11);
+  LSTM lstm(2, 3, rng);
+  Tensor x = Tensor::Uniform({1, 6, 2}, -1, 1, rng);
+  lstm.ZeroGrad();
+  ag::SumAll(lstm.Forward(ag::Constant(x))).Backward();
+  // Every parameter receives some gradient.
+  for (const auto& p : lstm.Parameters()) {
+    float norm = 0.0f;
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) norm += std::fabs(g.flat(i));
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(AttentionMaskTest, Kinds) {
+  Tensor causal = MakeAttentionMask(3, AttentionMaskKind::kCausalStrict);
+  EXPECT_FLOAT_EQ(causal.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(causal.at({2, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(causal.at({1, 2}), 0.0f);
+
+  Tensor inclusive = MakeAttentionMask(3, AttentionMaskKind::kCausalInclusive);
+  EXPECT_FLOAT_EQ(inclusive.at({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(inclusive.at({1, 2}), 0.0f);
+
+  Tensor anti = MakeAttentionMask(3, AttentionMaskKind::kAntiCausalInclusive);
+  EXPECT_FLOAT_EQ(anti.at({1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(anti.at({1, 2}), 1.0f);
+
+  Tensor no_self = MakeAttentionMask(3, AttentionMaskKind::kBidirectionalNoSelf);
+  EXPECT_FLOAT_EQ(no_self.at({1, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(no_self.at({1, 0}), 1.0f);
+}
+
+TEST(AttentionTest, OutputShapeAndMaskRespected) {
+  Rng rng(12);
+  MultiHeadAttention attn(8, 2, 0.0f, /*monotonic=*/false, rng);
+  Tensor x = Tensor::Uniform({2, 4, 8}, -1, 1, rng);
+  Context ctx;
+  Tensor mask = MakeAttentionMask(4, AttentionMaskKind::kCausalStrict);
+  std::vector<Tensor> attention;
+  ag::Variable q = ag::Constant(x);
+  ag::Variable out = attn.Forward(q, q, q, mask, ctx, &attention);
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 8}));
+  ASSERT_EQ(attention.size(), 2u);  // one map per head
+  // Blocked entries have zero probability; row 0 attends to nothing.
+  for (const Tensor& a : attention) {
+    for (int64_t b = 0; b < 2; ++b) {
+      for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 4; ++j) {
+          if (j >= i) EXPECT_FLOAT_EQ(a.at({b, i, j}), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(AttentionTest, ProbabilitiesSumToOneOnAllowedRows) {
+  Rng rng(13);
+  MultiHeadAttention attn(8, 2, 0.0f, /*monotonic=*/false, rng);
+  Tensor x = Tensor::Uniform({1, 5, 8}, -1, 1, rng);
+  Context ctx;
+  Tensor mask = MakeAttentionMask(5, AttentionMaskKind::kBidirectionalNoSelf);
+  std::vector<Tensor> attention;
+  ag::Variable q = ag::Constant(x);
+  attn.Forward(q, q, q, mask, ctx, &attention);
+  for (int64_t i = 0; i < 5; ++i) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) total += attention[0].at({0, i, j});
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+    EXPECT_FLOAT_EQ(attention[0].at({0, i, i}), 0.0f);
+  }
+}
+
+TEST(AttentionTest, MonotonicDecayLowersDistantScores) {
+  Rng rng(14);
+  MultiHeadAttention attn(4, 1, 0.0f, /*monotonic=*/true, rng);
+  // Force a large decay parameter.
+  for (auto& p : attn.Parameters()) {
+    if (p.shape() == Shape{1}) p.mutable_value().Fill(5.0f);
+  }
+  // Identical keys at all positions: attention differences come only from
+  // the distance penalty, so nearer positions get more weight.
+  Tensor x = Tensor::Ones({1, 6, 4});
+  Context ctx;
+  Tensor mask = MakeAttentionMask(6, AttentionMaskKind::kCausalStrict);
+  std::vector<Tensor> attention;
+  ag::Variable q = ag::Constant(x);
+  attn.Forward(q, q, q, mask, ctx, &attention);
+  // Row 5: weight at j=4 (distance 1) > weight at j=0 (distance 5).
+  EXPECT_GT(attention[0].at({0, 5, 4}), attention[0].at({0, 5, 0}));
+}
+
+TEST(TransformerBlockTest, ShapeAndGradient) {
+  Rng rng(15);
+  TransformerBlock block(8, 2, 0.0f, /*monotonic=*/false, rng);
+  Tensor x = Tensor::Uniform({2, 3, 8}, -1, 1, rng);
+  Context ctx;
+  Tensor mask = MakeAttentionMask(3, AttentionMaskKind::kFull);
+  block.ZeroGrad();
+  ag::Variable out = block.Forward(ag::Constant(x), mask, ctx);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 8}));
+  ag::SumAll(out).Backward();
+  float total = 0.0f;
+  for (const auto& p : block.Parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) total += std::fabs(g.flat(i));
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||x - target||^2.
+  Rng rng(16);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Uniform({4}, -2, 2, rng), true);
+  Tensor target({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  AdamOptions options;
+  options.lr = 0.1f;
+  options.clip_norm = 0.0f;
+  Adam adam({x}, options);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    ag::Variable diff = ag::Sub(x, ag::Constant(target));
+    ag::SumAll(ag::Mul(diff, diff)).Backward();
+    adam.Step();
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 1e-2f, 1e-2f));
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  ag::Variable x = ag::Variable::Leaf(Tensor::Full({2}, 5.0f), true);
+  AdamOptions options;
+  options.lr = 0.05f;
+  options.weight_decay = 1.0f;
+  Adam adam({x}, options);
+  for (int step = 0; step < 250; ++step) {
+    adam.ZeroGrad();
+    // Zero data loss: only decay acts.
+    ag::MulScalar(ag::SumAll(x), 0.0f).Backward();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(x.value().flat(0)), 1.0f);
+}
+
+TEST(AdamTest, GradNormAndClipping) {
+  ag::Variable x = ag::Variable::Leaf(Tensor::Full({4}, 1.0f), true);
+  AdamOptions options;
+  options.lr = 1.0f;
+  options.clip_norm = 0.1f;
+  Adam adam({x}, options);
+  adam.ZeroGrad();
+  ag::MulScalar(ag::SumAll(x), 100.0f).Backward();
+  EXPECT_NEAR(adam.GradNorm(), 200.0f, 1e-2f);  // sqrt(4 * 100^2)
+  Tensor before = x.value().Clone();
+  adam.Step();
+  // First Adam step magnitude is ~lr regardless of clip, but clipping must
+  // not blow up; just check the update is finite and moved opposite grad.
+  EXPECT_LT(x.value().flat(0), before.flat(0));
+}
+
+TEST(LossTest, BceWithLogitsMatchesManual) {
+  // Single element: x = 0.3, y = 1 -> loss = log(1 + e^{-0.3}).
+  ag::Variable logits = ag::Variable::Leaf(Tensor({1}, {0.3f}), true);
+  Tensor y({1}, {1.0f});
+  Tensor mask = Tensor::Ones({1});
+  ag::Variable loss = BinaryCrossEntropyWithLogits(logits, y, mask);
+  EXPECT_NEAR(loss.value().item(), std::log(1.0f + std::exp(-0.3f)), 1e-5f);
+}
+
+TEST(LossTest, BceMaskExcludesPositions) {
+  ag::Variable logits =
+      ag::Variable::Leaf(Tensor({3}, {10.0f, -10.0f, 0.0f}), true);
+  Tensor targets({3}, {0.0f, 1.0f, 1.0f});  // first two are maximally wrong
+  Tensor mask({3}, {0.0f, 0.0f, 1.0f});
+  ag::Variable loss = BinaryCrossEntropyWithLogits(logits, targets, mask);
+  // Only the third element contributes: log(2).
+  EXPECT_NEAR(loss.value().item(), std::log(2.0f), 1e-4f);
+}
+
+TEST(LossTest, BceWithLogitsStableAtExtremes) {
+  ag::Variable logits =
+      ag::Variable::Leaf(Tensor({2}, {80.0f, -80.0f}), true);
+  Tensor targets({2}, {1.0f, 0.0f});
+  Tensor mask = Tensor::Ones({2});
+  ag::Variable loss = BinaryCrossEntropyWithLogits(logits, targets, mask);
+  EXPECT_TRUE(std::isfinite(loss.value().item()));
+  EXPECT_NEAR(loss.value().item(), 0.0f, 1e-4f);
+  loss.Backward();
+  EXPECT_TRUE(std::isfinite(logits.grad().flat(0)));
+}
+
+TEST(LossTest, BceFromProbsAgreesWithLogitsForm) {
+  Rng rng(17);
+  Tensor raw = Tensor::Uniform({6}, -2, 2, rng);
+  Tensor targets({6}, {1, 0, 1, 1, 0, 0});
+  Tensor mask = Tensor::Ones({6});
+  ag::Variable logits = ag::Variable::Leaf(raw, true);
+  ag::Variable from_logits =
+      BinaryCrossEntropyWithLogits(logits, targets, mask);
+  ag::Variable probs = ag::Sigmoid(ag::Variable::Leaf(raw, true));
+  ag::Variable from_probs = BinaryCrossEntropyFromProbs(probs, targets, mask);
+  EXPECT_NEAR(from_logits.value().item(), from_probs.value().item(), 1e-4f);
+}
+
+TEST(LossTest, GradCheckBothForms) {
+  Rng rng(18);
+  Tensor targets({4}, {1, 0, 0, 1});
+  Tensor mask({4}, {1, 1, 0, 1});
+  std::vector<ag::Variable> params{
+      ag::Variable::Leaf(Tensor::Uniform({4}, -1.5f, 1.5f, rng), true)};
+  ag::GradCheckResult r1 = ag::CheckGradients(
+      [&](const std::vector<ag::Variable>& p) {
+        return BinaryCrossEntropyWithLogits(p[0], targets, mask);
+      },
+      params);
+  EXPECT_TRUE(r1.ok) << r1.max_abs_error;
+
+  std::vector<ag::Variable> params2{
+      ag::Variable::Leaf(Tensor::Uniform({4}, 0.2f, 0.8f, rng), true)};
+  ag::GradCheckResult r2 = ag::CheckGradients(
+      [&](const std::vector<ag::Variable>& p) {
+        return BinaryCrossEntropyFromProbs(p[0], targets, mask);
+      },
+      params2);
+  EXPECT_TRUE(r2.ok) << r2.max_abs_error;
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace kt

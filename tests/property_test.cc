@@ -1,0 +1,246 @@
+// Property-based test sweeps (TEST_P) over randomized inputs, pinning
+// invariants that single-example tests cannot: simulator dynamics, attention
+// mask algebra, tensor round-trips, metric properties, and the RCKT decision
+// rule.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/simulator.h"
+#include "eval/metrics.h"
+#include "nn/attention.h"
+#include "rckt/counterfactual.h"
+#include "rckt/rckt_model.h"
+#include "rckt/samples.h"
+#include "tensor/tensor_ops.h"
+
+namespace kt {
+namespace {
+
+// ---- Simulator invariants across seeds ----
+
+class SimulatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorProperty, GeneratedDataIsStructurallyValid) {
+  data::SimulatorConfig config;
+  config.num_students = 25;
+  config.num_questions = 30;
+  config.num_concepts = 5;
+  config.avg_concepts_per_question = 1.3;
+  config.min_responses = 6;
+  config.max_responses = 24;
+  config.seed = static_cast<uint64_t>(100 + GetParam());
+  data::StudentSimulator simulator(config);
+  data::Dataset ds = simulator.Generate();
+
+  ASSERT_EQ(ds.sequences.size(), 25u);
+  for (const auto& seq : ds.sequences) {
+    EXPECT_GE(seq.length(), 6);
+    EXPECT_LE(seq.length(), 24);
+    for (const auto& it : seq.interactions) {
+      EXPECT_GE(it.question, 0);
+      EXPECT_LT(it.question, 30);
+      EXPECT_TRUE(it.response == 0 || it.response == 1);
+      EXPECT_GE(it.concepts.size(), 1u);
+      EXPECT_LE(it.concepts.size(), 2u);
+      // Question-concept mapping is consistent with the bank.
+      EXPECT_EQ(it.concepts,
+                simulator.question_concepts()[static_cast<size_t>(
+                    it.question)]);
+    }
+  }
+  // Correct rate lands in a plausible band around the default target.
+  EXPECT_GT(ds.CorrectRate(), 0.4);
+  EXPECT_LT(ds.CorrectRate(), 0.9);
+}
+
+TEST_P(SimulatorProperty, PracticeOnConceptRaisesItsProficiency) {
+  data::SimulatorConfig config;
+  config.num_students = 4;
+  config.num_questions = 20;
+  config.num_concepts = 4;
+  config.seed = static_cast<uint64_t>(200 + GetParam());
+  config.concept_switch_prob = 0.05;  // long within-concept runs
+  data::StudentSimulator simulator(config);
+  data::SimulationTrace trace;
+  data::ResponseSequence seq =
+      simulator.GenerateStudent(30, static_cast<uint64_t>(GetParam()), &trace);
+
+  // Whenever a concept is practiced, its proficiency does not decrease
+  // (learning applies even on errors in our generative model).
+  for (size_t t = 1; t < trace.proficiency.size(); ++t) {
+    for (int64_t k : seq.interactions[t].concepts) {
+      EXPECT_GE(trace.proficiency[t][static_cast<size_t>(k)],
+                trace.proficiency[t - 1][static_cast<size_t>(k)] - 1e-9)
+          << "practiced concept lost proficiency at t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorProperty, ::testing::Range(0, 6));
+
+// ---- Attention mask algebra ----
+
+class MaskProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MaskProperty, CausalAndAnticausalPartitionNoSelf) {
+  const int64_t t = GetParam();
+  Tensor causal =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalStrict);
+  Tensor anti =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kAntiCausalInclusive);
+  Tensor no_self =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kBidirectionalNoSelf);
+  Tensor full = nn::MakeAttentionMask(t, nn::AttentionMaskKind::kFull);
+
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      // strict-causal + anticausal-inclusive = full (they overlap nowhere).
+      EXPECT_FLOAT_EQ(causal.at({i, j}) + anti.at({i, j}), full.at({i, j}));
+      // no-self = full minus the diagonal.
+      EXPECT_FLOAT_EQ(no_self.at({i, j}),
+                      i == j ? 0.0f : full.at({i, j}));
+    }
+  }
+}
+
+TEST_P(MaskProperty, InclusiveCausalIsStrictPlusDiagonal) {
+  const int64_t t = GetParam();
+  Tensor strict =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalStrict);
+  Tensor inclusive =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalInclusive);
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      EXPECT_FLOAT_EQ(inclusive.at({i, j}),
+                      strict.at({i, j}) + (i == j ? 1.0f : 0.0f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MaskProperty,
+                         ::testing::Values<int64_t>(1, 2, 5, 9, 16));
+
+// ---- Tensor round-trip properties ----
+
+class TensorRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TensorRoundTrip, SliceConcatIdentity) {
+  Rng rng(static_cast<uint64_t>(300 + GetParam()));
+  const int64_t a = 1 + rng.UniformInt(4);
+  const int64_t b = 2 + rng.UniformInt(6);
+  const int64_t c = 1 + rng.UniformInt(5);
+  Tensor x = Tensor::Uniform({a, b, c}, -2, 2, rng);
+  const int64_t cut = 1 + rng.UniformInt(b - 1);
+  Tensor joined =
+      Tensor::Concat({x.Slice(1, 0, cut), x.Slice(1, cut, b)}, 1);
+  EXPECT_TRUE(joined.AllClose(x));
+}
+
+TEST_P(TensorRoundTrip, DoubleTransposeIdentity) {
+  Rng rng(static_cast<uint64_t>(400 + GetParam()));
+  const int64_t rows = 1 + rng.UniformInt(6);
+  const int64_t cols = 1 + rng.UniformInt(6);
+  Tensor x = Tensor::Uniform({3, rows, cols}, -2, 2, rng);
+  EXPECT_TRUE(x.TransposeLast2().TransposeLast2().AllClose(x));
+}
+
+TEST_P(TensorRoundTrip, SoftmaxInvariantToRowShift) {
+  Rng rng(static_cast<uint64_t>(500 + GetParam()));
+  Tensor x = Tensor::Uniform({4, 6}, -3, 3, rng);
+  Tensor shifted = AddScalar(x, static_cast<float>(rng.Uniform(-5, 5)));
+  EXPECT_TRUE(SoftmaxLastDim(x).AllClose(SoftmaxLastDim(shifted), 1e-4f,
+                                         1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorRoundTrip, ::testing::Range(0, 8));
+
+// ---- AUC properties ----
+
+class AucProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucProperty, ComplementSymmetry) {
+  Rng rng(static_cast<uint64_t>(600 + GetParam()));
+  std::vector<float> scores;
+  std::vector<int> labels, flipped;
+  for (int i = 0; i < 300; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    flipped.push_back(1 - labels.back());
+  }
+  // AUC(scores, 1-y) = 1 - AUC(scores, y).
+  EXPECT_NEAR(eval::ComputeAuc(scores, flipped),
+              1.0 - eval::ComputeAuc(scores, labels), 1e-9);
+}
+
+TEST_P(AucProperty, BoundedAndNegationSymmetric) {
+  Rng rng(static_cast<uint64_t>(700 + GetParam()));
+  std::vector<float> scores, negated;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform(-2, 2)));
+    negated.push_back(-scores.back());
+    labels.push_back(rng.Bernoulli(0.6) ? 1 : 0);
+  }
+  const double auc = eval::ComputeAuc(scores, labels);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+  EXPECT_NEAR(eval::ComputeAuc(negated, labels), 1.0 - auc, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucProperty, ::testing::Range(0, 6));
+
+// ---- RCKT decision-rule invariants over random models/sequences ----
+
+class RcktDecisionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcktDecisionProperty, ScoreSignMatchesExplanationPrediction) {
+  data::SimulatorConfig config;
+  config.num_students = 10;
+  config.num_questions = 15;
+  config.num_concepts = 3;
+  config.min_responses = 8;
+  config.max_responses = 14;
+  config.seed = static_cast<uint64_t>(800 + GetParam());
+  data::StudentSimulator simulator(config);
+  data::Dataset ds = simulator.Generate();
+
+  rckt::RcktConfig rc;
+  rc.dim = 8;
+  rc.seed = static_cast<uint64_t>(GetParam());
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, rc);
+
+  std::vector<rckt::PrefixSample> samples;
+  for (const auto& seq : ds.sequences) {
+    samples.push_back({&seq, 7});
+  }
+  data::Batch batch = rckt::MakePrefixBatch(samples);
+  const auto scores = model.ScoreTargets(batch);
+  const auto explanations = model.ExplainTargets(batch);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i] >= 0.5f, explanations[i].predicted_correct);
+    // The explanation's influence array has exactly one entry per position.
+    EXPECT_EQ(explanations[i].influence.size(), 8u);
+    // Target position carries no influence.
+    EXPECT_FLOAT_EQ(explanations[i].influence.back(), 0.0f);
+  }
+}
+
+TEST_P(RcktDecisionProperty, MonotonicityVariantAgreesOnCategories) {
+  // For an all-correct history, flipping the target to correct masks
+  // nothing; the -mono and full constructions coincide on the CF+ side.
+  Rng rng(static_cast<uint64_t>(900 + GetParam()));
+  const int64_t n = 5 + rng.UniformInt(8);
+  std::vector<int> responses(static_cast<size_t>(n), 1);
+  auto with = rckt::BackwardCounterfactualCategories(responses, n - 1, 1, true);
+  auto without =
+      rckt::BackwardCounterfactualCategories(responses, n - 1, 1, false);
+  EXPECT_EQ(with, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcktDecisionProperty, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace kt

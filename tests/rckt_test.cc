@@ -1,0 +1,438 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/simulator.h"
+#include "models/embedder.h"
+#include "rckt/counterfactual.h"
+#include "rckt/encoders.h"
+#include "rckt/rckt_model.h"
+#include "rckt/rckt_trainer.h"
+#include "rckt/samples.h"
+
+namespace kt {
+namespace rckt {
+namespace {
+
+using models::kResponseMasked;
+
+// ---- Counterfactual construction (paper Sec. IV-B, Table I) ----
+
+TEST(CounterfactualTest, AssumedFactualSetsTarget) {
+  // Fig. 1 example: responses to q1..q5 = {1, 0, 1, 1, 0}, target q6.
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 0};
+  auto plus = AssumedFactualCategories(responses, 5, 1);
+  EXPECT_EQ(plus, (std::vector<int>{1, 0, 1, 1, 0, 1}));
+  auto minus = AssumedFactualCategories(responses, 5, 0);
+  EXPECT_EQ(minus, (std::vector<int>{1, 0, 1, 1, 0, 0}));
+}
+
+TEST(CounterfactualTest, BackwardFlipToIncorrectMasksCorrect) {
+  // Table I, CF(t+1)-: target flipped incorrect -> correct history masked,
+  // incorrect retained.
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 1};
+  auto cf = BackwardCounterfactualCategories(responses, 5, 0);
+  EXPECT_EQ(cf, (std::vector<int>{kResponseMasked, 0, kResponseMasked,
+                                  kResponseMasked, 0, 0}));
+}
+
+TEST(CounterfactualTest, BackwardFlipToCorrectMasksIncorrect) {
+  // Table I, CF(t+1)+: target flipped correct -> incorrect history masked.
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 0};
+  auto cf = BackwardCounterfactualCategories(responses, 5, 1);
+  EXPECT_EQ(cf, (std::vector<int>{1, kResponseMasked, 1, 1, kResponseMasked,
+                                  1}));
+}
+
+TEST(CounterfactualTest, MonotonicityDisabledKeepsHistory) {
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 1};
+  auto cf = BackwardCounterfactualCategories(responses, 5, 0,
+                                             /*apply_monotonicity=*/false);
+  EXPECT_EQ(cf, (std::vector<int>{1, 0, 1, 1, 0, 0}));
+}
+
+TEST(CounterfactualTest, ForwardFlipCorrectToIncorrect) {
+  // Paper Eq. 4 / Fig. 3: flipping q3 (correct) to incorrect retains the
+  // incorrect responses and masks the other correct ones; the target is
+  // masked because it is the prediction.
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 1};
+  auto cf = ForwardCounterfactualCategories(responses, /*target=*/5,
+                                            /*flip_index=*/2);
+  EXPECT_EQ(cf, (std::vector<int>{kResponseMasked, 0, 0, kResponseMasked, 0,
+                                  kResponseMasked}));
+}
+
+TEST(CounterfactualTest, ForwardFlipIncorrectToCorrect) {
+  const std::vector<int> responses = {1, 0, 1, 1, 0, 1};
+  auto cf = ForwardCounterfactualCategories(responses, 5, 1);
+  // Flip index 1 (incorrect -> correct): correct responses retained,
+  // incorrect (index 4) masked.
+  EXPECT_EQ(cf, (std::vector<int>{1, 1, 1, 1, kResponseMasked,
+                                  kResponseMasked}));
+}
+
+TEST(CounterfactualTest, ForwardCannotFlipTarget) {
+  const std::vector<int> responses = {1, 0, 1};
+  EXPECT_DEATH(ForwardCounterfactualCategories(responses, 2, 2), "KT_CHECK");
+}
+
+TEST(CounterfactualTest, MaskByCorrectness) {
+  const std::vector<int> responses = {1, 0, 1, 0};
+  EXPECT_EQ(MaskByCorrectness(responses, /*keep_correct=*/true),
+            (std::vector<int>{1, kResponseMasked, 1, kResponseMasked}));
+  EXPECT_EQ(MaskByCorrectness(responses, /*keep_correct=*/false),
+            (std::vector<int>{kResponseMasked, 0, kResponseMasked, 0}));
+}
+
+// Property sweep: invariants of the backward construction over random
+// sequences.
+class BackwardCfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardCfProperty, Invariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int64_t n = 4 + rng.UniformInt(12);
+  std::vector<int> responses(static_cast<size_t>(n));
+  for (auto& r : responses) r = rng.Bernoulli(0.6) ? 1 : 0;
+  const int64_t target = n - 1;
+  for (int flip : {0, 1}) {
+    auto cf = BackwardCounterfactualCategories(responses, target, flip);
+    // Target holds the flipped value.
+    EXPECT_EQ(cf[static_cast<size_t>(target)], flip);
+    for (int64_t i = 0; i < target; ++i) {
+      const int original = responses[static_cast<size_t>(i)];
+      const int category = cf[static_cast<size_t>(i)];
+      if (original == flip) {
+        EXPECT_EQ(category, original) << "same-direction response retained";
+      } else {
+        EXPECT_EQ(category, kResponseMasked) << "opposite response masked";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSequences, BackwardCfProperty,
+                         ::testing::Range(0, 12));
+
+// ---- Bidirectional encoders: the no-self-information property ----
+
+class EncoderLeakTest : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(EncoderLeakTest, OutputAtPositionIgnoresItsOwnInput) {
+  Rng rng(31);
+  auto encoder = MakeBiEncoder(GetParam(), /*dim=*/8, /*num_layers=*/2,
+                               /*num_heads=*/2, /*dropout=*/0.0f, rng);
+  Tensor a = Tensor::Uniform({2, 6, 8}, -1, 1, rng);
+  nn::Context ctx;
+  Tensor h1 = encoder->Encode(ag::Constant(a), ctx).value();
+
+  // Perturb position 3 of row 0 only.
+  Tensor a2 = a.Clone();
+  for (int64_t d = 0; d < 8; ++d) a2.at({0, 3, d}) += 7.0f;
+  Tensor h2 = encoder->Encode(ag::Constant(a2), ctx).value();
+
+  // h at position 3 must be IDENTICAL (no self-leakage)...
+  for (int64_t d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(h1.at({0, 3, d}), h2.at({0, 3, d}))
+        << "self-information leak at dim " << d;
+  }
+  // ...while neighbors must change (the perturbation is visible to them).
+  float diff = 0.0f;
+  for (int64_t d = 0; d < 8; ++d) {
+    diff += std::fabs(h1.at({0, 2, d}) - h2.at({0, 2, d}));
+    diff += std::fabs(h1.at({0, 4, d}) - h2.at({0, 4, d}));
+  }
+  EXPECT_GT(diff, 1e-4f);
+  // Other batch rows are unaffected.
+  for (int64_t t = 0; t < 6; ++t) {
+    for (int64_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(h1.at({1, t, d}), h2.at({1, t, d}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, EncoderLeakTest,
+                         ::testing::Values(EncoderKind::kDKT,
+                                           EncoderKind::kSAKT,
+                                           EncoderKind::kAKT),
+                         [](const auto& info) {
+                           return EncoderKindName(info.param);
+                         });
+
+TEST(ShiftAndAddTest, CombinesNeighborStates) {
+  Tensor f({1, 3, 2}, {1, 1, 2, 2, 3, 3});
+  Tensor b({1, 3, 2}, {10, 10, 20, 20, 30, 30});
+  Tensor h = ShiftAndAdd(ag::Constant(f), ag::Constant(b)).value();
+  // h_0 = 0 + b_1 = 20; h_1 = f_0 + b_2 = 1 + 30; h_2 = f_1 + 0 = 2.
+  EXPECT_FLOAT_EQ(h.at({0, 0, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(h.at({0, 1, 0}), 31.0f);
+  EXPECT_FLOAT_EQ(h.at({0, 2, 0}), 2.0f);
+}
+
+// ---- Samples / protocol ----
+
+data::Dataset TinyDataset() {
+  data::SimulatorConfig config;
+  config.num_students = 40;
+  config.num_questions = 30;
+  config.num_concepts = 5;
+  config.min_responses = 8;
+  config.max_responses = 20;
+  config.seed = 12;
+  data::StudentSimulator sim(config);
+  return sim.Generate();
+}
+
+TEST(SamplesTest, EnumeratesStrideAndEndpoint) {
+  data::Dataset ds = TinyDataset();
+  auto samples = MakePrefixSamples(ds, /*stride=*/5, /*min_target=*/4);
+  ASSERT_FALSE(samples.empty());
+  // Every window's endpoint is present.
+  size_t endpoints = 0;
+  for (const auto& s : samples) {
+    EXPECT_GE(s.target, 4);
+    EXPECT_LT(s.target, s.sequence->length());
+    if (s.target == s.sequence->length() - 1) ++endpoints;
+  }
+  EXPECT_EQ(endpoints, ds.sequences.size());
+}
+
+TEST(SamplesTest, PrefixBatchCopiesPrefix) {
+  data::Dataset ds = TinyDataset();
+  const auto& seq = ds.sequences[0];
+  PrefixSample sample{&seq, 5};
+  data::Batch batch = MakePrefixBatch({sample});
+  EXPECT_EQ(batch.batch_size, 1);
+  EXPECT_EQ(batch.max_len, 6);
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(batch.questions[static_cast<size_t>(t)],
+              seq.interactions[static_cast<size_t>(t)].question);
+  }
+}
+
+TEST(SamplesTest, MixedLengthBatchDies) {
+  data::Dataset ds = TinyDataset();
+  PrefixSample a{&ds.sequences[0], 5};
+  PrefixSample b{&ds.sequences[1], 6};
+  EXPECT_DEATH(MakePrefixBatch({a, b}), "mixed-length");
+}
+
+TEST(SamplesTest, GroupingIsEqualLengthAndComplete) {
+  data::Dataset ds = TinyDataset();
+  auto samples = MakePrefixSamples(ds, 3, 4);
+  const size_t total = samples.size();
+  Rng rng(9);
+  auto batches = GroupIntoBatches(std::move(samples), 8, &rng);
+  size_t grouped = 0;
+  for (const auto& group : batches) {
+    EXPECT_LE(group.size(), 8u);
+    for (const auto& s : group) EXPECT_EQ(s.target, group.front().target);
+    grouped += group.size();
+  }
+  EXPECT_EQ(grouped, total);
+}
+
+// ---- RCKT model ----
+
+RcktConfig SmallRckt(EncoderKind kind) {
+  RcktConfig config;
+  config.encoder = kind;
+  config.dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.lr = 3e-3f;
+  config.lambda = 0.1f;
+  config.seed = 4;
+  return config;
+}
+
+data::Batch SmallPrefixBatch(const data::Dataset& ds, int64_t target = 7,
+                             int64_t rows = 4) {
+  std::vector<PrefixSample> samples;
+  for (const auto& seq : ds.sequences) {
+    if (seq.length() > target) samples.push_back({&seq, target});
+    if (static_cast<int64_t>(samples.size()) == rows) break;
+  }
+  return MakePrefixBatch(samples);
+}
+
+TEST(RcktModelTest, ScoresAreProbabilityLike) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  data::Batch batch = SmallPrefixBatch(ds);
+  auto scores = model.ScoreTargets(batch);
+  ASSERT_EQ(static_cast<int64_t>(scores.size()), batch.batch_size);
+  for (float s : scores) {
+    EXPECT_GT(s, 0.0f);
+    EXPECT_LT(s, 1.0f);
+  }
+}
+
+TEST(RcktModelTest, ExplanationsAreConsistentWithScores) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  data::Batch batch = SmallPrefixBatch(ds);
+  auto scores = model.ScoreTargets(batch);
+  auto explanations = model.ExplainTargets(batch);
+  ASSERT_EQ(explanations.size(), scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const auto& ex = explanations[i];
+    // Totals must equal the sum of per-position influences by class.
+    float plus = 0.0f, minus = 0.0f;
+    for (size_t t = 0; t + 1 < ex.influence.size(); ++t) {
+      if (ex.responses[t] == 1) {
+        plus += ex.influence[t];
+      } else {
+        minus += ex.influence[t];
+      }
+    }
+    EXPECT_NEAR(plus, ex.total_correct, 1e-4f);
+    EXPECT_NEAR(minus, ex.total_incorrect, 1e-4f);
+    // sigmoid(score / t) reproduces ScoreTargets (scores are normalized by
+    // the history length so AUC pools samples of different lengths fairly).
+    const float t = static_cast<float>(ex.influence.size() - 1);
+    const float sig = 1.0f / (1.0f + std::exp(-ex.score / t));
+    EXPECT_NEAR(sig, scores[i], 1e-4f);
+    EXPECT_EQ(ex.predicted_correct, scores[i] >= 0.5f);
+  }
+}
+
+TEST(RcktModelTest, TrainingReducesLoss) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  data::Batch batch = SmallPrefixBatch(ds, 7, 8);
+  const float first = model.TrainStep(batch);
+  float last = first;
+  for (int step = 0; step < 12; ++step) last = model.TrainStep(batch);
+  EXPECT_LT(last, first);
+}
+
+TEST(RcktModelTest, RequiresEqualLengthRows) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  // Hand-build a padded (unequal) batch.
+  data::ResponseSequence a;
+  a.interactions = {{1, 1, {0}}, {2, 0, {1}}, {3, 1, {0}}};
+  data::ResponseSequence b;
+  b.interactions = {{1, 1, {0}}, {2, 0, {1}}};
+  data::Batch bad = data::MakeBatch({&a, &b});
+  EXPECT_DEATH(model.ScoreTargets(bad), "equal-length");
+}
+
+TEST(RcktModelTest, ConstraintAblationChangesLoss) {
+  data::Dataset ds = TinyDataset();
+  RcktConfig with = SmallRckt(EncoderKind::kDKT);
+  RcktConfig without = with;
+  without.use_constraint = false;
+  RCKT model_with(ds.num_questions, ds.num_concepts, with);
+  RCKT model_without(ds.num_questions, ds.num_concepts, without);
+  // Identical seeds -> identical initialization -> the loss difference is
+  // exactly the constraint term (non-negative).
+  data::Batch batch = SmallPrefixBatch(ds, 7, 8);
+  const float loss_with = model_with.TrainStep(batch);
+  const float loss_without = model_without.TrainStep(batch);
+  EXPECT_GE(loss_with, loss_without - 1e-5f);
+}
+
+TEST(RcktModelTest, ExactAndApproximateScoresCorrelate) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  // Brief training so probabilities are not constant.
+  data::Batch train_batch = SmallPrefixBatch(ds, 7, 8);
+  for (int step = 0; step < 8; ++step) model.TrainStep(train_batch);
+
+  data::Batch batch = SmallPrefixBatch(ds, 9, 8);
+  auto approx = model.ScoreTargets(batch);
+  auto exact = model.ScoreTargetsExact(batch);
+  ASSERT_EQ(approx.size(), exact.size());
+  // Spearman-free sanity: Pearson correlation positive (the paper argues
+  // forward and backward influences are positively correlated).
+  double ma = 0, me = 0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    ma += approx[i];
+    me += exact[i];
+  }
+  ma /= static_cast<double>(approx.size());
+  me /= static_cast<double>(approx.size());
+  double cov = 0, va = 0, ve = 0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    cov += (approx[i] - ma) * (exact[i] - me);
+    va += (approx[i] - ma) * (approx[i] - ma);
+    ve += (exact[i] - me) * (exact[i] - me);
+  }
+  if (va > 1e-12 && ve > 1e-12) {
+    EXPECT_GT(cov / std::sqrt(va * ve), 0.0);
+  }
+}
+
+TEST(RcktModelTest, ConceptProbeProducesScores) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  data::Batch batch = SmallPrefixBatch(ds);
+  auto scores = model.ScoreConceptProbe(batch, {0, 1, 2}, /*concept_id=*/2);
+  ASSERT_EQ(static_cast<int64_t>(scores.size()), batch.batch_size);
+  for (float s : scores) {
+    EXPECT_GT(s, 0.0f);
+    EXPECT_LT(s, 1.0f);
+  }
+}
+
+TEST(RcktConfigTest, Table3LookupCoversAllCells) {
+  for (const char* dataset :
+       {"assist09", "assist12", "slepemapy", "eedi"}) {
+    for (EncoderKind kind :
+         {EncoderKind::kDKT, EncoderKind::kSAKT, EncoderKind::kAKT}) {
+      RcktConfig config = RcktConfigFor(dataset, kind);
+      EXPECT_GT(config.lr, 0.0f);
+      EXPECT_GT(config.lambda, 0.0f);
+      EXPECT_GE(config.num_layers, 1);
+      EXPECT_EQ(config.encoder, kind);
+    }
+  }
+}
+
+// ---- End-to-end learning across all three encoders ----
+
+class RcktLearningSuite : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(RcktLearningSuite, BeatsChanceAfterShortTraining) {
+  data::SimulatorConfig config;
+  config.num_students = 100;
+  config.num_questions = 40;
+  config.num_concepts = 5;
+  config.min_responses = 15;
+  config.max_responses = 35;
+  config.seed = 12;
+  data::StudentSimulator sim(config);
+  data::Dataset ds = sim.Generate();
+  Rng rng(77);
+  const auto folds =
+      data::KFoldAssignment(static_cast<int64_t>(ds.sequences.size()), 4, rng);
+  // Fold 2 of this fixed seed; deterministic, so not flaky. (Fold-level
+  // variance at this tiny scale is +-0.1 AUC; the bench suite uses larger
+  // data.)
+  data::FoldSplit split = data::MakeFold(ds, folds, 2, 0.15, rng);
+
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(GetParam()));
+  RcktTrainOptions options;
+  options.max_epochs = 6;
+  options.patience = 6;
+  options.batch_size = 16;
+  options.train_stride = 3;
+  options.eval_stride = 3;
+  RcktTrainResult result = TrainAndEvaluateRckt(model, split, options);
+  EXPECT_GT(result.test.auc, 0.54) << model.name() << " failed to learn";
+  EXPECT_GT(result.test.num_predictions, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, RcktLearningSuite,
+                         ::testing::Values(EncoderKind::kDKT,
+                                           EncoderKind::kSAKT,
+                                           EncoderKind::kAKT),
+                         [](const auto& info) {
+                           return EncoderKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace rckt
+}  // namespace kt

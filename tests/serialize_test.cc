@@ -1,0 +1,131 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/simulator.h"
+#include "models/dkt.h"
+#include "rckt/rckt_model.h"
+#include "rckt/samples.h"
+
+namespace kt {
+namespace nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripsLinear) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // different init
+  const std::string path = TempPath("linear.ktw");
+  ASSERT_TRUE(SaveModule(a, path).ok());
+  ASSERT_TRUE(LoadModule(b, path).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value().AllClose(pb[i].value()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileReturnsNotFound) {
+  Rng rng(2);
+  Linear m(2, 2, rng);
+  const Status status = LoadModule(m, TempPath("does_not_exist.ktw"));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, RejectsWrongArchitecture) {
+  Rng rng(3);
+  Linear a(4, 3, rng);
+  const std::string path = TempPath("arch.ktw");
+  ASSERT_TRUE(SaveModule(a, path).ok());
+
+  // Different shape: load must fail and leave the target untouched.
+  Linear different(3, 4, rng);
+  const Tensor before = different.Parameters()[0].value().Clone();
+  const Status status = LoadModule(different, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(different.Parameters()[0].value().AllClose(before));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsCorruptMagic) {
+  const std::string path = TempPath("bad_magic.ktw");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE-not-a-checkpoint";
+  }
+  Rng rng(4);
+  Linear m(2, 2, rng);
+  EXPECT_EQ(LoadModule(m, path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  Rng rng(5);
+  Linear a(8, 8, rng);
+  const std::string path = TempPath("truncated.ktw");
+  ASSERT_TRUE(SaveModule(a, path).ok());
+  // Truncate to half size.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = in.tellg();
+    std::vector<char> buffer(static_cast<size_t>(size) / 2);
+    in.seekg(0);
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  }
+  Linear b(8, 8, rng);
+  EXPECT_FALSE(LoadModule(b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrainedRcktPredictsIdenticallyAfterReload) {
+  data::SimulatorConfig config;
+  config.num_students = 30;
+  config.num_questions = 25;
+  config.num_concepts = 4;
+  config.min_responses = 10;
+  config.max_responses = 20;
+  config.seed = 6;
+  data::StudentSimulator sim(config);
+  data::Dataset ds = sim.Generate();
+
+  rckt::RcktConfig rc;
+  rc.dim = 16;
+  rc.seed = 7;
+  rckt::RCKT original(ds.num_questions, ds.num_concepts, rc);
+
+  std::vector<rckt::PrefixSample> samples;
+  for (const auto& seq : ds.sequences) {
+    if (seq.length() > 8) samples.push_back({&seq, 8});
+    if (samples.size() == 8) break;
+  }
+  data::Batch batch = rckt::MakePrefixBatch(samples);
+  for (int step = 0; step < 4; ++step) original.TrainStep(batch);
+
+  const std::string path = TempPath("rckt.ktw");
+  ASSERT_TRUE(SaveModule(original, path).ok());
+
+  rc.seed = 99;  // different init
+  rckt::RCKT restored(ds.num_questions, ds.num_concepts, rc);
+  ASSERT_TRUE(LoadModule(restored, path).ok());
+
+  const auto original_scores = original.ScoreTargets(batch);
+  const auto restored_scores = restored.ScoreTargets(batch);
+  for (size_t i = 0; i < original_scores.size(); ++i) {
+    EXPECT_FLOAT_EQ(original_scores[i], restored_scores[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace kt

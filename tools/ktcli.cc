@@ -1,0 +1,231 @@
+// ktcli — command-line interface to the RCKT library.
+//
+// Subcommands:
+//   simulate  --preset NAME [--scale S] [--seed N] --out data.csv
+//             Generate a synthetic dataset and write it as CSV.
+//   train     --data data.csv --encoder dkt|sakt|akt|gru [--epochs N]
+//             [--dim D] [--lambda L] [--save model.ktw]
+//             Train RCKT with early stopping; print test AUC/ACC.
+//   evaluate  --data data.csv --encoder E --load model.ktw
+//             Evaluate a saved model on a dataset.
+//   explain   --data data.csv --encoder E --load model.ktw
+//             [--student I] [--target T]
+//             Print the influence breakdown behind one prediction.
+//
+// Examples:
+//   ktcli simulate --preset assist09 --scale 0.2 --out /tmp/a09.csv
+//   ktcli train --data /tmp/a09.csv --encoder dkt --save /tmp/m.ktw
+//   ktcli explain --data /tmp/a09.csv --encoder dkt --load /tmp/m.ktw
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/flags.h"
+#include "data/io.h"
+#include "data/presets.h"
+#include "nn/serialize.h"
+#include "rckt/rckt_model.h"
+#include "rckt/rckt_trainer.h"
+
+namespace kt {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ktcli <simulate|train|evaluate|explain> [flags]\n"
+               "see the header of tools/ktcli.cc for flag reference\n");
+  return 2;
+}
+
+rckt::EncoderKind ParseEncoder(const std::string& name) {
+  if (name == "dkt") return rckt::EncoderKind::kDKT;
+  if (name == "sakt") return rckt::EncoderKind::kSAKT;
+  if (name == "akt") return rckt::EncoderKind::kAKT;
+  if (name == "gru") return rckt::EncoderKind::kGRU;
+  KT_CHECK(false) << "unknown encoder '" << name
+                  << "' (want dkt|sakt|akt|gru)";
+  return rckt::EncoderKind::kDKT;
+}
+
+int CmdSimulate(const FlagParser& flags) {
+  const std::string preset = flags.GetString("preset", "assist09");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "simulate: --out is required\n");
+    return 2;
+  }
+  data::SimulatorConfig config =
+      data::PresetByName(preset, flags.GetDouble("scale", 0.2));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", config.seed));
+  data::StudentSimulator simulator(config);
+  data::Dataset dataset = simulator.Generate();
+  const Status status = data::SaveCsv(dataset, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "simulate: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %lld interactions (%zu students, %.2f correct) to %s\n",
+              static_cast<long long>(dataset.TotalResponses()),
+              dataset.sequences.size(), dataset.CorrectRate(), out.c_str());
+  return 0;
+}
+
+// Loads the CSV, windows it, and builds a model shaped for it.
+struct LoadedData {
+  data::Dataset windows;
+};
+
+int LoadData(const FlagParser& flags, LoadedData* out) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--data is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadCsv(path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  out->windows = data::SplitIntoWindows(dataset.value(),
+                                        flags.GetInt("window", 50),
+                                        flags.GetInt("min-length", 5));
+  return 0;
+}
+
+std::unique_ptr<rckt::RCKT> BuildModel(const FlagParser& flags,
+                                       const data::Dataset& windows) {
+  rckt::RcktConfig config;
+  config.encoder = ParseEncoder(flags.GetString("encoder", "dkt"));
+  config.dim = flags.GetInt("dim", 32);
+  config.num_layers = flags.GetInt("layers", 1);
+  config.lambda = static_cast<float>(flags.GetDouble("lambda", 0.1));
+  config.lr = static_cast<float>(flags.GetDouble("lr", 1e-3));
+  config.dropout = static_cast<float>(flags.GetDouble("dropout", 0.1));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  return std::make_unique<rckt::RCKT>(windows.num_questions,
+                                      windows.num_concepts, config);
+}
+
+int CmdTrain(const FlagParser& flags) {
+  LoadedData loaded;
+  if (int rc = LoadData(flags, &loaded)) return rc;
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  const auto folds = data::KFoldAssignment(
+      static_cast<int64_t>(loaded.windows.sequences.size()), 5, rng);
+  data::FoldSplit split =
+      data::MakeFold(loaded.windows, folds, 0, 0.1, rng);
+
+  std::unique_ptr<rckt::RCKT> model = BuildModel(flags, loaded.windows);
+  rckt::RcktTrainOptions options;
+  options.max_epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  options.patience = static_cast<int>(flags.GetInt("patience", 4));
+  options.verbose = flags.GetBool("verbose", true);
+  const auto result = rckt::TrainAndEvaluateRckt(*model, split, options);
+  std::printf("%s: test AUC %.4f ACC %.4f (%lld predictions)\n",
+              model->name().c_str(), result.test.auc, result.test.acc,
+              static_cast<long long>(result.test.num_predictions));
+
+  const std::string save = flags.GetString("save", "");
+  if (!save.empty()) {
+    const Status status = nn::SaveModule(*model, save);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved model to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int LoadModel(const FlagParser& flags, rckt::RCKT* model) {
+  const std::string load = flags.GetString("load", "");
+  if (load.empty()) {
+    std::fprintf(stderr, "--load is required\n");
+    return 2;
+  }
+  const Status status = nn::LoadModule(*model, load);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  LoadedData loaded;
+  if (int rc = LoadData(flags, &loaded)) return rc;
+  std::unique_ptr<rckt::RCKT> model = BuildModel(flags, loaded.windows);
+  if (int rc = LoadModel(flags, model.get())) return rc;
+
+  rckt::RcktTrainOptions options;
+  options.eval_stride = flags.GetInt("stride", 4);
+  const auto result = rckt::EvaluateRckt(*model, loaded.windows, options);
+  std::printf("%s on %s: AUC %.4f ACC %.4f (%lld predictions)\n",
+              model->name().c_str(), flags.GetString("data", "").c_str(),
+              result.auc, result.acc,
+              static_cast<long long>(result.num_predictions));
+  return 0;
+}
+
+int CmdExplain(const FlagParser& flags) {
+  LoadedData loaded;
+  if (int rc = LoadData(flags, &loaded)) return rc;
+  std::unique_ptr<rckt::RCKT> model = BuildModel(flags, loaded.windows);
+  if (int rc = LoadModel(flags, model.get())) return rc;
+
+  const int64_t student_index = flags.GetInt("student", 0);
+  KT_CHECK(student_index >= 0 &&
+           student_index <
+               static_cast<int64_t>(loaded.windows.sequences.size()))
+      << "--student out of range";
+  const auto& seq =
+      loaded.windows.sequences[static_cast<size_t>(student_index)];
+  const int64_t target =
+      flags.GetInt("target", seq.length() - 1);
+  KT_CHECK(target >= 1 && target < seq.length()) << "--target out of range";
+
+  data::Batch batch = rckt::MakePrefixBatch({{&seq, target}});
+  const auto explanation = model->ExplainTargets(batch).front();
+  std::printf("influences on q%lld at position %lld:\n",
+              static_cast<long long>(
+                  seq.interactions[static_cast<size_t>(target)].question),
+              static_cast<long long>(target));
+  for (int64_t t = 0; t < target; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    std::printf("  t=%-3lld q%-5lld %-9s %+0.4f\n",
+                static_cast<long long>(t),
+                static_cast<long long>(it.question),
+                it.response ? "correct" : "wrong",
+                explanation.influence[static_cast<size_t>(t)]);
+  }
+  std::printf("total correct %.4f vs incorrect %.4f -> predict %s "
+              "(actual %s)\n",
+              explanation.total_correct, explanation.total_incorrect,
+              explanation.predicted_correct ? "correct" : "incorrect",
+              seq.interactions[static_cast<size_t>(target)].response
+                  ? "correct"
+                  : "incorrect");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  FlagParser flags;
+  const Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "explain") return CmdExplain(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kt
+
+int main(int argc, char** argv) { return kt::Main(argc, argv); }
