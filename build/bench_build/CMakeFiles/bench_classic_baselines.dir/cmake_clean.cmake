@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_classic_baselines"
+  "../bench/bench_classic_baselines.pdb"
+  "CMakeFiles/bench_classic_baselines.dir/bench_classic_baselines.cc.o"
+  "CMakeFiles/bench_classic_baselines.dir/bench_classic_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_proficiency.cc" "bench_build/CMakeFiles/bench_fig5_proficiency.dir/bench_fig5_proficiency.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig5_proficiency.dir/bench_fig5_proficiency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rckt/CMakeFiles/kt_rckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/kt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/kt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_proficiency"
+  "../bench/bench_fig5_proficiency.pdb"
+  "CMakeFiles/bench_fig5_proficiency.dir/bench_fig5_proficiency.cc.o"
+  "CMakeFiles/bench_fig5_proficiency.dir/bench_fig5_proficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_proficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

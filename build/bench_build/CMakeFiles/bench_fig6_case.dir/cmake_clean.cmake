@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_case"
+  "../bench/bench_fig6_case.pdb"
+  "CMakeFiles/bench_fig6_case.dir/bench_fig6_case.cc.o"
+  "CMakeFiles/bench_fig6_case.dir/bench_fig6_case.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interpretability"
+  "../bench/bench_interpretability.pdb"
+  "CMakeFiles/bench_interpretability.dir/bench_interpretability.cc.o"
+  "CMakeFiles/bench_interpretability.dir/bench_interpretability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

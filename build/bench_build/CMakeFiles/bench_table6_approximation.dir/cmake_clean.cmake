@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_approximation"
+  "../bench/bench_table6_approximation.pdb"
+  "CMakeFiles/bench_table6_approximation.dir/bench_table6_approximation.cc.o"
+  "CMakeFiles/bench_table6_approximation.dir/bench_table6_approximation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

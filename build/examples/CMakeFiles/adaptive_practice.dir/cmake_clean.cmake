@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_practice.dir/adaptive_practice.cpp.o"
+  "CMakeFiles/adaptive_practice.dir/adaptive_practice.cpp.o.d"
+  "adaptive_practice"
+  "adaptive_practice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_practice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

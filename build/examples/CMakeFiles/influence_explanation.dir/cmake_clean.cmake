@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_explanation.dir/influence_explanation.cpp.o"
+  "CMakeFiles/influence_explanation.dir/influence_explanation.cpp.o.d"
+  "influence_explanation"
+  "influence_explanation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_explanation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

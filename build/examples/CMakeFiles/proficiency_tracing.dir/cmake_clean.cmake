@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proficiency_tracing.dir/proficiency_tracing.cpp.o"
+  "CMakeFiles/proficiency_tracing.dir/proficiency_tracing.cpp.o.d"
+  "proficiency_tracing"
+  "proficiency_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proficiency_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

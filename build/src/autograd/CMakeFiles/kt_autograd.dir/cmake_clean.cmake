@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/kt_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/kt_autograd.dir/ops.cc.o"
+  "CMakeFiles/kt_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/kt_autograd.dir/variable.cc.o"
+  "CMakeFiles/kt_autograd.dir/variable.cc.o.d"
+  "libkt_autograd.a"
+  "libkt_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

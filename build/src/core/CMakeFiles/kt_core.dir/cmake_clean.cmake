@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_core.dir/flags.cc.o"
+  "CMakeFiles/kt_core.dir/flags.cc.o.d"
+  "CMakeFiles/kt_core.dir/logging.cc.o"
+  "CMakeFiles/kt_core.dir/logging.cc.o.d"
+  "CMakeFiles/kt_core.dir/rng.cc.o"
+  "CMakeFiles/kt_core.dir/rng.cc.o.d"
+  "CMakeFiles/kt_core.dir/status.cc.o"
+  "CMakeFiles/kt_core.dir/status.cc.o.d"
+  "CMakeFiles/kt_core.dir/string_util.cc.o"
+  "CMakeFiles/kt_core.dir/string_util.cc.o.d"
+  "CMakeFiles/kt_core.dir/table_printer.cc.o"
+  "CMakeFiles/kt_core.dir/table_printer.cc.o.d"
+  "libkt_core.a"
+  "libkt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch.cc" "src/data/CMakeFiles/kt_data.dir/batch.cc.o" "gcc" "src/data/CMakeFiles/kt_data.dir/batch.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/kt_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/kt_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/kt_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/kt_data.dir/io.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/kt_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/kt_data.dir/presets.cc.o.d"
+  "/root/repo/src/data/simulator.cc" "src/data/CMakeFiles/kt_data.dir/simulator.cc.o" "gcc" "src/data/CMakeFiles/kt_data.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

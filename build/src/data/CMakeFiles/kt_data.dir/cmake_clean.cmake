@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_data.dir/batch.cc.o"
+  "CMakeFiles/kt_data.dir/batch.cc.o.d"
+  "CMakeFiles/kt_data.dir/dataset.cc.o"
+  "CMakeFiles/kt_data.dir/dataset.cc.o.d"
+  "CMakeFiles/kt_data.dir/io.cc.o"
+  "CMakeFiles/kt_data.dir/io.cc.o.d"
+  "CMakeFiles/kt_data.dir/presets.cc.o"
+  "CMakeFiles/kt_data.dir/presets.cc.o.d"
+  "CMakeFiles/kt_data.dir/simulator.cc.o"
+  "CMakeFiles/kt_data.dir/simulator.cc.o.d"
+  "libkt_data.a"
+  "libkt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

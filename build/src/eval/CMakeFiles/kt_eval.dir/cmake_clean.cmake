@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_eval.dir/metrics.cc.o"
+  "CMakeFiles/kt_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kt_eval.dir/trainer.cc.o"
+  "CMakeFiles/kt_eval.dir/trainer.cc.o.d"
+  "CMakeFiles/kt_eval.dir/ttest.cc.o"
+  "CMakeFiles/kt_eval.dir/ttest.cc.o.d"
+  "libkt_eval.a"
+  "libkt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/akt.cc" "src/models/CMakeFiles/kt_models.dir/akt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/akt.cc.o.d"
+  "/root/repo/src/models/bkt.cc" "src/models/CMakeFiles/kt_models.dir/bkt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/bkt.cc.o.d"
+  "/root/repo/src/models/difficulty.cc" "src/models/CMakeFiles/kt_models.dir/difficulty.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/difficulty.cc.o.d"
+  "/root/repo/src/models/dimkt.cc" "src/models/CMakeFiles/kt_models.dir/dimkt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/dimkt.cc.o.d"
+  "/root/repo/src/models/dkt.cc" "src/models/CMakeFiles/kt_models.dir/dkt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/dkt.cc.o.d"
+  "/root/repo/src/models/embedder.cc" "src/models/CMakeFiles/kt_models.dir/embedder.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/embedder.cc.o.d"
+  "/root/repo/src/models/ikt.cc" "src/models/CMakeFiles/kt_models.dir/ikt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/ikt.cc.o.d"
+  "/root/repo/src/models/kt_model.cc" "src/models/CMakeFiles/kt_models.dir/kt_model.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/kt_model.cc.o.d"
+  "/root/repo/src/models/ktm.cc" "src/models/CMakeFiles/kt_models.dir/ktm.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/ktm.cc.o.d"
+  "/root/repo/src/models/neural_base.cc" "src/models/CMakeFiles/kt_models.dir/neural_base.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/neural_base.cc.o.d"
+  "/root/repo/src/models/pfa.cc" "src/models/CMakeFiles/kt_models.dir/pfa.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/pfa.cc.o.d"
+  "/root/repo/src/models/qikt.cc" "src/models/CMakeFiles/kt_models.dir/qikt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/qikt.cc.o.d"
+  "/root/repo/src/models/sakt.cc" "src/models/CMakeFiles/kt_models.dir/sakt.cc.o" "gcc" "src/models/CMakeFiles/kt_models.dir/sakt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/kt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/kt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

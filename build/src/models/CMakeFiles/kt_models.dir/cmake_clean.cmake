@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_models.dir/akt.cc.o"
+  "CMakeFiles/kt_models.dir/akt.cc.o.d"
+  "CMakeFiles/kt_models.dir/bkt.cc.o"
+  "CMakeFiles/kt_models.dir/bkt.cc.o.d"
+  "CMakeFiles/kt_models.dir/difficulty.cc.o"
+  "CMakeFiles/kt_models.dir/difficulty.cc.o.d"
+  "CMakeFiles/kt_models.dir/dimkt.cc.o"
+  "CMakeFiles/kt_models.dir/dimkt.cc.o.d"
+  "CMakeFiles/kt_models.dir/dkt.cc.o"
+  "CMakeFiles/kt_models.dir/dkt.cc.o.d"
+  "CMakeFiles/kt_models.dir/embedder.cc.o"
+  "CMakeFiles/kt_models.dir/embedder.cc.o.d"
+  "CMakeFiles/kt_models.dir/ikt.cc.o"
+  "CMakeFiles/kt_models.dir/ikt.cc.o.d"
+  "CMakeFiles/kt_models.dir/kt_model.cc.o"
+  "CMakeFiles/kt_models.dir/kt_model.cc.o.d"
+  "CMakeFiles/kt_models.dir/ktm.cc.o"
+  "CMakeFiles/kt_models.dir/ktm.cc.o.d"
+  "CMakeFiles/kt_models.dir/neural_base.cc.o"
+  "CMakeFiles/kt_models.dir/neural_base.cc.o.d"
+  "CMakeFiles/kt_models.dir/pfa.cc.o"
+  "CMakeFiles/kt_models.dir/pfa.cc.o.d"
+  "CMakeFiles/kt_models.dir/qikt.cc.o"
+  "CMakeFiles/kt_models.dir/qikt.cc.o.d"
+  "CMakeFiles/kt_models.dir/sakt.cc.o"
+  "CMakeFiles/kt_models.dir/sakt.cc.o.d"
+  "libkt_models.a"
+  "libkt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/kt_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/kt_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/kt_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/kt_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/kt_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/kt_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/kt_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/kt_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/kt_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/kt_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/kt_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/kt_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/kt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_nn.dir/adam.cc.o"
+  "CMakeFiles/kt_nn.dir/adam.cc.o.d"
+  "CMakeFiles/kt_nn.dir/attention.cc.o"
+  "CMakeFiles/kt_nn.dir/attention.cc.o.d"
+  "CMakeFiles/kt_nn.dir/embedding.cc.o"
+  "CMakeFiles/kt_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/kt_nn.dir/gru.cc.o"
+  "CMakeFiles/kt_nn.dir/gru.cc.o.d"
+  "CMakeFiles/kt_nn.dir/init.cc.o"
+  "CMakeFiles/kt_nn.dir/init.cc.o.d"
+  "CMakeFiles/kt_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/kt_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/kt_nn.dir/linear.cc.o"
+  "CMakeFiles/kt_nn.dir/linear.cc.o.d"
+  "CMakeFiles/kt_nn.dir/losses.cc.o"
+  "CMakeFiles/kt_nn.dir/losses.cc.o.d"
+  "CMakeFiles/kt_nn.dir/lstm.cc.o"
+  "CMakeFiles/kt_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/kt_nn.dir/module.cc.o"
+  "CMakeFiles/kt_nn.dir/module.cc.o.d"
+  "CMakeFiles/kt_nn.dir/serialize.cc.o"
+  "CMakeFiles/kt_nn.dir/serialize.cc.o.d"
+  "libkt_nn.a"
+  "libkt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rckt/counterfactual.cc" "src/rckt/CMakeFiles/kt_rckt.dir/counterfactual.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/counterfactual.cc.o.d"
+  "/root/repo/src/rckt/encoders.cc" "src/rckt/CMakeFiles/kt_rckt.dir/encoders.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/encoders.cc.o.d"
+  "/root/repo/src/rckt/interpretability.cc" "src/rckt/CMakeFiles/kt_rckt.dir/interpretability.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/interpretability.cc.o.d"
+  "/root/repo/src/rckt/rckt_model.cc" "src/rckt/CMakeFiles/kt_rckt.dir/rckt_model.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/rckt_model.cc.o.d"
+  "/root/repo/src/rckt/rckt_trainer.cc" "src/rckt/CMakeFiles/kt_rckt.dir/rckt_trainer.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/rckt_trainer.cc.o.d"
+  "/root/repo/src/rckt/samples.cc" "src/rckt/CMakeFiles/kt_rckt.dir/samples.cc.o" "gcc" "src/rckt/CMakeFiles/kt_rckt.dir/samples.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/kt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/kt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_rckt.dir/counterfactual.cc.o"
+  "CMakeFiles/kt_rckt.dir/counterfactual.cc.o.d"
+  "CMakeFiles/kt_rckt.dir/encoders.cc.o"
+  "CMakeFiles/kt_rckt.dir/encoders.cc.o.d"
+  "CMakeFiles/kt_rckt.dir/interpretability.cc.o"
+  "CMakeFiles/kt_rckt.dir/interpretability.cc.o.d"
+  "CMakeFiles/kt_rckt.dir/rckt_model.cc.o"
+  "CMakeFiles/kt_rckt.dir/rckt_model.cc.o.d"
+  "CMakeFiles/kt_rckt.dir/rckt_trainer.cc.o"
+  "CMakeFiles/kt_rckt.dir/rckt_trainer.cc.o.d"
+  "CMakeFiles/kt_rckt.dir/samples.cc.o"
+  "CMakeFiles/kt_rckt.dir/samples.cc.o.d"
+  "libkt_rckt.a"
+  "libkt_rckt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_rckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_tensor.dir/gemm.cc.o"
+  "CMakeFiles/kt_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/kt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/kt_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/kt_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/kt_tensor.dir/tensor_ops.cc.o.d"
+  "libkt_tensor.a"
+  "libkt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

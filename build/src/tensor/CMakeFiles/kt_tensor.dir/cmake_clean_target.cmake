@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkt_tensor.a"
+)

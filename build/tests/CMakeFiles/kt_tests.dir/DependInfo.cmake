@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/kt_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/classic_models_test.cc" "tests/CMakeFiles/kt_tests.dir/classic_models_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/classic_models_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/kt_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/kt_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/kt_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/kt_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/kt_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/kt_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/kt_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/kt_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/kt_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rckt_test.cc" "tests/CMakeFiles/kt_tests.dir/rckt_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/rckt_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/kt_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/kt_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/kt_tests.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rckt/CMakeFiles/kt_rckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/kt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/kt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kt_tests.dir/autograd_test.cc.o"
+  "CMakeFiles/kt_tests.dir/autograd_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/classic_models_test.cc.o"
+  "CMakeFiles/kt_tests.dir/classic_models_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/core_test.cc.o"
+  "CMakeFiles/kt_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/data_test.cc.o"
+  "CMakeFiles/kt_tests.dir/data_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/eval_test.cc.o"
+  "CMakeFiles/kt_tests.dir/eval_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/kt_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/flags_test.cc.o"
+  "CMakeFiles/kt_tests.dir/flags_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/integration_test.cc.o"
+  "CMakeFiles/kt_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/models_test.cc.o"
+  "CMakeFiles/kt_tests.dir/models_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/nn_test.cc.o"
+  "CMakeFiles/kt_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/property_test.cc.o"
+  "CMakeFiles/kt_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/rckt_test.cc.o"
+  "CMakeFiles/kt_tests.dir/rckt_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/serialize_test.cc.o"
+  "CMakeFiles/kt_tests.dir/serialize_test.cc.o.d"
+  "CMakeFiles/kt_tests.dir/tensor_test.cc.o"
+  "CMakeFiles/kt_tests.dir/tensor_test.cc.o.d"
+  "kt_tests"
+  "kt_tests.pdb"
+  "kt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

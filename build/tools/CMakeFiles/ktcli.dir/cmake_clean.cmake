@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktcli.dir/ktcli.cc.o"
+  "CMakeFiles/ktcli.dir/ktcli.cc.o.d"
+  "ktcli"
+  "ktcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
