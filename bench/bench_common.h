@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "core/parallel.h"
 #include "core/string_util.h"
 #include "core/table_printer.h"
 #include "data/dataset.h"
@@ -152,7 +153,10 @@ inline std::string Fmt4(double v) { return FormatFloat(v, 4); }
 inline void PrintHeader(const std::string& title, const std::string& paper) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%s\n", paper.c_str());
-  std::printf("mode: %s\n\n", FullMode() ? "FULL (KT_BENCH_FULL=1)" : "SMOKE");
+  std::printf("mode: %s\n", FullMode() ? "FULL (KT_BENCH_FULL=1)" : "SMOKE");
+  // All benches are deterministic in KT_NUM_THREADS; the count only moves
+  // wall-clock time, never a metric.
+  std::printf("threads: %d (KT_NUM_THREADS)\n\n", GetNumThreads());
 }
 
 }  // namespace bench

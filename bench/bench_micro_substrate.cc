@@ -4,7 +4,10 @@
 // kernel-level counterpart of Table VI.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "autograd/ops.h"
+#include "core/parallel.h"
 #include "data/presets.h"
 #include "nn/attention.h"
 #include "nn/lstm.h"
@@ -14,6 +17,22 @@
 
 namespace kt {
 namespace {
+
+// Pins the kt::parallel pool to `threads` for one benchmark's duration and
+// restores the ambient setting after. The *Threads benchmark families sweep
+// thread counts in-process so one run reports the speedup curve directly
+// (compare e.g. BM_GemmThreads/256/1 against BM_GemmThreads/256/4); outputs
+// are bit-identical across the sweep by the pool's determinism contract.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int threads) : previous_(GetNumThreads()) {
+    SetNumThreads(threads);
+  }
+  ~ThreadCountScope() { SetNumThreads(previous_); }
+
+ private:
+  int previous_;
+};
 
 void BM_Gemm(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -27,6 +46,23 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ThreadCountScope threads(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1, 1, rng);
+  Tensor b = Tensor::Uniform({n, n}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{128, 256}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime();
 
 void BM_BatchedAttentionScores(benchmark::State& state) {
   const int64_t t = state.range(0);
@@ -148,7 +184,53 @@ void BM_RcktScoreExact(benchmark::State& state) {
 }
 BENCHMARK(BM_RcktScoreExact);
 
+// Counterfactual-inference throughput vs thread count: approximate mode
+// fans out 4 generator passes per batch, exact mode fans out one pass per
+// history position (24 here). Scores are bit-identical across the sweep.
+void BM_RcktScoreApproximateThreads(benchmark::State& state) {
+  ThreadCountScope threads(static_cast<int>(state.range(0)));
+  RcktScoringFixture fixture;
+  for (auto _ : state) {
+    auto scores = fixture.model_->ScoreTargets(fixture.batch_);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.batch_.batch_size);
+}
+BENCHMARK(BM_RcktScoreApproximateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+void BM_RcktScoreExactThreads(benchmark::State& state) {
+  ThreadCountScope threads(static_cast<int>(state.range(0)));
+  RcktScoringFixture fixture;
+  for (auto _ : state) {
+    auto scores = fixture.model_->ScoreTargetsExact(fixture.batch_);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.batch_.batch_size);
+}
+BENCHMARK(BM_RcktScoreExactThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace kt
 
-BENCHMARK_MAIN();
+// Custom main so the run header reports the ambient pool size next to
+// google-benchmark's own context lines.
+int main(int argc, char** argv) {
+  std::printf("kt::parallel threads: %d (KT_NUM_THREADS / --threads sweep "
+              "benchmarks override per-run)\n",
+              kt::GetNumThreads());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "core/parallel.h"
+
 namespace kt {
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
@@ -69,6 +71,14 @@ bool FlagParser::GetBool(const std::string& key, bool fallback) const {
   KT_CHECK(false) << "flag --" << key << " expects true/false, got '"
                   << it->second << "'";
   return fallback;
+}
+
+void ApplyCommonFlags(const FlagParser& flags) {
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    KT_CHECK_GE(threads, 1) << "--threads must be >= 1";
+    SetNumThreads(static_cast<int>(threads));
+  }
 }
 
 }  // namespace kt

@@ -37,6 +37,10 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+// Applies the flags every binary shares. Currently: --threads N (overrides
+// the KT_NUM_THREADS environment variable for the kt::parallel pool).
+void ApplyCommonFlags(const FlagParser& flags);
+
 }  // namespace kt
 
 #endif  // KT_CORE_FLAGS_H_

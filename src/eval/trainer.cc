@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "data/batch.h"
 #include "eval/metrics.h"
 #include "nn/module.h"
@@ -15,10 +16,29 @@ EvalResult Evaluate(models::KTModel& model, const data::Dataset& dataset,
   MetricAccumulator accumulator;
   Rng rng(1);  // unused: evaluation never shuffles
   data::BatchIterator it(dataset, batch_size, rng, /*shuffle=*/false);
-  data::Batch batch;
-  while (it.Next(&batch)) {
-    Tensor probs = model.PredictBatch(batch);
-    accumulator.Add(probs, batch.targets, models::EvalMask(batch));
+  if (model.ParallelEvalSafe()) {
+    // Batch-level parallelism: predictions fan out across the pool, then
+    // metrics accumulate in batch order on this thread — the accumulation
+    // order (and so the AUC/ACC bits) never depends on the thread count.
+    std::vector<data::Batch> batches;
+    data::Batch next;
+    while (it.Next(&next)) batches.push_back(next);
+    std::vector<Tensor> probs(batches.size());
+    ParallelFor(0, static_cast<int64_t>(batches.size()), /*grain=*/1,
+                [&](int64_t i) {
+                  probs[static_cast<size_t>(i)] =
+                      model.PredictBatch(batches[static_cast<size_t>(i)]);
+                });
+    for (size_t i = 0; i < batches.size(); ++i) {
+      accumulator.Add(probs[i], batches[i].targets,
+                      models::EvalMask(batches[i]));
+    }
+  } else {
+    data::Batch batch;
+    while (it.Next(&batch)) {
+      Tensor probs = model.PredictBatch(batch);
+      accumulator.Add(probs, batch.targets, models::EvalMask(batch));
+    }
   }
   EvalResult result;
   result.auc = accumulator.Auc();
@@ -90,19 +110,27 @@ CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
   const std::vector<int> folds =
       data::KFoldAssignment(static_cast<int64_t>(windows.sequences.size()), k,
                             fold_rng);
-  for (int fold = 0; fold < k; ++fold) {
+  // Fold-level parallelism: every fold derives its own RNG stream from the
+  // seed and fold index alone and owns a private model, so per-fold results
+  // are independent of scheduling and land in fold-indexed slots. (Nested
+  // parallel leaves — GEMM, counterfactual fan-out — run inline inside a
+  // fold task.)
+  result.fold_auc.resize(static_cast<size_t>(k));
+  result.fold_acc.resize(static_cast<size_t>(k));
+  ParallelFor(0, k, /*grain=*/1, [&](int64_t fold) {
     Rng split_rng(seed * 131 + static_cast<uint64_t>(fold));
-    data::FoldSplit split =
-        data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
+    data::FoldSplit split = data::MakeFold(
+        windows, folds, static_cast<int>(fold), validation_fraction,
+        split_rng);
     std::unique_ptr<models::KTModel> model = factory(split.train);
     TrainResult fold_result = TrainAndEvaluate(*model, split, options);
-    result.fold_auc.push_back(fold_result.test.auc);
-    result.fold_acc.push_back(fold_result.test.acc);
+    result.fold_auc[static_cast<size_t>(fold)] = fold_result.test.auc;
+    result.fold_acc[static_cast<size_t>(fold)] = fold_result.test.acc;
     if (options.verbose) {
       KT_LOG(INFO) << "fold " << fold << " auc " << fold_result.test.auc
                    << " acc " << fold_result.test.acc;
     }
-  }
+  });
 
   double auc_sum = 0.0, acc_sum = 0.0;
   for (size_t i = 0; i < result.fold_auc.size(); ++i) {

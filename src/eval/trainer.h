@@ -50,6 +50,9 @@ TrainResult TrainAndEvaluate(models::KTModel& model,
 
 // Builds a model for one fold; receives the fold's training split so models
 // that need training-set statistics (DIMKT difficulty, IKT) can use them.
+// Folds may run concurrently on the kt::parallel pool, so the factory must
+// be callable from any thread (stateless or internally synchronized —
+// the usual "construct a fresh model from a config" factories qualify).
 using ModelFactory = std::function<std::unique_ptr<models::KTModel>(
     const data::Dataset& train)>;
 
@@ -64,7 +67,9 @@ struct CrossValidationResult {
 // k-fold cross validation over `windows` (already windowed sequences);
 // carves `validation_fraction` of each fold's training data for validation
 // (paper protocol: 10%; small smoke datasets use more for a stable early
-// stopping signal).
+// stopping signal). Folds run in parallel across the kt::parallel pool;
+// each fold's RNG streams derive from (seed, fold) alone, so results are
+// bit-identical for every KT_NUM_THREADS value.
 CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
                                          const ModelFactory& factory,
                                          const TrainOptions& options,

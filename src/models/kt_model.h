@@ -36,6 +36,12 @@ class KTModel {
   // Gradient-trained models return true and learn through TrainBatch over
   // epochs; closed-form models (IKT) return false and learn through Fit.
   virtual bool SupportsBatchTraining() const { return true; }
+
+  // True when PredictBatch touches no mutable model state, so the evaluator
+  // may call it concurrently from the kt::parallel pool. Models that record
+  // per-call artifacts (QIKT IRT terms, SAKT attention capture) or walk
+  // mutable per-student state serially must return false.
+  virtual bool ParallelEvalSafe() const { return false; }
   // One-shot fit on the full training split (only for models with
   // SupportsBatchTraining() == false).
   virtual void Fit(const data::Dataset& train) {}

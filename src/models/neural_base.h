@@ -34,6 +34,9 @@ class NeuralKTModel : public KTModel, public nn::Module {
   Tensor PredictBatch(const data::Batch& batch) final;
   float TrainBatch(const data::Batch& batch) final;
   int64_t NumParameters() const final { return nn::Module::NumParameters(); }
+  // Inference runs under NoGradGuard against read-only parameters;
+  // subclasses whose ForwardLogits records per-call artifacts re-override.
+  bool ParallelEvalSafe() const override { return true; }
 
   const NeuralConfig& config() const { return config_; }
 

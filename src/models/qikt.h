@@ -34,6 +34,9 @@ class QIKT : public NeuralKTModel {
   };
   const IrtTerms& last_terms() const { return last_terms_; }
 
+  // Every forward pass records last_terms_.
+  bool ParallelEvalSafe() const override { return false; }
+
  protected:
   ag::Variable ForwardLogits(const data::Batch& batch,
                              const nn::Context& ctx) override;

@@ -32,6 +32,9 @@ class SAKT : public NeuralKTModel {
   void set_capture_attention(bool capture) { capture_attention_ = capture; }
   const Tensor& last_attention() const { return last_attention_; }
 
+  // Attention capture writes last_attention_ per call.
+  bool ParallelEvalSafe() const override { return !capture_attention_; }
+
  protected:
   ag::Variable ForwardLogits(const data::Batch& batch,
                              const nn::Context& ctx) override;

@@ -1,8 +1,10 @@
 #include "rckt/rckt_model.h"
 
 #include <cmath>
+#include <optional>
 
 #include "autograd/ops.h"
+#include "core/parallel.h"
 #include "nn/losses.h"
 #include "rckt/counterfactual.h"
 #include "tensor/tensor_ops.h"
@@ -30,6 +32,33 @@ void PutRow(std::vector<int>& flat, const data::Batch& batch, int64_t b,
     flat[static_cast<size_t>(batch.FlatIndex(b, t))] =
         row[static_cast<size_t>(t)];
   }
+}
+
+// Runs `count` independent generator passes across the kt::parallel pool
+// (the counterfactual fan-out: each pass builds its own forward graph
+// against the shared, read-only parameters). Two pieces of per-thread state
+// are handled so results are bit-identical for any KT_NUM_THREADS:
+//   * the autograd grad mode is thread-local, so the caller's mode is
+//     re-applied inside every task (pool workers default to grad-on);
+//   * when dropout is live, each pass draws from its own Rng, pre-forked
+//     from the caller's stream in pass order — masks then never depend on
+//     which thread runs which pass.
+void RunGeneratorPasses(
+    int64_t count, const nn::Context& ctx, float dropout,
+    const std::function<void(int64_t, const nn::Context&)>& pass) {
+  const bool grad_enabled = ag::GradModeEnabled();
+  std::vector<Rng> pass_rngs;
+  if (ctx.train && ctx.rng != nullptr && dropout > 0.0f) {
+    pass_rngs.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) pass_rngs.push_back(ctx.rng->Fork());
+  }
+  ParallelFor(0, count, /*grain=*/1, [&](int64_t i) {
+    std::optional<ag::NoGradGuard> no_grad;
+    if (!grad_enabled) no_grad.emplace();
+    nn::Context local = ctx;
+    if (!pass_rngs.empty()) local.rng = &pass_rngs[static_cast<size_t>(i)];
+    pass(i, local);
+  });
 }
 
 }  // namespace
@@ -138,42 +167,19 @@ ag::Variable RCKT::GenerateProbs(const data::Batch& batch,
   return ag::Reshape(ag::Sigmoid(mlp_out_.Forward(mid)), Shape{b, t});
 }
 
-std::vector<ag::Variable> RCKT::GenerateProbsStacked(
+std::vector<ag::Variable> RCKT::GenerateProbsFanOut(
     const data::Batch& batch,
     const std::vector<const std::vector<int>*>& category_sets,
     const nn::Context& ctx, const ag::Variable* probe) const {
   const int64_t k = static_cast<int64_t>(category_sets.size());
   KT_CHECK_GT(k, 0);
-  if (k == 1) {
-    return {GenerateProbs(batch, *category_sets[0], ctx, probe)};
-  }
-  // Replicate the batch's index fields K times along the batch dimension.
-  data::Batch stacked;
-  stacked.batch_size = k * batch.batch_size;
-  stacked.max_len = batch.max_len;
-  std::vector<int> categories;
-  categories.reserve(static_cast<size_t>(stacked.batch_size * stacked.max_len));
-  for (int64_t rep = 0; rep < k; ++rep) {
-    stacked.questions.insert(stacked.questions.end(), batch.questions.begin(),
-                             batch.questions.end());
-    stacked.responses.insert(stacked.responses.end(), batch.responses.begin(),
-                             batch.responses.end());
-    stacked.concept_bags.insert(stacked.concept_bags.end(),
-                                batch.concept_bags.begin(),
-                                batch.concept_bags.end());
-    stacked.lengths.insert(stacked.lengths.end(), batch.lengths.begin(),
-                           batch.lengths.end());
-    categories.insert(categories.end(),
-                      category_sets[static_cast<size_t>(rep)]->begin(),
-                      category_sets[static_cast<size_t>(rep)]->end());
-  }
-  ag::Variable all = GenerateProbs(stacked, categories, ctx, probe);
-  std::vector<ag::Variable> out;
-  out.reserve(static_cast<size_t>(k));
-  for (int64_t rep = 0; rep < k; ++rep) {
-    out.push_back(ag::Slice(all, 0, rep * batch.batch_size,
-                            (rep + 1) * batch.batch_size));
-  }
+  std::vector<ag::Variable> out(static_cast<size_t>(k));
+  RunGeneratorPasses(k, ctx, config_.dropout,
+                     [&](int64_t rep, const nn::Context& local) {
+                       out[static_cast<size_t>(rep)] = GenerateProbs(
+                           batch, *category_sets[static_cast<size_t>(rep)],
+                           local, probe);
+                     });
   return out;
 }
 
@@ -203,8 +209,8 @@ RCKT::InfluenceTensors RCKT::ComputeInfluences(const data::Batch& batch,
                                             config_.use_monotonicity));
   }
 
-  // All four assignments run as one stacked generator pass.
-  const auto probs = GenerateProbsStacked(
+  // All four assignments fan out across the pool as independent passes.
+  const auto probs = GenerateProbsFanOut(
       batch, {&cats_f_plus, &cats_cf_minus, &cats_f_minus, &cats_cf_plus},
       ctx, probe);
   const ag::Variable& p_a = probs[0];
@@ -261,9 +267,12 @@ RCKT::InfluenceTensors RCKT::ComputeInfluencesExact(
       ag::Reshape(ag::Slice(p_f, 1, target, target + 1), Shape{b});
 
   // One counterfactual pass per history position: flip response i, apply
-  // mask/retain, read the target probability. Influences accumulate into
-  // per-position tensors via Concat along the time axis.
-  std::vector<ag::Variable> plus_cols, minus_cols;
+  // mask/retain, read the target probability. The passes are independent
+  // given p_f, so they fan out across the pool (the t-1 passes are the
+  // entire cost of exact mode — see Table VI); columns land in
+  // position-indexed slots and concatenate in fixed order.
+  std::vector<ag::Variable> plus_cols(static_cast<size_t>(t)),
+      minus_cols(static_cast<size_t>(t));
   InfluenceTensors result;
   result.mask_correct = Tensor::Zeros(Shape{b, t});
   result.mask_incorrect = Tensor::Zeros(Shape{b, t});
@@ -278,31 +287,31 @@ RCKT::InfluenceTensors RCKT::ComputeInfluencesExact(
     }
   }
 
-  for (int64_t i = 0; i < t; ++i) {
-    if (i == target) {
-      ag::Variable zero = ag::Constant(Tensor::Zeros(Shape{b, 1}));
-      plus_cols.push_back(zero);
-      minus_cols.push_back(zero);
-      continue;
-    }
-    std::vector<int> cats_cf(flat);
-    for (int64_t row = 0; row < b; ++row) {
-      PutRow(cats_cf, batch, row,
-             ForwardCounterfactualCategories(RowResponses(batch, row), target,
-                                             i, config_.use_monotonicity));
-    }
-    ag::Variable p_cf = GenerateProbs(batch, cats_cf, ctx, nullptr);
-    ag::Variable pcf_target =
-        ag::Reshape(ag::Slice(p_cf, 1, target, target + 1), Shape{b});
-    // Correct i:  Delta+ = p_f - p_cf (drop in p(correct)).
-    // Incorrect i: Delta- = (1-p_f) - (1-p_cf) = p_cf - p_f.
-    ag::Variable delta_plus_col =
-        ag::Reshape(ag::Sub(pf_target, pcf_target), Shape{b, 1});
-    ag::Variable delta_minus_col =
-        ag::Reshape(ag::Sub(pcf_target, pf_target), Shape{b, 1});
-    plus_cols.push_back(delta_plus_col);
-    minus_cols.push_back(delta_minus_col);
-  }
+  const ag::Variable zero = ag::Constant(Tensor::Zeros(Shape{b, 1}));
+  RunGeneratorPasses(
+      t, ctx, config_.dropout, [&](int64_t i, const nn::Context& local) {
+        if (i == target) {
+          plus_cols[static_cast<size_t>(i)] = zero;
+          minus_cols[static_cast<size_t>(i)] = zero;
+          return;
+        }
+        std::vector<int> cats_cf(flat);
+        for (int64_t row = 0; row < b; ++row) {
+          PutRow(cats_cf, batch, row,
+                 ForwardCounterfactualCategories(RowResponses(batch, row),
+                                                 target, i,
+                                                 config_.use_monotonicity));
+        }
+        ag::Variable p_cf = GenerateProbs(batch, cats_cf, local, nullptr);
+        ag::Variable pcf_target =
+            ag::Reshape(ag::Slice(p_cf, 1, target, target + 1), Shape{b});
+        // Correct i:  Delta+ = p_f - p_cf (drop in p(correct)).
+        // Incorrect i: Delta- = (1-p_f) - (1-p_cf) = p_cf - p_f.
+        plus_cols[static_cast<size_t>(i)] =
+            ag::Reshape(ag::Sub(pf_target, pcf_target), Shape{b, 1});
+        minus_cols[static_cast<size_t>(i)] =
+            ag::Reshape(ag::Sub(pcf_target, pf_target), Shape{b, 1});
+      });
 
   result.delta_plus_per_pos = ag::Concat(plus_cols, 1);    // [B, T]
   result.delta_minus_per_pos = ag::Concat(minus_cols, 1);  // [B, T]
@@ -369,7 +378,7 @@ ag::Variable RCKT::BuildLoss(const data::Batch& batch,
              MaskByCorrectness(responses, /*keep_correct=*/false));
     }
     const Tensor all_positions = Tensor::Ones(Shape{b, t});
-    const auto joint_probs = GenerateProbsStacked(
+    const auto joint_probs = GenerateProbsFanOut(
         batch, {&cats_factual, &cats_keep_correct, &cats_keep_incorrect},
         ctx, nullptr);
     ag::Variable l_f = nn::BinaryCrossEntropyFromProbs(

@@ -142,11 +142,14 @@ class RCKT : public nn::Module {
                              const nn::Context& ctx,
                              const ag::Variable* probe) const;
 
-  // Runs K category assignments through the generator as ONE stacked pass
-  // over a K*B-row batch and returns K probability tensors of [B, T] each.
-  // Identical math to K GenerateProbs calls, but amortizes the tape and
-  // GEMM overhead — the main training-throughput lever on CPU.
-  std::vector<ag::Variable> GenerateProbsStacked(
+  // Runs K category assignments through the generator as K independent
+  // passes fanned out across the kt::parallel pool, returning K probability
+  // tensors of [B, T] each. Every pass reads the shared parameters and
+  // builds its own graph, so passes are embarrassingly parallel; per-pass
+  // RNG streams (dropout) are pre-forked in pass order, keeping results
+  // bit-identical for any KT_NUM_THREADS. The encoder stack is row-wise, so
+  // this also matches the former K*B-row stacked pass bit-for-bit.
+  std::vector<ag::Variable> GenerateProbsFanOut(
       const data::Batch& batch,
       const std::vector<const std::vector<int>*>& category_sets,
       const nn::Context& ctx, const ag::Variable* probe) const;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/parallel.h"
+
 namespace kt {
 namespace {
 
@@ -22,23 +24,68 @@ inline void GemmIkj(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
+// Parallelization policy. All four kernels split work by output row, so
+// each thread writes a disjoint slab of C and each C element sees exactly
+// the same sequence of floating-point updates (p ascending) as the serial
+// code — results are bit-identical for every thread count. Small products
+// stay serial: the pool dispatch (~µs) would dominate them.
+constexpr int64_t kParallelFlopThreshold = 1 << 18;  // m*k*n multiply-adds
+// Rows per chunk are sized for ~32k multiply-adds each, from the problem
+// shape alone (never the thread count), so chunk boundaries are stable.
+constexpr int64_t kChunkFlops = 1 << 15;
+
+inline bool UseParallel(int64_t m, int64_t k, int64_t n) {
+  return m >= 2 && m * k * n >= kParallelFlopThreshold && GetNumThreads() > 1;
+}
+
+inline int64_t RowGrain(int64_t k, int64_t n) {
+  const int64_t flops_per_row = k * n;
+  const int64_t rows = flops_per_row > 0 ? kChunkFlops / flops_per_row : 1;
+  return rows > 0 ? rows : 1;
+}
+
 }  // namespace
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n) {
   std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
-  GemmIkj(a, b, c, m, k, n);
+  GemmAccumulate(a, b, c, m, k, n);
 }
 
 void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
+  if (UseParallel(m, k, n)) {
+    ParallelForRange(0, m, RowGrain(k, n), [=](int64_t lo, int64_t hi) {
+      GemmIkj(a + lo * k, b, c + lo * n, hi - lo, k, n);
+    });
+    return;
+  }
   GemmIkj(a, b, c, m, k, n);
 }
 
 void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
                           int64_t k, int64_t n) {
-  // A is [k, m] row-major; we want C += A^T B. Loop over p (rows of A and B):
-  // C[i, j] += A[p, i] * B[p, j]. Inner j loop stays contiguous.
+  // A is [k, m] row-major; we want C += A^T B: C[i, j] += A[p, i] * B[p, j].
+  if (UseParallel(m, k, n)) {
+    // Row-partitioned form: per output row i, accumulate over p ascending —
+    // the same per-element update order as the serial loop below, so the
+    // result is bit-identical (A is read with stride m, a cache cost we only
+    // pay above the size threshold where the parallel win dominates).
+    ParallelForRange(0, m, RowGrain(k, n), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        float* c_row = c + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float a_val = a[p * m + i];
+          if (a_val == 0.0f) continue;
+          const float* b_row = b + p * n;
+          for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+        }
+      }
+    });
+    return;
+  }
+  // Serial: loop over p (rows of A and B) so both inner reads stay
+  // contiguous.
   for (int64_t p = 0; p < k; ++p) {
     const float* a_row = a + p * m;
     const float* b_row = b + p * n;
@@ -54,17 +101,24 @@ void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
 void GemmTransBAccumulate(const float* a, const float* b, float* c, int64_t m,
                           int64_t k, int64_t n) {
   // B is [n, k] row-major; C[i, j] += sum_p A[i, p] * B[j, p]. The inner p
-  // loop is a dot product of two contiguous rows.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += acc;
+  // loop is a dot product of two contiguous rows; rows of C are independent.
+  const auto rows = [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += acc;
+      }
     }
+  };
+  if (UseParallel(m, k, n)) {
+    ParallelForRange(0, m, RowGrain(k, n), rows);
+    return;
   }
+  rows(0, m);
 }
 
 }  // namespace kt

@@ -1,8 +1,11 @@
 // Single-precision general matrix multiply kernels.
 //
-// The library runs on one CPU core, so we use a register-blocked,
-// cache-friendly loop order (i-k-j with accumulation into the output row)
-// rather than naive i-j-k. This is the single hottest kernel in training.
+// The serial core uses a register-blocked, cache-friendly loop order (i-k-j
+// with accumulation into the output row) rather than naive i-j-k; this is
+// the single hottest kernel in training. Products above a size threshold
+// are row-blocked across the kt::parallel pool (see core/parallel.h); the
+// split is by output row with per-element update order unchanged, so
+// results are bit-identical for every KT_NUM_THREADS value.
 #ifndef KT_TENSOR_GEMM_H_
 #define KT_TENSOR_GEMM_H_
 

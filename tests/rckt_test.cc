@@ -1,4 +1,5 @@
 #include <cmath>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -294,6 +295,41 @@ TEST(RcktModelTest, ExplanationsAreConsistentWithScores) {
     const float sig = 1.0f / (1.0f + std::exp(-ex.score / t));
     EXPECT_NEAR(sig, scores[i], 1e-4f);
     EXPECT_EQ(ex.predicted_correct, scores[i] >= 0.5f);
+  }
+}
+
+// Golden-value regression: influence scores for one fixed-seed simulated
+// student, recorded from a known-good build. Any change to the simulator,
+// initialization order, counterfactual construction, encoder math, or the
+// parallel fan-out that shifts these numbers is a behavior change and must
+// be deliberate (re-record the literals in that PR). The kt::parallel layer
+// guarantees these values for every KT_NUM_THREADS setting.
+TEST(RcktModelTest, GoldenInfluenceScoresForFixedSeed) {
+  data::Dataset ds = TinyDataset();
+  RCKT model(ds.num_questions, ds.num_concepts, SmallRckt(EncoderKind::kDKT));
+  const auto& seq = ds.sequences[0];
+  ASSERT_EQ(seq.length(), 10);
+  data::Batch batch = MakePrefixBatch({{&seq, 7}});
+
+  const auto scores = model.ScoreTargets(batch);
+  const auto exact = model.ScoreTargetsExact(batch);
+  const auto ex = model.ExplainTargets(batch).front();
+
+  constexpr float kTol = 1e-5f;
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_NEAR(scores[0], 4.99373734e-01f, kTol);
+  EXPECT_NEAR(exact[0], 5.00108659e-01f, kTol);
+  EXPECT_NEAR(ex.total_correct, -1.73137784e-02f, kTol);
+  EXPECT_NEAR(ex.total_incorrect, 2.22563744e-04f, kTol);
+
+  const float kGoldenInfluence[] = {
+      -2.15375423e-03f, -2.94029713e-04f, -1.20043755e-03f,
+      -5.32943010e-03f, 2.22563744e-04f,  -4.75311279e-03f,
+      -3.58301401e-03f, 0.00000000e+00f,
+  };
+  ASSERT_EQ(ex.influence.size(), std::size(kGoldenInfluence));
+  for (size_t t = 0; t < ex.influence.size(); ++t) {
+    EXPECT_NEAR(ex.influence[t], kGoldenInfluence[t], kTol) << "t=" << t;
   }
 }
 

@@ -1,9 +1,14 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <ostream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
@@ -341,6 +346,97 @@ INSTANTIATE_TEST_SUITE_P(
                       BroadcastCase{{1}, {5, 5}, {5, 5}},
                       BroadcastCase{{4, 1}, {1, 6}, {4, 6}},
                       BroadcastCase{{}, {2, 2}, {2, 2}}));
+
+// ---- Parallel-vs-serial GEMM equivalence ----
+//
+// The row-blocked parallel GEMM kernels promise *bit-identical* output for
+// every thread count (each output row keeps the serial kernel's per-element
+// FP update order). The sweep straddles the m*k*n parallel threshold so both
+// the serial fallback and the pool path are exercised.
+
+struct GemmCase {
+  int64_t m, k, n;
+};
+
+void PrintTo(const GemmCase& c, std::ostream* os) {
+  *os << c.m << "x" << c.k << "x" << c.n;
+}
+
+class GemmParallelEquivalence : public ::testing::TestWithParam<GemmCase> {
+ protected:
+  void SetUp() override { previous_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(previous_threads_); }
+
+  static bool BitEqual(const Tensor& a, const Tensor& b) {
+    return std::memcmp(a.data(), b.data(),
+                       sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+  }
+
+  int previous_threads_ = 1;
+};
+
+TEST_P(GemmParallelEquivalence, AllKernelsBitIdenticalToSerial) {
+  const GemmCase& c = GetParam();
+  Rng rng(41);
+  // Operands for every layout: plain (m,k)x(k,n), TransA (k,m)x(k,n),
+  // TransB (m,k)x(n,k); a shared non-zero accumulator seed.
+  Tensor a = Tensor::Uniform({c.m, c.k}, -1, 1, rng);
+  Tensor b = Tensor::Uniform({c.k, c.n}, -1, 1, rng);
+  Tensor at = Tensor::Uniform({c.k, c.m}, -1, 1, rng);
+  Tensor bt = Tensor::Uniform({c.n, c.k}, -1, 1, rng);
+  Tensor seed = Tensor::Uniform({c.m, c.n}, -1, 1, rng);
+
+  struct Kernel {
+    const char* name;
+    std::function<void(Tensor&)> run;
+  };
+  const std::vector<Kernel> kernels = {
+      {"Gemm",
+       [&](Tensor& out) { Gemm(a.data(), b.data(), out.data(), c.m, c.k, c.n); }},
+      {"GemmAccumulate",
+       [&](Tensor& out) {
+         out = seed.Clone();
+         GemmAccumulate(a.data(), b.data(), out.data(), c.m, c.k, c.n);
+       }},
+      {"GemmTransAAccumulate",
+       [&](Tensor& out) {
+         out = seed.Clone();
+         GemmTransAAccumulate(at.data(), b.data(), out.data(), c.m, c.k, c.n);
+       }},
+      {"GemmTransBAccumulate",
+       [&](Tensor& out) {
+         out = seed.Clone();
+         GemmTransBAccumulate(a.data(), bt.data(), out.data(), c.m, c.k, c.n);
+       }},
+  };
+
+  for (const Kernel& kernel : kernels) {
+    Tensor reference({c.m, c.n});
+    SetNumThreads(1);
+    kernel.run(reference);
+    for (int threads : {2, 4, 8}) {
+      SetNumThreads(threads);
+      Tensor out({c.m, c.n});
+      kernel.run(out);
+      EXPECT_TRUE(BitEqual(out, reference))
+          << kernel.name << " diverges from serial at threads=" << threads;
+    }
+  }
+}
+
+// Shapes straddling the parallel threshold (m*k*n >= 1<<18 = 262144 flops):
+// the first four stay on the serial path, the rest engage the pool, with
+// 64x64x64 and 256x8x128 sitting exactly on the boundary.
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmParallelEquivalence,
+                         ::testing::Values(GemmCase{9, 13, 7},      //
+                                           GemmCase{2, 64, 64},     //
+                                           GemmCase{64, 64, 63},    //
+                                           GemmCase{1, 512, 513},   // m < 2
+                                           GemmCase{64, 64, 64},    //
+                                           GemmCase{256, 8, 128},   //
+                                           GemmCase{96, 50, 70},    //
+                                           GemmCase{33, 17, 471},   //
+                                           GemmCase{128, 128, 128}));
 
 }  // namespace
 }  // namespace kt

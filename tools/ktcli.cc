@@ -12,6 +12,11 @@
 //             [--student I] [--target T]
 //             Print the influence breakdown behind one prediction.
 //
+// Global flags (any subcommand):
+//   --threads N   Size of the kt::parallel thread pool (default: the
+//                 KT_NUM_THREADS env var, else hardware concurrency).
+//                 Outputs are bit-identical for every value.
+//
 // Examples:
 //   ktcli simulate --preset assist09 --scale 0.2 --out /tmp/a09.csv
 //   ktcli train --data /tmp/a09.csv --encoder dkt --save /tmp/m.ktw
@@ -217,6 +222,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 2;
   }
+  // --threads N (or the KT_NUM_THREADS env var) sizes the kt::parallel
+  // pool; results are bit-identical for every setting.
+  ApplyCommonFlags(flags);
   const std::string command = argv[1];
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "train") return CmdTrain(flags);
