@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the test suite with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the serialization and checkpoint suites — the code paths that
+# parse attacker-shaped bytes (corrupt/truncated checkpoint files) and so
+# must be free of out-of-bounds reads, overflow, and leaks on every error
+# path. Any ASan/UBSan report fails the script.
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+
+# O1 keeps stack frames honest for ASan reports; -march=native matches the
+# normal build's FP codegen so determinism-sensitive tests (kill/resume
+# bit-identity) see identical numbers.
+cmake -B "${BUILD_DIR}" -S . \
+  -DKT_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS_DEBUG="-O1 -g -march=native" >/dev/null
+cmake --build "${BUILD_DIR}" --target kt_tests -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+"${BUILD_DIR}/tests/kt_tests" \
+  --gtest_filter='Serialize*:CkptFormat*:TrainingState*:CkptResume*' \
+  --gtest_brief=1
+
+echo "ASan/UBSan check passed"

@@ -1,0 +1,135 @@
+#include "ckpt/ckpt.h"
+
+#include <cstring>
+
+#include "core/binio.h"
+#include "core/crc32.h"
+#include "core/fileio.h"
+
+namespace kt {
+namespace ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'T', 'C', '1'};
+
+// Keeps a corrupt `name_len` from driving a huge allocation; real section
+// names are a handful of characters.
+constexpr uint32_t kMaxSectionNameLen = 256;
+
+}  // namespace
+
+std::string& CheckpointWriter::Section(const std::string& name) {
+  for (auto& [existing, bytes] : sections_) {
+    if (existing == name) return bytes;
+  }
+  sections_.emplace_back(name, std::string());
+  return sections_.back().second;
+}
+
+Status CheckpointWriter::Commit(const std::string& path) const {
+  std::string payload;
+  AppendPod(&payload, static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, bytes] : sections_) {
+    AppendPod(&payload, static_cast<uint32_t>(name.size()));
+    AppendBytes(&payload, name.data(), name.size());
+    AppendPod(&payload, static_cast<uint64_t>(bytes.size()));
+    AppendBytes(&payload, bytes.data(), bytes.size());
+  }
+
+  std::string file(kMagic, sizeof(kMagic));
+  AppendPod(&file, kFormatVersion);
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  AppendPod(&file, static_cast<uint64_t>(payload.size()));
+  file += payload;
+  return AtomicWriteFile(path, file);
+}
+
+Status CheckpointReader::Open(const std::string& path) {
+  sections_.clear();
+  if (Status status = ReadFileToString(path, &file_); !status.ok()) {
+    return status;
+  }
+
+  BinCursor header(file_.data(), file_.size());
+  char magic[4];
+  if (!header.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a kt::ckpt file: " + path);
+  }
+  uint32_t version = 0;
+  if (!header.Read(&version)) {
+    return Status::InvalidArgument("truncated version in " + path);
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " in " + path + " (this build reads version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  uint32_t expected_crc = 0;
+  uint64_t payload_size = 0;
+  if (!header.Read(&expected_crc) || !header.Read(&payload_size)) {
+    return Status::InvalidArgument("truncated header in " + path);
+  }
+  if (payload_size != header.remaining()) {
+    return Status::InvalidArgument(
+        "payload size mismatch in " + path + ": header declares " +
+        std::to_string(payload_size) + " bytes, file holds " +
+        std::to_string(header.remaining()));
+  }
+  const char* payload = header.ptr();
+  if (Crc32(payload, payload_size) != expected_crc) {
+    return Status::InvalidArgument("checksum mismatch in " + path +
+                                   " (file is corrupt)");
+  }
+
+  BinCursor cursor(payload, payload_size);
+  uint32_t section_count = 0;
+  if (!cursor.Read(&section_count)) {
+    return Status::InvalidArgument("truncated section count in " + path);
+  }
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t name_len = 0;
+    if (!cursor.Read(&name_len) || name_len > kMaxSectionNameLen ||
+        cursor.remaining() < name_len) {
+      return Status::InvalidArgument("corrupt section name in " + path);
+    }
+    std::string name;
+    cursor.ReadString(&name, name_len);
+    uint64_t size = 0;
+    if (!cursor.Read(&size) || cursor.remaining() < size) {
+      return Status::InvalidArgument("corrupt section '" + name + "' in " +
+                                     path);
+    }
+    sections_.emplace_back(std::move(name),
+                           std::string_view(cursor.ptr(), size));
+    cursor.Skip(size);
+  }
+  if (!cursor.done()) {
+    return Status::InvalidArgument(
+        std::to_string(cursor.remaining()) +
+        " trailing payload bytes after the last section in " + path);
+  }
+  return Status::Ok();
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  for (const auto& [existing, view] : sections_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+Status CheckpointReader::Find(const std::string& name,
+                              std::string_view* out) const {
+  for (const auto& [existing, view] : sections_) {
+    if (existing == name) {
+      *out = view;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("checkpoint has no section '" + name + "'");
+}
+
+}  // namespace ckpt
+}  // namespace kt

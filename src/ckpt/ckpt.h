@@ -1,0 +1,72 @@
+// kt::ckpt — versioned, CRC32-checksummed, crash-safe checkpoint container.
+//
+// File layout (little-endian):
+//   magic "KTC1" | uint32 format_version | uint32 crc32(payload) |
+//   uint64 payload_size | payload
+// Payload:
+//   uint32 section_count |
+//   per section: uint32 name_len | name bytes | uint64 size | size bytes
+//
+// Sections are opaque byte blobs keyed by name; higher layers (see
+// training_state.h) define what goes in each. Readers verify the magic,
+// the format version, the declared payload size, and the checksum before
+// any section is exposed, so truncation, bit flips, and torn writes all
+// surface as a descriptive Status instead of garbage state.
+//
+// Commit() writes through core::AtomicWriteFile (tmp + fsync + rename), so
+// a crash at any byte offset leaves either the previous checkpoint or the
+// new one on disk — never a partial file under the final name.
+//
+// Compatibility rule: the format version is bumped only for layout changes
+// of this container; readers reject versions they do not know. Section
+// payload evolution is handled by the section owners (add new sections or
+// new trailing fields; never reinterpret existing bytes).
+#ifndef KT_CKPT_CKPT_H_
+#define KT_CKPT_CKPT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace kt {
+namespace ckpt {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Accumulates named sections in memory, then commits them atomically.
+class CheckpointWriter {
+ public:
+  // Returns the mutable byte buffer for section `name`, creating it on
+  // first use. Append with kt::AppendPod / AppendBytes (core/binio.h).
+  std::string& Section(const std::string& name);
+
+  // Assembles the container, checksums the payload, and atomically
+  // replaces `path`.
+  Status Commit(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// Reads and fully verifies a checkpoint file, then serves section views.
+class CheckpointReader {
+ public:
+  // Loads `path` into memory and verifies magic/version/size/checksum.
+  Status Open(const std::string& path);
+
+  bool Has(const std::string& name) const;
+  // Points `*out` at the section's bytes (valid while the reader lives).
+  Status Find(const std::string& name, std::string_view* out) const;
+
+ private:
+  std::string file_;
+  std::vector<std::pair<std::string, std::string_view>> sections_;
+};
+
+}  // namespace ckpt
+}  // namespace kt
+
+#endif  // KT_CKPT_CKPT_H_

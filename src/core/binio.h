@@ -1,0 +1,68 @@
+// Bounds-checked little-endian binary buffer helpers shared by the
+// serialization layers (nn/serialize, ckpt). Writers append PODs to a
+// std::string; readers walk a BinCursor whose every Read reports
+// truncation instead of reading past the end.
+#ifndef KT_CORE_BINIO_H_
+#define KT_CORE_BINIO_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace kt {
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+inline void AppendBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+// Read-only view over a byte buffer. All reads are bounds-checked; a failed
+// read leaves the cursor untouched and returns false.
+class BinCursor {
+ public:
+  BinCursor(const char* data, size_t size) : ptr_(data), end_(data + size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - ptr_); }
+  bool done() const { return ptr_ == end_; }
+  const char* ptr() const { return ptr_; }
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  bool ReadBytes(void* dst, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(dst, ptr_, size);
+    ptr_ += size;
+    return true;
+  }
+
+  bool ReadString(std::string* out, size_t size) {
+    if (remaining() < size) return false;
+    out->assign(ptr_, size);
+    ptr_ += size;
+    return true;
+  }
+
+  bool Skip(size_t size) {
+    if (remaining() < size) return false;
+    ptr_ += size;
+    return true;
+  }
+
+ private:
+  const char* ptr_;
+  const char* end_;
+};
+
+}  // namespace kt
+
+#endif  // KT_CORE_BINIO_H_

@@ -1,0 +1,44 @@
+#include "core/crc32.h"
+
+#include <array>
+
+namespace kt {
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32Final(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, size));
+}
+
+}  // namespace kt

@@ -1,0 +1,23 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum serialized
+// payloads: cheap enough to run on every save/load and catches the torn
+// writes and bit flips that a magic-number check alone misses.
+#ifndef KT_CORE_CRC32_H_
+#define KT_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kt {
+
+// Checksum of `size` bytes at `data`.
+uint32_t Crc32(const void* data, size_t size);
+
+// Streaming form: feed chunks through repeated calls, starting from
+// `Crc32Init()` and finishing with `Crc32Final()`.
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+uint32_t Crc32Final(uint32_t state);
+
+}  // namespace kt
+
+#endif  // KT_CORE_CRC32_H_

@@ -73,12 +73,19 @@ bool FlagParser::GetBool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
-void ApplyCommonFlags(const FlagParser& flags) {
+CommonFlagValues ApplyCommonFlags(const FlagParser& flags) {
   if (flags.Has("threads")) {
     const int64_t threads = flags.GetInt("threads", 0);
     KT_CHECK_GE(threads, 1) << "--threads must be >= 1";
     SetNumThreads(static_cast<int>(threads));
   }
+  CommonFlagValues values;
+  const int64_t every = flags.GetInt("checkpoint-every", 0);
+  KT_CHECK_GE(every, 0) << "--checkpoint-every must be >= 0";
+  values.checkpoint_every = static_cast<int>(every);
+  values.resume_path = flags.GetString("resume", "");
+  values.checkpoint_path = flags.GetString("checkpoint", values.resume_path);
+  return values;
 }
 
 }  // namespace kt

@@ -37,9 +37,25 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
-// Applies the flags every binary shares. Currently: --threads N (overrides
-// the KT_NUM_THREADS environment variable for the kt::parallel pool).
-void ApplyCommonFlags(const FlagParser& flags);
+// Values of the shared flags that cannot be applied globally and must be
+// threaded into per-run options by the caller.
+struct CommonFlagValues {
+  // --checkpoint-every N: commit a crash-safe kt::ckpt checkpoint every N
+  // epochs (0 = off).
+  int checkpoint_every = 0;
+  // --checkpoint <path>: where checkpoints are written. Defaults to the
+  // --resume path so a resumed run keeps checkpointing to the same file.
+  std::string checkpoint_path;
+  // --resume <path>: restore training state from this checkpoint if it
+  // exists and continue bit-identically to an uninterrupted run.
+  std::string resume_path;
+};
+
+// Applies the flags every binary shares — --threads N (overrides the
+// KT_NUM_THREADS environment variable for the kt::parallel pool) takes
+// effect immediately — and returns the checkpoint/resume values for the
+// caller to wire into its trainer options.
+CommonFlagValues ApplyCommonFlags(const FlagParser& flags);
 
 }  // namespace kt
 

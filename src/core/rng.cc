@@ -83,4 +83,18 @@ bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace kt

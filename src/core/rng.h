@@ -45,6 +45,17 @@ class Rng {
   // own stream so adding randomness in one place never perturbs another.
   Rng Fork();
 
+  // Full generator state (xoshiro words + Box-Muller cache) so a checkpoint
+  // can freeze a stream mid-run and a resumed run replays the exact same
+  // draw sequence.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "ckpt/training_state.h"
+#include "core/fileio.h"
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "data/batch.h"
 #include "eval/metrics.h"
+#include "models/neural_base.h"
 #include "nn/module.h"
 
 namespace kt {
@@ -61,11 +64,53 @@ TrainResult TrainAndEvaluate(models::KTModel& model,
   }
 
   auto* module = dynamic_cast<nn::Module*>(&model);
+  auto* neural = dynamic_cast<models::NeuralKTModel*>(&model);
   std::vector<Tensor> best_state;
   Rng shuffle_rng(options.seed * 977 + 3);
+  ckpt::TrainerProgress progress;
 
-  int epochs_since_best = 0;
-  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+  // Checkpointing covers every piece of state the loop consumes: the
+  // parameters, the Adam moments, the shuffle and dropout RNG streams, the
+  // best-epoch snapshot, and the progress counters. Restoring all of them
+  // at an epoch boundary makes the resumed run bit-identical to one that
+  // was never killed.
+  const bool want_ckpt =
+      options.checkpoint_every > 0 && !options.checkpoint_path.empty();
+  const bool want_resume = !options.resume_path.empty();
+  ckpt::TrainingState snapshot;
+  bool ckpt_active = false;
+  if ((want_ckpt || want_resume) && module == nullptr) {
+    KT_LOG(WARNING) << model.name()
+                    << " is not an nn::Module; checkpointing disabled";
+  } else if (want_ckpt || want_resume) {
+    ckpt_active = true;
+    snapshot.tag = model.name();
+    snapshot.module = module;
+    snapshot.optimizer = neural ? neural->optimizer() : nullptr;
+    snapshot.rngs.emplace_back("shuffle", &shuffle_rng);
+    if (neural) snapshot.rngs.emplace_back("dropout", neural->dropout_rng());
+    snapshot.progress = &progress;
+    snapshot.best_state = &best_state;
+  }
+  if (ckpt_active && want_resume && FileExists(options.resume_path)) {
+    const Status status =
+        ckpt::LoadTrainingState(snapshot, options.resume_path);
+    KT_CHECK(status.ok()) << "cannot resume from " << options.resume_path
+                          << ": " << status.ToString();
+    if (options.verbose) {
+      KT_LOG(INFO) << model.name() << " resumed from " << options.resume_path
+                   << " at epoch " << progress.next_epoch;
+    }
+  }
+
+  for (int epoch = static_cast<int>(progress.next_epoch);
+       epoch < options.max_epochs; ++epoch) {
+    // Also covers resuming a run that had already early-stopped: the
+    // restored counter makes the loop exit before training further.
+    if (progress.epochs_since_best > 0 &&
+        progress.epochs_since_best >= options.patience) {
+      break;
+    }
     data::BatchIterator it(split.train, options.batch_size, shuffle_rng,
                            /*shuffle=*/true);
     data::Batch batch;
@@ -75,29 +120,59 @@ TrainResult TrainAndEvaluate(models::KTModel& model,
       loss_sum += model.TrainBatch(batch);
       ++batches;
     }
-    ++result.epochs_run;
+    ++progress.epochs_run;
 
     const EvalResult val = Evaluate(model, split.validation, options.batch_size);
-    result.val_auc_history.push_back(val.auc);
+    progress.val_auc_history.push_back(val.auc);
+    progress.train_loss_history.push_back(loss_sum /
+                                          std::max<int64_t>(batches, 1));
     if (options.verbose) {
       KT_LOG(INFO) << model.name() << " epoch " << epoch << " loss "
                    << loss_sum / std::max<int64_t>(batches, 1) << " val auc "
                    << val.auc;
     }
-    if (val.auc > result.best_val_auc) {
-      result.best_val_auc = val.auc;
-      result.best_epoch = epoch;
-      epochs_since_best = 0;
+    if (val.auc > progress.best_val_auc) {
+      progress.best_val_auc = val.auc;
+      progress.best_epoch = epoch;
+      progress.epochs_since_best = 0;
       if (module) best_state = module->StateClone();
     } else {
-      ++epochs_since_best;
-      if (epochs_since_best >= options.patience) break;
+      ++progress.epochs_since_best;
+    }
+    progress.next_epoch = epoch + 1;
+    if (ckpt_active && want_ckpt &&
+        (epoch + 1) % options.checkpoint_every == 0) {
+      const Status status =
+          ckpt::SaveTrainingState(snapshot, options.checkpoint_path);
+      KT_CHECK(status.ok()) << "checkpoint to " << options.checkpoint_path
+                            << " failed: " << status.ToString();
     }
   }
 
+  result.best_val_auc = progress.best_val_auc;
+  result.best_epoch = static_cast<int>(progress.best_epoch);
+  result.epochs_run = static_cast<int>(progress.epochs_run);
+  result.val_auc_history = progress.val_auc_history;
+  result.train_loss_history = progress.train_loss_history;
   if (module && !best_state.empty()) module->SetState(best_state);
   result.test = Evaluate(model, split.test, options.batch_size);
   return result;
+}
+
+// Gives fold `fold` its own checkpoint/resume files ("<path>.fold<f>") so a
+// killed k-fold run restarts at the interrupted fold: completed folds
+// fast-resume (restore + final test evaluation, no retraining) and the
+// interrupted fold continues from its last epoch boundary.
+TrainOptions FoldOptions(const TrainOptions& options, int fold) {
+  TrainOptions fold_options = options;
+  const std::string suffix = ".fold" + std::to_string(fold);
+  if (!options.checkpoint_path.empty()) {
+    fold_options.checkpoint_path = options.checkpoint_path + suffix;
+  }
+  if (!options.resume_path.empty()) {
+    fold_options.resume_path = options.resume_path + suffix;
+  }
+  return fold_options;
 }
 
 CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
@@ -123,7 +198,8 @@ CrossValidationResult RunCrossValidation(const data::Dataset& windows, int k,
         windows, folds, static_cast<int>(fold), validation_fraction,
         split_rng);
     std::unique_ptr<models::KTModel> model = factory(split.train);
-    TrainResult fold_result = TrainAndEvaluate(*model, split, options);
+    TrainResult fold_result = TrainAndEvaluate(
+        *model, split, FoldOptions(options, static_cast<int>(fold)));
     result.fold_auc[static_cast<size_t>(fold)] = fold_result.test.auc;
     result.fold_acc[static_cast<size_t>(fold)] = fold_result.test.acc;
     if (options.verbose) {

@@ -20,6 +20,16 @@ struct TrainOptions {
   int64_t batch_size = 64;
   uint64_t seed = 3;
   bool verbose = false;
+  // Crash-safe checkpointing (kt::ckpt). Every `checkpoint_every` epochs the
+  // full training state — parameters, Adam moments, RNG streams, best-epoch
+  // snapshot, progress — is committed atomically to `checkpoint_path`
+  // (0 disables). If `resume_path` names an existing checkpoint, state is
+  // restored from it before training and the loop continues at the next
+  // epoch; the resumed run is bit-identical to an uninterrupted one. Under
+  // cross-validation both paths get a ".fold<k>" suffix per fold.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_path;
 };
 
 struct EvalResult {
@@ -34,6 +44,10 @@ struct TrainResult {
   int best_epoch = -1;
   int epochs_run = 0;
   std::vector<double> val_auc_history;
+  // Mean training loss per epoch, parallel to val_auc_history; lets tests
+  // assert that a resumed run logs the same losses as a straight-through
+  // run.
+  std::vector<double> train_loss_history;
 };
 
 // Masked evaluation of `model` over `dataset` (positions t >= 1 of every
@@ -47,6 +61,11 @@ EvalResult Evaluate(models::KTModel& model, const data::Dataset& dataset,
 TrainResult TrainAndEvaluate(models::KTModel& model,
                              const data::FoldSplit& split,
                              const TrainOptions& options);
+
+// Copy of `options` with per-fold checkpoint/resume paths ("<path>.fold<f>");
+// used by the cross-validation drivers so a killed k-fold run restarts at
+// the interrupted fold.
+TrainOptions FoldOptions(const TrainOptions& options, int fold);
 
 // Builds a model for one fold; receives the fold's training split so models
 // that need training-set statistics (DIMKT difficulty, IKT) can use them.

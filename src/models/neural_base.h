@@ -40,6 +40,12 @@ class NeuralKTModel : public KTModel, public nn::Module {
 
   const NeuralConfig& config() const { return config_; }
 
+  // Checkpointing access (kt::ckpt): the optimizer state and the dropout
+  // RNG stream both have to survive a kill/resume for the resumed run to be
+  // bit-identical to an uninterrupted one.
+  nn::Adam* optimizer() { return optimizer_.get(); }
+  Rng* dropout_rng() { return &rng_; }
+
  protected:
   // Next-step correctness logits, [B, T].
   virtual ag::Variable ForwardLogits(const data::Batch& batch,

@@ -56,6 +56,20 @@ void Adam::Step() {
   }
 }
 
+void Adam::SetState(const std::vector<Tensor>& m, const std::vector<Tensor>& v,
+                    int64_t step) {
+  KT_CHECK_EQ(m.size(), params_.size());
+  KT_CHECK_EQ(v.size(), params_.size());
+  KT_CHECK_GE(step, 0);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    KT_CHECK(m[i].SameShape(m_[i]));
+    KT_CHECK(v[i].SameShape(v_[i]));
+    m_[i] = m[i].Clone();
+    v_[i] = v[i].Clone();
+  }
+  step_ = step;
+}
+
 void Adam::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }

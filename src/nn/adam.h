@@ -37,6 +37,15 @@ class Adam {
   float lr() const { return options_.lr; }
   int64_t step_count() const { return step_; }
 
+  // Checkpointing access: first/second moments parallel to the constructor's
+  // parameter order, and the bias-correction step counter.
+  const std::vector<Tensor>& moment1() const { return m_; }
+  const std::vector<Tensor>& moment2() const { return v_; }
+  // Restores a snapshot taken via moment1()/moment2()/step_count(); tensor
+  // counts and shapes must match the optimizer's parameters.
+  void SetState(const std::vector<Tensor>& m, const std::vector<Tensor>& v,
+                int64_t step);
+
  private:
   std::vector<ag::Variable> params_;
   AdamOptions options_;

@@ -2,110 +2,159 @@
 
 #include <cstdint>
 #include <cstring>
-#include <cstdio>
-#include <fstream>
 #include <vector>
+
+#include "core/binio.h"
+#include "core/crc32.h"
+#include "core/fileio.h"
 
 namespace kt {
 namespace nn {
 namespace {
 
-constexpr char kMagic[4] = {'K', 'T', 'W', '1'};
+constexpr char kMagicV2[4] = {'K', 'T', 'W', '2'};  // CRC-checksummed
+constexpr char kMagicV1[4] = {'K', 'T', 'W', '1'};  // legacy, no checksum
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
+// No module in this codebase goes near this depth; an on-disk rank beyond
+// it means corruption, and bounding it keeps a hostile `rank` field from
+// driving a multi-GB Shape allocation.
+constexpr uint32_t kMaxRank = 16;
 
 }  // namespace
 
-Status SaveModule(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-
+void AppendModuleState(const Module& module, std::string* out) {
   const auto params = module.Parameters();
   const auto names = module.ParameterNames();
   KT_CHECK_EQ(params.size(), names.size());
 
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, static_cast<uint64_t>(params.size()));
+  AppendPod(out, static_cast<uint64_t>(params.size()));
   for (size_t i = 0; i < params.size(); ++i) {
     const Tensor& value = params[i].value();
-    WritePod(out, static_cast<uint32_t>(names[i].size()));
-    out.write(names[i].data(),
-              static_cast<std::streamsize>(names[i].size()));
-    WritePod(out, static_cast<uint32_t>(value.dim()));
+    AppendPod(out, static_cast<uint32_t>(names[i].size()));
+    AppendBytes(out, names[i].data(), names[i].size());
+    AppendPod(out, static_cast<uint32_t>(value.dim()));
     for (int64_t d = 0; d < value.dim(); ++d) {
-      WritePod(out, static_cast<int64_t>(value.size(d)));
+      AppendPod(out, static_cast<int64_t>(value.size(d)));
     }
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(sizeof(float) * value.numel()));
+    AppendBytes(out, value.data(), sizeof(float) * value.numel());
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
 }
 
-Status LoadModule(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
-
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad magic in " + path);
-  }
-
+Status ParseModuleState(const char* data, size_t size, Module& module) {
   auto params = module.Parameters();
   const auto names = module.ParameterNames();
+  BinCursor cursor(data, size);
 
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (!cursor.Read(&count)) return Status::IoError("truncated header");
   if (count != params.size()) {
     return Status::InvalidArgument(
         "parameter count mismatch: file has " + std::to_string(count) +
         ", module has " + std::to_string(params.size()));
   }
 
-  // Stage everything first so a mid-file error leaves the module untouched.
+  // Stage everything first so a mid-buffer error leaves the module untouched.
   std::vector<Tensor> staged;
   staged.reserve(params.size());
   for (size_t i = 0; i < params.size(); ++i) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len)) return Status::IoError("truncated name len");
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in) return Status::IoError("truncated name");
+    if (!cursor.Read(&name_len)) return Status::IoError("truncated name len");
+    // Validate against the expected name before allocating anything: a
+    // corrupt length field must not drive a huge allocation.
+    if (name_len != names[i].size()) {
+      return Status::InvalidArgument(
+          "parameter name length mismatch at index " + std::to_string(i) +
+          ": file says " + std::to_string(name_len) + ", module expects " +
+          std::to_string(names[i].size()) + " ('" + names[i] + "')");
+    }
+    std::string name;
+    if (!cursor.ReadString(&name, name_len)) {
+      return Status::IoError("truncated name");
+    }
     if (name != names[i]) {
       return Status::InvalidArgument("parameter name mismatch at index " +
                                      std::to_string(i) + ": file '" + name +
                                      "' vs module '" + names[i] + "'");
     }
     uint32_t rank = 0;
-    if (!ReadPod(in, &rank)) return Status::IoError("truncated rank");
+    if (!cursor.Read(&rank)) return Status::IoError("truncated rank");
+    if (rank > kMaxRank) {
+      return Status::InvalidArgument(
+          "implausible rank " + std::to_string(rank) + " for '" + name +
+          "' (max " + std::to_string(kMaxRank) + ")");
+    }
+    const Shape& expected = params[i].value().shape();
+    if (rank != expected.size()) {
+      return Status::InvalidArgument(
+          "rank mismatch for '" + name + "': file " + std::to_string(rank) +
+          " vs module " + std::to_string(expected.size()));
+    }
     Shape shape(rank);
     for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &shape[d])) return Status::IoError("truncated shape");
+      if (!cursor.Read(&shape[d])) return Status::IoError("truncated shape");
     }
-    if (shape != params[i].value().shape()) {
+    if (shape != expected) {
       return Status::InvalidArgument(
           "shape mismatch for '" + name + "': file " + ShapeToString(shape) +
-          " vs module " + ShapeToString(params[i].value().shape()));
+          " vs module " + ShapeToString(expected));
     }
+    // Shape equals the module's, so the allocation size is trusted.
     Tensor value(shape);
-    in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(sizeof(float) * value.numel()));
-    if (!in) return Status::IoError("truncated data for '" + name + "'");
+    if (!cursor.ReadBytes(value.data(), sizeof(float) * value.numel())) {
+      return Status::IoError("truncated data for '" + name + "'");
+    }
     staged.push_back(std::move(value));
+  }
+
+  if (!cursor.done()) {
+    return Status::InvalidArgument(
+        std::to_string(cursor.remaining()) +
+        " trailing bytes after the last parameter");
   }
 
   module.SetState(staged);
   return Status::Ok();
+}
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::string file(kMagicV2, sizeof(kMagicV2));
+  std::string payload;
+  AppendModuleState(module, &payload);
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  file += payload;
+  return AtomicWriteFile(path, file);
+}
+
+Status LoadModule(Module& module, const std::string& path) {
+  std::string file;
+  if (Status status = ReadFileToString(path, &file); !status.ok()) {
+    return status;
+  }
+  if (file.size() < sizeof(kMagicV2)) {
+    return Status::InvalidArgument("file too short for magic in " + path);
+  }
+  if (std::memcmp(file.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    constexpr size_t kHeader = sizeof(kMagicV2) + sizeof(uint32_t);
+    if (file.size() < kHeader) {
+      return Status::InvalidArgument("truncated checksum in " + path);
+    }
+    uint32_t expected_crc = 0;
+    std::memcpy(&expected_crc, file.data() + sizeof(kMagicV2),
+                sizeof(expected_crc));
+    const uint32_t actual_crc =
+        Crc32(file.data() + kHeader, file.size() - kHeader);
+    if (actual_crc != expected_crc) {
+      return Status::InvalidArgument("checksum mismatch in " + path +
+                                     " (file is corrupt)");
+    }
+    return ParseModuleState(file.data() + kHeader, file.size() - kHeader,
+                            module);
+  }
+  if (std::memcmp(file.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    return ParseModuleState(file.data() + sizeof(kMagicV1),
+                            file.size() - sizeof(kMagicV1), module);
+  }
+  return Status::InvalidArgument("bad magic in " + path);
 }
 
 }  // namespace nn

@@ -1,11 +1,18 @@
 // Binary (de)serialization of module parameters.
 //
-// Format (little-endian):
-//   magic "KTW1" | uint64 param_count |
+// File format (little-endian):
+//   magic "KTW2" | uint32 crc32(payload) | payload
+// where payload is the AppendModuleState encoding:
+//   uint64 param_count |
 //   per param: uint32 name_len | name bytes | uint32 rank |
 //              int64 dims[rank] | float data[numel]
-// Loading verifies parameter names and shapes against the module, so a
-// checkpoint cannot be silently applied to a different architecture.
+// Legacy "KTW1" files (same payload, no checksum) still load.
+//
+// Loading verifies the checksum and then every name and shape against the
+// module, so a corrupt or truncated file — or a checkpoint for a different
+// architecture — is rejected without touching the module. Saves are atomic
+// (tmp file + fsync + rename): an interrupted save never destroys the
+// previous file.
 #ifndef KT_NN_SERIALIZE_H_
 #define KT_NN_SERIALIZE_H_
 
@@ -17,12 +24,23 @@
 namespace kt {
 namespace nn {
 
-// Writes all parameters of `module` to `path`.
+// Writes all parameters of `module` to `path` (atomically).
 Status SaveModule(const Module& module, const std::string& path);
 
 // Restores parameters from `path` into `module`. Fails (without partial
-// modification) on magic/name/shape mismatch.
+// modification) on checksum/magic/name/shape mismatch, truncation, or
+// trailing bytes.
 Status LoadModule(Module& module, const std::string& path);
+
+// Buffer-level halves of the above, reused by kt::ckpt to embed parameter
+// state inside a larger checkpoint payload.
+//
+// Appends the parameter encoding (see header comment) to `*out`.
+void AppendModuleState(const Module& module, std::string* out);
+// Parses a buffer written by AppendModuleState, validating names and shapes
+// against `module` and requiring the buffer be consumed exactly. The module
+// is only mutated after the whole buffer parses (staged load).
+Status ParseModuleState(const char* data, size_t size, Module& module);
 
 }  // namespace nn
 }  // namespace kt

@@ -75,6 +75,12 @@ class RCKT : public nn::Module {
   std::string name() const;
   const RcktConfig& config() const { return config_; }
 
+  // Checkpointing access (kt::ckpt): the optimizer state and the dropout
+  // RNG stream both have to survive a kill/resume for the resumed run to be
+  // bit-identical to an uninterrupted one.
+  nn::Adam* optimizer() { return optimizer_.get(); }
+  Rng* dropout_rng() { return &rng_; }
+
   // ---- Training (approximate/backward mode, the default) ----
   // One Adam step on an equal-length prefix batch; returns the total loss
   // (Eq. 29) value.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ckpt/training_state.h"
+#include "core/fileio.h"
 #include "core/logging.h"
 #include "eval/metrics.h"
 
@@ -68,12 +70,47 @@ RcktTrainResult TrainAndEvaluateRckt(RCKT& model,
   RcktTrainResult result;
   Rng shuffle_rng(options.seed * 31 + 7);
   std::vector<Tensor> best_state;
+  ckpt::TrainerProgress progress;
 
   std::vector<PrefixSample> train_samples = MakePrefixSamples(
       split.train, options.train_stride, options.min_target);
 
-  int epochs_since_best = 0;
-  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+  // The checkpoint freezes every mutable input of the loop — parameters,
+  // Adam moments, the shuffle and dropout streams, the best-epoch snapshot,
+  // and the progress counters — so a resumed run replays the remaining
+  // epochs bit-identically. (train_samples is derived deterministically
+  // from the split and need not be saved.)
+  const bool want_ckpt =
+      options.checkpoint_every > 0 && !options.checkpoint_path.empty();
+  const bool want_resume = !options.resume_path.empty();
+  ckpt::TrainingState snapshot;
+  if (want_ckpt || want_resume) {
+    snapshot.tag = model.name();
+    snapshot.module = &model;
+    snapshot.optimizer = model.optimizer();
+    snapshot.rngs = {{"shuffle", &shuffle_rng},
+                     {"dropout", model.dropout_rng()}};
+    snapshot.progress = &progress;
+    snapshot.best_state = &best_state;
+  }
+  if (want_resume && FileExists(options.resume_path)) {
+    const Status status =
+        ckpt::LoadTrainingState(snapshot, options.resume_path);
+    KT_CHECK(status.ok()) << "cannot resume from " << options.resume_path
+                          << ": " << status.ToString();
+    if (options.verbose) {
+      KT_LOG(INFO) << model.name() << " resumed from " << options.resume_path
+                   << " at epoch " << progress.next_epoch;
+    }
+  }
+
+  for (int epoch = static_cast<int>(progress.next_epoch);
+       epoch < options.max_epochs; ++epoch) {
+    // Also covers resuming a run that had already early-stopped.
+    if (progress.epochs_since_best > 0 &&
+        progress.epochs_since_best >= options.patience) {
+      break;
+    }
     double loss_sum = 0.0;
     int64_t batches = 0;
     for (const auto& group : GroupIntoBatches(
@@ -83,31 +120,60 @@ RcktTrainResult TrainAndEvaluateRckt(RCKT& model,
                                 : model.TrainStep(batch);
       ++batches;
     }
-    ++result.epochs_run;
+    ++progress.epochs_run;
 
     const eval::EvalResult val =
         EvaluateRckt(model, split.validation, options);
+    progress.val_auc_history.push_back(val.auc);
+    progress.train_loss_history.push_back(loss_sum /
+                                          std::max<int64_t>(batches, 1));
     if (options.verbose) {
       KT_LOG(INFO) << model.name() << " epoch " << epoch << " loss "
                    << loss_sum / std::max<int64_t>(batches, 1) << " val auc "
                    << val.auc;
     }
-    if (val.auc > result.best_val_auc) {
-      result.best_val_auc = val.auc;
-      result.best_epoch = epoch;
-      epochs_since_best = 0;
+    if (val.auc > progress.best_val_auc) {
+      progress.best_val_auc = val.auc;
+      progress.best_epoch = epoch;
+      progress.epochs_since_best = 0;
       best_state = model.StateClone();
-    } else if (++epochs_since_best >= options.patience) {
-      break;
+    } else {
+      ++progress.epochs_since_best;
+    }
+    progress.next_epoch = epoch + 1;
+    if (want_ckpt && (epoch + 1) % options.checkpoint_every == 0) {
+      const Status status =
+          ckpt::SaveTrainingState(snapshot, options.checkpoint_path);
+      KT_CHECK(status.ok()) << "checkpoint to " << options.checkpoint_path
+                            << " failed: " << status.ToString();
     }
   }
 
+  result.best_val_auc = progress.best_val_auc;
+  result.best_epoch = static_cast<int>(progress.best_epoch);
+  result.epochs_run = static_cast<int>(progress.epochs_run);
+  result.val_auc_history = progress.val_auc_history;
+  result.train_loss_history = progress.train_loss_history;
   if (!best_state.empty()) model.SetState(best_state);
   result.test = EvaluateRckt(model, split.test, options);
   return result;
 }
 
 namespace {
+
+// Mirrors eval::FoldOptions for the RCKT option type: fold f checkpoints to
+// "<path>.fold<f>" so a killed k-fold run restarts at the interrupted fold.
+RcktTrainOptions FoldOptions(const RcktTrainOptions& options, int fold) {
+  RcktTrainOptions fold_options = options;
+  const std::string suffix = ".fold" + std::to_string(fold);
+  if (!options.checkpoint_path.empty()) {
+    fold_options.checkpoint_path = options.checkpoint_path + suffix;
+  }
+  if (!options.resume_path.empty()) {
+    fold_options.resume_path = options.resume_path + suffix;
+  }
+  return fold_options;
+}
 
 void Summarize(eval::CrossValidationResult& result) {
   double auc_sum = 0.0, acc_sum = 0.0;
@@ -140,7 +206,8 @@ eval::CrossValidationResult RunRcktCrossValidation(
     data::FoldSplit split =
         data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
     std::unique_ptr<RCKT> model = factory(split.train);
-    RcktTrainResult fold_result = TrainAndEvaluateRckt(*model, split, options);
+    RcktTrainResult fold_result =
+        TrainAndEvaluateRckt(*model, split, FoldOptions(options, fold));
     result.fold_auc.push_back(fold_result.test.auc);
     result.fold_acc.push_back(fold_result.test.acc);
     if (options.verbose) {
@@ -167,7 +234,8 @@ eval::CrossValidationResult RunBaselineCrossValidation(
         data::MakeFold(windows, folds, fold, validation_fraction, split_rng);
     std::unique_ptr<models::KTModel> model = factory(split.train);
     // Train with the model's own scheme (window BCE / closed-form fit)...
-    eval::TrainAndEvaluate(*model, split, train_options);
+    eval::TrainAndEvaluate(*model, split,
+                           eval::FoldOptions(train_options, fold));
     // ...but report the test metric on the shared prefix-sample protocol.
     const eval::EvalResult test =
         EvaluateModelOnSamples(*model, split.test, sample_options);

@@ -25,6 +25,12 @@ struct RcktTrainOptions {
   bool verbose = false;
   // Use the exact forward influence computation (Table VI "Before").
   bool exact = false;
+  // Crash-safe checkpointing (kt::ckpt); see eval::TrainOptions for the
+  // exact semantics. Under cross-validation both paths get a ".fold<k>"
+  // suffix per fold.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_path;
 };
 
 // Scores every prefix sample of `dataset` with RCKT and computes AUC/ACC
@@ -43,6 +49,10 @@ struct RcktTrainResult {
   double best_val_auc = 0.0;
   int best_epoch = -1;
   int epochs_run = 0;
+  std::vector<double> val_auc_history;
+  // Mean training loss per epoch; a resumed run must log the same values as
+  // a straight-through run (asserted in tests/ckpt_test.cc).
+  std::vector<double> train_loss_history;
 };
 
 // Counterfactual training with early stopping on validation AUC and

@@ -1,10 +1,16 @@
 #include "nn/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/binio.h"
+#include "core/crc32.h"
+#include "core/fileio.h"
 #include "data/simulator.h"
 #include "models/dkt.h"
 #include "rckt/rckt_model.h"
@@ -16,6 +22,48 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::string bytes;
+  KT_CHECK(ReadFileToString(path, &bytes).ok());
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Assembles a KTW2 file around an arbitrary payload with a VALID checksum,
+// so crafted-payload tests exercise the parser rather than the CRC gate.
+std::string MakeKtw2(const std::string& payload) {
+  std::string file = "KTW2";
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  file += payload;
+  return file;
+}
+
+std::vector<Tensor> SnapshotParams(const Module& module) {
+  std::vector<Tensor> snapshot;
+  for (const auto& param : module.Parameters()) {
+    snapshot.push_back(param.value().Clone());
+  }
+  return snapshot;
+}
+
+void ExpectParamsUntouched(const Module& module,
+                           const std::vector<Tensor>& snapshot) {
+  const auto params = module.Parameters();
+  ASSERT_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& now = params[i].value();
+    ASSERT_TRUE(now.SameShape(snapshot[i]));
+    EXPECT_EQ(std::memcmp(now.data(), snapshot[i].data(),
+                          sizeof(float) * now.numel()),
+              0)
+        << "parameter " << i << " was modified by a failed load";
+  }
 }
 
 TEST(SerializeTest, RoundTripsLinear) {
@@ -85,6 +133,162 @@ TEST(SerializeTest, RejectsTruncatedFile) {
   Linear b(8, 8, rng);
   EXPECT_FALSE(LoadModule(b, path).ok());
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzz: every failure must be a clean Status (no crash, no
+// over-allocation) and must leave the module bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, RejectsTruncationAtEveryOffset) {
+  Rng rng(11);
+  Linear a(4, 3, rng);
+  const std::string path = TempPath("fuzz_trunc.ktw");
+  ASSERT_TRUE(SaveModule(a, path).ok());
+  const std::string bytes = ReadAll(path);
+
+  Linear b(4, 3, rng);
+  const std::vector<Tensor> snapshot = SnapshotParams(b);
+  const std::string cut = TempPath("fuzz_trunc_cut.ktw");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteAll(cut, bytes.substr(0, len));
+    EXPECT_FALSE(LoadModule(b, cut).ok()) << "prefix of " << len << " bytes";
+    ExpectParamsUntouched(b, snapshot);
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(SerializeTest, RejectsFlippedByteAtEveryOffset) {
+  Rng rng(12);
+  Linear a(4, 3, rng);
+  const std::string path = TempPath("fuzz_flip.ktw");
+  ASSERT_TRUE(SaveModule(a, path).ok());
+  const std::string bytes = ReadAll(path);
+
+  Linear b(4, 3, rng);
+  const std::vector<Tensor> snapshot = SnapshotParams(b);
+  const std::string bad = TempPath("fuzz_flip_bad.ktw");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteAll(bad, corrupt);
+    EXPECT_FALSE(LoadModule(b, bad).ok()) << "flipped byte at offset " << i;
+    ExpectParamsUntouched(b, snapshot);
+  }
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(SerializeTest, RejectsTrailingBytes) {
+  Rng rng(13);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);
+  const std::vector<Tensor> snapshot = SnapshotParams(b);
+  const std::string path = TempPath("fuzz_trailing.ktw");
+
+  // Junk appended after the file is written trips the checksum gate.
+  ASSERT_TRUE(SaveModule(a, path).ok());
+  WriteAll(path, ReadAll(path) + "junk");
+  EXPECT_FALSE(LoadModule(b, path).ok());
+  ExpectParamsUntouched(b, snapshot);
+
+  // Junk inside the checksummed payload reaches the parser's own
+  // trailing-bytes check.
+  std::string payload;
+  AppendModuleState(a, &payload);
+  payload += "junk";
+  WriteAll(path, MakeKtw2(payload));
+  const Status status = LoadModule(b, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing bytes"), std::string::npos);
+  ExpectParamsUntouched(b, snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsOversizedNameLenWithoutAllocating) {
+  Rng rng(14);
+  Linear m(4, 3, rng);
+  const std::vector<Tensor> snapshot = SnapshotParams(m);
+
+  // Payload claims the right parameter count but a ~2 GB name length. The
+  // loader must reject on the length *comparison* — before any allocation.
+  std::string payload;
+  AppendPod(&payload, static_cast<uint64_t>(m.Parameters().size()));
+  AppendPod(&payload, static_cast<uint32_t>(0x7FFFFFFF));
+  const std::string path = TempPath("fuzz_name_len.ktw");
+  WriteAll(path, MakeKtw2(payload));
+
+  const Status status = LoadModule(m, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("name length mismatch"), std::string::npos);
+  ExpectParamsUntouched(m, snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsOversizedRankWithoutAllocating) {
+  Rng rng(15);
+  Linear m(4, 3, rng);
+  const std::vector<Tensor> snapshot = SnapshotParams(m);
+  const std::string name = m.ParameterNames()[0];
+
+  std::string payload;
+  AppendPod(&payload, static_cast<uint64_t>(m.Parameters().size()));
+  AppendPod(&payload, static_cast<uint32_t>(name.size()));
+  AppendBytes(&payload, name.data(), name.size());
+  AppendPod(&payload, static_cast<uint32_t>(1000000));  // hostile rank
+  const std::string path = TempPath("fuzz_rank.ktw");
+  WriteAll(path, MakeKtw2(payload));
+
+  const Status status = LoadModule(m, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("implausible rank"), std::string::npos);
+  ExpectParamsUntouched(m, snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadsLegacyKtw1Files) {
+  Rng rng(16);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // different init
+
+  std::string file = "KTW1";  // legacy layout: magic + payload, no checksum
+  AppendModuleState(a, &file);
+  const std::string path = TempPath("legacy.ktw");
+  WriteAll(path, file);
+
+  ASSERT_TRUE(LoadModule(b, path).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value().AllClose(pb[i].value()));
+  }
+  std::remove(path.c_str());
+}
+
+// SaveModule commits via tmp + rename; a crash at any byte offset of the new
+// file must leave the previously saved weights loadable.
+TEST(SerializeTest, InterruptedSaveLeavesPreviousFileLoadable) {
+  Rng rng(17);
+  Linear old_model(4, 3, rng);
+  Linear new_model(4, 3, rng);  // different weights
+  const std::string path = TempPath("atomic.ktw");
+  ASSERT_TRUE(SaveModule(old_model, path).ok());
+
+  const std::string staging = TempPath("atomic_staging.ktw");
+  ASSERT_TRUE(SaveModule(new_model, staging).ok());
+  const std::string new_bytes = ReadAll(staging);
+
+  for (size_t len = 0; len < new_bytes.size(); len += 7) {
+    WriteAll(path + ".tmp", new_bytes.substr(0, len));
+    Linear loaded(4, 3, rng);
+    ASSERT_TRUE(LoadModule(loaded, path).ok())
+        << "interrupted at offset " << len;
+    ExpectParamsUntouched(loaded, SnapshotParams(old_model));
+  }
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+  std::remove(staging.c_str());
 }
 
 TEST(SerializeTest, TrainedRcktPredictsIdenticallyAfterReload) {

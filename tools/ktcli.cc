@@ -5,6 +5,8 @@
 //             Generate a synthetic dataset and write it as CSV.
 //   train     --data data.csv --encoder dkt|sakt|akt|gru [--epochs N]
 //             [--dim D] [--lambda L] [--save model.ktw]
+//             [--checkpoint-every N --checkpoint ckpt.ktc]
+//             [--resume ckpt.ktc]
 //             Train RCKT with early stopping; print test AUC/ACC.
 //   evaluate  --data data.csv --encoder E --load model.ktw
 //             Evaluate a saved model on a dataset.
@@ -16,6 +18,13 @@
 //   --threads N   Size of the kt::parallel thread pool (default: the
 //                 KT_NUM_THREADS env var, else hardware concurrency).
 //                 Outputs are bit-identical for every value.
+//   --checkpoint-every N / --checkpoint PATH / --resume PATH
+//                 Crash-safe training checkpoints (kt::ckpt): every N
+//                 epochs the full training state (parameters, Adam moments,
+//                 RNG streams, progress) is committed atomically to PATH;
+//                 --resume restores it and continues bit-identically to an
+//                 uninterrupted run. --checkpoint defaults to the --resume
+//                 path. Only `train` consumes these.
 //
 // Examples:
 //   ktcli simulate --preset assist09 --scale 0.2 --out /tmp/a09.csv
@@ -111,7 +120,7 @@ std::unique_ptr<rckt::RCKT> BuildModel(const FlagParser& flags,
                                       windows.num_concepts, config);
 }
 
-int CmdTrain(const FlagParser& flags) {
+int CmdTrain(const FlagParser& flags, const CommonFlagValues& common) {
   LoadedData loaded;
   if (int rc = LoadData(flags, &loaded)) return rc;
 
@@ -126,6 +135,15 @@ int CmdTrain(const FlagParser& flags) {
   options.max_epochs = static_cast<int>(flags.GetInt("epochs", 8));
   options.patience = static_cast<int>(flags.GetInt("patience", 4));
   options.verbose = flags.GetBool("verbose", true);
+  options.checkpoint_every = common.checkpoint_every;
+  options.checkpoint_path = common.checkpoint_path;
+  options.resume_path = common.resume_path;
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "train: --checkpoint-every needs --checkpoint (or --resume) "
+                 "to name the checkpoint file\n");
+    return 2;
+  }
   const auto result = rckt::TrainAndEvaluateRckt(*model, split, options);
   std::printf("%s: test AUC %.4f ACC %.4f (%lld predictions)\n",
               model->name().c_str(), result.test.auc, result.test.acc,
@@ -223,11 +241,12 @@ int Main(int argc, char** argv) {
     return 2;
   }
   // --threads N (or the KT_NUM_THREADS env var) sizes the kt::parallel
-  // pool; results are bit-identical for every setting.
-  ApplyCommonFlags(flags);
+  // pool; results are bit-identical for every setting. The returned values
+  // carry the checkpoint/resume flags into the train command.
+  const CommonFlagValues common = ApplyCommonFlags(flags);
   const std::string command = argv[1];
   if (command == "simulate") return CmdSimulate(flags);
-  if (command == "train") return CmdTrain(flags);
+  if (command == "train") return CmdTrain(flags, common);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "explain") return CmdExplain(flags);
   return Usage();
