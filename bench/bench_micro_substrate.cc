@@ -5,6 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "core/parallel.h"
@@ -219,18 +224,100 @@ BENCHMARK(BM_RcktScoreExactThreads)
     ->ArgName("threads")
     ->UseRealTime();
 
+// Tees every run into a flat JSON record set (op, shape, threads, ns/iter,
+// GFLOP/s where the items counter measures flops) while still printing the
+// normal console table. The machine-readable artifact is what DESIGN.md
+// Sec. 9 and the README performance table are sourced from.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Record rec;
+      const std::string name = run.benchmark_name();
+      const size_t slash = name.find('/');
+      rec.op = name.substr(0, slash);
+      rec.shape = slash == std::string::npos ? "" : name.substr(slash + 1);
+      rec.threads = ThreadsFromName(name);
+      rec.ns_per_iter = run.GetAdjustedRealTime();  // default time unit: ns
+      auto it = run.counters.find("items_per_second");
+      rec.items_per_second = it == run.counters.end() ? 0.0 : it->second.value;
+      records_.push_back(rec);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"micro_substrate\",\n  \"results\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"op\": \"" << r.op << "\", \"shape\": \"" << r.shape
+          << "\", \"threads\": " << r.threads
+          << ", \"ns_per_iter\": " << r.ns_per_iter;
+      // The GEMM families count flops as items, so items/s is FLOP/s there;
+      // other families report raw items/s (batches, students, ...).
+      if (r.op.rfind("BM_Gemm", 0) == 0) {
+        out << ", \"gflops\": " << r.items_per_second / 1e9;
+      } else if (r.items_per_second > 0.0) {
+        out << ", \"items_per_second\": " << r.items_per_second;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Record {
+    std::string op;
+    std::string shape;
+    int threads = 1;
+    double ns_per_iter = 0.0;
+    double items_per_second = 0.0;
+  };
+
+  // The *Threads sweeps encode the pool size as a "threads:N" name segment;
+  // everything else runs at the ambient pool size.
+  static int ThreadsFromName(const std::string& name) {
+    const size_t pos = name.find("threads:");
+    if (pos == std::string::npos) return kt::GetNumThreads();
+    return std::atoi(name.c_str() + pos + std::strlen("threads:"));
+  }
+
+  std::vector<Record> records_;
+};
+
 }  // namespace
 }  // namespace kt
 
 // Custom main so the run header reports the ambient pool size next to
-// google-benchmark's own context lines.
+// google-benchmark's own context lines, and so results also land in
+// BENCH_micro_substrate.json (override the path with --json_out=<path>).
 int main(int argc, char** argv) {
   std::printf("kt::parallel threads: %d (KT_NUM_THREADS / --threads sweep "
               "benchmarks override per-run)\n",
               kt::GetNumThreads());
+  std::string json_path = "BENCH_micro_substrate.json";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  kt::JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

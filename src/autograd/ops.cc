@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace kt {
@@ -106,12 +107,24 @@ Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
 
 Variable MatMul(const Variable& a, const Variable& b) {
   return MakeOpNode(kt::MatMul(a.value(), b.value()), {a, b}, [](Node& self) {
-    const Tensor& av = self.inputs[0]->value;
-    const Tensor& bv = self.inputs[1]->value;
-    if (self.inputs[0]->requires_grad)
-      self.inputs[0]->AccumulateGrad(kt::MatMul(self.grad, bv.TransposeLast2()));
-    if (self.inputs[1]->requires_grad)
-      self.inputs[1]->AccumulateGrad(kt::MatMul(av.TransposeLast2(), self.grad));
+    // Both gradients go straight through the transposed GEMM accumulators
+    // into the grad buffers: no transpose copies, no temporaries.
+    Node* an = self.inputs[0].get();
+    Node* bn = self.inputs[1].get();
+    const Tensor& av = an->value;
+    const Tensor& bv = bn->value;
+    const int64_t m = av.size(0), k = av.size(1), n = bv.size(1);
+    const float* g = self.grad.data();
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      // dA += dC B^T; B is [k, n], exactly the TransB operand layout.
+      GemmTransBAccumulate(g, bv.data(), an->grad.data(), m, n, k);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      // dB += A^T dC; A is [m, k], exactly the TransA operand layout.
+      GemmTransAAccumulate(av.data(), g, bn->grad.data(), k, m, n);
+    }
   });
 }
 
@@ -336,6 +349,406 @@ Variable Dropout(const Variable& a, float p, Rng& rng, bool train) {
 }
 
 Variable Constant(Tensor t) { return Variable::Leaf(std::move(t), false); }
+
+// ---- Fused ops ----
+//
+// The forward epilogues below reuse the exact per-element expressions of
+// the primitive ops they replace (see kt::Sigmoid/Tanh/Relu and the
+// broadcast Add), in the same order, so fused and composed paths agree
+// bit-for-bit. This file compiles with -ffp-contract=off (see
+// src/autograd/CMakeLists.txt) so sum-of-products epilogues cannot be
+// FMA-contracted into something the composed op-per-node path never
+// computes.
+
+namespace {
+
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+inline float ApplyAct(Act act, float x) {
+  switch (act) {
+    case Act::kIdentity:
+      return x;
+    case Act::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Act::kSigmoid:
+      return SigmoidF(x);
+    case Act::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+// Accumulates column sums of g [m, n] into bias_grad [n], rows ascending —
+// the same order AccumulateGrad's broadcast reduction uses.
+inline void AccumulateBiasGrad(const float* g, int64_t m, int64_t n,
+                               float* bias_grad) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = g + i * n;
+    for (int64_t j = 0; j < n; ++j) bias_grad[j] += row[j];
+  }
+}
+
+}  // namespace
+
+Variable LinearBiasAct(const Variable& x, const Variable& w,
+                       const Variable& b, Act act) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  KT_CHECK_EQ(xv.shape().size(), 2u);
+  KT_CHECK_EQ(wv.shape().size(), 2u);
+  KT_CHECK_EQ(xv.size(1), wv.size(0));
+  const int64_t m = xv.size(0), in = xv.size(1), out = wv.size(1);
+  const bool has_bias = b.defined();
+  if (has_bias) KT_CHECK_EQ(b.numel(), out);
+
+  Tensor y(Shape{m, out});
+  Gemm(xv.data(), wv.data(), y.data(), m, in, out);
+  const float* bias = has_bias ? b.value().data() : nullptr;
+  float* yd = y.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = yd + i * out;
+    for (int64_t j = 0; j < out; ++j) {
+      row[j] = ApplyAct(act, bias ? row[j] + bias[j] : row[j]);
+    }
+  }
+
+  std::vector<Variable> inputs{x, w};
+  if (has_bias) inputs.push_back(b);
+  return MakeOpNode(y, inputs, [y, act, has_bias](Node& self) {
+    Node* xn = self.inputs[0].get();
+    Node* wn = self.inputs[1].get();
+    Node* bn = has_bias ? self.inputs[2].get() : nullptr;
+    const int64_t m = y.size(0), out = y.size(1), in = xn->value.size(1);
+    // d_pre = g ⊙ act'(pre), with act' expressed from the saved output y
+    // exactly as the composed activation backward does.
+    Tensor d_pre_buf;
+    const float* dp;
+    if (act == Act::kIdentity) {
+      dp = self.grad.data();
+    } else {
+      d_pre_buf = Tensor(self.grad.shape());
+      const float* gd = self.grad.data();
+      const float* yv = y.data();
+      float* o = d_pre_buf.data();
+      const int64_t total = m * out;
+      switch (act) {
+        case Act::kRelu:
+          for (int64_t i = 0; i < total; ++i)
+            o[i] = gd[i] * (yv[i] > 0.0f ? 1.0f : 0.0f);
+          break;
+        case Act::kSigmoid:
+          for (int64_t i = 0; i < total; ++i)
+            o[i] = gd[i] * (yv[i] * (1.0f - yv[i]));
+          break;
+        case Act::kTanh:
+          for (int64_t i = 0; i < total; ++i)
+            o[i] = gd[i] * (1.0f - yv[i] * yv[i]);
+          break;
+        case Act::kIdentity:
+          break;
+      }
+      dp = d_pre_buf.data();
+    }
+    if (xn->requires_grad) {
+      xn->EnsureGrad();
+      GemmTransBAccumulate(dp, wn->value.data(), xn->grad.data(), m, out, in);
+    }
+    if (wn->requires_grad) {
+      wn->EnsureGrad();
+      GemmTransAAccumulate(xn->value.data(), dp, wn->grad.data(), in, m, out);
+    }
+    if (bn != nullptr && bn->requires_grad) {
+      bn->EnsureGrad();
+      AccumulateBiasGrad(dp, m, out, bn->grad.data());
+    }
+  });
+}
+
+Variable DualLinearBias(const Variable& x, const Variable& wx,
+                        const Variable& h, const Variable& wh,
+                        const Variable& b) {
+  const Tensor& xv = x.value();
+  const Tensor& hv = h.value();
+  const int64_t m = xv.size(0), kx = xv.size(1), kh = hv.size(1);
+  const int64_t n = wx.value().size(1);
+  KT_CHECK_EQ(hv.size(0), m);
+  KT_CHECK_EQ(wx.value().size(0), kx);
+  KT_CHECK_EQ(wh.value().size(0), kh);
+  KT_CHECK_EQ(wh.value().size(1), n);
+  KT_CHECK_EQ(b.numel(), n);
+
+  Tensor z(Shape{m, n});
+  Gemm(xv.data(), wx.value().data(), z.data(), m, kx, n);
+  Tensor t(Shape{m, n});
+  Gemm(hv.data(), wh.value().data(), t.data(), m, kh, n);
+  // fl(fl(xwx + hwh) + bias): the composed Add(Add(..), bias) order.
+  const float* td = t.data();
+  const float* bias = b.value().data();
+  float* zd = z.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = zd + i * n;
+    const float* trow = td + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] = (row[j] + trow[j]) + bias[j];
+  }
+
+  return MakeOpNode(z, {x, wx, h, wh, b}, [](Node& self) {
+    Node* xn = self.inputs[0].get();
+    Node* wxn = self.inputs[1].get();
+    Node* hn = self.inputs[2].get();
+    Node* whn = self.inputs[3].get();
+    Node* bn = self.inputs[4].get();
+    const int64_t m = self.grad.size(0), n = self.grad.size(1);
+    const int64_t kx = xn->value.size(1), kh = hn->value.size(1);
+    const float* g = self.grad.data();
+    if (xn->requires_grad) {
+      xn->EnsureGrad();
+      GemmTransBAccumulate(g, wxn->value.data(), xn->grad.data(), m, n, kx);
+    }
+    if (wxn->requires_grad) {
+      wxn->EnsureGrad();
+      GemmTransAAccumulate(xn->value.data(), g, wxn->grad.data(), kx, m, n);
+    }
+    if (hn->requires_grad) {
+      hn->EnsureGrad();
+      GemmTransBAccumulate(g, whn->value.data(), hn->grad.data(), m, n, kh);
+    }
+    if (whn->requires_grad) {
+      whn->EnsureGrad();
+      GemmTransAAccumulate(hn->value.data(), g, whn->grad.data(), kh, m, n);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      AccumulateBiasGrad(g, m, n, bn->grad.data());
+    }
+  });
+}
+
+Variable LstmCellState(const Variable& z, const Variable& c_prev) {
+  const Tensor& zv = z.value();
+  const Tensor& cv = c_prev.value();
+  const int64_t b = cv.size(0), h = cv.size(1);
+  KT_CHECK_EQ(zv.size(0), b);
+  KT_CHECK_EQ(zv.size(1), 4 * h);
+
+  Tensor c_next(Shape{b, h});
+  // Saved gate activations [i|f|g] ([B, 3H]), reused by backward in place
+  // of the composed path's intermediate tensors.
+  Tensor gates(Shape{b, 3 * h});
+  {
+    const float* zd = zv.data();
+    const float* cd = cv.data();
+    float* od = c_next.data();
+    float* gd = gates.data();
+    for (int64_t r = 0; r < b; ++r) {
+      const float* zr = zd + r * 4 * h;
+      const float* cr = cd + r * h;
+      float* orow = od + r * h;
+      float* grow = gd + r * 3 * h;
+      for (int64_t j = 0; j < h; ++j) {
+        const float iv = SigmoidF(zr[j]);
+        const float fv = SigmoidF(zr[h + j]);
+        const float gv = std::tanh(zr[2 * h + j]);
+        const float fc = fv * cr[j];
+        const float ig = iv * gv;
+        orow[j] = fc + ig;
+        grow[j] = iv;
+        grow[h + j] = fv;
+        grow[2 * h + j] = gv;
+      }
+    }
+  }
+
+  return MakeOpNode(c_next, {z, c_prev}, [gates](Node& self) {
+    Node* zn = self.inputs[0].get();
+    Node* cn = self.inputs[1].get();
+    const int64_t b = self.grad.size(0), h = self.grad.size(1);
+    const float* g = self.grad.data();
+    const float* gt = gates.data();
+    const float* cd = cn->value.data();
+    if (zn->requires_grad) {
+      zn->EnsureGrad();
+      float* zg = zn->grad.data();
+      for (int64_t r = 0; r < b; ++r) {
+        const float* grow = g + r * h;
+        const float* gtr = gt + r * 3 * h;
+        const float* cr = cd + r * h;
+        float* zgr = zg + r * 4 * h;
+        for (int64_t j = 0; j < h; ++j) {
+          const float iv = gtr[j], fv = gtr[h + j], gv = gtr[2 * h + j];
+          zgr[j] += grow[j] * gv * (iv * (1.0f - iv));
+          zgr[h + j] += grow[j] * cr[j] * (fv * (1.0f - fv));
+          zgr[2 * h + j] += grow[j] * iv * (1.0f - gv * gv);
+          // o-block receives nothing from the cell state.
+        }
+      }
+    }
+    if (cn->requires_grad) {
+      cn->EnsureGrad();
+      float* cg = cn->grad.data();
+      for (int64_t r = 0; r < b; ++r) {
+        const float* grow = g + r * h;
+        const float* gtr = gt + r * 3 * h;
+        float* cgr = cg + r * h;
+        for (int64_t j = 0; j < h; ++j) cgr[j] += grow[j] * gtr[h + j];
+      }
+    }
+  });
+}
+
+Variable LstmCellOutput(const Variable& z, const Variable& c_next) {
+  const Tensor& zv = z.value();
+  const Tensor& cv = c_next.value();
+  const int64_t b = cv.size(0), h = cv.size(1);
+  KT_CHECK_EQ(zv.size(0), b);
+  KT_CHECK_EQ(zv.size(1), 4 * h);
+
+  Tensor h_next(Shape{b, h});
+  Tensor saved(Shape{b, 2 * h});  // [o|tanh(c')]
+  {
+    const float* zd = zv.data();
+    const float* cd = cv.data();
+    float* od = h_next.data();
+    float* sd = saved.data();
+    for (int64_t r = 0; r < b; ++r) {
+      const float* zr = zd + r * 4 * h;
+      const float* cr = cd + r * h;
+      float* orow = od + r * h;
+      float* srow = sd + r * 2 * h;
+      for (int64_t j = 0; j < h; ++j) {
+        const float ov = SigmoidF(zr[3 * h + j]);
+        const float tc = std::tanh(cr[j]);
+        orow[j] = ov * tc;
+        srow[j] = ov;
+        srow[h + j] = tc;
+      }
+    }
+  }
+
+  return MakeOpNode(h_next, {z, c_next}, [saved](Node& self) {
+    Node* zn = self.inputs[0].get();
+    Node* cn = self.inputs[1].get();
+    const int64_t b = self.grad.size(0), h = self.grad.size(1);
+    const float* g = self.grad.data();
+    const float* sd = saved.data();
+    if (zn->requires_grad) {
+      zn->EnsureGrad();
+      float* zg = zn->grad.data();
+      for (int64_t r = 0; r < b; ++r) {
+        const float* grow = g + r * h;
+        const float* srow = sd + r * 2 * h;
+        float* zgr = zg + r * 4 * h;
+        for (int64_t j = 0; j < h; ++j) {
+          const float ov = srow[j], tc = srow[h + j];
+          zgr[3 * h + j] += grow[j] * tc * (ov * (1.0f - ov));
+        }
+      }
+    }
+    if (cn->requires_grad) {
+      cn->EnsureGrad();
+      float* cg = cn->grad.data();
+      for (int64_t r = 0; r < b; ++r) {
+        const float* grow = g + r * h;
+        const float* srow = sd + r * 2 * h;
+        float* cgr = cg + r * h;
+        for (int64_t j = 0; j < h; ++j) {
+          const float ov = srow[j], tc = srow[h + j];
+          cgr[j] += grow[j] * ov * (1.0f - tc * tc);
+        }
+      }
+    }
+  });
+}
+
+Variable GruCellCombine(const Variable& zx, const Variable& zh,
+                        const Variable& h_prev) {
+  const Tensor& zxv = zx.value();
+  const Tensor& zhv = zh.value();
+  const Tensor& hv = h_prev.value();
+  const int64_t b = hv.size(0), h = hv.size(1);
+  KT_CHECK_EQ(zxv.size(0), b);
+  KT_CHECK_EQ(zxv.size(1), 3 * h);
+  KT_CHECK_EQ(zhv.size(0), b);
+  KT_CHECK_EQ(zhv.size(1), 3 * h);
+
+  Tensor h_next(Shape{b, h});
+  Tensor saved(Shape{b, 3 * h});  // [r|u|n]
+  {
+    const float* zxd = zxv.data();
+    const float* zhd = zhv.data();
+    const float* hd = hv.data();
+    float* od = h_next.data();
+    float* sd = saved.data();
+    for (int64_t r = 0; r < b; ++r) {
+      const float* zxr = zxd + r * 3 * h;
+      const float* zhr = zhd + r * 3 * h;
+      const float* hr = hd + r * h;
+      float* orow = od + r * h;
+      float* srow = sd + r * 3 * h;
+      for (int64_t j = 0; j < h; ++j) {
+        const float rv = SigmoidF(zxr[j] + zhr[j]);
+        const float uv = SigmoidF(zxr[h + j] + zhr[h + j]);
+        const float rn = rv * zhr[2 * h + j];
+        const float nv = std::tanh(zxr[2 * h + j] + rn);
+        const float omu = 1.0f - uv;
+        const float a = omu * nv;
+        const float c = uv * hr[j];
+        orow[j] = a + c;
+        srow[j] = rv;
+        srow[h + j] = uv;
+        srow[2 * h + j] = nv;
+      }
+    }
+  }
+
+  return MakeOpNode(h_next, {zx, zh, h_prev}, [saved](Node& self) {
+    Node* zxn = self.inputs[0].get();
+    Node* zhn = self.inputs[1].get();
+    Node* hn = self.inputs[2].get();
+    const int64_t b = self.grad.size(0), h = self.grad.size(1);
+    const float* g = self.grad.data();
+    const float* sd = saved.data();
+    const float* hd = hn->value.data();
+    const float* zhd = zhn->value.data();
+    const bool need_zx = zxn->requires_grad;
+    const bool need_zh = zhn->requires_grad;
+    const bool need_h = hn->requires_grad;
+    if (need_zx) zxn->EnsureGrad();
+    if (need_zh) zhn->EnsureGrad();
+    if (need_h) hn->EnsureGrad();
+    float* zxg = need_zx ? zxn->grad.data() : nullptr;
+    float* zhg = need_zh ? zhn->grad.data() : nullptr;
+    float* hg = need_h ? hn->grad.data() : nullptr;
+    for (int64_t r = 0; r < b; ++r) {
+      const float* grow = g + r * h;
+      const float* srow = sd + r * 3 * h;
+      const float* hr = hd + r * h;
+      const float* zhr = zhd + r * 3 * h;
+      for (int64_t j = 0; j < h; ++j) {
+        const float rv = srow[j], uv = srow[h + j], nv = srow[2 * h + j];
+        const float gj = grow[j];
+        // d pre-activation of u: g * (h - n) * u(1-u).
+        const float du = gj * (hr[j] - nv) * (uv * (1.0f - uv));
+        // d pre-activation of n: g * (1-u) * (1-n^2).
+        const float dn = gj * (1.0f - uv) * (1.0f - nv * nv);
+        // d pre-activation of r: dn * zh_n * r(1-r).
+        const float dr = dn * zhr[2 * h + j] * (rv * (1.0f - rv));
+        if (zxg != nullptr) {
+          float* zr = zxg + r * 3 * h;
+          zr[j] += dr;
+          zr[h + j] += du;
+          zr[2 * h + j] += dn;
+        }
+        if (zhg != nullptr) {
+          float* zr = zhg + r * 3 * h;
+          zr[j] += dr;
+          zr[h + j] += du;
+          zr[2 * h + j] += dn * rv;
+        }
+        if (hg != nullptr) hg[r * h + j] += gj * uv;
+      }
+    }
+  });
+}
 
 }  // namespace ag
 }  // namespace kt

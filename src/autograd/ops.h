@@ -67,6 +67,42 @@ Variable EmbeddingBagMean(const Variable& table,
 // identity when `train` is false or p == 0.
 Variable Dropout(const Variable& a, float p, Rng& rng, bool train);
 
+// ---- Fused ops (DESIGN.md §9) ----
+//
+// Each fused op computes what a chain of the primitive ops above would,
+// with one tape node and no intermediate tensors, and is bit-identical to
+// the composed chain (the epilogues replay the same per-element expressions
+// in the same order; autograd/ops.cc builds with -ffp-contract=off so no
+// FMA contraction can merge what the composed path rounds separately).
+
+// Activation epilogue selector for LinearBiasAct.
+enum class Act { kIdentity, kRelu, kSigmoid, kTanh };
+
+// y = act(x W + b): fused GEMM + bias + activation. x is [m, in], w is
+// [in, out], b is [out] or undefined (no bias). Backward feeds the three
+// gradients straight into the input/parameter grad buffers through the
+// transposed GEMM accumulators — zero temporaries besides act'.
+Variable LinearBiasAct(const Variable& x, const Variable& w,
+                       const Variable& b, Act act);
+
+// z = x wx + h wh + b, the packed RNN pre-activation ([B, G*H]).
+// Bit-identical to Add(Add(MatMul(x, wx), MatMul(h, wh)), b).
+Variable DualLinearBias(const Variable& x, const Variable& wx,
+                        const Variable& h, const Variable& wh,
+                        const Variable& b);
+
+// LSTM gate fusions over the packed pre-activation z = [i|f|g|o] ([B, 4H]):
+//   c' = sigmoid(f) * c + sigmoid(i) * tanh(g)   (LstmCellState)
+//   h' = sigmoid(o) * tanh(c')                   (LstmCellOutput)
+Variable LstmCellState(const Variable& z, const Variable& c_prev);
+Variable LstmCellOutput(const Variable& z, const Variable& c_next);
+
+// GRU combine over zx = x Wx + b and zh = h Wh (both [B, 3H], blocks
+// r|z|n): r = sigmoid(zx_r + zh_r), u = sigmoid(zx_z + zh_z),
+// n = tanh(zx_n + r * zh_n), h' = (1 - u) * n + u * h_prev.
+Variable GruCellCombine(const Variable& zx, const Variable& zh,
+                        const Variable& h_prev);
+
 // ---- Constants ----
 // Wraps a tensor as a non-differentiable graph input.
 Variable Constant(Tensor t);

@@ -152,11 +152,11 @@ TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
 
 ag::Variable TransformerBlock::FeedForward(const ag::Variable& x,
                                            const Context& ctx) const {
-  ag::Variable hidden = ag::Relu(ff1_.Forward(x));
+  ag::Variable hidden = ff1_.ForwardAct(x, ag::Act::kRelu);
   if (ctx.train && dropout_p_ > 0.0f) {
     hidden = ag::Dropout(hidden, dropout_p_, *ctx.rng, ctx.train);
   }
-  return ff2_.Forward(hidden);
+  return ff2_.ForwardAct(hidden, ag::Act::kIdentity);
 }
 
 ag::Variable TransformerBlock::Forward(const ag::Variable& x,

@@ -19,6 +19,14 @@ ag::Variable GRUCell::Forward(const ag::Variable& x,
                               const ag::Variable& h) const {
   KT_CHECK_EQ(x.shape().back(), input_size_);
   const int64_t n = hidden_size_;
+  if (FusedOpsEnabled()) {
+    // Fused per-step path: the gate math below collapses into one node;
+    // bit-identical to the composed chain.
+    ag::Variable zx =
+        ag::LinearBiasAct(x, w_x_, bias_, ag::Act::kIdentity);  // [B, 3h]
+    ag::Variable zh = ag::MatMul(h, w_h_);                      // [B, 3h]
+    return ag::GruCellCombine(zx, zh, h);
+  }
   ag::Variable zx = ag::Add(ag::MatMul(x, w_x_), bias_);  // [B, 3h]
   ag::Variable zh = ag::MatMul(h, w_h_);                  // [B, 3h]
 

@@ -30,5 +30,32 @@ ag::Variable Linear::Forward(const ag::Variable& x) const {
   return ag::Reshape(out, std::move(out_shape));
 }
 
+ag::Variable Linear::ForwardAct(const ag::Variable& x, ag::Act act) const {
+  const Shape& in_shape = x.shape();
+  KT_CHECK_GE(in_shape.size(), 1u);
+  KT_CHECK_EQ(in_shape.back(), in_features_);
+
+  Shape out_shape(in_shape.begin(), in_shape.end() - 1);
+  out_shape.push_back(out_features_);
+
+  if (FusedOpsEnabled()) {
+    ag::Variable flat = ag::Reshape(x, Shape{-1, in_features_});
+    return ag::Reshape(ag::LinearBiasAct(flat, weight_, bias_, act),
+                       std::move(out_shape));
+  }
+  ag::Variable out = Forward(x);
+  switch (act) {
+    case ag::Act::kIdentity:
+      return out;
+    case ag::Act::kRelu:
+      return ag::Relu(out);
+    case ag::Act::kSigmoid:
+      return ag::Sigmoid(out);
+    case ag::Act::kTanh:
+      return ag::Tanh(out);
+  }
+  return out;
+}
+
 }  // namespace nn
 }  // namespace kt

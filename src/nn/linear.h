@@ -17,6 +17,11 @@ class Linear : public Module {
   // `x` may be [*, in]; leading dimensions are preserved.
   ag::Variable Forward(const ag::Variable& x) const;
 
+  // act(x W + b) with the bias add and activation fused into the GEMM node
+  // when FusedOpsEnabled(); otherwise the composed Forward + activation
+  // chain. Both paths produce identical bits.
+  ag::Variable ForwardAct(const ag::Variable& x, ag::Act act) const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 

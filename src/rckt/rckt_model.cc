@@ -1,5 +1,6 @@
 #include "rckt/rckt_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
@@ -43,6 +44,38 @@ void PutRow(std::vector<int>& flat, const data::Batch& batch, int64_t b,
 //   * when dropout is live, each pass draws from its own Rng, pre-forked
 //     from the caller's stream in pass order — masks then never depend on
 //     which thread runs which pass.
+// True when dropout masks will actually be drawn this pass — the one case
+// where stacked and per-pass fan-out cannot share RNG streams, forcing the
+// per-pass path.
+bool DropoutLive(const nn::Context& ctx, float dropout) {
+  return ctx.train && ctx.rng != nullptr && dropout > 0.0f;
+}
+
+// Replicates a batch k times along the row dimension for a stacked fan-out
+// pass. Only the fields the generator path reads (questions, concept bags,
+// responses, lengths) are stacked; valid/targets are loss-side tensors that
+// never enter GenerateProbs.
+data::Batch StackBatch(const data::Batch& batch, int64_t k) {
+  data::Batch out;
+  out.batch_size = batch.batch_size * k;
+  out.max_len = batch.max_len;
+  out.questions.reserve(batch.questions.size() * static_cast<size_t>(k));
+  out.responses.reserve(batch.responses.size() * static_cast<size_t>(k));
+  out.concept_bags.reserve(batch.concept_bags.size() * static_cast<size_t>(k));
+  out.lengths.reserve(batch.lengths.size() * static_cast<size_t>(k));
+  for (int64_t rep = 0; rep < k; ++rep) {
+    out.questions.insert(out.questions.end(), batch.questions.begin(),
+                         batch.questions.end());
+    out.responses.insert(out.responses.end(), batch.responses.begin(),
+                         batch.responses.end());
+    out.concept_bags.insert(out.concept_bags.end(), batch.concept_bags.begin(),
+                            batch.concept_bags.end());
+    out.lengths.insert(out.lengths.end(), batch.lengths.begin(),
+                       batch.lengths.end());
+  }
+  return out;
+}
+
 void RunGeneratorPasses(
     int64_t count, const nn::Context& ctx, float dropout,
     const std::function<void(int64_t, const nn::Context&)>& pass) {
@@ -160,11 +193,12 @@ ag::Variable RCKT::GenerateProbs(const data::Batch& batch,
 
   ag::Variable h = encoder_->Encode(a, ctx);
   ag::Variable x = ag::Concat({h, e}, 2);  // [B, T, 2d]
-  ag::Variable mid = ag::Relu(mlp_hidden_.Forward(x));
+  ag::Variable mid = mlp_hidden_.ForwardAct(x, ag::Act::kRelu);
   if (ctx.train && config_.dropout > 0.0f) {
     mid = ag::Dropout(mid, config_.dropout, *ctx.rng, true);
   }
-  return ag::Reshape(ag::Sigmoid(mlp_out_.Forward(mid)), Shape{b, t});
+  return ag::Reshape(mlp_out_.ForwardAct(mid, ag::Act::kSigmoid),
+                     Shape{b, t});
 }
 
 std::vector<ag::Variable> RCKT::GenerateProbsFanOut(
@@ -173,6 +207,9 @@ std::vector<ag::Variable> RCKT::GenerateProbsFanOut(
     const nn::Context& ctx, const ag::Variable* probe) const {
   const int64_t k = static_cast<int64_t>(category_sets.size());
   KT_CHECK_GT(k, 0);
+  if (config_.stacked_fanout && k > 1 && !DropoutLive(ctx, config_.dropout)) {
+    return GenerateProbsStacked(batch, category_sets, ctx, probe);
+  }
   std::vector<ag::Variable> out(static_cast<size_t>(k));
   RunGeneratorPasses(k, ctx, config_.dropout,
                      [&](int64_t rep, const nn::Context& local) {
@@ -180,6 +217,31 @@ std::vector<ag::Variable> RCKT::GenerateProbsFanOut(
                            batch, *category_sets[static_cast<size_t>(rep)],
                            local, probe);
                      });
+  return out;
+}
+
+std::vector<ag::Variable> RCKT::GenerateProbsStacked(
+    const data::Batch& batch,
+    const std::vector<const std::vector<int>*>& category_sets,
+    const nn::Context& ctx, const ag::Variable* probe) const {
+  const int64_t k = static_cast<int64_t>(category_sets.size());
+  const int64_t b = batch.batch_size;
+  const size_t flat = static_cast<size_t>(b * batch.max_len);
+
+  data::Batch stacked = StackBatch(batch, k);
+  std::vector<int> cats;
+  cats.reserve(flat * static_cast<size_t>(k));
+  for (const std::vector<int>* set : category_sets) {
+    KT_CHECK_EQ(set->size(), flat);
+    cats.insert(cats.end(), set->begin(), set->end());
+  }
+
+  ag::Variable probs = GenerateProbs(stacked, cats, ctx, probe);  // [K*B, T]
+  std::vector<ag::Variable> out(static_cast<size_t>(k));
+  for (int64_t rep = 0; rep < k; ++rep) {
+    out[static_cast<size_t>(rep)] =
+        ag::Slice(probs, 0, rep * b, (rep + 1) * b);  // [B, T]
+  }
   return out;
 }
 
@@ -255,11 +317,18 @@ RCKT::InfluenceTensors RCKT::ComputeInfluencesExact(
   const int64_t target = t - 1;
   const size_t flat = static_cast<size_t>(b * t);
 
+  // Per-row response vectors, extracted once and shared by the factual pass
+  // and all t-1 counterfactual passes below.
+  std::vector<std::vector<int>> responses(static_cast<size_t>(b));
+  for (int64_t row = 0; row < b; ++row) {
+    responses[static_cast<size_t>(row)] = RowResponses(batch, row);
+  }
+
   // Factual pass: target masked, history factual; prediction read at target.
   std::vector<int> cats_f(flat);
   for (int64_t row = 0; row < b; ++row) {
     PutRow(cats_f, batch, row,
-           MaskedTargetCategories(RowResponses(batch, row), target));
+           MaskedTargetCategories(responses[static_cast<size_t>(row)], target));
   }
   ag::Variable p_f = GenerateProbs(batch, cats_f, ctx, nullptr);  // [B, T]
   // p(correct at target) per row, [B].
@@ -287,31 +356,69 @@ RCKT::InfluenceTensors RCKT::ComputeInfluencesExact(
     }
   }
 
+  // Builds the flattened category assignment for counterfactual position i.
+  const auto fill_counterfactual = [&](int64_t i, std::vector<int>& cats,
+                                       size_t offset) {
+    for (int64_t row = 0; row < b; ++row) {
+      const std::vector<int> row_cats = ForwardCounterfactualCategories(
+          responses[static_cast<size_t>(row)], target, i,
+          config_.use_monotonicity);
+      for (int64_t j = 0; j < t; ++j) {
+        cats[offset + static_cast<size_t>(batch.FlatIndex(row, j))] =
+            row_cats[static_cast<size_t>(j)];
+      }
+    }
+  };
+  // Reads "Delta at target" out of one [B, T] (or stacked-slice) pass.
+  // Correct i:  Delta+ = p_f - p_cf (drop in p(correct)).
+  // Incorrect i: Delta- = (1-p_f) - (1-p_cf) = p_cf - p_f.
+  const auto store_columns = [&](int64_t i, const ag::Variable& p_cf) {
+    ag::Variable pcf_target =
+        ag::Reshape(ag::Slice(p_cf, 1, target, target + 1), Shape{b});
+    plus_cols[static_cast<size_t>(i)] =
+        ag::Reshape(ag::Sub(pf_target, pcf_target), Shape{b, 1});
+    minus_cols[static_cast<size_t>(i)] =
+        ag::Reshape(ag::Sub(pcf_target, pf_target), Shape{b, 1});
+  };
+
   const ag::Variable zero = ag::Constant(Tensor::Zeros(Shape{b, 1}));
-  RunGeneratorPasses(
-      t, ctx, config_.dropout, [&](int64_t i, const nn::Context& local) {
-        if (i == target) {
-          plus_cols[static_cast<size_t>(i)] = zero;
-          minus_cols[static_cast<size_t>(i)] = zero;
-          return;
-        }
-        std::vector<int> cats_cf(flat);
-        for (int64_t row = 0; row < b; ++row) {
-          PutRow(cats_cf, batch, row,
-                 ForwardCounterfactualCategories(RowResponses(batch, row),
-                                                 target, i,
-                                                 config_.use_monotonicity));
-        }
-        ag::Variable p_cf = GenerateProbs(batch, cats_cf, local, nullptr);
-        ag::Variable pcf_target =
-            ag::Reshape(ag::Slice(p_cf, 1, target, target + 1), Shape{b});
-        // Correct i:  Delta+ = p_f - p_cf (drop in p(correct)).
-        // Incorrect i: Delta- = (1-p_f) - (1-p_cf) = p_cf - p_f.
-        plus_cols[static_cast<size_t>(i)] =
-            ag::Reshape(ag::Sub(pf_target, pcf_target), Shape{b, 1});
-        minus_cols[static_cast<size_t>(i)] =
-            ag::Reshape(ag::Sub(pcf_target, pf_target), Shape{b, 1});
-      });
+  plus_cols[static_cast<size_t>(target)] = zero;
+  minus_cols[static_cast<size_t>(target)] = zero;
+
+  if (config_.stacked_fanout && !DropoutLive(ctx, config_.dropout)) {
+    // Chunked stacking: positions [0, target) run as ceil(target/chunk)
+    // stacked passes of up to chunk*B rows each, fanned out across the
+    // pool. Row-wise ops make this bit-identical to one pass per position.
+    const int64_t chunk = std::max<int64_t>(1, config_.exact_stack_chunk);
+    const int64_t num_chunks = (target + chunk - 1) / chunk;
+    RunGeneratorPasses(
+        num_chunks, ctx, config_.dropout,
+        [&](int64_t ci, const nn::Context& local) {
+          const int64_t lo = ci * chunk;
+          const int64_t hi = std::min(target, lo + chunk);
+          const int64_t kk = hi - lo;
+          data::Batch stacked = StackBatch(batch, kk);
+          std::vector<int> cats(flat * static_cast<size_t>(kk));
+          for (int64_t i = lo; i < hi; ++i) {
+            fill_counterfactual(i, cats,
+                                static_cast<size_t>(i - lo) * flat);
+          }
+          ag::Variable p_cf =
+              GenerateProbs(stacked, cats, local, nullptr);  // [kk*B, T]
+          for (int64_t i = lo; i < hi; ++i) {
+            store_columns(
+                i, ag::Slice(p_cf, 0, (i - lo) * b, (i - lo + 1) * b));
+          }
+        });
+  } else {
+    RunGeneratorPasses(
+        t, ctx, config_.dropout, [&](int64_t i, const nn::Context& local) {
+          if (i == target) return;
+          std::vector<int> cats_cf(flat);
+          fill_counterfactual(i, cats_cf, 0);
+          store_columns(i, GenerateProbs(batch, cats_cf, local, nullptr));
+        });
+  }
 
   result.delta_plus_per_pos = ag::Concat(plus_cols, 1);    // [B, T]
   result.delta_minus_per_pos = ag::Concat(minus_cols, 1);  // [B, T]

@@ -1,17 +1,40 @@
 // Single-precision general matrix multiply kernels.
 //
-// The serial core uses a register-blocked, cache-friendly loop order (i-k-j
-// with accumulation into the output row) rather than naive i-j-k; this is
-// the single hottest kernel in training. Products above a size threshold
-// are row-blocked across the kt::parallel pool (see core/parallel.h); the
-// split is by output row with per-element update order unchanged, so
-// results are bit-identical for every KT_NUM_THREADS value.
+// Two kernel families share one floating-point contract:
+//
+//   * reference: plain loop kernels (i-k-j saxpy for the normal/TransA
+//     forms, row-dot for TransB). These define the per-element update
+//     order and are kept as the serial ground truth.
+//   * tiled: cache-blocked, register-tiled kernels. B is packed once into
+//     kNR-wide column panels; C is computed in kMR x kNR register tiles.
+//     The k dimension is never split: every C element is produced by one
+//     ascending-k accumulator chain, which is exactly the reference
+//     order, so the two families are bit-identical.
+//
+// Products above a size threshold are additionally row-blocked across the
+// kt::parallel pool (see core/parallel.h); the split is by output row with
+// per-element update order unchanged, so results are bit-identical for
+// every KT_NUM_THREADS value.
 #ifndef KT_TENSOR_GEMM_H_
 #define KT_TENSOR_GEMM_H_
 
 #include <cstdint>
 
 namespace kt {
+
+// Kernel selection. kAuto picks tiled kernels for shapes large enough to
+// amortize the pack, reference otherwise. The forced settings exist for the
+// equivalence tests and the before/after benchmarks; both families produce
+// identical bits for all shapes.
+enum class GemmKernel {
+  kAuto,
+  kReference,
+  kTiled,
+};
+
+// Process-wide kernel override (tests/benches only; default kAuto).
+void SetGemmKernel(GemmKernel kernel);
+GemmKernel GetGemmKernel();
 
 // C = A * B where A is [m, k], B is [k, n], C is [m, n], all row-major.
 // C is overwritten.

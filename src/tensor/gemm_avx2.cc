@@ -1,0 +1,123 @@
+// AVX2 build of the tiled GEMM micro kernel, selected at runtime by
+// gemm.cc when the CPU supports it (the default build stays portable
+// x86-64, so wide vectors must come from dispatch, not from build flags).
+//
+// This TU is compiled with -mavx2 -mno-fma -ffp-contract=off (see
+// CMakeLists.txt). FMA stays off deliberately: a contracted a*b+c rounds
+// once where the reference kernels round twice, which would break the
+// bit-identity contract between kernel families. Vector mul/add are
+// element-wise IEEE single precision, and each C element is still one
+// ascending-k accumulator chain, so results match the reference and the
+// portable tiled kernels bit for bit — wider registers change scheduling,
+// never values.
+//
+// The panel layout is shared with gemm.cc (kNR = 8 floats per k step), so
+// packing is ISA-independent; only the row-tile height differs (8 ymm
+// accumulator rows here vs 4x2 xmm there).
+#include "tensor/gemm_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kt {
+namespace internal {
+namespace {
+
+constexpr int kMR = 8;  // register rows (one ymm accumulator each)
+constexpr int kNR = kGemmPanelWidth;
+
+typedef float V8 __attribute__((vector_size(32)));
+
+inline V8 Load8(const float* p) {
+  V8 v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned-safe, compiles to vmovups
+  return v;
+}
+inline void Store8(float* p, V8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+// Full kMR x kNR tile. Same two chain shapes as the portable kernels:
+// kLoadC starts the accumulators from C, !kLoadC starts from zero and adds
+// to C once at the end (the TransB dot contract).
+template <bool kLoadC>
+inline void MicroTile(const float* a, int64_t lda, const float* bp, float* c,
+                      int64_t ldc, int64_t k) {
+  V8 acc[kMR];
+  for (int i = 0; i < kMR; ++i) acc[i] = kLoadC ? Load8(c + i * ldc) : V8{};
+  for (int64_t p = 0; p < k; ++p) {
+    const V8 b = Load8(bp + p * kNR);
+    for (int i = 0; i < kMR; ++i) {
+      const float s = a[i * lda + p];
+      const V8 av = {s, s, s, s, s, s, s, s};
+      acc[i] += av * b;
+    }
+  }
+  for (int i = 0; i < kMR; ++i) {
+    if (kLoadC) {
+      Store8(c + i * ldc, acc[i]);
+    } else {
+      Store8(c + i * ldc, Load8(c + i * ldc) + acc[i]);
+    }
+  }
+}
+
+// Edge tile with runtime extents (mr <= kMR, nr <= kNR); `bw` is the packed
+// panel width. Scalar: edges are a vanishing fraction of the work, and the
+// scalar expressions are the chain contract itself.
+template <bool kLoadC>
+inline void MicroTileEdge(const float* a, int64_t lda, const float* bp,
+                          int64_t bw, float* c, int64_t ldc, int64_t k,
+                          int64_t mr, int64_t nr) {
+  float acc[kMR][kNR];
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) acc[i][j] = kLoadC ? c[i * ldc + j] : 0.0f;
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = bp + p * bw;
+    for (int64_t i = 0; i < mr; ++i) {
+      const float a_val = a[i * lda + p];
+      for (int64_t j = 0; j < nr; ++j) acc[i][j] += a_val * b_row[j];
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) {
+      if (kLoadC) {
+        c[i * ldc + j] = acc[i][j];
+      } else {
+        c[i * ldc + j] += acc[i][j];
+      }
+    }
+  }
+}
+
+template <bool kLoadC>
+void TiledRows(const float* a, int64_t lda, const float* bp, float* c,
+               int64_t ldc, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, m - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min<int64_t>(kNR, n - j0);
+      const float* panel = bp + j0 * k;
+      float* c_tile = c + i0 * ldc + j0;
+      const float* a_tile = a + i0 * lda;
+      if (mr == kMR && nr == kNR) {
+        MicroTile<kLoadC>(a_tile, lda, panel, c_tile, ldc, k);
+      } else {
+        MicroTileEdge<kLoadC>(a_tile, lda, panel, nr, c_tile, ldc, k, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void TiledRowsAvx2(const float* a, int64_t lda, const float* bp, float* c,
+                   int64_t ldc, int64_t m, int64_t k, int64_t n, bool load_c) {
+  if (load_c) {
+    TiledRows<true>(a, lda, bp, c, ldc, m, k, n);
+  } else {
+    TiledRows<false>(a, lda, bp, c, ldc, m, k, n);
+  }
+}
+
+}  // namespace internal
+}  // namespace kt

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <utility>
+
 #include "autograd/grad_check.h"
 #include "tensor/tensor_ops.h"
 
@@ -285,6 +288,158 @@ TEST(GradCheckTest, CompositeExpressionMatchesNumeric) {
   ExpectGradOk(
       [](const auto& p) {
         return SumAll(MatMul(Sigmoid(MatMul(p[0], p[1])), p[2]));
+      },
+      params);
+}
+
+// ---- Fused ops (DESIGN.md §9) ----
+//
+// Each fused op must (1) match its composed primitive chain bit-for-bit in
+// the forward pass and (2) pass a numeric gradient check through its
+// single-node backward.
+
+bool BitEqualTensors(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+Variable ApplyActComposed(const Variable& v, Act act) {
+  switch (act) {
+    case Act::kIdentity:
+      return v;
+    case Act::kRelu:
+      return Relu(v);
+    case Act::kSigmoid:
+      return Sigmoid(v);
+    case Act::kTanh:
+      return Tanh(v);
+  }
+  return v;
+}
+
+TEST(FusedOpsTest, LinearBiasActMatchesComposedBitForBit) {
+  Rng rng(21);
+  Variable x = Param(Tensor::Uniform({9, 5}, -2, 2, rng));
+  Variable w = Param(Tensor::Uniform({5, 7}, -1, 1, rng));
+  Variable b = Param(Tensor::Uniform({7}, -1, 1, rng));
+  for (Act act : {Act::kIdentity, Act::kRelu, Act::kSigmoid, Act::kTanh}) {
+    Variable fused = LinearBiasAct(x, w, b, act);
+    Variable composed = ApplyActComposed(Add(MatMul(x, w), b), act);
+    EXPECT_TRUE(BitEqualTensors(fused.value(), composed.value()))
+        << "act=" << static_cast<int>(act);
+  }
+  // No-bias form.
+  Variable fused = LinearBiasAct(x, w, Variable(), Act::kSigmoid);
+  Variable composed = Sigmoid(MatMul(x, w));
+  EXPECT_TRUE(BitEqualTensors(fused.value(), composed.value()));
+}
+
+TEST(FusedOpsTest, LinearBiasActGradients) {
+  Rng rng(22);
+  for (Act act : {Act::kIdentity, Act::kRelu, Act::kSigmoid, Act::kTanh}) {
+    std::vector<Variable> params{Param(Tensor::Uniform({4, 3}, 0.1f, 2, rng)),
+                                 Param(Tensor::Uniform({3, 5}, -1, 1, rng)),
+                                 Param(Tensor::Uniform({5}, -1, 1, rng))};
+    ExpectGradOk(
+        [act](const auto& p) {
+          return SumAll(LinearBiasAct(p[0], p[1], p[2], act));
+        },
+        params);
+  }
+}
+
+TEST(FusedOpsTest, DualLinearBiasMatchesComposedAndGradients) {
+  Rng rng(23);
+  Variable x = Param(Tensor::Uniform({6, 4}, -1, 1, rng));
+  Variable wx = Param(Tensor::Uniform({4, 8}, -1, 1, rng));
+  Variable h = Param(Tensor::Uniform({6, 2}, -1, 1, rng));
+  Variable wh = Param(Tensor::Uniform({2, 8}, -1, 1, rng));
+  Variable b = Param(Tensor::Uniform({8}, -1, 1, rng));
+  Variable fused = DualLinearBias(x, wx, h, wh, b);
+  Variable composed = Add(Add(MatMul(x, wx), MatMul(h, wh)), b);
+  EXPECT_TRUE(BitEqualTensors(fused.value(), composed.value()));
+
+  std::vector<Variable> params{x, wx, h, wh, b};
+  ExpectGradOk(
+      [](const auto& p) {
+        return SumAll(DualLinearBias(p[0], p[1], p[2], p[3], p[4]));
+      },
+      params);
+}
+
+// Composed LSTM cell exactly as nn::LSTMCell's fallback path builds it.
+std::pair<Variable, Variable> ComposedLstmCell(const Variable& z,
+                                               const Variable& c,
+                                               int64_t h) {
+  Variable i_gate = Sigmoid(Slice(z, 1, 0, h));
+  Variable f_gate = Sigmoid(Slice(z, 1, h, 2 * h));
+  Variable g_gate = Tanh(Slice(z, 1, 2 * h, 3 * h));
+  Variable o_gate = Sigmoid(Slice(z, 1, 3 * h, 4 * h));
+  Variable c_next = Add(Mul(f_gate, c), Mul(i_gate, g_gate));
+  Variable h_next = Mul(o_gate, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+TEST(FusedOpsTest, LstmCellMatchesComposedBitForBit) {
+  Rng rng(24);
+  const int64_t h = 3;
+  Variable z = Param(Tensor::Uniform({5, 4 * h}, -2, 2, rng));
+  Variable c = Param(Tensor::Uniform({5, h}, -1, 1, rng));
+  Variable c_next = LstmCellState(z, c);
+  Variable h_next = LstmCellOutput(z, c_next);
+  auto [h_ref, c_ref] = ComposedLstmCell(z, c, h);
+  EXPECT_TRUE(BitEqualTensors(c_next.value(), c_ref.value()));
+  EXPECT_TRUE(BitEqualTensors(h_next.value(), h_ref.value()));
+}
+
+TEST(FusedOpsTest, LstmCellGradients) {
+  Rng rng(25);
+  const int64_t h = 2;
+  std::vector<Variable> params{Param(Tensor::Uniform({3, 4 * h}, -1, 1, rng)),
+                               Param(Tensor::Uniform({3, h}, -1, 1, rng))};
+  // Loss touches both h' and c' so every gate block gets gradient,
+  // including o through LstmCellOutput and the c' diamond.
+  ExpectGradOk(
+      [](const auto& p) {
+        Variable c_next = LstmCellState(p[0], p[1]);
+        Variable h_next = LstmCellOutput(p[0], c_next);
+        return SumAll(Add(h_next, c_next));
+      },
+      params);
+}
+
+// Composed GRU combine exactly as nn::GRUCell's fallback path builds it.
+Variable ComposedGruCombine(const Variable& zx, const Variable& zh,
+                            const Variable& h_prev, int64_t n) {
+  Variable r = Sigmoid(Add(Slice(zx, 1, 0, n), Slice(zh, 1, 0, n)));
+  Variable z = Sigmoid(Add(Slice(zx, 1, n, 2 * n), Slice(zh, 1, n, 2 * n)));
+  Variable candidate = Tanh(Add(Slice(zx, 1, 2 * n, 3 * n),
+                                Mul(r, Slice(zh, 1, 2 * n, 3 * n))));
+  Variable one_minus_z = Sub(Constant(Tensor::Ones(z.shape())), z);
+  return Add(Mul(one_minus_z, candidate), Mul(z, h_prev));
+}
+
+TEST(FusedOpsTest, GruCombineMatchesComposedBitForBit) {
+  Rng rng(26);
+  const int64_t n = 3;
+  Variable zx = Param(Tensor::Uniform({5, 3 * n}, -2, 2, rng));
+  Variable zh = Param(Tensor::Uniform({5, 3 * n}, -2, 2, rng));
+  Variable h = Param(Tensor::Uniform({5, n}, -1, 1, rng));
+  Variable fused = GruCellCombine(zx, zh, h);
+  Variable composed = ComposedGruCombine(zx, zh, h, n);
+  EXPECT_TRUE(BitEqualTensors(fused.value(), composed.value()));
+}
+
+TEST(FusedOpsTest, GruCombineGradients) {
+  Rng rng(27);
+  const int64_t n = 2;
+  std::vector<Variable> params{Param(Tensor::Uniform({3, 3 * n}, -1, 1, rng)),
+                               Param(Tensor::Uniform({3, 3 * n}, -1, 1, rng)),
+                               Param(Tensor::Uniform({3, n}, -1, 1, rng))};
+  ExpectGradOk(
+      [](const auto& p) {
+        return SumAll(GruCellCombine(p[0], p[1], p[2]));
       },
       params);
 }

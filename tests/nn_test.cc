@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -6,6 +7,7 @@
 #include "nn/adam.h"
 #include "nn/attention.h"
 #include "nn/embedding.h"
+#include "nn/gru.h"
 #include "nn/layer_norm.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
@@ -376,6 +378,61 @@ TEST(LossTest, GradCheckBothForms) {
       },
       params2);
   EXPECT_TRUE(r2.ok) << r2.max_abs_error;
+}
+
+// ---- Fused-vs-composed module paths (DESIGN.md §9) ----
+//
+// The fused forward paths behind SetFusedOpsEnabled must match the composed
+// op-per-node graphs bit-for-bit, values and parameter gradients included
+// where the graph structure is unchanged (values always; here we assert
+// values, which is the contract the golden influence tests rely on).
+
+class FusedToggleTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetFusedOpsEnabled(true); }
+
+  static bool BitEqual(const Tensor& a, const Tensor& b) {
+    return a.SameShape(b) &&
+           std::memcmp(a.data(), b.data(),
+                       sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+  }
+};
+
+TEST_F(FusedToggleTest, LinearForwardActMatchesComposed) {
+  Rng rng(31);
+  Linear linear(6, 4, rng);
+  ag::Variable x = ag::Constant(Tensor::Uniform({3, 5, 6}, -1, 1, rng));
+  for (ag::Act act : {ag::Act::kIdentity, ag::Act::kRelu, ag::Act::kSigmoid,
+                      ag::Act::kTanh}) {
+    SetFusedOpsEnabled(true);
+    ag::Variable fused = linear.ForwardAct(x, act);
+    SetFusedOpsEnabled(false);
+    ag::Variable composed = linear.ForwardAct(x, act);
+    EXPECT_TRUE(BitEqual(fused.value(), composed.value()))
+        << "act=" << static_cast<int>(act);
+  }
+}
+
+TEST_F(FusedToggleTest, LstmForwardMatchesComposed) {
+  Rng rng(32);
+  LSTM lstm(3, 5, rng);
+  Tensor x = Tensor::Uniform({2, 6, 3}, -1, 1, rng);
+  SetFusedOpsEnabled(true);
+  ag::Variable fused = lstm.Forward(ag::Constant(x));
+  SetFusedOpsEnabled(false);
+  ag::Variable composed = lstm.Forward(ag::Constant(x));
+  EXPECT_TRUE(BitEqual(fused.value(), composed.value()));
+}
+
+TEST_F(FusedToggleTest, GruForwardMatchesComposed) {
+  Rng rng(33);
+  GRU gru(3, 5, rng);
+  Tensor x = Tensor::Uniform({2, 6, 3}, -1, 1, rng);
+  SetFusedOpsEnabled(true);
+  ag::Variable fused = gru.Forward(ag::Constant(x));
+  SetFusedOpsEnabled(false);
+  ag::Variable composed = gru.Forward(ag::Constant(x));
+  EXPECT_TRUE(BitEqual(fused.value(), composed.value()));
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 #include <cmath>
+#include <cstring>
 #include <iterator>
 
 #include <gtest/gtest.h>
+
+#include "core/parallel.h"
 
 #include "data/simulator.h"
 #include "models/embedder.h"
@@ -426,6 +429,86 @@ TEST(RcktConfigTest, Table3LookupCoversAllCells) {
     }
   }
 }
+
+// ---- Stacked counterfactual fan-out A/B (DESIGN.md Sec. 9) ----
+//
+// The stacked fan-out replaces K independent generator passes with one
+// K*B-row pass. Every op on the generator path computes each output row
+// independently, so this is a pure scheduling change: scores and losses
+// must match the per-pass path bit for bit, at every thread count.
+
+bool BitEqualFloats(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+class StackedFanOutTest : public ::testing::TestWithParam<EncoderKind> {
+ protected:
+  void SetUp() override { saved_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_P(StackedFanOutTest, ScoresAndLossesBitIdenticalToPerPass) {
+  data::Dataset ds = TinyDataset();
+  data::Batch batch = SmallPrefixBatch(ds);
+
+  RcktConfig stacked_config = SmallRckt(GetParam());
+  stacked_config.stacked_fanout = true;
+  RcktConfig per_pass_config = SmallRckt(GetParam());
+  per_pass_config.stacked_fanout = false;
+
+  std::vector<float> reference_scores;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    // Fresh models per thread count: identical seeds give identical params,
+    // so any divergence below is the fan-out path, not training history.
+    RCKT stacked(ds.num_questions, ds.num_concepts, stacked_config);
+    RCKT per_pass(ds.num_questions, ds.num_concepts, per_pass_config);
+
+    auto s_stacked = stacked.ScoreTargets(batch);
+    auto s_per_pass = per_pass.ScoreTargets(batch);
+    EXPECT_TRUE(BitEqualFloats(s_stacked, s_per_pass))
+        << "approx scores diverge at threads=" << threads;
+
+    auto e_stacked = stacked.ScoreTargetsExact(batch);
+    auto e_per_pass = per_pass.ScoreTargetsExact(batch);
+    EXPECT_TRUE(BitEqualFloats(e_stacked, e_per_pass))
+        << "exact scores diverge at threads=" << threads;
+
+    // Training forward pass: the loss is computed before the optimizer
+    // update, so the first step's loss must agree bit for bit too (dropout
+    // is 0 in SmallRckt, so the stacked path stays active during training).
+    const float loss_stacked = stacked.TrainStep(batch);
+    const float loss_per_pass = per_pass.TrainStep(batch);
+    EXPECT_EQ(loss_stacked, loss_per_pass)
+        << "train loss diverges at threads=" << threads;
+
+    // And the PR 1 contract still holds on the stacked path itself: the
+    // same scores at every thread count.
+    if (reference_scores.empty()) {
+      reference_scores = s_stacked;
+    } else {
+      EXPECT_TRUE(BitEqualFloats(s_stacked, reference_scores))
+          << "stacked scores vary across thread counts at threads="
+          << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, StackedFanOutTest,
+                         ::testing::Values(EncoderKind::kDKT,
+                                           EncoderKind::kSAKT,
+                                           EncoderKind::kAKT),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EncoderKind::kDKT: return "DKT";
+                             case EncoderKind::kSAKT: return "SAKT";
+                             case EncoderKind::kAKT: return "AKT";
+                             default: return "GRU";
+                           }
+                         });
 
 // ---- End-to-end learning across all three encoders ----
 

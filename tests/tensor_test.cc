@@ -438,5 +438,94 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmParallelEquivalence,
                                            GemmCase{33, 17, 471},   //
                                            GemmCase{128, 128, 128}));
 
+// ---- Tiled-vs-reference kernel equivalence ----
+//
+// The tiled/packed kernels promise the same bits as the serial reference
+// loops for every shape: each C element is a single ascending-k accumulator
+// chain in both families. The sweep crosses awkward extents around the
+// register-tile sizes (kMR=4 rows, kNR=8 panel columns), plus empty dims,
+// and checks reference/tiled/auto at several thread counts against the
+// serial reference result.
+TEST(GemmKernelEquivalence, TiledAndAutoMatchReferenceBitForBit) {
+  const GemmKernel previous_kernel = GetGemmKernel();
+  const int previous_threads = GetNumThreads();
+  // Dims from {1, 2, 3, 7, 17, 64, 65} plus tile+-1 (3..5 around kMR, 7..9
+  // around kNR) and 0 for the empty cases.
+  const std::vector<int64_t> ms = {0, 1, 2, 3, 4, 5, 7, 8, 9, 17, 64, 65};
+  const std::vector<int64_t> ks = {0, 1, 3, 8, 17, 64};
+  const std::vector<int64_t> ns = {0, 1, 4, 7, 8, 9, 17, 65};
+  Rng rng(97);
+  auto fill = [&rng](std::vector<float>& v) {
+    for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  };
+  auto bits_equal = [](const std::vector<float>& x,
+                       const std::vector<float>& y) {
+    // Empty guard: data() of an empty vector may be null, and memcmp with a
+    // null pointer is UB even for length 0.
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), sizeof(float) * x.size()) == 0);
+  };
+  for (int64_t m : ms) {
+    for (int64_t k : ks) {
+      for (int64_t n : ns) {
+        std::vector<float> a(static_cast<size_t>(m * k));
+        std::vector<float> b(static_cast<size_t>(k * n));
+        std::vector<float> at(static_cast<size_t>(k * m));
+        std::vector<float> bt(static_cast<size_t>(n * k));
+        std::vector<float> seed(static_cast<size_t>(m * n));
+        fill(a), fill(b), fill(at), fill(bt), fill(seed);
+
+        struct Form {
+          const char* name;
+          std::function<void(std::vector<float>&)> run;
+        };
+        const std::vector<Form> forms = {
+            {"Gemm",
+             [&](std::vector<float>& out) {
+               Gemm(a.data(), b.data(), out.data(), m, k, n);
+             }},
+            {"GemmAccumulate",
+             [&](std::vector<float>& out) {
+               out = seed;
+               GemmAccumulate(a.data(), b.data(), out.data(), m, k, n);
+             }},
+            {"GemmTransAAccumulate",
+             [&](std::vector<float>& out) {
+               out = seed;
+               GemmTransAAccumulate(at.data(), b.data(), out.data(), m, k, n);
+             }},
+            {"GemmTransBAccumulate",
+             [&](std::vector<float>& out) {
+               out = seed;
+               GemmTransBAccumulate(a.data(), bt.data(), out.data(), m, k, n);
+             }},
+        };
+        for (const Form& form : forms) {
+          std::vector<float> reference(static_cast<size_t>(m * n));
+          SetGemmKernel(GemmKernel::kReference);
+          SetNumThreads(1);
+          form.run(reference);
+          for (GemmKernel kernel : {GemmKernel::kTiled, GemmKernel::kAuto}) {
+            SetGemmKernel(kernel);
+            for (int threads : {1, 2, 8}) {
+              SetNumThreads(threads);
+              std::vector<float> out(static_cast<size_t>(m * n));
+              form.run(out);
+              EXPECT_TRUE(bits_equal(out, reference))
+                  << form.name << " " << m << "x" << k << "x" << n
+                  << " diverges from serial reference (kernel="
+                  << (kernel == GemmKernel::kTiled ? "tiled" : "auto")
+                  << ", threads=" << threads << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+  SetGemmKernel(previous_kernel);
+  SetNumThreads(previous_threads);
+}
+
 }  // namespace
 }  // namespace kt
