@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "core/flags.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
 #include "core/table_printer.h"
@@ -29,6 +30,7 @@
 #include "models/ikt.h"
 #include "models/qikt.h"
 #include "models/sakt.h"
+#include "obs/obs_flags.h"
 #include "rckt/rckt_model.h"
 #include "rckt/rckt_trainer.h"
 
@@ -38,6 +40,47 @@ namespace bench {
 inline bool FullMode() {
   const char* env = std::getenv("KT_BENCH_FULL");
   return env != nullptr && env[0] == '1';
+}
+
+// Flags shared by every bench binary (and ktcli): --threads sizes the
+// kt::parallel pool, --obs / --trace-out / --run-log arm kt::obs telemetry
+// so a BENCH_*.json run carries the same observability artifacts as a
+// training run.
+inline bool IsCommonBenchFlag(const std::string& key) {
+  return key == "threads" || key == "obs" || key == "trace-out" ||
+         key == "run-log";
+}
+
+// Parses and applies the shared flags, then compacts argv so wrappers with
+// their own flag parsing (google-benchmark) never see them. Returns the
+// parser for bench-specific flags (e.g. --out).
+inline FlagParser InitBenchFlags(int* argc, char** argv) {
+  FlagParser flags;
+  const Status status = flags.Parse(*argc, argv);
+  KT_CHECK(status.ok()) << status.ToString();
+  obs::ApplyCommonObsFlags(ApplyCommonFlags(flags));
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    bool drop = false;
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      const size_t eq = key.find('=');
+      const bool has_value_inline = eq != std::string::npos;
+      if (has_value_inline) key = key.substr(0, eq);
+      if (IsCommonBenchFlag(key)) {
+        drop = true;
+        // "--key value" form: the value travels with the key.
+        if (!has_value_inline && i + 1 < *argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          ++i;
+        }
+      }
+    }
+    if (!drop) argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return flags;
 }
 
 struct BenchScale {

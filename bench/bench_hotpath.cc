@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "data/presets.h"
@@ -201,10 +202,8 @@ bool WriteJson(const std::string& path) {
 }  // namespace kt
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_hotpath.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
-  }
+  const kt::FlagParser flags = kt::bench::InitBenchFlags(&argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_hotpath.json");
   std::printf("hot-path before/after (threads=%d)\n", kt::GetNumThreads());
 
   std::printf("GEMM kernels (reference vs tiled):\n");

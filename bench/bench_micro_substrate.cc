@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "bench/bench_common.h"
 #include "core/parallel.h"
 #include "data/presets.h"
 #include "nn/attention.h"
@@ -296,6 +297,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 // google-benchmark's own context lines, and so results also land in
 // BENCH_micro_substrate.json (override the path with --json_out=<path>).
 int main(int argc, char** argv) {
+  // Strip the shared kt flags (--threads, --obs, --trace-out, --run-log)
+  // before google-benchmark sees argv; it rejects unrecognized arguments.
+  kt::bench::InitBenchFlags(&argc, argv);
   std::printf("kt::parallel threads: %d (KT_NUM_THREADS / --threads sweep "
               "benchmarks override per-run)\n",
               kt::GetNumThreads());

@@ -99,7 +99,8 @@ void Run() {
 }  // namespace bench
 }  // namespace kt
 
-int main() {
+int main(int argc, char** argv) {
+  kt::bench::InitBenchFlags(&argc, argv);
   kt::bench::Run();
   return 0;
 }

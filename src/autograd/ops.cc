@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
@@ -392,6 +393,7 @@ inline void AccumulateBiasGrad(const float* g, int64_t m, int64_t n,
 
 Variable LinearBiasAct(const Variable& x, const Variable& w,
                        const Variable& b, Act act) {
+  KT_OBS_SCOPE("fused/linear_bias_act");
   const Tensor& xv = x.value();
   const Tensor& wv = w.value();
   KT_CHECK_EQ(xv.shape().size(), 2u);
@@ -415,6 +417,7 @@ Variable LinearBiasAct(const Variable& x, const Variable& w,
   std::vector<Variable> inputs{x, w};
   if (has_bias) inputs.push_back(b);
   return MakeOpNode(y, inputs, [y, act, has_bias](Node& self) {
+    KT_OBS_SCOPE("fused/linear_bias_act_bwd");
     Node* xn = self.inputs[0].get();
     Node* wn = self.inputs[1].get();
     Node* bn = has_bias ? self.inputs[2].get() : nullptr;
@@ -467,6 +470,7 @@ Variable LinearBiasAct(const Variable& x, const Variable& w,
 Variable DualLinearBias(const Variable& x, const Variable& wx,
                         const Variable& h, const Variable& wh,
                         const Variable& b) {
+  KT_OBS_SCOPE("fused/dual_linear_bias");
   const Tensor& xv = x.value();
   const Tensor& hv = h.value();
   const int64_t m = xv.size(0), kx = xv.size(1), kh = hv.size(1);
@@ -492,6 +496,7 @@ Variable DualLinearBias(const Variable& x, const Variable& wx,
   }
 
   return MakeOpNode(z, {x, wx, h, wh, b}, [](Node& self) {
+    KT_OBS_SCOPE("fused/dual_linear_bias_bwd");
     Node* xn = self.inputs[0].get();
     Node* wxn = self.inputs[1].get();
     Node* hn = self.inputs[2].get();
@@ -524,6 +529,7 @@ Variable DualLinearBias(const Variable& x, const Variable& wx,
 }
 
 Variable LstmCellState(const Variable& z, const Variable& c_prev) {
+  KT_OBS_SCOPE("fused/lstm_cell_state");
   const Tensor& zv = z.value();
   const Tensor& cv = c_prev.value();
   const int64_t b = cv.size(0), h = cv.size(1);
@@ -559,6 +565,7 @@ Variable LstmCellState(const Variable& z, const Variable& c_prev) {
   }
 
   return MakeOpNode(c_next, {z, c_prev}, [gates](Node& self) {
+    KT_OBS_SCOPE("fused/lstm_cell_state_bwd");
     Node* zn = self.inputs[0].get();
     Node* cn = self.inputs[1].get();
     const int64_t b = self.grad.size(0), h = self.grad.size(1);
@@ -596,6 +603,7 @@ Variable LstmCellState(const Variable& z, const Variable& c_prev) {
 }
 
 Variable LstmCellOutput(const Variable& z, const Variable& c_next) {
+  KT_OBS_SCOPE("fused/lstm_cell_output");
   const Tensor& zv = z.value();
   const Tensor& cv = c_next.value();
   const int64_t b = cv.size(0), h = cv.size(1);
@@ -625,6 +633,7 @@ Variable LstmCellOutput(const Variable& z, const Variable& c_next) {
   }
 
   return MakeOpNode(h_next, {z, c_next}, [saved](Node& self) {
+    KT_OBS_SCOPE("fused/lstm_cell_output_bwd");
     Node* zn = self.inputs[0].get();
     Node* cn = self.inputs[1].get();
     const int64_t b = self.grad.size(0), h = self.grad.size(1);
@@ -661,6 +670,7 @@ Variable LstmCellOutput(const Variable& z, const Variable& c_next) {
 
 Variable GruCellCombine(const Variable& zx, const Variable& zh,
                         const Variable& h_prev) {
+  KT_OBS_SCOPE("fused/gru_cell_combine");
   const Tensor& zxv = zx.value();
   const Tensor& zhv = zh.value();
   const Tensor& hv = h_prev.value();
@@ -701,6 +711,7 @@ Variable GruCellCombine(const Variable& zx, const Variable& zh,
   }
 
   return MakeOpNode(h_next, {zx, zh, h_prev}, [saved](Node& self) {
+    KT_OBS_SCOPE("fused/gru_cell_combine_bwd");
     Node* zxn = self.inputs[0].get();
     Node* zhn = self.inputs[1].get();
     Node* hn = self.inputs[2].get();

@@ -5,6 +5,7 @@
 #include "core/binio.h"
 #include "core/crc32.h"
 #include "core/fileio.h"
+#include "obs/obs.h"
 
 namespace kt {
 namespace ckpt {
@@ -41,6 +42,12 @@ Status CheckpointWriter::Commit(const std::string& path) const {
   AppendPod(&file, Crc32(payload.data(), payload.size()));
   AppendPod(&file, static_cast<uint64_t>(payload.size()));
   file += payload;
+  if (obs::Enabled()) {
+    static obs::Counter* const commits = obs::Counter::Get("ckpt.commits");
+    static obs::Counter* const bytes = obs::Counter::Get("ckpt.bytes_written");
+    commits->Add(1);
+    bytes->Add(static_cast<int64_t>(file.size()));
+  }
   return AtomicWriteFile(path, file);
 }
 

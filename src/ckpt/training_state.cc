@@ -5,6 +5,7 @@
 #include "ckpt/ckpt.h"
 #include "core/binio.h"
 #include "nn/serialize.h"
+#include "obs/obs.h"
 
 namespace kt {
 namespace ckpt {
@@ -82,6 +83,11 @@ std::vector<Shape> ParameterShapes(const nn::Module& module) {
 }  // namespace
 
 Status SaveTrainingState(const TrainingState& state, const std::string& path) {
+  KT_OBS_SCOPE("ckpt/save");
+  if (obs::Enabled()) {
+    static obs::Counter* const saves = obs::Counter::Get("ckpt.saves");
+    saves->Add(1);
+  }
   KT_CHECK(state.module != nullptr);
   KT_CHECK(state.progress != nullptr);
 
@@ -132,6 +138,11 @@ Status SaveTrainingState(const TrainingState& state, const std::string& path) {
 }
 
 Status LoadTrainingState(const TrainingState& state, const std::string& path) {
+  KT_OBS_SCOPE("ckpt/load");
+  if (obs::Enabled()) {
+    static obs::Counter* const loads = obs::Counter::Get("ckpt.loads");
+    loads->Add(1);
+  }
   KT_CHECK(state.module != nullptr);
   KT_CHECK(state.progress != nullptr);
 

@@ -1,5 +1,6 @@
 #include "core/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "core/parallel.h"
@@ -46,20 +47,33 @@ std::string FlagParser::GetString(const std::string& key,
 int64_t FlagParser::GetInt(const std::string& key, int64_t fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  const char* start = it->second.c_str();
   char* end = nullptr;
-  const long long value = std::strtoll(it->second.c_str(), &end, 10);
-  KT_CHECK(end && *end == '\0')
+  errno = 0;
+  const long long value = std::strtoll(start, &end, 10);
+  // `end != start` rejects the empty value ("--key="): strtoll consumes
+  // nothing and leaves *end == '\0' at the start pointer, which the
+  // terminator check alone would accept as 0.
+  KT_CHECK(end != start && *end == '\0')
       << "flag --" << key << " expects an integer, got '" << it->second << "'";
+  KT_CHECK(errno != ERANGE)
+      << "flag --" << key << " value '" << it->second
+      << "' is out of range for a 64-bit integer";
   return value;
 }
 
 double FlagParser::GetDouble(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  const char* start = it->second.c_str();
   char* end = nullptr;
-  const double value = std::strtod(it->second.c_str(), &end);
-  KT_CHECK(end && *end == '\0')
+  errno = 0;
+  const double value = std::strtod(start, &end);
+  KT_CHECK(end != start && *end == '\0')
       << "flag --" << key << " expects a number, got '" << it->second << "'";
+  KT_CHECK(errno != ERANGE)
+      << "flag --" << key << " value '" << it->second
+      << "' is out of range for a double";
   return value;
 }
 
@@ -85,6 +99,18 @@ CommonFlagValues ApplyCommonFlags(const FlagParser& flags) {
   values.checkpoint_every = static_cast<int>(every);
   values.resume_path = flags.GetString("resume", "");
   values.checkpoint_path = flags.GetString("checkpoint", values.resume_path);
+  if (flags.Has("obs")) {
+    // "--obs" with no value parses as "true" (bare-flag form).
+    const std::string value = flags.GetString("obs", "on");
+    if (value == "on" || value == "true" || value == "1") {
+      values.obs_enabled = true;
+    } else {
+      KT_CHECK(value == "off" || value == "false" || value == "0")
+          << "flag --obs expects on/off, got '" << value << "'";
+    }
+  }
+  values.trace_path = flags.GetString("trace-out", "");
+  values.run_log_path = flags.GetString("run-log", "");
   return values;
 }
 

@@ -49,12 +49,25 @@ struct CommonFlagValues {
   // --resume <path>: restore training state from this checkpoint if it
   // exists and continue bit-identically to an uninterrupted run.
   std::string resume_path;
+  // --obs on|off: kt::obs counter/histogram recording plus an exit summary
+  // on stderr. Off by default; --trace-out / --run-log enable recording
+  // implicitly. Metrics, losses, and checkpoints are bit-identical either
+  // way (observability never touches compute).
+  bool obs_enabled = false;
+  // --trace-out <path>: write a Chrome trace-event JSON file (one track per
+  // kt::parallel worker) at exit; load it in chrome://tracing or Perfetto.
+  std::string trace_path;
+  // --run-log <path>: per-epoch JSONL telemetry (loss, AUC/ACC, tokens/sec,
+  // GEMM FLOPs, checkpoint latency, RSS), rewritten atomically per epoch.
+  std::string run_log_path;
 };
 
 // Applies the flags every binary shares — --threads N (overrides the
 // KT_NUM_THREADS environment variable for the kt::parallel pool) takes
-// effect immediately — and returns the checkpoint/resume values for the
-// caller to wire into its trainer options.
+// effect immediately — and returns the checkpoint/resume and observability
+// values for the caller to wire into its trainer options. The observability
+// values only take effect once passed to obs::ApplyCommonObsFlags
+// (src/obs/obs_flags.h); kt_core itself has no kt_obs dependency.
 CommonFlagValues ApplyCommonFlags(const FlagParser& flags);
 
 }  // namespace kt

@@ -1,17 +1,39 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/check.h"
+#include "obs/obs.h"
 
 namespace kt {
 namespace eval {
+namespace {
+
+// A NaN score would break the strict-weak-ordering contract of the sort
+// comparator below (UB, silently corrupted rankings); an Inf score means
+// the model diverged. Both are caught at the door — counted for telemetry,
+// then aborted with the offending index so the diverged run is debuggable
+// instead of producing a garbage AUC.
+void CheckScoreFinite(float score, size_t index) {
+  if (std::isfinite(score)) return;
+  static obs::Counter* const nonfinite =
+      obs::Counter::Get("metrics.nonfinite_scores");
+  nonfinite->Add(1);
+  KT_CHECK(false) << "non-finite prediction score " << score << " at index "
+                  << index
+                  << " (diverged model?); AUC/ACC over NaN/Inf scores would "
+                     "be meaningless";
+}
+
+}  // namespace
 
 double ComputeAuc(const std::vector<float>& scores,
                   const std::vector<int>& labels) {
   KT_CHECK_EQ(scores.size(), labels.size());
   const size_t n = scores.size();
+  for (size_t i = 0; i < n; ++i) CheckScoreFinite(scores[i], i);
   int64_t positives = 0;
   for (int y : labels) positives += y;
   const int64_t negatives = static_cast<int64_t>(n) - positives;
@@ -67,6 +89,7 @@ void MetricAccumulator::Add(const Tensor& probs, const Tensor& targets,
 }
 
 void MetricAccumulator::AddOne(float score, int label) {
+  CheckScoreFinite(score, scores_.size());
   scores_.push_back(score);
   labels_.push_back(label);
 }

@@ -10,7 +10,10 @@ namespace kt {
 namespace eval {
 
 // Area under the ROC curve via the rank statistic (ties share ranks).
-// Returns 0.5 when either class is absent.
+// Returns 0.5 when either class is absent. Aborts with a diagnostic (and
+// bumps the "metrics.nonfinite_scores" kt::obs counter) on NaN/Inf scores:
+// a NaN would void the sort comparator's strict weak ordering and silently
+// corrupt the ranking.
 double ComputeAuc(const std::vector<float>& scores,
                   const std::vector<int>& labels);
 
@@ -22,7 +25,7 @@ double ComputeAcc(const std::vector<float>& scores,
 class MetricAccumulator {
  public:
   // `probs`, `targets`, `mask` share one shape; entries with mask != 0 are
-  // recorded.
+  // recorded. Non-finite scores abort with a diagnostic (see ComputeAuc).
   void Add(const Tensor& probs, const Tensor& targets, const Tensor& mask);
   void AddOne(float score, int label);
 

@@ -6,16 +6,20 @@
 #include "core/fileio.h"
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "core/timer.h"
 #include "data/batch.h"
 #include "eval/metrics.h"
 #include "models/neural_base.h"
 #include "nn/module.h"
+#include "obs/obs.h"
+#include "obs/runlog.h"
 
 namespace kt {
 namespace eval {
 
 EvalResult Evaluate(models::KTModel& model, const data::Dataset& dataset,
                     int64_t batch_size) {
+  KT_OBS_SCOPE("eval/evaluate");
   MetricAccumulator accumulator;
   Rng rng(1);  // unused: evaluation never shuffles
   data::BatchIterator it(dataset, batch_size, rng, /*shuffle=*/false);
@@ -111,13 +115,18 @@ TrainResult TrainAndEvaluate(models::KTModel& model,
         progress.epochs_since_best >= options.patience) {
       break;
     }
+    WallTimer epoch_timer;
+    const int64_t flops_before =
+        obs::Enabled() ? obs::Counter::Get("gemm.flops")->Value() : 0;
     data::BatchIterator it(split.train, options.batch_size, shuffle_rng,
                            /*shuffle=*/true);
     data::Batch batch;
     double loss_sum = 0.0;
     int64_t batches = 0;
+    int64_t tokens = 0;
     while (it.Next(&batch)) {
       loss_sum += model.TrainBatch(batch);
+      tokens += batch.batch_size * batch.max_len;
       ++batches;
     }
     ++progress.epochs_run;
@@ -140,12 +149,29 @@ TrainResult TrainAndEvaluate(models::KTModel& model,
       ++progress.epochs_since_best;
     }
     progress.next_epoch = epoch + 1;
+    double ckpt_ms = 0.0;
     if (ckpt_active && want_ckpt &&
         (epoch + 1) % options.checkpoint_every == 0) {
+      WallTimer ckpt_timer;
       const Status status =
           ckpt::SaveTrainingState(snapshot, options.checkpoint_path);
       KT_CHECK(status.ok()) << "checkpoint to " << options.checkpoint_path
                             << " failed: " << status.ToString();
+      ckpt_ms = ckpt_timer.ElapsedMs();
+    }
+    if (obs::RunLogActive()) {
+      obs::RunLogEntry entry;
+      entry.run = model.name();
+      entry.epoch = epoch;
+      entry.train_loss = loss_sum / std::max<int64_t>(batches, 1);
+      entry.val_auc = val.auc;
+      entry.val_acc = val.acc;
+      entry.epoch_ms = epoch_timer.ElapsedMs();
+      entry.tokens = tokens;
+      entry.gemm_flops =
+          obs::Counter::Get("gemm.flops")->Value() - flops_before;
+      entry.ckpt_ms = ckpt_ms;
+      obs::AppendRunLogEntry(entry);
     }
   }
 

@@ -1,0 +1,54 @@
+#include "obs/obs_flags.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "obs/obs.h"
+#include "obs/runlog.h"
+#include "obs/trace.h"
+
+namespace kt {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_print_summary{false};
+std::atomic<bool> g_flushed{false};
+
+void AtExitHook() { FlushObservability(); }
+
+}  // namespace
+
+void ApplyCommonObsFlags(const CommonFlagValues& values) {
+  const bool any = values.obs_enabled || !values.trace_path.empty() ||
+                   !values.run_log_path.empty();
+  if (values.obs_enabled) {
+    SetEnabled(true);
+    g_print_summary.store(true, std::memory_order_relaxed);
+  }
+  if (!values.run_log_path.empty()) SetRunLogPath(values.run_log_path);
+  if (!values.trace_path.empty()) StartTracing(values.trace_path);
+  if (any) {
+    static bool registered = [] {
+      std::atexit(AtExitHook);
+      return true;
+    }();
+    (void)registered;
+    g_flushed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void FlushObservability() {
+  if (g_flushed.exchange(true, std::memory_order_relaxed)) return;
+  const Status status = StopTracing();
+  if (!status.ok()) {
+    KT_LOG(WARNING) << "trace flush failed: " << status.ToString();
+  }
+  if (g_print_summary.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "%s", SummaryString().c_str());
+  }
+}
+
+}  // namespace obs
+}  // namespace kt

@@ -1,0 +1,28 @@
+// Wires the shared observability flags (--obs, --trace-out, --run-log,
+// parsed by kt::ApplyCommonFlags) into the kt::obs runtime.
+//
+// Binaries call ApplyCommonObsFlags(values) once, right after
+// ApplyCommonFlags. It enables metric recording, starts tracing, arms the
+// run log, and registers an atexit hook that flushes the trace file and —
+// when --obs on was explicit — prints the counter/histogram summary to
+// stderr. Lives outside kt_core so the flag parser itself stays free of an
+// obs dependency (kt_obs links kt_core, not the other way around).
+#ifndef KT_OBS_OBS_FLAGS_H_
+#define KT_OBS_OBS_FLAGS_H_
+
+#include "core/flags.h"
+
+namespace kt {
+namespace obs {
+
+void ApplyCommonObsFlags(const CommonFlagValues& values);
+
+// The atexit body: StopTracing() (writes --trace-out) and the optional
+// summary print. Idempotent; exposed for tests and for binaries that want
+// to flush before exit.
+void FlushObservability();
+
+}  // namespace obs
+}  // namespace kt
+
+#endif  // KT_OBS_OBS_FLAGS_H_

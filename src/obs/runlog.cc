@@ -1,0 +1,108 @@
+#include "obs/runlog.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "core/fileio.h"
+#include "core/logging.h"
+#include "obs/obs.h"
+
+namespace kt {
+namespace obs {
+namespace {
+
+// Run-log state: path + every line appended so far (the file is rewritten
+// whole on each append so the on-disk artifact is always complete).
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& PathStorage() {
+  static auto* s = new std::string();
+  return *s;
+}
+
+std::string& Lines() {
+  static auto* s = new std::string();
+  return *s;
+}
+
+// Minimal JSON string escaping for run tags (quotes, backslashes, control
+// bytes); tags are model names, so this rarely fires.
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetRunLogPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PathStorage() = path;
+  Lines().clear();
+  if (!path.empty()) SetEnabled(true);
+}
+
+const std::string& RunLogPath() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return PathStorage();
+}
+
+bool RunLogActive() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return !PathStorage().empty();
+}
+
+void AppendRunLogEntry(const RunLogEntry& entry) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (PathStorage().empty()) return;
+  const double seconds = entry.epoch_ms / 1000.0;
+  const double tokens_per_sec =
+      seconds > 0.0 ? static_cast<double>(entry.tokens) / seconds : 0.0;
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"run\":\"%s\",\"epoch\":%lld,\"train_loss\":%.9g,"
+      "\"val_auc\":%.9g,\"val_acc\":%.9g,\"epoch_ms\":%.3f,"
+      "\"tokens\":%lld,\"tokens_per_sec\":%.1f,\"gemm_flops\":%lld,"
+      "\"ckpt_ms\":%.3f,\"rss_bytes\":%lld}\n",
+      EscapeJson(entry.run).c_str(), static_cast<long long>(entry.epoch),
+      entry.train_loss, entry.val_auc, entry.val_acc, entry.epoch_ms,
+      static_cast<long long>(entry.tokens), tokens_per_sec,
+      static_cast<long long>(entry.gemm_flops), entry.ckpt_ms,
+      static_cast<long long>(CurrentRssBytes()));
+  Lines() += line;
+  const Status status = AtomicWriteFile(PathStorage(), Lines());
+  if (!status.ok()) {
+    // Telemetry must never kill a training run; warn and keep going.
+    KT_LOG(WARNING) << "run log write to " << PathStorage()
+                    << " failed: " << status.ToString();
+  }
+}
+
+void ResetRunLog() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PathStorage().clear();
+  Lines().clear();
+}
+
+}  // namespace obs
+}  // namespace kt

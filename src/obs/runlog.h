@@ -1,0 +1,57 @@
+// Per-epoch JSONL run log.
+//
+// When a path is set (--run-log), the training loops append one JSON object
+// per epoch: loss, validation AUC/ACC, wall time, token throughput, GEMM
+// FLOPs performed during the epoch (from the kernel-layer counters),
+// checkpoint commit latency, and process RSS. The file is rewritten through
+// AtomicWriteFile after every append, so a kill at any point leaves a
+// complete, parseable log of every finished epoch — the same crash contract
+// as kt::ckpt, which the log is designed to sit next to.
+//
+// Schema (one object per line; tools/obs_check.cc validates it):
+//   {"run":str, "epoch":int, "train_loss":num, "val_auc":num,
+//    "val_acc":num, "epoch_ms":num, "tokens":int, "tokens_per_sec":num,
+//    "gemm_flops":int, "ckpt_ms":num, "rss_bytes":int}
+// "ckpt_ms" is 0 on epochs without a checkpoint commit. Forward evolution
+// adds keys; existing keys are never renamed or retyped.
+#ifndef KT_OBS_RUNLOG_H_
+#define KT_OBS_RUNLOG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kt {
+namespace obs {
+
+// Arms the run log (empty path disarms). Truncates any previous in-memory
+// lines; the file is created on the first Append. Also enables kt::obs
+// recording (the log reads the GEMM FLOP counters).
+void SetRunLogPath(const std::string& path);
+const std::string& RunLogPath();
+bool RunLogActive();
+
+// One epoch record. The trainers fill this; fields they cannot know (e.g.
+// rss) are stamped by AppendRunLogEntry.
+struct RunLogEntry {
+  std::string run;  // model / trainer tag
+  int64_t epoch = 0;
+  double train_loss = 0.0;
+  double val_auc = 0.0;
+  double val_acc = 0.0;
+  double epoch_ms = 0.0;
+  int64_t tokens = 0;        // interactions consumed by training this epoch
+  int64_t gemm_flops = 0;    // kernel-layer FLOPs spent this epoch
+  double ckpt_ms = 0.0;      // checkpoint commit latency (0 = no commit)
+};
+
+// Serializes `entry` (plus tokens_per_sec and rss_bytes) as one JSONL line
+// and atomically rewrites the log file. No-op when no path is set.
+void AppendRunLogEntry(const RunLogEntry& entry);
+
+// Drops buffered lines and disarms (tests).
+void ResetRunLog();
+
+}  // namespace obs
+}  // namespace kt
+
+#endif  // KT_OBS_RUNLOG_H_

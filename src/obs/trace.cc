@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "core/fileio.h"
+#include "obs/obs.h"
+
+namespace kt {
+namespace obs {
+namespace {
+
+constexpr size_t kMaxTraceEventsPerThread = 1 << 20;
+
+struct TraceEvent {
+  const char* name;  // string literal supplied by KT_OBS_SCOPE
+  double ts_us;      // relative to trace start
+  double dur_us;
+  int tid;
+};
+
+// Per-thread event buffer. The owning thread appends; the flushing thread
+// reads under the same mutex. Registered once in a global list.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+std::atomic<bool> g_tracing{false};
+std::atomic<double> g_trace_start_us{0.0};
+
+std::mutex& GlobalMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// All thread buffers ever created (never freed: threads outlive regions and
+// buffers are tiny when unused).
+std::vector<ThreadBuffer*>& AllBuffers() {
+  static auto* v = new std::vector<ThreadBuffer*>();
+  return *v;
+}
+
+std::string& TracePath() {
+  static auto* s = new std::string();
+  return *s;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    b->tid = internal::ThreadSlot();
+    std::lock_guard<std::mutex> lock(GlobalMutex());
+    AllBuffers().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEventJson(std::string* out, const TraceEvent& event) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"name\":\"%s\",\"cat\":\"kt\",\"ph\":\"X\",\"pid\":1,"
+                "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                event.name, event.tid, event.ts_us, event.dur_us);
+  *out += line;
+}
+
+}  // namespace
+
+bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
+
+void StartTracing(const std::string& path) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  TracePath() = path;
+  for (ThreadBuffer* buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  g_trace_start_us.store(NowUs(), std::memory_order_relaxed);
+  SetEnabled(true);
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+Status WriteTrace(const std::string& path) {
+  // Snapshot every buffer, then render outside the buffer locks.
+  std::vector<TraceEvent> events;
+  std::vector<int> tids;
+  {
+    std::lock_guard<std::mutex> lock(GlobalMutex());
+    for (ThreadBuffer* buffer : AllBuffers()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (buffer->events.empty()) continue;
+      tids.push_back(buffer->tid);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+
+  std::string json;
+  json.reserve(events.size() * 96 + 256);
+  json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first: track 0 is the main thread (first thread
+  // slot ever assigned), everything else is a kt::parallel pool worker.
+  for (int tid : tids) {
+    if (!first) json += ",";
+    first = false;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s%d\"}}",
+                  tid, tid == 0 ? "main" : "worker-", tid);
+    // "main0" would be ugly; track 0 is just "main".
+    if (tid == 0) {
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":0,\"args\":{\"name\":\"main\"}}");
+    }
+    json += line;
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    AppendEventJson(&json, event);
+  }
+  json += "]}\n";
+  return AtomicWriteFile(path, json);
+}
+
+Status StopTracing() {
+  if (!TracingActive()) return Status::Ok();
+  g_tracing.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(GlobalMutex());
+    path = TracePath();
+  }
+  if (path.empty()) return Status::Ok();
+  return WriteTrace(path);
+}
+
+namespace internal {
+
+void TraceComplete(const char* name, double start_us, double dur_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxTraceEventsPerThread) {
+    static Counter* const dropped = Counter::Get("obs.trace.dropped");
+    dropped->Add(1);
+    return;
+  }
+  buffer.events.push_back(
+      {name, start_us - g_trace_start_us.load(std::memory_order_relaxed),
+       dur_us, buffer.tid});
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace kt

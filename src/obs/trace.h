@@ -1,0 +1,57 @@
+// Chrome trace-event JSON collection (chrome://tracing / Perfetto "load
+// legacy trace" compatible).
+//
+// StartTracing(path) arms collection and implicitly enables kt::obs
+// recording; every KT_OBS_SCOPE that closes while tracing is active appends
+// one complete ("ph":"X") slice to the calling thread's buffer. Threads are
+// mapped to stable track ids in first-use order — the main thread is track
+// 0 ("main"), each kt::parallel pool worker gets its own track
+// ("worker-N") — so a fan-out renders as parallel slices across tracks.
+//
+// StopTracing() merges the per-thread buffers and atomically writes
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+// through AtomicWriteFile; a crash mid-run loses the trace but can never
+// leave a torn file under the target name. Timestamps are microseconds
+// since StartTracing().
+//
+// Event names must be string literals (they are stored by pointer until
+// flush). Collection is bounded: after kMaxTraceEvents per thread, further
+// slices are dropped and counted in the "obs.trace.dropped" counter.
+#ifndef KT_OBS_TRACE_H_
+#define KT_OBS_TRACE_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace kt {
+namespace obs {
+
+// True while a StartTracing() collection is running.
+bool TracingActive();
+
+// Begins collection into memory; `path` is remembered for StopTracing().
+// Also turns on SetEnabled(true) (timers feed the trace). Starting while
+// already active restarts the clock and drops buffered events.
+void StartTracing(const std::string& path);
+
+// Stops collection and writes the JSON file. No-op Ok() when not tracing.
+Status StopTracing();
+
+// Writes the buffered events to `path` without stopping collection
+// (obs_flags' atexit hook uses StopTracing; tests use this to inspect).
+Status WriteTrace(const std::string& path);
+
+namespace internal {
+
+// Appends one complete slice on the calling thread's track. `start_us` is
+// the scope start in absolute steady_clock microseconds (converted to
+// trace-relative internally); `dur_us` the duration. Called by
+// ScopedTimer::Finish only while TracingActive().
+void TraceComplete(const char* name, double start_us, double dur_us);
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace kt
+
+#endif  // KT_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "core/parallel.h"
 #include "nn/losses.h"
+#include "obs/obs.h"
 #include "rckt/counterfactual.h"
 #include "tensor/tensor_ops.h"
 
@@ -207,9 +208,14 @@ std::vector<ag::Variable> RCKT::GenerateProbsFanOut(
     const nn::Context& ctx, const ag::Variable* probe) const {
   const int64_t k = static_cast<int64_t>(category_sets.size());
   KT_CHECK_GT(k, 0);
+  if (obs::Enabled()) {
+    static obs::Counter* const passes = obs::Counter::Get("rckt.fanout_passes");
+    passes->Add(k);
+  }
   if (config_.stacked_fanout && k > 1 && !DropoutLive(ctx, config_.dropout)) {
     return GenerateProbsStacked(batch, category_sets, ctx, probe);
   }
+  KT_OBS_SCOPE("rckt/fanout_pooled");
   std::vector<ag::Variable> out(static_cast<size_t>(k));
   RunGeneratorPasses(k, ctx, config_.dropout,
                      [&](int64_t rep, const nn::Context& local) {
@@ -224,6 +230,7 @@ std::vector<ag::Variable> RCKT::GenerateProbsStacked(
     const data::Batch& batch,
     const std::vector<const std::vector<int>*>& category_sets,
     const nn::Context& ctx, const ag::Variable* probe) const {
+  KT_OBS_SCOPE("rckt/fanout_stacked");
   const int64_t k = static_cast<int64_t>(category_sets.size());
   const int64_t b = batch.batch_size;
   const size_t flat = static_cast<size_t>(b * batch.max_len);
@@ -501,6 +508,7 @@ ag::Variable RCKT::BuildLoss(const data::Batch& batch,
 }
 
 float RCKT::RunTrainStep(const data::Batch& prefix_batch, bool exact) {
+  KT_OBS_SCOPE("rckt/train_step");
   nn::Context ctx{/*train=*/true, &rng_};
   InfluenceTensors influences =
       exact ? ComputeInfluencesExact(prefix_batch, ctx)
@@ -540,6 +548,7 @@ std::vector<float> RCKT::ScoreFromInfluences(
 }
 
 std::vector<float> RCKT::ScoreTargets(const data::Batch& prefix_batch) {
+  KT_OBS_SCOPE("rckt/score_targets");
   ag::NoGradGuard no_grad;
   nn::Context ctx;
   return ScoreFromInfluences(ComputeInfluences(prefix_batch, ctx, nullptr),

@@ -5,7 +5,10 @@
 #include "ckpt/training_state.h"
 #include "core/fileio.h"
 #include "core/logging.h"
+#include "core/timer.h"
 #include "eval/metrics.h"
+#include "obs/obs.h"
+#include "obs/runlog.h"
 
 namespace kt {
 namespace rckt {
@@ -111,13 +114,18 @@ RcktTrainResult TrainAndEvaluateRckt(RCKT& model,
         progress.epochs_since_best >= options.patience) {
       break;
     }
+    WallTimer epoch_timer;
+    const int64_t flops_before =
+        obs::Enabled() ? obs::Counter::Get("gemm.flops")->Value() : 0;
     double loss_sum = 0.0;
     int64_t batches = 0;
+    int64_t tokens = 0;
     for (const auto& group : GroupIntoBatches(
              train_samples, options.batch_size, &shuffle_rng)) {
       data::Batch batch = MakePrefixBatch(group);
       loss_sum += options.exact ? model.TrainStepExact(batch)
                                 : model.TrainStep(batch);
+      tokens += batch.batch_size * batch.max_len;
       ++batches;
     }
     ++progress.epochs_run;
@@ -141,11 +149,28 @@ RcktTrainResult TrainAndEvaluateRckt(RCKT& model,
       ++progress.epochs_since_best;
     }
     progress.next_epoch = epoch + 1;
+    double ckpt_ms = 0.0;
     if (want_ckpt && (epoch + 1) % options.checkpoint_every == 0) {
+      WallTimer ckpt_timer;
       const Status status =
           ckpt::SaveTrainingState(snapshot, options.checkpoint_path);
       KT_CHECK(status.ok()) << "checkpoint to " << options.checkpoint_path
                             << " failed: " << status.ToString();
+      ckpt_ms = ckpt_timer.ElapsedMs();
+    }
+    if (obs::RunLogActive()) {
+      obs::RunLogEntry entry;
+      entry.run = model.name();
+      entry.epoch = epoch;
+      entry.train_loss = loss_sum / std::max<int64_t>(batches, 1);
+      entry.val_auc = val.auc;
+      entry.val_acc = val.acc;
+      entry.epoch_ms = epoch_timer.ElapsedMs();
+      entry.tokens = tokens;
+      entry.gemm_flops =
+          obs::Counter::Get("gemm.flops")->Value() - flops_before;
+      entry.ckpt_ms = ckpt_ms;
+      obs::AppendRunLogEntry(entry);
     }
   }
 

@@ -6,10 +6,39 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 #include "tensor/gemm_kernels.h"
 
 namespace kt {
 namespace {
+
+// Kernel-layer telemetry (kt::obs): call and FLOP counts, total and per
+// dispatch flavor. The run log's "gemm_flops" field and the --obs exit
+// summary read these. Call sites guard on one relaxed atomic load, so the
+// disabled hot path costs nothing measurable; when enabled this adds four
+// sharded counter increments — never a floating-point operation, so results
+// stay bit-identical. Flavor handles are resolved once per call site
+// (function-local statics) to keep the registry mutex off the hot path.
+inline void CountGemmDispatch(obs::Counter* flavor_calls,
+                              obs::Counter* flavor_flops, int64_t m,
+                              int64_t k, int64_t n) {
+  static obs::Counter* const calls = obs::Counter::Get("gemm.calls");
+  static obs::Counter* const flops = obs::Counter::Get("gemm.flops");
+  const int64_t mul_adds = 2 * m * k * n;
+  calls->Add(1);
+  flops->Add(mul_adds);
+  flavor_calls->Add(1);
+  flavor_flops->Add(mul_adds);
+}
+
+#define KT_COUNT_GEMM(flavor, m, k, n)                                      \
+  if (obs::Enabled()) {                                                     \
+    static obs::Counter* const kt_gemm_calls =                              \
+        obs::Counter::Get("gemm." flavor ".calls");                         \
+    static obs::Counter* const kt_gemm_flops =                              \
+        obs::Counter::Get("gemm." flavor ".flops");                         \
+    CountGemmDispatch(kt_gemm_calls, kt_gemm_flops, (m), (k), (n));         \
+  }
 
 std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kAuto};
 
@@ -298,6 +327,7 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  KT_COUNT_GEMM("nn", m, k, n);
   if (UseTiled(m, k, n)) {
     std::vector<float>& bp = PackBufB();
     bp.resize(static_cast<size_t>(k * n));
@@ -325,6 +355,7 @@ void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
                           int64_t k, int64_t n) {
   // A is [k, m] row-major; we want C += A^T B: C[i, j] += A[p, i] * B[p, j].
   if (m <= 0 || n <= 0 || k <= 0) return;
+  KT_COUNT_GEMM("ta", m, k, n);
   if (UseTiled(m, k, n)) {
     // Pack A^T once so the micro kernel reads contiguous k-runs; the chain
     // per C element (p ascending) is unchanged from the reference forms.
@@ -372,6 +403,7 @@ void GemmTransBAccumulate(const float* a, const float* b, float* c, int64_t m,
                           int64_t k, int64_t n) {
   // B is [n, k] row-major; C[i, j] += sum_p A[i, p] * B[j, p].
   if (m <= 0 || n <= 0) return;
+  KT_COUNT_GEMM("tb", m, k, n);
   if (k <= 0) {
     // The reference dot form still executes `c += 0.0f` per element; keep
     // that (it normalizes -0.0f) so all paths agree bit-for-bit.

@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
@@ -54,6 +57,80 @@ TEST(AucTest, InvariantUnderMonotoneTransform) {
   EXPECT_NEAR(ComputeAuc(scores, labels), ComputeAuc(transformed, labels),
               1e-9);
 }
+
+// Regression: a NaN score voids the strict weak ordering required by the
+// std::sort comparator inside ComputeAuc (UB, silently corrupted rankings);
+// an Inf score means the model diverged. Both must abort with a diagnostic
+// instead of returning a garbage AUC.
+TEST(AucTest, NonFiniteScoresDie) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(ComputeAuc({0.2f, nan, 0.8f}, {0, 1, 1}), "non-finite");
+  EXPECT_DEATH(ComputeAuc({0.2f, inf, 0.8f}, {0, 1, 1}), "non-finite");
+  EXPECT_DEATH(ComputeAuc({-inf, 0.5f}, {0, 1}), "non-finite");
+  MetricAccumulator acc;
+  acc.AddOne(0.5f, 1);  // finite scores are fine
+  EXPECT_DEATH(acc.AddOne(nan, 0), "non-finite");
+}
+
+// Property: AUC and ACC are functions of the (score, label) multiset, so
+// any permutation of the inputs — including tie-heavy vectors, where the
+// sort order between equal scores is arbitrary — must give the same value.
+class MetricPermutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPermutationProperty, AucAccInvariantUnderPermutation) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  const int n = 50 + static_cast<int>(rng.UniformInt(200));
+  // Quantize scores onto a handful of levels so ties are plentiful.
+  const int levels = 1 + static_cast<int>(rng.UniformInt(6));
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const float q = static_cast<float>(rng.UniformInt(levels + 1)) /
+                    static_cast<float>(levels);
+    scores.push_back(q);
+    labels.push_back(rng.Bernoulli(0.3 + 0.4 * q) ? 1 : 0);
+  }
+  const double auc = ComputeAuc(scores, labels);
+  const double acc = ComputeAcc(scores, labels);
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int trial = 0; trial < 4; ++trial) {
+    rng.Shuffle(order);
+    std::vector<float> shuffled_scores;
+    std::vector<int> shuffled_labels;
+    MetricAccumulator acc_shuffled;
+    for (size_t idx : order) {
+      shuffled_scores.push_back(scores[idx]);
+      shuffled_labels.push_back(labels[idx]);
+      acc_shuffled.AddOne(scores[idx], labels[idx]);
+    }
+    EXPECT_DOUBLE_EQ(ComputeAuc(shuffled_scores, shuffled_labels), auc);
+    EXPECT_DOUBLE_EQ(ComputeAcc(shuffled_scores, shuffled_labels), acc);
+    // The accumulator is just a recorder: same multiset, same metrics.
+    EXPECT_DOUBLE_EQ(acc_shuffled.Auc(), auc);
+    EXPECT_DOUBLE_EQ(acc_shuffled.Acc(), acc);
+  }
+}
+
+TEST_P(MetricPermutationProperty, AllTiedScoresGiveHalfAuc) {
+  Rng rng(static_cast<uint64_t>(200 + GetParam()));
+  std::vector<float> scores;
+  std::vector<int> labels;
+  int positives = 0;
+  for (int i = 0; i < 64; ++i) {
+    scores.push_back(0.5f);
+    const int y = rng.Bernoulli(0.5) ? 1 : 0;
+    positives += y;
+    labels.push_back(y);
+  }
+  if (positives == 0 || positives == 64) return;  // degenerate, returns 0.5 too
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, MetricPermutationProperty,
+                         ::testing::Range(0, 8));
 
 TEST(AccTest, ThresholdBehaviour) {
   const std::vector<float> scores = {0.4f, 0.6f, 0.5f};

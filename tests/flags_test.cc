@@ -57,6 +57,58 @@ TEST(FlagParserTest, MalformedValuesDie) {
   EXPECT_DEATH(flags.GetBool("flag", false), "true/false");
 }
 
+// Regression: "--key=" parses as an empty value; strtoll/strtod consume
+// nothing, leave *end == '\0' at the start pointer, and a terminator-only
+// check silently accepted the flag as 0. An empty value must die like any
+// other malformed value.
+TEST(FlagParserTest, EmptyValuesDie) {
+  FlagParser flags = Parse({"--checkpoint-every=", "--lr="});
+  EXPECT_DEATH(flags.GetInt("checkpoint-every", 7), "expects an integer");
+  EXPECT_DEATH(flags.GetDouble("lr", 0.5), "expects a number");
+  // The empty string is still a legal *string* value.
+  EXPECT_EQ(flags.GetString("checkpoint-every", "x"), "");
+}
+
+// Regression: out-of-range values used to be silently clamped by strtoll /
+// strtod (LLONG_MAX / HUGE_VAL with errno == ERANGE), so e.g.
+// "--threads 99999999999999999999" sailed through as a huge-but-valid int.
+TEST(FlagParserTest, OutOfRangeValuesDie) {
+  FlagParser flags = Parse({"--threads=99999999999999999999",
+                            "--neg=-99999999999999999999", "--x=1e999",
+                            "--tiny=1e-999"});
+  EXPECT_DEATH(flags.GetInt("threads", 1), "out of range");
+  EXPECT_DEATH(flags.GetInt("neg", 1), "out of range");
+  EXPECT_DEATH(flags.GetDouble("x", 0.0), "out of range");
+  // Underflow also sets ERANGE: strtod returns a denormal-or-zero best
+  // effort, which is not the number the user wrote.
+  EXPECT_DEATH(flags.GetDouble("tiny", 0.0), "out of range");
+}
+
+TEST(FlagParserTest, ExtremeInRangeValuesParse) {
+  FlagParser flags = Parse({"--max=9223372036854775807",
+                            "--min=-9223372036854775808", "--big=1e300"});
+  EXPECT_EQ(flags.GetInt("max", 0), INT64_MAX);
+  EXPECT_EQ(flags.GetInt("min", 0), INT64_MIN);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("big", 0.0), 1e300);
+}
+
+TEST(CommonFlagsTest, ObservabilityFlagsParse) {
+  FlagParser flags =
+      Parse({"--obs", "--trace-out=/tmp/t.json", "--run-log", "/tmp/r.jsonl"});
+  const CommonFlagValues values = ApplyCommonFlags(flags);
+  EXPECT_TRUE(values.obs_enabled);
+  EXPECT_EQ(values.trace_path, "/tmp/t.json");
+  EXPECT_EQ(values.run_log_path, "/tmp/r.jsonl");
+}
+
+TEST(CommonFlagsTest, ObsDefaultsOffAndRejectsGarbage) {
+  EXPECT_FALSE(ApplyCommonFlags(Parse({})).obs_enabled);
+  EXPECT_FALSE(ApplyCommonFlags(Parse({"--obs=off"})).obs_enabled);
+  EXPECT_TRUE(ApplyCommonFlags(Parse({"--obs=on"})).obs_enabled);
+  FlagParser garbage = Parse({"--obs=sideways"});
+  EXPECT_DEATH(ApplyCommonFlags(garbage), "expects on/off");
+}
+
 TEST(FlagParserTest, BareDashesRejected) {
   FlagParser parser;
   const char* args[] = {"prog", "--"};

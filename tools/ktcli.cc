@@ -25,6 +25,16 @@
 //                 --resume restores it and continues bit-identically to an
 //                 uninterrupted run. --checkpoint defaults to the --resume
 //                 path. Only `train` consumes these.
+//   --obs on|off  kt::obs counter/histogram recording plus a summary on
+//                 stderr at exit. Off by default; never changes a metric,
+//                 loss, or checkpoint byte.
+//   --trace-out PATH
+//                 Write a Chrome trace-event JSON file at exit (load in
+//                 chrome://tracing or Perfetto); implies --obs on.
+//   --run-log PATH
+//                 Append per-epoch JSONL telemetry (loss, AUC/ACC,
+//                 tokens/sec, GEMM FLOPs, checkpoint latency, RSS),
+//                 rewritten atomically each epoch; implies --obs on.
 //
 // Examples:
 //   ktcli simulate --preset assist09 --scale 0.2 --out /tmp/a09.csv
@@ -36,6 +46,7 @@
 
 #include "core/flags.h"
 #include "data/io.h"
+#include "obs/obs_flags.h"
 #include "data/presets.h"
 #include "nn/serialize.h"
 #include "rckt/rckt_model.h"
@@ -242,8 +253,11 @@ int Main(int argc, char** argv) {
   }
   // --threads N (or the KT_NUM_THREADS env var) sizes the kt::parallel
   // pool; results are bit-identical for every setting. The returned values
-  // carry the checkpoint/resume flags into the train command.
+  // carry the checkpoint/resume flags into the train command; the
+  // observability flags (--obs / --trace-out / --run-log) take effect here
+  // and flush their artifacts through an atexit hook.
   const CommonFlagValues common = ApplyCommonFlags(flags);
+  obs::ApplyCommonObsFlags(common);
   const std::string command = argv[1];
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "train") return CmdTrain(flags, common);

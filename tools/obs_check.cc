@@ -1,0 +1,423 @@
+// obs_check — schema validator for the kt::obs artifacts.
+//
+//   obs_check trace  trace.json   Validate a Chrome trace-event file
+//                                 (--trace-out output).
+//   obs_check runlog run.jsonl    Validate a per-epoch JSONL run log
+//                                 (--run-log output).
+//
+// Exit status 0 when the file is well-formed and matches the documented
+// schema (obs/trace.h, obs/runlog.h), 1 with a diagnostic on stderr
+// otherwise. scripts/check_obs.sh runs both over a short training run.
+//
+// The JSON parser below is deliberately minimal (objects, arrays, strings,
+// numbers, true/false/null; no \uXXXX decoding beyond pass-through) — just
+// enough to hold the two schemas to account without external dependencies.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fileio.h"
+
+namespace kt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  bool number_is_integral = false;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses one JSON value spanning the whole input (trailing whitespace
+  // allowed). Returns false with error() set on malformed input.
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing bytes after JSON value");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      SkipWhitespace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control byte in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("malformed \\u escape");
+            }
+            ++pos_;
+          }
+          *out += '?';  // placeholder; schemas never compare escaped text
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* word) {
+      const size_t n = std::string(word).size();
+      if (text_.compare(pos_, n, word) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return Fail("unknown keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = (c == '+' || c == '-') ? integral : false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0' || !std::isfinite(value)) {
+      return Fail("malformed number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    out->number_is_integral = integral;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checks
+// ---------------------------------------------------------------------------
+
+int FailCheck(const std::string& what, const std::string& why) {
+  std::fprintf(stderr, "obs_check: %s: %s\n", what.c_str(), why.c_str());
+  return 1;
+}
+
+// Chrome trace-event schema (obs/trace.h): a top-level object with a
+// "traceEvents" array; every event is an object with string "name"/"ph",
+// integer pid/tid; "X" (complete) events carry non-negative numeric ts/dur,
+// "M" (metadata) thread_name events carry args.name. At least one X event
+// and one thread_name record must be present — an empty trace means the
+// instrumentation never fired.
+int CheckTrace(const std::string& path) {
+  std::string text;
+  const Status read = ReadFileToString(path, &text);
+  if (!read.ok()) return FailCheck(path, read.ToString());
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) return FailCheck(path, parser.error());
+  if (!root.IsObject()) return FailCheck(path, "top level is not an object");
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    return FailCheck(path, "missing \"traceEvents\" array");
+  }
+  size_t complete_events = 0;
+  size_t thread_names = 0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!event.IsObject()) return FailCheck(path, where + " is not an object");
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    if (name == nullptr || !name->IsString() || name->string_value.empty()) {
+      return FailCheck(path, where + " lacks a string \"name\"");
+    }
+    if (ph == nullptr || !ph->IsString()) {
+      return FailCheck(path, where + " lacks a string \"ph\"");
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const JsonValue* v = event.Find(key);
+      if (v == nullptr || !v->IsNumber() || !v->number_is_integral) {
+        return FailCheck(path,
+                         where + " lacks an integer \"" + key + "\"");
+      }
+    }
+    if (ph->string_value == "X") {
+      ++complete_events;
+      for (const char* key : {"ts", "dur"}) {
+        const JsonValue* v = event.Find(key);
+        if (v == nullptr || !v->IsNumber() || v->number < 0.0) {
+          return FailCheck(
+              path, where + " lacks a non-negative numeric \"" + key + "\"");
+        }
+      }
+    } else if (ph->string_value == "M") {
+      if (name->string_value == "thread_name") {
+        const JsonValue* args = event.Find("args");
+        const JsonValue* track =
+            args != nullptr && args->IsObject() ? args->Find("name") : nullptr;
+        if (track == nullptr || !track->IsString()) {
+          return FailCheck(path, where + " thread_name lacks args.name");
+        }
+        ++thread_names;
+      }
+    } else {
+      return FailCheck(path, where + " has unexpected ph \"" +
+                                 ph->string_value + "\"");
+    }
+  }
+  if (complete_events == 0) {
+    return FailCheck(path, "no complete (\"ph\":\"X\") events — empty trace");
+  }
+  if (thread_names == 0) {
+    return FailCheck(path, "no thread_name metadata records");
+  }
+  std::printf("obs_check: %s ok (%zu slices, %zu tracks)\n", path.c_str(),
+              complete_events, thread_names);
+  return 0;
+}
+
+// Run-log schema (obs/runlog.h): one JSON object per line with the fixed
+// key set; numbers where numbers are promised, integers where integers are,
+// non-negative where negatives are impossible.
+int CheckRunLog(const std::string& path) {
+  std::string text;
+  const Status read = ReadFileToString(path, &text);
+  if (!read.ok()) return FailCheck(path, read.ToString());
+  size_t records = 0;
+  size_t line_start = 0;
+  int line_number = 0;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_number);
+    JsonValue entry;
+    JsonParser parser(line);
+    if (!parser.Parse(&entry)) {
+      return FailCheck(path, where + ": " + parser.error());
+    }
+    if (!entry.IsObject()) {
+      return FailCheck(path, where + " is not a JSON object");
+    }
+    const JsonValue* run = entry.Find("run");
+    if (run == nullptr || !run->IsString()) {
+      return FailCheck(path, where + " lacks a string \"run\"");
+    }
+    for (const char* key : {"epoch", "tokens", "gemm_flops", "rss_bytes"}) {
+      const JsonValue* v = entry.Find(key);
+      if (v == nullptr || !v->IsNumber() || !v->number_is_integral ||
+          v->number < 0.0) {
+        return FailCheck(
+            path, where + " lacks a non-negative integer \"" + key + "\"");
+      }
+    }
+    for (const char* key : {"train_loss", "val_auc", "val_acc", "epoch_ms",
+                            "tokens_per_sec", "ckpt_ms"}) {
+      const JsonValue* v = entry.Find(key);
+      if (v == nullptr || !v->IsNumber()) {
+        return FailCheck(path, where + " lacks a numeric \"" + key + "\"");
+      }
+    }
+    for (const char* key : {"val_auc", "val_acc"}) {
+      const double v = entry.Find(key)->number;
+      if (v < 0.0 || v > 1.0) {
+        return FailCheck(path, where + " \"" + std::string(key) +
+                                   "\" outside [0, 1]");
+      }
+    }
+    ++records;
+  }
+  if (records == 0) return FailCheck(path, "no run-log records");
+  std::printf("obs_check: %s ok (%zu epochs)\n", path.c_str(), records);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: obs_check <trace|runlog> <file>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "trace") return CheckTrace(argv[2]);
+  if (mode == "runlog") return CheckRunLog(argv[2]);
+  std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace kt
+
+int main(int argc, char** argv) { return kt::Main(argc, argv); }
