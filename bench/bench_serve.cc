@@ -1,0 +1,237 @@
+// Online-serving benchmark (DESIGN.md §11): incremental predict/update via
+// kt::serve against the offline baseline that re-encodes the whole prefix
+// per prediction, plus micro-batcher throughput.
+//
+// The two paths are bit-identical by contract (tests/serve_test.cc), so one
+// binary measures both on the same machine in the same run and writes
+// BENCH_serve.json (override with --out=<path>). The headline number is
+// "speedups.predict_<enc>_T<len>": single-response latency of the O(1)
+// session-cache path over full re-encoding at that history length.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/parallel.h"
+#include "data/simulator.h"
+#include "rckt/samples.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+
+namespace kt {
+namespace {
+
+volatile float g_sink = 0.0f;  // defeats dead-code elimination
+
+double TimeNs(const std::function<void()>& fn, double min_time_sec = 0.2,
+              int min_iters = 3) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < 2; ++i) fn();  // warmup
+  int64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_time_sec || iters < min_iters) {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+struct Result {
+  std::string encoder;
+  std::string op;      // "predict" | "update"
+  int64_t seq_len = 0;
+  std::string mode;    // "offline_reencode" | "online_incremental"
+  double ns_per_iter = 0.0;
+};
+
+std::vector<Result> g_results;
+double g_batcher_rps = 0.0;
+int g_batcher_connections = 0;
+
+// One long-history student per encoder: predict latency at history length
+// `T` for (a) the offline scorer re-encoding all T interactions and (b) the
+// serving engine answering from its session cache.
+void BenchEncoder(rckt::EncoderKind kind, const data::Dataset& ds,
+                  int64_t T) {
+  rckt::RcktConfig config;
+  config.encoder = kind;
+  config.dim = 32;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.seed = 4;
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, config);
+  const auto& seq = ds.sequences[0];
+  KT_CHECK(seq.length() > T) << "simulated sequence shorter than T";
+
+  // Offline baseline: every request re-builds and re-encodes the prefix.
+  data::Batch batch = rckt::MakePrefixBatch({{&seq, T}});
+  const double offline_ns = TimeNs([&] {
+    g_sink = model.GeneratorScoreTargets(batch)[0];
+  });
+
+  // Online: warm a session to T history steps, then serve predicts from the
+  // cached forward stream.
+  serve::EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  serve::InferenceEngine engine(model, options);
+  for (int64_t t = 0; t < T; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    serve::ServeRequest update;
+    update.op = serve::Op::kUpdate;
+    update.student = "s";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    KT_CHECK(engine.Execute(update).ok);
+  }
+  serve::ServeRequest predict;
+  predict.op = serve::Op::kPredict;
+  predict.student = "s";
+  predict.question = seq.interactions[static_cast<size_t>(T)].question;
+  predict.has_concepts = true;
+  predict.concepts = seq.interactions[static_cast<size_t>(T)].concepts;
+  const double online_ns = TimeNs([&] {
+    g_sink = engine.Execute(predict).p;
+  });
+
+  // Incremental update cost at this history depth (grows the session; keep
+  // the measurement window modest so attention caches stay near T).
+  serve::ServeRequest update = predict;
+  update.op = serve::Op::kUpdate;
+  update.response = 1;
+  const double update_ns = TimeNs([&] {
+    g_sink = static_cast<float>(engine.Execute(update).history);
+  }, /*min_time_sec=*/0.05);
+
+  const char* name = rckt::EncoderKindName(kind);
+  g_results.push_back({name, "predict", T, "offline_reencode", offline_ns});
+  g_results.push_back({name, "predict", T, "online_incremental", online_ns});
+  g_results.push_back({name, "update", T, "online_incremental", update_ns});
+  std::printf("  %-4s T=%-4lld offline %10.0f ns  online %8.0f ns  "
+              "(%.1fx)  update %8.0f ns\n",
+              name, static_cast<long long>(T), offline_ns, online_ns,
+              offline_ns / online_ns, update_ns);
+}
+
+// Micro-batcher throughput: concurrent closed-loop producers hammering one
+// engine through the batcher (in-process; no socket overhead).
+void BenchBatcher(const data::Dataset& ds) {
+  rckt::RcktConfig config;
+  config.encoder = rckt::EncoderKind::kDKT;
+  config.dim = 32;
+  config.seed = 4;
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, config);
+  serve::EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  serve::InferenceEngine engine(model, options);
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch = 16;
+  batcher_options.max_wait_us = 200;
+  serve::MicroBatcher batcher(engine, batcher_options);
+
+  constexpr int kProducers = 8;
+  constexpr int kRequests = 400;  // per producer
+  std::vector<std::thread> producers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      serve::ServeRequest request;
+      request.student = "p" + std::to_string(p);
+      for (int r = 0; r < kRequests; ++r) {
+        request.question = (p * 31 + r) % ds.num_questions;
+        if (r % 2 == 0) {
+          request.op = serve::Op::kPredict;
+        } else {
+          request.op = serve::Op::kUpdate;
+          request.response = r & 2 ? 1 : 0;
+        }
+        KT_CHECK(batcher.Submit(request).ok);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  batcher.Stop();
+  g_batcher_connections = kProducers;
+  g_batcher_rps = kProducers * kRequests / elapsed;
+  std::printf("  batcher: %d producers, %.0f requests/s\n", kProducers,
+              g_batcher_rps);
+}
+
+bool WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"serve\",\n  \"threads\": " << GetNumThreads()
+      << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    const Result& r = g_results[i];
+    out << "    {\"encoder\": \"" << r.encoder << "\", \"op\": \"" << r.op
+        << "\", \"seq_len\": " << r.seq_len << ", \"mode\": \"" << r.mode
+        << "\", \"ns_per_iter\": " << r.ns_per_iter << "}"
+        << (i + 1 < g_results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedups\": {\n";
+  bool first = true;
+  for (size_t i = 0; i + 1 < g_results.size(); ++i) {
+    const Result& base = g_results[i];
+    const Result& opt = g_results[i + 1];
+    if (base.mode != "offline_reencode" ||
+        opt.mode != "online_incremental" || base.op != opt.op) {
+      continue;
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"predict_" << base.encoder << "_T" << base.seq_len
+        << "\": " << base.ns_per_iter / opt.ns_per_iter;
+  }
+  out << "\n  },\n  \"batcher\": {\"connections\": " << g_batcher_connections
+      << ", \"requests_per_second\": " << g_batcher_rps << "}\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+}  // namespace kt
+
+int main(int argc, char** argv) {
+  const kt::FlagParser flags = kt::bench::InitBenchFlags(&argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_serve.json");
+
+  kt::data::SimulatorConfig sim_config;
+  sim_config.num_students = 4;
+  sim_config.num_questions = 200;
+  sim_config.num_concepts = 10;
+  sim_config.min_responses = 140;
+  sim_config.max_responses = 160;
+  sim_config.seed = 21;
+  kt::data::StudentSimulator sim(sim_config);
+  const kt::data::Dataset ds = sim.Generate();
+
+  std::printf("serving latency: incremental session cache vs full "
+              "re-encoding (threads=%d)\n",
+              kt::GetNumThreads());
+  for (kt::rckt::EncoderKind kind :
+       {kt::rckt::EncoderKind::kDKT, kt::rckt::EncoderKind::kGRU,
+        kt::rckt::EncoderKind::kSAKT, kt::rckt::EncoderKind::kAKT}) {
+    kt::BenchEncoder(kind, ds, /*T=*/100);
+  }
+  kt::BenchBatcher(ds);
+
+  if (!kt::WriteJson(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end check of the kt::serve online inference path:
+#
+#   1. Builds ktcli + kt_loadgen, simulates a small dataset, and trains a
+#      tiny model saved with the KTW2 metadata chunk.
+#   2. Scores every prefix sample offline with `ktcli evaluate --json`
+#      (single-threaded).
+#   3. Starts `ktcli serve` on a TCP port (different thread count, dynamic
+#      micro-batching live) and replays the dataset through kt_loadgen with
+#      concurrent connections.
+#   4. Asserts every online prediction equals the offline generator score
+#      BIT FOR BIT — the serving subsystem's load-bearing contract
+#      (kt_loadgen exits non-zero on any mismatch or missing sample).
+#   5. Re-checks through the stdio transport with a handful of hand-rolled
+#      requests, including eviction pressure (1 MB session budget).
+#
+# Usage: scripts/check_serve.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+PORT="${KT_SERVE_PORT:-19877}"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" --target ktcli kt_loadgen -j "$(nproc)"
+
+KTCLI="${BUILD_DIR}/tools/ktcli"
+LOADGEN="${BUILD_DIR}/tools/kt_loadgen"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "== train a tiny model (saved with metadata) =="
+"${KTCLI}" simulate --preset assist09 --scale 0.05 --seed 7 \
+  --out "${WORK}/data.csv"
+"${KTCLI}" train --data "${WORK}/data.csv" --encoder sakt --dim 16 \
+  --epochs 2 --verbose false --save "${WORK}/model.ktw"
+
+echo "== offline reference: ktcli evaluate --json (1 thread) =="
+"${KTCLI}" evaluate --data "${WORK}/data.csv" --load "${WORK}/model.ktw" \
+  --threads 1 --json > "${WORK}/offline.json"
+
+echo "== online replay over TCP (2 threads, 4 connections) =="
+# No --encoder/--dim flags: the server shapes itself from the metadata.
+"${KTCLI}" serve --load "${WORK}/model.ktw" --data "${WORK}/data.csv" \
+  --port "${PORT}" --threads 2 --max-batch 8 --max-wait-us 500 &
+SERVER_PID=$!
+for _ in $(seq 50); do
+  if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+       --requests 1 >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+"${LOADGEN}" --port "${PORT}" --data "${WORK}/data.csv" \
+  --expect "${WORK}/offline.json" --connections 4 | tee "${WORK}/replay.json"
+grep -q '"mismatches":0' "${WORK}/replay.json"
+grep -q '"missing":0' "${WORK}/replay.json"
+
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== stdio transport + eviction pressure (1 MB budget) =="
+{
+  echo '{"op":"predict","student":"a","question":1}'
+  echo '{"op":"update","student":"a","question":1,"response":1}'
+  echo '{"op":"predict","student":"a","question":2}'
+  echo '{"op":"explain","student":"a","question":2}'
+  echo '{"op":"stats"}'
+  echo '{"op":"reset","student":"a"}'
+  echo '{"op":"stats"}'
+} | "${KTCLI}" serve --load "${WORK}/model.ktw" --data "${WORK}/data.csv" \
+      --memory-budget-mb 1 > "${WORK}/stdio.out"
+[[ "$(grep -c '"ok":true' "${WORK}/stdio.out")" -eq 7 ]]
+grep -q '"sessions":0' "${WORK}/stdio.out"   # after the reset
+
+echo "OK: online serving is bit-identical to offline evaluation"

@@ -25,6 +25,15 @@ ag::Variable InteractionEmbedder::QuestionEmbed(
                      Shape{batch.batch_size, batch.max_len, dim_});
 }
 
+ag::Variable InteractionEmbedder::QuestionEmbedRows(
+    const std::vector<int64_t>& questions,
+    const std::vector<std::vector<int64_t>>& concept_bags) const {
+  KT_CHECK_EQ(questions.size(), concept_bags.size());
+  ag::Variable q = q_emb_.Forward(questions);  // [n, d]
+  ag::Variable k = ag::EmbeddingBagMean(k_emb_.table(), concept_bags);
+  return ag::Add(q, k);
+}
+
 ag::Variable InteractionEmbedder::InteractionEmbed(
     const data::Batch& batch, const std::vector<int>& categories) const {
   KT_CHECK_EQ(categories.size(), batch.questions.size());

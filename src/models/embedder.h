@@ -30,6 +30,14 @@ class InteractionEmbedder : public nn::Module {
   // e_i for every position: [B, T, dim].
   ag::Variable QuestionEmbed(const data::Batch& batch) const;
 
+  // Row-wise variant for online serving (kt::serve): e rows for bare
+  // (question, concept bag) pairs outside any Batch, shape [n, dim]. Uses
+  // the same op chain as QuestionEmbed, so each row is bitwise equal to the
+  // corresponding row of the batched pass.
+  ag::Variable QuestionEmbedRows(
+      const std::vector<int64_t>& questions,
+      const std::vector<std::vector<int64_t>>& concept_bags) const;
+
   // a_i = e_i + r_emb[categories[i]]; `categories` is flattened [B*T] with
   // values in {0, 1, 2}. Pass batch.responses (widened) for factual input.
   ag::Variable InteractionEmbed(const data::Batch& batch,
@@ -46,6 +54,7 @@ class InteractionEmbedder : public nn::Module {
                                  int64_t concept_id) const;
 
   const nn::Embedding& question_embedding() const { return q_emb_; }
+  const nn::Embedding& concept_embedding() const { return k_emb_; }
   // Response-category table [3, dim] (for callers composing a_i manually).
   const ag::Variable& response_table() const { return r_emb_.table(); }
   int64_t dim() const { return dim_; }

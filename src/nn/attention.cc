@@ -59,44 +59,11 @@ MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
   }
 }
 
-ag::Variable MultiHeadAttention::Forward(
-    const ag::Variable& q, const ag::Variable& k, const ag::Variable& v,
-    const Tensor& mask, const Context& ctx,
+ag::Variable MultiHeadAttention::AttendHeads(
+    const ag::Variable& qp, const ag::Variable& kp, const ag::Variable& vp,
+    const ag::Variable& additive_mask, const ag::Variable& row_any_mask,
+    const ag::Variable& distance, const Context& ctx,
     std::vector<Tensor>* attention_out) const {
-  const int64_t tq = q.size(1);
-  const int64_t tk = k.size(1);
-  KT_CHECK_EQ(mask.size(0), tq);
-  KT_CHECK_EQ(mask.size(1), tk);
-
-  ag::Variable qp = q_proj_.Forward(q);
-  ag::Variable kp = k_proj_.Forward(k);
-  ag::Variable vp = v_proj_.Forward(v);
-
-  // Additive mask: 0 where allowed, -1e9 where blocked, shaped [1, Tq, Tk]
-  // to broadcast over the batch.
-  Tensor additive = Map(mask, [](float m) { return (m - 1.0f) * 1e9f; })
-                        .Reshape(Shape{1, tq, tk});
-  ag::Variable additive_mask = ag::Constant(additive);
-  // Zero-out factor for rows with no attendable positions, [1, Tq, 1].
-  Tensor row_any(Shape{1, tq, 1});
-  for (int64_t i = 0; i < tq; ++i) {
-    float any = 0.0f;
-    for (int64_t j = 0; j < tk; ++j) any = std::max(any, mask.at({i, j}));
-    row_any.flat(i) = any;
-  }
-  ag::Variable row_any_mask = ag::Constant(row_any);
-
-  // Distance matrix for monotonic decay, [1, Tq, Tk].
-  ag::Variable distance;
-  if (monotonic_) {
-    Tensor dist(Shape{1, tq, tk});
-    for (int64_t i = 0; i < tq; ++i)
-      for (int64_t j = 0; j < tk; ++j)
-        dist.flat(i * tk + j) =
-            static_cast<float>(std::abs(i - j));
-    distance = ag::Constant(dist);
-  }
-
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<ag::Variable> head_outputs;
   head_outputs.reserve(static_cast<size_t>(num_heads_));
@@ -135,6 +102,98 @@ ag::Variable MultiHeadAttention::Forward(
   return out_proj_.Forward(merged);
 }
 
+ag::Variable MultiHeadAttention::Forward(
+    const ag::Variable& q, const ag::Variable& k, const ag::Variable& v,
+    const Tensor& mask, const Context& ctx,
+    std::vector<Tensor>* attention_out, AttentionKVCache* cache_out) const {
+  const int64_t tq = q.size(1);
+  const int64_t tk = k.size(1);
+  KT_CHECK_EQ(mask.size(0), tq);
+  KT_CHECK_EQ(mask.size(1), tk);
+
+  ag::Variable qp = q_proj_.Forward(q);
+  ag::Variable kp = k_proj_.Forward(k);
+  ag::Variable vp = v_proj_.Forward(v);
+
+  if (cache_out != nullptr) {
+    // Bulk cache build (replay): the projected rows are exactly what
+    // StepCausal would have appended position by position.
+    KT_CHECK_EQ(q.size(0), 1) << "KV cache capture is single-sequence";
+    const Tensor& kt = kp.value();
+    const Tensor& vt = vp.value();
+    cache_out->k.insert(cache_out->k.end(), kt.data(), kt.data() + kt.numel());
+    cache_out->v.insert(cache_out->v.end(), vt.data(), vt.data() + vt.numel());
+    cache_out->len += tk;
+  }
+
+  // Additive mask: 0 where allowed, -1e9 where blocked, shaped [1, Tq, Tk]
+  // to broadcast over the batch.
+  Tensor additive = Map(mask, [](float m) { return (m - 1.0f) * 1e9f; })
+                        .Reshape(Shape{1, tq, tk});
+  ag::Variable additive_mask = ag::Constant(additive);
+  // Zero-out factor for rows with no attendable positions, [1, Tq, 1].
+  Tensor row_any(Shape{1, tq, 1});
+  for (int64_t i = 0; i < tq; ++i) {
+    float any = 0.0f;
+    for (int64_t j = 0; j < tk; ++j) any = std::max(any, mask.at({i, j}));
+    row_any.flat(i) = any;
+  }
+  ag::Variable row_any_mask = ag::Constant(row_any);
+
+  // Distance matrix for monotonic decay, [1, Tq, Tk].
+  ag::Variable distance;
+  if (monotonic_) {
+    Tensor dist(Shape{1, tq, tk});
+    for (int64_t i = 0; i < tq; ++i)
+      for (int64_t j = 0; j < tk; ++j)
+        dist.flat(i * tk + j) =
+            static_cast<float>(std::abs(i - j));
+    distance = ag::Constant(dist);
+  }
+
+  return AttendHeads(qp, kp, vp, additive_mask, row_any_mask, distance, ctx,
+                     attention_out);
+}
+
+ag::Variable MultiHeadAttention::StepCausal(const ag::Variable& x_row,
+                                            AttentionKVCache& cache) const {
+  KT_CHECK_EQ(x_row.size(0), 1);
+  KT_CHECK_EQ(x_row.size(1), 1);
+  KT_CHECK_EQ(x_row.size(2), dim_);
+
+  ag::Variable qp = q_proj_.Forward(x_row);  // [1, 1, dim]
+  ag::Variable kp = k_proj_.Forward(x_row);
+  ag::Variable vp = v_proj_.Forward(x_row);
+  const Tensor& kt = kp.value();
+  const Tensor& vt = vp.value();
+  cache.k.insert(cache.k.end(), kt.data(), kt.data() + dim_);
+  cache.v.insert(cache.v.end(), vt.data(), vt.data() + dim_);
+  cache.len += 1;
+
+  // The query is row i = len-1 of the causal-inclusive full pass; every
+  // cached position j <= i is allowed, so the additive mask row is exactly
+  // the +0.0f the full pass adds at allowed entries, and row_any is 1. The
+  // full pass's blocked tail (j > i) contributes exact zero probability
+  // mass, so truncating to the prefix preserves every bit.
+  const int64_t tk = cache.len;
+  ag::Variable kc =
+      ag::Constant(Tensor(Shape{1, tk, dim_}, cache.k));
+  ag::Variable vc =
+      ag::Constant(Tensor(Shape{1, tk, dim_}, cache.v));
+  ag::Variable additive_mask = ag::Constant(Tensor::Zeros(Shape{1, 1, tk}));
+  ag::Variable row_any_mask = ag::Constant(Tensor::Ones(Shape{1, 1, 1}));
+  ag::Variable distance;
+  if (monotonic_) {
+    Tensor dist(Shape{1, 1, tk});
+    for (int64_t j = 0; j < tk; ++j)
+      dist.flat(j) = static_cast<float>(tk - 1 - j);  // |i - j| at i = tk-1
+    distance = ag::Constant(dist);
+  }
+  const Context inference;  // no dropout on the decode path
+  return AttendHeads(qp, kc, vc, additive_mask, row_any_mask, distance,
+                     inference, nullptr);
+}
+
 TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
                                    float dropout_p, bool monotonic, Rng& rng)
     : attention_(dim, num_heads, dropout_p, monotonic, rng),
@@ -161,12 +220,22 @@ ag::Variable TransformerBlock::FeedForward(const ag::Variable& x,
 
 ag::Variable TransformerBlock::Forward(const ag::Variable& x,
                                        const Tensor& mask, const Context& ctx,
-                                       std::vector<Tensor>* attention_out) const {
+                                       std::vector<Tensor>* attention_out,
+                                       AttentionKVCache* cache_out) const {
   ag::Variable normed = norm1_.Forward(x);
-  ag::Variable attended =
-      attention_.Forward(normed, normed, normed, mask, ctx, attention_out);
+  ag::Variable attended = attention_.Forward(normed, normed, normed, mask,
+                                             ctx, attention_out, cache_out);
   ag::Variable mid = ag::Add(x, attended);
   return ag::Add(mid, FeedForward(norm2_.Forward(mid), ctx));
+}
+
+ag::Variable TransformerBlock::StepCausal(const ag::Variable& x_row,
+                                          AttentionKVCache& cache) const {
+  ag::Variable normed = norm1_.Forward(x_row);
+  ag::Variable attended = attention_.StepCausal(normed, cache);
+  ag::Variable mid = ag::Add(x_row, attended);
+  const Context inference;
+  return ag::Add(mid, FeedForward(norm2_.Forward(mid), inference));
 }
 
 ag::Variable TransformerBlock::ForwardCross(

@@ -42,6 +42,19 @@ enum class AttentionMaskKind {
 };
 Tensor MakeAttentionMask(int64_t t, AttentionMaskKind kind);
 
+// Append-only key/value cache for incremental causal decoding of ONE
+// sequence (one batch row) through one attention module. Holds the
+// post-projection key and value rows of every position seen so far, so a
+// new position attends over its history without re-projecting it. The rows
+// are bitwise the same values the full-sequence Forward computes, which is
+// what makes incremental decode bit-identical to the offline pass
+// (see kt::serve and DESIGN.md §11).
+struct AttentionKVCache {
+  int64_t len = 0;      // positions appended so far
+  std::vector<float> k;  // [len * dim], row-major post-k_proj rows
+  std::vector<float> v;  // [len * dim], row-major post-v_proj rows
+};
+
 class MultiHeadAttention : public Module {
  public:
   // `monotonic` enables the AKT-style distance decay.
@@ -50,15 +63,40 @@ class MultiHeadAttention : public Module {
 
   // q, k, v: [B, T, dim]; `mask` is [Tq, Tk] (1 = attend). If
   // `attention_out` is non-null it receives one [B, Tq, Tk] probability
-  // tensor per head (detached; for interpretability analyses).
+  // tensor per head (detached; for interpretability analyses). If
+  // `cache_out` is non-null (requires B == 1 and k == v), the Tk
+  // post-projection key/value rows are appended to it — the bulk
+  // (replay) way to build the cache StepCausal extends row by row.
   ag::Variable Forward(const ag::Variable& q, const ag::Variable& k,
                        const ag::Variable& v, const Tensor& mask,
                        const Context& ctx,
-                       std::vector<Tensor>* attention_out = nullptr) const;
+                       std::vector<Tensor>* attention_out = nullptr,
+                       AttentionKVCache* cache_out = nullptr) const;
+
+  // One causal-inclusive decode step: `x_row` is [1, 1, dim], the new
+  // position's (already normed) input. Appends this position's key/value
+  // projections to `cache` and returns the attended output row [1, 1, dim].
+  // Bitwise equal to row `cache.len` (pre-call) of Forward(x, x, x, m, ...)
+  // over the full sequence with m = kCausalInclusive — masked-softmax tail
+  // entries of the full pass are exact zeros, so the prefix computation
+  // reproduces the same bits (inference only: no dropout is applied).
+  ag::Variable StepCausal(const ag::Variable& x_row,
+                          AttentionKVCache& cache) const;
 
   int64_t num_heads() const { return num_heads_; }
 
  private:
+  // Shared head loop: scores, decay, mask, softmax, weighted sum, merge,
+  // out-projection. Both Forward and StepCausal run through this single
+  // code path, so the incremental step replays exactly the op chain of the
+  // full pass. `distance` is undefined when the decay is off.
+  ag::Variable AttendHeads(const ag::Variable& qp, const ag::Variable& kp,
+                           const ag::Variable& vp,
+                           const ag::Variable& additive_mask,
+                           const ag::Variable& row_any_mask,
+                           const ag::Variable& distance, const Context& ctx,
+                           std::vector<Tensor>* attention_out) const;
+
   int64_t dim_;
   int64_t num_heads_;
   int64_t head_dim_;
@@ -77,15 +115,24 @@ class TransformerBlock : public Module {
   TransformerBlock(int64_t dim, int64_t num_heads, float dropout_p,
                    bool monotonic, Rng& rng);
 
-  // Self-attention over x with the given mask.
+  // Self-attention over x with the given mask. `cache_out` forwards to
+  // MultiHeadAttention::Forward (bulk KV-cache build during replay).
   ag::Variable Forward(const ag::Variable& x, const Tensor& mask,
                        const Context& ctx,
-                       std::vector<Tensor>* attention_out = nullptr) const;
+                       std::vector<Tensor>* attention_out = nullptr,
+                       AttentionKVCache* cache_out = nullptr) const;
 
   // Cross-attention: queries from `q`, keys/values from `kv`.
   ag::Variable ForwardCross(const ag::Variable& q, const ag::Variable& kv,
                             const Tensor& mask, const Context& ctx,
                             std::vector<Tensor>* attention_out = nullptr) const;
+
+  // One causal-inclusive decode step through the whole block (pre-LN
+  // attention + feed-forward), appending to `cache`. `x_row` is [1, 1, dim];
+  // bitwise equal to row `cache.len` (pre-call) of Forward(x, causal
+  // inclusive mask) over the full sequence, inference mode (no dropout).
+  ag::Variable StepCausal(const ag::Variable& x_row,
+                          AttentionKVCache& cache) const;
 
  private:
   ag::Variable FeedForward(const ag::Variable& x, const Context& ctx) const;

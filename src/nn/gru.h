@@ -38,9 +38,18 @@ class GRU : public Module {
 
   // x is [B, T, input]; returns all hidden states [B, T, hidden]. With
   // `reverse`, processes right-to-left (output at t summarizes x_{t..T-1}).
-  ag::Variable Forward(const ag::Variable& x, bool reverse = false) const;
+  //
+  // `initial` seeds the recurrence at the first consumed step; nullptr
+  // means the zero state. `final_state` receives the hidden state after the
+  // last consumed step, making chunked processing bit-identical to a single
+  // pass (see LSTM::Forward).
+  ag::Variable Forward(const ag::Variable& x, bool reverse = false,
+                       const ag::Variable* initial = nullptr,
+                       ag::Variable* final_state = nullptr) const;
 
   int64_t hidden_size() const { return cell_.hidden_size(); }
+  // The shared step cell (for single-step incremental decode).
+  const GRUCell& cell() const { return cell_; }
 
  private:
   GRUCell cell_;

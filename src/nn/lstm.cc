@@ -53,12 +53,14 @@ LSTM::LSTM(int64_t input_size, int64_t hidden_size, Rng& rng)
   RegisterChild("cell", &cell_);
 }
 
-ag::Variable LSTM::Forward(const ag::Variable& x, bool reverse) const {
+ag::Variable LSTM::Forward(const ag::Variable& x, bool reverse,
+                           const LSTMCell::State* initial,
+                           LSTMCell::State* final_state) const {
   KT_CHECK_EQ(x.shape().size(), 3u);
   const int64_t batch = x.size(0);
   const int64_t steps = x.size(1);
 
-  LSTMCell::State state = cell_.InitialState(batch);
+  LSTMCell::State state = initial ? *initial : cell_.InitialState(batch);
   std::vector<ag::Variable> outputs(static_cast<size_t>(steps));
   for (int64_t s = 0; s < steps; ++s) {
     const int64_t t = reverse ? steps - 1 - s : s;
@@ -68,6 +70,7 @@ ag::Variable LSTM::Forward(const ag::Variable& x, bool reverse) const {
     outputs[static_cast<size_t>(t)] =
         ag::Reshape(state.h, Shape{batch, 1, cell_.hidden_size()});
   }
+  if (final_state != nullptr) *final_state = state;
   return ag::Concat(outputs, 1);
 }
 

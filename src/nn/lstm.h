@@ -47,9 +47,21 @@ class LSTM : public Module {
   // When `reverse` is true the sequence is processed from t = T-1 to 0 and
   // the output at position t is the state after consuming x_t from the
   // right (as needed by bidirectional encoders).
-  ag::Variable Forward(const ag::Variable& x, bool reverse = false) const;
+  //
+  // `initial` seeds the recurrence at the first consumed step (t = 0, or
+  // t = T-1 under `reverse`); nullptr means the zero state. `final_state`,
+  // when non-null, receives the state after the last consumed step, so a
+  // sequence can be processed in chunks: Forward on x[:, :k] capturing the
+  // final state, then Forward on x[:, k:] seeded with it, is bit-identical
+  // to one Forward over the whole sequence (incremental decode relies on
+  // this; see kt::serve).
+  ag::Variable Forward(const ag::Variable& x, bool reverse = false,
+                       const LSTMCell::State* initial = nullptr,
+                       LSTMCell::State* final_state = nullptr) const;
 
   int64_t hidden_size() const { return cell_.hidden_size(); }
+  // The shared step cell (for single-step incremental decode).
+  const LSTMCell& cell() const { return cell_; }
 
  private:
   LSTMCell cell_;

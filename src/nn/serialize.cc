@@ -20,6 +20,69 @@ constexpr char kMagicV1[4] = {'K', 'T', 'W', '1'};  // legacy, no checksum
 // driving a multi-GB Shape allocation.
 constexpr uint32_t kMaxRank = 16;
 
+// Marks a metadata chunk at the start of the payload; can never collide
+// with a real param_count.
+constexpr uint64_t kMetaSentinel = 0xFFFFFFFFFFFFFFFFull;
+constexpr uint32_t kMetaVersion = 1;
+// A version-1 body is 44 bytes; anything near this bound is corruption.
+constexpr uint32_t kMaxMetaBody = 4096;
+
+void AppendMetaChunk(const ModelMeta& meta, std::string* out) {
+  std::string body;
+  AppendPod(&body, meta.encoder_kind);
+  AppendPod(&body, meta.dim);
+  AppendPod(&body, meta.num_layers);
+  AppendPod(&body, meta.num_heads);
+  AppendPod(&body, meta.num_questions);
+  AppendPod(&body, meta.num_concepts);
+  AppendPod(out, kMetaSentinel);
+  AppendPod(out, kMetaVersion);
+  AppendPod(out, static_cast<uint32_t>(body.size()));
+  *out += body;
+}
+
+// Detects and parses a metadata chunk at the head of `data`. On success
+// `*consumed` is the chunk size to skip before the module state (0 when
+// there is no chunk) and `*present` says whether `*meta` was filled — an
+// unknown future version is skipped with *present=false.
+Status ParseMetaChunk(const char* data, size_t size, bool* present,
+                      ModelMeta* meta, size_t* consumed) {
+  *present = false;
+  *consumed = 0;
+  BinCursor cursor(data, size);
+  uint64_t sentinel = 0;
+  if (size < sizeof(sentinel)) return Status::Ok();
+  if (!cursor.Read(&sentinel) || sentinel != kMetaSentinel) {
+    return Status::Ok();  // plain module-state payload
+  }
+  uint32_t version = 0;
+  uint32_t body_len = 0;
+  if (!cursor.Read(&version)) {
+    return Status::IoError("truncated metadata version");
+  }
+  if (!cursor.Read(&body_len)) {
+    return Status::IoError("truncated metadata length");
+  }
+  if (body_len > kMaxMetaBody) {
+    return Status::InvalidArgument("implausible metadata length " +
+                                   std::to_string(body_len));
+  }
+  if (cursor.remaining() < body_len) {
+    return Status::IoError("truncated metadata body");
+  }
+  if (version == kMetaVersion) {
+    BinCursor body(cursor.ptr(), body_len);
+    if (!body.Read(&meta->encoder_kind) || !body.Read(&meta->dim) ||
+        !body.Read(&meta->num_layers) || !body.Read(&meta->num_heads) ||
+        !body.Read(&meta->num_questions) || !body.Read(&meta->num_concepts)) {
+      return Status::InvalidArgument("malformed v1 metadata body");
+    }
+    *present = true;
+  }
+  *consumed = sizeof(kMetaSentinel) + 2 * sizeof(uint32_t) + body_len;
+  return Status::Ok();
+}
+
 }  // namespace
 
 void AppendModuleState(const Module& module, std::string* out) {
@@ -125,11 +188,23 @@ Status SaveModule(const Module& module, const std::string& path) {
   return AtomicWriteFile(path, file);
 }
 
-Status LoadModule(Module& module, const std::string& path) {
-  std::string file;
-  if (Status status = ReadFileToString(path, &file); !status.ok()) {
-    return status;
-  }
+Status SaveModuleWithMeta(const Module& module, const ModelMeta& meta,
+                          const std::string& path) {
+  std::string file(kMagicV2, sizeof(kMagicV2));
+  std::string payload;
+  AppendMetaChunk(meta, &payload);
+  AppendModuleState(module, &payload);
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  file += payload;
+  return AtomicWriteFile(path, file);
+}
+
+namespace {
+
+// Shared front half of LoadModule / ReadModuleMeta: validates magic (and
+// the CRC for KTW2), then points *payload at the checksummed body.
+Status OpenPayload(const std::string& file, const std::string& path,
+                   const char** payload, size_t* payload_size) {
   if (file.size() < sizeof(kMagicV2)) {
     return Status::InvalidArgument("file too short for magic in " + path);
   }
@@ -147,14 +222,60 @@ Status LoadModule(Module& module, const std::string& path) {
       return Status::InvalidArgument("checksum mismatch in " + path +
                                      " (file is corrupt)");
     }
-    return ParseModuleState(file.data() + kHeader, file.size() - kHeader,
-                            module);
+    *payload = file.data() + kHeader;
+    *payload_size = file.size() - kHeader;
+    return Status::Ok();
   }
   if (std::memcmp(file.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
-    return ParseModuleState(file.data() + sizeof(kMagicV1),
-                            file.size() - sizeof(kMagicV1), module);
+    *payload = file.data() + sizeof(kMagicV1);
+    *payload_size = file.size() - sizeof(kMagicV1);
+    return Status::Ok();
   }
   return Status::InvalidArgument("bad magic in " + path);
+}
+
+}  // namespace
+
+Status LoadModule(Module& module, const std::string& path) {
+  std::string file;
+  if (Status status = ReadFileToString(path, &file); !status.ok()) {
+    return status;
+  }
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  if (Status status = OpenPayload(file, path, &payload, &payload_size);
+      !status.ok()) {
+    return status;
+  }
+  // KTW1 never carries metadata, but probing is harmless there: a legacy
+  // payload starts with a plausible param count, not the sentinel.
+  bool meta_present = false;
+  ModelMeta meta;
+  size_t meta_bytes = 0;
+  if (Status status = ParseMetaChunk(payload, payload_size, &meta_present,
+                                     &meta, &meta_bytes);
+      !status.ok()) {
+    return status;
+  }
+  return ParseModuleState(payload + meta_bytes, payload_size - meta_bytes,
+                          module);
+}
+
+Status ReadModuleMeta(const std::string& path, bool* present,
+                      ModelMeta* meta) {
+  *present = false;
+  std::string file;
+  if (Status status = ReadFileToString(path, &file); !status.ok()) {
+    return status;
+  }
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  if (Status status = OpenPayload(file, path, &payload, &payload_size);
+      !status.ok()) {
+    return status;
+  }
+  size_t meta_bytes = 0;
+  return ParseMetaChunk(payload, payload_size, present, meta, &meta_bytes);
 }
 
 }  // namespace nn

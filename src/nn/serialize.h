@@ -2,11 +2,20 @@
 //
 // File format (little-endian):
 //   magic "KTW2" | uint32 crc32(payload) | payload
-// where payload is the AppendModuleState encoding:
+// where payload is an optional metadata chunk followed by the
+// AppendModuleState encoding:
 //   uint64 param_count |
 //   per param: uint32 name_len | name bytes | uint32 rank |
 //              int64 dims[rank] | float data[numel]
-// Legacy "KTW1" files (same payload, no checksum) still load.
+// The metadata chunk (written by SaveModuleWithMeta) is:
+//   uint64 0xFFFFFFFFFFFFFFFF | uint32 version | uint32 body_len | body
+// The sentinel can never be a real param_count, which is how a loader tells
+// the two payload layouts apart; body_len lets older readers skip bodies
+// from newer versions. Version-1 body:
+//   int32 encoder_kind | int64 dim | int64 num_layers | int64 num_heads |
+//   int64 num_questions | int64 num_concepts
+// Legacy "KTW1" files (same payload, no checksum, never any metadata)
+// still load.
 //
 // Loading verifies the checksum and then every name and shape against the
 // module, so a corrupt or truncated file — or a checkpoint for a different
@@ -16,6 +25,7 @@
 #ifndef KT_NN_SERIALIZE_H_
 #define KT_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/status.h"
@@ -24,8 +34,31 @@
 namespace kt {
 namespace nn {
 
+// Self-describing model metadata stored alongside the weights so loaders
+// (ktcli serve / evaluate) need no redundant architecture flags. The
+// encoder kind is stored as a raw int to keep this layer independent of
+// kt::rckt (which owns the enum).
+struct ModelMeta {
+  int32_t encoder_kind = -1;
+  int64_t dim = 0;
+  int64_t num_layers = 0;
+  int64_t num_heads = 0;
+  int64_t num_questions = 0;
+  int64_t num_concepts = 0;
+};
+
 // Writes all parameters of `module` to `path` (atomically).
 Status SaveModule(const Module& module, const std::string& path);
+
+// Like SaveModule, but prefixes the payload with a metadata chunk (see
+// header comment). LoadModule on such a file skips the chunk.
+Status SaveModuleWithMeta(const Module& module, const ModelMeta& meta,
+                          const std::string& path);
+
+// Reads just the metadata chunk of `path`. Sets *present=false (and returns
+// Ok) for well-formed files without one — legacy KTW1 and plain-SaveModule
+// KTW2 files.
+Status ReadModuleMeta(const std::string& path, bool* present, ModelMeta* meta);
 
 // Restores parameters from `path` into `module`. Fails (without partial
 // modification) on checksum/magic/name/shape mismatch, truncation, or

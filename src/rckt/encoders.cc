@@ -1,9 +1,52 @@
 #include "rckt/encoders.h"
 
+#include <cstring>
+
 #include "autograd/ops.h"
+#include "core/parallel.h"
 
 namespace kt {
 namespace rckt {
+
+namespace {
+
+// Concrete forward-stream states. Recurrent streams hold one [1, hidden]
+// state per layer; the attention stream holds one KV cache per block.
+struct LstmStreamState : ForwardStreamState {
+  std::vector<nn::LSTMCell::State> layers;
+};
+
+struct GruStreamState : ForwardStreamState {
+  std::vector<ag::Variable> layers;  // hidden rows, each [1, hidden]
+};
+
+struct AttentionStreamState : ForwardStreamState {
+  std::vector<nn::AttentionKVCache> caches;
+};
+
+// Copies row `row` of a [k, d] tensor into a fresh [1, d] tensor.
+Tensor CopyRow(const Tensor& t, int64_t row) {
+  const int64_t d = t.size(1);
+  Tensor out(Shape{1, d});
+  std::memcpy(out.data(), t.data() + row * d,
+              static_cast<size_t>(d) * sizeof(float));
+  return out;
+}
+
+// Stacks k [1, d] rows into one [k, d] tensor.
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  const int64_t k = static_cast<int64_t>(rows.size());
+  const int64_t d = rows[0].size(1);
+  Tensor out(Shape{k, d});
+  for (int64_t i = 0; i < k; ++i) {
+    KT_CHECK_EQ(rows[static_cast<size_t>(i)].numel(), d);
+    std::memcpy(out.data() + i * d, rows[static_cast<size_t>(i)].data(),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* EncoderKindName(EncoderKind kind) {
   switch (kind) {
@@ -93,7 +136,8 @@ ag::Variable BiGruEncoder::Encode(const ag::Variable& a,
 
 BiAttentionEncoder::BiAttentionEncoder(int64_t dim, int64_t num_layers,
                                        int64_t num_heads, float dropout_p,
-                                       bool monotonic, Rng& rng) {
+                                       bool monotonic, Rng& rng)
+    : dim_(dim) {
   KT_CHECK_GT(num_layers, 0);
   for (int64_t l = 0; l < num_layers; ++l) {
     forward_blocks_.push_back(std::make_unique<nn::TransformerBlock>(
@@ -122,6 +166,214 @@ ag::Variable BiAttentionEncoder::Encode(const ag::Variable& a,
     b = block->Forward(b, anticausal, ctx);
   }
   return ShiftAndAdd(f, b);
+}
+
+std::vector<Tensor> BiEncoder::StepForwardMany(
+    const std::vector<ForwardStreamState*>& states,
+    const std::vector<Tensor>& a_rows) const {
+  KT_CHECK_EQ(states.size(), a_rows.size());
+  std::vector<Tensor> out(states.size());
+  // Streams are independent, so per-row steps can run on the pool; each
+  // StepForward is internally grad-free and bit-deterministic.
+  ParallelFor(0, static_cast<int64_t>(states.size()), /*grain=*/1,
+              [&](int64_t i) {
+                const size_t s = static_cast<size_t>(i);
+                out[s] = StepForward(*states[s], a_rows[s]);
+              });
+  return out;
+}
+
+std::unique_ptr<ForwardStreamState> BiLstmEncoder::NewForwardStream() const {
+  auto state = std::make_unique<LstmStreamState>();
+  state->layers.reserve(forward_layers_.size());
+  for (const auto& layer : forward_layers_) {
+    state->layers.push_back(layer->cell().InitialState(1));
+  }
+  return state;
+}
+
+Tensor BiLstmEncoder::StepForward(ForwardStreamState& state,
+                                  const Tensor& a_row) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<LstmStreamState&>(state);
+  KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+  ag::Variable x = ag::Constant(a_row);  // [1, d]
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    s.layers[l] = forward_layers_[l]->cell().Forward(x, s.layers[l]);
+    x = s.layers[l].h;
+  }
+  return x.value();
+}
+
+std::vector<Tensor> BiLstmEncoder::StepForwardMany(
+    const std::vector<ForwardStreamState*>& states,
+    const std::vector<Tensor>& a_rows) const {
+  KT_CHECK_EQ(states.size(), a_rows.size());
+  const int64_t k = static_cast<int64_t>(states.size());
+  if (k == 1) return {StepForward(*states[0], a_rows[0])};
+  ag::NoGradGuard no_grad;
+  // Stack the k independent streams into one [k, d] cell step per layer;
+  // every GEMM row is its own accumulator chain, so row i of the stacked
+  // step is bitwise the single-stream step.
+  ag::Variable x = ag::Constant(StackRows(a_rows));
+  const int64_t hidden = forward_layers_[0]->hidden_size();
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    std::vector<Tensor> hs(static_cast<size_t>(k)), cs(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      auto& s = static_cast<LstmStreamState&>(*states[static_cast<size_t>(i)]);
+      KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+      hs[static_cast<size_t>(i)] = s.layers[l].h.value();
+      cs[static_cast<size_t>(i)] = s.layers[l].c.value();
+    }
+    nn::LSTMCell::State stacked{ag::Constant(StackRows(hs)),
+                                ag::Constant(StackRows(cs))};
+    stacked = forward_layers_[l]->cell().Forward(x, stacked);
+    for (int64_t i = 0; i < k; ++i) {
+      auto& s = static_cast<LstmStreamState&>(*states[static_cast<size_t>(i)]);
+      s.layers[l].h = ag::Constant(CopyRow(stacked.h.value(), i));
+      s.layers[l].c = ag::Constant(CopyRow(stacked.c.value(), i));
+    }
+    x = stacked.h;
+  }
+  std::vector<Tensor> out(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    out[static_cast<size_t>(i)] = CopyRow(x.value(), i);
+  }
+  return out;
+}
+
+Tensor BiLstmEncoder::ReplayForward(ForwardStreamState& state,
+                                    const Tensor& a_seq) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<LstmStreamState&>(state);
+  s.layers.clear();
+  ag::Variable f = ag::Constant(a_seq);  // [1, T, d]
+  for (const auto& layer : forward_layers_) {
+    nn::LSTMCell::State final_state;
+    f = layer->Forward(f, /*reverse=*/false, nullptr, &final_state);
+    s.layers.push_back(final_state);
+  }
+  return f.value();
+}
+
+size_t BiLstmEncoder::StateBytes(int64_t /*history_len*/) const {
+  return forward_layers_.size() * 2 *
+         static_cast<size_t>(forward_layers_[0]->hidden_size()) *
+         sizeof(float);
+}
+
+std::unique_ptr<ForwardStreamState> BiGruEncoder::NewForwardStream() const {
+  auto state = std::make_unique<GruStreamState>();
+  state->layers.reserve(forward_layers_.size());
+  for (const auto& layer : forward_layers_) {
+    state->layers.push_back(layer->cell().InitialState(1));
+  }
+  return state;
+}
+
+Tensor BiGruEncoder::StepForward(ForwardStreamState& state,
+                                 const Tensor& a_row) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<GruStreamState&>(state);
+  KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+  ag::Variable x = ag::Constant(a_row);
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    s.layers[l] = forward_layers_[l]->cell().Forward(x, s.layers[l]);
+    x = s.layers[l];
+  }
+  return x.value();
+}
+
+std::vector<Tensor> BiGruEncoder::StepForwardMany(
+    const std::vector<ForwardStreamState*>& states,
+    const std::vector<Tensor>& a_rows) const {
+  KT_CHECK_EQ(states.size(), a_rows.size());
+  const int64_t k = static_cast<int64_t>(states.size());
+  if (k == 1) return {StepForward(*states[0], a_rows[0])};
+  ag::NoGradGuard no_grad;
+  ag::Variable x = ag::Constant(StackRows(a_rows));
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    std::vector<Tensor> hs(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      auto& s = static_cast<GruStreamState&>(*states[static_cast<size_t>(i)]);
+      KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+      hs[static_cast<size_t>(i)] = s.layers[l].value();
+    }
+    ag::Variable stacked = forward_layers_[l]->cell().Forward(
+        x, ag::Constant(StackRows(hs)));
+    for (int64_t i = 0; i < k; ++i) {
+      auto& s = static_cast<GruStreamState&>(*states[static_cast<size_t>(i)]);
+      s.layers[l] = ag::Constant(CopyRow(stacked.value(), i));
+    }
+    x = stacked;
+  }
+  std::vector<Tensor> out(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    out[static_cast<size_t>(i)] = CopyRow(x.value(), i);
+  }
+  return out;
+}
+
+Tensor BiGruEncoder::ReplayForward(ForwardStreamState& state,
+                                   const Tensor& a_seq) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<GruStreamState&>(state);
+  s.layers.clear();
+  ag::Variable f = ag::Constant(a_seq);
+  for (const auto& layer : forward_layers_) {
+    ag::Variable final_state;
+    f = layer->Forward(f, /*reverse=*/false, nullptr, &final_state);
+    s.layers.push_back(final_state);
+  }
+  return f.value();
+}
+
+size_t BiGruEncoder::StateBytes(int64_t /*history_len*/) const {
+  return forward_layers_.size() *
+         static_cast<size_t>(forward_layers_[0]->hidden_size()) *
+         sizeof(float);
+}
+
+std::unique_ptr<ForwardStreamState> BiAttentionEncoder::NewForwardStream()
+    const {
+  auto state = std::make_unique<AttentionStreamState>();
+  state->caches.resize(forward_blocks_.size());
+  return state;
+}
+
+Tensor BiAttentionEncoder::StepForward(ForwardStreamState& state,
+                                       const Tensor& a_row) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<AttentionStreamState&>(state);
+  KT_CHECK_EQ(s.caches.size(), forward_blocks_.size());
+  ag::Variable x =
+      ag::Constant(a_row.Reshape(Shape{1, 1, a_row.size(1)}));
+  for (size_t l = 0; l < forward_blocks_.size(); ++l) {
+    x = forward_blocks_[l]->StepCausal(x, s.caches[l]);
+  }
+  return x.value().Reshape(Shape{1, dim_});
+}
+
+Tensor BiAttentionEncoder::ReplayForward(ForwardStreamState& state,
+                                         const Tensor& a_seq) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<AttentionStreamState&>(state);
+  s.caches.assign(forward_blocks_.size(), nn::AttentionKVCache{});
+  const int64_t t = a_seq.size(1);
+  const Tensor causal =
+      nn::MakeAttentionMask(t, nn::AttentionMaskKind::kCausalInclusive);
+  const nn::Context inference;
+  ag::Variable f = ag::Constant(a_seq);
+  for (size_t l = 0; l < forward_blocks_.size(); ++l) {
+    f = forward_blocks_[l]->Forward(f, causal, inference, nullptr,
+                                    &s.caches[l]);
+  }
+  return f.value();
+}
+
+size_t BiAttentionEncoder::StateBytes(int64_t history_len) const {
+  return forward_blocks_.size() * 2 * static_cast<size_t>(history_len) *
+         static_cast<size_t>(dim_) * sizeof(float);
 }
 
 std::unique_ptr<BiEncoder> MakeBiEncoder(EncoderKind kind, int64_t dim,

@@ -34,6 +34,14 @@ namespace rckt {
 enum class EncoderKind { kDKT, kSAKT, kAKT, kGRU };
 const char* EncoderKindName(EncoderKind kind);
 
+// Opaque incremental state of one student's FORWARD stream (kt::serve).
+// Concrete encoders define what lives inside: recurrent cells keep O(1)
+// hidden/cell rows, attention keeps append-only KV caches that grow with
+// the history. Destroying the state frees everything.
+struct ForwardStreamState {
+  virtual ~ForwardStreamState() = default;
+};
+
 class BiEncoder : public nn::Module {
  public:
   ~BiEncoder() override = default;
@@ -42,12 +50,62 @@ class BiEncoder : public nn::Module {
   // positions j != i (j < i through the forward stream, j > i backward).
   virtual ag::Variable Encode(const ag::Variable& a,
                               const nn::Context& ctx) = 0;
+
+  // --- Incremental forward-stream API (online serving) ---------------------
+  //
+  // An online predict request targets the LAST position of a session, and
+  // ShiftAndAdd gives h_target = fwd_{T-2} + 0: the backward stream's
+  // contribution at the final position is the zero boundary row. Serving
+  // therefore only ever advances the forward stream, one interaction at a
+  // time, and each method below is bit-identical (at any thread count) to
+  // the corresponding rows of an inference-mode Encode over the full
+  // sequence. All methods run grad-free internally.
+
+  // Fresh zero-history stream.
+  virtual std::unique_ptr<ForwardStreamState> NewForwardStream() const = 0;
+
+  // Advance one interaction: `a_row` is [1, d] (the embedded a_t); returns
+  // the forward-stream output f_t, [1, d] — bitwise row t of the forward
+  // stream inside Encode.
+  virtual Tensor StepForward(ForwardStreamState& state,
+                             const Tensor& a_row) const = 0;
+
+  // Micro-batched advance: one independent stream per row, `a_rows[i]` is
+  // [1, d]. Returns the per-stream outputs. The default runs per-row
+  // StepForward on the thread pool; recurrent encoders override it to stack
+  // the rows into one batched cell step (same bits either way — every GEMM
+  // row is an independent ascending-k accumulator chain).
+  virtual std::vector<Tensor> StepForwardMany(
+      const std::vector<ForwardStreamState*>& states,
+      const std::vector<Tensor>& a_rows) const;
+
+  // Rebuild `state` from a full history in one pass: `a_seq` is [1, T, d].
+  // Resets the state, then leaves it exactly as T StepForward calls would
+  // (used when a session's neural state was evicted but its history kept).
+  // Returns the whole forward stream [1, T, d].
+  virtual Tensor ReplayForward(ForwardStreamState& state,
+                               const Tensor& a_seq) const = 0;
+
+  // Bytes of neural state one stream holds after `history_len` steps (for
+  // the session store's memory budget). O(1) for recurrent encoders,
+  // O(history_len) for attention KV caches.
+  virtual size_t StateBytes(int64_t history_len) const = 0;
 };
 
 class BiLstmEncoder : public BiEncoder {
  public:
   BiLstmEncoder(int64_t dim, int64_t num_layers, float dropout_p, Rng& rng);
   ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
+
+  std::unique_ptr<ForwardStreamState> NewForwardStream() const override;
+  Tensor StepForward(ForwardStreamState& state,
+                     const Tensor& a_row) const override;
+  std::vector<Tensor> StepForwardMany(
+      const std::vector<ForwardStreamState*>& states,
+      const std::vector<Tensor>& a_rows) const override;
+  Tensor ReplayForward(ForwardStreamState& state,
+                       const Tensor& a_seq) const override;
+  size_t StateBytes(int64_t history_len) const override;
 
  private:
   float dropout_p_;
@@ -59,6 +117,16 @@ class BiGruEncoder : public BiEncoder {
  public:
   BiGruEncoder(int64_t dim, int64_t num_layers, float dropout_p, Rng& rng);
   ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
+
+  std::unique_ptr<ForwardStreamState> NewForwardStream() const override;
+  Tensor StepForward(ForwardStreamState& state,
+                     const Tensor& a_row) const override;
+  std::vector<Tensor> StepForwardMany(
+      const std::vector<ForwardStreamState*>& states,
+      const std::vector<Tensor>& a_rows) const override;
+  Tensor ReplayForward(ForwardStreamState& state,
+                       const Tensor& a_seq) const override;
+  size_t StateBytes(int64_t history_len) const override;
 
  private:
   float dropout_p_;
@@ -72,7 +140,15 @@ class BiAttentionEncoder : public BiEncoder {
                      float dropout_p, bool monotonic, Rng& rng);
   ag::Variable Encode(const ag::Variable& a, const nn::Context& ctx) override;
 
+  std::unique_ptr<ForwardStreamState> NewForwardStream() const override;
+  Tensor StepForward(ForwardStreamState& state,
+                     const Tensor& a_row) const override;
+  Tensor ReplayForward(ForwardStreamState& state,
+                       const Tensor& a_seq) const override;
+  size_t StateBytes(int64_t history_len) const override;
+
  private:
+  int64_t dim_;
   std::vector<std::unique_ptr<nn::TransformerBlock>> forward_blocks_;
   std::vector<std::unique_ptr<nn::TransformerBlock>> backward_blocks_;
 };

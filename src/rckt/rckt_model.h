@@ -93,6 +93,14 @@ class RCKT : public nn::Module {
   nn::Adam* optimizer() { return optimizer_.get(); }
   Rng* dropout_rng() { return &rng_; }
 
+  // Component access for the online serving path (kt::serve), which
+  // re-assembles the generator chain — embed, forward-stream encode, MLP
+  // head — incrementally outside the batched Encode.
+  const models::InteractionEmbedder& embedder() const { return embedder_; }
+  const BiEncoder& bi_encoder() const { return *encoder_; }
+  const nn::Linear& mlp_hidden() const { return mlp_hidden_; }
+  const nn::Linear& mlp_out() const { return mlp_out_; }
+
   // ---- Training (approximate/backward mode, the default) ----
   // One Adam step on an equal-length prefix batch; returns the total loss
   // (Eq. 29) value.

@@ -52,6 +52,42 @@ eval::EvalResult EvaluateRckt(RCKT& model, const data::Dataset& dataset,
   });
 }
 
+DetailedEvalResult EvaluateRcktDetailed(RCKT& model,
+                                        const data::Dataset& dataset,
+                                        const RcktTrainOptions& options) {
+  std::vector<PrefixSample> samples =
+      MakePrefixSamples(dataset, options.eval_stride, options.min_target);
+  DetailedEvalResult result;
+  eval::MetricAccumulator accumulator;
+  for (const auto& group :
+       GroupIntoBatches(std::move(samples), options.batch_size, nullptr)) {
+    data::Batch batch = MakePrefixBatch(group);
+    const std::vector<float> scores = options.exact
+                                          ? model.ScoreTargetsExact(batch)
+                                          : model.ScoreTargets(batch);
+    const std::vector<float> generator = model.GeneratorScoreTargets(batch);
+    const int64_t target = batch.max_len - 1;
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const size_t flat =
+          static_cast<size_t>(batch.FlatIndex(b, target));
+      PredictionRecord record;
+      record.sequence =
+          group[static_cast<size_t>(b)].sequence - dataset.sequences.data();
+      record.target = group[static_cast<size_t>(b)].target;
+      record.question = batch.questions[flat];
+      record.label = batch.responses[flat];
+      record.score = scores[static_cast<size_t>(b)];
+      record.generator_score = generator[static_cast<size_t>(b)];
+      accumulator.AddOne(record.score, record.label);
+      result.predictions.push_back(record);
+    }
+  }
+  result.metrics.auc = accumulator.Auc();
+  result.metrics.acc = accumulator.Acc();
+  result.metrics.num_predictions = accumulator.count();
+  return result;
+}
+
 eval::EvalResult EvaluateModelOnSamples(models::KTModel& model,
                                         const data::Dataset& dataset,
                                         const RcktTrainOptions& options) {

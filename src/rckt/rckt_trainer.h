@@ -38,6 +38,30 @@ struct RcktTrainOptions {
 eval::EvalResult EvaluateRckt(RCKT& model, const data::Dataset& dataset,
                               const RcktTrainOptions& options);
 
+// One scored prefix sample of the detailed evaluation (`ktcli evaluate
+// --json`, serving parity checks). `sequence` indexes dataset.sequences;
+// (sequence, target) identifies the sample. `generator_score` is the
+// generator's direct masked-target probability — the quantity the online
+// predict op reproduces bit-for-bit (scripts/check_serve.sh).
+struct PredictionRecord {
+  int64_t sequence = 0;
+  int64_t target = 0;
+  int64_t question = 0;
+  int label = 0;
+  float score = 0.0f;            // counterfactual score (Eq. 13)
+  float generator_score = 0.0f;  // direct generator probability
+};
+
+struct DetailedEvalResult {
+  eval::EvalResult metrics;
+  // Deterministic order (GroupIntoBatches without shuffling).
+  std::vector<PredictionRecord> predictions;
+};
+
+DetailedEvalResult EvaluateRcktDetailed(RCKT& model,
+                                        const data::Dataset& dataset,
+                                        const RcktTrainOptions& options);
+
 // Same samples, scored by a baseline KTModel (prediction read at the target
 // position of each prefix batch).
 eval::EvalResult EvaluateModelOnSamples(models::KTModel& model,

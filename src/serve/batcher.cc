@@ -1,0 +1,110 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace kt {
+namespace serve {
+
+MicroBatcher::MicroBatcher(InferenceEngine& engine, BatcherOptions options)
+    : engine_(engine), options_(options) {
+  KT_CHECK_GT(options_.max_batch, 0);
+  KT_CHECK_GT(options_.max_queue, 0);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+ServeResponse MicroBatcher::Submit(const ServeRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Pending pending;
+  pending.request = &request;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Backpressure: block the producer while the queue is at capacity.
+    space_cv_.wait(lock, [&] {
+      return stopping_ ||
+             static_cast<int64_t>(queue_.size()) < options_.max_queue;
+    });
+    if (stopping_) {
+      ServeResponse response;
+      response.ok = false;
+      response.error = "server is shutting down";
+      return response;
+    }
+    queue_.push_back(&pending);
+    if (obs::Enabled()) {
+      obs::Histogram::Get("serve.queue_depth")
+          ->Record(static_cast<double>(queue_.size()));
+    }
+    queue_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return pending.done; });
+  }
+  if (obs::Enabled()) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    obs::Histogram::Get("serve.request_latency_us")
+        ->Record(static_cast<double>(elapsed.count()));
+  }
+  return pending.response;
+}
+
+void MicroBatcher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalescing window: give concurrent producers up to max_wait_us to
+    // join this batch (skipped once max_batch are already pending).
+    if (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+        options_.max_wait_us > 0 && !stopping_) {
+      queue_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.max_wait_us), [&] {
+            return stopping_ ||
+                   static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+          });
+    }
+    const size_t take = std::min(queue_.size(),
+                                 static_cast<size_t>(options_.max_batch));
+    std::vector<Pending*> slice(queue_.begin(),
+                                queue_.begin() + static_cast<long>(take));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    space_cv_.notify_all();
+    std::vector<ServeRequest> requests;
+    requests.reserve(take);
+    for (const Pending* pending : slice) requests.push_back(*pending->request);
+    lock.unlock();
+    if (obs::Enabled()) {
+      obs::Histogram::Get("serve.batch_size")
+          ->Record(static_cast<double>(take));
+    }
+    std::vector<ServeResponse> responses = engine_.ExecuteBatch(requests);
+    lock.lock();
+    for (size_t i = 0; i < slice.size(); ++i) {
+      slice[i]->response = std::move(responses[i]);
+      slice[i]->done = true;
+    }
+    done_cv_.notify_all();
+    if (stopping_ && queue_.empty()) return;
+  }
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace serve
+}  // namespace kt

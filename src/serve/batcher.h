@@ -1,0 +1,71 @@
+// Dynamic micro-batcher: coalesces concurrent single-student requests into
+// engine batches.
+//
+// Producer threads (one per client connection) call Submit and block until
+// their response is ready. A single dispatcher thread drains the queue:
+// when a request arrives it waits up to `max_wait_us` for more to pile up
+// (or until `max_batch` are pending), then runs the whole slice through
+// InferenceEngine::ExecuteBatch. Because exactly one thread touches the
+// engine, the engine needs no locking, and the coalesced execution is
+// bit-identical to sequential execution in arrival order (the engine's
+// stacking contract).
+//
+// Backpressure: when `max_queue` requests are already pending, Submit
+// blocks the producer until the dispatcher drains below the bound — load
+// beyond capacity slows clients instead of growing memory without limit.
+#ifndef KT_SERVE_BATCHER_H_
+#define KT_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "serve/engine.h"
+
+namespace kt {
+namespace serve {
+
+struct BatcherOptions {
+  int64_t max_batch = 16;
+  int64_t max_wait_us = 1000;
+  int64_t max_queue = 256;
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(InferenceEngine& engine, BatcherOptions options);
+  ~MicroBatcher();
+
+  // Blocks until the request has been executed; thread-safe. Returns an
+  // error response if called after Stop.
+  ServeResponse Submit(const ServeRequest& request);
+
+  // Drains pending requests and joins the dispatcher (idempotent).
+  void Stop();
+
+ private:
+  struct Pending {
+    const ServeRequest* request;
+    ServeResponse response;
+    bool done = false;
+  };
+
+  void DispatchLoop();
+
+  InferenceEngine& engine_;
+  BatcherOptions options_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  // dispatcher wake-up
+  std::condition_variable space_cv_;  // producer backpressure release
+  std::condition_variable done_cv_;   // per-batch completion broadcast
+  std::deque<Pending*> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_BATCHER_H_

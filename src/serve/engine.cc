@@ -1,0 +1,378 @@
+#include "serve/engine.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "autograd/ops.h"
+#include "data/batch.h"
+#include "obs/obs.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+void BumpCounter(const char* name, int64_t n = 1) {
+  if (!obs::Enabled()) return;
+  obs::Counter::Get(name)->Add(n);
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPredict:
+      return "predict";
+    case Op::kUpdate:
+      return "update";
+    case Op::kExplain:
+      return "explain";
+    case Op::kReset:
+      return "reset";
+    case Op::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+InferenceEngine::InferenceEngine(rckt::RCKT& model, EngineOptions options)
+    : model_(model),
+      options_(options),
+      dim_(model.config().dim),
+      store_(options.session_budget_bytes) {}
+
+void InferenceEngine::LoadConceptMap(const data::Dataset& dataset) {
+  for (const auto& sequence : dataset.sequences) {
+    for (const auto& interaction : sequence.interactions) {
+      concept_map_.emplace(interaction.question, interaction.concepts);
+    }
+  }
+}
+
+const std::vector<int64_t>& InferenceEngine::ConceptsFor(
+    const ServeRequest& request) const {
+  if (request.has_concepts) return request.concepts;
+  auto it = concept_map_.find(request.question);
+  return it == concept_map_.end() ? empty_bag_ : it->second;
+}
+
+bool InferenceEngine::Validate(const ServeRequest& request,
+                               ServeResponse* response) const {
+  response->op = request.op;
+  response->student = request.student;
+  response->question = request.question;
+  auto fail = [&](const std::string& message) {
+    response->ok = false;
+    response->error = message;
+    return false;
+  };
+  if (request.op != Op::kStats && request.student.empty()) {
+    return fail("missing student id");
+  }
+  if (request.op == Op::kPredict || request.op == Op::kUpdate ||
+      request.op == Op::kExplain) {
+    if (request.question < 0 ||
+        (options_.num_questions > 0 &&
+         request.question >= options_.num_questions)) {
+      return fail("question id out of range");
+    }
+    if (request.has_concepts && options_.num_concepts > 0) {
+      for (const int64_t c : request.concepts) {
+        if (c < 0 || c >= options_.num_concepts) {
+          return fail("concept id out of range");
+        }
+      }
+    }
+  }
+  if (request.op == Op::kUpdate &&
+      (request.response < 0 || request.response > 1)) {
+    return fail("response must be 0 or 1");
+  }
+  return true;
+}
+
+void InferenceEngine::EnsureStream(Session& session) {
+  if (session.stream != nullptr) {
+    BumpCounter("serve.cache_hit");
+    return;
+  }
+  BumpCounter("serve.cache_miss");
+  session.stream = model_.bi_encoder().NewForwardStream();
+  const int64_t n = static_cast<int64_t>(session.history.size());
+  if (n > 0) {
+    // The neural state was evicted (or never built): rebuild it with one
+    // bulk pass over the kept history — bit-identical to having stepped.
+    KT_OBS_SCOPE("serve/replay");
+    if (obs::Enabled()) {
+      obs::Histogram::Get("serve.replay_len")->Record(static_cast<double>(n));
+    }
+    ag::NoGradGuard no_grad;
+    std::vector<int64_t> questions(static_cast<size_t>(n));
+    std::vector<int64_t> categories(static_cast<size_t>(n));
+    std::vector<std::vector<int64_t>> bags(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& interaction = session.history[static_cast<size_t>(i)];
+      questions[static_cast<size_t>(i)] = interaction.question;
+      categories[static_cast<size_t>(i)] = interaction.response;
+      bags[static_cast<size_t>(i)] = interaction.concepts;
+    }
+    ag::Variable e = model_.embedder().QuestionEmbedRows(questions, bags);
+    ag::Variable r = ag::EmbeddingLookup(
+        model_.embedder().response_table(), categories);
+    const Tensor a = ag::Add(e, r).value().Reshape(Shape{1, n, dim_});
+    const Tensor f = model_.bi_encoder().ReplayForward(*session.stream, a);
+    session.last_f = Tensor(Shape{1, dim_});
+    std::memcpy(session.last_f.data(), f.data() + (n - 1) * dim_,
+                static_cast<size_t>(dim_) * sizeof(float));
+  }
+  AccountState(session);
+}
+
+void InferenceEngine::AccountState(Session& session) {
+  const size_t bytes =
+      model_.bi_encoder().StateBytes(
+          static_cast<int64_t>(session.history.size())) +
+      static_cast<size_t>(session.last_f.numel()) * sizeof(float);
+  store_.SetStateBytes(session, bytes);
+}
+
+Tensor InferenceEngine::PredictInputRow(
+    const Session& session, int64_t question,
+    const std::vector<int64_t>& concepts) const {
+  ag::NoGradGuard no_grad;
+  const ag::Variable e =
+      model_.embedder().QuestionEmbedRows({question}, {concepts});  // [1, d]
+  // ShiftAndAdd at the target: h = fwd_{T-2} + backward-zero-boundary. The
+  // explicit Add with zeros replays the offline op (it normalizes -0.0f the
+  // same way); an empty history contributes the forward zero boundary too.
+  const Tensor h_in = session.last_f.numel() > 0
+                          ? session.last_f
+                          : Tensor::Zeros(Shape{1, dim_});
+  const Tensor h = ag::Add(ag::Constant(h_in),
+                           ag::Constant(Tensor::Zeros(Shape{1, dim_})))
+                       .value();
+  // x = concat(h, e) along features, [1, 2d] — same bytes Concat({h,e},2)
+  // lays out for this row offline.
+  Tensor x(Shape{1, 2 * dim_});
+  std::memcpy(x.data(), h.data(), static_cast<size_t>(dim_) * sizeof(float));
+  std::memcpy(x.data() + dim_, e.value().data(),
+              static_cast<size_t>(dim_) * sizeof(float));
+  return x;
+}
+
+Tensor InferenceEngine::InteractionRow(int64_t question,
+                                       const std::vector<int64_t>& concepts,
+                                       int response) const {
+  ag::NoGradGuard no_grad;
+  const ag::Variable e =
+      model_.embedder().QuestionEmbedRows({question}, {concepts});
+  const ag::Variable r = ag::EmbeddingLookup(
+      model_.embedder().response_table(), {response});
+  return ag::Add(e, r).value();
+}
+
+ServeResponse InferenceEngine::ExecutePredict(const ServeRequest& request) {
+  ServeResponse response;
+  if (!Validate(request, &response)) return response;
+  KT_OBS_SCOPE("serve/predict");
+  ag::NoGradGuard no_grad;
+  Session& session = store_.GetOrCreate(request.student);
+  EnsureStream(session);
+  const Tensor x = PredictInputRow(session, request.question,
+                                   ConceptsFor(request));
+  const ag::Variable mid =
+      model_.mlp_hidden().ForwardAct(ag::Constant(x), ag::Act::kRelu);
+  const ag::Variable p =
+      model_.mlp_out().ForwardAct(mid, ag::Act::kSigmoid);  // [1, 1]
+  response.p = p.value().flat(0);
+  response.history = static_cast<int64_t>(session.history.size());
+  return response;
+}
+
+ServeResponse InferenceEngine::ExecuteUpdate(const ServeRequest& request) {
+  ServeResponse response;
+  if (!Validate(request, &response)) return response;
+  KT_OBS_SCOPE("serve/update");
+  ag::NoGradGuard no_grad;
+  Session& session = store_.GetOrCreate(request.student);
+  EnsureStream(session);
+  const std::vector<int64_t>& concepts = ConceptsFor(request);
+  const Tensor a = InteractionRow(request.question, concepts,
+                                  request.response);
+  session.last_f = model_.bi_encoder().StepForward(*session.stream, a);
+  session.history.push_back(
+      data::Interaction{request.question, request.response, concepts});
+  AccountState(session);
+  response.history = static_cast<int64_t>(session.history.size());
+  return response;
+}
+
+ServeResponse InferenceEngine::ExecuteExplain(const ServeRequest& request) {
+  ServeResponse response;
+  if (!Validate(request, &response)) return response;
+  Session& session = store_.GetOrCreate(request.student);
+  if (session.history.empty()) {
+    response.ok = false;
+    response.error = "explain needs at least one history interaction";
+    return response;
+  }
+  KT_OBS_SCOPE("serve/explain");
+  // Influence attribution needs counterfactual passes over the whole
+  // prefix — this is the offline path by construction, run on the
+  // session's history with the request as target.
+  data::ResponseSequence sequence;
+  sequence.interactions = session.history;
+  sequence.interactions.push_back(data::Interaction{
+      request.question, request.response, ConceptsFor(request)});
+  const data::Batch batch = data::MakeBatch({&sequence});
+  rckt::RCKT::Explanation explanation =
+      std::move(model_.ExplainTargets(batch)[0]);
+  response.influence = std::move(explanation.influence);
+  response.responses = std::move(explanation.responses);
+  response.total_correct = explanation.total_correct;
+  response.total_incorrect = explanation.total_incorrect;
+  response.score = explanation.score;
+  response.predicted_correct = explanation.predicted_correct;
+  response.history = static_cast<int64_t>(session.history.size());
+  return response;
+}
+
+ServeResponse InferenceEngine::ExecuteStats(const ServeRequest& request) {
+  ServeResponse response;
+  response.op = request.op;
+  response.sessions = static_cast<int64_t>(store_.size());
+  response.state_bytes = static_cast<int64_t>(store_.total_state_bytes());
+  response.evictions = static_cast<int64_t>(store_.evictions());
+  return response;
+}
+
+ServeResponse InferenceEngine::Execute(const ServeRequest& request) {
+  BumpCounter("serve.requests");
+  switch (request.op) {
+    case Op::kPredict:
+      return ExecutePredict(request);
+    case Op::kUpdate:
+      return ExecuteUpdate(request);
+    case Op::kExplain:
+      return ExecuteExplain(request);
+    case Op::kReset: {
+      ServeResponse response;
+      if (!Validate(request, &response)) return response;
+      store_.Erase(request.student);
+      return response;
+    }
+    case Op::kStats:
+      return ExecuteStats(request);
+  }
+  ServeResponse response;
+  response.ok = false;
+  response.error = "unknown op";
+  return response;
+}
+
+void InferenceEngine::PredictRun(const std::vector<ServeRequest>& requests,
+                                 size_t begin, size_t end,
+                                 std::vector<ServeResponse>* out) {
+  ag::NoGradGuard no_grad;
+  BumpCounter("serve.requests", static_cast<int64_t>(end - begin));
+  std::vector<size_t> slots;
+  std::vector<Tensor> rows;
+  for (size_t i = begin; i < end; ++i) {
+    ServeResponse& response = (*out)[i];
+    if (!Validate(requests[i], &response)) continue;
+    Session& session = store_.GetOrCreate(requests[i].student);
+    EnsureStream(session);
+    rows.push_back(PredictInputRow(session, requests[i].question,
+                                   ConceptsFor(requests[i])));
+    slots.push_back(i);
+    response.history = static_cast<int64_t>(session.history.size());
+  }
+  if (rows.empty()) return;
+  // One stacked MLP-head pass for the whole run; row j is bitwise the
+  // single-request result.
+  const int64_t k = static_cast<int64_t>(rows.size());
+  Tensor stacked(Shape{k, 2 * dim_});
+  for (int64_t j = 0; j < k; ++j) {
+    std::memcpy(stacked.data() + j * 2 * dim_,
+                rows[static_cast<size_t>(j)].data(),
+                static_cast<size_t>(2 * dim_) * sizeof(float));
+  }
+  const ag::Variable mid =
+      model_.mlp_hidden().ForwardAct(ag::Constant(stacked), ag::Act::kRelu);
+  const ag::Variable p =
+      model_.mlp_out().ForwardAct(mid, ag::Act::kSigmoid);  // [k, 1]
+  for (int64_t j = 0; j < k; ++j) {
+    (*out)[slots[static_cast<size_t>(j)]].p = p.value().flat(j);
+  }
+}
+
+void InferenceEngine::UpdateRun(const std::vector<ServeRequest>& requests,
+                                size_t begin, size_t end,
+                                std::vector<ServeResponse>* out) {
+  ag::NoGradGuard no_grad;
+  BumpCounter("serve.requests", static_cast<int64_t>(end - begin));
+  std::vector<size_t> slots;
+  std::vector<Session*> touched;
+  std::vector<rckt::ForwardStreamState*> states;
+  std::vector<Tensor> rows;
+  std::vector<const std::vector<int64_t>*> bags;
+  for (size_t i = begin; i < end; ++i) {
+    ServeResponse& response = (*out)[i];
+    if (!Validate(requests[i], &response)) continue;
+    Session& session = store_.GetOrCreate(requests[i].student);
+    EnsureStream(session);
+    const std::vector<int64_t>& concepts = ConceptsFor(requests[i]);
+    rows.push_back(InteractionRow(requests[i].question, concepts,
+                                  requests[i].response));
+    slots.push_back(i);
+    touched.push_back(&session);
+    states.push_back(session.stream.get());
+    bags.push_back(&concepts);
+  }
+  if (rows.empty()) return;
+  // One batched encoder step across the distinct students of the run.
+  const std::vector<Tensor> outputs =
+      model_.bi_encoder().StepForwardMany(states, rows);
+  for (size_t j = 0; j < slots.size(); ++j) {
+    Session& session = *touched[j];
+    const ServeRequest& request = requests[slots[j]];
+    session.last_f = outputs[j];
+    session.history.push_back(
+        data::Interaction{request.question, request.response, *bags[j]});
+    AccountState(session);
+    (*out)[slots[j]].history = static_cast<int64_t>(session.history.size());
+  }
+}
+
+std::vector<ServeResponse> InferenceEngine::ExecuteBatch(
+    const std::vector<ServeRequest>& requests) {
+  const size_t n = requests.size();
+  std::vector<ServeResponse> out(n);
+  size_t i = 0;
+  while (i < n) {
+    const Op op = requests[i].op;
+    if (op == Op::kPredict) {
+      size_t j = i;
+      while (j < n && requests[j].op == Op::kPredict) ++j;
+      PredictRun(requests, i, j, &out);
+      i = j;
+    } else if (op == Op::kUpdate) {
+      // A student appearing twice must step sequentially: close the run at
+      // the repeat so the second step sees the first one's state.
+      std::unordered_set<std::string> seen;
+      size_t j = i;
+      while (j < n && requests[j].op == Op::kUpdate &&
+             seen.insert(requests[j].student).second) {
+        ++j;
+      }
+      UpdateRun(requests, i, j, &out);
+      i = j;
+    } else {
+      out[i] = Execute(requests[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace kt

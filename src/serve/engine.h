@@ -1,0 +1,144 @@
+// Tape-free online inference engine over a trained RCKT model.
+//
+// The offline scorer (`ktcli evaluate`) re-encodes a student's whole prefix
+// for every prediction. Online, the same quantities fall out of an
+// incremental decomposition of the generator chain:
+//
+//   predict(q): the generator's masked-target probability at the last
+//     position. ShiftAndAdd makes h_target = fwd_{T-2} + 0 — the backward
+//     stream contributes only its zero boundary at the final position — so
+//     a prediction needs just the cached forward-stream output of the last
+//     history step, the target's question embedding, and the two-layer MLP
+//     head: O(1) work per request for every encoder.
+//   update(q, r): advances the forward stream by one step (O(1) for
+//     DKT/GRU, O(history) attention over the KV cache for SAKT/AKT).
+//   explain(q): full response-influence breakdown (RCKT::ExplainTargets)
+//     over the session history — inherently O(T) counterfactual passes.
+//
+// Load-bearing contract (tests/serve_test.cc, scripts/check_serve.sh):
+// predict is BIT-IDENTICAL to RCKT::GeneratorScoreTargets on the
+// equivalent offline prefix batch, at any thread count, because every op on
+// the incremental path replays the same kernel chain on the same bits (see
+// DESIGN.md §11).
+#ifndef KT_SERVE_ENGINE_H_
+#define KT_SERVE_ENGINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rckt/rckt_model.h"
+#include "serve/session.h"
+
+namespace kt {
+namespace serve {
+
+enum class Op { kPredict, kUpdate, kExplain, kReset, kStats };
+
+struct ServeRequest {
+  Op op = Op::kPredict;
+  std::string student;
+  int64_t question = -1;
+  int response = 0;
+  // Explicit concept bag; when absent the engine falls back to the
+  // question->concepts map seeded from the training data.
+  bool has_concepts = false;
+  std::vector<int64_t> concepts;
+};
+
+struct ServeResponse {
+  bool ok = true;
+  std::string error;
+  Op op = Op::kPredict;
+  std::string student;
+  int64_t question = -1;
+  float p = 0.0f;       // predict: p(correct) at the target
+  int64_t history = 0;  // session history length after the op
+  // explain payload (RCKT::Explanation of the session's prefix).
+  std::vector<float> influence;
+  std::vector<int> responses;
+  float total_correct = 0.0f;
+  float total_incorrect = 0.0f;
+  float score = 0.0f;
+  bool predicted_correct = false;
+  // stats payload
+  int64_t sessions = 0;
+  int64_t state_bytes = 0;
+  int64_t evictions = 0;
+};
+
+struct EngineOptions {
+  // Budget for cached neural state across all sessions (see SessionStore).
+  size_t session_budget_bytes = 64ull << 20;
+  // Input validation bounds; 0 disables the check (ids the embedder has
+  // never seen would abort the process inside EmbeddingLookup otherwise).
+  int64_t num_questions = 0;
+  int64_t num_concepts = 0;
+};
+
+// NOT thread-safe: one engine is driven by one thread (the micro-batcher's
+// dispatcher in the server). Concurrency comes from kt::parallel inside the
+// stacked compute, not from concurrent Execute calls.
+class InferenceEngine {
+ public:
+  InferenceEngine(rckt::RCKT& model, EngineOptions options);
+
+  // Seeds the question->concepts fallback map (first occurrence wins).
+  void LoadConceptMap(const data::Dataset& dataset);
+
+  ServeResponse Execute(const ServeRequest& request);
+
+  // Executes `requests` with results equal to sequential Execute calls in
+  // order, but coalesces adjacent runs of predicts (stacked MLP head) and
+  // of updates on distinct students (stacked encoder step) — the dynamic
+  // micro-batching payoff. Stacked and sequential paths are bit-identical
+  // (every GEMM row is an independent accumulator chain).
+  std::vector<ServeResponse> ExecuteBatch(
+      const std::vector<ServeRequest>& requests);
+
+  const SessionStore& sessions() const { return store_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  // Concept bag for a request (explicit > map > empty).
+  const std::vector<int64_t>& ConceptsFor(const ServeRequest& request) const;
+  // Validates ids; fills *response and returns false on a bad request.
+  bool Validate(const ServeRequest& request, ServeResponse* response) const;
+  // Makes sure `session.stream` exists, replaying the history if it was
+  // evicted. Counts serve.cache_hit / serve.cache_miss.
+  void EnsureStream(Session& session);
+  // Bookkeeping after the stream advanced (state size + LRU budget).
+  void AccountState(Session& session);
+  // The MLP-head input row [1, 2*dim] for predicting `question` on
+  // `session` (h-half from the cached forward stream, e-half embedded).
+  Tensor PredictInputRow(const Session& session, int64_t question,
+                         const std::vector<int64_t>& concepts) const;
+  // The embedded interaction row a = e + r_emb[response], [1, dim].
+  Tensor InteractionRow(int64_t question, const std::vector<int64_t>& concepts,
+                        int response) const;
+
+  ServeResponse ExecutePredict(const ServeRequest& request);
+  ServeResponse ExecuteUpdate(const ServeRequest& request);
+  ServeResponse ExecuteExplain(const ServeRequest& request);
+  ServeResponse ExecuteStats(const ServeRequest& request);
+
+  // Coalesced runs for ExecuteBatch ([begin, end) of same-op requests).
+  void PredictRun(const std::vector<ServeRequest>& requests, size_t begin,
+                  size_t end, std::vector<ServeResponse>* out);
+  void UpdateRun(const std::vector<ServeRequest>& requests, size_t begin,
+                 size_t end, std::vector<ServeResponse>* out);
+
+  rckt::RCKT& model_;
+  EngineOptions options_;
+  int64_t dim_;
+  SessionStore store_;
+  std::unordered_map<int64_t, std::vector<int64_t>> concept_map_;
+  const std::vector<int64_t> empty_bag_;
+};
+
+const char* OpName(Op op);
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_ENGINE_H_

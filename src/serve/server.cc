@@ -1,0 +1,270 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/logging.h"
+
+namespace kt {
+namespace serve {
+
+bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
+                       std::string* error) {
+  *out = ServeRequest();
+  if (!json.IsObject()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  const std::string op = json.GetString("op", "");
+  if (op == "predict") {
+    out->op = Op::kPredict;
+  } else if (op == "update") {
+    out->op = Op::kUpdate;
+  } else if (op == "explain") {
+    out->op = Op::kExplain;
+  } else if (op == "reset") {
+    out->op = Op::kReset;
+  } else if (op == "stats") {
+    out->op = Op::kStats;
+  } else {
+    *error = op.empty() ? "missing op" : "unknown op '" + op + "'";
+    return false;
+  }
+  out->student = json.GetString("student", "");
+  out->question = json.GetInt("question", -1);
+  if (out->op == Op::kUpdate) {
+    const JsonValue* response = json.Find("response");
+    if (response == nullptr || !response->IsNumber()) {
+      *error = "update needs a numeric 'response'";
+      return false;
+    }
+    out->response = static_cast<int>(response->number);
+  } else {
+    out->response = static_cast<int>(json.GetInt("response", 0));
+  }
+  if (const JsonValue* concepts = json.Find("concepts")) {
+    if (!concepts->IsArray()) {
+      *error = "'concepts' must be an array";
+      return false;
+    }
+    out->has_concepts = true;
+    out->concepts.reserve(concepts->array.size());
+    for (const JsonValue& c : concepts->array) {
+      if (!c.IsNumber()) {
+        *error = "'concepts' entries must be numbers";
+        return false;
+      }
+      out->concepts.push_back(static_cast<int64_t>(c.number));
+    }
+  }
+  return true;
+}
+
+std::string SerializeResponse(const ServeResponse& response) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(response.ok);
+  if (!response.ok) {
+    w.Key("error").String(response.error);
+    if (!response.student.empty()) w.Key("student").String(response.student);
+    w.EndObject();
+    return w.str();
+  }
+  w.Key("op").String(OpName(response.op));
+  switch (response.op) {
+    case Op::kPredict:
+      w.Key("student").String(response.student);
+      w.Key("question").Int(response.question);
+      w.Key("p").Float(response.p);
+      w.Key("history").Int(response.history);
+      break;
+    case Op::kUpdate:
+      w.Key("student").String(response.student);
+      w.Key("question").Int(response.question);
+      w.Key("history").Int(response.history);
+      break;
+    case Op::kExplain: {
+      w.Key("student").String(response.student);
+      w.Key("question").Int(response.question);
+      w.Key("history").Int(response.history);
+      w.Key("influence").BeginArray();
+      for (const float v : response.influence) w.Float(v);
+      w.EndArray();
+      w.Key("responses").BeginArray();
+      for (const int r : response.responses) w.Int(r);
+      w.EndArray();
+      w.Key("total_correct").Float(response.total_correct);
+      w.Key("total_incorrect").Float(response.total_incorrect);
+      w.Key("score").Float(response.score);
+      w.Key("predicted_correct").Bool(response.predicted_correct);
+      break;
+    }
+    case Op::kReset:
+      w.Key("student").String(response.student);
+      break;
+    case Op::kStats:
+      w.Key("sessions").Int(response.sessions);
+      w.Key("state_bytes").Int(response.state_bytes);
+      w.Key("evictions").Int(response.evictions);
+      break;
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string SerializeError(const std::string& message) {
+  JsonWriter w;
+  w.BeginObject().Key("ok").Bool(false).Key("error").String(message)
+      .EndObject();
+  return w.str();
+}
+
+namespace {
+
+bool IsShutdown(const JsonValue& json) {
+  return json.GetString("op", "") == "shutdown";
+}
+
+// One request line -> one response line (or a shutdown marker).
+std::string HandleLine(MicroBatcher& batcher, const std::string& line,
+                       bool* shutdown) {
+  JsonValue json;
+  std::string error;
+  if (!ParseJson(line, &json, &error)) {
+    return SerializeError("bad json: " + error);
+  }
+  if (IsShutdown(json)) {
+    *shutdown = true;
+    return "{\"ok\":true,\"op\":\"shutdown\"}";
+  }
+  ServeRequest request;
+  if (!ParseServeRequest(json, &request, &error)) {
+    return SerializeError(error);
+  }
+  const ServeResponse response = batcher.Submit(request);
+  return SerializeResponse(response);
+}
+
+bool BlankLine(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+int RunStdioServer(MicroBatcher& batcher) {
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(std::cin, line)) {
+    if (BlankLine(line)) continue;
+    std::cout << HandleLine(batcher, line, &shutdown) << "\n" << std::flush;
+  }
+  return 0;
+}
+
+// Buffered line reads over a socket.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool NextLine(std::string* line) {
+    while (true) {
+      const size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        line->assign(buffer_, 0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int RunTcpServer(MicroBatcher& batcher, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    KT_LOG(ERROR) << "serve: socket() failed";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    KT_LOG(ERROR) << "serve: cannot bind 127.0.0.1:" << port;
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 64) < 0) {
+    KT_LOG(ERROR) << "serve: listen() failed";
+    ::close(listener);
+    return 1;
+  }
+  KT_LOG(INFO) << "serving on 127.0.0.1:" << port;
+
+  std::atomic<bool> shutdown{false};
+  std::vector<std::thread> workers;
+  while (!shutdown.load()) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;  // listener closed by a shutdown op
+    workers.emplace_back([&batcher, &shutdown, listener, conn] {
+      FdLineReader reader(conn);
+      std::string line;
+      while (reader.NextLine(&line)) {
+        if (BlankLine(line)) continue;
+        bool want_shutdown = false;
+        const std::string reply = HandleLine(batcher, line, &want_shutdown);
+        if (!WriteAll(conn, reply + "\n")) break;
+        if (want_shutdown) {
+          shutdown.store(true);
+          // Unblock accept() so the main loop can exit.
+          ::shutdown(listener, SHUT_RDWR);
+          break;
+        }
+      }
+      ::close(conn);
+    });
+  }
+  ::close(listener);
+  for (std::thread& worker : workers) worker.join();
+  return 0;
+}
+
+}  // namespace
+
+int RunServer(InferenceEngine& engine, const ServerOptions& options) {
+  MicroBatcher batcher(engine, options.batcher);
+  const int code = options.port > 0 ? RunTcpServer(batcher, options.port)
+                                    : RunStdioServer(batcher);
+  batcher.Stop();
+  return code;
+}
+
+}  // namespace serve
+}  // namespace kt

@@ -1,0 +1,50 @@
+// Newline-delimited-JSON serving front end.
+//
+// Two transports share one protocol:
+//   * stdio  (port == 0): synchronous request/response over stdin/stdout —
+//     trivially scriptable (`echo '{"op":...}' | ktcli serve ...`);
+//   * TCP    (port  > 0): listens on 127.0.0.1, one thread per connection,
+//     all connections feeding the shared MicroBatcher so concurrent
+//     clients coalesce into engine batches.
+//
+// Protocol (one JSON object per line, one response line per request):
+//   {"op":"predict","student":"s1","question":7,"concepts":[2,5]}
+//     -> {"ok":true,"op":"predict",...,"p":0.53,"history":12}
+//   {"op":"update","student":"s1","question":7,"response":1}
+//     -> {"ok":true,"op":"update",...,"history":13}
+//   {"op":"explain","student":"s1","question":7}
+//     -> {"ok":true,...,"influence":[...],"responses":[...],...}
+//   {"op":"reset","student":"s1"} | {"op":"stats"} | {"op":"shutdown"}
+// `concepts` is optional everywhere (fallback: the engine's question map).
+#ifndef KT_SERVE_SERVER_H_
+#define KT_SERVE_SERVER_H_
+
+#include <string>
+
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+
+namespace kt {
+namespace serve {
+
+struct ServerOptions {
+  int port = 0;  // 0 = stdio transport
+  BatcherOptions batcher;
+};
+
+// Serves until stdin EOF / a shutdown op. Returns a process exit code.
+int RunServer(InferenceEngine& engine, const ServerOptions& options);
+
+// Wire <-> struct conversions (shared by the server, kt_loadgen and
+// tests/serve_test.cc). ParseServeRequest rejects unknown/malformed ops
+// ("shutdown" is transport-level and handled before this).
+bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
+                       std::string* error);
+std::string SerializeResponse(const ServeResponse& response);
+std::string SerializeError(const std::string& message);
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_SERVER_H_

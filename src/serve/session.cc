@@ -1,0 +1,70 @@
+#include "serve/session.h"
+
+#include "obs/obs.h"
+
+namespace kt {
+namespace serve {
+
+SessionStore::SessionStore(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+void SessionStore::Touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+Session& SessionStore::GetOrCreate(const std::string& id) {
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    Touch(it->second);
+    return it->second.session;
+  }
+  lru_.push_front(id);
+  Entry& entry = sessions_[id];
+  entry.session.id = id;
+  entry.lru_it = lru_.begin();
+  return entry.session;
+}
+
+Session* SessionStore::Find(const std::string& id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second.session;
+}
+
+void SessionStore::SetStateBytes(Session& session, size_t bytes) {
+  total_state_bytes_ -= session.state_bytes;
+  session.state_bytes = bytes;
+  total_state_bytes_ += bytes;
+  EvictUntilWithinBudget(&session);
+}
+
+void SessionStore::EvictUntilWithinBudget(const Session* keep) {
+  if (budget_bytes_ == 0) return;
+  // Walk from the cold end, dropping neural state (histories stay).
+  auto it = lru_.rbegin();
+  while (total_state_bytes_ > budget_bytes_ && it != lru_.rend()) {
+    Entry& entry = sessions_.at(*it);
+    Session& victim = entry.session;
+    ++it;
+    if (&victim == keep || victim.state_bytes == 0) continue;
+    total_state_bytes_ -= victim.state_bytes;
+    victim.state_bytes = 0;
+    victim.stream.reset();
+    victim.last_f = Tensor();
+    ++evictions_;
+    if (obs::Enabled()) {
+      static obs::Counter* const evicted =
+          obs::Counter::Get("serve.evictions");
+      evicted->Add(1);
+    }
+  }
+}
+
+void SessionStore::Erase(const std::string& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  total_state_bytes_ -= it->second.session.state_bytes;
+  lru_.erase(it->second.lru_it);
+  sessions_.erase(it);
+}
+
+}  // namespace serve
+}  // namespace kt

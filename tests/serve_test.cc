@@ -1,0 +1,682 @@
+// Tests for the kt::serve online inference subsystem.
+//
+// The load-bearing contract: incremental per-step serving is BIT-IDENTICAL
+// to the offline full-sequence forward — for every encoder, at every thread
+// count, through eviction/replay, and through micro-batch coalescing.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "data/simulator.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/serialize.h"
+#include "rckt/encoders.h"
+#include "rckt/rckt_model.h"
+#include "rckt/samples.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+uint32_t Bits(float f) {
+  uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+data::Dataset TinyDataset() {
+  data::SimulatorConfig config;
+  config.num_students = 12;
+  config.num_questions = 25;
+  config.num_concepts = 4;
+  config.min_responses = 10;
+  config.max_responses = 18;
+  config.seed = 9;
+  data::StudentSimulator sim(config);
+  return sim.Generate();
+}
+
+rckt::RcktConfig SmallConfig(rckt::EncoderKind kind) {
+  rckt::RcktConfig config;
+  config.encoder = kind;
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.seed = 4;
+  return config;
+}
+
+// ---- JSON wire format ----
+
+TEST(ServeJsonTest, ParsesScalarsArraysAndEscapes) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"predict","n":-3,"p":0.25,"ok":true,"x":null,)"
+      R"("tags":[1,2,3],"s":"a\"b\nA"})",
+      &v, &error))
+      << error;
+  EXPECT_EQ(v.GetString("op", ""), "predict");
+  EXPECT_EQ(v.GetInt("n", 0), -3);
+  EXPECT_DOUBLE_EQ(v.GetNumber("p", 0.0), 0.25);
+  EXPECT_TRUE(v.GetBool("ok", false));
+  ASSERT_NE(v.Find("x"), nullptr);
+  EXPECT_TRUE(v.Find("x")->IsNull());
+  ASSERT_NE(v.Find("tags"), nullptr);
+  ASSERT_EQ(v.Find("tags")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("tags")->array[1].number, 2.0);
+  EXPECT_EQ(v.GetString("s", ""), "a\"b\nA");
+}
+
+TEST(ServeJsonTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":", &v, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &v, &error));
+  EXPECT_FALSE(ParseJson("{'a':1}", &v, &error));
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  // Depth bound: deeply nested arrays must error out, not overflow.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep, &v, &error));
+}
+
+TEST(ServeJsonTest, WriterRoundTripsFloatBits) {
+  // %.9g must reproduce the exact float through parse.
+  const float values[] = {0.1f, 1.0f / 3.0f, 1e-30f, 123456.78f, 0.0f};
+  for (float f : values) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("p").Float(f);
+    w.EndObject();
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(w.str(), &v, &error)) << error;
+    EXPECT_EQ(Bits(static_cast<float>(v.GetNumber("p", -1.0))), Bits(f))
+        << "float " << f << " did not round-trip through " << w.str();
+  }
+}
+
+TEST(ServeJsonTest, WriterPlacesCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray();
+  w.Int(2);
+  w.String("x");
+  w.EndArray();
+  w.Key("c").Bool(false);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"x"],"c":false})");
+}
+
+// ---- Request parsing ----
+
+TEST(ServeProtocolTest, ParsesPredictAndUpdate) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"update","student":"s1","question":7,"response":1,)"
+      R"("concepts":[2,5]})",
+      &v, &error));
+  ServeRequest request;
+  ASSERT_TRUE(ParseServeRequest(v, &request, &error)) << error;
+  EXPECT_EQ(request.op, Op::kUpdate);
+  EXPECT_EQ(request.student, "s1");
+  EXPECT_EQ(request.question, 7);
+  EXPECT_EQ(request.response, 1);
+  ASSERT_TRUE(request.has_concepts);
+  EXPECT_EQ(request.concepts, (std::vector<int64_t>{2, 5}));
+}
+
+TEST(ServeProtocolTest, RejectsBadRequests) {
+  std::string error;
+  JsonValue v;
+  ServeRequest request;
+  ASSERT_TRUE(ParseJson(R"({"op":"fly","student":"s"})", &v, &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  // update without a response field.
+  ASSERT_TRUE(
+      ParseJson(R"({"op":"update","student":"s","question":1})", &v, &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+}
+
+// ---- Chunked recurrent forward (the initial/final state plumbing) ----
+
+TEST(ServeStreamTest, LstmChunkedForwardBitIdentical) {
+  Rng rng(3);
+  nn::LSTM lstm(8, 8, rng);
+  const Tensor x = Tensor::Uniform({2, 10, 8}, -1.0f, 1.0f, rng);
+  ag::NoGradGuard guard;
+  const Tensor full = lstm.Forward(ag::Constant(x)).value();
+
+  // Same sequence in two chunks, threading the state across the split.
+  Tensor a = Tensor::Zeros({2, 4, 8});
+  Tensor b = Tensor::Zeros({2, 6, 8});
+  for (int64_t row = 0; row < 2; ++row) {
+    const float* src = x.data() + row * 10 * 8;
+    std::memcpy(a.data() + row * 4 * 8, src, 4 * 8 * sizeof(float));
+    std::memcpy(b.data() + row * 6 * 8, src + 4 * 8, 6 * 8 * sizeof(float));
+  }
+  nn::LSTMCell::State mid;
+  const Tensor out_a =
+      lstm.Forward(ag::Constant(a), false, nullptr, &mid).value();
+  const Tensor out_b = lstm.Forward(ag::Constant(b), false, &mid).value();
+  for (int64_t row = 0; row < 2; ++row) {
+    EXPECT_EQ(std::memcmp(full.data() + row * 10 * 8,
+                          out_a.data() + row * 4 * 8, 4 * 8 * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(full.data() + row * 10 * 8 + 4 * 8,
+                          out_b.data() + row * 6 * 8, 6 * 8 * sizeof(float)),
+              0);
+  }
+}
+
+TEST(ServeStreamTest, GruChunkedForwardBitIdentical) {
+  Rng rng(5);
+  nn::GRU gru(8, 8, rng);
+  const Tensor x = Tensor::Uniform({1, 9, 8}, -1.0f, 1.0f, rng);
+  ag::NoGradGuard guard;
+  const Tensor full = gru.Forward(ag::Constant(x)).value();
+
+  Tensor a = Tensor::Zeros({1, 3, 8});
+  Tensor b = Tensor::Zeros({1, 6, 8});
+  std::memcpy(a.data(), x.data(), 3 * 8 * sizeof(float));
+  std::memcpy(b.data(), x.data() + 3 * 8, 6 * 8 * sizeof(float));
+  ag::Variable mid;
+  const Tensor out_a =
+      gru.Forward(ag::Constant(a), false, nullptr, &mid).value();
+  const Tensor out_b = gru.Forward(ag::Constant(b), false, &mid).value();
+  EXPECT_EQ(std::memcmp(full.data(), out_a.data(), 3 * 8 * sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(full.data() + 3 * 8, out_b.data(),
+                        6 * 8 * sizeof(float)),
+            0);
+}
+
+// ---- Forward-stream step == replay, per encoder ----
+
+class ForwardStreamSuite
+    : public ::testing::TestWithParam<rckt::EncoderKind> {};
+
+TEST_P(ForwardStreamSuite, StepByStepMatchesReplay) {
+  Rng rng(7);
+  auto encoder = rckt::MakeBiEncoder(GetParam(), /*dim=*/16, /*num_layers=*/2,
+                                     /*num_heads=*/2, /*dropout_p=*/0.0f,
+                                     rng);
+  const int64_t T = 12, d = 16;
+  const Tensor a_seq = Tensor::Uniform({1, T, d}, -1.0f, 1.0f, rng);
+
+  auto replay_state = encoder->NewForwardStream();
+  const Tensor replayed = encoder->ReplayForward(*replay_state, a_seq);
+  ASSERT_EQ(replayed.numel(), T * d);
+
+  auto step_state = encoder->NewForwardStream();
+  for (int64_t t = 0; t < T; ++t) {
+    Tensor row = Tensor::Zeros({1, d});
+    std::memcpy(row.data(), a_seq.data() + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    const Tensor f = encoder->StepForward(*step_state, row);
+    ASSERT_EQ(f.numel(), d);
+    EXPECT_EQ(std::memcmp(f.data(), replayed.data() + t * d,
+                          static_cast<size_t>(d) * sizeof(float)),
+              0)
+        << "step " << t << " diverges from replay";
+  }
+  EXPECT_GT(encoder->StateBytes(T), 0u);
+}
+
+TEST_P(ForwardStreamSuite, StepForwardManyMatchesSingles) {
+  Rng rng(11);
+  auto encoder = rckt::MakeBiEncoder(GetParam(), 16, 2, 2, 0.0f, rng);
+  const int64_t k = 5, d = 16;
+  // Advance k independent streams a few steps, then compare one batched
+  // StepForwardMany against per-stream StepForward from identical states.
+  std::vector<std::unique_ptr<rckt::ForwardStreamState>> batched, singles;
+  Rng data_rng(13);
+  std::vector<Tensor> warm(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    batched.push_back(encoder->NewForwardStream());
+    singles.push_back(encoder->NewForwardStream());
+    warm[static_cast<size_t>(i)] =
+        Tensor::Uniform({1, d}, -1.0f, 1.0f, data_rng);
+  }
+  for (int64_t i = 0; i < k; ++i) {
+    encoder->StepForward(*batched[static_cast<size_t>(i)],
+                         warm[static_cast<size_t>(i)]);
+    encoder->StepForward(*singles[static_cast<size_t>(i)],
+                         warm[static_cast<size_t>(i)]);
+  }
+  std::vector<Tensor> rows(static_cast<size_t>(k));
+  std::vector<rckt::ForwardStreamState*> batched_ptrs;
+  for (int64_t i = 0; i < k; ++i) {
+    rows[static_cast<size_t>(i)] =
+        Tensor::Uniform({1, d}, -1.0f, 1.0f, data_rng);
+    batched_ptrs.push_back(batched[static_cast<size_t>(i)].get());
+  }
+  const auto many = encoder->StepForwardMany(batched_ptrs, rows);
+  ASSERT_EQ(many.size(), static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const Tensor single = encoder->StepForward(
+        *singles[static_cast<size_t>(i)], rows[static_cast<size_t>(i)]);
+    EXPECT_TRUE(BitEqual(many[static_cast<size_t>(i)], single))
+        << "stream " << i << " diverges under batched stepping";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, ForwardStreamSuite,
+                         ::testing::Values(rckt::EncoderKind::kDKT,
+                                           rckt::EncoderKind::kGRU,
+                                           rckt::EncoderKind::kSAKT,
+                                           rckt::EncoderKind::kAKT),
+                         [](const auto& info) {
+                           return std::string(
+                               rckt::EncoderKindName(info.param));
+                         });
+
+// ---- Online predict == offline generator score, at 1/2/8 threads ----
+
+class EngineParitySuite : public ::testing::TestWithParam<rckt::EncoderKind> {
+ protected:
+  void SetUp() override { saved_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_P(EngineParitySuite, PredictMatchesOfflineGeneratorBitwise) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(GetParam()));
+  const auto& seq = ds.sequences[0];
+
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    EngineOptions options;
+    options.num_questions = ds.num_questions;
+    options.num_concepts = ds.num_concepts;
+    InferenceEngine engine(model, options);
+
+    for (int64_t t = 0; t < seq.length(); ++t) {
+      const auto& it = seq.interactions[static_cast<size_t>(t)];
+      if (t >= 2) {
+        ServeRequest predict;
+        predict.op = Op::kPredict;
+        predict.student = "s0";
+        predict.question = it.question;
+        predict.has_concepts = true;
+        predict.concepts = it.concepts;
+        const ServeResponse online = engine.Execute(predict);
+        ASSERT_TRUE(online.ok) << online.error;
+
+        data::Batch batch = rckt::MakePrefixBatch({{&seq, t}});
+        const float offline = model.GeneratorScoreTargets(batch)[0];
+        EXPECT_EQ(Bits(online.p), Bits(offline))
+            << "target " << t << " threads " << threads << ": online "
+            << online.p << " vs offline " << offline;
+      }
+      ServeRequest update;
+      update.op = Op::kUpdate;
+      update.student = "s0";
+      update.question = it.question;
+      update.response = it.response;
+      update.has_concepts = true;
+      update.concepts = it.concepts;
+      ASSERT_TRUE(engine.Execute(update).ok);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, EngineParitySuite,
+                         ::testing::Values(rckt::EncoderKind::kDKT,
+                                           rckt::EncoderKind::kGRU,
+                                           rckt::EncoderKind::kSAKT,
+                                           rckt::EncoderKind::kAKT),
+                         [](const auto& info) {
+                           return std::string(
+                               rckt::EncoderKindName(info.param));
+                         });
+
+// ---- Session store: LRU accounting and eviction ----
+
+TEST(SessionStoreTest, EvictsColdStateButKeepsHistory) {
+  SessionStore store(/*budget_bytes=*/100);
+  Session& a = store.GetOrCreate("a");
+  a.history.push_back({1, 1, {0}});
+  store.SetStateBytes(a, 60);
+  Session& b = store.GetOrCreate("b");
+  store.SetStateBytes(b, 60);  // over budget -> a (older) evicted
+
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.total_state_bytes(), 60u);
+  Session* a_again = store.Find("a");
+  ASSERT_NE(a_again, nullptr);
+  EXPECT_EQ(a_again->stream, nullptr);
+  EXPECT_EQ(a_again->state_bytes, 0u);
+  EXPECT_EQ(a_again->history.size(), 1u);  // history survives eviction
+}
+
+TEST(SessionStoreTest, NeverEvictsTheSessionBeingAccounted) {
+  SessionStore store(/*budget_bytes=*/10);
+  Session& a = store.GetOrCreate("a");
+  store.SetStateBytes(a, 50);  // alone over budget: kept anyway
+  EXPECT_EQ(store.total_state_bytes(), 50u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(EngineEvictionTest, ReplayAfterEvictionIsBitIdentical) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kSAKT));
+  // A budget of one byte evicts every session as soon as another is touched.
+  EngineOptions options;
+  options.session_budget_bytes = 1;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+
+  auto update = [&](const std::string& student, int64_t t) {
+    const auto& it = ds.sequences[0].interactions[static_cast<size_t>(t)];
+    ServeRequest request;
+    request.op = Op::kUpdate;
+    request.student = student;
+    request.question = it.question;
+    request.response = it.response;
+    request.has_concepts = true;
+    request.concepts = it.concepts;
+    ASSERT_TRUE(engine.Execute(request).ok);
+  };
+  auto predict = [&](const std::string& student, int64_t t) -> float {
+    const auto& it = ds.sequences[0].interactions[static_cast<size_t>(t)];
+    ServeRequest request;
+    request.op = Op::kPredict;
+    request.student = student;
+    request.question = it.question;
+    request.has_concepts = true;
+    request.concepts = it.concepts;
+    const ServeResponse response = engine.Execute(request);
+    EXPECT_TRUE(response.ok) << response.error;
+    return response.p;
+  };
+
+  for (int64_t t = 0; t < 6; ++t) update("a", t);
+  const float before = predict("a", 6);
+  // Touching b evicts a's KV cache (budget is 1 byte).
+  for (int64_t t = 0; t < 3; ++t) update("b", t);
+  EXPECT_GT(engine.sessions().evictions(), 0u);
+  ASSERT_NE(engine.sessions().size(), 0u);
+  // a's next predict replays its kept history into a fresh stream: the
+  // rebuilt state must reproduce the prediction bit for bit.
+  const float after = predict("a", 6);
+  EXPECT_EQ(Bits(before), Bits(after));
+}
+
+// ---- Batched execution == sequential execution ----
+
+TEST(EngineBatchTest, ExecuteBatchMatchesSequentialExecution) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine batched_engine(model, options);
+  InferenceEngine sequential_engine(model, options);
+
+  // Mixed stream: coalescable predict runs, update runs with a repeated
+  // student (forcing a run break), and interleaved ops.
+  std::vector<ServeRequest> requests;
+  auto add = [&](Op op, const std::string& student, int64_t t) {
+    const auto& it = ds.sequences[1].interactions[static_cast<size_t>(t)];
+    ServeRequest request;
+    request.op = op;
+    request.student = student;
+    request.question = it.question;
+    request.response = it.response;
+    request.has_concepts = true;
+    request.concepts = it.concepts;
+    requests.push_back(request);
+  };
+  for (int64_t t = 0; t < 4; ++t) {
+    add(Op::kUpdate, "x", t);
+    add(Op::kUpdate, "y", t);
+    add(Op::kUpdate, "x", t);  // same student twice in one run
+  }
+  add(Op::kPredict, "x", 4);
+  add(Op::kPredict, "y", 4);
+  add(Op::kPredict, "z", 4);  // empty history predict
+  add(Op::kUpdate, "z", 0);
+  add(Op::kPredict, "z", 1);
+
+  const auto batched = batched_engine.ExecuteBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServeResponse expected = sequential_engine.Execute(requests[i]);
+    EXPECT_EQ(batched[i].ok, expected.ok) << "request " << i;
+    EXPECT_EQ(Bits(batched[i].p), Bits(expected.p)) << "request " << i;
+    EXPECT_EQ(batched[i].history, expected.history) << "request " << i;
+  }
+}
+
+TEST(BatcherTest, ConcurrentSubmissionsMatchSequentialPerStudent) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kGRU));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+  InferenceEngine reference(model, options);
+
+  BatcherOptions batcher_options;
+  batcher_options.max_batch = 8;
+  batcher_options.max_wait_us = 2000;
+  MicroBatcher batcher(engine, batcher_options);
+
+  // Each worker drives its own student through updates + predicts via the
+  // batcher; the dispatcher coalesces arbitrary interleavings. Every
+  // worker's results must match a sequential single-student run, because
+  // session streams are independent and the engine's stacking is row-wise.
+  constexpr int kWorkers = 6;
+  const auto& seq = ds.sequences[2];
+  std::vector<std::vector<float>> got(kWorkers);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      const std::string student = "w" + std::to_string(w);
+      for (int64_t t = 0; t < 8; ++t) {
+        const auto& it = seq.interactions[static_cast<size_t>(t)];
+        ServeRequest predict;
+        predict.op = Op::kPredict;
+        predict.student = student;
+        predict.question = it.question;
+        predict.has_concepts = true;
+        predict.concepts = it.concepts;
+        const ServeResponse response = batcher.Submit(predict);
+        ASSERT_TRUE(response.ok) << response.error;
+        got[static_cast<size_t>(w)].push_back(response.p);
+
+        ServeRequest update = predict;
+        update.op = Op::kUpdate;
+        update.response = it.response;
+        ASSERT_TRUE(batcher.Submit(update).ok);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  batcher.Stop();
+
+  // Sequential reference for one student (all students see the same
+  // interactions, so every worker must have produced these exact bits).
+  std::vector<float> want;
+  for (int64_t t = 0; t < 8; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    ServeRequest predict;
+    predict.op = Op::kPredict;
+    predict.student = "ref";
+    predict.question = it.question;
+    predict.has_concepts = true;
+    predict.concepts = it.concepts;
+    want.push_back(reference.Execute(predict).p);
+    ServeRequest update = predict;
+    update.op = Op::kUpdate;
+    update.response = it.response;
+    ASSERT_TRUE(reference.Execute(update).ok);
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    ASSERT_EQ(got[static_cast<size_t>(w)].size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(Bits(got[static_cast<size_t>(w)][i]), Bits(want[i]))
+          << "worker " << w << " step " << i;
+    }
+  }
+}
+
+// ---- Engine validation and explain ----
+
+TEST(EngineTest, RejectsOutOfRangeIdsWithoutAborting) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+
+  ServeRequest request;
+  request.op = Op::kPredict;
+  request.student = "s";
+  request.question = ds.num_questions + 5;  // out of range
+  ServeResponse response = engine.Execute(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.error.empty());
+
+  request.question = 0;
+  request.has_concepts = true;
+  request.concepts = {ds.num_concepts + 1};
+  response = engine.Execute(request);
+  EXPECT_FALSE(response.ok);
+
+  request.student.clear();
+  request.concepts.clear();
+  response = engine.Execute(request);
+  EXPECT_FALSE(response.ok);
+}
+
+TEST(EngineTest, ExplainMatchesOfflineExplainTargets) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+
+  const auto& seq = ds.sequences[3];
+  const int64_t target = 6;
+  for (int64_t t = 0; t < target; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    ServeRequest update;
+    update.op = Op::kUpdate;
+    update.student = "s";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    ASSERT_TRUE(engine.Execute(update).ok);
+  }
+  ServeRequest explain;
+  explain.op = Op::kExplain;
+  explain.student = "s";
+  explain.question = seq.interactions[static_cast<size_t>(target)].question;
+  explain.has_concepts = true;
+  explain.concepts = seq.interactions[static_cast<size_t>(target)].concepts;
+  const ServeResponse online = engine.Execute(explain);
+  ASSERT_TRUE(online.ok) << online.error;
+
+  data::Batch batch = rckt::MakePrefixBatch({{&seq, target}});
+  const auto offline = model.ExplainTargets(batch).front();
+  ASSERT_EQ(online.influence.size(), offline.influence.size());
+  for (size_t i = 0; i < offline.influence.size(); ++i) {
+    EXPECT_EQ(Bits(online.influence[i]), Bits(offline.influence[i]))
+        << "influence " << i;
+  }
+  EXPECT_EQ(Bits(online.total_correct), Bits(offline.total_correct));
+  EXPECT_EQ(Bits(online.total_incorrect), Bits(offline.total_incorrect));
+  EXPECT_EQ(online.predicted_correct, offline.predicted_correct);
+}
+
+// ---- KTW2 metadata chunk ----
+
+TEST(ModelMetaTest, RoundTripsThroughSaveAndLoad) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kSAKT));
+  const std::string path = ::testing::TempDir() + "/serve_meta.ktw";
+
+  nn::ModelMeta meta;
+  meta.encoder_kind = static_cast<int32_t>(rckt::EncoderKind::kSAKT);
+  meta.dim = 16;
+  meta.num_layers = 2;
+  meta.num_heads = 2;
+  meta.num_questions = ds.num_questions;
+  meta.num_concepts = ds.num_concepts;
+  ASSERT_TRUE(nn::SaveModuleWithMeta(model, meta, path).ok());
+
+  bool present = false;
+  nn::ModelMeta read;
+  ASSERT_TRUE(nn::ReadModuleMeta(path, &present, &read).ok());
+  ASSERT_TRUE(present);
+  EXPECT_EQ(read.encoder_kind, meta.encoder_kind);
+  EXPECT_EQ(read.dim, 16);
+  EXPECT_EQ(read.num_layers, 2);
+  EXPECT_EQ(read.num_heads, 2);
+  EXPECT_EQ(read.num_questions, ds.num_questions);
+  EXPECT_EQ(read.num_concepts, ds.num_concepts);
+
+  // The weights still load (the chunk is skipped transparently) and
+  // reproduce the source model bit for bit.
+  rckt::RCKT loaded(ds.num_questions, ds.num_concepts,
+                    SmallConfig(rckt::EncoderKind::kSAKT));
+  ASSERT_TRUE(nn::LoadModule(loaded, path).ok());
+  data::Batch batch = rckt::MakePrefixBatch({{&ds.sequences[0], 5}});
+  const float a = model.GeneratorScoreTargets(batch)[0];
+  const float b = loaded.GeneratorScoreTargets(batch)[0];
+  EXPECT_EQ(Bits(a), Bits(b));
+}
+
+TEST(ModelMetaTest, PlainSavesReportNoMetadata) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  const std::string path = ::testing::TempDir() + "/serve_plain.ktw";
+  ASSERT_TRUE(nn::SaveModule(model, path).ok());
+
+  bool present = true;
+  nn::ModelMeta meta;
+  ASSERT_TRUE(nn::ReadModuleMeta(path, &present, &meta).ok());
+  EXPECT_FALSE(present);
+  rckt::RCKT loaded(ds.num_questions, ds.num_concepts,
+                    SmallConfig(rckt::EncoderKind::kDKT));
+  EXPECT_TRUE(nn::LoadModule(loaded, path).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kt

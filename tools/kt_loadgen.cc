@@ -1,0 +1,472 @@
+// kt_loadgen — closed-loop load generator / replay client for `ktcli serve`.
+//
+// Modes (--mode):
+//   replay  (default) Replays a CSV dataset against a running server: every
+//           student's interactions become update ops on session "s<i>", and
+//           at every offline evaluation target (the same positions `ktcli
+//           evaluate --json` scores: MakePrefixSamples(stride, min_target))
+//           a predict op fires BEFORE the update, so the server sees exactly
+//           the history the offline scorer saw. With --expect FILE (the
+//           JSON object written by `ktcli evaluate --json`) every online
+//           probability is compared BIT-FOR-BIT against the offline
+//           generator_score; any mismatch fails the run (exit 1). The
+//           stride/min_target are read from the expect file so the two
+//           sides can never disagree about which samples exist.
+//   bench   Closed-loop throughput/latency benchmark: --connections threads
+//           each drive their own session with alternating update/predict
+//           ops on random questions for --requests requests.
+//
+// Both modes print a one-line JSON summary (throughput, latency
+// percentiles, mismatch counts) to stdout. The server must be listening on
+// 127.0.0.1:--port (start it with `ktcli serve --load m.ktw --port P`).
+//
+// Flags:
+//   --port P            server TCP port (required)
+//   --mode replay|bench
+//   --connections N     concurrent client connections (default 1)
+//   replay: --data data.csv [--expect eval.json] [--window 50]
+//           [--min-length 5] [--stride 4] [--min-target 4]
+//   bench:  [--requests 200 per connection] [--questions 100] [--seed 1]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/rng.h"
+#include "data/io.h"
+#include "rckt/samples.h"
+#include "serve/json.h"
+
+namespace kt {
+namespace {
+
+// Blocking line-oriented client connection to 127.0.0.1:port.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(int port, std::string* error) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = "socket() failed";
+      return false;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = "connect() to 127.0.0.1:" + std::to_string(port) + " failed";
+      return false;
+    }
+    return true;
+  }
+
+  // Sends one request line and reads the one response line.
+  bool RoundTrip(const std::string& line, std::string* response,
+                 std::string* error) {
+    std::string out = line;
+    out.push_back('\n');
+    size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n <= 0) {
+        *error = "send() failed";
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    response->clear();
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *response = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        *error = "server closed the connection";
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+uint32_t FloatBits(float f) {
+  uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+std::string PredictLine(const std::string& student, int64_t question,
+                        const std::vector<int64_t>& concepts) {
+  serve::JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("predict");
+  w.Key("student").String(student);
+  w.Key("question").Int(question);
+  w.Key("concepts").BeginArray();
+  for (int64_t c : concepts) w.Int(c);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string UpdateLine(const std::string& student, int64_t question,
+                       const std::vector<int64_t>& concepts, int response) {
+  serve::JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("update");
+  w.Key("student").String(student);
+  w.Key("question").Int(question);
+  w.Key("concepts").BeginArray();
+  for (int64_t c : concepts) w.Int(c);
+  w.EndArray();
+  w.Key("response").Int(response);
+  w.EndObject();
+  return w.str();
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char chunk[1 << 16];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->append(chunk, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+struct LatencyStats {
+  double p50_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+  int64_t count = 0;
+};
+
+LatencyStats Summarize(std::vector<double>& us) {
+  LatencyStats stats;
+  stats.count = static_cast<int64_t>(us.size());
+  if (us.empty()) return stats;
+  std::sort(us.begin(), us.end());
+  double total = 0.0;
+  for (double v : us) total += v;
+  stats.mean_us = total / static_cast<double>(us.size());
+  stats.p50_us = Percentile(us, 0.50);
+  stats.p99_us = Percentile(us, 0.99);
+  return stats;
+}
+
+int CmdReplay(const FlagParser& flags, int port, int connections) {
+  const std::string data_path = flags.GetString("data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "replay: --data is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadCsv(data_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const data::Dataset windows = data::SplitIntoWindows(
+      dataset.value(), flags.GetInt("window", 50),
+      flags.GetInt("min-length", 5));
+
+  int64_t stride = flags.GetInt("stride", 4);
+  int64_t min_target = flags.GetInt("min-target", 4);
+
+  // Expected probabilities keyed by (sequence, target), as float bits.
+  std::map<std::pair<int64_t, int64_t>, float> expected;
+  const std::string expect_path = flags.GetString("expect", "");
+  if (!expect_path.empty()) {
+    std::string text;
+    if (!ReadFile(expect_path, &text)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", expect_path.c_str());
+      return 1;
+    }
+    serve::JsonValue doc;
+    std::string error;
+    if (!serve::ParseJson(text, &doc, &error)) {
+      std::fprintf(stderr, "replay: %s: %s\n", expect_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    stride = doc.GetInt("stride", stride);
+    min_target = doc.GetInt("min_target", min_target);
+    const serve::JsonValue* preds = doc.Find("predictions");
+    if (preds == nullptr || !preds->IsArray()) {
+      std::fprintf(stderr, "replay: %s has no predictions array\n",
+                   expect_path.c_str());
+      return 1;
+    }
+    for (const auto& p : preds->array) {
+      expected[{p.GetInt("sequence", -1), p.GetInt("target", -1)}] =
+          static_cast<float>(p.GetNumber("generator_score", 0.0));
+    }
+  }
+
+  // The same samples the offline scorer enumerates; grouped per sequence.
+  const auto samples = rckt::MakePrefixSamples(windows, stride, min_target);
+  std::vector<std::vector<int64_t>> targets(windows.sequences.size());
+  for (const auto& sample : samples) {
+    const int64_t seq = sample.sequence - windows.sequences.data();
+    targets[static_cast<size_t>(seq)].push_back(sample.target);
+  }
+  for (auto& t : targets) std::sort(t.begin(), t.end());
+
+  std::mutex mu;
+  std::map<std::pair<int64_t, int64_t>, float> got;
+  std::vector<double> latencies_us;
+  std::vector<std::string> failures;
+  std::vector<std::thread> workers;
+  const int num_workers =
+      std::max(1, std::min(connections,
+                           static_cast<int>(windows.sequences.size())));
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      Client client;
+      std::string error;
+      if (!client.Connect(port, &error)) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(error);
+        return;
+      }
+      std::map<std::pair<int64_t, int64_t>, float> local_got;
+      std::vector<double> local_us;
+      std::string response;
+      for (size_t i = static_cast<size_t>(w); i < windows.sequences.size();
+           i += static_cast<size_t>(num_workers)) {
+        const auto& seq = windows.sequences[i];
+        const std::string student = "s" + std::to_string(i);
+        const auto& seq_targets = targets[i];
+        size_t next_target = 0;
+        for (int64_t t = 0; t < seq.length(); ++t) {
+          const auto& it = seq.interactions[static_cast<size_t>(t)];
+          if (next_target < seq_targets.size() &&
+              seq_targets[next_target] == t) {
+            ++next_target;
+            const auto start = std::chrono::steady_clock::now();
+            if (!client.RoundTrip(
+                    PredictLine(student, it.question, it.concepts),
+                    &response, &error)) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back(error);
+              return;
+            }
+            const auto stop = std::chrono::steady_clock::now();
+            local_us.push_back(
+                std::chrono::duration<double, std::micro>(stop - start)
+                    .count());
+            serve::JsonValue reply;
+            if (!serve::ParseJson(response, &reply, &error) ||
+                !reply.GetBool("ok", false)) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back("bad predict reply: " + response);
+              return;
+            }
+            local_got[{static_cast<int64_t>(i), t}] =
+                static_cast<float>(reply.GetNumber("p", NAN));
+          }
+          if (!client.RoundTrip(
+                  UpdateLine(student, it.question, it.concepts, it.response),
+                  &response, &error)) {
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back(error);
+            return;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      got.insert(local_got.begin(), local_got.end());
+      latencies_us.insert(latencies_us.end(), local_us.begin(),
+                          local_us.end());
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& f : failures) std::fprintf(stderr, "replay: %s\n",
+                                              f.c_str());
+  if (!failures.empty()) return 1;
+
+  // Bitwise comparison against the offline scorer's generator_score.
+  int64_t mismatches = 0, missing = 0;
+  for (const auto& [key, want] : expected) {
+    const auto found = got.find(key);
+    if (found == got.end()) {
+      ++missing;
+      continue;
+    }
+    if (FloatBits(found->second) != FloatBits(want)) {
+      if (++mismatches <= 5) {
+        std::fprintf(stderr,
+                     "replay: MISMATCH seq=%lld target=%lld online=%.9g "
+                     "offline=%.9g\n",
+                     static_cast<long long>(key.first),
+                     static_cast<long long>(key.second), found->second, want);
+      }
+    }
+  }
+
+  LatencyStats stats = Summarize(latencies_us);
+  serve::JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("replay");
+  w.Key("connections").Int(num_workers);
+  w.Key("predictions").Int(static_cast<int64_t>(got.size()));
+  w.Key("compared").Int(static_cast<int64_t>(expected.size()));
+  w.Key("mismatches").Int(mismatches);
+  w.Key("missing").Int(missing);
+  w.Key("elapsed_s").Double(elapsed);
+  w.Key("latency_p50_us").Double(stats.p50_us);
+  w.Key("latency_p99_us").Double(stats.p99_us);
+  w.Key("latency_mean_us").Double(stats.mean_us);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return (mismatches == 0 && missing == 0) ? 0 : 1;
+}
+
+int CmdBench(const FlagParser& flags, int port, int connections) {
+  const int64_t requests = flags.GetInt("requests", 200);
+  const int64_t questions = flags.GetInt("questions", 100);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::mutex mu;
+  std::vector<double> latencies_us;
+  std::vector<std::string> failures;
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < std::max(1, connections); ++w) {
+    workers.emplace_back([&, w] {
+      Client client;
+      std::string error;
+      if (!client.Connect(port, &error)) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(error);
+        return;
+      }
+      Rng rng(seed + static_cast<uint64_t>(w) * 7919);
+      const std::string student = "load-" + std::to_string(w);
+      const std::vector<int64_t> no_concepts;
+      std::vector<double> local_us;
+      std::string response;
+      for (int64_t r = 0; r < requests; ++r) {
+        const int64_t question =
+            rng.UniformInt(std::max<int64_t>(1, questions));
+        const bool predict = (r % 2) == 0;
+        const std::string line =
+            predict ? PredictLine(student, question, no_concepts)
+                    : UpdateLine(student, question, no_concepts,
+                                 static_cast<int>(rng.NextU64() & 1));
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.RoundTrip(line, &response, &error)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(error);
+          return;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        local_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        serve::JsonValue reply;
+        if (!serve::ParseJson(response, &reply, &error) ||
+            !reply.GetBool("ok", false)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back("bad reply: " + response);
+          return;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_us.insert(latencies_us.end(), local_us.begin(),
+                          local_us.end());
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& f : failures) std::fprintf(stderr, "bench: %s\n",
+                                              f.c_str());
+  if (!failures.empty()) return 1;
+
+  LatencyStats stats = Summarize(latencies_us);
+  serve::JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("bench");
+  w.Key("connections").Int(connections);
+  w.Key("requests").Int(stats.count);
+  w.Key("elapsed_s").Double(elapsed);
+  w.Key("throughput_rps")
+      .Double(elapsed > 0.0 ? static_cast<double>(stats.count) / elapsed
+                            : 0.0);
+  w.Key("latency_p50_us").Double(stats.p50_us);
+  w.Key("latency_p99_us").Double(stats.p99_us);
+  w.Key("latency_mean_us").Double(stats.mean_us);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  // Parse consumes argv[1..argc) — no subcommand word to skip here.
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "kt_loadgen: --port is required\n");
+    return 2;
+  }
+  const int connections = static_cast<int>(flags.GetInt("connections", 1));
+  const std::string mode = flags.GetString("mode", "replay");
+  if (mode == "replay") return CmdReplay(flags, port, connections);
+  if (mode == "bench") return CmdBench(flags, port, connections);
+  std::fprintf(stderr, "kt_loadgen: unknown --mode '%s' (replay|bench)\n",
+               mode.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace kt
+
+int main(int argc, char** argv) { return kt::Main(argc, argv); }

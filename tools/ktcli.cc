@@ -8,11 +8,26 @@
 //             [--checkpoint-every N --checkpoint ckpt.ktc]
 //             [--resume ckpt.ktc]
 //             Train RCKT with early stopping; print test AUC/ACC.
-//   evaluate  --data data.csv --encoder E --load model.ktw
-//             Evaluate a saved model on a dataset.
-//   explain   --data data.csv --encoder E --load model.ktw
+//   evaluate  --data data.csv --load model.ktw [--json] [--stride N]
+//             Evaluate a saved model on a dataset. --json replaces the
+//             one-line summary with a machine-readable JSON object holding
+//             the metrics plus every per-sample prediction (consumed by
+//             kt_loadgen --expect and scripts/check_serve.sh).
+//   explain   --data data.csv --load model.ktw
 //             [--student I] [--target T]
 //             Print the influence breakdown behind one prediction.
+//   serve     --load model.ktw [--data data.csv] [--port P]
+//             [--max-batch N] [--max-wait-us U] [--max-queue Q]
+//             [--memory-budget-mb M]
+//             Online inference server speaking newline-delimited JSON over
+//             stdin/stdout (default) or TCP on 127.0.0.1:P (--port). The
+//             optional --data seeds the question->concepts fallback map for
+//             requests that omit explicit concept bags.
+//
+// Models saved by `train --save` carry a metadata chunk (encoder kind,
+// dim, layers, heads, question/concept counts), so evaluate/explain/serve
+// need no architecture flags. Legacy files without the chunk fall back to
+// --encoder/--dim/--layers plus the --data shapes.
 //
 // Global flags (any subcommand):
 //   --threads N   Size of the kt::parallel thread pool (default: the
@@ -51,13 +66,17 @@
 #include "nn/serialize.h"
 #include "rckt/rckt_model.h"
 #include "rckt/rckt_trainer.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "serve/server.h"
 
 namespace kt {
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ktcli <simulate|train|evaluate|explain> [flags]\n"
+               "usage: ktcli <simulate|train|evaluate|explain|serve> "
+               "[flags]\n"
                "see the header of tools/ktcli.cc for flag reference\n");
   return 2;
 }
@@ -162,7 +181,14 @@ int CmdTrain(const FlagParser& flags, const CommonFlagValues& common) {
 
   const std::string save = flags.GetString("save", "");
   if (!save.empty()) {
-    const Status status = nn::SaveModule(*model, save);
+    nn::ModelMeta meta;
+    meta.encoder_kind = static_cast<int32_t>(model->config().encoder);
+    meta.dim = model->config().dim;
+    meta.num_layers = model->config().num_layers;
+    meta.num_heads = model->config().num_heads;
+    meta.num_questions = loaded.windows.num_questions;
+    meta.num_concepts = loaded.windows.num_concepts;
+    const Status status = nn::SaveModuleWithMeta(*model, meta, save);
     if (!status.ok()) {
       std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
       return 1;
@@ -172,28 +198,111 @@ int CmdTrain(const FlagParser& flags, const CommonFlagValues& common) {
   return 0;
 }
 
-int LoadModel(const FlagParser& flags, rckt::RCKT* model) {
+// Builds a model shaped for the weights in --load and restores them.
+// Prefers the file's own metadata chunk; legacy files fall back to the
+// architecture flags plus `windows` for the embedding-table shapes
+// (`windows` may be null only when the file has metadata, e.g. `serve`
+// without --data). On failure returns null with *rc set.
+std::unique_ptr<rckt::RCKT> LoadModelAuto(const FlagParser& flags,
+                                          const data::Dataset* windows,
+                                          int* rc) {
+  *rc = 0;
   const std::string load = flags.GetString("load", "");
   if (load.empty()) {
     std::fprintf(stderr, "--load is required\n");
-    return 2;
+    *rc = 2;
+    return nullptr;
   }
-  const Status status = nn::LoadModule(*model, load);
+  bool has_meta = false;
+  nn::ModelMeta meta;
+  Status status = nn::ReadModuleMeta(load, &has_meta, &meta);
   if (!status.ok()) {
     std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
-    return 1;
+    *rc = 1;
+    return nullptr;
   }
-  return 0;
+  rckt::RcktConfig config;
+  int64_t num_questions = 0;
+  int64_t num_concepts = 0;
+  if (has_meta) {
+    if (meta.encoder_kind < 0 ||
+        meta.encoder_kind > static_cast<int32_t>(rckt::EncoderKind::kGRU)) {
+      std::fprintf(stderr, "load: %s: unknown encoder kind %d in metadata\n",
+                   load.c_str(), meta.encoder_kind);
+      *rc = 1;
+      return nullptr;
+    }
+    config.encoder = static_cast<rckt::EncoderKind>(meta.encoder_kind);
+    config.dim = meta.dim;
+    config.num_layers = meta.num_layers;
+    config.num_heads = meta.num_heads;
+    num_questions = meta.num_questions;
+    num_concepts = meta.num_concepts;
+  } else if (windows != nullptr) {
+    config.encoder = ParseEncoder(flags.GetString("encoder", "dkt"));
+    config.dim = flags.GetInt("dim", 32);
+    config.num_layers = flags.GetInt("layers", 1);
+    config.num_heads = flags.GetInt("heads", 2);
+    num_questions = windows->num_questions;
+    num_concepts = windows->num_concepts;
+  } else {
+    std::fprintf(stderr,
+                 "load: %s has no metadata chunk; pass --data (plus the "
+                 "--encoder/--dim/--layers used at training time) or "
+                 "re-save with a current `ktcli train`\n",
+                 load.c_str());
+    *rc = 2;
+    return nullptr;
+  }
+  auto model =
+      std::make_unique<rckt::RCKT>(num_questions, num_concepts, config);
+  status = nn::LoadModule(*model, load);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    *rc = 1;
+    return nullptr;
+  }
+  return model;
 }
 
 int CmdEvaluate(const FlagParser& flags) {
   LoadedData loaded;
   if (int rc = LoadData(flags, &loaded)) return rc;
-  std::unique_ptr<rckt::RCKT> model = BuildModel(flags, loaded.windows);
-  if (int rc = LoadModel(flags, model.get())) return rc;
+  int rc = 0;
+  std::unique_ptr<rckt::RCKT> model =
+      LoadModelAuto(flags, &loaded.windows, &rc);
+  if (model == nullptr) return rc;
 
   rckt::RcktTrainOptions options;
   options.eval_stride = flags.GetInt("stride", 4);
+  if (flags.GetBool("json", false)) {
+    const auto detailed =
+        rckt::EvaluateRcktDetailed(*model, loaded.windows, options);
+    serve::JsonWriter w;
+    w.BeginObject();
+    w.Key("model").String(model->name());
+    w.Key("data").String(flags.GetString("data", ""));
+    w.Key("auc").Double(detailed.metrics.auc);
+    w.Key("acc").Double(detailed.metrics.acc);
+    w.Key("num_predictions").Int(detailed.metrics.num_predictions);
+    w.Key("stride").Int(options.eval_stride);
+    w.Key("min_target").Int(options.min_target);
+    w.Key("predictions").BeginArray();
+    for (const auto& p : detailed.predictions) {
+      w.BeginObject();
+      w.Key("sequence").Int(p.sequence);
+      w.Key("target").Int(p.target);
+      w.Key("question").Int(p.question);
+      w.Key("label").Int(p.label);
+      w.Key("score").Float(p.score);
+      w.Key("generator_score").Float(p.generator_score);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
   const auto result = rckt::EvaluateRckt(*model, loaded.windows, options);
   std::printf("%s on %s: AUC %.4f ACC %.4f (%lld predictions)\n",
               model->name().c_str(), flags.GetString("data", "").c_str(),
@@ -205,8 +314,10 @@ int CmdEvaluate(const FlagParser& flags) {
 int CmdExplain(const FlagParser& flags) {
   LoadedData loaded;
   if (int rc = LoadData(flags, &loaded)) return rc;
-  std::unique_ptr<rckt::RCKT> model = BuildModel(flags, loaded.windows);
-  if (int rc = LoadModel(flags, model.get())) return rc;
+  int rc = 0;
+  std::unique_ptr<rckt::RCKT> model =
+      LoadModelAuto(flags, &loaded.windows, &rc);
+  if (model == nullptr) return rc;
 
   const int64_t student_index = flags.GetInt("student", 0);
   KT_CHECK(student_index >= 0 &&
@@ -243,6 +354,39 @@ int CmdExplain(const FlagParser& flags) {
   return 0;
 }
 
+int CmdServe(const FlagParser& flags) {
+  LoadedData loaded;
+  const bool have_data = !flags.GetString("data", "").empty();
+  if (have_data) {
+    if (int rc = LoadData(flags, &loaded)) return rc;
+  }
+  int rc = 0;
+  std::unique_ptr<rckt::RCKT> model =
+      LoadModelAuto(flags, have_data ? &loaded.windows : nullptr, &rc);
+  if (model == nullptr) return rc;
+
+  serve::EngineOptions engine_options;
+  engine_options.session_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget-mb", 64)) << 20;
+  engine_options.num_questions =
+      model->embedder().question_embedding().num_embeddings();
+  engine_options.num_concepts =
+      model->embedder().concept_embedding().num_embeddings();
+  serve::InferenceEngine engine(*model, engine_options);
+  if (have_data) engine.LoadConceptMap(loaded.windows);
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(flags.GetInt("port", 0));
+  server_options.batcher.max_batch = flags.GetInt("max-batch", 16);
+  server_options.batcher.max_wait_us = flags.GetInt("max-wait-us", 1000);
+  server_options.batcher.max_queue = flags.GetInt("max-queue", 256);
+  if (server_options.port > 0) {
+    std::fprintf(stderr, "ktcli serve: %s on 127.0.0.1:%d\n",
+                 model->name().c_str(), server_options.port);
+  }
+  return serve::RunServer(engine, server_options);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   FlagParser flags;
@@ -263,6 +407,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags, common);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
 
