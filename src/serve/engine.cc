@@ -128,10 +128,15 @@ void InferenceEngine::EnsureStream(Session& session) {
 }
 
 void InferenceEngine::AccountState(Session& session) {
+  // Charge what the session actually holds: a session whose stream was
+  // evicted out from under it carries no neural state regardless of its
+  // history length.
   const size_t bytes =
-      model_.bi_encoder().StateBytes(
-          static_cast<int64_t>(session.history.size())) +
-      static_cast<size_t>(session.last_f.numel()) * sizeof(float);
+      session.stream == nullptr
+          ? 0
+          : model_.bi_encoder().StateBytes(
+                static_cast<int64_t>(session.history.size())) +
+                static_cast<size_t>(session.last_f.numel()) * sizeof(float);
   store_.SetStateBytes(session, bytes);
 }
 
@@ -315,10 +320,16 @@ void InferenceEngine::UpdateRun(const std::vector<ServeRequest>& requests,
   std::vector<rckt::ForwardStreamState*> states;
   std::vector<Tensor> rows;
   std::vector<const std::vector<int64_t>*> bags;
+  // The raw stream pointers in `states` stay live across the whole run:
+  // pin every session before a later request's EnsureStream/AccountState
+  // can trigger eviction, which would free an earlier session's stream
+  // under StepForwardMany. The budget is re-enforced when the scope ends.
+  SessionStore::PinScope pins(store_);
   for (size_t i = begin; i < end; ++i) {
     ServeResponse& response = (*out)[i];
     if (!Validate(requests[i], &response)) continue;
     Session& session = store_.GetOrCreate(requests[i].student);
+    pins.Pin(session);
     EnsureStream(session);
     const std::vector<int64_t>& concepts = ConceptsFor(requests[i]);
     rows.push_back(InteractionRow(requests[i].question, concepts,

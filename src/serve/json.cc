@@ -15,10 +15,22 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
   return nullptr;
 }
 
+bool JsonValue::ToInt(int64_t* out) const {
+  if (!IsNumber()) return false;
+  // Both bounds are exactly representable doubles: -2^63 is INT64_MIN and
+  // 2^63 is the first value past INT64_MAX. Outside [-2^63, 2^63) — which
+  // also catches NaN — the cast below would be undefined behaviour.
+  if (!(number >= -9223372036854775808.0 && number < 9223372036854775808.0)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(number);
+  return true;
+}
+
 int64_t JsonValue::GetInt(const std::string& key, int64_t fallback) const {
   const JsonValue* v = Find(key);
-  return (v != nullptr && v->IsNumber()) ? static_cast<int64_t>(v->number)
-                                         : fallback;
+  int64_t value = 0;
+  return (v != nullptr && v->ToInt(&value)) ? value : fallback;
 }
 
 double JsonValue::GetNumber(const std::string& key, double fallback) const {

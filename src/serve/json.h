@@ -34,6 +34,11 @@ struct JsonValue {
   bool IsArray() const { return kind == Kind::kArray; }
   bool IsObject() const { return kind == Kind::kObject; }
 
+  // Safe number -> int64 conversion: false when this value is not a
+  // number or lies outside int64 range (where the raw double cast would
+  // be undefined behaviour). NaN fails; fractional values truncate.
+  bool ToInt(int64_t* out) const;
+
   // Object member lookup; nullptr when absent or not an object.
   const JsonValue* Find(const std::string& key) const;
 

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <iostream>
+#include <list>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -39,15 +42,21 @@ bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
   }
   out->student = json.GetString("student", "");
   out->question = json.GetInt("question", -1);
+  // Clamp just outside the valid {0, 1} range so the engine's validation
+  // rejects out-of-range values without an undefined narrowing cast.
+  auto clamp_response = [](int64_t value) {
+    return value < 0 ? -1 : value > 1 ? 2 : static_cast<int>(value);
+  };
   if (out->op == Op::kUpdate) {
     const JsonValue* response = json.Find("response");
-    if (response == nullptr || !response->IsNumber()) {
+    int64_t response_value = 0;
+    if (response == nullptr || !response->ToInt(&response_value)) {
       *error = "update needs a numeric 'response'";
       return false;
     }
-    out->response = static_cast<int>(response->number);
+    out->response = clamp_response(response_value);
   } else {
-    out->response = static_cast<int>(json.GetInt("response", 0));
+    out->response = clamp_response(json.GetInt("response", 0));
   }
   if (const JsonValue* concepts = json.Find("concepts")) {
     if (!concepts->IsArray()) {
@@ -57,11 +66,12 @@ bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
     out->has_concepts = true;
     out->concepts.reserve(concepts->array.size());
     for (const JsonValue& c : concepts->array) {
-      if (!c.IsNumber()) {
+      int64_t concept_id = 0;
+      if (!c.ToInt(&concept_id)) {
         *error = "'concepts' entries must be numbers";
         return false;
       }
-      out->concepts.push_back(static_cast<int64_t>(c.number));
+      out->concepts.push_back(concept_id);
     }
   }
   return true;
@@ -229,11 +239,30 @@ int RunTcpServer(MicroBatcher& batcher, int port) {
   KT_LOG(INFO) << "serving on 127.0.0.1:" << port;
 
   std::atomic<bool> shutdown{false};
-  std::vector<std::thread> workers;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::list<Connection> connections;
+  // Join connections whose handler already finished (all of them when
+  // draining), so a long-running server does not accumulate thread
+  // handles without bound.
+  auto reap = [&connections](bool drain) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (drain || it->done->load()) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!shutdown.load()) {
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) break;  // listener closed by a shutdown op
-    workers.emplace_back([&batcher, &shutdown, listener, conn] {
+    reap(/*drain=*/false);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([&batcher, &shutdown, listener, conn, done] {
       FdLineReader reader(conn);
       std::string line;
       while (reader.NextLine(&line)) {
@@ -249,10 +278,12 @@ int RunTcpServer(MicroBatcher& batcher, int port) {
         }
       }
       ::close(conn);
+      done->store(true);
     });
+    connections.push_back(Connection{std::move(thread), std::move(done)});
   }
   ::close(listener);
-  for (std::thread& worker : workers) worker.join();
+  reap(/*drain=*/true);
   return 0;
 }
 

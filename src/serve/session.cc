@@ -36,6 +36,17 @@ void SessionStore::SetStateBytes(Session& session, size_t bytes) {
   EvictUntilWithinBudget(&session);
 }
 
+void SessionStore::PinScope::Pin(Session& session) {
+  if (store_.pinned_.insert(&session).second) pinned_.push_back(&session);
+}
+
+SessionStore::PinScope::~PinScope() {
+  if (pinned_.empty()) return;
+  for (const Session* session : pinned_) store_.pinned_.erase(session);
+  // The pins may have held the store over budget; settle up now.
+  store_.EvictUntilWithinBudget(nullptr);
+}
+
 void SessionStore::EvictUntilWithinBudget(const Session* keep) {
   if (budget_bytes_ == 0) return;
   // Walk from the cold end, dropping neural state (histories stay).
@@ -44,7 +55,10 @@ void SessionStore::EvictUntilWithinBudget(const Session* keep) {
     Entry& entry = sessions_.at(*it);
     Session& victim = entry.session;
     ++it;
-    if (&victim == keep || victim.state_bytes == 0) continue;
+    if (&victim == keep || pinned_.count(&victim) != 0 ||
+        victim.state_bytes == 0) {
+      continue;
+    }
     total_state_bytes_ -= victim.state_bytes;
     victim.state_bytes = 0;
     victim.stream.reset();
@@ -61,6 +75,7 @@ void SessionStore::EvictUntilWithinBudget(const Session* keep) {
 void SessionStore::Erase(const std::string& id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
+  pinned_.erase(&it->second.session);
   total_state_bytes_ -= it->second.session.state_bytes;
   lru_.erase(it->second.lru_it);
   sessions_.erase(it);

@@ -16,6 +16,8 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "data/dataset.h"
 #include "rckt/encoders.h"
@@ -56,9 +58,29 @@ class SessionStore {
   Session* Find(const std::string& id);
 
   // Records that `session`'s neural state now occupies `bytes`, then
-  // evicts least-recently-used neural state (never `session`'s own, and
-  // never any history) until the budget holds again.
+  // evicts least-recently-used neural state (never `session`'s own, never
+  // a pinned session's, and never any history) until the budget holds
+  // again.
   void SetStateBytes(Session& session, size_t bytes);
+
+  // Pins sessions against eviction for the duration of a coalesced run:
+  // the engine collects raw stream pointers for several sessions before
+  // stepping them together, so accounting for a later session must not
+  // free an earlier session's stream. On destruction the pins are released
+  // and the budget is re-enforced in one pass.
+  class PinScope {
+   public:
+    explicit PinScope(SessionStore& store) : store_(store) {}
+    ~PinScope();
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+
+    void Pin(Session& session);
+
+   private:
+    SessionStore& store_;
+    std::vector<const Session*> pinned_;
+  };
 
   // Drops the whole session (reset op).
   void Erase(const std::string& id);
@@ -80,6 +102,8 @@ class SessionStore {
   size_t budget_bytes_;
   size_t total_state_bytes_ = 0;
   uint64_t evictions_ = 0;
+  // Sessions currently protected by a live PinScope.
+  std::unordered_set<const Session*> pinned_;
   // Front = most recently used.
   std::list<std::string> lru_;
   std::unordered_map<std::string, Entry> sessions_;

@@ -99,6 +99,26 @@ TEST(ServeJsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson(deep, &v, &error));
 }
 
+TEST(ServeJsonTest, GetIntRejectsOutOfRangeNumbers) {
+  // Doubles outside int64 range (or NaN via division) must fall back
+  // instead of hitting an undefined double->int64 cast.
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"huge":1e300,"neg":-1e300,"edge":9.3e18,"ok":42,"frac":2.75})", &v,
+      &error))
+      << error;
+  EXPECT_EQ(v.GetInt("huge", -7), -7);
+  EXPECT_EQ(v.GetInt("neg", -7), -7);
+  EXPECT_EQ(v.GetInt("edge", -7), -7);  // just past INT64_MAX
+  EXPECT_EQ(v.GetInt("ok", -7), 42);
+  EXPECT_EQ(v.GetInt("frac", -7), 2);  // fractional values truncate
+  int64_t out = 0;
+  EXPECT_FALSE(v.Find("huge")->ToInt(&out));
+  EXPECT_TRUE(v.Find("ok")->ToInt(&out));
+  EXPECT_EQ(out, 42);
+}
+
 TEST(ServeJsonTest, WriterRoundTripsFloatBits) {
   // %.9g must reproduce the exact float through parse.
   const float values[] = {0.1f, 1.0f / 3.0f, 1e-30f, 123456.78f, 0.0f};
@@ -156,6 +176,20 @@ TEST(ServeProtocolTest, RejectsBadRequests) {
   // update without a response field.
   ASSERT_TRUE(
       ParseJson(R"({"op":"update","student":"s","question":1})", &v, &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  // Numbers beyond int64 range must parse-fail (response) or degrade to
+  // the rejected fallback (question, concepts) — never cast undefined.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"update","student":"s","question":1,"response":1e300})", &v,
+      &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"predict","student":"s","question":1e300})", &v, &error));
+  ASSERT_TRUE(ParseServeRequest(v, &request, &error)) << error;
+  EXPECT_EQ(request.question, -1);  // fallback -> engine rejects the id
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"predict","student":"s","question":1,"concepts":[1e300]})", &v,
+      &error));
   EXPECT_FALSE(ParseServeRequest(v, &request, &error));
 }
 
@@ -380,6 +414,30 @@ TEST(SessionStoreTest, NeverEvictsTheSessionBeingAccounted) {
   EXPECT_EQ(store.evictions(), 0u);
 }
 
+TEST(SessionStoreTest, PinScopeBlocksEvictionUntilRelease) {
+  SessionStore store(/*budget_bytes=*/100);
+  Session& a = store.GetOrCreate("a");
+  Session& b = store.GetOrCreate("b");
+  {
+    SessionStore::PinScope pins(store);
+    pins.Pin(a);
+    pins.Pin(b);
+    store.SetStateBytes(a, 60);
+    // Accounting b pushes the store over budget, but a is pinned: its
+    // state must survive until the scope ends.
+    store.SetStateBytes(b, 60);
+    EXPECT_EQ(store.evictions(), 0u);
+    EXPECT_EQ(store.total_state_bytes(), 120u);
+    EXPECT_EQ(a.state_bytes, 60u);
+  }
+  // Releasing the pins settles the budget: the colder session (a) loses
+  // its neural state.
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.total_state_bytes(), 60u);
+  EXPECT_EQ(a.state_bytes, 0u);
+  EXPECT_EQ(b.state_bytes, 60u);
+}
+
 TEST(EngineEvictionTest, ReplayAfterEvictionIsBitIdentical) {
   data::Dataset ds = TinyDataset();
   rckt::RCKT model(ds.num_questions, ds.num_concepts,
@@ -472,6 +530,60 @@ TEST(EngineBatchTest, ExecuteBatchMatchesSequentialExecution) {
     EXPECT_EQ(Bits(batched[i].p), Bits(expected.p)) << "request " << i;
     EXPECT_EQ(batched[i].history, expected.history) << "request " << i;
   }
+}
+
+TEST(EngineBatchTest, TightBudgetBatchedUpdatesMatchSequential) {
+  // Regression test: a coalesced update run collects raw stream pointers
+  // for several sessions before stepping them together. Under a tight
+  // budget, EnsureStream for a later student used to evict an earlier
+  // student's stream mid-run (use-after-free in StepForwardMany). The
+  // one-byte budget plus SAKT's KV caches makes every accounting call an
+  // eviction candidate.
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kSAKT));
+  EngineOptions tight;
+  tight.session_budget_bytes = 1;
+  tight.num_questions = ds.num_questions;
+  tight.num_concepts = ds.num_concepts;
+  InferenceEngine batched_engine(model, tight);
+  EngineOptions roomy = tight;
+  roomy.session_budget_bytes = 0;  // unlimited
+  InferenceEngine sequential_engine(model, roomy);
+
+  const std::vector<std::string> students = {"a", "b", "c"};
+  auto make = [&](Op op, const std::string& student, int64_t t) {
+    const auto& it = ds.sequences[2].interactions[static_cast<size_t>(t)];
+    ServeRequest request;
+    request.op = op;
+    request.student = student;
+    request.question = it.question;
+    request.response = it.response;
+    request.has_concepts = true;
+    request.concepts = it.concepts;
+    return request;
+  };
+  // Several rounds so every later round replays evicted histories inside
+  // the coalesced run before the batched encoder step.
+  for (int64_t t = 0; t < 5; ++t) {
+    std::vector<ServeRequest> round;
+    for (const std::string& s : students) round.push_back(make(Op::kUpdate, s, t));
+    for (const std::string& s : students) round.push_back(make(Op::kPredict, s, 5));
+    const auto batched = batched_engine.ExecuteBatch(round);
+    ASSERT_EQ(batched.size(), round.size());
+    for (size_t i = 0; i < round.size(); ++i) {
+      const ServeResponse expected = sequential_engine.Execute(round[i]);
+      ASSERT_TRUE(batched[i].ok) << batched[i].error;
+      ASSERT_TRUE(expected.ok) << expected.error;
+      EXPECT_EQ(Bits(batched[i].p), Bits(expected.p))
+          << "round " << t << " request " << i;
+      EXPECT_EQ(batched[i].history, expected.history)
+          << "round " << t << " request " << i;
+    }
+  }
+  // The tight budget must be enforced once the runs complete (everything
+  // evictable got evicted), while histories survive for replay.
+  EXPECT_GT(batched_engine.sessions().evictions(), 0u);
 }
 
 TEST(BatcherTest, ConcurrentSubmissionsMatchSequentialPerStudent) {
