@@ -109,7 +109,7 @@ inline double ValidationFraction() { return FullMode() ? 0.1 : 0.2; }
 inline data::Dataset MakeWindows(const std::string& preset_name) {
   const BenchScale scale = GetScale();
   data::SimulatorConfig config =
-      data::PresetByName(preset_name, scale.dataset_scale);
+      data::PresetByName(preset_name, scale.dataset_scale).value();
   data::StudentSimulator simulator(config);
   return data::SplitIntoWindows(simulator.Generate(), 50, 5);
 }

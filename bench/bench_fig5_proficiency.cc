@@ -98,7 +98,7 @@ void Run() {
 
   // Questions per traced concept (needed by the Eq. 30 probe).
   data::SimulatorConfig sim_config =
-      data::PresetByName("assist12", GetScale().dataset_scale);
+      data::PresetByName("assist12", GetScale().dataset_scale).value();
   data::StudentSimulator simulator(sim_config);
   std::map<int64_t, std::vector<int64_t>> concept_questions;
   for (int64_t q = 0; q < windows.num_questions; ++q) {

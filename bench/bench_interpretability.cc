@@ -22,7 +22,7 @@ void Run() {
 
   const std::string dataset_name = "assist09";
   data::SimulatorConfig sim_config =
-      data::PresetByName(dataset_name, GetScale().dataset_scale);
+      data::PresetByName(dataset_name, GetScale().dataset_scale).value();
   data::StudentSimulator simulator(sim_config);
   data::Dataset windows =
       data::SplitIntoWindows(simulator.Generate(), 50, 5);

@@ -1,0 +1,202 @@
+// Scenario-fleet serving benchmark (DESIGN.md §12): one RCKT model trained
+// on the scenario_base historical log, then every registered workload
+// scenario streamed through the kt::serve engine in-process — the same
+// predict-then-update traffic `kt_loadgen --mode scenario` sends over TCP,
+// minus the socket, so the numbers isolate the engine.
+//
+// Per scenario the report carries:
+//   * rolling online AUC of the engine's predictions against the
+//     simulator's outcomes (the model never trains on scenario traffic —
+//     this measures robustness of one model across traffic shapes),
+//   * predict/update latency p50/p99 from kt::obs histograms (bucket
+//     resolution, constant memory at any request count),
+//   * the order-independent traffic digest (equal across runs and across
+//     machines iff the scenario stream is seed-deterministic).
+//
+// Writes BENCH_serve_scenarios.json (override with --out=<path>).
+// Expectation: AUC clearly above 0.5 everywhere except adversarial (bursts
+// replace ~20% of responses with guess/slip noise) and drift (the second
+// half of each sequence contradicts the first); cold_start lowest latency
+// (shortest histories), forgetting highest (longest).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/scenarios.h"
+#include "obs/obs.h"
+#include "serve/engine.h"
+#include "serve/loadgen.h"
+
+namespace kt {
+namespace bench {
+namespace {
+
+struct ScenarioResult {
+  serve::ScenarioSummary summary;
+  double base_test_auc = 0.0;  // same for every row; kept for context
+};
+
+// Streams every student of `config` through the engine: predict before
+// each update, exactly like kt_loadgen --mode scenario. Students generate
+// one at a time (GenerateStudentAuto) — nothing is materialized.
+serve::ScenarioSummary RunScenario(const data::SimulatorConfig& config,
+                                   serve::InferenceEngine& engine,
+                                   int64_t auc_window) {
+  const data::StudentSimulator simulator(config);
+  obs::Histogram* predict_hist =
+      obs::Histogram::Get("bench.scenario.predict_us");
+  obs::Histogram* update_hist =
+      obs::Histogram::Get("bench.scenario.update_us");
+  predict_hist->Reset();
+  update_hist->Reset();
+
+  serve::RollingAuc auc(auc_window);
+  serve::ScenarioSummary summary;
+  summary.scenario = config.name;
+  summary.connections = 1;
+  summary.seed = config.seed;
+  summary.students = config.num_students;
+  summary.auc_window = auc_window;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t s = 0; s < config.num_students; ++s) {
+    const data::ResponseSequence seq =
+        simulator.GenerateStudentAuto(static_cast<uint64_t>(s));
+    const std::string student = config.name + "-s" + std::to_string(s);
+    uint64_t h = serve::kFnvOffset;
+    for (const auto& it : seq.interactions) {
+      serve::ServeRequest predict;
+      predict.op = serve::Op::kPredict;
+      predict.student = student;
+      predict.question = it.question;
+      predict.has_concepts = true;
+      predict.concepts = it.concepts;
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::ServeResponse predicted = engine.Execute(predict);
+      const auto t1 = std::chrono::steady_clock::now();
+      KT_CHECK(predicted.ok) << predicted.error;
+      predict_hist->Record(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      auc.Add(predicted.p, it.response);
+      ++summary.predictions;
+
+      serve::ServeRequest update = predict;
+      update.op = serve::Op::kUpdate;
+      update.response = it.response;
+      const auto t2 = std::chrono::steady_clock::now();
+      const serve::ServeResponse updated = engine.Execute(update);
+      const auto t3 = std::chrono::steady_clock::now();
+      KT_CHECK(updated.ok) << updated.error;
+      update_hist->Record(
+          std::chrono::duration<double, std::micro>(t3 - t2).count());
+      ++summary.interactions;
+      h = serve::FnvMixInteraction(h, it.question, it.concepts, it.response);
+    }
+    summary.traffic_fnv64 ^= h;
+  }
+  summary.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  summary.throughput_rps =
+      summary.elapsed_s > 0.0
+          ? static_cast<double>(summary.interactions + summary.predictions) /
+                summary.elapsed_s
+          : 0.0;
+  summary.auc = auc.Auc();
+  summary.auc_samples = auc.count();
+  const obs::HistogramSnapshot ps = predict_hist->Snapshot();
+  const obs::HistogramSnapshot us = update_hist->Snapshot();
+  summary.predict_p50_us = ps.Percentile(0.50);
+  summary.predict_p99_us = ps.Percentile(0.99);
+  summary.predict_mean_us = ps.Mean();
+  summary.update_p50_us = us.Percentile(0.50);
+  summary.update_p99_us = us.Percentile(0.99);
+  summary.update_mean_us = us.Mean();
+  return summary;
+}
+
+bool WriteJson(const std::string& path, double base_auc,
+               const std::vector<serve::ScenarioSummary>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"serve_scenarios\",\n  \"threads\": "
+      << GetNumThreads() << ",\n  \"base_test_auc\": " << base_auc
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // The per-scenario schema matches kt_loadgen --mode scenario (minus
+    // mode/connections/scale, which are fixed in-process).
+    out << "    " << serve::ScenarioSummaryJson(rows[i])
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void Run(const std::string& out_path) {
+  PrintHeader("Scenario fleet: one model, five traffic shapes",
+              "expectation: AUC above 0.5 except adversarial/drift (traffic "
+              "designed to break the learned student state); latency "
+              "ordered by history length (cold_start < base < forgetting)");
+  obs::SetEnabled(true);
+
+  // One model trained on the scenario_base log serves every scenario
+  // (shared question/concept space — see data/scenarios.h).
+  const double train_scale = FullMode() ? 1.0 : 0.25;
+  data::SimulatorConfig base = data::ScenarioBase(train_scale);
+  data::StudentSimulator base_sim(base);
+  data::Dataset windows = data::SplitIntoWindows(base_sim.Generate(), 50, 5);
+  Rng rng(91);
+  const auto folds = data::KFoldAssignment(
+      static_cast<int64_t>(windows.sequences.size()), GetScale().folds, rng);
+  data::FoldSplit split =
+      data::MakeFold(windows, folds, 0, ValidationFraction(), rng);
+  rckt::RCKT model(windows.num_questions, windows.num_concepts,
+                   BenchRcktConfig("assist09", rckt::EncoderKind::kDKT, 91));
+  const auto trained =
+      rckt::TrainAndEvaluateRckt(model, split, RcktBenchOptions(5));
+  std::printf("scenario_base test AUC %.4f (the served model)\n\n",
+              trained.test.auc);
+
+  serve::EngineOptions options;
+  options.num_questions = windows.num_questions;
+  options.num_concepts = windows.num_concepts;
+  serve::InferenceEngine engine(model, options);
+
+  const double traffic_scale = FullMode() ? 0.5 : 0.1;
+  TablePrinter table({"scenario", "students", "requests", "auc",
+                      "predict p50/p99 us", "update p50/p99 us"});
+  std::vector<serve::ScenarioSummary> rows;
+  for (const data::SimulatorConfig& config :
+       data::AllScenarios(traffic_scale)) {
+    serve::ScenarioSummary s = RunScenario(config, engine, /*auc_window=*/
+                                           50000);
+    table.AddRow({s.scenario, std::to_string(s.students),
+                  std::to_string(s.interactions + s.predictions),
+                  FormatFloat(s.auc, 4),
+                  FormatFloat(s.predict_p50_us, 0) + "/" +
+                      FormatFloat(s.predict_p99_us, 0),
+                  FormatFloat(s.update_p50_us, 0) + "/" +
+                      FormatFloat(s.update_p99_us, 0)});
+    rows.push_back(std::move(s));
+  }
+  table.Print(std::cout);
+
+  if (!WriteJson(out_path, trained.test.auc, rows)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kt
+
+int main(int argc, char** argv) {
+  const kt::FlagParser flags = kt::bench::InitBenchFlags(&argc, argv);
+  kt::bench::Run(flags.GetString("out", "BENCH_serve_scenarios.json"));
+  return 0;
+}

@@ -1,7 +1,5 @@
 #include "data/presets.h"
 
-#include "core/check.h"
-
 namespace kt {
 namespace data {
 namespace {
@@ -88,13 +86,22 @@ std::vector<SimulatorConfig> AllPresets(double scale) {
           SlepemapyPreset(scale), EediPreset(scale)};
 }
 
-SimulatorConfig PresetByName(const std::string& name, double scale) {
+std::vector<std::string> PresetNames() {
+  return {"assist09", "assist12", "slepemapy", "eedi"};
+}
+
+Result<SimulatorConfig> PresetByName(const std::string& name, double scale) {
   if (name == "assist09") return Assist09Preset(scale);
   if (name == "assist12") return Assist12Preset(scale);
   if (name == "slepemapy") return SlepemapyPreset(scale);
   if (name == "eedi") return EediPreset(scale);
-  KT_CHECK(false) << "unknown preset: " << name;
-  return {};
+  std::string known;
+  for (const std::string& p : PresetNames()) {
+    if (!known.empty()) known += ", ";
+    known += p;
+  }
+  return Status::NotFound("unknown preset '" + name + "' (valid: " + known +
+                          ")");
 }
 
 }  // namespace data

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "data/simulator.h"
 
 namespace kt {
@@ -24,9 +25,14 @@ SimulatorConfig EediPreset(double scale = 1.0);
 // All four presets in paper order.
 std::vector<SimulatorConfig> AllPresets(double scale = 1.0);
 
-// Preset by dataset name ("assist09", "assist12", "slepemapy", "eedi");
-// aborts on unknown names.
-SimulatorConfig PresetByName(const std::string& name, double scale = 1.0);
+// The valid preset names, in paper order.
+std::vector<std::string> PresetNames();
+
+// Preset by dataset name ("assist09", "assist12", "slepemapy", "eedi").
+// Unknown names return NotFound with the valid name list in the message —
+// CLI front ends print it instead of aborting.
+Result<SimulatorConfig> PresetByName(const std::string& name,
+                                     double scale = 1.0);
 
 }  // namespace data
 }  // namespace kt

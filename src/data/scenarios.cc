@@ -1,0 +1,127 @@
+#include "data/scenarios.h"
+
+namespace kt {
+namespace data {
+namespace {
+
+int64_t ScaleCount(int64_t base, double scale) {
+  const int64_t scaled = static_cast<int64_t>(base * scale);
+  return scaled < 8 ? 8 : scaled;
+}
+
+}  // namespace
+
+SimulatorConfig ScenarioBase(double scale) {
+  SimulatorConfig c;
+  c.name = "scenario_base";
+  c.num_students = ScaleCount(400, scale);
+  c.num_questions = kScenarioQuestions;
+  c.num_concepts = kScenarioConcepts;
+  c.min_responses = 20;
+  c.max_responses = 90;
+  c.target_correct_rate = 0.65;
+  c.seed = 6001;
+  return c;
+}
+
+SimulatorConfig ColdStartScenario(double scale) {
+  // A flood of brand-new students: every session has < 5 interactions, so
+  // serving lives entirely on the empty-history / short-replay hot path and
+  // the session store churns through many tiny sessions.
+  SimulatorConfig c = ScenarioBase(scale);
+  c.name = "cold_start";
+  c.num_students = ScaleCount(2000, scale);
+  c.min_responses = 1;
+  c.max_responses = 4;
+  c.seed = 6010;
+  return c;
+}
+
+SimulatorConfig ForgettingScenario(double scale) {
+  // Spaced-repetition schedules: frequent long breaks with strong decay, so
+  // proficiency sawtooths instead of climbing — the regime where forgetting
+  // dominates and recency matters most.
+  SimulatorConfig c = ScenarioBase(scale);
+  c.name = "forgetting";
+  c.min_responses = 40;
+  c.max_responses = 120;
+  c.forget_rate = 0.08;
+  c.learn_rate = 0.18;
+  c.gap_prob = 0.15;
+  c.gap_steps = 30;
+  c.concept_switch_prob = 0.15;
+  c.seed = 6020;
+  return c;
+}
+
+SimulatorConfig AdversarialScenario(double scale) {
+  // Cheating-like bursts: stretches where responses decouple from
+  // proficiency (answer keys, random clicking). Mean burst length is
+  // 1 / (1 - burst_continue_prob) ≈ 6.7 steps; roughly a fifth of traffic
+  // lands inside a burst.
+  SimulatorConfig c = ScenarioBase(scale);
+  c.name = "adversarial";
+  c.burst_start_prob = 0.04;
+  c.burst_continue_prob = 0.85;
+  c.burst_guess = 0.9;
+  c.burst_slip = 0.02;
+  c.seed = 6030;
+  return c;
+}
+
+SimulatorConfig DriftScenario(double scale) {
+  // Mid-stream regime change: halfway through each sequence ability drops
+  // and items harden (curriculum jump), so the second half contradicts what
+  // the first half taught the model about the student.
+  SimulatorConfig c = ScenarioBase(scale);
+  c.name = "drift";
+  c.min_responses = 30;
+  c.max_responses = 100;
+  c.drift_at = 0.5;
+  c.drift_ability_shift = -0.8;
+  c.drift_difficulty_shift = 0.4;
+  c.seed = 6040;
+  return c;
+}
+
+SimulatorConfig ZipfScenario(double scale) {
+  // Heavy-tailed question popularity: a few items dominate the traffic
+  // (real item banks), stressing per-question state and cache behavior.
+  SimulatorConfig c = ScenarioBase(scale);
+  c.name = "zipf";
+  c.zipf_exponent = 1.2;
+  c.seed = 6050;
+  return c;
+}
+
+std::vector<SimulatorConfig> AllScenarios(double scale) {
+  return {ColdStartScenario(scale), ForgettingScenario(scale),
+          AdversarialScenario(scale), DriftScenario(scale),
+          ZipfScenario(scale)};
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"cold_start", "forgetting", "adversarial", "drift", "zipf"};
+}
+
+Result<SimulatorConfig> ScenarioByName(const std::string& name,
+                                       double scale) {
+  // The base training log resolves too, so `ktcli simulate --scenario
+  // scenario_base` can produce the log the serving model trains on.
+  if (name == "scenario_base") return ScenarioBase(scale);
+  if (name == "cold_start") return ColdStartScenario(scale);
+  if (name == "forgetting") return ForgettingScenario(scale);
+  if (name == "adversarial") return AdversarialScenario(scale);
+  if (name == "drift") return DriftScenario(scale);
+  if (name == "zipf") return ZipfScenario(scale);
+  std::string known;
+  for (const std::string& s : ScenarioNames()) {
+    if (!known.empty()) known += ", ";
+    known += s;
+  }
+  return Status::NotFound("unknown scenario '" + name + "' (valid: " + known +
+                          ")");
+}
+
+}  // namespace data
+}  // namespace kt

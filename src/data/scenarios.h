@@ -1,0 +1,56 @@
+// Simulator scenarios: production workload classes beyond the four paper
+// presets (DESIGN.md §12).
+//
+// The presets mirror the paper's *datasets*; scenarios mirror the *traffic
+// shapes* a deployed `kt::serve` sees — cold-start floods, spaced-practice
+// forgetting, adversarial guess/slip bursts, mid-stream concept drift, and
+// heavy-tailed question popularity. Every scenario shares one question/
+// concept space (kScenarioQuestions x kScenarioConcepts) so a single model
+// trained on the `ScenarioBase` log can serve traffic from all of them —
+// scripts/check_scenarios.sh gates per-scenario AUC and latency on exactly
+// that setup.
+#ifndef KT_DATA_SCENARIOS_H_
+#define KT_DATA_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/simulator.h"
+
+namespace kt {
+namespace data {
+
+// Shared id space: every scenario (and the base training log) uses these
+// shapes, so models and scenario traffic are interchangeable.
+inline constexpr int64_t kScenarioQuestions = 400;
+inline constexpr int64_t kScenarioConcepts = 20;
+
+// The "historical log" a scenario-serving model is trained on: the default
+// generative model in the scenario id space, no scenario knobs.
+SimulatorConfig ScenarioBase(double scale = 1.0);
+
+// `scale` multiplies the student count, as in presets.h.
+SimulatorConfig ColdStartScenario(double scale = 1.0);
+SimulatorConfig ForgettingScenario(double scale = 1.0);
+SimulatorConfig AdversarialScenario(double scale = 1.0);
+SimulatorConfig DriftScenario(double scale = 1.0);
+SimulatorConfig ZipfScenario(double scale = 1.0);
+
+// All five scenarios in registry order.
+std::vector<SimulatorConfig> AllScenarios(double scale = 1.0);
+
+// The valid scenario names, in registry order.
+std::vector<std::string> ScenarioNames();
+
+// Scenario by name ("cold_start", "forgetting", "adversarial", "drift",
+// "zipf", plus "scenario_base" for the training log). Unknown names return
+// NotFound with the valid name list in the message — CLI front ends print
+// it instead of aborting.
+Result<SimulatorConfig> ScenarioByName(const std::string& name,
+                                       double scale = 1.0);
+
+}  // namespace data
+}  // namespace kt
+
+#endif  // KT_DATA_SCENARIOS_H_

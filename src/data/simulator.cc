@@ -21,6 +21,12 @@ StudentSimulator::StudentSimulator(SimulatorConfig config)
   KT_CHECK_GE(config_.avg_concepts_per_question, 1.0);
   KT_CHECK_LE(config_.avg_concepts_per_question, 2.0);
   KT_CHECK(config_.guess + config_.slip < 1.0);
+  KT_CHECK_GE(config_.zipf_exponent, 0.0);
+  if (config_.burst_start_prob > 0.0) {
+    KT_CHECK(config_.burst_guess + config_.burst_slip < 1.0);
+  }
+  if (config_.gap_prob > 0.0) KT_CHECK_GT(config_.gap_steps, 0);
+  KT_CHECK_LE(config_.drift_at, 1.0);
   BuildQuestionBank();
   CalibrateOffset();
 }
@@ -56,6 +62,21 @@ void StudentSimulator::BuildQuestionBank() {
       concept_questions_[static_cast<size_t>(k)].push_back(q);
     }
   }
+  // Zipf popularity: cumulative weight 1/rank^s over each concept's pool,
+  // so sampling is one uniform draw plus a binary search.
+  if (config_.zipf_exponent > 0.0) {
+    concept_question_cdf_.resize(concept_questions_.size());
+    for (size_t k = 0; k < concept_questions_.size(); ++k) {
+      auto& cdf = concept_question_cdf_[k];
+      cdf.resize(concept_questions_[k].size());
+      double total = 0.0;
+      for (size_t rank = 0; rank < cdf.size(); ++rank) {
+        total += std::pow(static_cast<double>(rank + 1),
+                          -config_.zipf_exponent);
+        cdf[rank] = total;
+      }
+    }
+  }
 }
 
 ResponseSequence StudentSimulator::SimulateOne(int64_t length, Rng& rng,
@@ -76,25 +97,72 @@ ResponseSequence StudentSimulator::SimulateOne(int64_t length, Rng& rng,
   ResponseSequence seq;
   seq.interactions.reserve(static_cast<size_t>(length));
   int64_t current_concept = rng.UniformInt(num_concepts);
+  // Drift activates from this step onward (never when drift_at is 0).
+  const int64_t drift_step =
+      config_.drift_at > 0.0
+          ? static_cast<int64_t>(config_.drift_at *
+                                 static_cast<double>(length))
+          : length + 1;
+  bool in_burst = false;
 
   for (int64_t t = 0; t < length; ++t) {
+    // Spaced-practice gap: gap_steps rounds of forgetting applied at once
+    // (closed form of the per-step decay toward the initial level).
+    if (config_.gap_prob > 0.0 && t > 0 && rng.Bernoulli(config_.gap_prob)) {
+      const double keep = std::pow(1.0 - config_.forget_rate,
+                                   static_cast<double>(config_.gap_steps));
+      for (int64_t k = 0; k < num_concepts; ++k) {
+        double& v = theta[static_cast<size_t>(k)];
+        v = initial[static_cast<size_t>(k)] +
+            (v - initial[static_cast<size_t>(k)]) * keep;
+      }
+    }
     if (rng.Bernoulli(config_.concept_switch_prob)) {
       current_concept = rng.UniformInt(num_concepts);
     }
     const auto& pool = concept_questions_[static_cast<size_t>(current_concept)];
-    const int64_t q = pool[static_cast<size_t>(rng.UniformInt(
-        static_cast<int64_t>(pool.size())))];
+    int64_t q;
+    if (config_.zipf_exponent > 0.0) {
+      const auto& cdf =
+          concept_question_cdf_[static_cast<size_t>(current_concept)];
+      const double u = rng.Uniform() * cdf.back();
+      const size_t rank = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      q = pool[std::min(rank, pool.size() - 1)];
+    } else {
+      q = pool[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(pool.size())))];
+    }
     const auto& concepts = question_concepts_[static_cast<size_t>(q)];
 
     double mean_theta = 0.0;
     for (int64_t k : concepts) mean_theta += theta[static_cast<size_t>(k)];
     mean_theta /= static_cast<double>(concepts.size());
 
+    // Adversarial bursts: one Bernoulli per step keeps the draw count
+    // deterministic; inside a burst guess/slip are overridden.
+    double guess = config_.guess;
+    double slip = config_.slip;
+    if (config_.burst_start_prob > 0.0) {
+      in_burst = in_burst ? rng.Bernoulli(config_.burst_continue_prob)
+                          : rng.Bernoulli(config_.burst_start_prob);
+      if (in_burst) {
+        guess = config_.burst_guess;
+        slip = config_.burst_slip;
+      }
+    }
+    const double drift_ability = t >= drift_step
+                                     ? config_.drift_ability_shift
+                                     : 0.0;
+    const double drift_difficulty = t >= drift_step
+                                        ? config_.drift_difficulty_shift
+                                        : 0.0;
+
     const double irt = SigmoidD(
         question_discrimination_[static_cast<size_t>(q)] *
-        (mean_theta + offset - question_difficulty_[static_cast<size_t>(q)]));
-    const double p_correct =
-        config_.guess + (1.0 - config_.guess - config_.slip) * irt;
+        (mean_theta + offset + drift_ability -
+         (question_difficulty_[static_cast<size_t>(q)] + drift_difficulty)));
+    const double p_correct = guess + (1.0 - guess - slip) * irt;
     const int response = rng.Bernoulli(p_correct) ? 1 : 0;
 
     Interaction interaction;
@@ -161,6 +229,17 @@ ResponseSequence StudentSimulator::GenerateStudent(
   return seq;
 }
 
+ResponseSequence StudentSimulator::GenerateStudentAuto(
+    uint64_t student_seed, SimulationTrace* trace) const {
+  Rng rng(config_.seed * 104729 + student_seed * 13 + 5);
+  const int64_t len =
+      config_.min_responses +
+      rng.UniformInt(config_.max_responses - config_.min_responses + 1);
+  ResponseSequence seq = SimulateOne(len, rng, ability_offset_, trace);
+  seq.student = static_cast<int64_t>(student_seed);
+  return seq;
+}
+
 Dataset StudentSimulator::Generate() const {
   Dataset out;
   out.name = config_.name;
@@ -168,13 +247,7 @@ Dataset StudentSimulator::Generate() const {
   out.num_concepts = config_.num_concepts;
   out.sequences.reserve(static_cast<size_t>(config_.num_students));
   for (int64_t s = 0; s < config_.num_students; ++s) {
-    Rng rng(config_.seed * 104729 + static_cast<uint64_t>(s) * 13 + 5);
-    const int64_t len =
-        config_.min_responses +
-        rng.UniformInt(config_.max_responses - config_.min_responses + 1);
-    ResponseSequence seq = SimulateOne(len, rng, ability_offset_, nullptr);
-    seq.student = s;
-    out.sequences.push_back(std::move(seq));
+    out.sequences.push_back(GenerateStudentAuto(static_cast<uint64_t>(s)));
   }
   return out;
 }

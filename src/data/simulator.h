@@ -53,6 +53,42 @@ struct SimulatorConfig {
   double concept_ability_std = 0.6;
   double difficulty_std = 0.9;
 
+  // --- Scenario knobs (src/data/scenarios.cc) ---
+  // All default to "off" and, when off, consume no RNG draws, so existing
+  // presets generate bit-identical sequences to builds without these knobs.
+
+  // Heavy-tailed question popularity: when > 0, questions within a concept
+  // pool are drawn Zipf-distributed (probability proportional to
+  // 1/rank^zipf_exponent, rank = position in the pool) instead of
+  // uniformly, mimicking real item banks where a few questions dominate.
+  double zipf_exponent = 0.0;
+
+  // Adversarial guess/slip bursts: when burst_start_prob > 0, each step
+  // outside a burst starts one with that probability; inside a burst each
+  // step continues it with burst_continue_prob (geometric length). During a
+  // burst the IRT guess/slip are overridden by burst_guess/burst_slip —
+  // cheating-like stretches where responses decouple from proficiency.
+  double burst_start_prob = 0.0;
+  double burst_continue_prob = 0.85;
+  double burst_guess = 0.9;
+  double burst_slip = 0.02;
+
+  // Spaced-repetition gaps: when gap_prob > 0, before each step (after the
+  // first) the student takes a break with that probability, applying
+  // gap_steps rounds of forgetting to every concept at once — the
+  // forgetting-heavy schedule of spaced practice.
+  double gap_prob = 0.0;
+  int64_t gap_steps = 25;
+
+  // Mid-stream concept drift: when drift_at is in (0, 1], from step
+  // floor(drift_at * length) onward the student's effective ability shifts
+  // by drift_ability_shift and every question's difficulty by
+  // drift_difficulty_shift — a time-indexed regime change (curriculum jump,
+  // interface change) that serving must survive.
+  double drift_at = 0.0;
+  double drift_ability_shift = 0.0;
+  double drift_difficulty_shift = 0.0;
+
   uint64_t seed = 7;
 };
 
@@ -90,6 +126,13 @@ class StudentSimulator {
   // The ability offset chosen by calibration to meet target_correct_rate.
   double ability_offset() const { return ability_offset_; }
 
+  // Generates student `student_seed` exactly as Generate() would produce it
+  // (sequence length drawn from the per-student stream). The streaming
+  // equivalent of Generate(): kt_loadgen --mode scenario iterates students
+  // through this so million-student traffic never materializes a Dataset.
+  ResponseSequence GenerateStudentAuto(uint64_t student_seed,
+                                       SimulationTrace* trace = nullptr) const;
+
  private:
   void BuildQuestionBank();
   void CalibrateOffset();
@@ -102,6 +145,9 @@ class StudentSimulator {
   std::vector<double> question_discrimination_;
   // concept -> questions whose primary concept it is
   std::vector<std::vector<int64_t>> concept_questions_;
+  // Per-concept cumulative Zipf weights over concept_questions_; empty
+  // unless config_.zipf_exponent > 0.
+  std::vector<std::vector<double>> concept_question_cdf_;
   double ability_offset_ = 0.0;
 };
 

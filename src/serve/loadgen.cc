@@ -1,0 +1,287 @@
+#include "serve/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "eval/metrics.h"
+#include "serve/json.h"
+
+namespace kt {
+namespace serve {
+
+LineClient::~LineClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool LineClient::Connect(int port, std::string* error) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = "socket() failed";
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect() to 127.0.0.1:" + std::to_string(port) + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::RoundTrip(const std::string& line, std::string* response,
+                           std::string* error) {
+  std::string out = line;
+  out.push_back('\n');
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      *error = "send() failed";
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  response->clear();
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      *error = "server closed the connection";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string PredictLine(const std::string& student, int64_t question,
+                        const std::vector<int64_t>& concepts) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("predict");
+  w.Key("student").String(student);
+  w.Key("question").Int(question);
+  w.Key("concepts").BeginArray();
+  for (int64_t c : concepts) w.Int(c);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string UpdateLine(const std::string& student, int64_t question,
+                       const std::vector<int64_t>& concepts, int response) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("update");
+  w.Key("student").String(student);
+  w.Key("question").Int(question);
+  w.Key("concepts").BeginArray();
+  for (int64_t c : concepts) w.Int(c);
+  w.EndArray();
+  w.Key("response").Int(response);
+  w.EndObject();
+  return w.str();
+}
+
+uint32_t FloatBits(float f) {
+  uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+Result<ExpectedPredictions> ParseExpectedPredictions(
+    const std::string& json_text, int64_t default_stride,
+    int64_t default_min_target) {
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(json_text, &doc, &error)) {
+    return Status::InvalidArgument("expect file: " + error);
+  }
+  ExpectedPredictions out;
+  out.stride = doc.GetInt("stride", default_stride);
+  out.min_target = doc.GetInt("min_target", default_min_target);
+  const JsonValue* preds = doc.Find("predictions");
+  if (preds == nullptr || !preds->IsArray()) {
+    return Status::InvalidArgument("expect file has no predictions array");
+  }
+  for (const auto& p : preds->array) {
+    out.scores[{p.GetInt("sequence", -1), p.GetInt("target", -1)}] =
+        static_cast<float>(p.GetNumber("generator_score", 0.0));
+  }
+  return out;
+}
+
+MismatchReport CheckPredictions(const PredictionMap& expected,
+                                const PredictionMap& got,
+                                int64_t max_details) {
+  MismatchReport report;
+  report.compared = static_cast<int64_t>(expected.size());
+  for (const auto& [key, want] : expected) {
+    const auto found = got.find(key);
+    if (found == got.end()) {
+      ++report.missing;
+      continue;
+    }
+    if (FloatBits(found->second) != FloatBits(want)) {
+      if (++report.mismatches <= max_details) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "MISMATCH seq=%lld target=%lld online=%.9g "
+                      "offline=%.9g",
+                      static_cast<long long>(key.first),
+                      static_cast<long long>(key.second), found->second,
+                      want);
+        report.details.push_back(line);
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+}  // namespace
+
+LatencyStats SummarizeLatencies(std::vector<double>& us) {
+  LatencyStats stats;
+  stats.count = static_cast<int64_t>(us.size());
+  if (us.empty()) return stats;
+  std::sort(us.begin(), us.end());
+  double total = 0.0;
+  for (double v : us) total += v;
+  stats.mean_us = total / static_cast<double>(us.size());
+  stats.p50_us = Percentile(us, 0.50);
+  stats.p99_us = Percentile(us, 0.99);
+  return stats;
+}
+
+std::string ReplaySummaryJson(const ReplaySummary& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("replay");
+  w.Key("connections").Int(s.connections);
+  w.Key("predictions").Int(s.predictions);
+  w.Key("compared").Int(s.check.compared);
+  w.Key("mismatches").Int(s.check.mismatches);
+  w.Key("missing").Int(s.check.missing);
+  w.Key("elapsed_s").Double(s.elapsed_s);
+  w.Key("latency_p50_us").Double(s.latency.p50_us);
+  w.Key("latency_p99_us").Double(s.latency.p99_us);
+  w.Key("latency_mean_us").Double(s.latency.mean_us);
+  w.EndObject();
+  return w.str();
+}
+
+std::string BenchSummaryJson(const BenchSummary& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("bench");
+  w.Key("connections").Int(s.connections);
+  w.Key("requests").Int(s.latency.count);
+  w.Key("elapsed_s").Double(s.elapsed_s);
+  w.Key("throughput_rps")
+      .Double(s.elapsed_s > 0.0
+                  ? static_cast<double>(s.latency.count) / s.elapsed_s
+                  : 0.0);
+  w.Key("latency_p50_us").Double(s.latency.p50_us);
+  w.Key("latency_p99_us").Double(s.latency.p99_us);
+  w.Key("latency_mean_us").Double(s.latency.mean_us);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ScenarioSummaryJson(const ScenarioSummary& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("scenario");
+  w.Key("scenario").String(s.scenario);
+  w.Key("connections").Int(s.connections);
+  w.Key("seed").Int(static_cast<int64_t>(s.seed));
+  w.Key("scale").Double(s.scale);
+  w.Key("students").Int(s.students);
+  w.Key("interactions").Int(s.interactions);
+  w.Key("predictions").Int(s.predictions);
+  w.Key("elapsed_s").Double(s.elapsed_s);
+  w.Key("throughput_rps").Double(s.throughput_rps);
+  w.Key("auc").Double(s.auc);
+  w.Key("auc_samples").Int(s.auc_samples);
+  w.Key("auc_window").Int(s.auc_window);
+  w.Key("predict_p50_us").Double(s.predict_p50_us);
+  w.Key("predict_p99_us").Double(s.predict_p99_us);
+  w.Key("predict_mean_us").Double(s.predict_mean_us);
+  w.Key("update_p50_us").Double(s.update_p50_us);
+  w.Key("update_p99_us").Double(s.update_p99_us);
+  w.Key("update_mean_us").Double(s.update_mean_us);
+  // Hex keeps the digest readable and avoids int64 overflow in parsers.
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(s.traffic_fnv64));
+  w.Key("traffic_fnv64").String(hex);
+  w.EndObject();
+  return w.str();
+}
+
+RollingAuc::RollingAuc(int64_t window) : window_(std::max<int64_t>(1, window)) {
+  scores_.reserve(static_cast<size_t>(std::min<int64_t>(window_, 1 << 20)));
+}
+
+void RollingAuc::Add(float score, int label) {
+  if (count() < window_) {
+    scores_.push_back(score);
+    labels_.push_back(label);
+    return;
+  }
+  scores_[next_] = score;
+  labels_[next_] = label;
+  next_ = (next_ + 1) % scores_.size();
+}
+
+void RollingAuc::Merge(const RollingAuc& other) {
+  scores_.insert(scores_.end(), other.scores_.begin(), other.scores_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+double RollingAuc::Auc() const {
+  if (scores_.empty()) return 0.5;
+  return eval::ComputeAuc(scores_, labels_);
+}
+
+uint64_t FnvMixInteraction(uint64_t h, int64_t question,
+                           const std::vector<int64_t>& concepts,
+                           int response) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(question));
+  for (int64_t c : concepts) mix(static_cast<uint64_t>(c));
+  mix(static_cast<uint64_t>(response));
+  return h;
+}
+
+}  // namespace serve
+}  // namespace kt

@@ -1,0 +1,183 @@
+// kt::serve load-generation support: the testable core of tools/kt_loadgen.
+//
+// tools/kt_loadgen.cc keeps only flag parsing and the per-mode driver
+// loops; everything with a failure mode worth unit-testing lives here:
+//   * LineClient        — blocking NDJSON round-trip client (TCP loopback),
+//                         with explicit errors for refused connections and
+//                         mid-stream server disconnects,
+//   * ParseExpectedPredictions — the `ktcli evaluate --json` reader behind
+//                         --expect, returning Status instead of dying on
+//                         malformed input,
+//   * CheckPredictions  — the bit-exact online-vs-offline mismatch checker,
+//   * SummarizeLatencies / summary-JSON builders for all three modes,
+//   * RollingAuc        — bounded ring of (score, label) pairs for the
+//                         scenario mode's rolling online AUC at scales
+//                         where keeping every prediction is not an option.
+//
+// Everything here is deterministic given its inputs: the JSON builders
+// format through serve::JsonWriter (shortest round-trip doubles), and
+// RollingAuc::Auc delegates to eval::ComputeAuc, which is permutation-
+// invariant — merging per-worker rings in any order yields one AUC.
+#ifndef KT_SERVE_LOADGEN_H_
+#define KT_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace kt {
+namespace serve {
+
+// Blocking line-oriented client connection to 127.0.0.1:port.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool Connect(int port, std::string* error);
+
+  // Sends one request line and reads the one response line. On failure
+  // (send error or server-side disconnect) fills *error and returns false.
+  bool RoundTrip(const std::string& line, std::string* response,
+                 std::string* error);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// NDJSON request lines understood by `ktcli serve`.
+std::string PredictLine(const std::string& student, int64_t question,
+                        const std::vector<int64_t>& concepts);
+std::string UpdateLine(const std::string& student, int64_t question,
+                       const std::vector<int64_t>& concepts, int response);
+
+uint32_t FloatBits(float f);
+
+// (sequence, target) -> probability, the key space shared by the offline
+// scorer (`ktcli evaluate --json`) and the replay client.
+using PredictionMap = std::map<std::pair<int64_t, int64_t>, float>;
+
+// The --expect file contents: offline generator scores plus the sampling
+// parameters they were produced with (so online replay can never disagree
+// with the offline scorer about which samples exist).
+struct ExpectedPredictions {
+  int64_t stride = 0;
+  int64_t min_target = 0;
+  PredictionMap scores;
+};
+
+// Parses the JSON object written by `ktcli evaluate --json`. The defaults
+// seed stride/min_target for legacy files that omit them. Fails (rather
+// than aborting) on malformed JSON or a missing predictions array.
+Result<ExpectedPredictions> ParseExpectedPredictions(
+    const std::string& json_text, int64_t default_stride,
+    int64_t default_min_target);
+
+// Bit-exact comparison of online probabilities against offline scores.
+struct MismatchReport {
+  int64_t compared = 0;    // expected entries examined
+  int64_t mismatches = 0;  // float bit patterns differ
+  int64_t missing = 0;     // expected but never predicted online
+  // Human-readable lines for the first few mismatches.
+  std::vector<std::string> details;
+
+  bool ok() const { return mismatches == 0 && missing == 0; }
+};
+MismatchReport CheckPredictions(const PredictionMap& expected,
+                                const PredictionMap& got,
+                                int64_t max_details = 5);
+
+struct LatencyStats {
+  double p50_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+  int64_t count = 0;
+};
+
+// Sorts `us` in place. Empty input yields all-zero stats (the
+// empty-dataset path: a replay of zero windows is a valid, passing run).
+LatencyStats SummarizeLatencies(std::vector<double>& us);
+
+// One-line JSON summaries (stdout contract of kt_loadgen, consumed by
+// scripts/check_serve.sh, scripts/check_scenarios.sh and tools/obs_check).
+struct ReplaySummary {
+  int connections = 0;
+  int64_t predictions = 0;
+  MismatchReport check;
+  double elapsed_s = 0.0;
+  LatencyStats latency;
+};
+std::string ReplaySummaryJson(const ReplaySummary& s);
+
+struct BenchSummary {
+  int connections = 0;
+  double elapsed_s = 0.0;
+  LatencyStats latency;
+};
+std::string BenchSummaryJson(const BenchSummary& s);
+
+// Scenario-mode report (schema documented in DESIGN.md §12; validated by
+// `obs_check scenario`). Latency percentiles come from kt::obs histogram
+// snapshots (bucket resolution), not sorted vectors, so the report stays
+// O(1) in the number of requests.
+struct ScenarioSummary {
+  std::string scenario;
+  int connections = 0;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  int64_t students = 0;
+  int64_t interactions = 0;  // update ops sent
+  int64_t predictions = 0;   // predict ops sent
+  double elapsed_s = 0.0;
+  double throughput_rps = 0.0;
+  double auc = 0.5;          // rolling online AUC over the last auc_window
+  int64_t auc_samples = 0;   // pairs inside the rolling window at the end
+  int64_t auc_window = 0;
+  double predict_p50_us = 0.0, predict_p99_us = 0.0, predict_mean_us = 0.0;
+  double update_p50_us = 0.0, update_p99_us = 0.0, update_mean_us = 0.0;
+  // Order-independent FNV-1a digest of the generated traffic (question,
+  // concepts, response per interaction, XOR-combined across students):
+  // equal across runs iff the scenario stream is bit-identical.
+  uint64_t traffic_fnv64 = 0;
+};
+std::string ScenarioSummaryJson(const ScenarioSummary& s);
+
+// Bounded ring of (score, label) pairs: the newest `window` predictions.
+// Per-worker rings are Merge()d after the join; Auc() is then a single
+// eval::ComputeAuc over the union, deterministic for a fixed worker count.
+class RollingAuc {
+ public:
+  explicit RollingAuc(int64_t window);
+
+  void Add(float score, int label);
+  void Merge(const RollingAuc& other);
+
+  // AUC over the ring contents (0.5 when one class is absent or empty).
+  double Auc() const;
+  int64_t count() const { return static_cast<int64_t>(scores_.size()); }
+  int64_t window() const { return window_; }
+
+ private:
+  int64_t window_;
+  size_t next_ = 0;  // overwrite cursor once the ring is full
+  std::vector<float> scores_;
+  std::vector<int> labels_;
+};
+
+// FNV-1a over one interaction, for ScenarioSummary::traffic_fnv64. Fold
+// each student's interactions left-to-right starting from `h` (pass
+// kFnvOffset for the first), then XOR the per-student digests together.
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+uint64_t FnvMixInteraction(uint64_t h, int64_t question,
+                           const std::vector<int64_t>& concepts,
+                           int response);
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_LOADGEN_H_

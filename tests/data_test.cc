@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -6,6 +7,7 @@
 #include "data/batch.h"
 #include "data/dataset.h"
 #include "data/presets.h"
+#include "data/scenarios.h"
 #include "data/simulator.h"
 
 namespace kt {
@@ -187,8 +189,171 @@ TEST(PresetTest, AllPresetsMatchTable2Structure) {
 }
 
 TEST(PresetTest, PresetByName) {
-  EXPECT_EQ(PresetByName("eedi").name, "eedi");
-  EXPECT_DEATH(PresetByName("nope"), "unknown preset");
+  const auto eedi = PresetByName("eedi");
+  ASSERT_TRUE(eedi.ok());
+  EXPECT_EQ(eedi.value().name, "eedi");
+}
+
+TEST(PresetTest, UnknownNameListsTheRegistry) {
+  // Unknown names must return (not abort), and the message must carry the
+  // full valid-name list so CLI front ends can surface it.
+  const auto missing = PresetByName("nope");
+  ASSERT_FALSE(missing.ok());
+  const std::string& message = missing.status().message();
+  EXPECT_NE(message.find("unknown preset"), std::string::npos) << message;
+  for (const std::string& name : PresetNames()) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST(ScenarioTest, ScenarioByName) {
+  const auto zipf = ScenarioByName("zipf");
+  ASSERT_TRUE(zipf.ok());
+  EXPECT_EQ(zipf.value().name, "zipf");
+  EXPECT_GT(zipf.value().zipf_exponent, 0.0);
+  // The base training log resolves too.
+  ASSERT_TRUE(ScenarioByName("scenario_base").ok());
+}
+
+TEST(ScenarioTest, UnknownNameListsTheRegistry) {
+  const auto missing = ScenarioByName("warp_core");
+  ASSERT_FALSE(missing.ok());
+  const std::string& message = missing.status().message();
+  EXPECT_NE(message.find("unknown scenario"), std::string::npos) << message;
+  for (const std::string& name : ScenarioNames()) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST(ScenarioTest, AllScenariosDeterministicForSeed) {
+  // Same seed -> bit-identical sequences, for every scenario: two
+  // independently constructed simulators (separate calibration runs) must
+  // agree on every question, concept bag, and response.
+  for (const SimulatorConfig& config : AllScenarios(/*scale=*/0.05)) {
+    StudentSimulator a(config);
+    StudentSimulator b(config);
+    const Dataset da = a.Generate();
+    const Dataset db = b.Generate();
+    ASSERT_EQ(da.sequences.size(), db.sequences.size()) << config.name;
+    for (size_t s = 0; s < da.sequences.size(); ++s) {
+      const auto& sa = da.sequences[s];
+      const auto& sb = db.sequences[s];
+      ASSERT_EQ(sa.length(), sb.length()) << config.name;
+      for (int64_t t = 0; t < sa.length(); ++t) {
+        const auto& ia = sa.interactions[static_cast<size_t>(t)];
+        const auto& ib = sb.interactions[static_cast<size_t>(t)];
+        ASSERT_EQ(ia.question, ib.question) << config.name;
+        ASSERT_EQ(ia.response, ib.response) << config.name;
+        ASSERT_EQ(ia.concepts, ib.concepts) << config.name;
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, StreamingMatchesMaterializedGeneration) {
+  // GenerateStudentAuto(s) is the streaming form kt_loadgen --mode
+  // scenario uses to reach millions of students without materializing a
+  // Dataset; it must be bit-identical to Generate()'s s-th sequence.
+  for (const SimulatorConfig& config : AllScenarios(/*scale=*/0.05)) {
+    StudentSimulator sim(config);
+    const Dataset ds = sim.Generate();
+    for (size_t s = 0; s < ds.sequences.size(); ++s) {
+      const ResponseSequence seq = sim.GenerateStudentAuto(s);
+      const auto& want = ds.sequences[s];
+      ASSERT_EQ(seq.length(), want.length()) << config.name;
+      for (int64_t t = 0; t < seq.length(); ++t) {
+        const auto& a = seq.interactions[static_cast<size_t>(t)];
+        const auto& b = want.interactions[static_cast<size_t>(t)];
+        ASSERT_EQ(a.question, b.question) << config.name;
+        ASSERT_EQ(a.response, b.response) << config.name;
+        ASSERT_EQ(a.concepts, b.concepts) << config.name;
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, CalibrationHitsTargetRateForEveryScenario) {
+  // CalibrateOffset probes the FULL generative model — bursts, gaps, and
+  // drift included — so every scenario must land near its target rate,
+  // not just the plain presets.
+  for (const SimulatorConfig& config : AllScenarios(/*scale=*/0.25)) {
+    StudentSimulator sim(config);
+    const Dataset ds = sim.Generate();
+    EXPECT_NEAR(ds.CorrectRate(), config.target_correct_rate, 0.06)
+        << config.name;
+  }
+}
+
+TEST(ScenarioTest, ForgettingScenarioShowsProficiencyDecay) {
+  const SimulatorConfig config = ForgettingScenario(/*scale=*/0.05);
+  SimulatorConfig no_gaps = config;
+  no_gaps.gap_prob = 0.0;
+  StudentSimulator with_gaps_sim(config);
+  StudentSimulator no_gaps_sim(no_gaps);
+
+  auto mean = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (double x : v) total += x;
+    return total / static_cast<double>(v.size());
+  };
+  // A spaced-practice gap applies gap_steps decays at once, so somewhere
+  // in a long trace the mean proficiency must take a visible one-step
+  // drop; without gaps the same student only ever drifts smoothly.
+  double max_drop_with_gaps = 0.0, max_drop_without = 0.0;
+  double final_with_gaps = 0.0, final_without = 0.0;
+  const int kStudents = 8;
+  for (int s = 0; s < kStudents; ++s) {
+    SimulationTrace gap_trace, smooth_trace;
+    with_gaps_sim.GenerateStudent(100, static_cast<uint64_t>(s), &gap_trace);
+    no_gaps_sim.GenerateStudent(100, static_cast<uint64_t>(s),
+                                &smooth_trace);
+    for (size_t t = 1; t < gap_trace.proficiency.size(); ++t) {
+      max_drop_with_gaps =
+          std::max(max_drop_with_gaps, mean(gap_trace.proficiency[t - 1]) -
+                                           mean(gap_trace.proficiency[t]));
+    }
+    for (size_t t = 1; t < smooth_trace.proficiency.size(); ++t) {
+      max_drop_without =
+          std::max(max_drop_without,
+                   mean(smooth_trace.proficiency[t - 1]) -
+                       mean(smooth_trace.proficiency[t]));
+    }
+    final_with_gaps += mean(gap_trace.proficiency.back());
+    final_without += mean(smooth_trace.proficiency.back());
+  }
+  EXPECT_GT(max_drop_with_gaps, 0.08);
+  EXPECT_GT(max_drop_with_gaps, 4.0 * max_drop_without);
+  // Decay costs accumulated mastery: students end measurably lower.
+  EXPECT_LT(final_with_gaps / kStudents, final_without / kStudents - 0.05);
+}
+
+TEST(ScenarioTest, ZipfScenarioHasHeavierQuestionTail) {
+  const SimulatorConfig zipf = ZipfScenario(/*scale=*/0.25);
+  SimulatorConfig uniform = zipf;
+  uniform.zipf_exponent = 0.0;
+
+  auto top_decile_share = [](const Dataset& ds) {
+    std::vector<int64_t> freq(static_cast<size_t>(ds.num_questions), 0);
+    int64_t total = 0;
+    for (const auto& seq : ds.sequences) {
+      for (const auto& it : seq.interactions) {
+        ++freq[static_cast<size_t>(it.question)];
+        ++total;
+      }
+    }
+    std::sort(freq.begin(), freq.end(), std::greater<int64_t>());
+    int64_t top = 0;
+    const size_t decile = freq.size() / 10;
+    for (size_t i = 0; i < decile; ++i) top += freq[i];
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  const double zipf_share = top_decile_share(StudentSimulator(zipf).Generate());
+  const double uniform_share =
+      top_decile_share(StudentSimulator(uniform).Generate());
+  // s=1.2 concentrates a strong majority of traffic on the top 10% of
+  // questions; uniform selection spreads it near-proportionally.
+  EXPECT_GT(zipf_share, uniform_share + 0.15);
+  EXPECT_GT(zipf_share, 0.4);
 }
 
 TEST(BatchTest, PadsAndMasks) {

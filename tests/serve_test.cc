@@ -485,6 +485,122 @@ TEST(EngineEvictionTest, ReplayAfterEvictionIsBitIdentical) {
   EXPECT_EQ(Bits(before), Bits(after));
 }
 
+// ---- Cold start: 0-4 interactions of history (scenario-fleet regression) ----
+
+TEST(EngineColdStartTest, ShortHistoriesPredictBitIdenticalToOffline) {
+  // The cold_start scenario floods the server with sessions holding 0-4
+  // interactions: the empty-history predict and the shortest replays.
+  // Every one of them must match the offline generator bit for bit.
+  // GeneratorScoreTargets refuses empty histories, so for h=0 the offline
+  // reference is the generator forward computed from the model's own
+  // layers with the zero encoder boundary at position 0.
+  data::Dataset ds = TinyDataset();
+  const auto& seq = ds.sequences[0];
+  for (rckt::EncoderKind kind :
+       {rckt::EncoderKind::kDKT, rckt::EncoderKind::kGRU,
+        rckt::EncoderKind::kSAKT, rckt::EncoderKind::kAKT}) {
+    const rckt::RcktConfig config = SmallConfig(kind);
+    rckt::RCKT model(ds.num_questions, ds.num_concepts, config);
+    EngineOptions options;
+    options.num_questions = ds.num_questions;
+    options.num_concepts = ds.num_concepts;
+    InferenceEngine engine(model, options);
+    for (int64_t h = 0; h <= 4; ++h) {
+      const auto& it = seq.interactions[static_cast<size_t>(h)];
+      ServeRequest predict;
+      predict.op = Op::kPredict;
+      predict.student = "cold";
+      predict.question = it.question;
+      predict.has_concepts = true;
+      predict.concepts = it.concepts;
+      const ServeResponse online = engine.Execute(predict);
+      ASSERT_TRUE(online.ok) << online.error;
+
+      float offline = 0.0f;
+      if (h == 0) {
+        ag::NoGradGuard no_grad;
+        const ag::Variable e =
+            model.embedder().QuestionEmbedRows({it.question}, {it.concepts});
+        const int64_t dim = config.dim;
+        Tensor x(Shape{1, 2 * dim});
+        std::memset(x.data(), 0, static_cast<size_t>(dim) * sizeof(float));
+        std::memcpy(x.data() + dim, e.value().data(),
+                    static_cast<size_t>(dim) * sizeof(float));
+        const ag::Variable mid =
+            model.mlp_hidden().ForwardAct(ag::Constant(x), ag::Act::kRelu);
+        offline =
+            model.mlp_out().ForwardAct(mid, ag::Act::kSigmoid).value().flat(0);
+      } else {
+        data::Batch batch = rckt::MakePrefixBatch({{&seq, h}});
+        offline = model.GeneratorScoreTargets(batch)[0];
+      }
+      EXPECT_EQ(Bits(online.p), Bits(offline))
+          << rckt::EncoderKindName(kind) << " history " << h << ": online "
+          << online.p << " vs offline " << offline;
+
+      ServeRequest update = predict;
+      update.op = Op::kUpdate;
+      update.response = it.response;
+      ASSERT_TRUE(engine.Execute(update).ok);
+    }
+  }
+}
+
+TEST(EngineColdStartTest, ShortHistoriesSurviveEvictionAndReplay) {
+  // Cold-start floods churn the LRU session store; a 1-byte budget forces
+  // an eviction on every session touch. Each short session's rebuilt
+  // state must reproduce its prediction bit for bit — including the
+  // zero-history session, whose replay is empty.
+  data::Dataset ds = TinyDataset();
+  const auto& seq = ds.sequences[0];
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kSAKT));
+  EngineOptions options;
+  options.session_budget_bytes = 1;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+
+  auto predict_at = [&](const std::string& student, int64_t t) -> float {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    ServeRequest request;
+    request.op = Op::kPredict;
+    request.student = student;
+    request.question = it.question;
+    request.has_concepts = true;
+    request.concepts = it.concepts;
+    const ServeResponse response = engine.Execute(request);
+    EXPECT_TRUE(response.ok) << response.error;
+    return response.p;
+  };
+
+  // Five students with 0, 1, 2, 3, 4 interactions of history.
+  std::vector<float> before(5);
+  for (int64_t h = 0; h <= 4; ++h) {
+    const std::string student = "cold" + std::to_string(h);
+    for (int64_t t = 0; t < h; ++t) {
+      const auto& it = seq.interactions[static_cast<size_t>(t)];
+      ServeRequest update;
+      update.op = Op::kUpdate;
+      update.student = student;
+      update.question = it.question;
+      update.response = it.response;
+      update.has_concepts = true;
+      update.concepts = it.concepts;
+      ASSERT_TRUE(engine.Execute(update).ok);
+    }
+    before[static_cast<size_t>(h)] = predict_at(student, h);
+  }
+  EXPECT_GT(engine.sessions().evictions(), 0u);
+  // Re-predicting replays each session's kept history into fresh state.
+  for (int64_t h = 0; h <= 4; ++h) {
+    const std::string student = "cold" + std::to_string(h);
+    EXPECT_EQ(Bits(predict_at(student, h)),
+              Bits(before[static_cast<size_t>(h)]))
+        << "history " << h;
+  }
+}
+
 // ---- Batched execution == sequential execution ----
 
 TEST(EngineBatchTest, ExecuteBatchMatchesSequentialExecution) {

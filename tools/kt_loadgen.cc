@@ -1,4 +1,4 @@
-// kt_loadgen — closed-loop load generator / replay client for `ktcli serve`.
+// kt_loadgen — load generator / replay client for `ktcli serve`.
 //
 // Modes (--mode):
 //   replay  (default) Replays a CSV dataset against a running server: every
@@ -15,29 +15,41 @@
 //   bench   Closed-loop throughput/latency benchmark: --connections threads
 //           each drive their own session with alternating update/predict
 //           ops on random questions for --requests requests.
+//   scenario Open-loop scenario traffic from the workload registry
+//           (data/scenarios.h; DESIGN.md §12). Students are generated
+//           STREAMING, one at a time per worker via GenerateStudentAuto —
+//           never materializing the dataset — so --students can go to a
+//           million and beyond in constant memory. The traffic content is
+//           open-loop: the simulator decides every response from its latent
+//           student model, independent of what the server predicts. Each
+//           interaction fires predict-then-update; predict probabilities
+//           against the simulated outcomes feed a rolling online AUC
+//           (last --auc-window pairs per worker), and per-op latencies feed
+//           kt::obs histograms (loadgen.predict_us / loadgen.update_us), so
+//           the JSON report carries p50/p99 at bucket resolution without
+//           per-request storage. The report's traffic_fnv64 digests the
+//           generated stream: equal across runs iff the scenario is
+//           seed-deterministic.
 //
-// Both modes print a one-line JSON summary (throughput, latency
-// percentiles, mismatch counts) to stdout. The server must be listening on
-// 127.0.0.1:--port (start it with `ktcli serve --load m.ktw --port P`).
+// All modes print a one-line JSON summary to stdout (schemas in
+// src/serve/loadgen.h; `obs_check scenario` validates and gates the
+// scenario one). The server must be listening on 127.0.0.1:--port (start it
+// with `ktcli serve --load m.ktw --port P`).
 //
 // Flags:
 //   --port P            server TCP port (required)
-//   --mode replay|bench
+//   --mode replay|bench|scenario
 //   --connections N     concurrent client connections (default 1)
-//   replay: --data data.csv [--expect eval.json] [--window 50]
-//           [--min-length 5] [--stride 4] [--min-target 4]
-//   bench:  [--requests 200 per connection] [--questions 100] [--seed 1]
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+//   replay:   --data data.csv [--expect eval.json] [--window 50]
+//             [--min-length 5] [--stride 4] [--min-target 4]
+//   bench:    [--requests 200 per connection] [--questions 100] [--seed 1]
+//   scenario: --scenario NAME [--students N] [--scale S] [--seed N]
+//             [--auc-window 50000]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -48,109 +60,17 @@
 #include "core/flags.h"
 #include "core/rng.h"
 #include "data/io.h"
+#include "data/scenarios.h"
+#include "data/simulator.h"
+#include "obs/obs.h"
 #include "rckt/samples.h"
 #include "serve/json.h"
+#include "serve/loadgen.h"
 
 namespace kt {
 namespace {
 
-// Blocking line-oriented client connection to 127.0.0.1:port.
-class Client {
- public:
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  bool Connect(int port, std::string* error) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      *error = "socket() failed";
-      return false;
-    }
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      *error = "connect() to 127.0.0.1:" + std::to_string(port) + " failed";
-      return false;
-    }
-    return true;
-  }
-
-  // Sends one request line and reads the one response line.
-  bool RoundTrip(const std::string& line, std::string* response,
-                 std::string* error) {
-    std::string out = line;
-    out.push_back('\n');
-    size_t sent = 0;
-    while (sent < out.size()) {
-      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
-      if (n <= 0) {
-        *error = "send() failed";
-        return false;
-      }
-      sent += static_cast<size_t>(n);
-    }
-    response->clear();
-    while (true) {
-      const size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        *response = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
-        *error = "server closed the connection";
-        return false;
-      }
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
-
-uint32_t FloatBits(float f) {
-  uint32_t u = 0;
-  std::memcpy(&u, &f, sizeof(u));
-  return u;
-}
-
-std::string PredictLine(const std::string& student, int64_t question,
-                        const std::vector<int64_t>& concepts) {
-  serve::JsonWriter w;
-  w.BeginObject();
-  w.Key("op").String("predict");
-  w.Key("student").String(student);
-  w.Key("question").Int(question);
-  w.Key("concepts").BeginArray();
-  for (int64_t c : concepts) w.Int(c);
-  w.EndArray();
-  w.EndObject();
-  return w.str();
-}
-
-std::string UpdateLine(const std::string& student, int64_t question,
-                       const std::vector<int64_t>& concepts, int response) {
-  serve::JsonWriter w;
-  w.BeginObject();
-  w.Key("op").String("update");
-  w.Key("student").String(student);
-  w.Key("question").Int(question);
-  w.Key("concepts").BeginArray();
-  for (int64_t c : concepts) w.Int(c);
-  w.EndArray();
-  w.Key("response").Int(response);
-  w.EndObject();
-  return w.str();
-}
+using serve::LineClient;
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -164,31 +84,6 @@ bool ReadFile(const std::string& path, std::string* out) {
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
-}
-
-double Percentile(std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(
-      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
-  return sorted_us[std::min(idx, sorted_us.size() - 1)];
-}
-
-struct LatencyStats {
-  double p50_us = 0.0, p99_us = 0.0, mean_us = 0.0;
-  int64_t count = 0;
-};
-
-LatencyStats Summarize(std::vector<double>& us) {
-  LatencyStats stats;
-  stats.count = static_cast<int64_t>(us.size());
-  if (us.empty()) return stats;
-  std::sort(us.begin(), us.end());
-  double total = 0.0;
-  for (double v : us) total += v;
-  stats.mean_us = total / static_cast<double>(us.size());
-  stats.p50_us = Percentile(us, 0.50);
-  stats.p99_us = Percentile(us, 0.99);
-  return stats;
 }
 
 int CmdReplay(const FlagParser& flags, int port, int connections) {
@@ -206,11 +101,10 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
       dataset.value(), flags.GetInt("window", 50),
       flags.GetInt("min-length", 5));
 
-  int64_t stride = flags.GetInt("stride", 4);
-  int64_t min_target = flags.GetInt("min-target", 4);
-
   // Expected probabilities keyed by (sequence, target), as float bits.
-  std::map<std::pair<int64_t, int64_t>, float> expected;
+  serve::ExpectedPredictions expected;
+  expected.stride = flags.GetInt("stride", 4);
+  expected.min_target = flags.GetInt("min-target", 4);
   const std::string expect_path = flags.GetString("expect", "");
   if (!expect_path.empty()) {
     std::string text;
@@ -218,29 +112,19 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
       std::fprintf(stderr, "replay: cannot read %s\n", expect_path.c_str());
       return 1;
     }
-    serve::JsonValue doc;
-    std::string error;
-    if (!serve::ParseJson(text, &doc, &error)) {
+    auto parsed = serve::ParseExpectedPredictions(text, expected.stride,
+                                                  expected.min_target);
+    if (!parsed.ok()) {
       std::fprintf(stderr, "replay: %s: %s\n", expect_path.c_str(),
-                   error.c_str());
+                   parsed.status().message().c_str());
       return 1;
     }
-    stride = doc.GetInt("stride", stride);
-    min_target = doc.GetInt("min_target", min_target);
-    const serve::JsonValue* preds = doc.Find("predictions");
-    if (preds == nullptr || !preds->IsArray()) {
-      std::fprintf(stderr, "replay: %s has no predictions array\n",
-                   expect_path.c_str());
-      return 1;
-    }
-    for (const auto& p : preds->array) {
-      expected[{p.GetInt("sequence", -1), p.GetInt("target", -1)}] =
-          static_cast<float>(p.GetNumber("generator_score", 0.0));
-    }
+    expected = std::move(parsed).value();
   }
 
   // The same samples the offline scorer enumerates; grouped per sequence.
-  const auto samples = rckt::MakePrefixSamples(windows, stride, min_target);
+  const auto samples =
+      rckt::MakePrefixSamples(windows, expected.stride, expected.min_target);
   std::vector<std::vector<int64_t>> targets(windows.sequences.size());
   for (const auto& sample : samples) {
     const int64_t seq = sample.sequence - windows.sequences.data();
@@ -249,7 +133,7 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
   for (auto& t : targets) std::sort(t.begin(), t.end());
 
   std::mutex mu;
-  std::map<std::pair<int64_t, int64_t>, float> got;
+  serve::PredictionMap got;
   std::vector<double> latencies_us;
   std::vector<std::string> failures;
   std::vector<std::thread> workers;
@@ -258,14 +142,14 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
                            static_cast<int>(windows.sequences.size())));
   for (int w = 0; w < num_workers; ++w) {
     workers.emplace_back([&, w] {
-      Client client;
+      LineClient client;
       std::string error;
       if (!client.Connect(port, &error)) {
         std::lock_guard<std::mutex> lock(mu);
         failures.push_back(error);
         return;
       }
-      std::map<std::pair<int64_t, int64_t>, float> local_got;
+      serve::PredictionMap local_got;
       std::vector<double> local_us;
       std::string response;
       for (size_t i = static_cast<size_t>(w); i < windows.sequences.size();
@@ -281,7 +165,7 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
             ++next_target;
             const auto start = std::chrono::steady_clock::now();
             if (!client.RoundTrip(
-                    PredictLine(student, it.question, it.concepts),
+                    serve::PredictLine(student, it.question, it.concepts),
                     &response, &error)) {
               std::lock_guard<std::mutex> lock(mu);
               failures.push_back(error);
@@ -301,9 +185,9 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
             local_got[{static_cast<int64_t>(i), t}] =
                 static_cast<float>(reply.GetNumber("p", NAN));
           }
-          if (!client.RoundTrip(
-                  UpdateLine(student, it.question, it.concepts, it.response),
-                  &response, &error)) {
+          if (!client.RoundTrip(serve::UpdateLine(student, it.question,
+                                                  it.concepts, it.response),
+                                &response, &error)) {
             std::lock_guard<std::mutex> lock(mu);
             failures.push_back(error);
             return;
@@ -327,40 +211,17 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
   if (!failures.empty()) return 1;
 
   // Bitwise comparison against the offline scorer's generator_score.
-  int64_t mismatches = 0, missing = 0;
-  for (const auto& [key, want] : expected) {
-    const auto found = got.find(key);
-    if (found == got.end()) {
-      ++missing;
-      continue;
-    }
-    if (FloatBits(found->second) != FloatBits(want)) {
-      if (++mismatches <= 5) {
-        std::fprintf(stderr,
-                     "replay: MISMATCH seq=%lld target=%lld online=%.9g "
-                     "offline=%.9g\n",
-                     static_cast<long long>(key.first),
-                     static_cast<long long>(key.second), found->second, want);
-      }
-    }
+  serve::ReplaySummary summary;
+  summary.check = serve::CheckPredictions(expected.scores, got);
+  for (const auto& d : summary.check.details) {
+    std::fprintf(stderr, "replay: %s\n", d.c_str());
   }
-
-  LatencyStats stats = Summarize(latencies_us);
-  serve::JsonWriter w;
-  w.BeginObject();
-  w.Key("mode").String("replay");
-  w.Key("connections").Int(num_workers);
-  w.Key("predictions").Int(static_cast<int64_t>(got.size()));
-  w.Key("compared").Int(static_cast<int64_t>(expected.size()));
-  w.Key("mismatches").Int(mismatches);
-  w.Key("missing").Int(missing);
-  w.Key("elapsed_s").Double(elapsed);
-  w.Key("latency_p50_us").Double(stats.p50_us);
-  w.Key("latency_p99_us").Double(stats.p99_us);
-  w.Key("latency_mean_us").Double(stats.mean_us);
-  w.EndObject();
-  std::printf("%s\n", w.str().c_str());
-  return (mismatches == 0 && missing == 0) ? 0 : 1;
+  summary.connections = num_workers;
+  summary.predictions = static_cast<int64_t>(got.size());
+  summary.elapsed_s = elapsed;
+  summary.latency = serve::SummarizeLatencies(latencies_us);
+  std::printf("%s\n", serve::ReplaySummaryJson(summary).c_str());
+  return summary.check.ok() ? 0 : 1;
 }
 
 int CmdBench(const FlagParser& flags, int port, int connections) {
@@ -375,7 +236,7 @@ int CmdBench(const FlagParser& flags, int port, int connections) {
   const auto start = std::chrono::steady_clock::now();
   for (int w = 0; w < std::max(1, connections); ++w) {
     workers.emplace_back([&, w] {
-      Client client;
+      LineClient client;
       std::string error;
       if (!client.Connect(port, &error)) {
         std::lock_guard<std::mutex> lock(mu);
@@ -392,9 +253,9 @@ int CmdBench(const FlagParser& flags, int port, int connections) {
             rng.UniformInt(std::max<int64_t>(1, questions));
         const bool predict = (r % 2) == 0;
         const std::string line =
-            predict ? PredictLine(student, question, no_concepts)
-                    : UpdateLine(student, question, no_concepts,
-                                 static_cast<int>(rng.NextU64() & 1));
+            predict ? serve::PredictLine(student, question, no_concepts)
+                    : serve::UpdateLine(student, question, no_concepts,
+                                        static_cast<int>(rng.NextU64() & 1));
         const auto t0 = std::chrono::steady_clock::now();
         if (!client.RoundTrip(line, &response, &error)) {
           std::lock_guard<std::mutex> lock(mu);
@@ -426,21 +287,157 @@ int CmdBench(const FlagParser& flags, int port, int connections) {
                                               f.c_str());
   if (!failures.empty()) return 1;
 
-  LatencyStats stats = Summarize(latencies_us);
-  serve::JsonWriter w;
-  w.BeginObject();
-  w.Key("mode").String("bench");
-  w.Key("connections").Int(connections);
-  w.Key("requests").Int(stats.count);
-  w.Key("elapsed_s").Double(elapsed);
-  w.Key("throughput_rps")
-      .Double(elapsed > 0.0 ? static_cast<double>(stats.count) / elapsed
-                            : 0.0);
-  w.Key("latency_p50_us").Double(stats.p50_us);
-  w.Key("latency_p99_us").Double(stats.p99_us);
-  w.Key("latency_mean_us").Double(stats.mean_us);
-  w.EndObject();
-  std::printf("%s\n", w.str().c_str());
+  serve::BenchSummary summary;
+  summary.connections = connections;
+  summary.elapsed_s = elapsed;
+  summary.latency = serve::SummarizeLatencies(latencies_us);
+  std::printf("%s\n", serve::BenchSummaryJson(summary).c_str());
+  return 0;
+}
+
+int CmdScenario(const FlagParser& flags, int port, int connections) {
+  const std::string name = flags.GetString("scenario", "");
+  auto resolved = data::ScenarioByName(name, flags.GetDouble("scale", 1.0));
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 resolved.status().message().c_str());
+    return 2;
+  }
+  data::SimulatorConfig config = std::move(resolved).value();
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", config.seed));
+  const int64_t students = flags.GetInt("students", config.num_students);
+  const int64_t auc_window = flags.GetInt("auc-window", 50000);
+  if (students <= 0) {
+    std::fprintf(stderr, "scenario: --students must be positive\n");
+    return 2;
+  }
+
+  // The simulator builds its question bank once; per-student sequences are
+  // then generated on demand inside each worker (streaming, O(1) memory in
+  // --students), bit-identical to what `ktcli simulate --scenario` writes.
+  const data::StudentSimulator simulator(config);
+
+  // Latency histograms: bucket-resolution percentiles at any request count.
+  obs::SetEnabled(true);
+  obs::Histogram* predict_hist = obs::Histogram::Get("loadgen.predict_us");
+  obs::Histogram* update_hist = obs::Histogram::Get("loadgen.update_us");
+  predict_hist->Reset();
+  update_hist->Reset();
+
+  const int num_workers = static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(connections, students)));
+  std::mutex mu;
+  std::vector<std::string> failures;
+  serve::RollingAuc merged_auc(auc_window);
+  uint64_t traffic_fnv64 = 0;
+  int64_t interactions = 0, predictions = 0;
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      LineClient client;
+      std::string error;
+      if (!client.Connect(port, &error)) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(error);
+        return;
+      }
+      // Per-worker ring + digest: merged under the lock after the loop.
+      // Worker w owns students w, w+num_workers, ... — a deterministic
+      // partition, so the merged AUC and XORed digest are reproducible for
+      // a fixed --connections (and the digest for ANY --connections).
+      serve::RollingAuc local_auc(auc_window);
+      uint64_t local_fnv = 0;
+      int64_t local_interactions = 0, local_predictions = 0;
+      std::string response;
+      for (int64_t s = w; s < students; s += num_workers) {
+        const data::ResponseSequence seq =
+            simulator.GenerateStudentAuto(static_cast<uint64_t>(s));
+        const std::string student =
+            config.name + "-s" + std::to_string(s);
+        uint64_t h = serve::kFnvOffset;
+        for (const auto& it : seq.interactions) {
+          const auto t0 = std::chrono::steady_clock::now();
+          if (!client.RoundTrip(
+                  serve::PredictLine(student, it.question, it.concepts),
+                  &response, &error)) {
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back(error);
+            return;
+          }
+          const auto t1 = std::chrono::steady_clock::now();
+          predict_hist->Record(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          serve::JsonValue reply;
+          if (!serve::ParseJson(response, &reply, &error) ||
+              !reply.GetBool("ok", false)) {
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back("bad predict reply: " + response);
+            return;
+          }
+          ++local_predictions;
+          local_auc.Add(static_cast<float>(reply.GetNumber("p", NAN)),
+                        it.response);
+
+          const auto t2 = std::chrono::steady_clock::now();
+          if (!client.RoundTrip(serve::UpdateLine(student, it.question,
+                                                  it.concepts, it.response),
+                                &response, &error)) {
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back(error);
+            return;
+          }
+          const auto t3 = std::chrono::steady_clock::now();
+          update_hist->Record(
+              std::chrono::duration<double, std::micro>(t3 - t2).count());
+          ++local_interactions;
+          h = serve::FnvMixInteraction(h, it.question, it.concepts,
+                                       it.response);
+        }
+        local_fnv ^= h;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      merged_auc.Merge(local_auc);
+      traffic_fnv64 ^= local_fnv;
+      interactions += local_interactions;
+      predictions += local_predictions;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& f : failures) std::fprintf(stderr, "scenario: %s\n",
+                                              f.c_str());
+  if (!failures.empty()) return 1;
+
+  serve::ScenarioSummary summary;
+  summary.scenario = config.name;
+  summary.connections = num_workers;
+  summary.seed = config.seed;
+  summary.scale = flags.GetDouble("scale", 1.0);
+  summary.students = students;
+  summary.interactions = interactions;
+  summary.predictions = predictions;
+  summary.elapsed_s = elapsed;
+  summary.throughput_rps =
+      elapsed > 0.0
+          ? static_cast<double>(interactions + predictions) / elapsed
+          : 0.0;
+  summary.auc = merged_auc.Auc();
+  summary.auc_samples = merged_auc.count();
+  summary.auc_window = auc_window;
+  const obs::HistogramSnapshot predict_snap = predict_hist->Snapshot();
+  const obs::HistogramSnapshot update_snap = update_hist->Snapshot();
+  summary.predict_p50_us = predict_snap.Percentile(0.50);
+  summary.predict_p99_us = predict_snap.Percentile(0.99);
+  summary.predict_mean_us = predict_snap.Mean();
+  summary.update_p50_us = update_snap.Percentile(0.50);
+  summary.update_p99_us = update_snap.Percentile(0.99);
+  summary.update_mean_us = update_snap.Mean();
+  summary.traffic_fnv64 = traffic_fnv64;
+  std::printf("%s\n", serve::ScenarioSummaryJson(summary).c_str());
   return 0;
 }
 
@@ -461,7 +458,9 @@ int Main(int argc, char** argv) {
   const std::string mode = flags.GetString("mode", "replay");
   if (mode == "replay") return CmdReplay(flags, port, connections);
   if (mode == "bench") return CmdBench(flags, port, connections);
-  std::fprintf(stderr, "kt_loadgen: unknown --mode '%s' (replay|bench)\n",
+  if (mode == "scenario") return CmdScenario(flags, port, connections);
+  std::fprintf(stderr,
+               "kt_loadgen: unknown --mode '%s' (replay|bench|scenario)\n",
                mode.c_str());
   return 2;
 }

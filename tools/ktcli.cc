@@ -1,8 +1,12 @@
 // ktcli — command-line interface to the RCKT library.
 //
 // Subcommands:
-//   simulate  --preset NAME [--scale S] [--seed N] --out data.csv
-//             Generate a synthetic dataset and write it as CSV.
+//   simulate  --preset NAME | --scenario NAME [--scale S] [--seed N]
+//             --out data.csv
+//             Generate a synthetic dataset and write it as CSV. --preset
+//             picks a paper-dataset stand-in, --scenario a serving
+//             workload from the scenario registry (DESIGN.md §12).
+//             Unknown names list the valid ones.
 //   train     --data data.csv --encoder dkt|sakt|akt|gru [--epochs N]
 //             [--dim D] [--lambda L] [--save model.ktw]
 //             [--checkpoint-every N --checkpoint ckpt.ktc]
@@ -63,6 +67,7 @@
 #include "data/io.h"
 #include "obs/obs_flags.h"
 #include "data/presets.h"
+#include "data/scenarios.h"
 #include "nn/serialize.h"
 #include "rckt/rckt_model.h"
 #include "rckt/rckt_trainer.h"
@@ -92,14 +97,25 @@ rckt::EncoderKind ParseEncoder(const std::string& name) {
 }
 
 int CmdSimulate(const FlagParser& flags) {
-  const std::string preset = flags.GetString("preset", "assist09");
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "simulate: --out is required\n");
     return 2;
   }
-  data::SimulatorConfig config =
-      data::PresetByName(preset, flags.GetDouble("scale", 0.2));
+  // --scenario draws from the workload-scenario registry (DESIGN.md §12);
+  // --preset from the paper datasets. Unknown names list the valid ones.
+  const std::string scenario = flags.GetString("scenario", "");
+  const double scale = flags.GetDouble("scale", 0.2);
+  Result<data::SimulatorConfig> resolved =
+      scenario.empty()
+          ? data::PresetByName(flags.GetString("preset", "assist09"), scale)
+          : data::ScenarioByName(scenario, scale);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "simulate: %s\n",
+                 resolved.status().message().c_str());
+    return 2;
+  }
+  data::SimulatorConfig config = std::move(resolved).value();
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", config.seed));
   data::StudentSimulator simulator(config);
   data::Dataset dataset = simulator.Generate();

@@ -4,10 +4,21 @@
 //                                 (--trace-out output).
 //   obs_check runlog run.jsonl    Validate a per-epoch JSONL run log
 //                                 (--run-log output).
+//   obs_check scenario report.json [--min-auc A] [--max-p99-us U]
+//                                 [--expect-scenario NAME] [--expect-fnv H]
+//                                 Validate a `kt_loadgen --mode scenario`
+//                                 report (schema in src/serve/loadgen.h)
+//                                 and optionally gate on a minimum rolling
+//                                 AUC, a maximum predict p99 latency, the
+//                                 scenario name, and the deterministic
+//                                 traffic digest (two runs of the same
+//                                 seed must agree on it bit-for-bit).
 //
 // Exit status 0 when the file is well-formed and matches the documented
-// schema (obs/trace.h, obs/runlog.h), 1 with a diagnostic on stderr
-// otherwise. scripts/check_obs.sh runs both over a short training run.
+// schema (obs/trace.h, obs/runlog.h, src/serve/loadgen.h), 1 with a
+// diagnostic on stderr otherwise. scripts/check_obs.sh runs the first two
+// over a short training run; scripts/check_scenarios.sh runs the scenario
+// mode over every registered workload.
 //
 // The JSON parser below is deliberately minimal (objects, arrays, strings,
 // numbers, true/false/null; no \uXXXX decoding beyond pass-through) — just
@@ -22,6 +33,7 @@
 #include <vector>
 
 #include "core/fileio.h"
+#include "core/flags.h"
 
 namespace kt {
 namespace {
@@ -405,14 +417,118 @@ int CheckRunLog(const std::string& path) {
   return 0;
 }
 
+// Scenario-report schema (src/serve/loadgen.h: ScenarioSummaryJson): one
+// JSON object with the fixed key set; optional gate flags turn schema
+// validation into a regression gate for scripts/check_scenarios.sh.
+int CheckScenario(const std::string& path, const FlagParser& flags) {
+  std::string text;
+  const Status read = ReadFileToString(path, &text);
+  if (!read.ok()) return FailCheck(path, read.ToString());
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) return FailCheck(path, parser.error());
+  if (!root.IsObject()) return FailCheck(path, "top level is not an object");
+
+  const JsonValue* mode = root.Find("mode");
+  if (mode == nullptr || !mode->IsString() ||
+      mode->string_value != "scenario") {
+    return FailCheck(path, "\"mode\" is not \"scenario\"");
+  }
+  const JsonValue* scenario = root.Find("scenario");
+  if (scenario == nullptr || !scenario->IsString() ||
+      scenario->string_value.empty()) {
+    return FailCheck(path, "lacks a string \"scenario\"");
+  }
+  for (const char* key : {"connections", "seed", "students", "interactions",
+                          "predictions", "auc_samples", "auc_window"}) {
+    const JsonValue* v = root.Find(key);
+    if (v == nullptr || !v->IsNumber() || !v->number_is_integral ||
+        v->number < 0.0) {
+      return FailCheck(path,
+                       "lacks a non-negative integer \"" + std::string(key) +
+                           "\"");
+    }
+  }
+  for (const char* key :
+       {"scale", "elapsed_s", "throughput_rps", "auc", "predict_p50_us",
+        "predict_p99_us", "predict_mean_us", "update_p50_us",
+        "update_p99_us", "update_mean_us"}) {
+    const JsonValue* v = root.Find(key);
+    if (v == nullptr || !v->IsNumber() || v->number < 0.0) {
+      return FailCheck(
+          path, "lacks a non-negative numeric \"" + std::string(key) + "\"");
+    }
+  }
+  const double auc = root.Find("auc")->number;
+  if (auc > 1.0) return FailCheck(path, "\"auc\" outside [0, 1]");
+  const JsonValue* fnv = root.Find("traffic_fnv64");
+  if (fnv == nullptr || !fnv->IsString() || fnv->string_value.size() != 16) {
+    return FailCheck(path, "lacks a 16-hex-digit \"traffic_fnv64\"");
+  }
+  for (char c : fnv->string_value) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      return FailCheck(path, "non-hex digit in \"traffic_fnv64\"");
+    }
+  }
+  // Internal consistency: every interaction fires predict-then-update, and
+  // the rolling window can't hold more pairs than were predicted.
+  if (root.Find("predictions")->number != root.Find("interactions")->number) {
+    return FailCheck(path, "predictions != interactions");
+  }
+  if (root.Find("auc_samples")->number > root.Find("predictions")->number) {
+    return FailCheck(path, "auc_samples exceeds predictions");
+  }
+
+  // Optional regression gates.
+  const double min_auc = flags.GetDouble("min-auc", -1.0);
+  if (min_auc >= 0.0 && auc < min_auc) {
+    return FailCheck(path, "AUC regression: " + std::to_string(auc) +
+                               " < required " + std::to_string(min_auc));
+  }
+  const double max_p99 = flags.GetDouble("max-p99-us", -1.0);
+  const double p99 = root.Find("predict_p99_us")->number;
+  if (max_p99 >= 0.0 && p99 > max_p99) {
+    return FailCheck(path, "latency regression: predict p99 " +
+                               std::to_string(p99) + "us > budget " +
+                               std::to_string(max_p99) + "us");
+  }
+  const std::string expect_scenario = flags.GetString("expect-scenario", "");
+  if (!expect_scenario.empty() &&
+      scenario->string_value != expect_scenario) {
+    return FailCheck(path, "scenario \"" + scenario->string_value +
+                               "\" != expected \"" + expect_scenario + "\"");
+  }
+  const std::string expect_fnv = flags.GetString("expect-fnv", "");
+  if (!expect_fnv.empty() && fnv->string_value != expect_fnv) {
+    return FailCheck(path, "traffic digest " + fnv->string_value +
+                               " != expected " + expect_fnv +
+                               " — scenario stream is not deterministic");
+  }
+  std::printf("obs_check: %s ok (%s: auc %.4f, predict p99 %.0fus, fnv %s)\n",
+              path.c_str(), scenario->string_value.c_str(), auc, p99,
+              fnv->string_value.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: obs_check <trace|runlog> <file>\n");
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: obs_check <trace|runlog|scenario> <file> [gates]\n");
     return 2;
   }
   const std::string mode = argv[1];
   if (mode == "trace") return CheckTrace(argv[2]);
   if (mode == "runlog") return CheckRunLog(argv[2]);
+  if (mode == "scenario") {
+    // Gate flags follow the file argument: parse argv[3..].
+    FlagParser flags;
+    const Status status = flags.Parse(argc - 2, argv + 2);
+    if (!status.ok()) {
+      std::fprintf(stderr, "obs_check: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    return CheckScenario(argv[2], flags);
+  }
   std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
   return 2;
 }
