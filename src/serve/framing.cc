@@ -1,0 +1,102 @@
+#include "serve/framing.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kt {
+namespace serve {
+
+LineFramer::LineFramer(size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {}
+
+void LineFramer::Append(const char* data, size_t n) {
+  if (discarding_) {
+    // Still inside an oversized line the caller chose to skip: drop bytes
+    // through its terminating newline, keep whatever follows.
+    size_t i = 0;
+    while (i < n && data[i] != '\n') ++i;
+    if (i == n) return;  // newline not reached yet
+    discarding_ = false;
+    ++i;  // consume the newline itself
+    data += i;
+    n -= i;
+  }
+  buffer_.append(data, n);
+}
+
+LineFramer::Result LineFramer::Next(std::string* line) {
+  const size_t pos = buffer_.find('\n', start_);
+  if (pos != std::string::npos && pos - start_ <= max_line_bytes_) {
+    line->assign(buffer_, start_, pos - start_);
+    start_ = pos + 1;
+    CompactIfWorthIt();
+    return Result::kLine;
+  }
+  // Overflow covers both shapes of abuse: no newline yet but the partial
+  // line already exceeds the cap, and a complete line longer than the cap.
+  if (buffer_.size() - start_ > max_line_bytes_) return Result::kOverflow;
+  return Result::kNeedMore;
+}
+
+void LineFramer::Resync() {
+  const size_t pos = buffer_.find('\n', start_);
+  if (pos == std::string::npos) {
+    // The rest of the oversized line is still in flight: drop everything
+    // buffered and keep dropping until the next newline arrives.
+    buffer_.clear();
+    start_ = 0;
+    discarding_ = true;
+    return;
+  }
+  start_ = pos + 1;
+  CompactIfWorthIt();
+}
+
+void LineFramer::CompactIfWorthIt() {
+  if (start_ == buffer_.size()) {
+    buffer_.clear();
+    start_ = 0;
+  } else if (start_ > 4096 && start_ > buffer_.size() / 2) {
+    buffer_.erase(0, start_);
+    start_ = 0;
+  }
+}
+
+ssize_t ReadRetryEintr(int fd, void* buf, size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+int AcceptRetryEintr(int listener) {
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+bool SendAllNoSignal(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = SendNoSignal(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ssize_t SendNoSignal(int fd, const char* data, size_t n) {
+  while (true) {
+    const ssize_t r = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+}  // namespace serve
+}  // namespace kt

@@ -1,0 +1,88 @@
+// Line framing and syscall hygiene shared by every serve transport.
+//
+// The NDJSON protocol frames requests with '\n'. Three transports consume
+// it — the blocking stdio loop, unit tests, and the epoll reactor — and
+// all of them need the same two defenses:
+//
+//   * a hard per-line byte cap, so a client that streams bytes without a
+//     newline cannot grow a server-side buffer without bound (the reply is
+//     an `ok:false` error; TCP then closes, stdio resyncs to the next
+//     newline and keeps serving);
+//   * EINTR-correct syscalls and SIGPIPE-proof writes (`::send` with
+//     MSG_NOSIGNAL, like loadgen's LineClient), so a profiler signal or a
+//     client that disconnects mid-reply cannot look like a disconnect or
+//     kill the process.
+//
+// LineFramer is a cursor over an owned buffer: Append() bytes in, Next()
+// complete lines out. Erasing consumed bytes from the front of a string on
+// every line would be quadratic over a long-lived connection, so consumed
+// bytes are tracked with an offset and compacted only when the dead prefix
+// dominates the buffer.
+#ifndef KT_SERVE_FRAMING_H_
+#define KT_SERVE_FRAMING_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+namespace kt {
+namespace serve {
+
+// Default per-line cap. Requests are small JSON objects (longest in
+// practice: explain responses, which are outbound); 1 MiB leaves orders of
+// magnitude of headroom while bounding per-connection memory.
+inline constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+class LineFramer {
+ public:
+  enum class Result {
+    kLine,      // *line holds the next complete line (newline stripped)
+    kNeedMore,  // no complete line buffered yet — Append() more bytes
+    kOverflow,  // current line exceeds the cap; sticky until Resync()
+  };
+
+  explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  void Append(const char* data, size_t n);
+  Result Next(std::string* line);
+
+  // Recover from kOverflow: drop the oversized line (including bytes of it
+  // not yet received — discarding stays active across Append calls until a
+  // newline goes by). The TCP transports close instead; stdio resyncs.
+  void Resync();
+
+  // Bytes currently buffered (diagnostics/tests).
+  size_t buffered() const { return buffer_.size() - start_; }
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  void CompactIfWorthIt();
+
+  size_t max_line_bytes_;
+  std::string buffer_;
+  size_t start_ = 0;         // consumed prefix of buffer_
+  bool discarding_ = false;  // inside an oversized line, post-Resync
+};
+
+// read(2) retried on EINTR. Returns the usual read semantics otherwise
+// (0 = EOF, -1 = error with errno set, e.g. EAGAIN on nonblocking fds).
+ssize_t ReadRetryEintr(int fd, void* buf, size_t n);
+
+// accept(2) retried on EINTR; other failures return -1.
+int AcceptRetryEintr(int listener);
+
+// Blocking "write it all": send(2) with MSG_NOSIGNAL so a peer that
+// already closed produces EPIPE (return false) instead of a process-fatal
+// SIGPIPE, retried on EINTR. Used by the blocking transports; the reactor
+// uses SendNoSignal below and handles partial writes itself.
+bool SendAllNoSignal(int fd, const std::string& data);
+
+// One send(2) with MSG_NOSIGNAL + EINTR retry, for nonblocking fds:
+// returns bytes written, or -1 with errno (EAGAIN/EPIPE/...).
+ssize_t SendNoSignal(int fd, const char* data, size_t n);
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_FRAMING_H_

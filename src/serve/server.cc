@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <atomic>
+#include <cerrno>
 #include <iostream>
 #include <list>
 #include <memory>
@@ -10,10 +11,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "core/logging.h"
+#include "obs/obs.h"
+#include "serve/framing.h"
 
 namespace kt {
 namespace serve {
@@ -169,52 +173,80 @@ bool BlankLine(const std::string& line) {
   return true;
 }
 
-int RunStdioServer(MicroBatcher& batcher) {
+std::string OversizeError(size_t max_line_bytes) {
+  return SerializeError("request line exceeds " +
+                        std::to_string(max_line_bytes) + " bytes");
+}
+
+int RunStdioServer(MicroBatcher& batcher, size_t max_line_bytes) {
+  LineFramer framer(max_line_bytes);
   std::string line;
   bool shutdown = false;
-  while (!shutdown && std::getline(std::cin, line)) {
-    if (BlankLine(line)) continue;
-    std::cout << HandleLine(batcher, line, &shutdown) << "\n" << std::flush;
+  bool eof = false;
+  char chunk[4096];
+  while (!shutdown) {
+    const LineFramer::Result r = framer.Next(&line);
+    if (r == LineFramer::Result::kLine) {
+      if (BlankLine(line)) continue;
+      std::cout << HandleLine(batcher, line, &shutdown) << "\n" << std::flush;
+      continue;
+    }
+    if (r == LineFramer::Result::kOverflow) {
+      // Reject the oversized line but keep serving: stdio has exactly one
+      // client, so closing on it (the TCP policy) would end the session.
+      std::cout << OversizeError(max_line_bytes) << "\n" << std::flush;
+      framer.Resync();
+      continue;
+    }
+    if (eof) break;
+    const ssize_t n = ReadRetryEintr(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n <= 0) {
+      // Terminate an unterminated final line so it is still served.
+      eof = true;
+      framer.Append("\n", 1);
+      continue;
+    }
+    framer.Append(chunk, static_cast<size_t>(n));
   }
   return 0;
 }
 
-// Buffered line reads over a socket.
-class FdLineReader {
- public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
-
-  bool NextLine(std::string* line) {
-    while (true) {
-      const size_t pos = buffer_.find('\n');
-      if (pos != std::string::npos) {
-        line->assign(buffer_, 0, pos);
-        buffer_.erase(0, pos + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<size_t>(n));
+// Serves one blocking TCP connection until peer disconnect, an oversized
+// request line, a failed write, or a shutdown op.
+void ServeConnection(MicroBatcher& batcher, int conn, size_t max_line_bytes,
+                     std::atomic<bool>* shutdown, int listener) {
+  LineFramer framer(max_line_bytes);
+  std::string line;
+  char chunk[4096];
+  while (true) {
+    const LineFramer::Result r = framer.Next(&line);
+    if (r == LineFramer::Result::kOverflow) {
+      // A client streaming a line past the cap is broken or hostile:
+      // reject with ok:false, then close.
+      SendAllNoSignal(conn, OversizeError(max_line_bytes) + "\n");
+      break;
+    }
+    if (r == LineFramer::Result::kNeedMore) {
+      const ssize_t n = ReadRetryEintr(conn, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      framer.Append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (BlankLine(line)) continue;
+    bool want_shutdown = false;
+    const std::string reply = HandleLine(batcher, line, &want_shutdown);
+    if (!SendAllNoSignal(conn, reply + "\n")) break;
+    if (want_shutdown) {
+      shutdown->store(true);
+      // Unblock the accept loop so it can exit.
+      ::shutdown(listener, SHUT_RDWR);
+      break;
     }
   }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
+  ::close(conn);
 }
 
-int RunTcpServer(MicroBatcher& batcher, int port) {
+int RunTcpServer(MicroBatcher& batcher, int port, size_t max_line_bytes) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     KT_LOG(ERROR) << "serve: socket() failed";
@@ -248,38 +280,47 @@ int RunTcpServer(MicroBatcher& batcher, int port) {
   // draining), so a long-running server does not accumulate thread
   // handles without bound.
   auto reap = [&connections](bool drain) {
+    int64_t joined = 0;
     for (auto it = connections.begin(); it != connections.end();) {
       if (drain || it->done->load()) {
         it->thread.join();
         it = connections.erase(it);
+        ++joined;
       } else {
         ++it;
       }
     }
+    if (joined > 0 && obs::Enabled())
+      obs::Counter::Get("serve.connections_reaped")->Add(joined);
   };
   while (!shutdown.load()) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) break;  // listener closed by a shutdown op
+    // Wake at least every 200 ms so finished connection threads are joined
+    // on a timer tick, not only when the next connection arrives.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
     reap(/*drain=*/false);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread([&batcher, &shutdown, listener, conn, done] {
-      FdLineReader reader(conn);
-      std::string line;
-      while (reader.NextLine(&line)) {
-        if (BlankLine(line)) continue;
-        bool want_shutdown = false;
-        const std::string reply = HandleLine(batcher, line, &want_shutdown);
-        if (!WriteAll(conn, reply + "\n")) break;
-        if (want_shutdown) {
-          shutdown.store(true);
-          // Unblock accept() so the main loop can exit.
-          ::shutdown(listener, SHUT_RDWR);
-          break;
-        }
+    if (ready == 0) continue;
+    const int conn = AcceptRetryEintr(listener);
+    if (conn < 0) {
+      if (shutdown.load()) break;  // listener closed by a shutdown op
+      // Transient per-connection failures (ECONNABORTED and friends) leave
+      // the listener healthy; anything else is fatal.
+      if (errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
       }
-      ::close(conn);
-      done->store(true);
-    });
+      break;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread(
+        [&batcher, &shutdown, listener, conn, max_line_bytes, done] {
+          ServeConnection(batcher, conn, max_line_bytes, &shutdown, listener);
+          done->store(true);
+        });
     connections.push_back(Connection{std::move(thread), std::move(done)});
   }
   ::close(listener);
@@ -291,8 +332,10 @@ int RunTcpServer(MicroBatcher& batcher, int port) {
 
 int RunServer(InferenceEngine& engine, const ServerOptions& options) {
   MicroBatcher batcher(engine, options.batcher);
-  const int code = options.port > 0 ? RunTcpServer(batcher, options.port)
-                                    : RunStdioServer(batcher);
+  const int code =
+      options.port > 0
+          ? RunTcpServer(batcher, options.port, options.max_line_bytes)
+          : RunStdioServer(batcher, options.max_line_bytes);
   batcher.Stop();
   return code;
 }

@@ -23,6 +23,7 @@
 
 #include "serve/batcher.h"
 #include "serve/engine.h"
+#include "serve/framing.h"
 #include "serve/json.h"
 
 namespace kt {
@@ -30,6 +31,10 @@ namespace serve {
 
 struct ServerOptions {
   int port = 0;  // 0 = stdio transport
+  // Per-line request cap (serve/framing.h). An oversized line gets an
+  // `ok:false` reply; TCP then closes the connection, stdio resyncs to the
+  // next newline.
+  size_t max_line_bytes = kDefaultMaxLineBytes;
   BatcherOptions batcher;
 };
 
