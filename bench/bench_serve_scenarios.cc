@@ -67,6 +67,7 @@ serve::ScenarioSummary RunScenario(const data::SimulatorConfig& config,
         simulator.GenerateStudentAuto(static_cast<uint64_t>(s));
     const std::string student = config.name + "-s" + std::to_string(s);
     uint64_t h = serve::kFnvOffset;
+    uint64_t ph = serve::kFnvOffset;  // this student's prediction bits
     for (const auto& it : seq.interactions) {
       serve::ServeRequest predict;
       predict.op = serve::Op::kPredict;
@@ -81,6 +82,7 @@ serve::ScenarioSummary RunScenario(const data::SimulatorConfig& config,
       predict_hist->Record(
           std::chrono::duration<double, std::micro>(t1 - t0).count());
       auc.Add(predicted.p, it.response);
+      ph = serve::FnvMixU64(ph, serve::FloatBits(predicted.p));
       ++summary.predictions;
 
       serve::ServeRequest update = predict;
@@ -96,6 +98,7 @@ serve::ScenarioSummary RunScenario(const data::SimulatorConfig& config,
       h = serve::FnvMixInteraction(h, it.question, it.concepts, it.response);
     }
     summary.traffic_fnv64 ^= h;
+    summary.pred_fnv64 ^= ph;
   }
   summary.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

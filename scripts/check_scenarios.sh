@@ -15,7 +15,11 @@
 #        * a predict-p99 latency budget,
 #        * seed-determinism — each scenario runs TWICE and the second
 #          report's traffic_fnv64 digest must equal the first bit-for-bit.
-#   4. Exercises the unknown-name paths: ktcli and kt_loadgen must list
+#   4. Restarts the server with --shards 8 and replays every scenario once
+#      more: each report's pred_fnv64 must equal the --shards 1 digest
+#      bit-for-bit — the sharded reactor serves exactly the predictions
+#      the single-shard engine serves (DESIGN.md §13).
+#   5. Exercises the unknown-name paths: ktcli and kt_loadgen must list
 #      the valid names instead of aborting.
 #
 # Usage: scripts/check_scenarios.sh [build-dir]   (default: build)
@@ -65,17 +69,31 @@ if "${LOADGEN}" --port "${PORT}" --mode scenario --scenario warp_core \
 fi
 grep -q "cold_start" "${WORK}/loadgen_err.txt"
 
-echo "== serve the model on 127.0.0.1:${PORT} =="
-"${KTCLI}" serve --load "${WORK}/model.ktw" --port "${PORT}" --threads 2 \
-  --max-batch 8 --max-wait-us 500 &
-SERVER_PID=$!
-for _ in $(seq 50); do
-  if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
-       --requests 1 >/dev/null 2>&1; then
-    break
-  fi
-  sleep 0.1
-done
+start_server() {  # start_server <shards>
+  "${KTCLI}" serve --load "${WORK}/model.ktw" --port "${PORT}" --threads 2 \
+    --max-batch 8 --max-wait-us 500 --shards "$1" &
+  SERVER_PID=$!
+  for _ in $(seq 50); do
+    if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+         --requests 1 >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+}
+
+stop_server() {
+  kill "${SERVER_PID}" 2>/dev/null || true
+  wait "${SERVER_PID}" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+json_field() {  # json_field <file> <key>  -> hex digest value
+  sed "s/.*\"$2\":\"\([0-9a-f]*\)\".*/\1/" "$1"
+}
+
+echo "== serve the model on 127.0.0.1:${PORT} (1 shard) =="
+start_server 1
 
 # Per-scenario rolling-AUC floors. The model never trains on scenario
 # traffic, so these are deliberately loose sanity floors, not paper-grade
@@ -101,8 +119,7 @@ for name in cold_start forgetting adversarial drift zipf; do
     --students "${STUDENTS}" --connections 2 \
     > "${WORK}/${name}_2.json"
 
-  fnv="$(sed 's/.*"traffic_fnv64":"\([0-9a-f]*\)".*/\1/' \
-         "${WORK}/${name}_1.json")"
+  fnv="$(json_field "${WORK}/${name}_1.json" traffic_fnv64)"
   "${OBS_CHECK}" scenario "${WORK}/${name}_1.json" \
     --expect-scenario "${name}" \
     --min-auc "$(auc_floor "${name}")" --max-p99-us "${MAX_P99_US}"
@@ -110,6 +127,33 @@ for name in cold_start forgetting adversarial drift zipf; do
   "${OBS_CHECK}" scenario "${WORK}/${name}_2.json" \
     --expect-scenario "${name}" --expect-fnv "${fnv}" \
     --min-auc "$(auc_floor "${name}")" --max-p99-us "${MAX_P99_US}"
+  # Keep run 1's prediction digest for the cross-shard gate below. (Run 2
+  # reuses run 1's student names on the SAME server, so its sessions carry
+  # doubled history and its predictions legitimately differ — the parity
+  # comparison is against a fresh --shards 8 server instead.)
+  pred1="$(json_field "${WORK}/${name}_1.json" pred_fnv64)"
+  [[ -n "${pred1}" ]] || { echo "FAIL: no pred_fnv64 in ${name}" >&2; exit 1; }
+  echo "${pred1}" > "${WORK}/${name}.pred1"
 done
 
-echo "OK: all scenarios deterministic, predictive, and within latency budget"
+stop_server
+
+echo "== shard parity: --shards 8 must serve bit-identical predictions =="
+start_server 8
+for name in cold_start forgetting adversarial drift zipf; do
+  "${LOADGEN}" --port "${PORT}" --mode scenario --scenario "${name}" \
+    --students "${STUDENTS}" --connections 2 \
+    > "${WORK}/${name}_8.json"
+  pred1="$(cat "${WORK}/${name}.pred1")"
+  pred8="$(json_field "${WORK}/${name}_8.json" pred_fnv64)"
+  if [[ "${pred8}" != "${pred1}" ]]; then
+    echo "FAIL: ${name}: pred_fnv64 ${pred8} (8 shards) != ${pred1}" \
+         "(1 shard)" >&2
+    exit 1
+  fi
+  echo "   ${name}: pred_fnv64 ${pred8} matches across shard counts"
+done
+stop_server
+
+echo "OK: scenarios deterministic, predictive, within latency budget," \
+     "and bit-identical across shard counts"

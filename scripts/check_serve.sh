@@ -11,14 +11,23 @@
 #   4. Asserts every online prediction equals the offline generator score
 #      BIT FOR BIT — the serving subsystem's load-bearing contract
 #      (kt_loadgen exits non-zero on any mismatch or missing sample).
-#   5. Re-checks through the stdio transport with a handful of hand-rolled
+#   5. Repeats the replay against a --shards 3 server: the sharded reactor
+#      must serve the same bits (DESIGN.md §13).
+#   6. Re-checks through the stdio transport with a handful of hand-rolled
 #      requests, including eviction pressure (1 MB session budget).
+#   7. Unless KT_SERVE_TSAN=0: rebuilds ktcli + kt_loadgen with
+#      ThreadSanitizer (shared build-tsan tree, same as check_tsan.sh),
+#      drives a --shards 4 server with concurrent bench + replay traffic,
+#      and shuts it down gracefully over the wire ({"op":"shutdown"}).
+#      halt_on_error=1 turns any data race in the reactor, the shard
+#      queues, or the cold tier into a non-zero exit.
 #
 # Usage: scripts/check_serve.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+TSAN_BUILD_DIR="${KT_SERVE_TSAN_BUILD_DIR:-build-tsan}"
 PORT="${KT_SERVE_PORT:-19877}"
 
 cmake -B "${BUILD_DIR}" -S . >/dev/null
@@ -67,6 +76,26 @@ kill "${SERVER_PID}" 2>/dev/null || true
 wait "${SERVER_PID}" 2>/dev/null || true
 SERVER_PID=""
 
+echo "== same replay against a 3-shard reactor: still bit-identical =="
+"${KTCLI}" serve --load "${WORK}/model.ktw" --data "${WORK}/data.csv" \
+  --port "${PORT}" --threads 2 --max-batch 8 --max-wait-us 500 --shards 3 &
+SERVER_PID=$!
+for _ in $(seq 50); do
+  if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+       --requests 1 >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"${LOADGEN}" --port "${PORT}" --data "${WORK}/data.csv" \
+  --expect "${WORK}/offline.json" --connections 4 \
+  | tee "${WORK}/replay_sharded.json"
+grep -q '"mismatches":0' "${WORK}/replay_sharded.json"
+grep -q '"missing":0' "${WORK}/replay_sharded.json"
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
 echo "== stdio transport + eviction pressure (1 MB budget) =="
 {
   echo '{"op":"predict","student":"a","question":1}'
@@ -80,5 +109,55 @@ echo "== stdio transport + eviction pressure (1 MB budget) =="
       --memory-budget-mb 1 > "${WORK}/stdio.out"
 [[ "$(grep -c '"ok":true' "${WORK}/stdio.out")" -eq 7 ]]
 grep -q '"sessions":0' "${WORK}/stdio.out"   # after the reset
+
+if [[ "${KT_SERVE_TSAN:-1}" != "0" ]]; then
+  echo "== TSan: 4-shard reactor under concurrent mixed loadgen =="
+  # Same configuration as scripts/check_tsan.sh (shared build tree): -O1
+  # keeps shadow frames honest, -march=native keeps FP codegen — and so
+  # the bit-parity contract — identical to the normal build.
+  cmake -B "${TSAN_BUILD_DIR}" -S . \
+    -DKT_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS_DEBUG="-O1 -g -march=native" >/dev/null
+  cmake --build "${TSAN_BUILD_DIR}" --target ktcli kt_loadgen -j "$(nproc)"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+  # 1 MB budget + cold dir: eviction, replay rebuild, AND cold snapshot
+  # save/load all run on the shard threads while the reactor mixes four
+  # bench connections with a four-connection replay.
+  "${TSAN_BUILD_DIR}/tools/ktcli" serve --load "${WORK}/model.ktw" \
+    --data "${WORK}/data.csv" --port "${PORT}" --threads 2 \
+    --max-batch 8 --max-wait-us 500 --shards 4 \
+    --memory-budget-mb 1 --cold-dir "${WORK}/cold" &
+  SERVER_PID=$!
+  for _ in $(seq 300); do  # TSan startup is slow; poll generously
+    if "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" --mode bench \
+         --connections 1 --requests 1 >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+
+  "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" --mode bench \
+    --connections 4 --requests 100 > /dev/null &
+  BENCH_PID=$!
+  "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" \
+    --data "${WORK}/data.csv" --expect "${WORK}/offline.json" \
+    --connections 4 > "${WORK}/replay_tsan.json"
+  wait "${BENCH_PID}"
+  grep -q '"mismatches":0' "${WORK}/replay_tsan.json"
+  grep -q '"missing":0' "${WORK}/replay_tsan.json"
+
+  # Graceful shutdown over the wire: the reactor stops accepting, drains
+  # in-flight work, flushes cold snapshots, and the process must exit 0
+  # (halt_on_error=1 turns any TSan report into a non-zero exit).
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+  printf '{"op":"shutdown"}\n' >&3
+  read -r -t 30 _reply <&3 || true
+  exec 3<&- 3>&-
+  wait "${SERVER_PID}"
+  SERVER_PID=""
+  echo "   TSan run clean: no races, graceful shutdown, parity held"
+fi
 
 echo "OK: online serving is bit-identical to offline evaluation"

@@ -1,8 +1,11 @@
 #include "rckt/encoders.h"
 
+#include <cstdint>
 #include <cstring>
+#include <utility>
 
 #include "autograd/ops.h"
+#include "core/binio.h"
 #include "core/parallel.h"
 
 namespace kt {
@@ -44,6 +47,28 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
                 static_cast<size_t>(d) * sizeof(float));
   }
   return out;
+}
+
+// Stream serialization helpers: a [1, n] row is `u32 n` + n raw floats.
+void AppendRow(std::string* out, const Tensor& row) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(row.numel()));
+  AppendBytes(out, row.data(),
+              static_cast<size_t>(row.numel()) * sizeof(float));
+}
+
+bool ReadRow(BinCursor* cursor, int64_t expect_numel, Tensor* out) {
+  uint32_t numel = 0;
+  if (!cursor->Read(&numel) ||
+      static_cast<int64_t>(numel) != expect_numel) {
+    return false;
+  }
+  Tensor row(Shape{1, expect_numel});
+  if (!cursor->ReadBytes(row.data(),
+                         static_cast<size_t>(expect_numel) * sizeof(float))) {
+    return false;
+  }
+  *out = std::move(row);
+  return true;
 }
 
 }  // namespace
@@ -262,6 +287,36 @@ size_t BiLstmEncoder::StateBytes(int64_t /*history_len*/) const {
          sizeof(float);
 }
 
+void BiLstmEncoder::SerializeStream(const ForwardStreamState& state,
+                                    std::string* out) const {
+  const auto& s = static_cast<const LstmStreamState&>(state);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(s.layers.size()));
+  for (const auto& layer : s.layers) {
+    AppendRow(out, layer.h.value());
+    AppendRow(out, layer.c.value());
+  }
+}
+
+std::unique_ptr<ForwardStreamState> BiLstmEncoder::DeserializeStream(
+    const char* data, size_t size) const {
+  BinCursor cursor(data, size);
+  uint32_t layers = 0;
+  if (!cursor.Read(&layers) || layers != forward_layers_.size())
+    return nullptr;
+  const int64_t hidden = forward_layers_[0]->hidden_size();
+  auto state = std::make_unique<LstmStreamState>();
+  state->layers.reserve(layers);
+  for (uint32_t l = 0; l < layers; ++l) {
+    Tensor h, c;
+    if (!ReadRow(&cursor, hidden, &h) || !ReadRow(&cursor, hidden, &c))
+      return nullptr;
+    state->layers.push_back(
+        nn::LSTMCell::State{ag::Constant(h), ag::Constant(c)});
+  }
+  if (!cursor.done()) return nullptr;
+  return state;
+}
+
 std::unique_ptr<ForwardStreamState> BiGruEncoder::NewForwardStream() const {
   auto state = std::make_unique<GruStreamState>();
   state->layers.reserve(forward_layers_.size());
@@ -328,6 +383,31 @@ Tensor BiGruEncoder::ReplayForward(ForwardStreamState& state,
   return f.value();
 }
 
+void BiGruEncoder::SerializeStream(const ForwardStreamState& state,
+                                   std::string* out) const {
+  const auto& s = static_cast<const GruStreamState&>(state);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(s.layers.size()));
+  for (const auto& layer : s.layers) AppendRow(out, layer.value());
+}
+
+std::unique_ptr<ForwardStreamState> BiGruEncoder::DeserializeStream(
+    const char* data, size_t size) const {
+  BinCursor cursor(data, size);
+  uint32_t layers = 0;
+  if (!cursor.Read(&layers) || layers != forward_layers_.size())
+    return nullptr;
+  const int64_t hidden = forward_layers_[0]->hidden_size();
+  auto state = std::make_unique<GruStreamState>();
+  state->layers.reserve(layers);
+  for (uint32_t l = 0; l < layers; ++l) {
+    Tensor h;
+    if (!ReadRow(&cursor, hidden, &h)) return nullptr;
+    state->layers.push_back(ag::Constant(h));
+  }
+  if (!cursor.done()) return nullptr;
+  return state;
+}
+
 size_t BiGruEncoder::StateBytes(int64_t /*history_len*/) const {
   return forward_layers_.size() *
          static_cast<size_t>(forward_layers_[0]->hidden_size()) *
@@ -374,6 +454,42 @@ Tensor BiAttentionEncoder::ReplayForward(ForwardStreamState& state,
 size_t BiAttentionEncoder::StateBytes(int64_t history_len) const {
   return forward_blocks_.size() * 2 * static_cast<size_t>(history_len) *
          static_cast<size_t>(dim_) * sizeof(float);
+}
+
+void BiAttentionEncoder::SerializeStream(const ForwardStreamState& state,
+                                         std::string* out) const {
+  const auto& s = static_cast<const AttentionStreamState&>(state);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(s.caches.size()));
+  for (const auto& cache : s.caches) {
+    AppendPod<int64_t>(out, cache.len);
+    AppendBytes(out, cache.k.data(), cache.k.size() * sizeof(float));
+    AppendBytes(out, cache.v.data(), cache.v.size() * sizeof(float));
+  }
+}
+
+std::unique_ptr<ForwardStreamState> BiAttentionEncoder::DeserializeStream(
+    const char* data, size_t size) const {
+  BinCursor cursor(data, size);
+  uint32_t blocks = 0;
+  if (!cursor.Read(&blocks) || blocks != forward_blocks_.size())
+    return nullptr;
+  auto state = std::make_unique<AttentionStreamState>();
+  state->caches.resize(blocks);
+  for (uint32_t l = 0; l < blocks; ++l) {
+    nn::AttentionKVCache& cache = state->caches[l];
+    if (!cursor.Read(&cache.len) || cache.len < 0) return nullptr;
+    const size_t floats =
+        static_cast<size_t>(cache.len) * static_cast<size_t>(dim_);
+    if (cursor.remaining() < 2 * floats * sizeof(float)) return nullptr;
+    cache.k.resize(floats);
+    cache.v.resize(floats);
+    if (!cursor.ReadBytes(cache.k.data(), floats * sizeof(float)) ||
+        !cursor.ReadBytes(cache.v.data(), floats * sizeof(float))) {
+      return nullptr;
+    }
+  }
+  if (!cursor.done()) return nullptr;
+  return state;
 }
 
 std::unique_ptr<BiEncoder> MakeBiEncoder(EncoderKind kind, int64_t dim,

@@ -90,6 +90,19 @@ class BiEncoder : public nn::Module {
   // the session store's memory budget). O(1) for recurrent encoders,
   // O(history_len) for attention KV caches.
   virtual size_t StateBytes(int64_t history_len) const = 0;
+
+  // --- Cold-tier stream (de)serialization (kt::serve) ----------------------
+  //
+  // Appends the stream state to `out` as raw little-endian float bytes, so
+  // a deserialized stream is BIT-IDENTICAL to the serialized one — the
+  // property the serve cold tier's "reload equals replay rebuild" contract
+  // rests on. DeserializeStream returns nullptr on truncated or
+  // shape-incompatible payloads (e.g. a snapshot written by a model with a
+  // different layer count); callers then fall back to a replay rebuild.
+  virtual void SerializeStream(const ForwardStreamState& state,
+                               std::string* out) const = 0;
+  virtual std::unique_ptr<ForwardStreamState> DeserializeStream(
+      const char* data, size_t size) const = 0;
 };
 
 class BiLstmEncoder : public BiEncoder {
@@ -106,6 +119,10 @@ class BiLstmEncoder : public BiEncoder {
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
   size_t StateBytes(int64_t history_len) const override;
+  void SerializeStream(const ForwardStreamState& state,
+                       std::string* out) const override;
+  std::unique_ptr<ForwardStreamState> DeserializeStream(
+      const char* data, size_t size) const override;
 
  private:
   float dropout_p_;
@@ -127,6 +144,10 @@ class BiGruEncoder : public BiEncoder {
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
   size_t StateBytes(int64_t history_len) const override;
+  void SerializeStream(const ForwardStreamState& state,
+                       std::string* out) const override;
+  std::unique_ptr<ForwardStreamState> DeserializeStream(
+      const char* data, size_t size) const override;
 
  private:
   float dropout_p_;
@@ -146,6 +167,10 @@ class BiAttentionEncoder : public BiEncoder {
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
   size_t StateBytes(int64_t history_len) const override;
+  void SerializeStream(const ForwardStreamState& state,
+                       std::string* out) const override;
+  std::unique_ptr<ForwardStreamState> DeserializeStream(
+      const char* data, size_t size) const override;
 
  private:
   int64_t dim_;

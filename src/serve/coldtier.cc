@@ -1,0 +1,214 @@
+#include "serve/coldtier.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "ckpt/ckpt.h"
+#include "core/binio.h"
+#include "core/logging.h"
+#include "obs/obs.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+constexpr uint32_t kSnapshotVersion = 1;
+
+uint64_t Fnv64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// mkdir -p: create every missing component; EEXIST is success.
+bool MakeDirs(const std::string& path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix.push_back(path[i]);
+      continue;
+    }
+    if (!prefix.empty() &&
+        ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+    if (i < path.size()) prefix.push_back('/');
+  }
+  return true;
+}
+
+void AppendHistory(std::string* out,
+                   const std::vector<data::Interaction>& history) {
+  AppendPod<uint64_t>(out, history.size());
+  for (const auto& it : history) {
+    AppendPod<int64_t>(out, it.question);
+    AppendPod<int32_t>(out, static_cast<int32_t>(it.response));
+    AppendPod<uint32_t>(out, static_cast<uint32_t>(it.concepts.size()));
+    for (const int64_t c : it.concepts) AppendPod<int64_t>(out, c);
+  }
+}
+
+bool ReadHistory(std::string_view bytes,
+                 std::vector<data::Interaction>* history) {
+  BinCursor cursor(bytes.data(), bytes.size());
+  uint64_t count = 0;
+  if (!cursor.Read(&count)) return false;
+  history->clear();
+  history->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    data::Interaction it;
+    int32_t response = 0;
+    uint32_t bag = 0;
+    if (!cursor.Read(&it.question) || !cursor.Read(&response) ||
+        !cursor.Read(&bag)) {
+      return false;
+    }
+    it.response = response;
+    it.concepts.resize(bag);
+    for (uint32_t c = 0; c < bag; ++c) {
+      if (!cursor.Read(&it.concepts[c])) return false;
+    }
+    history->push_back(std::move(it));
+  }
+  return cursor.done();
+}
+
+bool SameHistory(const std::vector<data::Interaction>& a,
+                 const std::vector<data::Interaction>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].question != b[i].question || a[i].response != b[i].response ||
+        a[i].concepts != b[i].concepts) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BumpCounter(const char* name) {
+  if (obs::Enabled()) obs::Counter::Get(name)->Add(1);
+}
+
+}  // namespace
+
+ColdTier::ColdTier(std::string dir, const rckt::BiEncoder& encoder,
+                   rckt::EncoderKind kind, int64_t dim, int64_t num_layers)
+    : dir_(std::move(dir)),
+      encoder_(encoder),
+      kind_(kind),
+      dim_(dim),
+      num_layers_(num_layers) {
+  if (!MakeDirs(dir_)) {
+    KT_LOG(WARNING) << "cold tier: cannot create directory " << dir_;
+  }
+}
+
+std::string ColdTier::PathFor(const std::string& student) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv64(student)));
+  return dir_ + "/" + hex + ".ktc";
+}
+
+bool ColdTier::Save(const Session& session) {
+  if (session.stream == nullptr || session.history.empty()) return false;
+  ckpt::CheckpointWriter writer;
+  std::string& schema = writer.Section("schema");
+  AppendPod<uint32_t>(&schema, kSnapshotVersion);
+  AppendPod<int32_t>(&schema, static_cast<int32_t>(kind_));
+  AppendPod<int64_t>(&schema, dim_);
+  AppendPod<int64_t>(&schema, num_layers_);
+  writer.Section("student") = session.id;
+  AppendHistory(&writer.Section("history"), session.history);
+  encoder_.SerializeStream(*session.stream, &writer.Section("stream"));
+  std::string& last_f = writer.Section("last_f");
+  AppendPod<uint32_t>(&last_f, static_cast<uint32_t>(session.last_f.numel()));
+  AppendBytes(&last_f, session.last_f.data(),
+              static_cast<size_t>(session.last_f.numel()) * sizeof(float));
+  const Status status = writer.Commit(PathFor(session.id));
+  if (!status.ok()) {
+    KT_LOG(WARNING) << "cold tier: snapshot of '" << session.id
+                    << "' failed: " << status.message();
+    return false;
+  }
+  BumpCounter("serve.cold_saves");
+  return true;
+}
+
+bool ColdTier::Load(Session* session) {
+  if (session->stream != nullptr) return false;
+  const std::string path = PathFor(session->id);
+  ckpt::CheckpointReader reader;
+  if (!reader.Open(path).ok()) return false;
+
+  std::string_view schema, student, history_bytes, stream_bytes, last_bytes;
+  if (!reader.Find("schema", &schema).ok() ||
+      !reader.Find("student", &student).ok() ||
+      !reader.Find("history", &history_bytes).ok() ||
+      !reader.Find("stream", &stream_bytes).ok() ||
+      !reader.Find("last_f", &last_bytes).ok()) {
+    return false;
+  }
+  // Hash-collision / schema guard: the snapshot must name this student and
+  // this model shape exactly, else it is a miss.
+  if (student != session->id) return false;
+  {
+    BinCursor cursor(schema.data(), schema.size());
+    uint32_t version = 0;
+    int32_t kind = 0;
+    int64_t dim = 0, layers = 0;
+    if (!cursor.Read(&version) || version != kSnapshotVersion ||
+        !cursor.Read(&kind) || kind != static_cast<int32_t>(kind_) ||
+        !cursor.Read(&dim) || dim != dim_ || !cursor.Read(&layers) ||
+        layers != num_layers_) {
+      return false;
+    }
+  }
+
+  std::vector<data::Interaction> history;
+  if (!ReadHistory(history_bytes, &history) || history.empty()) return false;
+  if (!session->history.empty() &&
+      !SameHistory(session->history, history)) {
+    // A snapshot that disagrees with the live history is stale garbage
+    // (e.g. leftover from a previous run after a reset): drop it.
+    std::remove(path.c_str());
+    return false;
+  }
+
+  auto stream =
+      encoder_.DeserializeStream(stream_bytes.data(), stream_bytes.size());
+  if (stream == nullptr) return false;
+
+  BinCursor cursor(last_bytes.data(), last_bytes.size());
+  uint32_t numel = 0;
+  if (!cursor.Read(&numel) || static_cast<int64_t>(numel) != dim_) {
+    return false;
+  }
+  Tensor last_f(Shape{1, dim_});
+  if (!cursor.ReadBytes(last_f.data(),
+                        static_cast<size_t>(dim_) * sizeof(float)) ||
+      !cursor.done()) {
+    return false;
+  }
+
+  session->history = std::move(history);
+  session->stream = std::move(stream);
+  session->last_f = std::move(last_f);
+  BumpCounter("serve.cold_loads");
+  return true;
+}
+
+void ColdTier::Erase(const std::string& student) {
+  std::remove(PathFor(student).c_str());
+}
+
+}  // namespace serve
+}  // namespace kt

@@ -1,0 +1,74 @@
+// Cold session tier: disk snapshots of evicted forward-stream states.
+//
+// Without it, eviction under the session-memory budget drops a student's
+// neural state and the next touch pays a full O(T) replay rebuild. With a
+// cold directory configured, eviction first serializes the stream (raw
+// float bytes — reloads are bit-identical to the replay rebuild they
+// replace), the interaction history, and the cached last_f row into one
+// kt::ckpt container per student:
+//
+//   <dir>/<fnv64(student) hex>.ktc
+//     sections: schema | student | history | stream | last_f
+//
+// Each snapshot commits through the ckpt writer's tmp+fsync+rename, so a
+// kill -9 at any moment leaves whole snapshots only — that is what makes
+// warm restarts safe: a new server pointed at the same --cold-dir restores
+// any snapshotted student on first touch, history included, without
+// replay. Snapshots are retained after a load (they go stale one update
+// later and are refreshed by the next eviction or a graceful-shutdown
+// flush); a `reset` op erases the student's snapshot with the session.
+//
+// Schema guard: snapshots carry the encoder kind/dim/layers they were
+// written under. A mismatching or corrupt snapshot is treated as a miss
+// (the caller falls back to replay), never as state.
+#ifndef KT_SERVE_COLDTIER_H_
+#define KT_SERVE_COLDTIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rckt/encoders.h"
+#include "serve/session.h"
+
+namespace kt {
+namespace serve {
+
+class ColdTier {
+ public:
+  // Creates `dir` (and parents) if needed. The encoder reference must
+  // outlive the tier; `kind`/`dim`/`num_layers` form the schema guard.
+  ColdTier(std::string dir, const rckt::BiEncoder& encoder,
+           rckt::EncoderKind kind, int64_t dim, int64_t num_layers);
+
+  // Snapshots `session` (history + stream + last_f). Returns false for
+  // sessions with nothing to snapshot (no stream or empty history) or on
+  // write failure.
+  bool Save(const Session& session);
+
+  // Restores `session` from its snapshot, bit-identical to the state at
+  // snapshot time. Only fills a session whose stream is null; adopts the
+  // snapshot history when the session's own history is empty (warm
+  // restart), otherwise requires the histories to be equal. Corrupt,
+  // mismatched, or absent snapshots return false and, when stale, are
+  // deleted.
+  bool Load(Session* session);
+
+  // Drops the student's snapshot, if any (reset op).
+  void Erase(const std::string& student);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const std::string& student) const;
+
+  std::string dir_;
+  const rckt::BiEncoder& encoder_;
+  rckt::EncoderKind kind_;
+  int64_t dim_;
+  int64_t num_layers_;
+};
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_COLDTIER_H_

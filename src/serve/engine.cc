@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <unordered_set>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "data/batch.h"
@@ -36,9 +37,19 @@ const char* OpName(Op op) {
 
 InferenceEngine::InferenceEngine(rckt::RCKT& model, EngineOptions options)
     : model_(model),
-      options_(options),
+      options_(std::move(options)),
       dim_(model.config().dim),
-      store_(options.session_budget_bytes) {}
+      store_(options_.session_budget_bytes) {
+  if (!options_.cold_dir.empty()) {
+    cold_ = std::make_unique<ColdTier>(
+        options_.cold_dir, model_.bi_encoder(), model_.config().encoder,
+        dim_, model_.config().num_layers);
+    // Eviction becomes demotion: snapshot the victim's neural state right
+    // before the store drops it. The hook only reads the session, so it is
+    // safe mid-eviction.
+    store_.SetEvictionHook([this](Session& victim) { cold_->Save(victim); });
+  }
+}
 
 void InferenceEngine::LoadConceptMap(const data::Dataset& dataset) {
   for (const auto& sequence : dataset.sequences) {
@@ -96,9 +107,19 @@ void InferenceEngine::EnsureStream(Session& session) {
     return;
   }
   BumpCounter("serve.cache_miss");
+  if (cold_ != nullptr && cold_->Load(&session)) {
+    // Demoted (or snapshotted by a previous server run): the disk state is
+    // bit-identical to the replay rebuild below, at O(bytes) instead of
+    // O(T) encoder work — and after a warm restart it carries the history
+    // a fresh session wouldn't even have.
+    ++cold_loads_;
+    AccountState(session);
+    return;
+  }
   session.stream = model_.bi_encoder().NewForwardStream();
   const int64_t n = static_cast<int64_t>(session.history.size());
   if (n > 0) {
+    ++replays_;
     // The neural state was evicted (or never built): rebuild it with one
     // bulk pass over the kept history — bit-identical to having stepped.
     KT_OBS_SCOPE("serve/replay");
@@ -215,6 +236,10 @@ ServeResponse InferenceEngine::ExecuteExplain(const ServeRequest& request) {
   ServeResponse response;
   if (!Validate(request, &response)) return response;
   Session& session = store_.GetOrCreate(request.student);
+  if (session.history.empty() && cold_ != nullptr) {
+    // After a warm restart the history may live only in the cold tier.
+    EnsureStream(session);
+  }
   if (session.history.empty()) {
     response.ok = false;
     response.error = "explain needs at least one history interaction";
@@ -263,6 +288,9 @@ ServeResponse InferenceEngine::Execute(const ServeRequest& request) {
       ServeResponse response;
       if (!Validate(request, &response)) return response;
       store_.Erase(request.student);
+      // A reset must forget the student everywhere — a surviving snapshot
+      // would resurrect the history on next touch.
+      if (cold_ != nullptr) cold_->Erase(request.student);
       return response;
     }
     case Op::kStats:
@@ -352,6 +380,11 @@ void InferenceEngine::UpdateRun(const std::vector<ServeRequest>& requests,
     AccountState(session);
     (*out)[slots[j]].history = static_cast<int64_t>(session.history.size());
   }
+}
+
+void InferenceEngine::FlushColdSnapshots() {
+  if (cold_ == nullptr) return;
+  store_.ForEach([this](Session& session) { cold_->Save(session); });
 }
 
 std::vector<ServeResponse> InferenceEngine::ExecuteBatch(

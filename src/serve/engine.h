@@ -23,11 +23,13 @@
 #ifndef KT_SERVE_ENGINE_H_
 #define KT_SERVE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "rckt/rckt_model.h"
+#include "serve/coldtier.h"
 #include "serve/session.h"
 
 namespace kt {
@@ -74,6 +76,12 @@ struct EngineOptions {
   // never seen would abort the process inside EmbeddingLookup otherwise).
   int64_t num_questions = 0;
   int64_t num_concepts = 0;
+  // Cold session tier directory (serve/coldtier.h); empty disables it.
+  // With a cold dir, eviction snapshots neural state to disk instead of
+  // discarding it, the next touch reloads the snapshot (bit-identical to
+  // the replay rebuild it replaces), and a restarted server resumes
+  // snapshotted sessions — history included — without replay.
+  std::string cold_dir;
 };
 
 // NOT thread-safe: one engine is driven by one thread (the micro-batcher's
@@ -98,6 +106,14 @@ class InferenceEngine {
 
   const SessionStore& sessions() const { return store_; }
   int64_t dim() const { return dim_; }
+
+  // Cold-tier plumbing. FlushColdSnapshots persists every resident
+  // session (graceful shutdown), so a warm restart resumes them all; the
+  // counters let tests and operators distinguish "resumed from cold
+  // snapshot" from "rebuilt by replay".
+  void FlushColdSnapshots();
+  int64_t cold_loads() const { return cold_loads_; }
+  int64_t replays() const { return replays_; }
 
  private:
   // Concept bag for a request (explicit > map > empty).
@@ -132,6 +148,9 @@ class InferenceEngine {
   EngineOptions options_;
   int64_t dim_;
   SessionStore store_;
+  std::unique_ptr<ColdTier> cold_;  // null when options_.cold_dir is empty
+  int64_t cold_loads_ = 0;
+  int64_t replays_ = 0;
   std::unordered_map<int64_t, std::vector<int64_t>> concept_map_;
   const std::vector<int64_t> empty_bag_;
 };

@@ -238,6 +238,9 @@ std::string ScenarioSummaryJson(const ScenarioSummary& s) {
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(s.traffic_fnv64));
   w.Key("traffic_fnv64").String(hex);
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(s.pred_fnv64));
+  w.Key("pred_fnv64").String(hex);
   w.EndObject();
   return w.str();
 }
@@ -267,19 +270,21 @@ double RollingAuc::Auc() const {
   return eval::ComputeAuc(scores_, labels_);
 }
 
+uint64_t FnvMixU64(uint64_t h, uint64_t v) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
 uint64_t FnvMixInteraction(uint64_t h, int64_t question,
                            const std::vector<int64_t>& concepts,
                            int response) {
-  constexpr uint64_t kPrime = 1099511628211ull;
-  const auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xff;
-      h *= kPrime;
-    }
-  };
-  mix(static_cast<uint64_t>(question));
-  for (int64_t c : concepts) mix(static_cast<uint64_t>(c));
-  mix(static_cast<uint64_t>(response));
+  h = FnvMixU64(h, static_cast<uint64_t>(question));
+  for (int64_t c : concepts) h = FnvMixU64(h, static_cast<uint64_t>(c));
+  h = FnvMixU64(h, static_cast<uint64_t>(response));
   return h;
 }
 

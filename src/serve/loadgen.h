@@ -144,6 +144,12 @@ struct ScenarioSummary {
   // concepts, response per interaction, XOR-combined across students):
   // equal across runs iff the scenario stream is bit-identical.
   uint64_t traffic_fnv64 = 0;
+  // Same structure over the SERVER's replies: the float bits of every
+  // predict probability, folded per student and XOR-combined. Two servers
+  // given the same scenario agree on pred_fnv64 iff every prediction is
+  // bitwise identical — the cross-configuration parity gate (e.g.
+  // --shards 1 vs --shards 8 in scripts/check_scenarios.sh).
+  uint64_t pred_fnv64 = 0;
 };
 std::string ScenarioSummaryJson(const ScenarioSummary& s);
 
@@ -173,6 +179,7 @@ class RollingAuc {
 // each student's interactions left-to-right starting from `h` (pass
 // kFnvOffset for the first), then XOR the per-student digests together.
 inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+uint64_t FnvMixU64(uint64_t h, uint64_t v);
 uint64_t FnvMixInteraction(uint64_t h, int64_t question,
                            const std::vector<int64_t>& concepts,
                            int response);

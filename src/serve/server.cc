@@ -1,23 +1,15 @@
 #include "serve/server.h"
 
-#include <atomic>
-#include <cerrno>
+#include <algorithm>
 #include <iostream>
-#include <list>
-#include <memory>
-#include <thread>
+#include <string>
 #include <utility>
-#include <vector>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include "core/logging.h"
-#include "obs/obs.h"
 #include "serve/framing.h"
+#include "serve/reactor.h"
+#include "serve/shard.h"
 
 namespace kt {
 namespace serve {
@@ -140,30 +132,20 @@ std::string SerializeError(const std::string& message) {
   return w.str();
 }
 
-namespace {
-
-bool IsShutdown(const JsonValue& json) {
-  return json.GetString("op", "") == "shutdown";
-}
-
-// One request line -> one response line (or a shutdown marker).
-std::string HandleLine(MicroBatcher& batcher, const std::string& line,
-                       bool* shutdown) {
+DecodedLine DecodeLine(const std::string& line) {
+  DecodedLine out;
   JsonValue json;
   std::string error;
   if (!ParseJson(line, &json, &error)) {
-    return SerializeError("bad json: " + error);
+    out.error = "bad json: " + error;
+    return out;
   }
-  if (IsShutdown(json)) {
-    *shutdown = true;
-    return "{\"ok\":true,\"op\":\"shutdown\"}";
+  if (json.GetString("op", "") == "shutdown") {
+    out.shutdown = true;
+    return out;
   }
-  ServeRequest request;
-  if (!ParseServeRequest(json, &request, &error)) {
-    return SerializeError(error);
-  }
-  const ServeResponse response = batcher.Submit(request);
-  return SerializeResponse(response);
+  out.ok = ParseServeRequest(json, &out.request, &out.error);
+  return out;
 }
 
 bool BlankLine(const std::string& line) {
@@ -178,7 +160,21 @@ std::string OversizeError(size_t max_line_bytes) {
                         std::to_string(max_line_bytes) + " bytes");
 }
 
-int RunStdioServer(MicroBatcher& batcher, size_t max_line_bytes) {
+namespace {
+
+// One request line -> one response line (or a shutdown marker).
+std::string HandleLine(ShardSet& shards, const std::string& line,
+                       bool* shutdown) {
+  const DecodedLine decoded = DecodeLine(line);
+  if (decoded.shutdown) {
+    *shutdown = true;
+    return "{\"ok\":true,\"op\":\"shutdown\"}";
+  }
+  if (!decoded.ok) return SerializeError(decoded.error);
+  return SerializeResponse(shards.SubmitSync(decoded.request));
+}
+
+int RunStdioServer(ShardSet& shards, size_t max_line_bytes) {
   LineFramer framer(max_line_bytes);
   std::string line;
   bool shutdown = false;
@@ -188,7 +184,7 @@ int RunStdioServer(MicroBatcher& batcher, size_t max_line_bytes) {
     const LineFramer::Result r = framer.Next(&line);
     if (r == LineFramer::Result::kLine) {
       if (BlankLine(line)) continue;
-      std::cout << HandleLine(batcher, line, &shutdown) << "\n" << std::flush;
+      std::cout << HandleLine(shards, line, &shutdown) << "\n" << std::flush;
       continue;
     }
     if (r == LineFramer::Result::kOverflow) {
@@ -211,132 +207,30 @@ int RunStdioServer(MicroBatcher& batcher, size_t max_line_bytes) {
   return 0;
 }
 
-// Serves one blocking TCP connection until peer disconnect, an oversized
-// request line, a failed write, or a shutdown op.
-void ServeConnection(MicroBatcher& batcher, int conn, size_t max_line_bytes,
-                     std::atomic<bool>* shutdown, int listener) {
-  LineFramer framer(max_line_bytes);
-  std::string line;
-  char chunk[4096];
-  while (true) {
-    const LineFramer::Result r = framer.Next(&line);
-    if (r == LineFramer::Result::kOverflow) {
-      // A client streaming a line past the cap is broken or hostile:
-      // reject with ok:false, then close.
-      SendAllNoSignal(conn, OversizeError(max_line_bytes) + "\n");
-      break;
-    }
-    if (r == LineFramer::Result::kNeedMore) {
-      const ssize_t n = ReadRetryEintr(conn, chunk, sizeof(chunk));
-      if (n <= 0) break;
-      framer.Append(chunk, static_cast<size_t>(n));
-      continue;
-    }
-    if (BlankLine(line)) continue;
-    bool want_shutdown = false;
-    const std::string reply = HandleLine(batcher, line, &want_shutdown);
-    if (!SendAllNoSignal(conn, reply + "\n")) break;
-    if (want_shutdown) {
-      shutdown->store(true);
-      // Unblock the accept loop so it can exit.
-      ::shutdown(listener, SHUT_RDWR);
-      break;
-    }
-  }
-  ::close(conn);
-}
-
-int RunTcpServer(MicroBatcher& batcher, int port, size_t max_line_bytes) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    KT_LOG(ERROR) << "serve: socket() failed";
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    KT_LOG(ERROR) << "serve: cannot bind 127.0.0.1:" << port;
-    ::close(listener);
-    return 1;
-  }
-  if (::listen(listener, 64) < 0) {
-    KT_LOG(ERROR) << "serve: listen() failed";
-    ::close(listener);
-    return 1;
-  }
-  KT_LOG(INFO) << "serving on 127.0.0.1:" << port;
-
-  std::atomic<bool> shutdown{false};
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::list<Connection> connections;
-  // Join connections whose handler already finished (all of them when
-  // draining), so a long-running server does not accumulate thread
-  // handles without bound.
-  auto reap = [&connections](bool drain) {
-    int64_t joined = 0;
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (drain || it->done->load()) {
-        it->thread.join();
-        it = connections.erase(it);
-        ++joined;
-      } else {
-        ++it;
-      }
-    }
-    if (joined > 0 && obs::Enabled())
-      obs::Counter::Get("serve.connections_reaped")->Add(joined);
-  };
-  while (!shutdown.load()) {
-    // Wake at least every 200 ms so finished connection threads are joined
-    // on a timer tick, not only when the next connection arrives.
-    pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    reap(/*drain=*/false);
-    if (ready == 0) continue;
-    const int conn = AcceptRetryEintr(listener);
-    if (conn < 0) {
-      if (shutdown.load()) break;  // listener closed by a shutdown op
-      // Transient per-connection failures (ECONNABORTED and friends) leave
-      // the listener healthy; anything else is fatal.
-      if (errno == ECONNABORTED || errno == EAGAIN ||
-          errno == EWOULDBLOCK) {
-        continue;
-      }
-      break;
-    }
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread(
-        [&batcher, &shutdown, listener, conn, max_line_bytes, done] {
-          ServeConnection(batcher, conn, max_line_bytes, &shutdown, listener);
-          done->store(true);
-        });
-    connections.push_back(Connection{std::move(thread), std::move(done)});
-  }
-  ::close(listener);
-  reap(/*drain=*/true);
-  return 0;
-}
-
 }  // namespace
 
-int RunServer(InferenceEngine& engine, const ServerOptions& options) {
-  MicroBatcher batcher(engine, options.batcher);
-  const int code =
-      options.port > 0
-          ? RunTcpServer(batcher, options.port, options.max_line_bytes)
-          : RunStdioServer(batcher, options.max_line_bytes);
-  batcher.Stop();
+int RunServer(rckt::RCKT& model, const ServerOptions& options,
+              const data::Dataset* concept_data) {
+  ShardSetOptions shard_options;
+  shard_options.shards = options.shards;
+  shard_options.batcher = options.batcher;
+  shard_options.engine = options.engine;
+  ShardSet shards(model, shard_options, concept_data);
+  int code = 0;
+  if (options.port > 0) {
+    ReactorOptions reactor_options;
+    reactor_options.port = options.port;
+    reactor_options.max_line_bytes = options.max_line_bytes;
+    reactor_options.max_inflight_per_conn =
+        std::max<int64_t>(1, options.batcher.max_queue);
+    code = RunReactor(shards, reactor_options);
+  } else {
+    code = RunStdioServer(shards, options.max_line_bytes);
+  }
+  // Graceful shutdown: persist every resident session so a warm restart
+  // resumes it without replay (no-op when no cold dir is configured).
+  shards.FlushColdSnapshots();
+  shards.Stop();
   return code;
 }
 

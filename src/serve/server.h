@@ -3,9 +3,10 @@
 // Two transports share one protocol:
 //   * stdio  (port == 0): synchronous request/response over stdin/stdout —
 //     trivially scriptable (`echo '{"op":...}' | ktcli serve ...`);
-//   * TCP    (port  > 0): listens on 127.0.0.1, one thread per connection,
-//     all connections feeding the shared MicroBatcher so concurrent
-//     clients coalesce into engine batches.
+//   * TCP    (port  > 0): a nonblocking epoll reactor (serve/reactor.h)
+//     on 127.0.0.1, feeding N shard engines (serve/shard.h) routed by
+//     student hash. Replies per connection keep request order even when
+//     shards finish out of order.
 //
 // Protocol (one JSON object per line, one response line per request):
 //   {"op":"predict","student":"s1","question":7,"concepts":[2,5]}
@@ -16,6 +17,7 @@
 //     -> {"ok":true,...,"influence":[...],"responses":[...],...}
 //   {"op":"reset","student":"s1"} | {"op":"stats"} | {"op":"shutdown"}
 // `concepts` is optional everywhere (fallback: the engine's question map).
+// `stats` sums across shards, so its payload is layout-independent.
 #ifndef KT_SERVE_SERVER_H_
 #define KT_SERVE_SERVER_H_
 
@@ -30,16 +32,23 @@ namespace kt {
 namespace serve {
 
 struct ServerOptions {
-  int port = 0;  // 0 = stdio transport
+  int port = 0;    // 0 = stdio transport
+  int shards = 1;  // worker shards (TCP; stdio always behaves like 1)
   // Per-line request cap (serve/framing.h). An oversized line gets an
   // `ok:false` reply; TCP then closes the connection, stdio resyncs to the
   // next newline.
   size_t max_line_bytes = kDefaultMaxLineBytes;
   BatcherOptions batcher;
+  // Session budget (split across shards), id bounds, cold tier dir.
+  EngineOptions engine;
 };
 
-// Serves until stdin EOF / a shutdown op. Returns a process exit code.
-int RunServer(InferenceEngine& engine, const ServerOptions& options);
+// Serves until stdin EOF / a shutdown op. Flushes cold-tier snapshots on
+// the way out (warm restart), then stops the shards. Returns a process
+// exit code. `concept_data`, when given, seeds the question->concepts
+// fallback map of every shard.
+int RunServer(rckt::RCKT& model, const ServerOptions& options,
+              const data::Dataset* concept_data = nullptr);
 
 // Wire <-> struct conversions (shared by the server, kt_loadgen and
 // tests/serve_test.cc). ParseServeRequest rejects unknown/malformed ops
@@ -48,6 +57,22 @@ bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
                        std::string* error);
 std::string SerializeResponse(const ServeResponse& response);
 std::string SerializeError(const std::string& message);
+
+// One decoded request line (shared by the stdio front end and the
+// reactor): exactly one of `shutdown`, `ok` (request valid), or `error`.
+struct DecodedLine {
+  bool shutdown = false;
+  bool ok = false;
+  std::string error;
+  ServeRequest request;
+};
+DecodedLine DecodeLine(const std::string& line);
+
+// True for whitespace-only lines (skipped without a reply).
+bool BlankLine(const std::string& line);
+
+// The ok:false reply for a request line past the framer cap.
+std::string OversizeError(size_t max_line_bytes);
 
 }  // namespace serve
 }  // namespace kt

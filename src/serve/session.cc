@@ -59,6 +59,7 @@ void SessionStore::EvictUntilWithinBudget(const Session* keep) {
         victim.state_bytes == 0) {
       continue;
     }
+    if (eviction_hook_) eviction_hook_(victim);
     total_state_bytes_ -= victim.state_bytes;
     victim.state_bytes = 0;
     victim.stream.reset();
@@ -70,6 +71,10 @@ void SessionStore::EvictUntilWithinBudget(const Session* keep) {
       evicted->Add(1);
     }
   }
+}
+
+void SessionStore::ForEach(const std::function<void(Session&)>& fn) {
+  for (auto& [id, entry] : sessions_) fn(entry.session);
 }
 
 void SessionStore::Erase(const std::string& id) {

@@ -12,11 +12,13 @@
 #define KT_SERVE_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -85,6 +87,16 @@ class SessionStore {
   // Drops the whole session (reset op).
   void Erase(const std::string& id);
 
+  // Called with each eviction victim right BEFORE its neural state is
+  // dropped — the cold tier's snapshot hook. The hook must not touch the
+  // store (it runs mid-eviction).
+  void SetEvictionHook(std::function<void(Session&)> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
+  // Visits every live session (graceful-shutdown cold flush).
+  void ForEach(const std::function<void(Session&)>& fn);
+
   size_t size() const { return sessions_.size(); }
   size_t total_state_bytes() const { return total_state_bytes_; }
   uint64_t evictions() const { return evictions_; }
@@ -102,6 +114,7 @@ class SessionStore {
   size_t budget_bytes_;
   size_t total_state_bytes_ = 0;
   uint64_t evictions_ = 0;
+  std::function<void(Session&)> eviction_hook_;
   // Sessions currently protected by a live PinScope.
   std::unordered_set<const Session*> pinned_;
   // Front = most recently used.

@@ -1,0 +1,257 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <utility>
+
+#include "obs/obs.h"
+#include "serve/server.h"
+
+namespace kt {
+namespace serve {
+
+uint32_t ShardSet::ShardFor(std::string_view student, uint32_t shards) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : student) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return shards == 0 ? 0 : static_cast<uint32_t>(h % shards);
+}
+
+uint32_t ShardSet::shard_for(std::string_view student) const {
+  return ShardFor(student, static_cast<uint32_t>(shards_.size()));
+}
+
+ShardSet::ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
+                   const data::Dataset* concept_data)
+    : options_(options) {
+  const int n = std::max(1, options.shards);
+  options_.shards = n;
+  EngineOptions per_shard = options.engine;
+  if (per_shard.session_budget_bytes > 0) {
+    // Equal budget slices; never round down to 0, which means "unlimited".
+    per_shard.session_budget_bytes = std::max<size_t>(
+        1, per_shard.session_budget_bytes / static_cast<size_t>(n));
+  }
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<InferenceEngine>(model, per_shard);
+    if (concept_data != nullptr) shard->engine->LoadConceptMap(*concept_data);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->worker = std::thread([this, raw] { WorkerLoop(*raw); });
+  }
+}
+
+ShardSet::~ShardSet() { Stop(); }
+
+void ShardSet::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void ShardSet::Enqueue(Shard& shard, Item item) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.queue.push_back(std::move(item));
+    if (obs::Enabled()) {
+      obs::Histogram::Get("serve.queue_depth")
+          ->Record(static_cast<double>(shard.queue.size()));
+    }
+  }
+  shard.cv.notify_all();
+}
+
+void ShardSet::SubmitAsync(ServeRequest request, uint64_t tag) {
+  if (stopping_.load()) {
+    ServeResponse response;
+    response.ok = false;
+    response.op = request.op;
+    response.error = "server is shutting down";
+    sink_(tag, SerializeResponse(response));
+    return;
+  }
+  if (request.op == Op::kStats) {
+    auto agg = std::make_shared<StatsAgg>();
+    agg->remaining = shards();
+    agg->tag = tag;
+    for (auto& shard : shards_) {
+      Item item;
+      item.request = request;
+      item.agg = agg;
+      Enqueue(*shard, std::move(item));
+    }
+    return;
+  }
+  Shard& shard = *shards_[shard_for(request.student)];
+  Item item;
+  item.request = std::move(request);
+  item.tag = tag;
+  Enqueue(shard, std::move(item));
+}
+
+ServeResponse ShardSet::SubmitSync(const ServeRequest& request) {
+  if (stopping_.load()) {
+    ServeResponse response;
+    response.ok = false;
+    response.op = request.op;
+    response.error = "server is shutting down";
+    return response;
+  }
+  SyncCell cell;
+  if (request.op == Op::kStats) {
+    auto agg = std::make_shared<StatsAgg>();
+    agg->remaining = shards();
+    agg->cell = &cell;
+    for (auto& shard : shards_) {
+      Item item;
+      item.request = request;
+      item.agg = agg;
+      Enqueue(*shard, std::move(item));
+    }
+  } else {
+    Item item;
+    item.request = request;
+    item.cell = &cell;
+    Enqueue(*shards_[shard_for(request.student)], std::move(item));
+  }
+  std::unique_lock<std::mutex> lock(cell.mu);
+  cell.cv.wait(lock, [&] { return cell.done; });
+  return std::move(cell.response);
+}
+
+void ShardSet::FlushColdSnapshots() {
+  // Run on each worker thread (the engines are single-threaded), and wait.
+  std::vector<std::unique_ptr<SyncCell>> cells;
+  for (auto& shard : shards_) {
+    auto cell = std::make_unique<SyncCell>();
+    Item item;
+    item.kind = Item::Kind::kFlush;
+    item.cell = cell.get();
+    Enqueue(*shard, std::move(item));
+    cells.push_back(std::move(cell));
+  }
+  for (auto& cell : cells) {
+    std::unique_lock<std::mutex> lock(cell->mu);
+    cell->cv.wait(lock, [&] { return cell->done; });
+  }
+}
+
+void ShardSet::Stop() {
+  stopping_.store(true);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardSet::Deliver(const Item& item, ServeResponse response) {
+  if (item.agg != nullptr) {
+    StatsAgg& agg = *item.agg;
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(agg.mu);
+      agg.acc.op = Op::kStats;
+      agg.acc.sessions += response.sessions;
+      agg.acc.state_bytes += response.state_bytes;
+      agg.acc.evictions += response.evictions;
+      last = --agg.remaining == 0;
+    }
+    if (!last) return;
+    if (agg.cell != nullptr) {
+      // Notify under the lock: the waiter owns the cell's storage and may
+      // destroy it the moment wait() returns, which it cannot do before we
+      // release — so notify_all never touches a dead condition variable.
+      std::lock_guard<std::mutex> lock(agg.cell->mu);
+      agg.cell->response = agg.acc;
+      agg.cell->done = true;
+      agg.cell->cv.notify_all();
+    } else {
+      sink_(agg.tag, SerializeResponse(agg.acc));
+    }
+    return;
+  }
+  if (item.cell != nullptr) {
+    // Notify under the lock (see above): the cell dies with the waiter.
+    std::lock_guard<std::mutex> lock(item.cell->mu);
+    item.cell->response = std::move(response);
+    item.cell->done = true;
+    item.cell->cv.notify_all();
+    return;
+  }
+  sink_(item.tag, SerializeResponse(response));
+}
+
+void ShardSet::WorkerLoop(Shard& shard) {
+  const int64_t max_batch = std::max<int64_t>(1, options_.batcher.max_batch);
+  std::vector<Item> slice;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(
+          lock, [&] { return stopping_.load() || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stopping, and fully drained
+      if (static_cast<int64_t>(shard.queue.size()) < max_batch &&
+          !stopping_.load() && options_.batcher.max_wait_us > 0) {
+        // Brief straggler window so concurrent clients coalesce into one
+        // engine batch — the same trade the MicroBatcher makes.
+        shard.cv.wait_for(
+            lock, std::chrono::microseconds(options_.batcher.max_wait_us),
+            [&] {
+              return stopping_.load() ||
+                     static_cast<int64_t>(shard.queue.size()) >= max_batch;
+            });
+      }
+      const size_t take = std::min<size_t>(shard.queue.size(),
+                                           static_cast<size_t>(max_batch));
+      slice.assign(std::make_move_iterator(shard.queue.begin()),
+                   std::make_move_iterator(shard.queue.begin() +
+                                           static_cast<ptrdiff_t>(take)));
+      shard.queue.erase(shard.queue.begin(),
+                        shard.queue.begin() + static_cast<ptrdiff_t>(take));
+    }
+    if (obs::Enabled()) {
+      obs::Histogram::Get("serve.batch_size")
+          ->Record(static_cast<double>(slice.size()));
+    }
+    // Contiguous request runs execute as one coalesced engine batch;
+    // control items (cold flush) run in order between them.
+    size_t i = 0;
+    while (i < slice.size()) {
+      if (slice[i].kind == Item::Kind::kFlush) {
+        shard.engine->FlushColdSnapshots();
+        if (slice[i].cell != nullptr) {
+          // Notify under the lock (see Deliver): the cell dies with the
+          // waiter the moment wait() observes done.
+          std::lock_guard<std::mutex> lock(slice[i].cell->mu);
+          slice[i].cell->done = true;
+          slice[i].cell->cv.notify_all();
+        }
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      std::vector<ServeRequest> requests;
+      while (j < slice.size() && slice[j].kind == Item::Kind::kRequest) {
+        requests.push_back(std::move(slice[j].request));
+        ++j;
+      }
+      std::vector<ServeResponse> responses = shard.engine->ExecuteBatch(requests);
+      for (size_t k = i; k < j; ++k) {
+        Deliver(slice[k], std::move(responses[k - i]));
+      }
+      i = j;
+    }
+    slice.clear();
+  }
+}
+
+}  // namespace serve
+}  // namespace kt

@@ -1,0 +1,148 @@
+// Sharded serving engine: N single-threaded InferenceEngines behind
+// student-hash routing.
+//
+// The engine is not thread-safe, so the original server put ONE engine
+// behind ONE dispatcher thread (serve/batcher.h) and scaled only the
+// model-internal parallelism. A ShardSet instead runs N engines, each
+// owned by its own worker thread with its own SessionStore slice
+// (budget/N) and its own coalescing loop, all sharing the read-only model
+// weights. Requests route by FNV-1a(student) % N, so a student's whole
+// session — neural state, history, cold-tier snapshot — lives on exactly
+// one shard and per-student operation order is preserved; `stats`
+// broadcasts to every shard and sums.
+//
+// Bit-identity across shard counts: predictions depend only on the
+// student's own chain (every stacked GEMM row is an independent
+// accumulator), and eviction differences between shard layouts only
+// change WHEN a state is rebuilt, never the rebuilt bits. So `--shards 8`
+// serves bitwise the same predictions as `--shards 1` on the same
+// traffic; scripts/check_scenarios.sh gates on exactly that.
+//
+// Producers are either the epoll reactor (SubmitAsync: non-blocking
+// hand-off, reply delivered to the sink from the shard thread, already
+// serialized) or the stdio front end and tests (SubmitSync: blocks for
+// the ServeResponse).
+#ifndef KT_SERVE_SHARD_H_
+#define KT_SERVE_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rckt/rckt_model.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+
+namespace kt {
+namespace serve {
+
+struct ShardSetOptions {
+  int shards = 1;
+  // Per-shard coalescing knobs (max_batch slice size, max_wait_us poll for
+  // stragglers). max_queue is enforced upstream by the reactor's
+  // per-connection in-flight cap, not here.
+  BatcherOptions batcher;
+  // engine.session_budget_bytes is the TOTAL across shards; each shard
+  // gets an equal slice. cold_dir (if set) is shared: snapshots are keyed
+  // by student, and a student only ever belongs to one shard.
+  EngineOptions engine;
+};
+
+class ShardSet {
+ public:
+  // Replies for SubmitAsync: called on a shard worker thread with the
+  // caller's tag and the serialized JSON response line (no newline).
+  using Sink = std::function<void(uint64_t tag, std::string line)>;
+
+  // Spins up the shard workers. `concept_data`, when given, seeds each
+  // shard's question->concepts fallback map.
+  ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
+           const data::Dataset* concept_data);
+  ~ShardSet();
+
+  // The routing function, exposed for tests and capacity planning:
+  // FNV-1a 64 of the student id, mod `shards`.
+  static uint32_t ShardFor(std::string_view student, uint32_t shards);
+  uint32_t shard_for(std::string_view student) const;
+
+  // Must be set before the first SubmitAsync and not changed after.
+  void set_sink(Sink sink);
+
+  // Non-blocking: enqueues on the owning shard (kStats: on every shard,
+  // sink fires once with the summed payload). The sink receives `tag`.
+  void SubmitAsync(ServeRequest request, uint64_t tag);
+
+  // Blocking: executes on the owning shard's thread, returns the result.
+  ServeResponse SubmitSync(const ServeRequest& request);
+
+  // Runs InferenceEngine::FlushColdSnapshots on every shard (on the shard
+  // threads, synchronously) — the graceful-shutdown warm-restart hook.
+  void FlushColdSnapshots();
+
+  // Drains all queues and joins the workers (idempotent; ~ShardSet calls
+  // it). SubmitAsync/SubmitSync after Stop return an error response.
+  void Stop();
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  // Test access to a shard's engine. Only safe while no traffic is in
+  // flight (the engines themselves are single-threaded).
+  InferenceEngine& engine(int shard) { return *shards_[shard]->engine; }
+
+ private:
+  struct SyncCell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResponse response;
+  };
+
+  // Cross-shard sum for one kStats request.
+  struct StatsAgg {
+    std::mutex mu;
+    int remaining = 0;
+    ServeResponse acc;
+    uint64_t tag = 0;
+    // Set for SubmitSync(stats): deliver here instead of the sink.
+    SyncCell* cell = nullptr;
+  };
+
+  struct Item {
+    enum class Kind { kRequest, kFlush };
+    Kind kind = Kind::kRequest;
+    ServeRequest request;
+    uint64_t tag = 0;
+    SyncCell* cell = nullptr;             // blocking submit
+    std::shared_ptr<StatsAgg> agg;        // cross-shard stats
+  };
+
+  struct Shard {
+    std::unique_ptr<InferenceEngine> engine;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Item> queue;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard& shard);
+  void Enqueue(Shard& shard, Item item);
+  void Deliver(const Item& item, ServeResponse response);
+
+  ShardSetOptions options_;
+  Sink sink_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_SHARD_H_

@@ -1,0 +1,477 @@
+// Tests for the sharded serving engine (serve/shard.h) and the cold
+// session tier (serve/coldtier.h).
+//
+// The contracts under test:
+//   * routing is a pure function of the student id, so a student's whole
+//     session lives on exactly one shard;
+//   * `stats` summed across shards equals the single-shard numbers;
+//   * predictions at any shard count are bitwise identical to one shard;
+//   * a cold-tier reload is bitwise identical to the replay rebuild it
+//     replaces (for every encoder), and a warm restart resumes sessions
+//     from disk without replaying — including after an unflushed teardown
+//     (the kill -9 case: eviction-time snapshots are atomic and durable).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "data/simulator.h"
+#include "rckt/encoders.h"
+#include "rckt/rckt_model.h"
+#include "serve/coldtier.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+uint32_t Bits(float f) {
+  uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+data::Dataset TinyDataset() {
+  data::SimulatorConfig config;
+  config.num_students = 12;
+  config.num_questions = 25;
+  config.num_concepts = 4;
+  config.min_responses = 10;
+  config.max_responses = 18;
+  config.seed = 9;
+  data::StudentSimulator sim(config);
+  return sim.Generate();
+}
+
+rckt::RcktConfig SmallConfig(rckt::EncoderKind kind) {
+  rckt::RcktConfig config;
+  config.encoder = kind;
+  config.dim = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.seed = 4;
+  return config;
+}
+
+ServeRequest Predict(const std::string& student, int64_t question) {
+  ServeRequest r;
+  r.op = Op::kPredict;
+  r.student = student;
+  r.question = question;
+  r.has_concepts = true;
+  r.concepts = {question % 4};
+  return r;
+}
+
+ServeRequest Update(const std::string& student, int64_t question,
+                    int response) {
+  ServeRequest r = Predict(student, question);
+  r.op = Op::kUpdate;
+  r.response = response;
+  return r;
+}
+
+std::string MakeTempDir() {
+  std::string path = ::testing::TempDir() + "kt_cold_XXXXXX";
+  EXPECT_NE(::mkdtemp(path.data()), nullptr);
+  return path;
+}
+
+// Deterministic mixed traffic over `num_students` synthetic students:
+// interleaved updates and predicts driven by a fixed LCG.
+std::vector<ServeRequest> MixedTraffic(int num_students, int steps) {
+  std::vector<ServeRequest> out;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto next = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 33;
+  };
+  for (int i = 0; i < steps; ++i) {
+    const std::string student = "s" + std::to_string(next() % num_students);
+    const int64_t question = static_cast<int64_t>(next() % 25);
+    if (next() % 3 == 0) {
+      out.push_back(Predict(student, question));
+    } else {
+      out.push_back(Update(student, question, static_cast<int>(next() % 2)));
+    }
+  }
+  return out;
+}
+
+// ---- routing ----
+
+TEST(ShardRoutingTest, IsDeterministicAndInRange) {
+  for (uint32_t shards : {1u, 2u, 8u, 13u}) {
+    for (int i = 0; i < 100; ++i) {
+      const std::string student = "student-" + std::to_string(i);
+      const uint32_t shard = ShardSet::ShardFor(student, shards);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, ShardSet::ShardFor(student, shards))
+          << "routing must be a pure function of the id";
+    }
+  }
+  // The hash must actually spread students (no degenerate constant).
+  std::vector<int> hit(8, 0);
+  for (int i = 0; i < 256; ++i) {
+    ++hit[ShardSet::ShardFor("u" + std::to_string(i), 8)];
+  }
+  for (int shard = 0; shard < 8; ++shard) {
+    EXPECT_GT(hit[shard], 0) << "shard " << shard << " never selected";
+  }
+}
+
+TEST(ShardSetTest, EachStudentLivesOnExactlyItsHashShard) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  ShardSetOptions options;
+  options.shards = 4;
+  options.engine.num_questions = ds.num_questions;
+  options.engine.num_concepts = ds.num_concepts;
+  ShardSet shards(model, options, nullptr);
+  for (int i = 0; i < 16; ++i) {
+    const std::string student = "st" + std::to_string(i);
+    ASSERT_TRUE(shards.SubmitSync(Update(student, i % 25, i % 2)).ok);
+  }
+  shards.Stop();
+  for (int i = 0; i < 16; ++i) {
+    const std::string student = "st" + std::to_string(i);
+    const uint32_t owner = shards.shard_for(student);
+    for (int shard = 0; shard < 4; ++shard) {
+      // Find() is non-const (it does not touch LRU order, but the store
+      // only hands out mutable sessions); tests may cast.
+      Session* found =
+          const_cast<SessionStore&>(shards.engine(shard).sessions())
+              .Find(student);
+      if (shard == static_cast<int>(owner)) {
+        EXPECT_NE(found, nullptr)
+            << student << " missing from its owning shard " << owner;
+      } else {
+        EXPECT_EQ(found, nullptr)
+            << student << " leaked onto shard " << shard;
+      }
+    }
+  }
+}
+
+// ---- cross-shard stats ----
+
+TEST(ShardSetTest, StatsSumAcrossShardsMatchesSingleShard) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  const std::vector<ServeRequest> traffic = MixedTraffic(10, 120);
+
+  auto run = [&](int num_shards) {
+    ShardSetOptions options;
+    options.shards = num_shards;
+    options.engine.num_questions = ds.num_questions;
+    options.engine.num_concepts = ds.num_concepts;
+    ShardSet shards(model, options, nullptr);
+    for (const ServeRequest& request : traffic) {
+      EXPECT_TRUE(shards.SubmitSync(request).ok);
+    }
+    ServeRequest stats;
+    stats.op = Op::kStats;
+    return shards.SubmitSync(stats);
+  };
+
+  const ServeResponse one = run(1);
+  const ServeResponse four = run(4);
+  EXPECT_TRUE(one.ok);
+  EXPECT_TRUE(four.ok);
+  EXPECT_EQ(one.sessions, four.sessions);
+  EXPECT_EQ(one.state_bytes, four.state_bytes)
+      << "per-session state bytes do not depend on the shard layout";
+  EXPECT_EQ(one.evictions, four.evictions);
+  EXPECT_GT(one.sessions, 0);
+}
+
+// ---- bitwise parity across shard counts ----
+
+TEST(ShardSetTest, PredictionsAreBitwiseIdenticalAcrossShardCounts) {
+  data::Dataset ds = TinyDataset();
+  for (const rckt::EncoderKind kind :
+       {rckt::EncoderKind::kDKT, rckt::EncoderKind::kSAKT}) {
+    rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(kind));
+    const std::vector<ServeRequest> traffic = MixedTraffic(8, 150);
+
+    auto run = [&](int num_shards) {
+      ShardSetOptions options;
+      options.shards = num_shards;
+      options.engine.num_questions = ds.num_questions;
+      options.engine.num_concepts = ds.num_concepts;
+      ShardSet shards(model, options, nullptr);
+      std::vector<uint32_t> bits;
+      for (const ServeRequest& request : traffic) {
+        const ServeResponse response = shards.SubmitSync(request);
+        EXPECT_TRUE(response.ok) << response.error;
+        if (request.op == Op::kPredict) bits.push_back(Bits(response.p));
+      }
+      return bits;
+    };
+
+    const std::vector<uint32_t> one = run(1);
+    const std::vector<uint32_t> eight = run(8);
+    ASSERT_FALSE(one.empty());
+    ASSERT_EQ(one.size(), eight.size());
+    EXPECT_EQ(one, eight) << rckt::EncoderKindName(kind)
+                          << ": sharded serving must be bitwise identical";
+  }
+}
+
+// ---- cold tier ----
+
+class ColdTierSuite : public ::testing::TestWithParam<rckt::EncoderKind> {};
+
+// Forcing the budget to one byte makes every AccountState evict all other
+// sessions, so each touch of a second student demotes the first.
+TEST_P(ColdTierSuite, ColdReloadIsBitIdenticalToReplayRebuild) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(GetParam()));
+
+  auto feed = [&](InferenceEngine& engine) {
+    for (int step = 0; step < 6; ++step) {
+      for (const char* student : {"a", "b"}) {
+        ASSERT_TRUE(
+            engine.Execute(Update(student, (step * 5) % 25, step % 2)).ok);
+      }
+    }
+  };
+
+  // Reference: roomy budget, nothing ever evicted.
+  EngineOptions reference_options;
+  reference_options.num_questions = ds.num_questions;
+  reference_options.num_concepts = ds.num_concepts;
+  InferenceEngine reference(model, reference_options);
+  feed(reference);
+  const ServeResponse want = reference.Execute(Predict("a", 7));
+  ASSERT_TRUE(want.ok);
+
+  // Replay path: 1-byte budget, no cold tier -> every touch rebuilds.
+  EngineOptions replay_options = reference_options;
+  replay_options.session_budget_bytes = 1;
+  InferenceEngine replayer(model, replay_options);
+  feed(replayer);
+  const ServeResponse via_replay = replayer.Execute(Predict("a", 7));
+  ASSERT_TRUE(via_replay.ok);
+  EXPECT_GT(replayer.replays(), 0);
+  EXPECT_EQ(replayer.cold_loads(), 0);
+
+  // Cold path: same 1-byte budget, but eviction demotes to disk.
+  EngineOptions cold_options = replay_options;
+  cold_options.cold_dir = MakeTempDir();
+  InferenceEngine cold(model, cold_options);
+  feed(cold);
+  const ServeResponse via_cold = cold.Execute(Predict("a", 7));
+  ASSERT_TRUE(via_cold.ok);
+  EXPECT_GT(cold.cold_loads(), 0) << "evictions never reloaded from disk";
+
+  EXPECT_EQ(Bits(want.p), Bits(via_replay.p))
+      << rckt::EncoderKindName(GetParam()) << ": replay rebuild diverged";
+  EXPECT_EQ(Bits(want.p), Bits(via_cold.p))
+      << rckt::EncoderKindName(GetParam())
+      << ": cold-tier reload is not bit-identical to the replay rebuild";
+}
+
+TEST_P(ColdTierSuite, WarmRestartResumesSessionsWithoutReplay) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(GetParam()));
+  const std::string cold_dir = MakeTempDir();
+
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  options.cold_dir = cold_dir;
+
+  ServeRequest explain = Predict("y", 11);
+  explain.op = Op::kExplain;
+
+  ServeResponse want;
+  ServeResponse want_explained;
+  {
+    InferenceEngine first(model, options);
+    for (int step = 0; step < 5; ++step) {
+      for (const char* student : {"x", "y", "z"}) {
+        ASSERT_TRUE(
+            first.Execute(Update(student, (step * 3) % 25, step % 2)).ok);
+      }
+    }
+    want = first.Execute(Predict("y", 11));
+    ASSERT_TRUE(want.ok);
+    want_explained = first.Execute(explain);
+    ASSERT_TRUE(want_explained.ok) << want_explained.error;
+    // Graceful shutdown: persist the resident sessions.
+    first.FlushColdSnapshots();
+  }
+
+  InferenceEngine second(model, options);
+  const ServeResponse got = second.Execute(Predict("y", 11));
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(Bits(want.p), Bits(got.p))
+      << rckt::EncoderKindName(GetParam())
+      << ": restarted server diverged from the one that never stopped";
+  EXPECT_EQ(got.history, want.history) << "history not restored";
+  EXPECT_EQ(second.replays(), 0)
+      << "warm restart must resume from snapshots, not replay";
+  EXPECT_GT(second.cold_loads(), 0);
+
+  // The adopted history also powers explain after the restart, and the
+  // full influence breakdown matches the never-restarted engine bitwise.
+  const ServeResponse explained = second.Execute(explain);
+  ASSERT_TRUE(explained.ok) << explained.error;
+  ASSERT_EQ(explained.influence.size(), want_explained.influence.size());
+  for (size_t i = 0; i < explained.influence.size(); ++i) {
+    EXPECT_EQ(Bits(explained.influence[i]), Bits(want_explained.influence[i]))
+        << "influence[" << i << "] diverged after restart";
+  }
+}
+
+// The kill -9 case: eviction-time snapshots commit atomically, so state
+// demoted before the crash survives even though nothing was flushed.
+TEST_P(ColdTierSuite, UnflushedTeardownStillRecoversEvictedSessions) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(GetParam()));
+  const std::string cold_dir = MakeTempDir();
+
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  options.session_budget_bytes = 1;  // evict (= snapshot) on every touch
+  options.cold_dir = cold_dir;
+
+  ServeResponse want;
+  {
+    InferenceEngine first(model, options);
+    for (int step = 0; step < 4; ++step) {
+      ASSERT_TRUE(first.Execute(Update("victim", step * 2, 1)).ok);
+      ASSERT_TRUE(first.Execute(Update("other", step * 2 + 1, 0)).ok);
+    }
+    want = first.Execute(Predict("victim", 9));
+    ASSERT_TRUE(want.ok);
+    // No FlushColdSnapshots: the engine just goes away, like a SIGKILL.
+    // "victim"'s state was snapshotted when "other"'s updates evicted it.
+  }
+
+  EngineOptions fresh = options;
+  fresh.session_budget_bytes = 0;  // roomy restart
+  InferenceEngine second(model, fresh);
+  const ServeResponse got = second.Execute(Predict("victim", 9));
+  ASSERT_TRUE(got.ok);
+  EXPECT_GT(second.cold_loads(), 0);
+  EXPECT_EQ(second.replays(), 0);
+  EXPECT_EQ(Bits(want.p), Bits(got.p))
+      << rckt::EncoderKindName(GetParam())
+      << ": post-crash recovery diverged from pre-crash state";
+}
+
+TEST_P(ColdTierSuite, ResetErasesTheSnapshotWithTheSession) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(GetParam()));
+
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  options.cold_dir = MakeTempDir();
+
+  {
+    InferenceEngine first(model, options);
+    ASSERT_TRUE(first.Execute(Update("gone", 3, 1)).ok);
+    first.FlushColdSnapshots();
+    ServeRequest reset;
+    reset.op = Op::kReset;
+    reset.student = "gone";
+    ASSERT_TRUE(first.Execute(reset).ok);
+  }
+
+  InferenceEngine second(model, options);
+  const ServeResponse got = second.Execute(Predict("gone", 3));
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.history, 0)
+      << "a reset student's snapshot must not resurrect its history";
+  EXPECT_EQ(second.cold_loads(), 0);
+}
+
+TEST(ColdTierTest, StaleSnapshotWithDivergentHistoryIsDropped) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  const std::string cold_dir = MakeTempDir();
+  ColdTier tier(cold_dir, model.bi_encoder(), model.config().encoder,
+                model.config().dim, model.config().num_layers);
+
+  // Build a real session through the engine so the stream is live.
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+  ASSERT_TRUE(engine.Execute(Update("s", 1, 1)).ok);
+  Session* live = const_cast<SessionStore&>(engine.sessions()).Find("s");
+  ASSERT_NE(live, nullptr);
+  ASSERT_TRUE(tier.Save(*live));
+
+  // A session whose live history disagrees with the snapshot must miss,
+  // and the stale file must be deleted so it cannot resurface.
+  Session divergent;
+  divergent.id = "s";
+  divergent.history.push_back(data::Interaction{2, 0, {1}});
+  EXPECT_FALSE(tier.Load(&divergent));
+  EXPECT_EQ(divergent.stream, nullptr);
+
+  Session empty;
+  empty.id = "s";
+  EXPECT_FALSE(tier.Load(&empty)) << "stale snapshot was not deleted";
+}
+
+TEST(ColdTierTest, SchemaMismatchIsAMissNotState) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kGRU));
+  const std::string cold_dir = MakeTempDir();
+
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+  ASSERT_TRUE(engine.Execute(Update("s", 1, 1)).ok);
+  Session* live = const_cast<SessionStore&>(engine.sessions()).Find("s");
+  ASSERT_NE(live, nullptr);
+
+  ColdTier writer(cold_dir, model.bi_encoder(), model.config().encoder,
+                  model.config().dim, model.config().num_layers);
+  ASSERT_TRUE(writer.Save(*live));
+
+  // Same directory read back under a different declared shape.
+  ColdTier wrong_kind(cold_dir, model.bi_encoder(), rckt::EncoderKind::kAKT,
+                      model.config().dim, model.config().num_layers);
+  Session restored;
+  restored.id = "s";
+  EXPECT_FALSE(wrong_kind.Load(&restored));
+
+  ColdTier wrong_dim(cold_dir, model.bi_encoder(), model.config().encoder,
+                     model.config().dim * 2, model.config().num_layers);
+  EXPECT_FALSE(wrong_dim.Load(&restored));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, ColdTierSuite,
+                         ::testing::Values(rckt::EncoderKind::kDKT,
+                                           rckt::EncoderKind::kGRU,
+                                           rckt::EncoderKind::kSAKT,
+                                           rckt::EncoderKind::kAKT),
+                         [](const auto& info) {
+                           return std::string(
+                               rckt::EncoderKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace serve
+}  // namespace kt

@@ -92,18 +92,18 @@ int ConnectLoopback(int port) {
 // A live TCP server over a tiny model, torn down via the shutdown op.
 class TransportServer {
  public:
-  explicit TransportServer(size_t max_line_bytes = kDefaultMaxLineBytes)
+  explicit TransportServer(size_t max_line_bytes = kDefaultMaxLineBytes,
+                           int shards = 1)
       : ds_(TinyDataset()),
         model_(ds_.num_questions, ds_.num_concepts, SmallConfig()) {
-    EngineOptions eo;
-    eo.num_questions = ds_.num_questions;
-    eo.num_concepts = ds_.num_concepts;
-    engine_ = std::make_unique<InferenceEngine>(model_, eo);
     port_ = PickFreePort();
     ServerOptions so;
     so.port = port_;
+    so.shards = shards;
     so.max_line_bytes = max_line_bytes;
-    thread_ = std::thread([this, so] { RunServer(*engine_, so); });
+    so.engine.num_questions = ds_.num_questions;
+    so.engine.num_concepts = ds_.num_concepts;
+    thread_ = std::thread([this, so] { RunServer(model_, so); });
     // The listener comes up asynchronously; poll until it accepts.
     for (int i = 0; i < 200 && !Ping(); ++i)
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -115,7 +115,8 @@ class TransportServer {
   }
 
   int port() const { return port_; }
-  // The RunServer (accept-loop) thread, for targeted signal delivery.
+  // The RunServer (reactor event-loop) thread, for targeted signal
+  // delivery.
   pthread_t accept_thread() { return thread_.native_handle(); }
 
   bool Ping() {
@@ -135,7 +136,6 @@ class TransportServer {
  private:
   data::Dataset ds_;
   rckt::RCKT model_;
-  std::unique_ptr<InferenceEngine> engine_;
   int port_ = 0;
   std::thread thread_;
 };

@@ -29,7 +29,9 @@
 //           the JSON report carries p50/p99 at bucket resolution without
 //           per-request storage. The report's traffic_fnv64 digests the
 //           generated stream: equal across runs iff the scenario is
-//           seed-deterministic.
+//           seed-deterministic. pred_fnv64 digests the server's predict
+//           probabilities the same way, so two servers (e.g. --shards 1
+//           vs --shards 8) can be compared for bitwise parity.
 //
 // All modes print a one-line JSON summary to stdout (schemas in
 // src/serve/loadgen.h; `obs_check scenario` validates and gates the
@@ -329,7 +331,7 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
   std::mutex mu;
   std::vector<std::string> failures;
   serve::RollingAuc merged_auc(auc_window);
-  uint64_t traffic_fnv64 = 0;
+  uint64_t traffic_fnv64 = 0, pred_fnv64 = 0;
   int64_t interactions = 0, predictions = 0;
   std::vector<std::thread> workers;
   const auto start = std::chrono::steady_clock::now();
@@ -347,7 +349,7 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
       // partition, so the merged AUC and XORed digest are reproducible for
       // a fixed --connections (and the digest for ANY --connections).
       serve::RollingAuc local_auc(auc_window);
-      uint64_t local_fnv = 0;
+      uint64_t local_fnv = 0, local_pred_fnv = 0;
       int64_t local_interactions = 0, local_predictions = 0;
       std::string response;
       for (int64_t s = w; s < students; s += num_workers) {
@@ -356,6 +358,7 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
         const std::string student =
             config.name + "-s" + std::to_string(s);
         uint64_t h = serve::kFnvOffset;
+        uint64_t ph = serve::kFnvOffset;  // this student's prediction bits
         for (const auto& it : seq.interactions) {
           const auto t0 = std::chrono::steady_clock::now();
           if (!client.RoundTrip(
@@ -376,8 +379,9 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
             return;
           }
           ++local_predictions;
-          local_auc.Add(static_cast<float>(reply.GetNumber("p", NAN)),
-                        it.response);
+          const float p = static_cast<float>(reply.GetNumber("p", NAN));
+          local_auc.Add(p, it.response);
+          ph = serve::FnvMixU64(ph, serve::FloatBits(p));
 
           const auto t2 = std::chrono::steady_clock::now();
           if (!client.RoundTrip(serve::UpdateLine(student, it.question,
@@ -395,10 +399,12 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
                                        it.response);
         }
         local_fnv ^= h;
+        local_pred_fnv ^= ph;
       }
       std::lock_guard<std::mutex> lock(mu);
       merged_auc.Merge(local_auc);
       traffic_fnv64 ^= local_fnv;
+      pred_fnv64 ^= local_pred_fnv;
       interactions += local_interactions;
       predictions += local_predictions;
     });
@@ -437,6 +443,7 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
   summary.update_p99_us = update_snap.Percentile(0.99);
   summary.update_mean_us = update_snap.Mean();
   summary.traffic_fnv64 = traffic_fnv64;
+  summary.pred_fnv64 = pred_fnv64;
   std::printf("%s\n", serve::ScenarioSummaryJson(summary).c_str());
   return 0;
 }

@@ -20,9 +20,9 @@
 //   explain   --data data.csv --load model.ktw
 //             [--student I] [--target T]
 //             Print the influence breakdown behind one prediction.
-//   serve     --load model.ktw [--data data.csv] [--port P]
+//   serve     --load model.ktw [--data data.csv] [--port P] [--shards N]
 //             [--max-batch N] [--max-wait-us U] [--max-queue Q]
-//             [--memory-budget-mb M]
+//             [--memory-budget-mb M] [--cold-dir DIR]
 //             Online inference server speaking newline-delimited JSON over
 //             stdin/stdout (default) or TCP on 127.0.0.1:P (--port). The
 //             optional --data seeds the question->concepts fallback map for
@@ -381,26 +381,28 @@ int CmdServe(const FlagParser& flags) {
       LoadModelAuto(flags, have_data ? &loaded.windows : nullptr, &rc);
   if (model == nullptr) return rc;
 
-  serve::EngineOptions engine_options;
-  engine_options.session_budget_bytes =
-      static_cast<size_t>(flags.GetInt("memory-budget-mb", 64)) << 20;
-  engine_options.num_questions =
-      model->embedder().question_embedding().num_embeddings();
-  engine_options.num_concepts =
-      model->embedder().concept_embedding().num_embeddings();
-  serve::InferenceEngine engine(*model, engine_options);
-  if (have_data) engine.LoadConceptMap(loaded.windows);
-
   serve::ServerOptions server_options;
   server_options.port = static_cast<int>(flags.GetInt("port", 0));
+  server_options.shards = static_cast<int>(flags.GetInt("shards", 1));
+  KT_CHECK(server_options.shards >= 1 && server_options.shards <= 64)
+      << "--shards must be in [1, 64]";
+  server_options.engine.session_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget-mb", 64)) << 20;
+  server_options.engine.num_questions =
+      model->embedder().question_embedding().num_embeddings();
+  server_options.engine.num_concepts =
+      model->embedder().concept_embedding().num_embeddings();
+  server_options.engine.cold_dir = flags.GetString("cold-dir", "");
   server_options.batcher.max_batch = flags.GetInt("max-batch", 16);
   server_options.batcher.max_wait_us = flags.GetInt("max-wait-us", 1000);
   server_options.batcher.max_queue = flags.GetInt("max-queue", 256);
   if (server_options.port > 0) {
-    std::fprintf(stderr, "ktcli serve: %s on 127.0.0.1:%d\n",
-                 model->name().c_str(), server_options.port);
+    std::fprintf(stderr, "ktcli serve: %s on 127.0.0.1:%d (%d shards)\n",
+                 model->name().c_str(), server_options.port,
+                 server_options.shards);
   }
-  return serve::RunServer(engine, server_options);
+  return serve::RunServer(*model, server_options,
+                          have_data ? &loaded.windows : nullptr);
 }
 
 int Main(int argc, char** argv) {
