@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Accuracy-parity gate for the low-precision serve path (--precision).
+#
+# For every paper-dataset preset (assist09, assist12, slepemapy, eedi):
+#
+#   1. Simulates a small dataset, trains a tiny fp32 model, and scores
+#      every prefix sample offline with `ktcli evaluate --json`.
+#   2. Serves the model at fp32 and replays the dataset: every online
+#      probability must match the offline generator score BIT FOR BIT
+#      (the low-precision machinery must leave the default path alone).
+#   3. Serves the same model with --precision bf16 and again with
+#      --precision int8 (int8 calibrates activation scales from --data at
+#      startup), replaying with --expect-tol: probabilities must stay
+#      within the tolerance of fp32, and the online AUC must match the
+#      fp32 AUC to within 1e-3 — quantization may not cost accuracy.
+#
+# Finally one fp32 scenario run checks pred_fnv64 is identical between a
+# 1-shard and a 4-shard server, pinning the fp32 digest contract that
+# scripts/check_scenarios.sh gates in depth.
+#
+# Usage: scripts/check_precision.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+PORT="${KT_PRECISION_PORT:-19879}"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" --target ktcli kt_loadgen -j "$(nproc)"
+
+KTCLI="${BUILD_DIR}/tools/ktcli"
+LOADGEN="${BUILD_DIR}/tools/kt_loadgen"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+json_field() {  # json_field FILE KEY -> value (number or bare string)
+  sed -n "s/.*\"$2\":\"\\{0,1\\}\\([^,\"}]*\\)\"\\{0,1\\}.*/\\1/p" "$1"
+}
+
+start_server() {  # start_server MODEL DATA EXTRA_FLAGS...
+  local model="$1" data="$2"
+  shift 2
+  "${KTCLI}" serve --load "${model}" --data "${data}" --port "${PORT}" \
+    --threads 2 --max-batch 8 --max-wait-us 500 "$@" &
+  SERVER_PID=$!
+  for _ in $(seq 100); do
+    if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+         --requests 1 >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: server did not come up" >&2
+  return 1
+}
+
+stop_server() {
+  kill "${SERVER_PID}" 2>/dev/null || true
+  wait "${SERVER_PID}" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+auc_close() {  # auc_close A B -> asserts |A - B| < 1e-3
+  awk -v a="$1" -v b="$2" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d < 1e-3) }'
+}
+
+for PRESET in assist09 assist12 slepemapy eedi; do
+  echo "== ${PRESET}: train fp32, serve fp32/bf16/int8 =="
+  DATA="${WORK}/${PRESET}.csv"
+  MODEL="${WORK}/${PRESET}.ktw"
+  "${KTCLI}" simulate --preset "${PRESET}" --scale 0.03 --seed 11 \
+    --out "${DATA}"
+  "${KTCLI}" train --data "${DATA}" --encoder dkt --dim 16 --epochs 2 \
+    --verbose false --save "${MODEL}"
+  "${KTCLI}" evaluate --data "${DATA}" --load "${MODEL}" --threads 1 \
+    --json > "${WORK}/${PRESET}_offline.json"
+
+  # fp32: the default path must still be bit-for-bit with the offline
+  # scorer — the low-precision machinery may not perturb it.
+  start_server "${MODEL}" "${DATA}" --precision fp32
+  "${LOADGEN}" --port "${PORT}" --data "${DATA}" \
+    --expect "${WORK}/${PRESET}_offline.json" --connections 4 \
+    > "${WORK}/${PRESET}_fp32.json"
+  stop_server
+  grep -q '"mismatches":0' "${WORK}/${PRESET}_fp32.json"
+  grep -q '"missing":0' "${WORK}/${PRESET}_fp32.json"
+  AUC_FP32="$(json_field "${WORK}/${PRESET}_fp32.json" auc)"
+
+  for PRECISION in bf16 int8; do
+    # Tolerance on the per-prediction probability error: the bf16 head is
+    # good to ~1e-4 and int8 to ~1e-3 on these shapes; 10x slack keeps the
+    # gate meaningful without flaking.
+    TOL=0.001
+    [[ "${PRECISION}" == "int8" ]] && TOL=0.01
+    start_server "${MODEL}" "${DATA}" --precision "${PRECISION}"
+    "${LOADGEN}" --port "${PORT}" --data "${DATA}" \
+      --expect "${WORK}/${PRESET}_offline.json" --expect-tol "${TOL}" \
+      --connections 4 > "${WORK}/${PRESET}_${PRECISION}.json"
+    stop_server
+    grep -q '"mismatches":0' "${WORK}/${PRESET}_${PRECISION}.json"
+    grep -q '"missing":0' "${WORK}/${PRESET}_${PRECISION}.json"
+    AUC_Q="$(json_field "${WORK}/${PRESET}_${PRECISION}.json" auc)"
+    if ! auc_close "${AUC_Q}" "${AUC_FP32}"; then
+      echo "FAIL: ${PRESET} ${PRECISION} AUC ${AUC_Q} drifted from" \
+           "fp32 AUC ${AUC_FP32} (>= 1e-3)" >&2
+      exit 1
+    fi
+    echo "   ${PRECISION}: AUC ${AUC_Q} vs fp32 ${AUC_FP32}," \
+         "max_abs_err $(json_field "${WORK}/${PRESET}_${PRECISION}.json" \
+                        max_abs_err)"
+  done
+done
+
+echo "== fp32 scenario digest: 1 shard vs 4 shards =="
+DATA="${WORK}/assist09.csv"
+MODEL="${WORK}/assist09.ktw"
+for SHARDS in 1 4; do
+  start_server "${MODEL}" "${DATA}" --precision fp32 --shards "${SHARDS}"
+  "${LOADGEN}" --port "${PORT}" --mode scenario --scenario cold_start \
+    --students 40 --connections 2 \
+    > "${WORK}/scenario_${SHARDS}.json"
+  stop_server
+done
+PRED1="$(json_field "${WORK}/scenario_1.json" pred_fnv64)"
+PRED4="$(json_field "${WORK}/scenario_4.json" pred_fnv64)"
+[[ -n "${PRED1}" && "${PRED1}" == "${PRED4}" ]] || {
+  echo "FAIL: fp32 pred_fnv64 ${PRED4} (4 shards) != ${PRED1} (1 shard)" >&2
+  exit 1
+}
+echo "   pred_fnv64 ${PRED1} identical across shard counts"
+
+echo "OK: low-precision serving holds AUC parity; fp32 path is untouched"

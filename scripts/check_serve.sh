@@ -160,4 +160,9 @@ if [[ "${KT_SERVE_TSAN:-1}" != "0" ]]; then
   echo "   TSan run clean: no races, graceful shutdown, parity held"
 fi
 
+if [[ "${KT_SERVE_PRECISION:-1}" != "0" ]]; then
+  echo "== low-precision serve path (scripts/check_precision.sh) =="
+  scripts/check_precision.sh "${BUILD_DIR}"
+fi
+
 echo "OK: online serving is bit-identical to offline evaluation"

@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_set>
 #include <utility>
@@ -40,6 +41,11 @@ InferenceEngine::InferenceEngine(rckt::RCKT& model, EngineOptions options)
       options_(std::move(options)),
       dim_(model.config().dim),
       store_(options_.session_budget_bytes) {
+  if (options_.precision != Precision::kFp32) {
+    lowp_head_ = std::make_unique<LowpHead>(options_.precision,
+                                            model_.mlp_hidden(),
+                                            model_.mlp_out());
+  }
   if (!options_.cold_dir.empty()) {
     cold_ = std::make_unique<ColdTier>(
         options_.cold_dir, model_.bi_encoder(), model_.config().encoder,
@@ -57,6 +63,66 @@ void InferenceEngine::LoadConceptMap(const data::Dataset& dataset) {
       concept_map_.emplace(interaction.question, interaction.concepts);
     }
   }
+}
+
+bool InferenceEngine::lowp_active() const {
+  return lowp_head_ != nullptr && lowp_head_->calibrated();
+}
+
+void InferenceEngine::CalibrateLowp(const data::Dataset& dataset,
+                                    int64_t max_rows) {
+  if (lowp_head_ == nullptr || lowp_head_->calibrated()) return;
+  ag::NoGradGuard no_grad;
+  // Harvest real predict-head inputs: for each prefix position t of a
+  // sequence, the row the head would see is concat(f_{t-1}, e_t) — the
+  // exact construction PredictInputRow performs online. Sequences are
+  // visited in dataset order and capped per sequence so the sample spans
+  // many students; the whole procedure is deterministic.
+  constexpr int64_t kRowsPerSequence = 16;
+  std::vector<Tensor> rows;
+  for (const auto& sequence : dataset.sequences) {
+    if (static_cast<int64_t>(rows.size()) >= max_rows) break;
+    const int64_t n = static_cast<int64_t>(sequence.interactions.size());
+    if (n <= 0) continue;
+    std::vector<int64_t> questions(static_cast<size_t>(n));
+    std::vector<int64_t> categories(static_cast<size_t>(n));
+    std::vector<std::vector<int64_t>> bags(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& interaction = sequence.interactions[static_cast<size_t>(i)];
+      questions[static_cast<size_t>(i)] = interaction.question;
+      categories[static_cast<size_t>(i)] = interaction.response;
+      bags[static_cast<size_t>(i)] = interaction.concepts;
+    }
+    const ag::Variable e = model_.embedder().QuestionEmbedRows(questions, bags);
+    const ag::Variable r =
+        ag::EmbeddingLookup(model_.embedder().response_table(), categories);
+    const Tensor a = ag::Add(e, r).value().Reshape(Shape{1, n, dim_});
+    auto stream = model_.bi_encoder().NewForwardStream();
+    const Tensor f = model_.bi_encoder().ReplayForward(*stream, a);
+    const int64_t take = std::min<int64_t>(
+        {n, kRowsPerSequence, max_rows - static_cast<int64_t>(rows.size())});
+    for (int64_t t = 0; t < take; ++t) {
+      Tensor x(Shape{1, 2 * dim_});
+      if (t == 0) {
+        std::memset(x.data(), 0, static_cast<size_t>(dim_) * sizeof(float));
+      } else {
+        std::memcpy(x.data(), f.data() + (t - 1) * dim_,
+                    static_cast<size_t>(dim_) * sizeof(float));
+      }
+      std::memcpy(x.data() + dim_, e.value().data() + t * dim_,
+                  static_cast<size_t>(dim_) * sizeof(float));
+      rows.push_back(std::move(x));
+    }
+  }
+  if (rows.empty()) return;
+  const int64_t k = static_cast<int64_t>(rows.size());
+  Tensor stacked(Shape{k, 2 * dim_});
+  for (int64_t j = 0; j < k; ++j) {
+    std::memcpy(stacked.data() + j * 2 * dim_,
+                rows[static_cast<size_t>(j)].data(),
+                static_cast<size_t>(2 * dim_) * sizeof(float));
+  }
+  lowp_head_->CalibrateInt8(stacked);
 }
 
 const std::vector<int64_t>& InferenceEngine::ConceptsFor(
@@ -205,11 +271,18 @@ ServeResponse InferenceEngine::ExecutePredict(const ServeRequest& request) {
   EnsureStream(session);
   const Tensor x = PredictInputRow(session, request.question,
                                    ConceptsFor(request));
-  const ag::Variable mid =
-      model_.mlp_hidden().ForwardAct(ag::Constant(x), ag::Act::kRelu);
-  const ag::Variable p =
-      model_.mlp_out().ForwardAct(mid, ag::Act::kSigmoid);  // [1, 1]
-  response.p = p.value().flat(0);
+  if (lowp_active()) {
+    // Precision policy: the pure predict head may run below fp32; all
+    // state-bearing paths above stayed strict fp32.
+    BumpCounter("serve.lowp_predicts");
+    lowp_head_->Forward(x, &response.p);
+  } else {
+    const ag::Variable mid =
+        model_.mlp_hidden().ForwardAct(ag::Constant(x), ag::Act::kRelu);
+    const ag::Variable p =
+        model_.mlp_out().ForwardAct(mid, ag::Act::kSigmoid);  // [1, 1]
+    response.p = p.value().flat(0);
+  }
   response.history = static_cast<int64_t>(session.history.size());
   return response;
 }
@@ -328,6 +401,15 @@ void InferenceEngine::PredictRun(const std::vector<ServeRequest>& requests,
     std::memcpy(stacked.data() + j * 2 * dim_,
                 rows[static_cast<size_t>(j)].data(),
                 static_cast<size_t>(2 * dim_) * sizeof(float));
+  }
+  if (lowp_active()) {
+    BumpCounter("serve.lowp_predicts", k);
+    std::vector<float> probs(static_cast<size_t>(k));
+    lowp_head_->Forward(stacked, probs.data());
+    for (int64_t j = 0; j < k; ++j) {
+      (*out)[slots[static_cast<size_t>(j)]].p = probs[static_cast<size_t>(j)];
+    }
+    return;
   }
   const ag::Variable mid =
       model_.mlp_hidden().ForwardAct(ag::Constant(stacked), ag::Act::kRelu);

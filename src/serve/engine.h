@@ -30,6 +30,7 @@
 
 #include "rckt/rckt_model.h"
 #include "serve/coldtier.h"
+#include "serve/lowp_head.h"
 #include "serve/session.h"
 
 namespace kt {
@@ -82,6 +83,12 @@ struct EngineOptions {
   // the replay rebuild it replaces), and a restarted server resumes
   // snapshotted sessions — history included — without replay.
   std::string cold_dir;
+  // Serve precision policy (serve/lowp_head.h). Below fp32, ONLY the
+  // predict MLP head changes: update/replay/explain and all session state
+  // keep the bitwise fp32 contract. int8 additionally needs
+  // CalibrateLowp() with sample data before it takes effect; predicts
+  // fall back to fp32 until then.
+  Precision precision = Precision::kFp32;
 };
 
 // NOT thread-safe: one engine is driven by one thread (the micro-batcher's
@@ -93,6 +100,18 @@ class InferenceEngine {
 
   // Seeds the question->concepts fallback map (first occurrence wins).
   void LoadConceptMap(const data::Dataset& dataset);
+
+  // Static int8 activation calibration (no-op for fp32/bf16): harvests up
+  // to `max_rows` real predict-head input rows from the dataset (forward
+  // replay of sequence prefixes — the same math EnsureStream runs) and
+  // records per-tensor activation scales. Deterministic for a given
+  // dataset, so independently calibrated shards agree bit-for-bit.
+  void CalibrateLowp(const data::Dataset& dataset, int64_t max_rows = 256);
+
+  // The active precision, and whether predicts are actually served at it
+  // (int8 reports false until CalibrateLowp has run).
+  Precision precision() const { return options_.precision; }
+  bool lowp_active() const;
 
   ServeResponse Execute(const ServeRequest& request);
 
@@ -146,6 +165,7 @@ class InferenceEngine {
 
   rckt::RCKT& model_;
   EngineOptions options_;
+  std::unique_ptr<LowpHead> lowp_head_;  // null when precision is fp32
   int64_t dim_;
   SessionStore store_;
   std::unique_ptr<ColdTier> cold_;  // null when options_.cold_dir is empty

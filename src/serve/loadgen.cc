@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "eval/metrics.h"
@@ -127,7 +128,7 @@ Result<ExpectedPredictions> ParseExpectedPredictions(
 
 MismatchReport CheckPredictions(const PredictionMap& expected,
                                 const PredictionMap& got,
-                                int64_t max_details) {
+                                int64_t max_details, double tolerance) {
   MismatchReport report;
   report.compared = static_cast<int64_t>(expected.size());
   for (const auto& [key, want] : expected) {
@@ -136,7 +137,16 @@ MismatchReport CheckPredictions(const PredictionMap& expected,
       ++report.missing;
       continue;
     }
-    if (FloatBits(found->second) != FloatBits(want)) {
+    const double err = std::fabs(static_cast<double>(found->second) -
+                                 static_cast<double>(want));
+    if (std::isfinite(err)) report.max_abs_err =
+        std::max(report.max_abs_err, err);
+    // tolerance == 0 keeps the bitwise contract (it also catches
+    // sign-of-zero and NaN divergences a numeric compare would miss).
+    const bool bad = tolerance > 0.0 ? !(err <= tolerance)
+                                     : FloatBits(found->second) !=
+                                           FloatBits(want);
+    if (bad) {
       if (++report.mismatches <= max_details) {
         char line[160];
         std::snprintf(line, sizeof(line),
@@ -185,6 +195,9 @@ std::string ReplaySummaryJson(const ReplaySummary& s) {
   w.Key("compared").Int(s.check.compared);
   w.Key("mismatches").Int(s.check.mismatches);
   w.Key("missing").Int(s.check.missing);
+  w.Key("max_abs_err").Double(s.check.max_abs_err);
+  w.Key("auc").Double(s.auc);
+  w.Key("auc_samples").Int(s.auc_samples);
   w.Key("elapsed_s").Double(s.elapsed_s);
   w.Key("latency_p50_us").Double(s.latency.p50_us);
   w.Key("latency_p99_us").Double(s.latency.p99_us);

@@ -1,0 +1,124 @@
+#include "serve/lowp_head.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/logging.h"
+#include "tensor/gemm.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+// Same formulas as ag::ApplyAct (autograd/ops.cc) so the only deviation
+// from the fp32 head is the quantized GEMMs themselves.
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+inline float ReluF(float x) { return x > 0.0f ? x : 0.0f; }
+
+}  // namespace
+
+bool PrecisionByName(const std::string& name, Precision* out) {
+  if (name == "fp32") {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (name == "bf16") {
+    *out = Precision::kBf16;
+    return true;
+  }
+  if (name == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+LowpHead::LowpHead(Precision precision, const nn::Linear& hidden,
+                   const nn::Linear& out)
+    : precision_(precision),
+      in_(hidden.in_features()),
+      mid_(hidden.out_features()) {
+  KT_CHECK(precision != Precision::kFp32);
+  KT_CHECK_EQ(out.in_features(), mid_);
+  KT_CHECK_EQ(out.out_features(), 1);
+  const Tensor& w1 = hidden.weight().value();  // [2d, d]
+  const Tensor& w2 = out.weight().value();     // [d, 1]
+  bias1_.assign(hidden.bias().value().data(),
+                hidden.bias().value().data() + mid_);
+  bias2_.assign(out.bias().value().data(), out.bias().value().data() + 1);
+  if (precision_ == Precision::kBf16) {
+    w1_bf16_ = quant::PackBf16(w1.data(), in_, mid_);
+    w2_bf16_ = quant::PackBf16(w2.data(), mid_, 1);
+    calibrated_ = true;  // bf16 needs no activation statistics
+  } else {
+    w1_int8_ = quant::PackInt8(w1.data(), in_, mid_);
+    w2_int8_ = quant::PackInt8(w2.data(), mid_, 1);
+    // Kept only until CalibrateInt8 has observed the fp32 hidden range.
+    w1_fp32_.assign(w1.data(), w1.data() + in_ * mid_);
+  }
+}
+
+void LowpHead::HiddenEpilogue(float* hidden, int64_t k) const {
+  for (int64_t i = 0; i < k; ++i) {
+    float* row = hidden + i * mid_;
+    for (int64_t j = 0; j < mid_; ++j) row[j] = ReluF(row[j] + bias1_[j]);
+  }
+}
+
+void LowpHead::OutEpilogue(const float* logits, int64_t k,
+                           float* probs) const {
+  for (int64_t i = 0; i < k; ++i) probs[i] = SigmoidF(logits[i] + bias2_[0]);
+}
+
+void LowpHead::Forward(const Tensor& x, float* probs) const {
+  const int64_t k = x.shape()[0];
+  KT_CHECK_EQ(x.shape()[1], in_);
+  if (k <= 0) return;
+  std::vector<float> hidden(static_cast<size_t>(k * mid_));
+  std::vector<float> logits(static_cast<size_t>(k));
+  if (precision_ == Precision::kBf16) {
+    quant::GemmBf16(x.data(), w1_bf16_, hidden.data(), k);
+    HiddenEpilogue(hidden.data(), k);
+    quant::GemmBf16(hidden.data(), w2_bf16_, logits.data(), k);
+  } else {
+    KT_CHECK(calibrated_);
+    quant::GemmInt8FromFloat(x.data(), x_params_, w1_int8_, hidden.data(), k);
+    HiddenEpilogue(hidden.data(), k);
+    quant::GemmInt8FromFloat(hidden.data(), hidden_params_, w2_int8_,
+                             logits.data(), k);
+  }
+  OutEpilogue(logits.data(), k, probs);
+}
+
+void LowpHead::CalibrateInt8(const Tensor& sample_x) {
+  if (precision_ != Precision::kInt8) return;
+  const int64_t k = sample_x.shape()[0];
+  KT_CHECK_EQ(sample_x.shape()[1], in_);
+  KT_CHECK_GT(k, 0);
+  KT_CHECK(!w1_fp32_.empty());
+  // Observe the fp32 head on the sample rows: x feeds layer 1 directly,
+  // the post-relu hidden block feeds layer 2.
+  std::vector<float> hidden(static_cast<size_t>(k * mid_));
+  Gemm(sample_x.data(), w1_fp32_.data(), hidden.data(), k, in_, mid_);
+  HiddenEpilogue(hidden.data(), k);
+  x_params_ = quant::CalibrateSymmetric(sample_x.data(), k * in_);
+  hidden_params_ = quant::CalibrateSymmetric(hidden.data(), k * mid_);
+  calibrated_ = true;
+  w1_fp32_.clear();
+  w1_fp32_.shrink_to_fit();
+}
+
+}  // namespace serve
+}  // namespace kt

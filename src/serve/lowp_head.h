@@ -1,0 +1,90 @@
+// Low-precision serve-path MLP head (serve precision policy, DESIGN.md §14).
+//
+// Only the predict head runs below fp32: it is a pure function of the
+// cached fp32 forward stream and the target embedding, so quantizing it
+// cannot perturb session state, updates, replay, or explanation — those
+// regions keep the bitwise fp32 contract. The head replays the same math
+// as the ag path (x W1 + b1 -> relu -> W2 + b2 -> sigmoid, identical
+// activation formulas) with the two GEMMs swapped for a kt::quant storage
+// family, and is gated by accuracy parity (scripts/check_precision.sh)
+// rather than bitwise parity.
+//
+// Weights are packed ONCE at construction (model load). int8 additionally
+// needs static activation scales: CalibrateInt8() runs the fp32 head on a
+// sample batch of real head inputs and records per-tensor symmetric scales
+// for x and for the post-relu hidden activations; until then the engine
+// keeps serving fp32. Calibration from the same data is deterministic, so
+// every shard arrives at identical scales.
+#ifndef KT_SERVE_LOWP_HEAD_H_
+#define KT_SERVE_LOWP_HEAD_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+
+namespace kt {
+namespace serve {
+
+// Serve-path numeric policy (--precision). fp32 is the default bitwise
+// contract; bf16/int8 relax only the predict head.
+enum class Precision { kFp32, kBf16, kInt8 };
+
+// Parses "fp32" | "bf16" | "int8"; returns false on anything else.
+bool PrecisionByName(const std::string& name, Precision* out);
+const char* PrecisionName(Precision precision);
+
+class LowpHead {
+ public:
+  // Packs both head layers at `precision` (kBf16 or kInt8; a kFp32 head is
+  // never constructed — the engine keeps the ag path). `hidden` is
+  // [2d, d], `out` is [d, 1], both with bias.
+  LowpHead(Precision precision, const nn::Linear& hidden,
+           const nn::Linear& out);
+
+  // probs[i] = sigmoid(relu(x_i W1 + b1) W2 + b2) for each row of x
+  // [k, 2d]. For int8, requires calibrated() — the engine guards this.
+  void Forward(const Tensor& x, float* probs) const;
+
+  // Static int8 activation calibration from sample head inputs [k, 2d]
+  // (real rows harvested from training data; see
+  // InferenceEngine::CalibrateLowp). Runs the head in fp32 to observe the
+  // hidden activations. No-op for bf16 (calibrated() is always true).
+  void CalibrateInt8(const Tensor& sample_x);
+
+  bool calibrated() const { return calibrated_; }
+  Precision precision() const { return precision_; }
+
+  // Exposed for tests: the calibrated per-tensor activation scales.
+  float x_scale() const { return x_params_.scale; }
+  float hidden_scale() const { return hidden_params_.scale; }
+
+ private:
+  // Shared fp32 tail: bias + relu on the hidden block, second-layer bias +
+  // sigmoid on the logits — the exact ApplyAct formulas the ag path uses.
+  void HiddenEpilogue(float* hidden, int64_t k) const;
+  void OutEpilogue(const float* logits, int64_t k, float* probs) const;
+
+  Precision precision_;
+  int64_t in_ = 0;   // 2d
+  int64_t mid_ = 0;  // d
+  std::vector<float> bias1_;
+  std::vector<float> bias2_;  // [1]
+
+  quant::Bf16Panels w1_bf16_;
+  quant::Bf16Panels w2_bf16_;
+
+  quant::Int8Panels w1_int8_;
+  quant::Int8Panels w2_int8_;
+  std::vector<float> w1_fp32_;  // int8 only; freed after calibration
+  quant::QuantParams x_params_;
+  quant::QuantParams hidden_params_;
+  bool calibrated_ = false;
+};
+
+}  // namespace serve
+}  // namespace kt
+
+#endif  // KT_SERVE_LOWP_HEAD_H_

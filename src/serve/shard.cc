@@ -39,7 +39,13 @@ ShardSet::ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->engine = std::make_unique<InferenceEngine>(model, per_shard);
-    if (concept_data != nullptr) shard->engine->LoadConceptMap(*concept_data);
+    if (concept_data != nullptr) {
+      shard->engine->LoadConceptMap(*concept_data);
+      // int8 static calibration, per shard from the same data — the
+      // procedure is deterministic, so every shard lands on identical
+      // activation scales and the precision policy is shard-invariant.
+      shard->engine->CalibrateLowp(*concept_data);
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {

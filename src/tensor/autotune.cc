@@ -1,0 +1,233 @@
+#include "tensor/autotune.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "core/cpu.h"
+
+namespace kt {
+namespace autotune {
+namespace {
+
+struct Table {
+  std::vector<Entry> entries;  // sorted by (m, k, n)
+};
+
+// Published via acquire/release; old tables are intentionally leaked
+// (republication is a startup-frequency event, and leaking keeps lookups
+// wait-free without hazard tracking).
+std::atomic<const Table*> g_table{nullptr};
+
+bool ShapeLess(const Entry& a, const Entry& b) {
+  return std::tie(a.m, a.k, a.n) < std::tie(b.m, b.k, b.n);
+}
+
+void Publish(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(), ShapeLess);
+  g_table.store(new Table{std::move(entries)}, std::memory_order_release);
+}
+
+// Deterministic non-trivial fill so timing runs touch realistic values
+// (no denormals, mixed signs).
+void FillPattern(float* p, int64_t count, uint32_t salt) {
+  for (int64_t i = 0; i < count; ++i) {
+    const uint32_t h = (static_cast<uint32_t>(i) + salt) * 2654435761u;
+    p[i] = static_cast<float>((h >> 16) & 0xff) / 256.0f - 0.5f;
+  }
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Seconds per call for `kernel` on this shape, min over timing batches.
+double MeasureKernel(GemmKernel kernel, int64_t m, int64_t k, int64_t n,
+                     const Options& options) {
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> c(static_cast<size_t>(m * n));
+  FillPattern(a.data(), m * k, 1u);
+  FillPattern(b.data(), k * n, 2u);
+
+  const GemmKernel previous = GetGemmKernel();
+  SetGemmKernel(kernel);
+  Gemm(a.data(), b.data(), c.data(), m, k, n);  // warm caches + pack buffers
+
+  const double t0 = Now();
+  Gemm(a.data(), b.data(), c.data(), m, k, n);
+  const double once = std::max(Now() - t0, 1e-9);
+  const int64_t iters = std::clamp<int64_t>(
+      static_cast<int64_t>(options.target_batch_seconds / once), 1, 20000);
+
+  double best = 1e30;
+  const int samples = std::max(1, options.samples);
+  for (int s = 0; s < samples; ++s) {
+    const double start = Now();
+    for (int64_t it = 0; it < iters; ++it) {
+      Gemm(a.data(), b.data(), c.data(), m, k, n);
+    }
+    best = std::min(best, (Now() - start) / static_cast<double>(iters));
+  }
+  SetGemmKernel(previous);
+  return best;
+}
+
+Entry MeasureShape(int64_t m, int64_t k, int64_t n, const Options& options) {
+  Entry e;
+  e.m = m;
+  e.k = k;
+  e.n = n;
+  const double t_ref = MeasureKernel(GemmKernel::kReference, m, k, n, options);
+  const double t_tiled = MeasureKernel(GemmKernel::kTiled, m, k, n, options);
+  e.strict_kernel =
+      t_ref < t_tiled ? GemmKernel::kReference : GemmKernel::kTiled;
+  const double t_strict = std::min(t_ref, t_tiled);
+  e.relaxed_kernel = e.strict_kernel;
+  const GemmBackendDesc* fma = FindGemmBackend("tiled_fma");
+  if (fma != nullptr && fma->available) {
+    const double t_fma = MeasureKernel(GemmKernel::kTiledFma, m, k, n, options);
+    if (t_fma < t_strict) e.relaxed_kernel = GemmKernel::kTiledFma;
+  }
+  return e;
+}
+
+bool ParseKernelToken(const std::string& token, GemmKernel* out) {
+  GemmKernel k;
+  if (!GemmKernelByName(token, &k) || k == GemmKernel::kAuto) return false;
+  *out = k;
+  return true;
+}
+
+}  // namespace
+
+bool LoadCacheFile(const std::string& path, std::vector<Entry>* out) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  if (header != "ktgemm-autotune v1 cpu=" + cpu::IdString()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Entry e;
+    std::string strict_name;
+    std::string relaxed_name;
+    if (!(fields >> e.m >> e.k >> e.n >> strict_name >> relaxed_name) ||
+        e.m <= 0 || e.k <= 0 || e.n <= 0 ||
+        !ParseKernelToken(strict_name, &e.strict_kernel) ||
+        !ParseKernelToken(relaxed_name, &e.relaxed_kernel)) {
+      out->clear();  // corrupt file: discard everything, caller retunes
+      return false;
+    }
+    e.from_cache = true;
+    out->push_back(e);
+  }
+  return true;
+}
+
+bool SaveCacheFile(const std::string& path,
+                   const std::vector<Entry>& entries) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream o(tmp, std::ios::trunc);
+    if (!o.is_open()) return false;
+    o << "ktgemm-autotune v1 cpu=" << cpu::IdString() << "\n";
+    for (const Entry& e : entries) {
+      o << e.m << ' ' << e.k << ' ' << e.n << ' '
+        << GemmKernelName(e.strict_kernel) << ' '
+        << GemmKernelName(e.relaxed_kernel) << "\n";
+    }
+    if (!o.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+Result TuneShapes(const std::vector<std::array<int64_t, 3>>& shapes,
+                  const Options& options) {
+  Result result;
+
+  std::vector<Entry> cached;
+  if (!options.cache_path.empty()) {
+    LoadCacheFile(options.cache_path, &cached);
+  }
+  auto find_cached = [&cached](int64_t m, int64_t k, int64_t n) -> Entry* {
+    for (Entry& e : cached) {
+      if (e.m == m && e.k == k && e.n == n) return &e;
+    }
+    return nullptr;
+  };
+
+  for (const auto& shape : shapes) {
+    const int64_t m = shape[0];
+    const int64_t k = shape[1];
+    const int64_t n = shape[2];
+    if (m <= 0 || k <= 0 || n <= 0) continue;
+    const bool duplicate =
+        std::any_of(result.entries.begin(), result.entries.end(),
+                    [&](const Entry& e) {
+                      return e.m == m && e.k == k && e.n == n;
+                    });
+    if (duplicate) continue;
+    if (Entry* hit = find_cached(m, k, n)) {
+      result.entries.push_back(*hit);
+      ++result.cached;
+    } else {
+      result.entries.push_back(MeasureShape(m, k, n, options));
+      ++result.measured;
+    }
+  }
+
+  // Keep cached winners for shapes this run did not ask about, so one
+  // binary's startup does not evict another's entries.
+  std::vector<Entry> merged = result.entries;
+  for (const Entry& e : cached) {
+    const bool present = std::any_of(
+        merged.begin(), merged.end(), [&](const Entry& have) {
+          return have.m == e.m && have.k == e.k && have.n == e.n;
+        });
+    if (!present) merged.push_back(e);
+  }
+  if (result.measured > 0 && !options.cache_path.empty()) {
+    SaveCacheFile(options.cache_path, merged);
+  }
+  Publish(std::move(merged));
+  return result;
+}
+
+std::vector<Entry> PublishedEntries() {
+  const Table* table = g_table.load(std::memory_order_acquire);
+  return table != nullptr ? table->entries : std::vector<Entry>{};
+}
+
+void ClearPublishedTable() {
+  g_table.store(nullptr, std::memory_order_release);
+}
+
+bool LookupForDispatch(int64_t m, int64_t k, int64_t n, bool relaxed,
+                       GemmKernel* out) {
+  const Table* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) return false;
+  Entry probe;
+  probe.m = m;
+  probe.k = k;
+  probe.n = n;
+  const auto it = std::lower_bound(table->entries.begin(),
+                                   table->entries.end(), probe, ShapeLess);
+  if (it == table->entries.end() || it->m != m || it->k != k || it->n != n) {
+    return false;
+  }
+  *out = relaxed ? it->relaxed_kernel : it->strict_kernel;
+  return true;
+}
+
+}  // namespace autotune
+}  // namespace kt

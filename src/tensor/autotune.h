@@ -1,0 +1,93 @@
+// Per-shape GEMM kernel autotuner.
+//
+// The built-in kAuto heuristic (gemm.cc) picks tiled vs reference from a
+// fixed size cutoff; real crossover points depend on the host. At startup
+// a server calls TuneShapes() with the model's actual (M, K, N) shapes;
+// each eligible kernel family is timed on this machine and the winners are
+// published in a table the kAuto dispatcher consults before falling back
+// to the heuristic. Two winners are kept per shape because eligibility is
+// region-dependent (gemm.h): strict regions may only use the bit-exact
+// families (reference, tiled), relaxed regions may also use tiled_fma.
+//
+// Winners are cached on disk so later startups skip the measurement. The
+// cache is a line-oriented text file:
+//
+//   ktgemm-autotune v1 cpu=<core/cpu.h IdString>
+//   <m> <k> <n> <strict kernel name> <relaxed kernel name>
+//   ...
+//
+// keyed by shape + CPU feature string: a file written on an AVX2+FMA host
+// is ignored (and retuned) on a host with different features, and any
+// parse error discards the whole file — a corrupt cache can only cost a
+// re-measurement, never select a wrong kernel.
+//
+// Tuning temporarily drives the process-wide SetGemmKernel override, so
+// call it during startup before concurrent GEMM work begins. Publication
+// itself is atomic; lookups are wait-free.
+#ifndef KT_TENSOR_AUTOTUNE_H_
+#define KT_TENSOR_AUTOTUNE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace kt {
+namespace autotune {
+
+struct Options {
+  // On-disk winner table; empty measures without persistence.
+  std::string cache_path;
+  // Timing batches per candidate kernel (minimum of the batch means is
+  // taken, the usual noise-robust estimator).
+  int samples = 3;
+  // Each batch's iteration count is calibrated so a batch runs about this
+  // long; bounds startup cost while keeping small shapes measurable.
+  double target_batch_seconds = 0.002;
+};
+
+struct Entry {
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  GemmKernel strict_kernel = GemmKernel::kTiled;   // best bit-exact family
+  GemmKernel relaxed_kernel = GemmKernel::kTiled;  // best incl. tiled_fma
+  bool from_cache = false;
+};
+
+struct Result {
+  int measured = 0;  // shapes benchmarked by this call
+  int cached = 0;    // shapes answered by the on-disk table
+  std::vector<Entry> entries;
+};
+
+// Benchmarks eligible kernels for every (m, k, n) not answered by the
+// cache, publishes the combined winner table for kAuto dispatch, and
+// rewrites the cache when anything new was measured. Duplicate and
+// degenerate (non-positive) shapes are dropped.
+Result TuneShapes(const std::vector<std::array<int64_t, 3>>& shapes,
+                  const Options& options);
+
+// Currently published entries (empty before the first TuneShapes).
+std::vector<Entry> PublishedEntries();
+
+// Unpublishes the table, restoring pure-heuristic kAuto (tests).
+void ClearPublishedTable();
+
+// Dispatcher hook (gemm.cc): exact-shape lookup in the published table.
+// One relaxed pointer load when no table is published.
+bool LookupForDispatch(int64_t m, int64_t k, int64_t n, bool relaxed,
+                       GemmKernel* out);
+
+// Cache round-trip, exposed for tests. Load returns false (with *out
+// cleared) for missing, corrupt, or CPU-mismatched files; Save writes via
+// a temp file + rename so readers never see a torn table.
+bool LoadCacheFile(const std::string& path, std::vector<Entry>* out);
+bool SaveCacheFile(const std::string& path, const std::vector<Entry>& entries);
+
+}  // namespace autotune
+}  // namespace kt
+
+#endif  // KT_TENSOR_AUTOTUNE_H_

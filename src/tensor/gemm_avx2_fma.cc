@@ -1,0 +1,120 @@
+// AVX2+FMA build of the tiled GEMM micro kernel — the one fp32 family that
+// is allowed to contract a*b+c into a single fused multiply-add.
+//
+// This TU is compiled with -mavx2 -mfma -ffp-contract=fast (see
+// CMakeLists.txt), so `acc += av * b` lowers to vfmadd231ps. One fma
+// rounds once where the reference kernels round twice, which makes this
+// family deliberately NOT bit-identical to the others; the dispatcher
+// (gemm.cc) therefore only reaches it through the explicit kTiledFma
+// override or a relaxed precision region (gemm.h). Error is still tightly
+// bounded — every element remains one ascending-k chain over the same
+// products, just with at most one rounding saved per step — and the
+// equivalence sweep in tests/tensor_test.cc asserts a per-element bound.
+//
+// The panel layout is shared with gemm.cc (kNR = 8 floats per k step), so
+// packing is ISA-independent; only the contraction differs from
+// gemm_avx2.cc.
+#include "tensor/gemm_kernels.h"
+
+#include <algorithm>
+
+namespace kt {
+namespace internal {
+namespace {
+
+constexpr int kMR = 8;  // register rows (one ymm accumulator each)
+constexpr int kNR = kGemmPanelWidth;
+
+typedef float V8 __attribute__((vector_size(32)));
+
+inline V8 Load8(const float* p) {
+  V8 v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned-safe, compiles to vmovups
+  return v;
+}
+inline void Store8(float* p, V8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+template <bool kLoadC>
+inline void MicroTile(const float* a, int64_t lda, const float* bp, float* c,
+                      int64_t ldc, int64_t k) {
+  V8 acc[kMR];
+  for (int i = 0; i < kMR; ++i) acc[i] = kLoadC ? Load8(c + i * ldc) : V8{};
+  for (int64_t p = 0; p < k; ++p) {
+    const V8 b = Load8(bp + p * kNR);
+    for (int i = 0; i < kMR; ++i) {
+      const float s = a[i * lda + p];
+      const V8 av = {s, s, s, s, s, s, s, s};
+      acc[i] += av * b;  // contracts to vfmadd231ps under -ffp-contract=fast
+    }
+  }
+  for (int i = 0; i < kMR; ++i) {
+    if (kLoadC) {
+      Store8(c + i * ldc, acc[i]);
+    } else {
+      Store8(c + i * ldc, Load8(c + i * ldc) + acc[i]);
+    }
+  }
+}
+
+// Edge tile with runtime extents (mr <= kMR, nr <= kNR); `bw` is the
+// packed panel width. Scalar, but still contracted: the compiler fuses
+// `acc += a * b` here too, so edges share the family's rounding behavior.
+template <bool kLoadC>
+inline void MicroTileEdge(const float* a, int64_t lda, const float* bp,
+                          int64_t bw, float* c, int64_t ldc, int64_t k,
+                          int64_t mr, int64_t nr) {
+  float acc[kMR][kNR];
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) acc[i][j] = kLoadC ? c[i * ldc + j] : 0.0f;
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = bp + p * bw;
+    for (int64_t i = 0; i < mr; ++i) {
+      const float a_val = a[i * lda + p];
+      for (int64_t j = 0; j < nr; ++j) acc[i][j] += a_val * b_row[j];
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) {
+      if (kLoadC) {
+        c[i * ldc + j] = acc[i][j];
+      } else {
+        c[i * ldc + j] += acc[i][j];
+      }
+    }
+  }
+}
+
+template <bool kLoadC>
+void TiledRows(const float* a, int64_t lda, const float* bp, float* c,
+               int64_t ldc, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, m - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min<int64_t>(kNR, n - j0);
+      const float* panel = bp + j0 * k;
+      float* c_tile = c + i0 * ldc + j0;
+      const float* a_tile = a + i0 * lda;
+      if (mr == kMR && nr == kNR) {
+        MicroTile<kLoadC>(a_tile, lda, panel, c_tile, ldc, k);
+      } else {
+        MicroTileEdge<kLoadC>(a_tile, lda, panel, nr, c_tile, ldc, k, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void TiledRowsAvx2Fma(const float* a, int64_t lda, const float* bp, float* c,
+                      int64_t ldc, int64_t m, int64_t k, int64_t n,
+                      bool load_c) {
+  if (load_c) {
+    TiledRows<true>(a, lda, bp, c, ldc, m, k, n);
+  } else {
+    TiledRows<false>(a, lda, bp, c, ldc, m, k, n);
+  }
+}
+
+}  // namespace internal
+}  // namespace kt

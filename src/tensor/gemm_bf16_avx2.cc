@@ -1,0 +1,71 @@
+// AVX2+FMA build of the bf16-storage GEMM row sweep (see tensor/quant.h
+// for the panel layout). Compiled -mavx2 -mfma (CMakeLists.txt).
+//
+// A bf16 value widens to fp32 exactly (shift left 16), so the only
+// roundings in the kernel are the per-step vfmadd ones — the same chain
+// the portable fmaf fallback performs, which is what makes the two
+// implementations bit-identical on every host.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/gemm_kernels.h"
+#include "tensor/quant_kernels.h"
+
+namespace kt {
+namespace quant {
+namespace internal {
+namespace {
+
+constexpr int kMR = 8;  // rows per register block (one ymm accumulator each)
+constexpr int kNR = ::kt::internal::kGemmPanelWidth;
+
+// 8 bf16 lanes -> 8 fp32 lanes, exactly.
+inline __m256 WidenBf16(const uint16_t* p) {
+  const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m256i w = _mm256_cvtepu16_epi32(h);
+  return _mm256_castsi256_ps(_mm256_slli_epi32(w, 16));
+}
+
+// One panel (8 columns) against mr <= kMR rows of A; stores nr <= kNR
+// logical columns of C.
+inline void PanelRows(const float* a, int64_t lda, const uint16_t* panel,
+                      float* c, int64_t ldc, int64_t mr, int64_t k,
+                      int64_t nr) {
+  __m256 acc[kMR];
+  for (int64_t i = 0; i < mr; ++i) acc[i] = _mm256_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const __m256 b = WidenBf16(panel + p * kNR);
+    for (int64_t i = 0; i < mr; ++i) {
+      acc[i] = _mm256_fmadd_ps(_mm256_set1_ps(a[i * lda + p]), b, acc[i]);
+    }
+  }
+  if (nr == kNR) {
+    for (int64_t i = 0; i < mr; ++i) _mm256_storeu_ps(c + i * ldc, acc[i]);
+  } else {
+    float tmp[kNR];
+    for (int64_t i = 0; i < mr; ++i) {
+      _mm256_storeu_ps(tmp, acc[i]);
+      for (int64_t jj = 0; jj < nr; ++jj) c[i * ldc + jj] = tmp[jj];
+    }
+  }
+}
+
+}  // namespace
+
+void GemmBf16RowsAvx2(const float* a, const uint16_t* panels, float* c,
+                      int64_t ldc, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, m - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min<int64_t>(kNR, n - j0);
+      PanelRows(a + i0 * k, k, panels + j0 * k, c + i0 * ldc + j0, ldc, mr, k,
+                nr);
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace quant
+}  // namespace kt

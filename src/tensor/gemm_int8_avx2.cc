@@ -1,0 +1,81 @@
+// AVX2 build of the int8 symmetric GEMM row sweep (see tensor/quant.h for
+// the k-pair-interleaved panel layout). Compiled -mavx2 (CMakeLists.txt) —
+// no FMA needed: the multiply-accumulate is vpmaddwd.
+//
+// Per k-pair and 8-column panel, one vpmaddwd computes
+//   acc[j] += b[2p][j] * a[2p] + b[2p+1][j] * a[2p+1]
+// with the (a0, a1) int16 pair pre-packed into a broadcast word per row.
+// Saturation safety: |a*b| <= 127*127, so each int16-pair sum is at most
+// 32258 — far inside int16-product/int32 range — and the int32 accumulator
+// cannot overflow until k ~ 66k, far above any model dimension here.
+// Integer accumulation is exact, so the result matches the portable kernel
+// bit for bit; the only rounding is the cvtepi32_ps + one multiply
+// epilogue, identical (round-to-nearest-even) in both.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/gemm_kernels.h"
+#include "tensor/quant_kernels.h"
+
+namespace kt {
+namespace quant {
+namespace internal {
+namespace {
+
+constexpr int kMR = 4;  // rows per block (acc + broadcast regs stay in ymm)
+constexpr int kNR = ::kt::internal::kGemmPanelWidth;
+
+}  // namespace
+
+void GemmInt8RowsAvx2(const int8_t* aq, const int8_t* panels,
+                      float combined_scale, float* c, int64_t ldc, int64_t m,
+                      int64_t k, int64_t n, int32_t* row_words) {
+  const int64_t kpairs = (k + 1) / 2;
+  const int64_t kpad = kpairs * 2;
+  const __m256 scale = _mm256_set1_ps(combined_scale);
+  for (int64_t i0 = 0; i0 < m; i0 += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, m - i0);
+    for (int64_t r = 0; r < mr; ++r) {
+      const int8_t* a_row = aq + (i0 + r) * k;
+      int32_t* words = row_words + r * kpairs;
+      for (int64_t p2 = 0; p2 < kpairs; ++p2) {
+        const uint32_t a0 = static_cast<uint16_t>(a_row[2 * p2]);
+        const uint32_t a1 = static_cast<uint16_t>(
+            2 * p2 + 1 < k ? a_row[2 * p2 + 1] : int8_t{0});
+        words[p2] = static_cast<int32_t>(a0 | (a1 << 16));
+      }
+    }
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int8_t* panel = panels + j0 * kpad;
+      __m256i acc[kMR];
+      for (int64_t r = 0; r < mr; ++r) acc[r] = _mm256_setzero_si256();
+      for (int64_t p2 = 0; p2 < kpairs; ++p2) {
+        const __m128i b8 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(panel + p2 * 2 * kNR));
+        const __m256i b16 = _mm256_cvtepi8_epi16(b8);
+        for (int64_t r = 0; r < mr; ++r) {
+          const __m256i w = _mm256_set1_epi32(row_words[r * kpairs + p2]);
+          acc[r] = _mm256_add_epi32(acc[r], _mm256_madd_epi16(b16, w));
+        }
+      }
+      const int64_t nr = std::min<int64_t>(kNR, n - j0);
+      for (int64_t r = 0; r < mr; ++r) {
+        const __m256 fp = _mm256_mul_ps(_mm256_cvtepi32_ps(acc[r]), scale);
+        float* c_row = c + (i0 + r) * ldc + j0;
+        if (nr == kNR) {
+          _mm256_storeu_ps(c_row, fp);
+        } else {
+          float tmp[kNR];
+          _mm256_storeu_ps(tmp, fp);
+          for (int64_t jj = 0; jj < nr; ++jj) c_row[jj] = tmp[jj];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace quant
+}  // namespace kt

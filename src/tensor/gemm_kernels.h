@@ -18,10 +18,21 @@ inline constexpr int kGemmPanelWidth = 8;
 // Tiled sweep over m rows of C against pre-packed B panels, using 8-row
 // ymm register tiles (gemm_avx2.cc, compiled -mavx2 -mno-fma). Bit-identical
 // to the portable tiled and reference kernels; call only if
-// __builtin_cpu_supports("avx2"). `load_c` selects the accumulate chain
+// cpu::Get().avx2. `load_c` selects the accumulate chain
 // (true) vs the dot chain with one final add (false).
 void TiledRowsAvx2(const float* a, int64_t lda, const float* bp, float* c,
                    int64_t ldc, int64_t m, int64_t k, int64_t n, bool load_c);
+#endif
+
+#ifdef KT_HAVE_AVX2_FMA_KERNEL
+// Same sweep compiled -mavx2 -mfma -ffp-contract=fast (gemm_avx2_fma.cc):
+// each multiply-add contracts to one vfmadd, which rounds ONCE where the
+// reference chain rounds twice — NOT bit-identical, only faster. The
+// dispatcher reaches it solely via the kTiledFma override or a relaxed
+// precision region (see gemm.h). Call only if cpu::Get().avx2 && .fma.
+void TiledRowsAvx2Fma(const float* a, int64_t lda, const float* bp, float* c,
+                      int64_t ldc, int64_t m, int64_t k, int64_t n,
+                      bool load_c);
 #endif
 
 }  // namespace internal

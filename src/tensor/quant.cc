@@ -1,0 +1,279 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "core/cpu.h"
+#include "core/parallel.h"
+#include "obs/obs.h"
+#include "tensor/gemm_kernels.h"
+#include "tensor/quant_kernels.h"
+
+namespace kt {
+namespace quant {
+namespace {
+
+using ::kt::internal::kGemmPanelWidth;
+
+inline int64_t RoundUp(int64_t v, int64_t to) { return (v + to - 1) / to * to; }
+
+// Same parallel policy as the fp32 dispatcher (gemm.cc): split by output
+// row above a flop threshold; rows are independent, so every thread count
+// produces the same bits.
+inline bool UseParallel(int64_t m, int64_t k, int64_t n) {
+  return m >= 2 && m * k * n >= (int64_t{1} << 18) && GetNumThreads() > 1;
+}
+
+inline int64_t RowGrain(int64_t k, int64_t n) {
+  const int64_t flops_per_row = std::max<int64_t>(1, 2 * k * n);
+  return std::max<int64_t>(1, (int64_t{1} << 15) / flops_per_row);
+}
+
+inline void CountBackend(const char* calls_name, const char* bytes_name,
+                         int64_t bytes) {
+  if (!obs::Enabled()) return;
+  obs::Counter::Get(calls_name)->Add(1);
+  obs::Counter::Get(bytes_name)->Add(bytes);
+}
+
+std::atomic<bool> g_simd_enabled{true};
+
+// ---------------------------------------------------------------------------
+// Portable kernels (also the cross-check oracle for the SIMD TUs)
+// ---------------------------------------------------------------------------
+
+// One ascending-k fmaf chain per element — fmaf is correctly rounded, so
+// this replays the AVX2 vfmadd chain exactly on any host.
+void GemmBf16RowsPortable(const float* a, const uint16_t* panels, float* c,
+                          int64_t ldc, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    for (int64_t j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+      const uint16_t* panel = panels + j0 * k;
+      const int64_t nr = std::min<int64_t>(kGemmPanelWidth, n - j0);
+      for (int64_t jj = 0; jj < nr; ++jj) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+          acc = std::fmaf(a_row[p],
+                          FloatFromBf16(panel[p * kGemmPanelWidth + jj]), acc);
+        }
+        c[i * ldc + j0 + jj] = acc;
+      }
+    }
+  }
+}
+
+// Exact int32 accumulation (order-independent) + one multiply epilogue.
+void GemmInt8RowsPortable(const int8_t* aq, const int8_t* panels,
+                          float combined_scale, float* c, int64_t ldc,
+                          int64_t m, int64_t k, int64_t n) {
+  const int64_t kpad = RoundUp(k, 2);
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* a_row = aq + i * k;
+    for (int64_t j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+      const int8_t* panel = panels + j0 * kpad;
+      const int64_t nr = std::min<int64_t>(kGemmPanelWidth, n - j0);
+      for (int64_t jj = 0; jj < nr; ++jj) {
+        int32_t acc = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          const int32_t b =
+              panel[(p / 2) * 2 * kGemmPanelWidth + jj * 2 + (p & 1)];
+          acc += static_cast<int32_t>(a_row[p]) * b;
+        }
+        c[i * ldc + j0 + jj] = static_cast<float>(acc) * combined_scale;
+      }
+    }
+  }
+}
+
+void Bf16Rows(const float* a, const uint16_t* panels, float* c, int64_t ldc,
+              int64_t m, int64_t k, int64_t n) {
+#ifdef KT_HAVE_AVX2_FMA_KERNEL
+  if (g_simd_enabled.load(std::memory_order_relaxed) && cpu::Get().avx2 &&
+      cpu::Get().fma) {
+    internal::GemmBf16RowsAvx2(a, panels, c, ldc, m, k, n);
+    return;
+  }
+#endif
+  GemmBf16RowsPortable(a, panels, c, ldc, m, k, n);
+}
+
+void Int8Rows(const int8_t* aq, const int8_t* panels, float combined_scale,
+              float* c, int64_t ldc, int64_t m, int64_t k, int64_t n) {
+#ifdef KT_HAVE_AVX2_KERNEL
+  if (g_simd_enabled.load(std::memory_order_relaxed) && cpu::Get().avx2) {
+    // Scratch for the per-row (a0, a1) broadcast words: 4 rows in flight,
+    // ceil(k/2) words each. thread_local so pool workers reuse it.
+    static thread_local std::vector<int32_t> words;
+    const size_t need = static_cast<size_t>(4 * ((k + 1) / 2));
+    if (words.size() < need) words.resize(need);
+    internal::GemmInt8RowsAvx2(aq, panels, combined_scale, c, ldc, m, k, n,
+                               words.data());
+    return;
+  }
+#endif
+  GemmInt8RowsPortable(aq, panels, combined_scale, c, ldc, m, k, n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// bf16
+// ---------------------------------------------------------------------------
+
+uint16_t Bf16FromFloat(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  // Round to nearest even on the truncated 16 bits. NaNs are quieted into
+  // a canonical bf16 NaN rather than risking rounding into infinity.
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0) {
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7fffu + lsb;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+float FloatFromBf16(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+Bf16Panels PackBf16(const float* b, int64_t k, int64_t n) {
+  Bf16Panels out;
+  out.k = k;
+  out.n = n;
+  if (k <= 0 || n <= 0) return out;
+  const int64_t npad = RoundUp(n, kGemmPanelWidth);
+  out.data.assign(static_cast<size_t>(npad * k), 0);
+  for (int64_t j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+    uint16_t* panel = out.data.data() + j0 * k;
+    const int64_t nr = std::min<int64_t>(kGemmPanelWidth, n - j0);
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t jj = 0; jj < nr; ++jj) {
+        panel[p * kGemmPanelWidth + jj] = Bf16FromFloat(b[p * n + j0 + jj]);
+      }
+    }
+  }
+  return out;
+}
+
+void GemmBf16(const float* a, const Bf16Panels& b, float* c, int64_t m) {
+  const int64_t k = b.k;
+  const int64_t n = b.n;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  CountBackend("gemm.backend.bf16.calls", "gemm.backend.bf16.bytes",
+               m * k * 4 + static_cast<int64_t>(b.data.size()) * 2 + m * n * 4);
+  if (UseParallel(m, k, n)) {
+    ParallelForRange(0, m, RowGrain(k, n), [&](int64_t lo, int64_t hi) {
+      Bf16Rows(a + lo * k, b.data.data(), c + lo * n, n, hi - lo, k, n);
+    });
+  } else {
+    Bf16Rows(a, b.data.data(), c, n, m, k, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// int8
+// ---------------------------------------------------------------------------
+
+QuantParams CalibrateSymmetric(const float* x, int64_t n) {
+  float maxabs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = std::fabs(x[i]);
+    if (v > maxabs) maxabs = v;
+  }
+  QuantParams params;
+  params.scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  return params;
+}
+
+void QuantizeSymmetric(const float* x, int64_t n, const QuantParams& params,
+                       int8_t* out) {
+  const float inv = 1.0f / params.scale;
+  for (int64_t i = 0; i < n; ++i) {
+    const long q = std::lrintf(x[i] * inv);
+    out[i] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+  }
+}
+
+Int8Panels PackInt8(const float* b, int64_t k, int64_t n) {
+  Int8Panels out;
+  out.k = k;
+  out.n = n;
+  if (k <= 0 || n <= 0) return out;
+  out.params = CalibrateSymmetric(b, k * n);
+  std::vector<int8_t> q(static_cast<size_t>(k * n));
+  QuantizeSymmetric(b, k * n, out.params, q.data());
+  const int64_t kpad = RoundUp(k, 2);
+  const int64_t npad = RoundUp(n, kGemmPanelWidth);
+  out.data.assign(static_cast<size_t>(npad * kpad), 0);
+  for (int64_t j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+    int8_t* panel = out.data.data() + j0 * kpad;
+    const int64_t nr = std::min<int64_t>(kGemmPanelWidth, n - j0);
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t jj = 0; jj < nr; ++jj) {
+        panel[(p / 2) * 2 * kGemmPanelWidth + jj * 2 + (p & 1)] =
+            q[p * n + j0 + jj];
+      }
+    }
+  }
+  return out;
+}
+
+void GemmInt8(const int8_t* aq, const QuantParams& a_params,
+              const Int8Panels& b, float* c, int64_t m) {
+  const int64_t k = b.k;
+  const int64_t n = b.n;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  const float combined = a_params.scale * b.params.scale;
+  CountBackend("gemm.backend.int8.calls", "gemm.backend.int8.bytes",
+               m * k + static_cast<int64_t>(b.data.size()) + m * n * 4);
+  if (UseParallel(m, k, n)) {
+    ParallelForRange(0, m, RowGrain(k, n), [&](int64_t lo, int64_t hi) {
+      Int8Rows(aq + lo * k, b.data.data(), combined, c + lo * n, n, hi - lo, k,
+               n);
+    });
+  } else {
+    Int8Rows(aq, b.data.data(), combined, c, n, m, k, n);
+  }
+}
+
+void GemmInt8FromFloat(const float* a, const QuantParams& a_params,
+                       const Int8Panels& b, float* c, int64_t m) {
+  const int64_t k = b.k;
+  if (m <= 0 || b.n <= 0) return;
+  if (k <= 0) {
+    std::memset(c, 0, static_cast<size_t>(m * b.n) * sizeof(float));
+    return;
+  }
+  std::vector<int8_t> aq(static_cast<size_t>(m * k));
+  QuantizeSymmetric(a, m * k, a_params, aq.data());
+  GemmInt8(aq.data(), a_params, b, c, m);
+}
+
+namespace internal {
+
+void SetSimdEnabledForTest(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool SimdEnabledForTest() {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace quant
+}  // namespace kt

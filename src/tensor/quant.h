@@ -1,0 +1,125 @@
+// kt::quant — low-precision storage GEMM families for the serve hot path.
+//
+// Two families, both with pre-packed weight panels (the weight matrix of a
+// serving model is packed ONCE at load, so serving pays only the A-side
+// work per request, where the fp32 path re-packs B on every call):
+//
+//   * bf16 storage: packed B panels hold bfloat16 (round-to-nearest-even
+//     truncation of fp32), halving weight bytes moved per GEMM;
+//     accumulation is fp32 via fused multiply-add. Error per element is
+//     bounded by the bf16 relative step (2^-8) times the accumulated
+//     magnitude — see GemmBf16's bound below.
+//   * int8 symmetric: per-tensor symmetric calibration (scale =
+//     maxabs/127, no zero point), int8 storage for both operands, exact
+//     int32 accumulation, and a dequantize-fused epilogue (one multiply by
+//     scale_a * scale_b per output). Activations are quantized per call
+//     against a FIXED calibrated scale (static quantization: the serve
+//     engine calibrates from a sample batch at model load).
+//
+// Determinism contract: within a family, results are bit-identical across
+// ISAs and thread counts. The int8 family accumulates in exact integer
+// arithmetic (order-independent) with a single fp multiply epilogue; the
+// bf16 family runs one ascending-k fma chain per output element, which the
+// AVX2+FMA micro kernel and the scalar fmaf fallback replay identically.
+// Neither family is bit-identical to the fp32 reference chain — they are
+// gated by accuracy parity (scripts/check_precision.sh), not bitwise
+// parity.
+#ifndef KT_TENSOR_QUANT_H_
+#define KT_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kt {
+namespace quant {
+
+// ---------------------------------------------------------------------------
+// bfloat16 scalar conversions
+// ---------------------------------------------------------------------------
+
+// Round-to-nearest-even truncation of the fp32 bit pattern.
+uint16_t Bf16FromFloat(float f);
+float FloatFromBf16(uint16_t h);
+
+// ---------------------------------------------------------------------------
+// bf16-storage GEMM
+// ---------------------------------------------------------------------------
+
+// B [k, n] packed into 8-wide column panels of bf16, column-padded to a
+// multiple of 8 so the micro kernel has a single full-width path. Panel j0
+// (j0 a multiple of 8) lives at data[j0 * k] and holds 8 bf16 per k step.
+struct Bf16Panels {
+  int64_t k = 0;
+  int64_t n = 0;  // logical columns (padding is internal)
+  std::vector<uint16_t> data;
+};
+
+Bf16Panels PackBf16(const float* b, int64_t k, int64_t n);
+
+// C = A * B with A [m, k] fp32 row-major, C [m, n] fp32 row-major
+// (overwritten). Per element: one ascending-k chain of
+// fma(a, widen(bf16), acc) accumulated from zero. Error bound per element:
+//   |C - C_fp32| <= k * max|a| * max|b| * 2^-8 * (1 + o(1)),
+// asserted (with slack) by the property tests. Row-parallel across the
+// kt::parallel pool above the same flop threshold as the fp32 family;
+// bit-identical for every thread count.
+void GemmBf16(const float* a, const Bf16Panels& b, float* c, int64_t m);
+
+// ---------------------------------------------------------------------------
+// int8 symmetric quantization
+// ---------------------------------------------------------------------------
+
+// Per-tensor symmetric scale: dequant(q) = q * scale.
+struct QuantParams {
+  float scale = 1.0f;
+};
+
+// scale = maxabs(x)/127 (1.0 for an all-zero or empty tensor, so
+// quantization stays well-defined).
+QuantParams CalibrateSymmetric(const float* x, int64_t n);
+
+// q = clamp(round-to-nearest(x / scale), -127, 127). Values beyond the
+// calibrated range saturate.
+void QuantizeSymmetric(const float* x, int64_t n, const QuantParams& params,
+                       int8_t* out);
+
+// B [k, n] quantized per-tensor and packed into 8-wide column panels with
+// k-pairs interleaved for the AVX2 vpmaddwd kernel: panel j0 stores, per
+// k-pair p2, the 16 bytes  b[2p2][j0..j0+7] / b[2p2+1][j0..j0+7]
+// interleaved as (col, pair) bytes. Odd k pads the last pair with zeros;
+// columns pad to a multiple of 8. The portable kernel consumes the same
+// layout.
+struct Int8Panels {
+  int64_t k = 0;
+  int64_t n = 0;
+  QuantParams params;
+  std::vector<int8_t> data;
+};
+
+// Calibrates scale from B itself (per-tensor symmetric), quantizes once,
+// packs. This is the model-load-time step for serve weights.
+Int8Panels PackInt8(const float* b, int64_t k, int64_t n);
+
+// C = (Aq * Bq) * (a_params.scale * b.params.scale): exact int32
+// accumulation, dequantize-fused epilogue (one multiply per output).
+// aq is [m, k] row-major int8. Bit-identical across ISAs and thread
+// counts (integer accumulation is exact; the epilogue is one rounding).
+void GemmInt8(const int8_t* aq, const QuantParams& a_params,
+              const Int8Panels& b, float* c, int64_t m);
+
+// Convenience for the serve head: quantizes each A row against the fixed
+// calibrated activation params, then GemmInt8.
+void GemmInt8FromFloat(const float* a, const QuantParams& a_params,
+                       const Int8Panels& b, float* c, int64_t m);
+
+namespace internal {
+// Test hook: force the portable kernels even when the CPU has the SIMD
+// fast path, so tests can assert portable == SIMD bit for bit.
+void SetSimdEnabledForTest(bool enabled);
+bool SimdEnabledForTest();
+}  // namespace internal
+
+}  // namespace quant
+}  // namespace kt
+
+#endif  // KT_TENSOR_QUANT_H_

@@ -1,0 +1,41 @@
+// Internal interface between the low-precision dispatchers (quant.cc) and
+// their ISA-specific translation units. Not part of the public API (use
+// tensor/quant.h).
+//
+// Both kernels consume panels padded to a multiple of kGemmPanelWidth
+// columns (see quant.h for the exact layouts), so they have a single
+// full-width inner path; only C stores honor the logical n.
+#ifndef KT_TENSOR_QUANT_KERNELS_H_
+#define KT_TENSOR_QUANT_KERNELS_H_
+
+#include <cstdint>
+
+namespace kt {
+namespace quant {
+namespace internal {
+
+#ifdef KT_HAVE_AVX2_FMA_KERNEL
+// bf16-storage row sweep (gemm_bf16_avx2.cc, compiled -mavx2 -mfma): widen
+// 8 bf16 lanes by a 16-bit shift, then one vfmadd per (row, k). Matches
+// the portable fmaf chain bit for bit. Call only if cpu avx2 && fma.
+void GemmBf16RowsAvx2(const float* a, const uint16_t* panels, float* c,
+                      int64_t ldc, int64_t m, int64_t k, int64_t n);
+#endif
+
+#ifdef KT_HAVE_AVX2_KERNEL
+// int8 row sweep (gemm_int8_avx2.cc, compiled -mavx2): vpmaddwd over
+// k-pair-interleaved panels with per-row precomputed (a0, a1) broadcast
+// words, int32 accumulate, dequant epilogue multiply by combined_scale.
+// Integer accumulation is exact, so this matches the portable kernel bit
+// for bit. `row_words` is scratch of ceil(k/2) int32 per call (caller
+// provides so the kernel stays allocation-free). Call only if cpu avx2.
+void GemmInt8RowsAvx2(const int8_t* aq, const int8_t* panels,
+                      float combined_scale, float* c, int64_t ldc, int64_t m,
+                      int64_t k, int64_t n, int32_t* row_words);
+#endif
+
+}  // namespace internal
+}  // namespace quant
+}  // namespace kt
+
+#endif  // KT_TENSOR_QUANT_KERNELS_H_

@@ -1,0 +1,597 @@
+// Tests for the low-precision GEMM families (tensor/quant.h), the FMA
+// fp32 variant, the per-shape autotuner (tensor/autotune.h), and the
+// cached CPU probe (core/cpu.h) they all dispatch through.
+//
+// The contracts under test:
+//   * cpu::Get() is a cached, overridable view of the host ISA.
+//   * bf16/int8 GEMMs are bit-identical across portable/SIMD kernels and
+//     thread counts, and track the fp32 reference within their documented
+//     error bounds on awkward shapes around the register tiles.
+//   * tiled_fma diverges from the reference only within fp32 rounding
+//     noise, and kAuto only reaches it inside a relaxed-precision region.
+//   * The autotuner's cache round-trips, rejects corruption and foreign
+//     CPUs by falling back to re-measurement, and its published table is
+//     consulted by exact shape.
+#include "tensor/quant.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cpu.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "tensor/autotune.h"
+#include "tensor/gemm.h"
+
+namespace kt {
+namespace {
+
+void FillUniform(std::vector<float>& v, Rng& rng, double lo = -1.0,
+                 double hi = 1.0) {
+  for (float& x : v) x = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+bool BitsEqual(const std::vector<float>& x, const std::vector<float>& y) {
+  return x.size() == y.size() &&
+         (x.empty() ||
+          std::memcmp(x.data(), y.data(), sizeof(float) * x.size()) == 0);
+}
+
+// Serial fp32 reference: the same ascending-k chain as GemmKernel::kReference.
+std::vector<float> ReferenceGemm(const std::vector<float>& a,
+                                 const std::vector<float>& b, int64_t m,
+                                 int64_t k, int64_t n) {
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a[static_cast<size_t>(i * k + p)] *
+               b[static_cast<size_t>(p * n + j)];
+      }
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+// The awkward-extent sweep shared by every backend test: everything from
+// the issue's {1,3,7,8,9,64,65} grid that straddles kMR=4/8 rows and the
+// kNR=8 panel width, thinned so the full cross product stays fast.
+struct Shape {
+  int64_t m, k, n;
+};
+const std::vector<Shape>& SweepShapes() {
+  static const std::vector<Shape> shapes = {
+      {1, 1, 1},  {1, 3, 7},   {1, 64, 65}, {3, 7, 9},   {3, 9, 1},
+      {7, 8, 8},  {8, 7, 3},   {8, 8, 64},  {9, 65, 7},  {9, 9, 9},
+      {64, 3, 8}, {64, 65, 9}, {65, 64, 8}, {65, 9, 65}, {64, 64, 64},
+  };
+  return shapes;
+}
+
+// ---- core/cpu.h ----
+
+TEST(CpuProbeTest, MatchesBuiltinAndIsStable) {
+  const cpu::Features& f1 = cpu::Get();
+  const cpu::Features& f2 = cpu::Get();
+  EXPECT_EQ(&f1, &f2);  // one cached probe, not one per call
+#if defined(__x86_64__)
+  EXPECT_EQ(f1.avx2, static_cast<bool>(__builtin_cpu_supports("avx2")));
+  EXPECT_EQ(f1.fma, static_cast<bool>(__builtin_cpu_supports("fma")));
+#else
+  EXPECT_FALSE(f1.avx2);
+  EXPECT_FALSE(f1.fma);
+#endif
+}
+
+TEST(CpuProbeTest, IdStringReflectsFeatures) {
+  cpu::Features none;
+  cpu::SetForTest(&none);
+  EXPECT_EQ(cpu::IdString(), "scalar");
+  cpu::Features both;
+  both.avx2 = true;
+  both.fma = true;
+  cpu::SetForTest(&both);
+  EXPECT_EQ(cpu::IdString(), "avx2+fma");
+  cpu::SetForTest(nullptr);
+  EXPECT_FALSE(cpu::IdString().empty());
+}
+
+// ---- backend registry ----
+
+TEST(GemmBackendRegistryTest, StableOrderAndLookup) {
+  const auto& backends = GemmBackends();
+  ASSERT_EQ(backends.size(), 5u);
+  EXPECT_EQ(backends[0].name, "reference");
+  EXPECT_EQ(backends[1].name, "tiled");
+  EXPECT_EQ(backends[2].name, "tiled_fma");
+  EXPECT_EQ(backends[3].name, "bf16");
+  EXPECT_EQ(backends[4].name, "int8");
+  // reference and tiled are always available, dispatchable, bit-exact.
+  for (int i : {0, 1}) {
+    EXPECT_TRUE(backends[i].available) << backends[i].name;
+    EXPECT_TRUE(backends[i].dispatchable) << backends[i].name;
+    EXPECT_TRUE(backends[i].bit_exact) << backends[i].name;
+  }
+  // The low-precision families are never SetGemmKernel targets.
+  EXPECT_FALSE(backends[3].dispatchable);
+  EXPECT_FALSE(backends[4].dispatchable);
+  EXPECT_FALSE(backends[2].bit_exact);
+
+  EXPECT_EQ(FindGemmBackend("tiled"), &backends[1]);
+  EXPECT_EQ(FindGemmBackend("nope"), nullptr);
+
+  GemmKernel kernel = GemmKernel::kAuto;
+  EXPECT_TRUE(GemmKernelByName("reference", &kernel));
+  EXPECT_EQ(kernel, GemmKernel::kReference);
+  EXPECT_TRUE(GemmKernelByName("auto", &kernel));
+  EXPECT_EQ(kernel, GemmKernel::kAuto);
+  EXPECT_FALSE(GemmKernelByName("bf16", &kernel));  // not dispatchable
+  EXPECT_FALSE(GemmKernelByName("", &kernel));
+  EXPECT_STREQ(GemmKernelName(GemmKernel::kTiledFma), "tiled_fma");
+}
+
+// ---- bf16 conversions ----
+
+TEST(Bf16ConvTest, RoundTripsRepresentableValues) {
+  for (float v : {0.0f, -0.0f, 1.0f, -2.0f, 0.5f, 96.0f, -0.15625f}) {
+    EXPECT_EQ(quant::FloatFromBf16(quant::Bf16FromFloat(v)), v) << v;
+  }
+}
+
+TEST(Bf16ConvTest, RoundsToNearestEven) {
+  // bf16 keeps 7 mantissa bits, so the step at 1.0 is 2^-7. The midpoint
+  // 1.0 + 2^-8 ties, and round-to-nearest-even keeps the even mantissa.
+  const float halfway = 1.0f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(quant::FloatFromBf16(quant::Bf16FromFloat(halfway)), 1.0f);
+  // Just above the midpoint rounds up to the next representable value.
+  const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -15);
+  EXPECT_EQ(quant::FloatFromBf16(quant::Bf16FromFloat(above)),
+            1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16ConvTest, RelativeErrorWithinHalfStep) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    const float back = quant::FloatFromBf16(quant::Bf16FromFloat(v));
+    EXPECT_LE(std::fabs(back - v), std::fabs(v) * (1.0f / 256.0f)) << v;
+  }
+}
+
+TEST(Bf16ConvTest, PreservesNanAndInfinity) {
+  const float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(quant::FloatFromBf16(quant::Bf16FromFloat(nan))));
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quant::FloatFromBf16(quant::Bf16FromFloat(inf)), inf);
+  EXPECT_EQ(quant::FloatFromBf16(quant::Bf16FromFloat(-inf)), -inf);
+}
+
+// ---- bf16 GEMM ----
+
+TEST(GemmBf16Test, ErrorBoundOnAwkwardShapes) {
+  Rng rng(21);
+  for (const Shape& s : SweepShapes()) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    FillUniform(a, rng);
+    FillUniform(b, rng);
+    const quant::Bf16Panels panels = quant::PackBf16(b.data(), s.k, s.n);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n));
+    quant::GemmBf16(a.data(), panels, c.data(), s.m);
+    const std::vector<float> ref = ReferenceGemm(a, b, s.m, s.k, s.n);
+    // Documented bound: k * max|a| * max|b| * 2^-8 (operands in [-1, 1]),
+    // which already carries ~2x slack over the half-step rounding error.
+    const double bound =
+        static_cast<double>(s.k) / 256.0 + 1e-6;
+    for (size_t i = 0; i < c.size(); ++i) {
+      EXPECT_LE(std::fabs(static_cast<double>(c[i]) - ref[i]), bound)
+          << s.m << "x" << s.k << "x" << s.n << " element " << i;
+    }
+  }
+}
+
+TEST(GemmBf16Test, PortableAndSimdBitIdentical) {
+  Rng rng(22);
+  for (const Shape& s : SweepShapes()) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    FillUniform(a, rng);
+    FillUniform(b, rng);
+    const quant::Bf16Panels panels = quant::PackBf16(b.data(), s.k, s.n);
+    std::vector<float> simd(static_cast<size_t>(s.m * s.n));
+    std::vector<float> portable(simd.size());
+    quant::GemmBf16(a.data(), panels, simd.data(), s.m);
+    quant::internal::SetSimdEnabledForTest(false);
+    quant::GemmBf16(a.data(), panels, portable.data(), s.m);
+    quant::internal::SetSimdEnabledForTest(true);
+    EXPECT_TRUE(BitsEqual(simd, portable))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmBf16Test, BitIdenticalAcrossThreadCounts) {
+  const int previous_threads = GetNumThreads();
+  Rng rng(23);
+  // Big enough to cross the row-parallel threshold (m*k*n >= 1<<18).
+  const int64_t m = 96, k = 64, n = 64;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(a, rng);
+  FillUniform(b, rng);
+  const quant::Bf16Panels panels = quant::PackBf16(b.data(), k, n);
+  SetNumThreads(1);
+  std::vector<float> serial(static_cast<size_t>(m * n));
+  quant::GemmBf16(a.data(), panels, serial.data(), m);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    std::vector<float> out(serial.size());
+    quant::GemmBf16(a.data(), panels, out.data(), m);
+    EXPECT_TRUE(BitsEqual(out, serial)) << "threads=" << threads;
+  }
+  SetNumThreads(previous_threads);
+}
+
+// ---- int8 quantization ----
+
+TEST(QuantizeTest, CalibrateHandlesZeroAndScales) {
+  const float zeros[4] = {0, 0, 0, 0};
+  EXPECT_EQ(quant::CalibrateSymmetric(zeros, 4).scale, 1.0f);
+  EXPECT_EQ(quant::CalibrateSymmetric(nullptr, 0).scale, 1.0f);
+  const float vals[3] = {0.5f, -2.54f, 1.0f};
+  EXPECT_FLOAT_EQ(quant::CalibrateSymmetric(vals, 3).scale, 2.54f / 127.0f);
+}
+
+TEST(QuantizeTest, RoundsAndSaturates) {
+  quant::QuantParams params;
+  params.scale = 0.5f;
+  const float x[6] = {0.0f, 0.6f, -0.6f, 100.0f, -100.0f, 0.25f};
+  int8_t q[6];
+  quant::QuantizeSymmetric(x, 6, params, q);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);    // 1.2 -> 1
+  EXPECT_EQ(q[2], -1);
+  EXPECT_EQ(q[3], 127);  // saturates, never wraps
+  EXPECT_EQ(q[4], -127); // symmetric: -127, not -128
+  EXPECT_EQ(q[5], 0);    // 0.5 ties to even
+}
+
+// ---- int8 GEMM ----
+
+TEST(GemmInt8Test, ExactWhenScalesAreLossless) {
+  // Both operands hold integers and contain a +-127 so CalibrateSymmetric
+  // lands exactly on scale = 1: quantization is lossless, the integer
+  // accumulator is exact, and the GEMM returns the true product bits.
+  const int64_t m = 5, k = 16, n = 9;
+  Rng rng(31);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (float& x : a)
+    x = std::floor(static_cast<float>(rng.Uniform(-20.0, 20.0)));
+  for (float& x : b)
+    x = std::floor(static_cast<float>(rng.Uniform(-20.0, 20.0)));
+  a[0] = 127.0f;
+  b[0] = -127.0f;
+  const quant::Int8Panels panels = quant::PackInt8(b.data(), k, n);
+  const quant::QuantParams a_params = quant::CalibrateSymmetric(
+      a.data(), static_cast<int64_t>(a.size()));
+  ASSERT_EQ(a_params.scale, 1.0f);
+  ASSERT_EQ(panels.params.scale, 1.0f);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  quant::GemmInt8FromFloat(a.data(), a_params, panels, c.data(), m);
+  const std::vector<float> ref = ReferenceGemm(a, b, m, k, n);
+  EXPECT_TRUE(BitsEqual(c, ref));
+}
+
+TEST(GemmInt8Test, ErrorBoundOnAwkwardShapes) {
+  Rng rng(32);
+  for (const Shape& s : SweepShapes()) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    FillUniform(a, rng);
+    FillUniform(b, rng);
+    const quant::Int8Panels panels = quant::PackInt8(b.data(), s.k, s.n);
+    const quant::QuantParams a_params = quant::CalibrateSymmetric(
+        a.data(), static_cast<int64_t>(a.size()));
+    std::vector<float> c(static_cast<size_t>(s.m * s.n));
+    quant::GemmInt8FromFloat(a.data(), a_params, panels, c.data(), s.m);
+    const std::vector<float> ref = ReferenceGemm(a, b, s.m, s.k, s.n);
+    // |delta(ab)| <= |a| db + |b| da + da db with da = sa/2, db = sb/2,
+    // summed over k; operands are in [-1, 1].
+    const double sa = a_params.scale, sb = panels.params.scale;
+    const double bound =
+        static_cast<double>(s.k) * (sb / 2 + sa / 2 + sa * sb / 4) + 1e-5;
+    for (size_t i = 0; i < c.size(); ++i) {
+      EXPECT_LE(std::fabs(static_cast<double>(c[i]) - ref[i]), bound)
+          << s.m << "x" << s.k << "x" << s.n << " element " << i;
+    }
+  }
+}
+
+TEST(GemmInt8Test, PortableAndSimdBitIdentical) {
+  Rng rng(33);
+  for (const Shape& s : SweepShapes()) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    FillUniform(a, rng);
+    FillUniform(b, rng);
+    const quant::Int8Panels panels = quant::PackInt8(b.data(), s.k, s.n);
+    const quant::QuantParams a_params = quant::CalibrateSymmetric(
+        a.data(), static_cast<int64_t>(a.size()));
+    std::vector<float> simd(static_cast<size_t>(s.m * s.n));
+    std::vector<float> portable(simd.size());
+    quant::GemmInt8FromFloat(a.data(), a_params, panels, simd.data(), s.m);
+    quant::internal::SetSimdEnabledForTest(false);
+    quant::GemmInt8FromFloat(a.data(), a_params, panels, portable.data(),
+                             s.m);
+    quant::internal::SetSimdEnabledForTest(true);
+    EXPECT_TRUE(BitsEqual(simd, portable))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmInt8Test, BitIdenticalAcrossThreadCounts) {
+  const int previous_threads = GetNumThreads();
+  Rng rng(34);
+  const int64_t m = 96, k = 64, n = 64;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(a, rng);
+  FillUniform(b, rng);
+  const quant::Int8Panels panels = quant::PackInt8(b.data(), k, n);
+  const quant::QuantParams a_params =
+      quant::CalibrateSymmetric(a.data(), static_cast<int64_t>(a.size()));
+  SetNumThreads(1);
+  std::vector<float> serial(static_cast<size_t>(m * n));
+  quant::GemmInt8FromFloat(a.data(), a_params, panels, serial.data(), m);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    std::vector<float> out(serial.size());
+    quant::GemmInt8FromFloat(a.data(), a_params, panels, out.data(), m);
+    EXPECT_TRUE(BitsEqual(out, serial)) << "threads=" << threads;
+  }
+  SetNumThreads(previous_threads);
+}
+
+TEST(GemmInt8Test, FromFloatMatchesManualQuantization) {
+  Rng rng(35);
+  const int64_t m = 7, k = 33, n = 9;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(a, rng);
+  FillUniform(b, rng);
+  const quant::Int8Panels panels = quant::PackInt8(b.data(), k, n);
+  const quant::QuantParams a_params =
+      quant::CalibrateSymmetric(a.data(), static_cast<int64_t>(a.size()));
+  std::vector<float> via_float(static_cast<size_t>(m * n));
+  quant::GemmInt8FromFloat(a.data(), a_params, panels, via_float.data(), m);
+  std::vector<int8_t> aq(a.size());
+  quant::QuantizeSymmetric(a.data(), static_cast<int64_t>(a.size()),
+                           a_params, aq.data());
+  std::vector<float> via_int8(via_float.size());
+  quant::GemmInt8(aq.data(), a_params, panels, via_int8.data(), m);
+  EXPECT_TRUE(BitsEqual(via_float, via_int8));
+}
+
+// ---- tiled_fma ----
+
+TEST(GemmFmaTest, WithinFp32RoundingOfReference) {
+  const GemmBackendDesc* fma = FindGemmBackend("tiled_fma");
+  ASSERT_NE(fma, nullptr);
+  if (!fma->available) GTEST_SKIP() << "no FMA on this host";
+  const GemmKernel previous = GetGemmKernel();
+  Rng rng(41);
+  for (const Shape& s : SweepShapes()) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    FillUniform(a, rng);
+    FillUniform(b, rng);
+    std::vector<float> out(static_cast<size_t>(s.m * s.n), 0.0f);
+    SetGemmKernel(GemmKernel::kTiledFma);
+    Gemm(a.data(), b.data(), out.data(), s.m, s.k, s.n);
+    SetGemmKernel(previous);
+    const std::vector<float> ref = ReferenceGemm(a, b, s.m, s.k, s.n);
+    // FMA skips one rounding per multiply-add: the divergence is bounded
+    // by the fp32 accumulation error, k * eps * accumulated magnitude.
+    const double bound = static_cast<double>(s.k) * std::ldexp(1.0, -23) *
+                             static_cast<double>(s.k) +
+                         1e-9;
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_LE(std::fabs(static_cast<double>(out[i]) - ref[i]), bound)
+          << s.m << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+
+TEST(GemmFmaTest, AutoStaysBitExactInStrictRegions) {
+  const GemmBackendDesc* fma = FindGemmBackend("tiled_fma");
+  ASSERT_NE(fma, nullptr);
+  if (!fma->available) GTEST_SKIP() << "no FMA on this host";
+  autotune::ClearPublishedTable();
+  // Big enough that the kAuto heuristic picks the tiled family.
+  const int64_t m = 64, k = 64, n = 64;
+  Rng rng(42);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(a, rng);
+  FillUniform(b, rng);
+  const GemmKernel previous = GetGemmKernel();
+  SetGemmKernel(GemmKernel::kTiled);
+  std::vector<float> tiled(static_cast<size_t>(m * n), 0.0f);
+  Gemm(a.data(), b.data(), tiled.data(), m, k, n);
+  SetGemmKernel(GemmKernel::kTiledFma);
+  std::vector<float> fma_out(tiled.size(), 0.0f);
+  Gemm(a.data(), b.data(), fma_out.data(), m, k, n);
+  SetGemmKernel(GemmKernel::kAuto);
+
+  // Default (strict) region: kAuto must reproduce the bit-exact tiled
+  // family even though FMA is available and faster.
+  std::vector<float> strict(tiled.size(), 0.0f);
+  Gemm(a.data(), b.data(), strict.data(), m, k, n);
+  EXPECT_TRUE(BitsEqual(strict, tiled));
+
+  // Relaxed region: kAuto may (and, with FMA available and no tuned
+  // table, does) select tiled_fma.
+  std::vector<float> relaxed(tiled.size(), 0.0f);
+  {
+    FpRegionScope scope(FpRegion::kRelaxed);
+    Gemm(a.data(), b.data(), relaxed.data(), m, k, n);
+  }
+  EXPECT_TRUE(BitsEqual(relaxed, fma_out));
+  SetGemmKernel(previous);
+}
+
+// ---- autotuner ----
+
+class AutotuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    autotune::ClearPublishedTable();
+    path_ = ::testing::TempDir() + "/kt_autotune_test.cache";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    autotune::ClearPublishedTable();
+    std::remove(path_.c_str());
+  }
+
+  static void WriteFile(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(AutotuneTest, CacheRoundTrips) {
+  std::vector<autotune::Entry> entries(2);
+  entries[0].m = 8;
+  entries[0].k = 64;
+  entries[0].n = 32;
+  entries[0].strict_kernel = GemmKernel::kTiled;
+  entries[0].relaxed_kernel = GemmKernel::kTiledFma;
+  entries[1].m = 1;
+  entries[1].k = 16;
+  entries[1].n = 1;
+  entries[1].strict_kernel = GemmKernel::kReference;
+  entries[1].relaxed_kernel = GemmKernel::kReference;
+  ASSERT_TRUE(autotune::SaveCacheFile(path_, entries));
+  std::vector<autotune::Entry> loaded;
+  ASSERT_TRUE(autotune::LoadCacheFile(path_, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].m, entries[i].m);
+    EXPECT_EQ(loaded[i].k, entries[i].k);
+    EXPECT_EQ(loaded[i].n, entries[i].n);
+    EXPECT_EQ(loaded[i].strict_kernel, entries[i].strict_kernel);
+    EXPECT_EQ(loaded[i].relaxed_kernel, entries[i].relaxed_kernel);
+    EXPECT_TRUE(loaded[i].from_cache);
+  }
+}
+
+TEST_F(AutotuneTest, LoadRejectsMissingCorruptAndForeignCpu) {
+  std::vector<autotune::Entry> out;
+  EXPECT_FALSE(autotune::LoadCacheFile(path_, &out));  // missing
+
+  WriteFile(path_, "not an autotune cache\n");
+  EXPECT_FALSE(autotune::LoadCacheFile(path_, &out));  // bad header
+  EXPECT_TRUE(out.empty());
+
+  // Right header, corrupt body: the WHOLE file is discarded (a partial
+  // table could silently shadow better tuned entries).
+  WriteFile(path_, "ktgemm-autotune v1 cpu=" + cpu::IdString() +
+                       "\n8 64 32 tiled tiled_fma\n8 64 garbage\n");
+  EXPECT_FALSE(autotune::LoadCacheFile(path_, &out));
+  EXPECT_TRUE(out.empty());
+
+  // A cache written by a different CPU is ignored entirely.
+  WriteFile(path_,
+            "ktgemm-autotune v1 cpu=some-other-cpu\n8 64 32 tiled tiled\n");
+  EXPECT_FALSE(autotune::LoadCacheFile(path_, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AutotuneTest, TuneShapesPublishesAndCaches) {
+  autotune::Options options;
+  options.cache_path = path_;
+  options.samples = 1;
+  options.target_batch_seconds = 1e-5;  // keep measurement trivial
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {4, 8, 8}, {16, 16, 16}, {4, 8, 8},  // duplicate dropped
+      {0, 8, 8},                           // degenerate dropped
+  };
+  const autotune::Result first = autotune::TuneShapes(shapes, options);
+  EXPECT_EQ(first.measured, 2);
+  EXPECT_EQ(first.cached, 0);
+  ASSERT_EQ(first.entries.size(), 2u);
+
+  // Published table answers exact-shape lookups for both regions.
+  GemmKernel kernel = GemmKernel::kAuto;
+  EXPECT_TRUE(autotune::LookupForDispatch(4, 8, 8, /*relaxed=*/false,
+                                          &kernel));
+  EXPECT_TRUE(kernel == GemmKernel::kReference ||
+              kernel == GemmKernel::kTiled);
+  EXPECT_TRUE(autotune::LookupForDispatch(16, 16, 16, /*relaxed=*/true,
+                                          &kernel));
+  EXPECT_FALSE(autotune::LookupForDispatch(5, 8, 8, false, &kernel));
+  EXPECT_EQ(autotune::PublishedEntries().size(), 2u);
+
+  // Second run with the same shapes: pure cache hits, no re-measurement.
+  const autotune::Result second = autotune::TuneShapes(shapes, options);
+  EXPECT_EQ(second.measured, 0);
+  EXPECT_EQ(second.cached, 2);
+
+  autotune::ClearPublishedTable();
+  EXPECT_FALSE(autotune::LookupForDispatch(4, 8, 8, false, &kernel));
+  EXPECT_TRUE(autotune::PublishedEntries().empty());
+}
+
+TEST_F(AutotuneTest, CorruptCacheFallsBackToMeasurement) {
+  WriteFile(path_, "ktgemm-autotune v1 cpu=" + cpu::IdString() +
+                       "\nthis line is garbage\n");
+  autotune::Options options;
+  options.cache_path = path_;
+  options.samples = 1;
+  options.target_batch_seconds = 1e-5;
+  const autotune::Result result =
+      autotune::TuneShapes({{4, 8, 8}}, options);
+  EXPECT_EQ(result.measured, 1);
+  EXPECT_EQ(result.cached, 0);
+  // The rewritten cache is valid again.
+  std::vector<autotune::Entry> reloaded;
+  EXPECT_TRUE(autotune::LoadCacheFile(path_, &reloaded));
+  EXPECT_EQ(reloaded.size(), 1u);
+}
+
+TEST_F(AutotuneTest, TunedStrictWinnerStaysBitExact) {
+  // Whatever the tuner picked for the strict region, dispatching through
+  // kAuto must still reproduce the reference bits: the strict candidate
+  // set only ever contains bit-exact families.
+  autotune::Options options;
+  options.samples = 1;
+  options.target_batch_seconds = 1e-5;
+  const int64_t m = 16, k = 16, n = 16;
+  autotune::TuneShapes({{m, k, n}}, options);
+  Rng rng(51);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(a, rng);
+  FillUniform(b, rng);
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  Gemm(a.data(), b.data(), out.data(), m, k, n);
+  EXPECT_TRUE(BitsEqual(out, ReferenceGemm(a, b, m, k, n)));
+}
+
+}  // namespace
+}  // namespace kt

@@ -1,0 +1,335 @@
+// Tests for the serve-path precision policy (serve/lowp_head.h and the
+// InferenceEngine --precision plumbing).
+//
+// The policy under test: below fp32, ONLY the predict MLP head changes.
+// Session state, updates, and replay stay bitwise fp32, so a low-precision
+// engine's predictions track an fp32 engine within the head's error bound
+// while its internal state never diverges at all. int8 additionally
+// requires static activation calibration and must fall back to fp32
+// predictions until it has it.
+#include "serve/lowp_head.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/simulator.h"
+#include "nn/linear.h"
+#include "rckt/rckt_model.h"
+#include "serve/engine.h"
+
+namespace kt {
+namespace serve {
+namespace {
+
+uint32_t Bits(float f) {
+  uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+data::Dataset TinyDataset() {
+  data::SimulatorConfig config;
+  config.num_students = 10;
+  config.num_questions = 25;
+  config.num_concepts = 4;
+  config.min_responses = 10;
+  config.max_responses = 16;
+  config.seed = 17;
+  data::StudentSimulator sim(config);
+  return sim.Generate();
+}
+
+rckt::RcktConfig SmallConfig() {
+  rckt::RcktConfig config;
+  config.encoder = rckt::EncoderKind::kDKT;
+  config.dim = 16;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  config.seed = 4;
+  return config;
+}
+
+TEST(PrecisionNameTest, ParsesAndRejects) {
+  Precision p = Precision::kFp32;
+  EXPECT_TRUE(PrecisionByName("bf16", &p));
+  EXPECT_EQ(p, Precision::kBf16);
+  EXPECT_TRUE(PrecisionByName("int8", &p));
+  EXPECT_EQ(p, Precision::kInt8);
+  EXPECT_TRUE(PrecisionByName("fp32", &p));
+  EXPECT_EQ(p, Precision::kFp32);
+  EXPECT_FALSE(PrecisionByName("fp16", &p));
+  EXPECT_FALSE(PrecisionByName("", &p));
+  EXPECT_STREQ(PrecisionName(Precision::kBf16), "bf16");
+}
+
+// Reference fp32 head: x [m, 2d] -> relu(x W1 + b1) -> sigmoid(. W2 + b2),
+// the same formulas ExecutePredict runs through the autograd path.
+std::vector<float> Fp32Head(const nn::Linear& hidden, const nn::Linear& out,
+                            const Tensor& x) {
+  const int64_t m = x.size(0), in = x.size(1);
+  const int64_t mid = hidden.out_features();
+  const Tensor& w1 = hidden.weight().value();
+  const Tensor& w2 = out.weight().value();
+  std::vector<float> h(static_cast<size_t>(m * mid), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < mid; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < in; ++p) {
+        acc += x.flat(i * in + p) * w1.flat(p * mid + j);
+      }
+      acc += hidden.bias().value().flat(j);
+      h[static_cast<size_t>(i * mid + j)] = acc > 0.0f ? acc : 0.0f;
+    }
+  }
+  std::vector<float> probs(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < mid; ++j) {
+      acc += h[static_cast<size_t>(i * mid + j)] * w2.flat(j);
+    }
+    acc += out.bias().value().flat(0);
+    probs[static_cast<size_t>(i)] = 1.0f / (1.0f + std::exp(-acc));
+  }
+  return probs;
+}
+
+class LowpHeadTest : public ::testing::Test {
+ protected:
+  LowpHeadTest() : rng_(7), hidden_(2 * kDim, kDim, rng_), out_(kDim, 1, rng_) {}
+
+  Tensor SampleX(int64_t rows) {
+    Tensor x({rows, 2 * kDim});
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      x.flat(i) = static_cast<float>(rng_.Uniform(-2.0, 2.0));
+    }
+    return x;
+  }
+
+  static constexpr int64_t kDim = 16;
+  Rng rng_;
+  nn::Linear hidden_;
+  nn::Linear out_;
+};
+
+TEST_F(LowpHeadTest, Bf16ForwardTracksFp32) {
+  LowpHead head(Precision::kBf16, hidden_, out_);
+  EXPECT_TRUE(head.calibrated());  // bf16 needs no calibration
+  for (int64_t rows : {1, 3, 16}) {
+    const Tensor x = SampleX(rows);
+    std::vector<float> probs(static_cast<size_t>(rows));
+    head.Forward(x, probs.data());
+    const std::vector<float> ref = Fp32Head(hidden_, out_, x);
+    for (int64_t i = 0; i < rows; ++i) {
+      // Sigmoid has slope <= 1/4, so logit error passes through damped;
+      // 1e-2 is ~25x slack over the observed bf16 head error.
+      EXPECT_NEAR(probs[static_cast<size_t>(i)],
+                  ref[static_cast<size_t>(i)], 1e-2);
+      EXPECT_GE(probs[static_cast<size_t>(i)], 0.0f);
+      EXPECT_LE(probs[static_cast<size_t>(i)], 1.0f);
+    }
+  }
+}
+
+TEST_F(LowpHeadTest, Int8ForwardTracksFp32AfterCalibration) {
+  LowpHead head(Precision::kInt8, hidden_, out_);
+  EXPECT_FALSE(head.calibrated());  // needs activation scales first
+  head.CalibrateInt8(SampleX(64));
+  ASSERT_TRUE(head.calibrated());
+  EXPECT_GT(head.x_scale(), 0.0f);
+  EXPECT_GT(head.hidden_scale(), 0.0f);
+  for (int64_t rows : {1, 5, 16}) {
+    const Tensor x = SampleX(rows);
+    std::vector<float> probs(static_cast<size_t>(rows));
+    head.Forward(x, probs.data());
+    const std::vector<float> ref = Fp32Head(hidden_, out_, x);
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_NEAR(probs[static_cast<size_t>(i)],
+                  ref[static_cast<size_t>(i)], 5e-2);
+    }
+  }
+}
+
+TEST_F(LowpHeadTest, ForwardIsDeterministic) {
+  LowpHead head(Precision::kBf16, hidden_, out_);
+  const Tensor x = SampleX(8);
+  std::vector<float> first(8), second(8);
+  head.Forward(x, first.data());
+  head.Forward(x, second.data());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(Bits(first[i]), Bits(second[i]));
+  }
+}
+
+// ---- engine-level policy ----
+
+struct EnginePair {
+  EnginePair(rckt::RCKT& model, const data::Dataset& ds,
+             Precision precision)
+      : fp32_options(), lowp_options() {
+    fp32_options.num_questions = ds.num_questions;
+    fp32_options.num_concepts = ds.num_concepts;
+    lowp_options = fp32_options;
+    lowp_options.precision = precision;
+    fp32 = std::make_unique<InferenceEngine>(model, fp32_options);
+    lowp = std::make_unique<InferenceEngine>(model, lowp_options);
+  }
+
+  EngineOptions fp32_options, lowp_options;
+  std::unique_ptr<InferenceEngine> fp32, lowp;
+};
+
+// Drives both engines through one student's history; returns the pairs of
+// (fp32, lowp) predictions at every step with at least two turns of
+// history.
+std::vector<std::pair<float, float>> DrivePair(
+    EnginePair& pair, const data::ResponseSequence& seq) {
+  std::vector<std::pair<float, float>> pairs;
+  for (int64_t t = 0; t < seq.length(); ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    if (t >= 2) {
+      ServeRequest predict;
+      predict.op = Op::kPredict;
+      predict.student = "s0";
+      predict.question = it.question;
+      predict.has_concepts = true;
+      predict.concepts = it.concepts;
+      const ServeResponse a = pair.fp32->Execute(predict);
+      const ServeResponse b = pair.lowp->Execute(predict);
+      EXPECT_TRUE(a.ok) << a.error;
+      EXPECT_TRUE(b.ok) << b.error;
+      pairs.emplace_back(a.p, b.p);
+    }
+    ServeRequest update;
+    update.op = Op::kUpdate;
+    update.student = "s0";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    EXPECT_TRUE(pair.fp32->Execute(update).ok);
+    EXPECT_TRUE(pair.lowp->Execute(update).ok);
+  }
+  return pairs;
+}
+
+TEST(EnginePrecisionTest, Bf16PredictsTrackFp32) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig());
+  EnginePair pair(model, ds, Precision::kBf16);
+  EXPECT_TRUE(pair.lowp->lowp_active());
+  EXPECT_EQ(pair.lowp->precision(), Precision::kBf16);
+  for (const auto& [fp32_p, lowp_p] : DrivePair(pair, ds.sequences[0])) {
+    EXPECT_NEAR(lowp_p, fp32_p, 1e-2);
+  }
+}
+
+TEST(EnginePrecisionTest, Int8FallsBackToFp32UntilCalibrated) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig());
+  EnginePair pair(model, ds, Precision::kInt8);
+  // No CalibrateLowp yet: the int8 head has no activation scales, so
+  // predictions are served on the fp32 path — bitwise identical.
+  EXPECT_FALSE(pair.lowp->lowp_active());
+  for (const auto& [fp32_p, lowp_p] : DrivePair(pair, ds.sequences[0])) {
+    EXPECT_EQ(Bits(lowp_p), Bits(fp32_p));
+  }
+}
+
+TEST(EnginePrecisionTest, Int8PredictsTrackFp32AfterCalibrateLowp) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig());
+  EnginePair pair(model, ds, Precision::kInt8);
+  pair.lowp->CalibrateLowp(ds);
+  ASSERT_TRUE(pair.lowp->lowp_active());
+  for (const auto& [fp32_p, lowp_p] : DrivePair(pair, ds.sequences[1])) {
+    EXPECT_NEAR(lowp_p, fp32_p, 5e-2);
+  }
+}
+
+TEST(EnginePrecisionTest, CalibrationIsDeterministic) {
+  // Two engines calibrated from the same dataset land on identical scales
+  // (the shard-invariance requirement: every shard calibrates itself).
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig());
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  options.precision = Precision::kInt8;
+  InferenceEngine first(model, options);
+  InferenceEngine second(model, options);
+  first.CalibrateLowp(ds);
+  second.CalibrateLowp(ds);
+  ASSERT_TRUE(first.lowp_active());
+  ASSERT_TRUE(second.lowp_active());
+
+  // Identical scales => identical predictions, bit for bit.
+  const auto& seq = ds.sequences[2];
+  for (int64_t t = 0; t < seq.length(); ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    if (t >= 2) {
+      ServeRequest predict;
+      predict.op = Op::kPredict;
+      predict.student = "s0";
+      predict.question = it.question;
+      predict.has_concepts = true;
+      predict.concepts = it.concepts;
+      const ServeResponse a = first.Execute(predict);
+      const ServeResponse b = second.Execute(predict);
+      ASSERT_TRUE(a.ok && b.ok);
+      EXPECT_EQ(Bits(a.p), Bits(b.p)) << "t=" << t;
+    }
+    ServeRequest update;
+    update.op = Op::kUpdate;
+    update.student = "s0";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    ASSERT_TRUE(first.Execute(update).ok);
+    ASSERT_TRUE(second.Execute(update).ok);
+  }
+}
+
+TEST(EnginePrecisionTest, ExplainStaysOnFp32Path) {
+  // Explanations replay counterfactuals through the full model; the
+  // precision policy must leave them bitwise identical to an fp32 engine.
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig());
+  EnginePair pair(model, ds, Precision::kBf16);
+  const auto& seq = ds.sequences[0];
+  for (int64_t t = 0; t < 6; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    ServeRequest update;
+    update.op = Op::kUpdate;
+    update.student = "s0";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    ASSERT_TRUE(pair.fp32->Execute(update).ok);
+    ASSERT_TRUE(pair.lowp->Execute(update).ok);
+  }
+  ServeRequest explain;
+  explain.op = Op::kExplain;
+  explain.student = "s0";
+  explain.question = seq.interactions[6].question;
+  explain.has_concepts = true;
+  explain.concepts = seq.interactions[6].concepts;
+  const ServeResponse a = pair.fp32->Execute(explain);
+  const ServeResponse b = pair.lowp->Execute(explain);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.influence.size(), b.influence.size());
+  for (size_t i = 0; i < a.influence.size(); ++i) {
+    EXPECT_EQ(Bits(a.influence[i]), Bits(b.influence[i])) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kt

@@ -44,6 +44,8 @@
 //   --connections N     concurrent client connections (default 1)
 //   replay:   --data data.csv [--expect eval.json] [--window 50]
 //             [--min-length 5] [--stride 4] [--min-target 4]
+//             [--expect-tol 0.0  accept |online-offline| <= tol instead of
+//              bitwise equality; for servers running --precision bf16/int8]
 //   bench:    [--requests 200 per connection] [--questions 100] [--seed 1]
 //   scenario: --scenario NAME [--students N] [--scale S] [--seed N]
 //             [--auc-window 50000]
@@ -64,6 +66,7 @@
 #include "data/io.h"
 #include "data/scenarios.h"
 #include "data/simulator.h"
+#include "eval/metrics.h"
 #include "obs/obs.h"
 #include "rckt/samples.h"
 #include "serve/json.h"
@@ -136,6 +139,8 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
 
   std::mutex mu;
   serve::PredictionMap got;
+  std::vector<float> auc_scores;
+  std::vector<int> auc_labels;
   std::vector<double> latencies_us;
   std::vector<std::string> failures;
   std::vector<std::thread> workers;
@@ -152,6 +157,8 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
         return;
       }
       serve::PredictionMap local_got;
+      std::vector<float> local_scores;
+      std::vector<int> local_labels;
       std::vector<double> local_us;
       std::string response;
       for (size_t i = static_cast<size_t>(w); i < windows.sequences.size();
@@ -184,8 +191,10 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
               failures.push_back("bad predict reply: " + response);
               return;
             }
-            local_got[{static_cast<int64_t>(i), t}] =
-                static_cast<float>(reply.GetNumber("p", NAN));
+            const float p = static_cast<float>(reply.GetNumber("p", NAN));
+            local_got[{static_cast<int64_t>(i), t}] = p;
+            local_scores.push_back(p);
+            local_labels.push_back(it.response);
           }
           if (!client.RoundTrip(serve::UpdateLine(student, it.question,
                                                   it.concepts, it.response),
@@ -198,6 +207,10 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
       }
       std::lock_guard<std::mutex> lock(mu);
       got.insert(local_got.begin(), local_got.end());
+      auc_scores.insert(auc_scores.end(), local_scores.begin(),
+                        local_scores.end());
+      auc_labels.insert(auc_labels.end(), local_labels.begin(),
+                        local_labels.end());
       latencies_us.insert(latencies_us.end(), local_us.begin(),
                           local_us.end());
     });
@@ -212,14 +225,23 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
                                               f.c_str());
   if (!failures.empty()) return 1;
 
-  // Bitwise comparison against the offline scorer's generator_score.
+  // Comparison against the offline scorer's generator_score: bitwise by
+  // default, |diff| <= --expect-tol when the server runs a low-precision
+  // predict head (scripts/check_precision.sh).
   serve::ReplaySummary summary;
-  summary.check = serve::CheckPredictions(expected.scores, got);
+  summary.check = serve::CheckPredictions(
+      expected.scores, got, /*max_details=*/5,
+      flags.GetDouble("expect-tol", 0.0));
   for (const auto& d : summary.check.details) {
     std::fprintf(stderr, "replay: %s\n", d.c_str());
   }
   summary.connections = num_workers;
   summary.predictions = static_cast<int64_t>(got.size());
+  // eval::ComputeAuc is permutation-invariant, so the worker merge order
+  // cannot move the online AUC.
+  summary.auc_samples = static_cast<int64_t>(auc_scores.size());
+  summary.auc =
+      auc_scores.empty() ? 0.5 : eval::ComputeAuc(auc_scores, auc_labels);
   summary.elapsed_s = elapsed;
   summary.latency = serve::SummarizeLatencies(latencies_us);
   std::printf("%s\n", serve::ReplaySummaryJson(summary).c_str());
