@@ -122,6 +122,69 @@ void BenchEncoder(rckt::EncoderKind kind, const data::Dataset& ds,
               offline_ns / online_ns, update_ns);
 }
 
+// Counterfactual recourse at history length T: the stacked fast path
+// (insert-only candidates scored from cloned forward streams, flip
+// candidates fanned out through GeneratorScoreTargetsStacked) against
+// --brute, which runs one full forward pass per candidate set. The two
+// are bit-identical by contract (tests/serve_test.cc), so the speedup is
+// pure batching.
+void BenchRecourse(rckt::EncoderKind kind, const data::Dataset& ds,
+                   int64_t T, int k) {
+  rckt::RcktConfig config;
+  config.encoder = kind;
+  config.dim = 32;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  config.seed = 4;
+  rckt::RCKT model(ds.num_questions, ds.num_concepts, config);
+  const auto& seq = ds.sequences[0];
+  KT_CHECK(seq.length() > T) << "simulated sequence shorter than T";
+
+  serve::EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  serve::InferenceEngine engine(model, options);
+  for (int64_t t = 0; t < T; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    serve::ServeRequest update;
+    update.op = serve::Op::kUpdate;
+    update.student = "s";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    KT_CHECK(engine.Execute(update).ok);
+  }
+  serve::ServeRequest fast;
+  fast.op = serve::Op::kRecourse;
+  fast.student = "s";
+  fast.question = seq.interactions[static_cast<size_t>(T)].question;
+  fast.has_concepts = true;
+  fast.concepts = seq.interactions[static_cast<size_t>(T)].concepts;
+  fast.k = k;
+  fast.top = 8;
+  serve::ServeRequest brute = fast;
+  brute.brute = true;
+
+  const int64_t evaluated = engine.Execute(fast).evaluated;
+  const double brute_ns = TimeNs([&] {
+    g_sink = engine.Execute(brute).base_p;
+  }, /*min_time_sec=*/0.3);
+  const double fast_ns = TimeNs([&] {
+    g_sink = engine.Execute(fast).base_p;
+  }, /*min_time_sec=*/0.3);
+
+  const char* name = rckt::EncoderKindName(kind);
+  g_results.push_back({name, "recourse", T, "brute_per_candidate", brute_ns});
+  g_results.push_back({name, "recourse", T, "stacked_fanout", fast_ns});
+  std::printf("  %-4s T=%-4lld recourse k=%d (%lld sets)  brute %10.0f ns"
+              "  stacked %9.0f ns  (%.1fx)\n",
+              name, static_cast<long long>(T), k,
+              static_cast<long long>(evaluated), brute_ns, fast_ns,
+              brute_ns / fast_ns);
+}
+
 // Micro-batcher throughput: concurrent closed-loop producers hammering one
 // engine through the batcher (in-process; no socket overhead).
 void BenchBatcher(const data::Dataset& ds) {
@@ -187,13 +250,16 @@ bool WriteJson(const std::string& path) {
   for (size_t i = 0; i + 1 < g_results.size(); ++i) {
     const Result& base = g_results[i];
     const Result& opt = g_results[i + 1];
-    if (base.mode != "offline_reencode" ||
-        opt.mode != "online_incremental" || base.op != opt.op) {
-      continue;
-    }
+    const bool predict_pair = base.mode == "offline_reencode" &&
+                              opt.mode == "online_incremental" &&
+                              base.op == opt.op;
+    const bool recourse_pair = base.mode == "brute_per_candidate" &&
+                               opt.mode == "stacked_fanout" &&
+                               base.op == "recourse" && opt.op == "recourse";
+    if (!predict_pair && !recourse_pair) continue;
     if (!first) out << ",\n";
     first = false;
-    out << "    \"predict_" << base.encoder << "_T" << base.seq_len
+    out << "    \"" << base.op << "_" << base.encoder << "_T" << base.seq_len
         << "\": " << base.ns_per_iter / opt.ns_per_iter;
   }
   out << "\n  },\n  \"batcher\": {\"connections\": " << g_batcher_connections
@@ -225,6 +291,11 @@ int main(int argc, char** argv) {
        {kt::rckt::EncoderKind::kDKT, kt::rckt::EncoderKind::kGRU,
         kt::rckt::EncoderKind::kSAKT, kt::rckt::EncoderKind::kAKT}) {
     kt::BenchEncoder(kind, ds, /*T=*/100);
+  }
+  std::printf("recourse: stacked fan-out vs brute per-candidate passes\n");
+  for (kt::rckt::EncoderKind kind :
+       {kt::rckt::EncoderKind::kDKT, kt::rckt::EncoderKind::kSAKT}) {
+    kt::BenchRecourse(kind, ds, /*T=*/100, /*k=*/3);
   }
   kt::BenchBatcher(ds);
 

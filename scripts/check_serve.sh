@@ -110,6 +110,56 @@ echo "== stdio transport + eviction pressure (1 MB budget) =="
 [[ "$(grep -c '"ok":true' "${WORK}/stdio.out")" -eq 7 ]]
 grep -q '"sessions":0' "${WORK}/stdio.out"   # after the reset
 
+echo "== recourse gate: suffix replay ≡ brute offline re-encode =="
+# One server, two passes of the same recourse traffic: the fast path
+# (prefix-clone + suffix replay) and --brute (full per-candidate
+# re-encode). The reply digest folds base_p, every candidate probability
+# and every intervention, so digest equality is bitwise top-K equality.
+"${KTCLI}" serve --load "${WORK}/model.ktw" --data "${WORK}/data.csv" \
+  --port "${PORT}" --threads 2 --max-batch 8 --max-wait-us 500 &
+SERVER_PID=$!
+for _ in $(seq 50); do
+  if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+       --requests 1 >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"${LOADGEN}" --port "${PORT}" --mode recourse --data "${WORK}/data.csv" \
+  --connections 4 --k 2 --top 3 | tee "${WORK}/recourse_fast.json"
+"${LOADGEN}" --port "${PORT}" --mode recourse --data "${WORK}/data.csv" \
+  --connections 4 --k 2 --top 3 --brute > "${WORK}/recourse_brute.json"
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+digest() { sed -n 's/.*"recourse_fnv64":"\([0-9a-f]*\)".*/\1/p' "$1"; }
+FAST_DIGEST="$(digest "${WORK}/recourse_fast.json")"
+[[ -n "${FAST_DIGEST}" ]]
+grep -q '"recourses":0' "${WORK}/recourse_fast.json" && {
+  echo "recourse gate ran zero recourse requests"; exit 1; }
+[[ "${FAST_DIGEST}" == "$(digest "${WORK}/recourse_brute.json")" ]] || {
+  echo "recourse fast path diverges from brute re-encode"; exit 1; }
+
+echo "== recourse gate: --shards 4 serves the same bits =="
+"${KTCLI}" serve --load "${WORK}/model.ktw" --data "${WORK}/data.csv" \
+  --port "${PORT}" --threads 2 --max-batch 8 --max-wait-us 500 --shards 4 &
+SERVER_PID=$!
+for _ in $(seq 50); do
+  if "${LOADGEN}" --port "${PORT}" --mode bench --connections 1 \
+       --requests 1 >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"${LOADGEN}" --port "${PORT}" --mode recourse --data "${WORK}/data.csv" \
+  --connections 4 --k 2 --top 3 > "${WORK}/recourse_sharded.json"
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+[[ "${FAST_DIGEST}" == "$(digest "${WORK}/recourse_sharded.json")" ]] || {
+  echo "recourse digests diverge between --shards 1 and --shards 4"; exit 1; }
+
 if [[ "${KT_SERVE_TSAN:-1}" != "0" ]]; then
   echo "== TSan: 4-shard reactor under concurrent mixed loadgen =="
   # Same configuration as scripts/check_tsan.sh (shared build tree): -O1
@@ -141,10 +191,16 @@ if [[ "${KT_SERVE_TSAN:-1}" != "0" ]]; then
   "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" --mode bench \
     --connections 4 --requests 100 > /dev/null &
   BENCH_PID=$!
+  # Recourse rides the shard workers' heavy lane concurrently with the
+  # light predict traffic — the lane split itself runs under TSan.
+  "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" --mode recourse \
+    --data "${WORK}/data.csv" --connections 2 --k 2 --top 3 > /dev/null &
+  RECOURSE_PID=$!
   "${TSAN_BUILD_DIR}/tools/kt_loadgen" --port "${PORT}" \
     --data "${WORK}/data.csv" --expect "${WORK}/offline.json" \
     --connections 4 > "${WORK}/replay_tsan.json"
   wait "${BENCH_PID}"
+  wait "${RECOURSE_PID}"
   grep -q '"mismatches":0' "${WORK}/replay_tsan.json"
   grep -q '"missing":0' "${WORK}/replay_tsan.json"
 

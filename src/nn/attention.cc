@@ -194,6 +194,54 @@ ag::Variable MultiHeadAttention::StepCausal(const ag::Variable& x_row,
                      inference, nullptr);
 }
 
+ag::Variable MultiHeadAttention::StepCausalRun(const ag::Variable& x_rows,
+                                               AttentionKVCache& cache) const {
+  KT_CHECK_EQ(x_rows.size(0), 1);
+  KT_CHECK_EQ(x_rows.size(2), dim_);
+  const int64_t s = x_rows.size(1);
+  const int64_t offset = cache.len;  // global position of the first new row
+
+  ag::Variable qp = q_proj_.Forward(x_rows);  // [1, S, dim]
+  ag::Variable kp = k_proj_.Forward(x_rows);
+  ag::Variable vp = v_proj_.Forward(x_rows);
+  const Tensor& kt = kp.value();
+  const Tensor& vt = vp.value();
+  cache.k.insert(cache.k.end(), kt.data(), kt.data() + kt.numel());
+  cache.v.insert(cache.v.end(), vt.data(), vt.data() + vt.numel());
+  cache.len += s;
+
+  const int64_t tk = cache.len;
+  ag::Variable kc = ag::Constant(Tensor(Shape{1, tk, dim_}, cache.k));
+  ag::Variable vc = ag::Constant(Tensor(Shape{1, tk, dim_}, cache.v));
+  // Row i queries global position offset+i: allowed entries (j <= offset+i)
+  // add the exact +0.0f of the full pass, blocked ones the same -1e9, so
+  // their post-softmax mass is exactly zero and each row reproduces the
+  // single-step bits.
+  Tensor additive = Tensor::Zeros(Shape{1, s, tk});
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = offset + i + 1; j < tk; ++j) {
+      additive.flat(i * tk + j) = -1e9f;
+    }
+  }
+  ag::Variable additive_mask = ag::Constant(additive);
+  // Every row can at least attend to itself.
+  ag::Variable row_any_mask = ag::Constant(Tensor::Ones(Shape{1, s, 1}));
+  ag::Variable distance;
+  if (monotonic_) {
+    Tensor dist(Shape{1, s, tk});
+    for (int64_t i = 0; i < s; ++i) {
+      for (int64_t j = 0; j < tk; ++j) {
+        dist.flat(i * tk + j) =
+            static_cast<float>(std::abs(offset + i - j));
+      }
+    }
+    distance = ag::Constant(dist);
+  }
+  const Context inference;  // no dropout on the decode path
+  return AttendHeads(qp, kc, vc, additive_mask, row_any_mask, distance,
+                     inference, nullptr);
+}
+
 TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
                                    float dropout_p, bool monotonic, Rng& rng)
     : attention_(dim, num_heads, dropout_p, monotonic, rng),
@@ -234,6 +282,15 @@ ag::Variable TransformerBlock::StepCausal(const ag::Variable& x_row,
   ag::Variable normed = norm1_.Forward(x_row);
   ag::Variable attended = attention_.StepCausal(normed, cache);
   ag::Variable mid = ag::Add(x_row, attended);
+  const Context inference;
+  return ag::Add(mid, FeedForward(norm2_.Forward(mid), inference));
+}
+
+ag::Variable TransformerBlock::StepCausalRun(const ag::Variable& x_rows,
+                                             AttentionKVCache& cache) const {
+  ag::Variable normed = norm1_.Forward(x_rows);
+  ag::Variable attended = attention_.StepCausalRun(normed, cache);
+  ag::Variable mid = ag::Add(x_rows, attended);
   const Context inference;
   return ag::Add(mid, FeedForward(norm2_.Forward(mid), inference));
 }

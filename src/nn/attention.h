@@ -83,6 +83,16 @@ class MultiHeadAttention : public Module {
   ag::Variable StepCausal(const ag::Variable& x_row,
                           AttentionKVCache& cache) const;
 
+  // Bulk causal-inclusive decode: `x_rows` is [1, S, dim], S new positions
+  // appended to `cache` in one pass. Row i of the result is bitwise the
+  // StepCausal output at global position len+i (pre-call len): projections,
+  // norms and the weighted sum are all row-independent, and the blocked
+  // future entries of each row's masked softmax carry exact-zero
+  // probability mass, the same argument that makes StepCausal equal the
+  // full pass (inference only).
+  ag::Variable StepCausalRun(const ag::Variable& x_rows,
+                             AttentionKVCache& cache) const;
+
   int64_t num_heads() const { return num_heads_; }
 
  private:
@@ -133,6 +143,11 @@ class TransformerBlock : public Module {
   // inclusive mask) over the full sequence, inference mode (no dropout).
   ag::Variable StepCausal(const ag::Variable& x_row,
                           AttentionKVCache& cache) const;
+
+  // Bulk decode through the whole block: `x_rows` is [1, S, dim]; row i is
+  // bitwise the StepCausal output of the i-th successive single-row call.
+  ag::Variable StepCausalRun(const ag::Variable& x_rows,
+                             AttentionKVCache& cache) const;
 
  private:
   ag::Variable FeedForward(const ag::Variable& x, const Context& ctx) const;

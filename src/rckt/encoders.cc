@@ -193,6 +193,28 @@ ag::Variable BiAttentionEncoder::Encode(const ag::Variable& a,
   return ShiftAndAdd(f, b);
 }
 
+Tensor BiEncoder::StepForwardRun(ForwardStreamState& state,
+                                 const Tensor& a_run) const {
+  const int64_t s = a_run.size(1);
+  const int64_t d = a_run.size(2);
+  Tensor out(Shape{1, s, d});
+  for (int64_t t = 0; t < s; ++t) {
+    Tensor row(Shape{1, d});
+    std::memcpy(row.data(), a_run.data() + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    const Tensor f = StepForward(state, row);
+    KT_CHECK_EQ(f.numel(), d);
+    std::memcpy(out.data() + t * d, f.data(),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  return out;
+}
+
+std::unique_ptr<ForwardStreamState> BiEncoder::CloneStreamPrefix(
+    const ForwardStreamState& /*state*/, int64_t /*prefix_len*/) const {
+  return nullptr;
+}
+
 std::vector<Tensor> BiEncoder::StepForwardMany(
     const std::vector<ForwardStreamState*>& states,
     const std::vector<Tensor>& a_rows) const {
@@ -277,6 +299,23 @@ Tensor BiLstmEncoder::ReplayForward(ForwardStreamState& state,
     nn::LSTMCell::State final_state;
     f = layer->Forward(f, /*reverse=*/false, nullptr, &final_state);
     s.layers.push_back(final_state);
+  }
+  return f.value();
+}
+
+Tensor BiLstmEncoder::StepForwardRun(ForwardStreamState& state,
+                                     const Tensor& a_run) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<LstmStreamState&>(state);
+  KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+  // Chunked layer pass seeded with the stream state: bit-identical to S
+  // single StepForward calls by the LSTM::Forward chunking contract.
+  ag::Variable f = ag::Constant(a_run);  // [1, S, d]
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    nn::LSTMCell::State final_state;
+    f = forward_layers_[l]->Forward(f, /*reverse=*/false, &s.layers[l],
+                                    &final_state);
+    s.layers[l] = final_state;
   }
   return f.value();
 }
@@ -383,6 +422,21 @@ Tensor BiGruEncoder::ReplayForward(ForwardStreamState& state,
   return f.value();
 }
 
+Tensor BiGruEncoder::StepForwardRun(ForwardStreamState& state,
+                                    const Tensor& a_run) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<GruStreamState&>(state);
+  KT_CHECK_EQ(s.layers.size(), forward_layers_.size());
+  ag::Variable f = ag::Constant(a_run);  // [1, S, d]
+  for (size_t l = 0; l < forward_layers_.size(); ++l) {
+    ag::Variable final_state;
+    f = forward_layers_[l]->Forward(f, /*reverse=*/false, &s.layers[l],
+                                    &final_state);
+    s.layers[l] = final_state;
+  }
+  return f.value();
+}
+
 void BiGruEncoder::SerializeStream(const ForwardStreamState& state,
                                    std::string* out) const {
   const auto& s = static_cast<const GruStreamState&>(state);
@@ -449,6 +503,40 @@ Tensor BiAttentionEncoder::ReplayForward(ForwardStreamState& state,
                                     &s.caches[l]);
   }
   return f.value();
+}
+
+Tensor BiAttentionEncoder::StepForwardRun(ForwardStreamState& state,
+                                          const Tensor& a_run) const {
+  ag::NoGradGuard no_grad;
+  auto& s = static_cast<AttentionStreamState&>(state);
+  KT_CHECK_EQ(s.caches.size(), forward_blocks_.size());
+  ag::Variable x = ag::Constant(a_run);  // [1, S, d]
+  for (size_t l = 0; l < forward_blocks_.size(); ++l) {
+    x = forward_blocks_[l]->StepCausalRun(x, s.caches[l]);
+  }
+  return x.value();
+}
+
+std::unique_ptr<ForwardStreamState> BiAttentionEncoder::CloneStreamPrefix(
+    const ForwardStreamState& state, int64_t prefix_len) const {
+  const auto& s = static_cast<const AttentionStreamState&>(state);
+  KT_CHECK_GE(prefix_len, 0);
+  auto out = std::make_unique<AttentionStreamState>();
+  out->caches.resize(s.caches.size());
+  const size_t floats =
+      static_cast<size_t>(prefix_len) * static_cast<size_t>(dim_);
+  for (size_t l = 0; l < s.caches.size(); ++l) {
+    const nn::AttentionKVCache& cache = s.caches[l];
+    // A causal step never touches earlier cache rows, so the first
+    // prefix_len rows ARE the state the prefix-only stream would hold.
+    KT_CHECK_GE(cache.len, prefix_len);
+    out->caches[l].len = prefix_len;
+    out->caches[l].k.assign(cache.k.begin(),
+                            cache.k.begin() + static_cast<int64_t>(floats));
+    out->caches[l].v.assign(cache.v.begin(),
+                            cache.v.begin() + static_cast<int64_t>(floats));
+  }
+  return out;
 }
 
 size_t BiAttentionEncoder::StateBytes(int64_t history_len) const {

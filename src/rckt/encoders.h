@@ -86,6 +86,26 @@ class BiEncoder : public nn::Module {
   virtual Tensor ReplayForward(ForwardStreamState& state,
                                const Tensor& a_seq) const = 0;
 
+  // Advance the stream over a RUN of S interactions in one bulk pass
+  // (continuing from the current state, unlike ReplayForward): `a_run` is
+  // [1, S, d]; returns the S forward rows [1, S, d], bitwise what S
+  // successive StepForward calls would produce. The default loops
+  // StepForward; concrete encoders override with a chunked layer pass
+  // (recurrent) or a bulk multi-row causal decode (attention), so a short
+  // suffix costs a handful of tensor ops instead of S step calls. Powers
+  // the serve recourse suffix replay (DESIGN.md §15).
+  virtual Tensor StepForwardRun(ForwardStreamState& state,
+                                const Tensor& a_run) const;
+
+  // Clone the stream as it stood after only its first `prefix_len` steps,
+  // in O(bytes) with no encoder work. Only possible when the state keeps
+  // per-position entries: attention KV caches are append-only, so the first
+  // `prefix_len` rows ARE the prefix stream's state. Recurrent encoders
+  // fold history into O(1) rows that cannot be rewound and return nullptr;
+  // callers then rebuild the prefix by replaying it.
+  virtual std::unique_ptr<ForwardStreamState> CloneStreamPrefix(
+      const ForwardStreamState& state, int64_t prefix_len) const;
+
   // Bytes of neural state one stream holds after `history_len` steps (for
   // the session store's memory budget). O(1) for recurrent encoders,
   // O(history_len) for attention KV caches.
@@ -118,6 +138,8 @@ class BiLstmEncoder : public BiEncoder {
       const std::vector<Tensor>& a_rows) const override;
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
+  Tensor StepForwardRun(ForwardStreamState& state,
+                        const Tensor& a_run) const override;
   size_t StateBytes(int64_t history_len) const override;
   void SerializeStream(const ForwardStreamState& state,
                        std::string* out) const override;
@@ -143,6 +165,8 @@ class BiGruEncoder : public BiEncoder {
       const std::vector<Tensor>& a_rows) const override;
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
+  Tensor StepForwardRun(ForwardStreamState& state,
+                        const Tensor& a_run) const override;
   size_t StateBytes(int64_t history_len) const override;
   void SerializeStream(const ForwardStreamState& state,
                        std::string* out) const override;
@@ -166,6 +190,10 @@ class BiAttentionEncoder : public BiEncoder {
                      const Tensor& a_row) const override;
   Tensor ReplayForward(ForwardStreamState& state,
                        const Tensor& a_seq) const override;
+  Tensor StepForwardRun(ForwardStreamState& state,
+                        const Tensor& a_run) const override;
+  std::unique_ptr<ForwardStreamState> CloneStreamPrefix(
+      const ForwardStreamState& state, int64_t prefix_len) const override;
   size_t StateBytes(int64_t history_len) const override;
   void SerializeStream(const ForwardStreamState& state,
                        std::string* out) const override;

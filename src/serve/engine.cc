@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <unordered_set>
 #include <utility>
 
@@ -28,6 +29,8 @@ const char* OpName(Op op) {
       return "update";
     case Op::kExplain:
       return "explain";
+    case Op::kRecourse:
+      return "recourse";
     case Op::kReset:
       return "reset";
     case Op::kStats:
@@ -128,7 +131,11 @@ void InferenceEngine::CalibrateLowp(const data::Dataset& dataset,
 const std::vector<int64_t>& InferenceEngine::ConceptsFor(
     const ServeRequest& request) const {
   if (request.has_concepts) return request.concepts;
-  auto it = concept_map_.find(request.question);
+  return BagFor(request.question);
+}
+
+const std::vector<int64_t>& InferenceEngine::BagFor(int64_t question) const {
+  auto it = concept_map_.find(question);
   return it == concept_map_.end() ? empty_bag_ : it->second;
 }
 
@@ -146,7 +153,7 @@ bool InferenceEngine::Validate(const ServeRequest& request,
     return fail("missing student id");
   }
   if (request.op == Op::kPredict || request.op == Op::kUpdate ||
-      request.op == Op::kExplain) {
+      request.op == Op::kExplain || request.op == Op::kRecourse) {
     if (request.question < 0 ||
         (options_.num_questions > 0 &&
          request.question >= options_.num_questions)) {
@@ -163,6 +170,28 @@ bool InferenceEngine::Validate(const ServeRequest& request,
   if (request.op == Op::kUpdate &&
       (request.response < 0 || request.response > 1)) {
     return fail("response must be 0 or 1");
+  }
+  if (request.op == Op::kRecourse) {
+    if (request.k < 1 || request.k > 4) {
+      return fail("k must be in [1, 4]");
+    }
+    if (request.top < 1 || request.top > 16) {
+      return fail("top must be in [1, 16]");
+    }
+    // target_p == -1.0 is the "no goal" sentinel the wire layer sets when
+    // the field is absent.
+    if (request.target_p != -1.0 &&
+        !(request.target_p >= 0.0 && request.target_p <= 1.0)) {
+      return fail("target_p must be in [0, 1]");
+    }
+    if (request.has_insert_questions) {
+      for (const int64_t q : request.insert_questions) {
+        if (q < 0 ||
+            (options_.num_questions > 0 && q >= options_.num_questions)) {
+          return fail("insert question id out of range");
+        }
+      }
+    }
   }
   return true;
 }
@@ -217,7 +246,16 @@ void InferenceEngine::EnsureStream(Session& session) {
 void InferenceEngine::AccountState(Session& session) {
   // Charge what the session actually holds: a session whose stream was
   // evicted out from under it carries no neural state regardless of its
-  // history length.
+  // history length. The history itself is also real resident memory —
+  // interactions plus their concept bags — and is charged separately so
+  // long-lived students squeeze cold neural state out of the budget
+  // instead of growing unaccounted.
+  size_t history_bytes = 0;
+  for (const auto& interaction : session.history) {
+    history_bytes += sizeof(data::Interaction) +
+                     interaction.concepts.size() * sizeof(int64_t);
+  }
+  store_.SetHistoryBytes(session, history_bytes);
   const size_t bytes =
       session.stream == nullptr
           ? 0
@@ -230,15 +268,20 @@ void InferenceEngine::AccountState(Session& session) {
 Tensor InferenceEngine::PredictInputRow(
     const Session& session, int64_t question,
     const std::vector<int64_t>& concepts) const {
+  return HeadInputRow(session.last_f, question, concepts);
+}
+
+Tensor InferenceEngine::HeadInputRow(
+    const Tensor& last_f, int64_t question,
+    const std::vector<int64_t>& concepts) const {
   ag::NoGradGuard no_grad;
   const ag::Variable e =
       model_.embedder().QuestionEmbedRows({question}, {concepts});  // [1, d]
   // ShiftAndAdd at the target: h = fwd_{T-2} + backward-zero-boundary. The
   // explicit Add with zeros replays the offline op (it normalizes -0.0f the
   // same way); an empty history contributes the forward zero boundary too.
-  const Tensor h_in = session.last_f.numel() > 0
-                          ? session.last_f
-                          : Tensor::Zeros(Shape{1, dim_});
+  const Tensor h_in =
+      last_f.numel() > 0 ? last_f : Tensor::Zeros(Shape{1, dim_});
   const Tensor h = ag::Add(ag::Constant(h_in),
                            ag::Constant(Tensor::Zeros(Shape{1, dim_})))
                        .value();
@@ -339,11 +382,354 @@ ServeResponse InferenceEngine::ExecuteExplain(const ServeRequest& request) {
   return response;
 }
 
+namespace {
+
+// Bounds of the recourse search (DESIGN.md §15). Primitives are the unit
+// edits candidate sets are composed from; the candidate cap keeps the
+// worst-case stacked batch bounded no matter what K the client asks for.
+constexpr int kMaxFlipPrimitives = 8;
+constexpr size_t kMaxInsertPrimitives = 4;
+constexpr size_t kMaxCandidates = 128;
+
+}  // namespace
+
+ServeResponse InferenceEngine::ExecuteRecourse(const ServeRequest& request) {
+  ServeResponse response;
+  if (!Validate(request, &response)) return response;
+  KT_OBS_SCOPE("serve/recourse");
+  ag::NoGradGuard no_grad;
+  Session& session = store_.GetOrCreate(request.student);
+  EnsureStream(session);
+  const std::vector<int64_t>& target_bag = ConceptsFor(request);
+  const int64_t history_len = static_cast<int64_t>(session.history.size());
+  response.history = history_len;
+
+  // base_p: the factual prediction, always through the strict-fp32 head
+  // (recourse, like explain, never runs low precision) — bitwise the
+  // offline GeneratorScoreTargets result by the serve predict contract.
+  auto head_probs = [&](const Tensor& stacked_rows) -> std::vector<float> {
+    const int64_t rows = stacked_rows.shape()[0];
+    const ag::Variable mid = model_.mlp_hidden().ForwardAct(
+        ag::Constant(stacked_rows), ag::Act::kRelu);
+    const ag::Variable p =
+        model_.mlp_out().ForwardAct(mid, ag::Act::kSigmoid);  // [rows, 1]
+    std::vector<float> out(static_cast<size_t>(rows));
+    for (int64_t j = 0; j < rows; ++j) out[static_cast<size_t>(j)] =
+        p.value().flat(j);
+    return out;
+  };
+  response.base_p = head_probs(
+      PredictInputRow(session, request.question, target_bag))[0];
+
+  // ---- Primitives ----
+  // Flips: the most recent incorrect answers (newest first — recency is
+  // the natural recourse horizon), capped.
+  struct Primitive {
+    Intervention intervention;
+    bool is_insert;
+  };
+  std::vector<Primitive> primitives;
+  for (int64_t i = history_len - 1;
+       i >= 0 &&
+       primitives.size() < static_cast<size_t>(kMaxFlipPrimitives);
+       --i) {
+    const auto& interaction = session.history[static_cast<size_t>(i)];
+    if (interaction.response != 0) continue;
+    Primitive prim;
+    prim.intervention.kind = Intervention::Kind::kFlipResponse;
+    prim.intervention.position = i;
+    prim.intervention.question = interaction.question;
+    prim.is_insert = false;
+    primitives.push_back(prim);
+  }
+  const size_t num_flips = primitives.size();
+  // Inserts: requested practice questions (deduped in order, capped), else
+  // practicing the target question itself.
+  std::vector<int64_t> insert_questions;
+  if (request.has_insert_questions) {
+    for (const int64_t q : request.insert_questions) {
+      if (insert_questions.size() >= kMaxInsertPrimitives) break;
+      if (std::find(insert_questions.begin(), insert_questions.end(), q) ==
+          insert_questions.end()) {
+        insert_questions.push_back(q);
+      }
+    }
+  } else {
+    insert_questions.push_back(request.question);
+  }
+  for (const int64_t q : insert_questions) {
+    Primitive prim;
+    prim.intervention.kind = Intervention::Kind::kInsertPractice;
+    prim.intervention.position = -1;
+    prim.intervention.question = q;
+    prim.is_insert = true;
+    primitives.push_back(prim);
+  }
+
+  // ---- Candidate enumeration ----
+  // All non-empty primitive subsets of size <= k, size-ascending then
+  // lexicographic by primitive index, deterministically truncated at the
+  // cap. The order is part of the wire contract (ties rank by it).
+  const int np = static_cast<int>(primitives.size());
+  std::vector<std::vector<int>> candidates;
+  for (int s = 1; s <= request.k && s <= np; ++s) {
+    std::vector<int> combo(static_cast<size_t>(s));
+    for (int j = 0; j < s; ++j) combo[static_cast<size_t>(j)] = j;
+    while (candidates.size() < kMaxCandidates) {
+      candidates.push_back(combo);
+      // Advance to the next lexicographic s-combination of [0, np).
+      int j = s - 1;
+      while (j >= 0 && combo[static_cast<size_t>(j)] == np - s + j) --j;
+      if (j < 0) break;
+      ++combo[static_cast<size_t>(j)];
+      for (int m = j + 1; m < s; ++m) {
+        combo[static_cast<size_t>(m)] = combo[static_cast<size_t>(m - 1)] + 1;
+      }
+    }
+    if (candidates.size() >= kMaxCandidates) break;
+  }
+  response.evaluated = static_cast<int64_t>(candidates.size());
+  if (candidates.empty()) return response;
+
+  // Sequence builder for brute mode: factual history with the candidate's
+  // flips applied, then its inserts (correct practice, in primitive order),
+  // then the target interaction. The target's response value never
+  // matters — GeneratorScoreTargets masks the target category.
+  auto build_sequence =
+      [&](const std::vector<int>& combo) -> data::ResponseSequence {
+    data::ResponseSequence sequence;
+    sequence.interactions = session.history;
+    for (const int pi : combo) {
+      const Primitive& prim = primitives[static_cast<size_t>(pi)];
+      if (!prim.is_insert) {
+        sequence.interactions[static_cast<size_t>(prim.intervention.position)]
+            .response = 1;
+      }
+    }
+    for (const int pi : combo) {
+      const Primitive& prim = primitives[static_cast<size_t>(pi)];
+      if (prim.is_insert) {
+        sequence.interactions.push_back(data::Interaction{
+            prim.intervention.question, 1,
+            BagFor(prim.intervention.question)});
+      }
+    }
+    sequence.interactions.push_back(
+        data::Interaction{request.question, 0, target_bag});
+    return sequence;
+  };
+
+  std::vector<float> probs(candidates.size(), 0.0f);
+  if (request.brute) {
+    // Reference path: one full offline re-encode per candidate.
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const data::ResponseSequence sequence = build_sequence(candidates[c]);
+      probs[c] = model_.GeneratorScoreTargets(
+          data::MakeBatch({&sequence}))[0];
+    }
+  } else {
+    // Fast path (DESIGN.md §15): no candidate ever re-encodes the
+    // unmodified prefix. A candidate's timeline differs from the factual
+    // history only from its earliest edit position p onward, and the serve
+    // predict contract needs only the FORWARD stream at the last position
+    // (the backward contribution there is the zero boundary row), so each
+    // candidate is scored by (a) materializing the forward-stream state at
+    // p — a prefix-truncated clone of the session's KV caches for attention
+    // encoders, a snapshot from one shared prefix walk for recurrent ones —
+    // then (b) bulk-replaying its short modified suffix (flipped rows, then
+    // inserted practice) with StepForwardRun, and (c) scoring every final
+    // row in one stacked strict-fp32 head pass.
+    const rckt::BiEncoder& encoder = model_.bi_encoder();
+
+    std::vector<int64_t> earliest(candidates.size(), history_len);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      for (const int pi : candidates[c]) {
+        const Primitive& prim = primitives[static_cast<size_t>(pi)];
+        if (!prim.is_insert) {
+          earliest[c] = std::min(earliest[c], prim.intervention.position);
+        }
+      }
+    }
+
+    // Factual embedded rows, one batched embed — bit-identical per row to
+    // the InteractionRow steps that built the session stream.
+    Tensor a_factual;
+    if (history_len > 0) {
+      std::vector<int64_t> questions(static_cast<size_t>(history_len));
+      std::vector<int64_t> categories(static_cast<size_t>(history_len));
+      std::vector<std::vector<int64_t>> bags(
+          static_cast<size_t>(history_len));
+      for (int64_t i = 0; i < history_len; ++i) {
+        const auto& interaction = session.history[static_cast<size_t>(i)];
+        questions[static_cast<size_t>(i)] = interaction.question;
+        categories[static_cast<size_t>(i)] = interaction.response;
+        bags[static_cast<size_t>(i)] = interaction.concepts;
+      }
+      const ag::Variable e =
+          model_.embedder().QuestionEmbedRows(questions, bags);
+      const ag::Variable r = ag::EmbeddingLookup(
+          model_.embedder().response_table(), categories);
+      a_factual = ag::Add(e, r).value();  // [history_len, d]
+    }
+
+    // Edited rows, cached across candidates: a flip re-embeds the position
+    // with its response forced correct, an insert embeds correct practice.
+    std::map<int64_t, Tensor> flip_rows;     // history position -> [1, d]
+    std::map<int64_t, Tensor> insert_rows;   // question -> [1, d]
+    for (const Primitive& prim : primitives) {
+      if (prim.is_insert) {
+        insert_rows.emplace(
+            prim.intervention.question,
+            InteractionRow(prim.intervention.question,
+                           BagFor(prim.intervention.question), 1));
+      } else {
+        const auto& interaction =
+            session.history[static_cast<size_t>(prim.intervention.position)];
+        flip_rows.emplace(
+            prim.intervention.position,
+            InteractionRow(interaction.question, interaction.concepts, 1));
+      }
+    }
+
+    // Prefix states. Attention encoders rewind in O(bytes); recurrent ones
+    // cannot, so one shared walk over the factual prefix snapshots the
+    // stream at every needed position (ascending, each segment replayed in
+    // bulk) — amortized over all candidates.
+    std::vector<int64_t> needed;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (earliest[c] < history_len) needed.push_back(earliest[c]);
+    }
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    const bool can_rewind =
+        needed.empty() ||
+        encoder.CloneStreamPrefix(*session.stream, needed.front()) != nullptr;
+    std::map<int64_t, std::string> snapshots;
+    if (!can_rewind) {
+      auto walk = encoder.NewForwardStream();
+      int64_t pos = 0;
+      for (const int64_t p : needed) {
+        if (p > pos) {
+          Tensor segment(Shape{1, p - pos, dim_});
+          std::memcpy(segment.data(), a_factual.data() + pos * dim_,
+                      static_cast<size_t>((p - pos) * dim_) * sizeof(float));
+          encoder.StepForwardRun(*walk, segment);
+          pos = p;
+        }
+        encoder.SerializeStream(*walk, &snapshots[p]);
+      }
+    }
+    std::string full_blob;  // lazily serialized full session stream
+    auto state_at =
+        [&](int64_t p) -> std::unique_ptr<rckt::ForwardStreamState> {
+      if (history_len == 0) return encoder.NewForwardStream();
+      if (auto clone = encoder.CloneStreamPrefix(*session.stream, p)) {
+        return clone;
+      }
+      if (p == history_len) {
+        // Bit-identical round-trip clone of the full cached stream, so the
+        // session's own state is never touched.
+        if (full_blob.empty()) {
+          encoder.SerializeStream(*session.stream, &full_blob);
+        }
+        return encoder.DeserializeStream(full_blob.data(), full_blob.size());
+      }
+      const std::string& blob = snapshots.at(p);
+      return encoder.DeserializeStream(blob.data(), blob.size());
+    };
+
+    Tensor stacked(Shape{static_cast<int64_t>(candidates.size()), 2 * dim_});
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const int64_t p = earliest[c];
+      int64_t num_inserts = 0;
+      for (const int pi : candidates[c]) {
+        if (primitives[static_cast<size_t>(pi)].is_insert) ++num_inserts;
+      }
+      // Suffix timeline: factual tail rows with this candidate's flips
+      // overwritten in place, then its inserted practices in primitive
+      // order (candidate combos are index-sorted, and inserts follow flips
+      // in the primitive list).
+      const int64_t tail = history_len - p;
+      const int64_t suffix_len = tail + num_inserts;
+      Tensor suffix(Shape{1, suffix_len, dim_});
+      if (tail > 0) {
+        std::memcpy(suffix.data(), a_factual.data() + p * dim_,
+                    static_cast<size_t>(tail * dim_) * sizeof(float));
+      }
+      int64_t write = tail;
+      for (const int pi : candidates[c]) {
+        const Primitive& prim = primitives[static_cast<size_t>(pi)];
+        if (prim.is_insert) {
+          std::memcpy(suffix.data() + write * dim_,
+                      insert_rows.at(prim.intervention.question).data(),
+                      static_cast<size_t>(dim_) * sizeof(float));
+          ++write;
+        } else {
+          std::memcpy(suffix.data() + (prim.intervention.position - p) * dim_,
+                      flip_rows.at(prim.intervention.position).data(),
+                      static_cast<size_t>(dim_) * sizeof(float));
+        }
+      }
+      auto stream = state_at(p);
+      const Tensor f_run = encoder.StepForwardRun(*stream, suffix);
+      Tensor f_last(Shape{1, dim_});
+      std::memcpy(f_last.data(), f_run.data() + (suffix_len - 1) * dim_,
+                  static_cast<size_t>(dim_) * sizeof(float));
+      const Tensor row = HeadInputRow(f_last, request.question, target_bag);
+      std::memcpy(stacked.data() + static_cast<int64_t>(c) * 2 * dim_,
+                  row.data(),
+                  static_cast<size_t>(2 * dim_) * sizeof(float));
+    }
+    probs = head_probs(stacked);
+  }
+
+  // ---- Ranking ----
+  // Lift per intervention first (the "minimal set" objective), then raw
+  // lift, then smaller sets, then enumeration order. All keys derive from
+  // bitwise-deterministic floats, so the order is reproducible across
+  // thread counts, shard counts, and the brute/fast paths.
+  std::vector<size_t> order(candidates.size());
+  for (size_t c = 0; c < order.size(); ++c) order[c] = c;
+  const double base_p = static_cast<double>(response.base_p);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double lift_a = static_cast<double>(probs[a]) - base_p;
+    const double lift_b = static_cast<double>(probs[b]) - base_p;
+    const double per_a = lift_a / static_cast<double>(candidates[a].size());
+    const double per_b = lift_b / static_cast<double>(candidates[b].size());
+    if (per_a != per_b) return per_a > per_b;
+    if (lift_a != lift_b) return lift_a > lift_b;
+    if (candidates[a].size() != candidates[b].size()) {
+      return candidates[a].size() < candidates[b].size();
+    }
+    return a < b;
+  });
+  const size_t take =
+      std::min(order.size(), static_cast<size_t>(request.top));
+  response.candidates.reserve(take);
+  for (size_t r = 0; r < take; ++r) {
+    const size_t c = order[r];
+    Counterfactual counterfactual;
+    for (const int pi : candidates[c]) {
+      counterfactual.interventions.push_back(
+          primitives[static_cast<size_t>(pi)].intervention);
+    }
+    counterfactual.p = probs[c];
+    counterfactual.lift = probs[c] - response.base_p;
+    counterfactual.reaches_target =
+        request.target_p >= 0.0 &&
+        static_cast<double>(probs[c]) >= request.target_p;
+    response.candidates.push_back(std::move(counterfactual));
+  }
+  return response;
+}
+
 ServeResponse InferenceEngine::ExecuteStats(const ServeRequest& request) {
   ServeResponse response;
   response.op = request.op;
   response.sessions = static_cast<int64_t>(store_.size());
   response.state_bytes = static_cast<int64_t>(store_.total_state_bytes());
+  response.history_bytes =
+      static_cast<int64_t>(store_.total_history_bytes());
   response.evictions = static_cast<int64_t>(store_.evictions());
   return response;
 }
@@ -357,6 +743,8 @@ ServeResponse InferenceEngine::Execute(const ServeRequest& request) {
       return ExecuteUpdate(request);
     case Op::kExplain:
       return ExecuteExplain(request);
+    case Op::kRecourse:
+      return ExecuteRecourse(request);
     case Op::kReset: {
       ServeResponse response;
       if (!Validate(request, &response)) return response;

@@ -36,7 +36,32 @@
 namespace kt {
 namespace serve {
 
-enum class Op { kPredict, kUpdate, kExplain, kReset, kStats };
+enum class Op { kPredict, kUpdate, kExplain, kRecourse, kReset, kStats };
+
+// One primitive edit of a student's trajectory, the unit the recourse
+// search composes into candidate sets (ROADMAP's typed intervention model).
+struct Intervention {
+  enum class Kind {
+    kFlipResponse,    // history[position]: incorrect -> correct
+    kInsertPractice,  // append a correct practice of `question` after the
+                      // history, before the target
+  };
+  Kind kind = Kind::kFlipResponse;
+  // kFlipResponse: index into the session history. -1 for inserts.
+  int64_t position = -1;
+  // The question involved (the flipped interaction's question, or the
+  // inserted practice question).
+  int64_t question = -1;
+};
+
+// One scored candidate intervention set: apply `interventions` and the
+// target's predicted mastery becomes `p` (lift = p - base_p).
+struct Counterfactual {
+  std::vector<Intervention> interventions;
+  float p = 0.0f;
+  float lift = 0.0f;
+  bool reaches_target = false;  // p >= target_p (when target_p was given)
+};
 
 struct ServeRequest {
   Op op = Op::kPredict;
@@ -47,6 +72,18 @@ struct ServeRequest {
   // question->concepts map seeded from the training data.
   bool has_concepts = false;
   std::vector<int64_t> concepts;
+  // ---- recourse fields ----
+  int k = 2;             // max interventions per candidate set, in [1, 4]
+  int top = 3;           // number of ranked sets to return, in [1, 16]
+  double target_p = -1.0;  // mastery goal in [0, 1]; < 0 means "no goal"
+  // Candidate practice questions for kInsertPractice primitives. When
+  // absent the engine defaults to {question} (practice the target itself).
+  bool has_insert_questions = false;
+  std::vector<int64_t> insert_questions;
+  // Evaluate every candidate by brute-force full re-encode instead of the
+  // stacked/stream-reuse fast path. Same bits by contract; exists so tests
+  // and the loadgen gate can prove it.
+  bool brute = false;
 };
 
 struct ServeResponse {
@@ -67,7 +104,12 @@ struct ServeResponse {
   // stats payload
   int64_t sessions = 0;
   int64_t state_bytes = 0;
+  int64_t history_bytes = 0;
   int64_t evictions = 0;
+  // recourse payload
+  float base_p = 0.0f;     // factual predict probability (fp32 head)
+  int64_t evaluated = 0;   // candidate sets scored
+  std::vector<Counterfactual> candidates;  // ranked, best first
 };
 
 struct EngineOptions {
@@ -148,6 +190,13 @@ class InferenceEngine {
   // `session` (h-half from the cached forward stream, e-half embedded).
   Tensor PredictInputRow(const Session& session, int64_t question,
                          const std::vector<int64_t>& concepts) const;
+  // Same row built from an explicit forward-stream output (numel 0 means
+  // "empty history": the zero boundary). Recourse uses this to score
+  // hypothetical streams without touching the session.
+  Tensor HeadInputRow(const Tensor& last_f, int64_t question,
+                      const std::vector<int64_t>& concepts) const;
+  // Concept bag for an arbitrary question id (map lookup, else empty).
+  const std::vector<int64_t>& BagFor(int64_t question) const;
   // The embedded interaction row a = e + r_emb[response], [1, dim].
   Tensor InteractionRow(int64_t question, const std::vector<int64_t>& concepts,
                         int response) const;
@@ -155,6 +204,7 @@ class InferenceEngine {
   ServeResponse ExecutePredict(const ServeRequest& request);
   ServeResponse ExecuteUpdate(const ServeRequest& request);
   ServeResponse ExecuteExplain(const ServeRequest& request);
+  ServeResponse ExecuteRecourse(const ServeRequest& request);
   ServeResponse ExecuteStats(const ServeRequest& request);
 
   // Coalesced runs for ExecuteBatch ([begin, end) of same-op requests).

@@ -98,6 +98,41 @@ std::string UpdateLine(const std::string& student, int64_t question,
   return w.str();
 }
 
+std::string ResetLine(const std::string& student) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("reset");
+  w.Key("student").String(student);
+  w.EndObject();
+  return w.str();
+}
+
+std::string RecourseLine(const std::string& student, int64_t question,
+                         const std::vector<int64_t>& concepts, int k, int top,
+                         double target_p,
+                         const std::vector<int64_t>& insert_questions,
+                         bool brute) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("recourse");
+  w.Key("student").String(student);
+  w.Key("question").Int(question);
+  w.Key("concepts").BeginArray();
+  for (int64_t c : concepts) w.Int(c);
+  w.EndArray();
+  w.Key("k").Int(k);
+  w.Key("top").Int(top);
+  if (target_p >= 0.0) w.Key("target_p").Double(target_p);
+  if (!insert_questions.empty()) {
+    w.Key("insert_questions").BeginArray();
+    for (int64_t q : insert_questions) w.Int(q);
+    w.EndArray();
+  }
+  if (brute) w.Key("brute").Bool(true);
+  w.EndObject();
+  return w.str();
+}
+
 uint32_t FloatBits(float f) {
   uint32_t u = 0;
   std::memcpy(&u, &f, sizeof(u));
@@ -222,6 +257,53 @@ std::string BenchSummaryJson(const BenchSummary& s) {
   w.Key("latency_mean_us").Double(s.latency.mean_us);
   w.EndObject();
   return w.str();
+}
+
+std::string RecourseSummaryJson(const RecourseSummary& s) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String("recourse");
+  w.Key("connections").Int(s.connections);
+  w.Key("students").Int(s.students);
+  w.Key("updates").Int(s.updates);
+  w.Key("recourses").Int(s.recourses);
+  w.Key("candidates").Int(s.candidates);
+  w.Key("mean_top_lift").Double(s.mean_top_lift);
+  w.Key("brute").Bool(s.brute);
+  w.Key("elapsed_s").Double(s.elapsed_s);
+  w.Key("latency_p50_us").Double(s.latency.p50_us);
+  w.Key("latency_p99_us").Double(s.latency.p99_us);
+  w.Key("latency_mean_us").Double(s.latency.mean_us);
+  // Hex keeps the digest readable and avoids int64 overflow in parsers.
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(s.recourse_fnv64));
+  w.Key("recourse_fnv64").String(hex);
+  w.EndObject();
+  return w.str();
+}
+
+uint64_t FnvMixRecourseReply(uint64_t h, const JsonValue& reply) {
+  h = FnvMixU64(
+      h, FloatBits(static_cast<float>(reply.GetNumber("base_p", 0.0))));
+  h = FnvMixU64(h, static_cast<uint64_t>(reply.GetInt("evaluated", -1)));
+  const JsonValue* candidates = reply.Find("candidates");
+  if (candidates == nullptr || !candidates->IsArray()) return h;
+  for (const JsonValue& candidate : candidates->array) {
+    h = FnvMixU64(
+        h, FloatBits(static_cast<float>(candidate.GetNumber("p", 0.0))));
+    const JsonValue* interventions = candidate.Find("interventions");
+    if (interventions == nullptr || !interventions->IsArray()) continue;
+    for (const JsonValue& intervention : interventions->array) {
+      h = FnvMixU64(h,
+                    intervention.GetString("type", "") == "flip" ? 1u : 2u);
+      h = FnvMixU64(
+          h, static_cast<uint64_t>(intervention.GetInt("position", -1)));
+      h = FnvMixU64(
+          h, static_cast<uint64_t>(intervention.GetInt("question", -1)));
+    }
+  }
+  return h;
 }
 
 std::string ScenarioSummaryJson(const ScenarioSummary& s) {

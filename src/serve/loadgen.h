@@ -54,11 +54,24 @@ class LineClient {
   std::string buffer_;
 };
 
+struct JsonValue;
+
 // NDJSON request lines understood by `ktcli serve`.
 std::string PredictLine(const std::string& student, int64_t question,
                         const std::vector<int64_t>& concepts);
 std::string UpdateLine(const std::string& student, int64_t question,
                        const std::vector<int64_t>& concepts, int response);
+// Erases the student's session server-side. Recourse traffic sends this
+// before (re)feeding a window so repeated runs against one warm server —
+// the fast-vs-brute and shard-parity gates — see identical histories.
+std::string ResetLine(const std::string& student);
+// Recourse request: target_p < 0 and an empty insert list omit those
+// fields (engine defaults apply); brute is only written when true.
+std::string RecourseLine(const std::string& student, int64_t question,
+                         const std::vector<int64_t>& concepts, int k, int top,
+                         double target_p,
+                         const std::vector<int64_t>& insert_questions,
+                         bool brute);
 
 uint32_t FloatBits(float f);
 
@@ -137,6 +150,31 @@ struct BenchSummary {
   LatencyStats latency;
 };
 std::string BenchSummaryJson(const BenchSummary& s);
+
+// Recourse-mode report (kt_loadgen --mode recourse). recourse_fnv64 is
+// the XOR across students of each student's FnvMixRecourseReply fold —
+// two servers given the same traffic agree iff every recourse reply
+// (base probability, candidate ranking, every intervention) is bitwise
+// identical. scripts/check_serve.sh gates fast-vs-brute and
+// --shards 1 vs --shards 4 on exactly this digest.
+struct RecourseSummary {
+  int connections = 0;
+  int64_t students = 0;
+  int64_t updates = 0;     // history updates sent
+  int64_t recourses = 0;   // recourse ops sent
+  int64_t candidates = 0;  // candidate sets returned in total
+  double mean_top_lift = 0.0;  // mean best-candidate lift over students
+  bool brute = false;
+  double elapsed_s = 0.0;
+  LatencyStats latency;  // recourse round-trips only
+  uint64_t recourse_fnv64 = 0;
+};
+std::string RecourseSummaryJson(const RecourseSummary& s);
+
+// Folds one parsed recourse reply into h: the float bits of base_p, the
+// evaluated count, then per candidate its probability bits plus every
+// intervention (type, position, question) in rank order.
+uint64_t FnvMixRecourseReply(uint64_t h, const JsonValue& reply);
 
 // Scenario-mode report (schema documented in DESIGN.md §12; validated by
 // `obs_check scenario`). Latency percentiles come from kt::obs histogram

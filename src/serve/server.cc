@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <climits>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -28,6 +29,8 @@ bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
     out->op = Op::kUpdate;
   } else if (op == "explain") {
     out->op = Op::kExplain;
+  } else if (op == "recourse") {
+    out->op = Op::kRecourse;
   } else if (op == "reset") {
     out->op = Op::kReset;
   } else if (op == "stats") {
@@ -69,6 +72,53 @@ bool ParseServeRequest(const JsonValue& json, ServeRequest* out,
       }
       out->concepts.push_back(concept_id);
     }
+  }
+  if (out->op == Op::kRecourse) {
+    // Range-checked ints: an absent field keeps its default; a present
+    // field that is not an in-range number is a hard parse error (so
+    // "k":1e300 cannot silently fall back to 2).
+    if (const JsonValue* k = json.Find("k")) {
+      int64_t value = 0;
+      if (!k->ToInt(&value)) {
+        *error = "'k' must be an integer";
+        return false;
+      }
+      out->k = static_cast<int>(
+          std::max<int64_t>(INT_MIN, std::min<int64_t>(INT_MAX, value)));
+    }
+    if (const JsonValue* top = json.Find("top")) {
+      int64_t value = 0;
+      if (!top->ToInt(&value)) {
+        *error = "'top' must be an integer";
+        return false;
+      }
+      out->top = static_cast<int>(
+          std::max<int64_t>(INT_MIN, std::min<int64_t>(INT_MAX, value)));
+    }
+    if (const JsonValue* target = json.Find("target_p")) {
+      if (!target->IsNumber()) {
+        *error = "'target_p' must be a number";
+        return false;
+      }
+      out->target_p = target->number;
+    }
+    if (const JsonValue* inserts = json.Find("insert_questions")) {
+      if (!inserts->IsArray()) {
+        *error = "'insert_questions' must be an array";
+        return false;
+      }
+      out->has_insert_questions = true;
+      out->insert_questions.reserve(inserts->array.size());
+      for (const JsonValue& q : inserts->array) {
+        int64_t question = 0;
+        if (!q.ToInt(&question)) {
+          *error = "'insert_questions' entries must be numbers";
+          return false;
+        }
+        out->insert_questions.push_back(question);
+      }
+    }
+    out->brute = json.GetBool("brute", false);
   }
   return true;
 }
@@ -112,12 +162,46 @@ std::string SerializeResponse(const ServeResponse& response) {
       w.Key("predicted_correct").Bool(response.predicted_correct);
       break;
     }
+    case Op::kRecourse: {
+      w.Key("student").String(response.student);
+      w.Key("question").Int(response.question);
+      w.Key("history").Int(response.history);
+      w.Key("base_p").Float(response.base_p);
+      w.Key("evaluated").Int(response.evaluated);
+      w.Key("candidates").BeginArray();
+      for (const Counterfactual& candidate : response.candidates) {
+        w.BeginObject();
+        w.Key("p").Float(candidate.p);
+        w.Key("lift").Float(candidate.lift);
+        w.Key("size").Int(
+            static_cast<int64_t>(candidate.interventions.size()));
+        w.Key("reaches_target").Bool(candidate.reaches_target);
+        w.Key("interventions").BeginArray();
+        for (const Intervention& intervention : candidate.interventions) {
+          w.BeginObject();
+          w.Key("type").String(
+              intervention.kind == Intervention::Kind::kFlipResponse
+                  ? "flip"
+                  : "insert");
+          if (intervention.kind == Intervention::Kind::kFlipResponse) {
+            w.Key("position").Int(intervention.position);
+          }
+          w.Key("question").Int(intervention.question);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndArray();
+      break;
+    }
     case Op::kReset:
       w.Key("student").String(response.student);
       break;
     case Op::kStats:
       w.Key("sessions").Int(response.sessions);
       w.Key("state_bytes").Int(response.state_bytes);
+      w.Key("history_bytes").Int(response.history_bytes);
       w.Key("evictions").Int(response.evictions);
       break;
   }

@@ -36,6 +36,13 @@ void SessionStore::SetStateBytes(Session& session, size_t bytes) {
   EvictUntilWithinBudget(&session);
 }
 
+void SessionStore::SetHistoryBytes(Session& session, size_t bytes) {
+  total_history_bytes_ -= session.history_bytes;
+  session.history_bytes = bytes;
+  total_history_bytes_ += bytes;
+  EvictUntilWithinBudget(&session);
+}
+
 void SessionStore::PinScope::Pin(Session& session) {
   if (store_.pinned_.insert(&session).second) pinned_.push_back(&session);
 }
@@ -49,9 +56,12 @@ SessionStore::PinScope::~PinScope() {
 
 void SessionStore::EvictUntilWithinBudget(const Session* keep) {
   if (budget_bytes_ == 0) return;
-  // Walk from the cold end, dropping neural state (histories stay).
+  // Walk from the cold end, dropping neural state (histories stay — they
+  // count against the budget but are never reclaimed, so a store whose
+  // histories alone exceed the budget settles at zero neural state).
   auto it = lru_.rbegin();
-  while (total_state_bytes_ > budget_bytes_ && it != lru_.rend()) {
+  while (total_state_bytes_ + total_history_bytes_ > budget_bytes_ &&
+         it != lru_.rend()) {
     Entry& entry = sessions_.at(*it);
     Session& victim = entry.session;
     ++it;
@@ -82,6 +92,7 @@ void SessionStore::Erase(const std::string& id) {
   if (it == sessions_.end()) return;
   pinned_.erase(&it->second.session);
   total_state_bytes_ -= it->second.session.state_bytes;
+  total_history_bytes_ -= it->second.session.history_bytes;
   lru_.erase(it->second.lru_it);
   sessions_.erase(it);
 }

@@ -4,10 +4,13 @@
 // neural state of the model's forward stream: recurrent hidden/cell rows
 // for DKT/GRU, append-only attention KV caches for SAKT/AKT (see
 // rckt::ForwardStreamState). Sessions are kept in an LRU list under a
-// configurable memory budget counting only the NEURAL state — when the
-// budget is exceeded the least-recently-used sessions' neural state is
-// dropped while their (tiny) histories are kept, so a returning student is
-// rebuilt by one ReplayForward pass instead of being forgotten.
+// configurable memory budget counting neural state AND history bytes —
+// when the budget is exceeded the least-recently-used sessions' neural
+// state is dropped while their histories are kept, so a returning student
+// is rebuilt by one ReplayForward pass instead of being forgotten.
+// Histories still count against the budget (they are real resident
+// memory): a store full of long histories evicts neural state earlier,
+// and `stats` reports history_bytes so operators can size budgets.
 #ifndef KT_SERVE_SESSION_H_
 #define KT_SERVE_SESSION_H_
 
@@ -43,6 +46,10 @@ struct Session {
   Tensor last_f;
   // Accounted bytes of `stream` (+ last_f), kept in sync by the store.
   size_t state_bytes = 0;
+  // Accounted bytes of `history` (interactions + concept bags), kept in
+  // sync by the store. Charged against the budget but never evicted —
+  // eviction only ever reclaims state_bytes.
+  size_t history_bytes = 0;
 };
 
 class SessionStore {
@@ -64,6 +71,12 @@ class SessionStore {
   // a pinned session's, and never any history) until the budget holds
   // again.
   void SetStateBytes(Session& session, size_t bytes);
+
+  // Records that `session`'s history now occupies `bytes`. History counts
+  // against the budget (so growing histories squeeze out cold neural
+  // state) but is itself never evicted; a store whose histories alone
+  // exceed the budget simply holds no neural state.
+  void SetHistoryBytes(Session& session, size_t bytes);
 
   // Pins sessions against eviction for the duration of a coalesced run:
   // the engine collects raw stream pointers for several sessions before
@@ -99,6 +112,7 @@ class SessionStore {
 
   size_t size() const { return sessions_.size(); }
   size_t total_state_bytes() const { return total_state_bytes_; }
+  size_t total_history_bytes() const { return total_history_bytes_; }
   uint64_t evictions() const { return evictions_; }
   size_t budget_bytes() const { return budget_bytes_; }
 
@@ -113,6 +127,7 @@ class SessionStore {
 
   size_t budget_bytes_;
   size_t total_state_bytes_ = 0;
+  size_t total_history_bytes_ = 0;
   uint64_t evictions_ = 0;
   std::function<void(Session&)> eviction_hook_;
   // Sessions currently protected by a live PinScope.

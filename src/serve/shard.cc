@@ -58,13 +58,37 @@ ShardSet::~ShardSet() { Stop(); }
 
 void ShardSet::set_sink(Sink sink) { sink_ = std::move(sink); }
 
+namespace {
+
+// Ops whose cost scales with the session history (full counterfactual
+// passes) — these take the heavy lane so they cannot convoy in front of
+// O(1) predicts.
+bool HeavyOp(Op op) { return op == Op::kExplain || op == Op::kRecourse; }
+
+}  // namespace
+
 void ShardSet::Enqueue(Shard& shard, Item item) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.queue.push_back(std::move(item));
+    bool heavy = false;
+    if (item.kind == Item::Kind::kRequest) {
+      // A student with heavy work already queued keeps subsequent ops in
+      // the heavy lane: both lanes are FIFO and drain on the one worker
+      // thread, so per-student order survives the split.
+      heavy = HeavyOp(item.request.op) ||
+              (!item.request.student.empty() &&
+               shard.heavy_pending.count(item.request.student) != 0);
+    }
+    if (heavy) {
+      ++shard.heavy_pending[item.request.student];
+      shard.heavy_queue.push_back(std::move(item));
+    } else {
+      shard.queue.push_back(std::move(item));
+    }
     if (obs::Enabled()) {
       obs::Histogram::Get("serve.queue_depth")
-          ->Record(static_cast<double>(shard.queue.size()));
+          ->Record(static_cast<double>(shard.queue.size() +
+                                       shard.heavy_queue.size()));
     }
   }
   shard.cv.notify_all();
@@ -167,6 +191,7 @@ void ShardSet::Deliver(const Item& item, ServeResponse response) {
       agg.acc.op = Op::kStats;
       agg.acc.sessions += response.sessions;
       agg.acc.state_bytes += response.state_bytes;
+      agg.acc.history_bytes += response.history_bytes;
       agg.acc.evictions += response.evictions;
       last = --agg.remaining == 0;
     }
@@ -199,12 +224,19 @@ void ShardSet::WorkerLoop(Shard& shard) {
   const int64_t max_batch = std::max<int64_t>(1, options_.batcher.max_batch);
   std::vector<Item> slice;
   while (true) {
+    Item heavy_item;
+    bool have_heavy = false;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(
-          lock, [&] { return stopping_.load() || !shard.queue.empty(); });
-      if (shard.queue.empty()) return;  // stopping, and fully drained
-      if (static_cast<int64_t>(shard.queue.size()) < max_batch &&
+      shard.cv.wait(lock, [&] {
+        return stopping_.load() || !shard.queue.empty() ||
+               !shard.heavy_queue.empty();
+      });
+      if (shard.queue.empty() && shard.heavy_queue.empty()) {
+        return;  // stopping, and fully drained
+      }
+      if (!shard.queue.empty() &&
+          static_cast<int64_t>(shard.queue.size()) < max_batch &&
           !stopping_.load() && options_.batcher.max_wait_us > 0) {
         // Brief straggler window so concurrent clients coalesce into one
         // engine batch — the same trade the MicroBatcher makes.
@@ -222,6 +254,20 @@ void ShardSet::WorkerLoop(Shard& shard) {
                                            static_cast<ptrdiff_t>(take)));
       shard.queue.erase(shard.queue.begin(),
                         shard.queue.begin() + static_cast<ptrdiff_t>(take));
+      if (!shard.heavy_queue.empty()) {
+        // At most ONE heavy op per iteration, executed AFTER the light
+        // slice: O(1) predicts are delayed by at most one O(T) op.
+        heavy_item = std::move(shard.heavy_queue.front());
+        shard.heavy_queue.erase(shard.heavy_queue.begin());
+        have_heavy = true;
+        // The pop is the routing boundary: ops for this student enqueued
+        // from here on go to the light lane, where they land in a LATER
+        // iteration than this item's execution below — order holds.
+        auto it = shard.heavy_pending.find(heavy_item.request.student);
+        if (it != shard.heavy_pending.end() && --it->second <= 0) {
+          shard.heavy_pending.erase(it);
+        }
+      }
     }
     if (obs::Enabled()) {
       obs::Histogram::Get("serve.batch_size")
@@ -256,6 +302,9 @@ void ShardSet::WorkerLoop(Shard& shard) {
       i = j;
     }
     slice.clear();
+    if (have_heavy) {
+      Deliver(heavy_item, shard.engine->Execute(heavy_item.request));
+    }
   }
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "data/dataset.h"
@@ -124,11 +125,22 @@ class ShardSet {
     std::shared_ptr<StatsAgg> agg;        // cross-shard stats
   };
 
+  // Two lanes per shard (both guarded by `mu`): `queue` holds O(1) work
+  // (predict/update/stats/flush) and is coalesced into engine batches;
+  // `heavy_queue` holds O(T) ops (explain/recourse), of which the worker
+  // executes at most ONE per loop iteration — so a burst of heavy ops can
+  // delay a predict by at most one heavy op, never a convoy of them.
+  // `heavy_pending` counts queued heavy-lane items per student: while a
+  // student has heavy work queued, that student's later ops are routed to
+  // the heavy lane too, preserving per-student operation order across the
+  // lane split (the bit-identity contracts depend on it).
   struct Shard {
     std::unique_ptr<InferenceEngine> engine;
     std::mutex mu;
     std::condition_variable cv;
     std::vector<Item> queue;
+    std::vector<Item> heavy_queue;
+    std::unordered_map<std::string, int64_t> heavy_pending;
     std::thread worker;
   };
 

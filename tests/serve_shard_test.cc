@@ -10,10 +10,12 @@
 //     replaces (for every encoder), and a warm restart resumes sessions
 //     from disk without replaying — including after an unflushed teardown
 //     (the kill -9 case: eviction-time snapshots are atomic and durable).
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -182,7 +184,28 @@ TEST(ShardSetTest, StatsSumAcrossShardsMatchesSingleShard) {
     }
     ServeRequest stats;
     stats.op = Op::kStats;
-    return shards.SubmitSync(stats);
+    const ServeResponse summed = shards.SubmitSync(stats);
+    // The broadcast-and-sum payload must equal the counters read directly
+    // off each shard's SessionStore — nothing dropped, nothing double
+    // counted. (Stop first: engine access is only safe with no traffic.)
+    shards.Stop();
+    int64_t sessions = 0;
+    int64_t state_bytes = 0;
+    int64_t history_bytes = 0;
+    int64_t evictions = 0;
+    for (int shard = 0; shard < num_shards; ++shard) {
+      const SessionStore& store = shards.engine(shard).sessions();
+      sessions += static_cast<int64_t>(store.size());
+      state_bytes += static_cast<int64_t>(store.total_state_bytes());
+      history_bytes += static_cast<int64_t>(store.total_history_bytes());
+      evictions += static_cast<int64_t>(store.evictions());
+    }
+    EXPECT_EQ(summed.sessions, sessions);
+    EXPECT_EQ(summed.state_bytes, state_bytes);
+    EXPECT_EQ(summed.history_bytes, history_bytes)
+        << "stats sum dropped a shard's history bytes";
+    EXPECT_EQ(summed.evictions, evictions);
+    return summed;
   };
 
   const ServeResponse one = run(1);
@@ -192,8 +215,85 @@ TEST(ShardSetTest, StatsSumAcrossShardsMatchesSingleShard) {
   EXPECT_EQ(one.sessions, four.sessions);
   EXPECT_EQ(one.state_bytes, four.state_bytes)
       << "per-session state bytes do not depend on the shard layout";
+  EXPECT_EQ(one.history_bytes, four.history_bytes)
+      << "history accounting must not depend on the shard layout";
   EXPECT_EQ(one.evictions, four.evictions);
   EXPECT_GT(one.sessions, 0);
+  EXPECT_GT(one.history_bytes, 0) << "updates never charged history bytes";
+}
+
+// ---- head-of-line blocking ----
+
+// An O(T) counterfactual op must not convoy in front of O(1) predicts on
+// the same shard. The light predict L opens the worker's straggler
+// window; the heavy explain A and the light predict B both land inside
+// it, so all three are queued when the worker takes its slice. The
+// two-lane worker takes the light slice {L, B} plus at most ONE heavy op
+// and runs the lights first => delivery L, B, A. The old single FIFO
+// delivered L, A, B — B was serialized behind the full counterfactual
+// pass, which is exactly the regression this test pins.
+TEST(ShardSetTest, HeavyOpsDoNotHeadOfLineBlockPredicts) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  ShardSetOptions options;
+  options.shards = 1;  // force every student onto the same worker
+  options.batcher.max_batch = 8;
+  options.batcher.max_wait_us = 100000;  // wide window: no enqueue races
+  options.engine.num_questions = ds.num_questions;
+  options.engine.num_concepts = ds.num_concepts;
+  ShardSet shards(model, options, nullptr);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<uint64_t> order;
+  shards.set_sink([&](uint64_t tag, std::string /*line*/) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+    cv.notify_all();
+  });
+
+  // Enough history that the explain is real O(T) work. Fed async so the
+  // updates coalesce into full batches instead of each paying the wide
+  // straggler window this test configures.
+  uint64_t feed_tag = 100;
+  for (const char* student : {"hl", "ha", "hb"}) {
+    for (int i = 0; i < 30; ++i) {
+      shards.SubmitAsync(Update(student, (i * 7) % 25, i % 2), feed_tag++);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return order.size() == 90; });
+    order.clear();
+  }
+
+  ServeRequest explain_a = Predict("ha", 5);
+  explain_a.op = Op::kExplain;
+
+  shards.SubmitAsync(Predict("hl", 3), 1);
+  shards.SubmitAsync(explain_a, 2);
+  shards.SubmitAsync(Predict("hb", 4), 3);
+  // Same student as the heavy explain: must stay ordered after it even
+  // though the lanes split (heavy_pending routing).
+  shards.SubmitAsync(Predict("ha", 6), 4);
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return order.size() == 4; });
+  }
+  auto pos = [&](uint64_t tag) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == tag) return i;
+    }
+    ADD_FAILURE() << "tag " << tag << " never delivered";
+    return order.size();
+  };
+  EXPECT_LT(pos(3), pos(2))
+      << "predict was head-of-line blocked behind another student's explain";
+  EXPECT_LT(pos(2), pos(4))
+      << "per-student order broken across the lane split";
+  shards.Stop();
 }
 
 // ---- bitwise parity across shard counts ----
@@ -226,6 +326,77 @@ TEST(ShardSetTest, PredictionsAreBitwiseIdenticalAcrossShardCounts) {
     ASSERT_EQ(one.size(), eight.size());
     EXPECT_EQ(one, eight) << rckt::EncoderKindName(kind)
                           << ": sharded serving must be bitwise identical";
+  }
+}
+
+ServeRequest Recourse(const std::string& student, int64_t question) {
+  ServeRequest r = Predict(student, question);
+  r.op = Op::kRecourse;
+  r.k = 2;
+  r.top = 8;
+  r.has_insert_questions = true;
+  r.insert_questions = {question, (question + 3) % 25};
+  return r;
+}
+
+// Everything a recourse reply ranks on, flattened so two replies compare
+// bitwise: base probability, candidate-set size, and each candidate's
+// probability plus its exact intervention list.
+std::string RecourseSignature(const ServeResponse& response) {
+  std::string s = std::to_string(Bits(response.base_p)) + "|" +
+                  std::to_string(response.evaluated);
+  for (const Counterfactual& candidate : response.candidates) {
+    s += ";" + std::to_string(Bits(candidate.p));
+    for (const Intervention& intervention : candidate.interventions) {
+      s += intervention.kind == Intervention::Kind::kFlipResponse ? ",f" : ",i";
+      s += std::to_string(intervention.position) + ":" +
+           std::to_string(intervention.question);
+    }
+  }
+  return s;
+}
+
+TEST(ShardSetTest, RecourseIsBitwiseIdenticalAcrossShardCounts) {
+  data::Dataset ds = TinyDataset();
+  for (const rckt::EncoderKind kind :
+       {rckt::EncoderKind::kDKT, rckt::EncoderKind::kSAKT}) {
+    rckt::RCKT model(ds.num_questions, ds.num_concepts, SmallConfig(kind));
+
+    // A mixed update/predict stream with a recourse every few steps, on
+    // whichever student the stream just touched.
+    const std::vector<ServeRequest> base = MixedTraffic(6, 90);
+    std::vector<ServeRequest> traffic;
+    for (size_t i = 0; i < base.size(); ++i) {
+      traffic.push_back(base[i]);
+      if (i % 9 == 8) {
+        traffic.push_back(Recourse(base[i].student, base[i].question));
+      }
+    }
+
+    auto run = [&](int num_shards) {
+      ShardSetOptions options;
+      options.shards = num_shards;
+      options.engine.num_questions = ds.num_questions;
+      options.engine.num_concepts = ds.num_concepts;
+      ShardSet shards(model, options, nullptr);
+      std::vector<std::string> signatures;
+      for (const ServeRequest& request : traffic) {
+        const ServeResponse response = shards.SubmitSync(request);
+        EXPECT_TRUE(response.ok) << response.error;
+        if (request.op == Op::kRecourse) {
+          signatures.push_back(RecourseSignature(response));
+        }
+      }
+      return signatures;
+    };
+
+    const std::vector<std::string> one = run(1);
+    const std::vector<std::string> eight = run(8);
+    ASSERT_FALSE(one.empty());
+    ASSERT_EQ(one.size(), eight.size());
+    EXPECT_EQ(one, eight)
+        << rckt::EncoderKindName(kind)
+        << ": recourse rankings must not depend on the shard layout";
   }
 }
 

@@ -5,6 +5,7 @@
 // count, through eviction/replay, and through micro-batch coalescing.
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -193,6 +194,64 @@ TEST(ServeProtocolTest, RejectsBadRequests) {
   EXPECT_FALSE(ParseServeRequest(v, &request, &error));
 }
 
+TEST(ServeProtocolTest, ParsesAndRejectsRecourseFields) {
+  std::string error;
+  JsonValue v;
+  ServeRequest request;
+  // Absent fields keep their defaults.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3})", &v, &error));
+  ASSERT_TRUE(ParseServeRequest(v, &request, &error)) << error;
+  EXPECT_EQ(request.op, Op::kRecourse);
+  EXPECT_EQ(request.k, 2);
+  EXPECT_EQ(request.top, 3);
+  EXPECT_EQ(request.target_p, -1.0);
+  EXPECT_FALSE(request.has_insert_questions);
+  EXPECT_FALSE(request.brute);
+  // Full field set.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"k":3,"top":5,)"
+      R"("target_p":0.75,"insert_questions":[1,4],"brute":true})",
+      &v, &error));
+  ASSERT_TRUE(ParseServeRequest(v, &request, &error)) << error;
+  EXPECT_EQ(request.k, 3);
+  EXPECT_EQ(request.top, 5);
+  EXPECT_DOUBLE_EQ(request.target_p, 0.75);
+  ASSERT_TRUE(request.has_insert_questions);
+  EXPECT_EQ(request.insert_questions, (std::vector<int64_t>{1, 4}));
+  EXPECT_TRUE(request.brute);
+  // Duplicate keys: the first wins (JsonValue::Find contract), so a
+  // spoofed second "k" cannot smuggle a different budget past validation.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"k":1,"k":4})", &v,
+      &error));
+  ASSERT_TRUE(ParseServeRequest(v, &request, &error)) << error;
+  EXPECT_EQ(request.k, 1);
+  // Overflowing numbers are hard parse errors, never silent fallbacks.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"k":1e300})", &v,
+      &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"top":1e300})", &v,
+      &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  // Type confusion on every recourse field.
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"target_p":"high"})", &v,
+      &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,"insert_questions":7})",
+      &v, &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"recourse","student":"s","question":3,)"
+      R"("insert_questions":[1,1e300]})",
+      &v, &error));
+  EXPECT_FALSE(ParseServeRequest(v, &request, &error));
+}
+
 // ---- Chunked recurrent forward (the initial/final state plumbing) ----
 
 TEST(ServeStreamTest, LstmChunkedForwardBitIdentical) {
@@ -315,6 +374,82 @@ TEST_P(ForwardStreamSuite, StepForwardManyMatchesSingles) {
   }
 }
 
+TEST_P(ForwardStreamSuite, StepForwardRunMatchesSingleSteps) {
+  Rng rng(17);
+  auto encoder = rckt::MakeBiEncoder(GetParam(), 16, 2, 2, 0.0f, rng);
+  const int64_t warm = 6, run = 5, d = 16;
+  const Tensor a_seq = Tensor::Uniform({1, warm + run, d}, -1.0f, 1.0f, rng);
+  // Warm both streams identically, then advance one with a bulk run and
+  // the other step by step over the same rows.
+  auto bulk = encoder->NewForwardStream();
+  auto single = encoder->NewForwardStream();
+  for (int64_t t = 0; t < warm; ++t) {
+    Tensor row = Tensor::Zeros({1, d});
+    std::memcpy(row.data(), a_seq.data() + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    encoder->StepForward(*bulk, row);
+    encoder->StepForward(*single, row);
+  }
+  Tensor a_run = Tensor::Zeros({1, run, d});
+  std::memcpy(a_run.data(), a_seq.data() + warm * d,
+              static_cast<size_t>(run * d) * sizeof(float));
+  const Tensor bulk_out = encoder->StepForwardRun(*bulk, a_run);
+  ASSERT_EQ(bulk_out.numel(), run * d);
+  for (int64_t t = 0; t < run; ++t) {
+    Tensor row = Tensor::Zeros({1, d});
+    std::memcpy(row.data(), a_run.data() + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    const Tensor f = encoder->StepForward(*single, row);
+    EXPECT_EQ(std::memcmp(f.data(), bulk_out.data() + t * d,
+                          static_cast<size_t>(d) * sizeof(float)),
+              0)
+        << "bulk run row " << t << " diverges from single steps";
+  }
+  // The bulk run must leave the stream in the stepped state too.
+  Tensor probe = Tensor::Uniform({1, d}, -1.0f, 1.0f, rng);
+  EXPECT_TRUE(BitEqual(encoder->StepForward(*bulk, probe),
+                       encoder->StepForward(*single, probe)))
+      << "stream state diverges after a bulk run";
+}
+
+TEST_P(ForwardStreamSuite, CloneStreamPrefixRewindsAttentionStreams) {
+  Rng rng(19);
+  auto encoder = rckt::MakeBiEncoder(GetParam(), 16, 2, 2, 0.0f, rng);
+  const int64_t T = 10, prefix = 4, d = 16;
+  const Tensor a_seq = Tensor::Uniform({1, T, d}, -1.0f, 1.0f, rng);
+  auto full = encoder->NewForwardStream();
+  encoder->ReplayForward(*full, a_seq);
+  auto clone = encoder->CloneStreamPrefix(*full, prefix);
+  const bool is_attention = GetParam() == rckt::EncoderKind::kSAKT ||
+                            GetParam() == rckt::EncoderKind::kAKT;
+  if (!is_attention) {
+    // Recurrent streams fold history into O(1) rows and cannot rewind.
+    EXPECT_EQ(clone, nullptr);
+    return;
+  }
+  ASSERT_NE(clone, nullptr);
+  // The clone must behave exactly like a stream that only ever saw the
+  // prefix: stepping the next row reproduces the prefix-only stream's bits.
+  auto prefix_only = encoder->NewForwardStream();
+  for (int64_t t = 0; t < prefix; ++t) {
+    Tensor row = Tensor::Zeros({1, d});
+    std::memcpy(row.data(), a_seq.data() + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    encoder->StepForward(*prefix_only, row);
+  }
+  Tensor next = Tensor::Uniform({1, d}, -1.0f, 1.0f, rng);
+  EXPECT_TRUE(BitEqual(encoder->StepForward(*clone, next),
+                       encoder->StepForward(*prefix_only, next)))
+      << "prefix clone diverges from a prefix-only stream";
+  // Cloning never disturbs the donor stream.
+  Tensor probe = Tensor::Uniform({1, d}, -1.0f, 1.0f, rng);
+  auto untouched = encoder->NewForwardStream();
+  encoder->ReplayForward(*untouched, a_seq);
+  EXPECT_TRUE(BitEqual(encoder->StepForward(*full, probe),
+                       encoder->StepForward(*untouched, probe)))
+      << "CloneStreamPrefix mutated the source stream";
+}
+
 INSTANTIATE_TEST_SUITE_P(AllEncoders, ForwardStreamSuite,
                          ::testing::Values(rckt::EncoderKind::kDKT,
                                            rckt::EncoderKind::kGRU,
@@ -404,6 +539,40 @@ TEST(SessionStoreTest, EvictsColdStateButKeepsHistory) {
   EXPECT_EQ(a_again->stream, nullptr);
   EXPECT_EQ(a_again->state_bytes, 0u);
   EXPECT_EQ(a_again->history.size(), 1u);  // history survives eviction
+}
+
+TEST(SessionStoreTest, HistoryBytesCountAgainstBudget) {
+  // Regression: history bytes used to be invisible to the budget, so a
+  // store full of long histories never evicted anything. With history
+  // charged, the same state load must now push cold neural state out.
+  SessionStore store(/*budget_bytes=*/100);
+  Session& a = store.GetOrCreate("a");
+  store.SetHistoryBytes(a, 60);
+  store.SetStateBytes(a, 30);
+  EXPECT_EQ(store.evictions(), 0u);  // 60 + 30 fits
+  Session& b = store.GetOrCreate("b");
+  store.SetStateBytes(b, 30);  // 60 + 30 + 30 > 100 -> evict a's state
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(a.state_bytes, 0u);
+  // The history itself is never reclaimed — only charged.
+  EXPECT_EQ(a.history_bytes, 60u);
+  EXPECT_EQ(store.total_state_bytes(), 30u);
+  EXPECT_EQ(store.total_history_bytes(), 60u);
+  // A store over budget on history alone settles at zero neural state
+  // without spinning. The session being accounted keeps its own state
+  // (same protection SetStateBytes grants); the next accounting pass on
+  // any other session reclaims it.
+  store.SetHistoryBytes(b, 200);
+  EXPECT_EQ(b.history_bytes, 200u);
+  EXPECT_EQ(b.state_bytes, 30u);
+  store.SetStateBytes(a, 0);
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_EQ(store.total_state_bytes(), 0u);
+  // Erase returns the history bytes to the pool.
+  store.Erase("b");
+  EXPECT_EQ(store.total_history_bytes(), 60u);
+  store.Erase("a");
+  EXPECT_EQ(store.total_history_bytes(), 0u);
 }
 
 TEST(SessionStoreTest, NeverEvictsTheSessionBeingAccounted) {
@@ -848,6 +1017,282 @@ TEST(EngineTest, ExplainMatchesOfflineExplainTargets) {
   EXPECT_EQ(Bits(online.total_correct), Bits(offline.total_correct));
   EXPECT_EQ(Bits(online.total_incorrect), Bits(offline.total_incorrect));
   EXPECT_EQ(online.predicted_correct, offline.predicted_correct);
+}
+
+// ---- Recourse ----
+
+namespace {
+
+void FeedPrefix(InferenceEngine& engine, const data::ResponseSequence& seq,
+                int64_t n, const std::string& student) {
+  for (int64_t t = 0; t < n; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    ServeRequest update;
+    update.op = Op::kUpdate;
+    update.student = student;
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    ASSERT_TRUE(engine.Execute(update).ok);
+  }
+}
+
+// Everything the recourse wire contract pins, flattened to one comparable
+// string: base_p bits, candidate count, and per candidate the probability
+// bits plus the full ordered intervention list.
+std::string RecourseSignature(const ServeResponse& response) {
+  std::string s = std::to_string(Bits(response.base_p)) + "|" +
+                  std::to_string(response.evaluated);
+  for (const Counterfactual& candidate : response.candidates) {
+    s += ";" + std::to_string(Bits(candidate.p));
+    for (const Intervention& intervention : candidate.interventions) {
+      s += (intervention.kind == Intervention::Kind::kFlipResponse ? ",f"
+                                                                   : ",i");
+      s += std::to_string(intervention.position) + ":" +
+           std::to_string(intervention.question);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(EngineRecourseTest, ValidatesRequestRanges) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+  FeedPrefix(engine, ds.sequences[0], 4, "s");
+
+  ServeRequest base;
+  base.op = Op::kRecourse;
+  base.student = "s";
+  base.question = ds.sequences[0].interactions[4].question;
+
+  EXPECT_TRUE(engine.Execute(base).ok);
+  auto rejects = [&](const std::function<void(ServeRequest&)>& mutate) {
+    ServeRequest request = base;
+    mutate(request);
+    const ServeResponse response = engine.Execute(request);
+    EXPECT_FALSE(response.ok);
+    EXPECT_FALSE(response.error.empty());
+  };
+  rejects([](ServeRequest& r) { r.k = 0; });
+  rejects([](ServeRequest& r) { r.k = 5; });
+  rejects([](ServeRequest& r) { r.top = 0; });
+  rejects([](ServeRequest& r) { r.top = 17; });
+  rejects([](ServeRequest& r) { r.target_p = 2.0; });
+  rejects([](ServeRequest& r) { r.target_p = -0.5; });
+  rejects([](ServeRequest& r) { r.student.clear(); });
+  rejects([](ServeRequest& r) { r.question = -1; });
+  rejects([&](ServeRequest& r) {
+    r.has_insert_questions = true;
+    r.insert_questions = {ds.num_questions + 2};
+  });
+  rejects([](ServeRequest& r) {
+    r.has_insert_questions = true;
+    r.insert_questions = {-3};
+  });
+
+  // An oversized insert list is capped (4 primitives), not rejected, and
+  // duplicates collapse.
+  ServeRequest many = base;
+  many.k = 1;
+  many.has_insert_questions = true;
+  many.insert_questions = {0, 1, 2, 3, 4, 5, 0, 1};
+  const ServeResponse response = engine.Execute(many);
+  ASSERT_TRUE(response.ok) << response.error;
+  for (const auto& candidate : response.candidates) {
+    for (const auto& intervention : candidate.interventions) {
+      if (intervention.kind == Intervention::Kind::kInsertPractice) {
+        EXPECT_LE(intervention.question, 3);  // entries past the cap dropped
+      }
+    }
+  }
+  EXPECT_GT(response.evaluated, 0);
+}
+
+TEST(EngineRecourseTest, EmptyHistoryScoresInsertPracticeOnly) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kGRU));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+
+  ServeRequest request;
+  request.op = Op::kRecourse;
+  request.student = "fresh";
+  request.question = 3;
+  request.k = 2;
+  const ServeResponse fast = engine.Execute(request);
+  ASSERT_TRUE(fast.ok) << fast.error;
+  EXPECT_EQ(fast.history, 0);
+  // No incorrect answers to flip; the default insert primitive (practice
+  // the target itself) is the only candidate.
+  ASSERT_EQ(fast.evaluated, 1);
+  ASSERT_EQ(fast.candidates.size(), 1u);
+  EXPECT_EQ(fast.candidates[0].interventions.size(), 1u);
+  EXPECT_EQ(fast.candidates[0].interventions[0].kind,
+            Intervention::Kind::kInsertPractice);
+  EXPECT_EQ(fast.candidates[0].interventions[0].question, 3);
+  EXPECT_EQ(Bits(fast.candidates[0].lift),
+            Bits(fast.candidates[0].p - fast.base_p));
+
+  ServeRequest brute = request;
+  brute.brute = true;
+  EXPECT_EQ(RecourseSignature(engine.Execute(brute)),
+            RecourseSignature(fast));
+}
+
+TEST(EngineRecourseTest, TargetPMarksReachedCandidates) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kDKT));
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  InferenceEngine engine(model, options);
+  FeedPrefix(engine, ds.sequences[2], 8, "s");
+
+  ServeRequest request;
+  request.op = Op::kRecourse;
+  request.student = "s";
+  request.question = ds.sequences[2].interactions[8].question;
+  request.top = 16;
+  request.target_p = 0.0;  // every candidate reaches a zero goal
+  ServeResponse response = engine.Execute(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_FALSE(response.candidates.empty());
+  for (const auto& candidate : response.candidates) {
+    EXPECT_TRUE(candidate.reaches_target);
+  }
+  request.target_p = 1.0;  // sigmoid output never reaches exactly 1
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok);
+  for (const auto& candidate : response.candidates) {
+    EXPECT_FALSE(candidate.reaches_target);
+  }
+  // Without a goal the flag stays false.
+  request.target_p = -1.0;
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok);
+  for (const auto& candidate : response.candidates) {
+    EXPECT_FALSE(candidate.reaches_target);
+  }
+}
+
+TEST_P(EngineParitySuite, RecourseFastMatchesBruteBitwiseAcrossThreads) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(GetParam()));
+  const auto& seq = ds.sequences[3];
+  const int64_t prefix = 8;
+
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    EngineOptions options;
+    options.num_questions = ds.num_questions;
+    options.num_concepts = ds.num_concepts;
+    InferenceEngine engine(model, options);
+    FeedPrefix(engine, seq, prefix, "s0");
+
+    ServeRequest request;
+    request.op = Op::kRecourse;
+    request.student = "s0";
+    request.question = seq.interactions[static_cast<size_t>(prefix)].question;
+    request.has_concepts = true;
+    request.concepts = seq.interactions[static_cast<size_t>(prefix)].concepts;
+    request.k = 2;
+    request.top = 16;
+    request.has_insert_questions = true;
+    request.insert_questions = {request.question,
+                                (request.question + 1) % ds.num_questions};
+
+    const ServeResponse fast = engine.Execute(request);
+    ASSERT_TRUE(fast.ok) << fast.error;
+    EXPECT_GT(fast.evaluated, 2);
+    ASSERT_FALSE(fast.candidates.empty());
+
+    // The fast path (stream clone + stacked generator variants) must be
+    // bitwise the brute-force per-candidate offline re-encode...
+    ServeRequest brute_request = request;
+    brute_request.brute = true;
+    const ServeResponse brute = engine.Execute(brute_request);
+    ASSERT_TRUE(brute.ok) << brute.error;
+    EXPECT_EQ(RecourseSignature(fast), RecourseSignature(brute))
+        << "threads " << threads;
+
+    // ...and identical at every thread count.
+    if (reference.empty()) {
+      reference = RecourseSignature(fast);
+    } else {
+      EXPECT_EQ(RecourseSignature(fast), reference)
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(EngineRecourseTest, StatsChargeHistoryAgainstBudget) {
+  data::Dataset ds = TinyDataset();
+  rckt::RCKT model(ds.num_questions, ds.num_concepts,
+                   SmallConfig(rckt::EncoderKind::kSAKT));
+  // Pass 1, unlimited budget: measure what two students with real
+  // histories actually occupy.
+  EngineOptions options;
+  options.num_questions = ds.num_questions;
+  options.num_concepts = ds.num_concepts;
+  options.session_budget_bytes = 0;
+  auto drive = [&](InferenceEngine& engine) {
+    FeedPrefix(engine, ds.sequences[0], 9, "a");
+    FeedPrefix(engine, ds.sequences[1], 9, "b");
+  };
+  size_t state_bytes = 0;
+  size_t history_bytes = 0;
+  {
+    InferenceEngine engine(model, options);
+    drive(engine);
+    ServeRequest stats;
+    stats.op = Op::kStats;
+    const ServeResponse response = engine.Execute(stats);
+    ASSERT_TRUE(response.ok);
+    state_bytes = static_cast<size_t>(response.state_bytes);
+    history_bytes = static_cast<size_t>(response.history_bytes);
+    EXPECT_GT(state_bytes, 0u);
+    EXPECT_GT(history_bytes, 0u);
+    EXPECT_EQ(response.evictions, 0);
+  }
+  // Pass 2, regression: a budget that holds the neural state alone but
+  // NOT state + history. The old accounting (neural only) never evicted
+  // under this budget; charging history must.
+  options.session_budget_bytes = state_bytes + history_bytes / 2;
+  {
+    InferenceEngine engine(model, options);
+    drive(engine);
+    ServeRequest stats;
+    stats.op = Op::kStats;
+    const ServeResponse response = engine.Execute(stats);
+    ASSERT_TRUE(response.ok);
+    EXPECT_GT(response.evictions, 0);
+    EXPECT_GT(response.history_bytes, 0);
+    // Evicted or not, predictions stay bit-identical (replay rebuild).
+    ServeRequest predict;
+    predict.op = Op::kPredict;
+    predict.student = "a";
+    predict.question = ds.sequences[0].interactions[9].question;
+    predict.has_concepts = true;
+    predict.concepts = ds.sequences[0].interactions[9].concepts;
+    const ServeResponse online = engine.Execute(predict);
+    ASSERT_TRUE(online.ok);
+    data::Batch batch = rckt::MakePrefixBatch({{&ds.sequences[0], 9}});
+    EXPECT_EQ(Bits(online.p), Bits(model.GeneratorScoreTargets(batch)[0]));
+  }
 }
 
 // ---- KTW2 metadata chunk ----

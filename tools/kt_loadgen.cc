@@ -32,6 +32,16 @@
 //           seed-deterministic. pred_fnv64 digests the server's predict
 //           probabilities the same way, so two servers (e.g. --shards 1
 //           vs --shards 8) can be compared for bitwise parity.
+//   recourse Counterfactual-recourse traffic: per CSV sequence, every
+//           interaction but the last becomes a history update, then one
+//           recourse op fires on the final question. The summary carries
+//           recourse latency percentiles, the mean best-candidate lift,
+//           and recourse_fnv64 — a digest of every reply's base_p bits,
+//           candidate ranking and intervention list. Two servers given
+//           the same traffic agree on the digest iff every recourse
+//           reply is bitwise identical, which is how check_serve.sh
+//           gates the stacked fast path against --brute and --shards 1
+//           against --shards 4.
 //
 // All modes print a one-line JSON summary to stdout (schemas in
 // src/serve/loadgen.h; `obs_check scenario` validates and gates the
@@ -49,6 +59,8 @@
 //   bench:    [--requests 200 per connection] [--questions 100] [--seed 1]
 //   scenario: --scenario NAME [--students N] [--scale S] [--seed N]
 //             [--auc-window 50000]
+//   recourse: --data data.csv [--window 50] [--min-length 5] [--k 2]
+//             [--top 3] [--target-p -1] [--brute]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -246,6 +258,148 @@ int CmdReplay(const FlagParser& flags, int port, int connections) {
   summary.latency = serve::SummarizeLatencies(latencies_us);
   std::printf("%s\n", serve::ReplaySummaryJson(summary).c_str());
   return summary.check.ok() ? 0 : 1;
+}
+
+// Recourse traffic: per CSV sequence, reset the student (so reruns
+// against one warm server see identical histories), feed every
+// interaction but the last as history updates, then ask for
+// counterfactual recourse on the final question. Reports recourse latency, the mean best-candidate
+// lift, and an order-independent digest of every reply (base_p bits,
+// candidate ranking, every intervention) — the parity key
+// scripts/check_serve.sh compares fast-vs---brute and across --shards.
+int CmdRecourse(const FlagParser& flags, int port, int connections) {
+  const std::string data_path = flags.GetString("data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "recourse: --data is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadCsv(data_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const data::Dataset windows = data::SplitIntoWindows(
+      dataset.value(), flags.GetInt("window", 50),
+      flags.GetInt("min-length", 5));
+  const int k = static_cast<int>(flags.GetInt("k", 2));
+  const int top = static_cast<int>(flags.GetInt("top", 3));
+  const double target_p = flags.GetDouble("target-p", -1.0);
+  const bool brute = flags.GetBool("brute", false);
+
+  std::mutex mu;
+  std::vector<double> latencies_us;
+  std::vector<std::string> failures;
+  uint64_t recourse_fnv64 = 0;
+  int64_t updates = 0, recourses = 0, candidates = 0;
+  double top_lift_sum = 0.0;
+  int64_t top_lift_count = 0;
+  std::vector<std::thread> workers;
+  const int num_workers =
+      std::max(1, std::min(connections,
+                           static_cast<int>(windows.sequences.size())));
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      LineClient client;
+      std::string error;
+      if (!client.Connect(port, &error)) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(error);
+        return;
+      }
+      std::vector<double> local_us;
+      uint64_t local_fnv = 0;
+      int64_t local_updates = 0, local_recourses = 0, local_candidates = 0;
+      double local_lift_sum = 0.0;
+      int64_t local_lift_count = 0;
+      std::string response;
+      for (size_t i = static_cast<size_t>(w); i < windows.sequences.size();
+           i += static_cast<size_t>(num_workers)) {
+        const auto& seq = windows.sequences[i];
+        if (seq.length() < 2) continue;
+        const std::string student = "r" + std::to_string(i);
+        if (!client.RoundTrip(serve::ResetLine(student), &response, &error)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(error);
+          return;
+        }
+        for (int64_t t = 0; t + 1 < seq.length(); ++t) {
+          const auto& it = seq.interactions[static_cast<size_t>(t)];
+          if (!client.RoundTrip(serve::UpdateLine(student, it.question,
+                                                  it.concepts, it.response),
+                                &response, &error)) {
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back(error);
+            return;
+          }
+          ++local_updates;
+        }
+        const auto& last =
+            seq.interactions[static_cast<size_t>(seq.length() - 1)];
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.RoundTrip(
+                serve::RecourseLine(student, last.question, last.concepts, k,
+                                    top, target_p, {}, brute),
+                &response, &error)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(error);
+          return;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        local_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        serve::JsonValue reply;
+        if (!serve::ParseJson(response, &reply, &error) ||
+            !reply.GetBool("ok", false)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back("bad recourse reply: " + response);
+          return;
+        }
+        ++local_recourses;
+        local_fnv ^= serve::FnvMixRecourseReply(serve::kFnvOffset, reply);
+        if (const serve::JsonValue* cands = reply.Find("candidates")) {
+          if (cands->IsArray() && !cands->array.empty()) {
+            local_candidates += static_cast<int64_t>(cands->array.size());
+            local_lift_sum += cands->array[0].GetNumber("lift", 0.0);
+            ++local_lift_count;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_us.insert(latencies_us.end(), local_us.begin(),
+                          local_us.end());
+      recourse_fnv64 ^= local_fnv;
+      updates += local_updates;
+      recourses += local_recourses;
+      candidates += local_candidates;
+      top_lift_sum += local_lift_sum;
+      top_lift_count += local_lift_count;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& f : failures) std::fprintf(stderr, "recourse: %s\n",
+                                              f.c_str());
+  if (!failures.empty()) return 1;
+
+  serve::RecourseSummary summary;
+  summary.connections = num_workers;
+  summary.students = static_cast<int64_t>(windows.sequences.size());
+  summary.updates = updates;
+  summary.recourses = recourses;
+  summary.candidates = candidates;
+  summary.mean_top_lift =
+      top_lift_count > 0 ? top_lift_sum / static_cast<double>(top_lift_count)
+                         : 0.0;
+  summary.brute = brute;
+  summary.elapsed_s = elapsed;
+  summary.latency = serve::SummarizeLatencies(latencies_us);
+  summary.recourse_fnv64 = recourse_fnv64;
+  std::printf("%s\n", serve::RecourseSummaryJson(summary).c_str());
+  return 0;
 }
 
 int CmdBench(const FlagParser& flags, int port, int connections) {
@@ -488,9 +642,11 @@ int Main(int argc, char** argv) {
   if (mode == "replay") return CmdReplay(flags, port, connections);
   if (mode == "bench") return CmdBench(flags, port, connections);
   if (mode == "scenario") return CmdScenario(flags, port, connections);
-  std::fprintf(stderr,
-               "kt_loadgen: unknown --mode '%s' (replay|bench|scenario)\n",
-               mode.c_str());
+  if (mode == "recourse") return CmdRecourse(flags, port, connections);
+  std::fprintf(
+      stderr,
+      "kt_loadgen: unknown --mode '%s' (replay|bench|scenario|recourse)\n",
+      mode.c_str());
   return 2;
 }
 

@@ -20,6 +20,18 @@
 //   explain   --data data.csv --load model.ktw
 //             [--student I] [--target T]
 //             Print the influence breakdown behind one prediction.
+//   recourse  --data data.csv --load model.ktw
+//             [--student I] [--target T] [--k 2] [--top 3]
+//             [--target-p P] [--insert q1,q2] [--brute]
+//             Counterfactual recourse for one prediction: search over
+//             flipping past incorrect responses and inserting correct
+//             practice (candidate sets up to --k interventions; inserted
+//             questions from --insert, defaulting to the target
+//             question) and print the --top sets ranked by probability
+//             lift per intervention. --target-p marks sets that reach
+//             the goal probability; --brute swaps the stacked fast path
+//             for one forward pass per candidate (identical output —
+//             the parity gate in scripts/check_serve.sh relies on it).
 //   serve     --load model.ktw [--data data.csv] [--port P] [--shards N]
 //             [--max-batch N] [--max-wait-us U] [--max-queue Q]
 //             [--memory-budget-mb M] [--cold-dir DIR]
@@ -97,8 +109,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ktcli <simulate|train|evaluate|explain|serve> "
-               "[flags]\n"
+               "usage: ktcli <simulate|train|evaluate|explain|recourse"
+               "|serve> [flags]\n"
                "see the header of tools/ktcli.cc for flag reference\n");
   return 2;
 }
@@ -387,6 +399,103 @@ int CmdExplain(const FlagParser& flags) {
   return 0;
 }
 
+// Offline counterfactual recourse for one dataset prediction: feeds the
+// prefix through a local InferenceEngine (the same code path `serve`
+// uses) and prints the ranked intervention sets.
+int CmdRecourse(const FlagParser& flags) {
+  LoadedData loaded;
+  if (int rc = LoadData(flags, &loaded)) return rc;
+  int rc = 0;
+  std::unique_ptr<rckt::RCKT> model =
+      LoadModelAuto(flags, &loaded.windows, &rc);
+  if (model == nullptr) return rc;
+
+  const int64_t student_index = flags.GetInt("student", 0);
+  KT_CHECK(student_index >= 0 &&
+           student_index <
+               static_cast<int64_t>(loaded.windows.sequences.size()))
+      << "--student out of range";
+  const auto& seq =
+      loaded.windows.sequences[static_cast<size_t>(student_index)];
+  const int64_t target = flags.GetInt("target", seq.length() - 1);
+  KT_CHECK(target >= 0 && target < seq.length()) << "--target out of range";
+
+  serve::EngineOptions options;
+  options.num_questions =
+      model->embedder().question_embedding().num_embeddings();
+  options.num_concepts =
+      model->embedder().concept_embedding().num_embeddings();
+  serve::InferenceEngine engine(*model, options);
+  for (int64_t t = 0; t < target; ++t) {
+    const auto& it = seq.interactions[static_cast<size_t>(t)];
+    serve::ServeRequest update;
+    update.op = serve::Op::kUpdate;
+    update.student = "cli";
+    update.question = it.question;
+    update.response = it.response;
+    update.has_concepts = true;
+    update.concepts = it.concepts;
+    KT_CHECK(engine.Execute(update).ok) << "prefix update failed";
+  }
+
+  const auto& goal = seq.interactions[static_cast<size_t>(target)];
+  serve::ServeRequest request;
+  request.op = serve::Op::kRecourse;
+  request.student = "cli";
+  request.question = goal.question;
+  request.has_concepts = true;
+  request.concepts = goal.concepts;
+  request.k = static_cast<int>(flags.GetInt("k", 2));
+  request.top = static_cast<int>(flags.GetInt("top", 3));
+  request.target_p = flags.GetDouble("target-p", -1.0);
+  request.brute = flags.GetBool("brute", false);
+  const std::string insert = flags.GetString("insert", "");
+  if (!insert.empty()) {
+    request.has_insert_questions = true;
+    int64_t value = 0;
+    bool have = false;
+    for (const char c : insert + ",") {
+      if (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        have = true;
+      } else {
+        KT_CHECK(c == ',' && have) << "--insert wants q1,q2,...";
+        request.insert_questions.push_back(value);
+        value = 0;
+        have = false;
+      }
+    }
+  }
+
+  const serve::ServeResponse response = engine.Execute(request);
+  if (!response.ok) {
+    std::fprintf(stderr, "recourse: %s\n", response.error.c_str());
+    return 1;
+  }
+  std::printf("recourse for q%lld after %lld interactions: "
+              "base p=%.4f (%lld candidate sets evaluated)\n",
+              static_cast<long long>(goal.question),
+              static_cast<long long>(target),
+              response.base_p,
+              static_cast<long long>(response.evaluated));
+  for (const serve::Counterfactual& candidate : response.candidates) {
+    std::printf("  p=%.4f lift=%+.4f%s", candidate.p, candidate.lift,
+                candidate.reaches_target ? " [target]" : "");
+    for (const serve::Intervention& intervention : candidate.interventions) {
+      if (intervention.kind == serve::Intervention::Kind::kFlipResponse) {
+        std::printf("  flip t=%lld (q%lld)",
+                    static_cast<long long>(intervention.position),
+                    static_cast<long long>(intervention.question));
+      } else {
+        std::printf("  insert practice q%lld",
+                    static_cast<long long>(intervention.question));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int CmdServe(const FlagParser& flags) {
   LoadedData loaded;
   const bool have_data = !flags.GetString("data", "").empty();
@@ -501,6 +610,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags, common);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "recourse") return CmdRecourse(flags);
   if (command == "serve") return CmdServe(flags);
   return Usage();
 }
