@@ -82,6 +82,35 @@ std::vector<Shape> ParameterShapes(const nn::Module& module) {
 
 }  // namespace
 
+void AppendAdamState(const nn::Adam& adam, std::string* out) {
+  AppendPod(out, static_cast<int64_t>(adam.step_count()));
+  AppendTensorList(adam.moment1(), out);
+  AppendTensorList(adam.moment2(), out);
+}
+
+Status ParseAdamState(const char* data, size_t size,
+                      const std::vector<Shape>& expected, nn::Adam* adam) {
+  BinCursor cursor(data, size);
+  int64_t step = 0;
+  if (!cursor.Read(&step) || step < 0) {
+    return Status::InvalidArgument("corrupt adam step counter");
+  }
+  std::vector<Tensor> m, v;
+  if (Status status = ParseTensorList(cursor, expected, false, "adam m", &m);
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = ParseTensorList(cursor, expected, false, "adam v", &v);
+      !status.ok()) {
+    return status;
+  }
+  if (!cursor.done()) {
+    return Status::InvalidArgument("trailing bytes in adam state");
+  }
+  adam->SetState(m, v, step);
+  return Status::Ok();
+}
+
 Status SaveTrainingState(const TrainingState& state, const std::string& path) {
   KT_OBS_SCOPE("ckpt/save");
   if (obs::Enabled()) {
@@ -100,10 +129,7 @@ Status SaveTrainingState(const TrainingState& state, const std::string& path) {
   nn::AppendModuleState(*state.module, &writer.Section("module"));
 
   if (state.optimizer != nullptr) {
-    std::string& adam = writer.Section("adam");
-    AppendPod(&adam, static_cast<int64_t>(state.optimizer->step_count()));
-    AppendTensorList(state.optimizer->moment1(), &adam);
-    AppendTensorList(state.optimizer->moment2(), &adam);
+    AppendAdamState(*state.optimizer, &writer.Section("adam"));
   }
 
   std::string& rng = writer.Section("rng");

@@ -64,6 +64,17 @@ Status SaveTrainingState(const TrainingState& state, const std::string& path);
 // tag/shape mismatch, missing section) nothing is modified.
 Status LoadTrainingState(const TrainingState& state, const std::string& path);
 
+// Buffer-level Adam-state encoding (the "adam" section layout: step counter,
+// then the moment-1 and moment-2 tensor lists in parameter order), exposed
+// so other checkpoint producers — the continual trainer — embed optimizer
+// state in their own kt::ckpt containers with the same validation story.
+void AppendAdamState(const nn::Adam& adam, std::string* out);
+// Parses a buffer written by AppendAdamState against `expected` (the
+// module's parameter shapes); mutates `adam` only after the whole buffer
+// validates.
+Status ParseAdamState(const char* data, size_t size,
+                      const std::vector<Shape>& expected, nn::Adam* adam);
+
 }  // namespace ckpt
 }  // namespace kt
 

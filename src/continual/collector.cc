@@ -1,0 +1,86 @@
+#include "continual/collector.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace kt {
+namespace continual {
+
+EventCollector::EventCollector(const CollectorOptions& options)
+    : options_(options) {
+  options_.shards = std::max(1, options.shards);
+  options_.window = std::max<int64_t>(2, options.window);
+  options_.min_history =
+      std::min(std::max<int64_t>(1, options.min_history), options_.window - 1);
+  slots_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void EventCollector::Record(int shard, const serve::UpdateEvent& event) {
+  events_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = *slots_[static_cast<size_t>(
+      std::clamp(shard, 0, options_.shards - 1))];
+  const uint64_t student_fnv = HashStudent(event.student);
+
+  std::lock_guard<std::mutex> lock(slot.mu);
+  StudentContext& ctx = slot.contexts[student_fnv];
+  if (event.index != ctx.next_index) {
+    // Discontinuity: the session was reset or re-created mid-stream and we
+    // did not observe the intervening events. Whatever context we held no
+    // longer matches the student's stream — start over at this index.
+    ctx.window.clear();
+    ctx.next_index = event.index;
+  }
+
+  data::Interaction target;
+  target.question = event.question;
+  target.response = event.response;
+  if (event.concepts != nullptr) target.concepts = *event.concepts;
+
+  if (static_cast<int64_t>(ctx.window.size()) >= options_.min_history) {
+    TrainSample sample;
+    sample.student_fnv = student_fnv;
+    sample.index = event.index;
+    sample.target = target;
+    sample.context.assign(ctx.window.begin(), ctx.window.end());
+    // A second, independent hash stream decides the holdout split so it
+    // never correlates with the reservoir's priorities.
+    const bool holdout =
+        options_.holdout_every > 1 &&
+        SamplePriority(options_.seed ^ 0x9e3779b97f4a7c15ull, student_fnv,
+                       sample.index) %
+                static_cast<uint64_t>(options_.holdout_every) ==
+            0;
+    (holdout ? slot.pending_holdout : slot.pending_train)
+        .push_back(std::move(sample));
+  }
+
+  ctx.window.push_back(std::move(target));
+  while (static_cast<int64_t>(ctx.window.size()) > options_.window - 1) {
+    ctx.window.pop_front();
+  }
+  ++ctx.next_index;
+}
+
+int64_t EventCollector::Drain(std::vector<TrainSample>* train,
+                              std::vector<TrainSample>* holdout) {
+  int64_t moved = 0;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    moved += static_cast<int64_t>(slot->pending_train.size() +
+                                  slot->pending_holdout.size());
+    std::move(slot->pending_train.begin(), slot->pending_train.end(),
+              std::back_inserter(*train));
+    slot->pending_train.clear();
+    std::move(slot->pending_holdout.begin(), slot->pending_holdout.end(),
+              std::back_inserter(*holdout));
+    slot->pending_holdout.clear();
+  }
+  return moved;
+}
+
+}  // namespace continual
+}  // namespace kt

@@ -1,0 +1,89 @@
+// Per-shard accumulation of committed serve updates into train samples.
+//
+// Each serve shard gets its own slot: the engine's update sink calls
+// Record(shard, event) from the shard's worker thread, so two shards never
+// contend on one slot's mutex (the lock exists only because the trainer
+// drains concurrently). A slot tracks, per student, the last <= window-1
+// interactions plus the next expected event index, and turns every
+// committed update into a TrainSample = (bounded context, target).
+//
+// Determinism across shard layouts: a student's context stream depends only
+// on the student's OWN committed updates in order — which every layout
+// preserves (a student lives on exactly one shard) — so the multiset of
+// emitted samples is shard-count-invariant, and so is everything selected
+// from it by hash (the reservoir's bottom-k, the holdout split). The
+// `index` field guards the invariant: a discontinuity (reset op, session
+// re-created after a restart mid-stream) resets the context window rather
+// than fabricating a context the student never had.
+#ifndef KT_CONTINUAL_COLLECTOR_H_
+#define KT_CONTINUAL_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "continual/reservoir.h"
+#include "serve/engine.h"
+
+namespace kt {
+namespace continual {
+
+struct CollectorOptions {
+  int shards = 1;
+  // Max sample length (context + target); matches the offline window.
+  int64_t window = 32;
+  // Samples need at least this much context to be worth training on
+  // (mirrors MakePrefixSamples' min_target; must be >= 1 because RCKT
+  // requires one history response).
+  int64_t min_history = 4;
+  // Every event whose holdout hash lands on 0 mod this goes to the holdout
+  // split (never trained on) for the promotion gate; <= 1 disables the
+  // split (everything trains).
+  int64_t holdout_every = 8;
+  uint64_t seed = 1;
+};
+
+class EventCollector {
+ public:
+  explicit EventCollector(const CollectorOptions& options);
+
+  // Engine-thread side; safe for concurrent calls with distinct `shard`.
+  void Record(int shard, const serve::UpdateEvent& event);
+
+  // Trainer side: moves every pending sample out of all slots, appending
+  // train samples to *train and gate samples to *holdout. Returns the
+  // number of samples moved.
+  int64_t Drain(std::vector<TrainSample>* train,
+                std::vector<TrainSample>* holdout);
+
+  // Committed events seen so far (including ones below min_history).
+  int64_t TotalEvents() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct StudentContext {
+    int64_t next_index = 0;
+    std::deque<data::Interaction> window;
+  };
+
+  struct Slot {
+    std::mutex mu;
+    std::unordered_map<uint64_t, StudentContext> contexts;
+    std::vector<TrainSample> pending_train;
+    std::vector<TrainSample> pending_holdout;
+  };
+
+  CollectorOptions options_;
+  std::atomic<int64_t> events_{0};
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace continual
+}  // namespace kt
+
+#endif  // KT_CONTINUAL_COLLECTOR_H_

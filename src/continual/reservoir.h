@@ -1,0 +1,118 @@
+// Deterministic replay reservoir for the continual trainer.
+//
+// A classic reservoir sample depends on arrival order, which would make the
+// trainer's replay set (and therefore the fine-tuned weights) depend on
+// shard count and queue interleavings. This one is a *bottom-k selection*
+// instead: every committed (student, event-index) pair gets a fixed pseudo
+// random priority
+//
+//   priority = hash64(seed, student_fnv, index)
+//
+// and the reservoir keeps the `capacity` events with the smallest
+// (priority, student_fnv, index, content-hash) keys — the content hash
+// makes the order total even when a session reset restarts a student's
+// index and re-issues an identity key. Selection over a multiset of events
+// is a pure function of the set — independent of arrival order, partition,
+// or merge schedule — so per-shard partial reservoirs merged via MergeFrom
+// are bit-identical to one global reservoir fed the same events, and
+// `--shards 1` and `--shards 4` agree digest-for-digest
+// (scripts/check_continual.sh gates on exactly that). Statistically the
+// bottom-k of i.i.d. uniform priorities IS a uniform sample without
+// replacement, so the replay set keeps the usual reservoir guarantees.
+#ifndef KT_CONTINUAL_RESERVOIR_H_
+#define KT_CONTINUAL_RESERVOIR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace kt {
+namespace continual {
+
+// One training sample harvested from serve traffic: a committed interaction
+// (`target`) plus its bounded left context — enough to build an
+// equal-length prefix batch row (rckt/samples.h) with the target last.
+struct TrainSample {
+  uint64_t student_fnv = 0;  // FNV-1a of the student id
+  int64_t index = 0;         // event index within the student's stream
+  data::Interaction target;
+  std::vector<data::Interaction> context;
+
+  int64_t length() const {
+    return static_cast<int64_t>(context.size()) + 1;
+  }
+};
+
+// FNV-1a 64 of the student id — the reservoir/routing-independent student
+// key (same function the serve shard router uses).
+uint64_t HashStudent(std::string_view student);
+
+// The fixed per-event priority (splitmix64-style avalanche over the seed,
+// student and index). Uniform enough that bottom-k is an unbiased sample.
+uint64_t SamplePriority(uint64_t seed, uint64_t student_fnv, int64_t index);
+
+// Flat (de)serialization of a sample list — the checkpoint encoding of the
+// trainer's tail and holdout rings (the reservoir embeds the same per-entry
+// layout). Parse replaces *out and fails (leaving it empty) on bad input.
+void AppendSamples(const std::vector<TrainSample>& samples, std::string* out);
+bool ParseSamples(const char* data, size_t size,
+                  std::vector<TrainSample>* out);
+
+class Reservoir {
+ public:
+  Reservoir(int64_t capacity, uint64_t seed);
+
+  // Considers one sample for membership (computes its priority; keeps it
+  // iff it is within the current bottom-k).
+  void Offer(TrainSample sample);
+
+  // Offers every entry of `other` into this reservoir (the shard-merge
+  // path), leaving `other` empty.
+  void MergeFrom(Reservoir* other);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t capacity() const { return capacity_; }
+  uint64_t seed() const { return seed_; }
+
+  // Members in canonical order — ascending (priority, student_fnv, index).
+  // Pointers are invalidated by the next non-const call.
+  std::vector<const TrainSample*> Ordered() const;
+
+  // FNV-1a 64 over the canonical-ordered members (keys and full sample
+  // contents). Equal digests <=> equal replay sets.
+  uint64_t Digest() const;
+
+  // Checkpoint (de)serialization. Deserialize replaces the contents and
+  // fails (leaving the reservoir empty) on any malformed input.
+  void Serialize(std::string* out) const;
+  bool Deserialize(const char* data, size_t size);
+
+ private:
+  struct Entry {
+    uint64_t priority = 0;
+    // FNV over target + context: the final tie-break, because a session
+    // reset restarts the event index and (student, index) alone can then
+    // name two DIFFERENT samples.
+    uint64_t content_fnv = 0;
+    TrainSample sample;
+  };
+
+  // Strict total order over events: priority first, then (student, index),
+  // then the content hash — deterministic for any distinct pair.
+  static bool KeyLess(const Entry& a, const Entry& b);
+
+  void OfferEntry(Entry entry);
+
+  int64_t capacity_;
+  uint64_t seed_;
+  // Max-heap on KeyLess (largest key at front) so eviction is O(log k).
+  std::vector<Entry> entries_;
+};
+
+}  // namespace continual
+}  // namespace kt
+
+#endif  // KT_CONTINUAL_RESERVOIR_H_

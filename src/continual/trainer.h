@@ -1,0 +1,188 @@
+// kt::continual — streaming trainer that closes the serve -> train loop.
+//
+// Wiring (ktcli `serve --continual`):
+//
+//   engine update sink -> EventCollector (per-shard slots)
+//        |                      |
+//        |                Drain (trainer thread / stats decorator)
+//        |                      v
+//        |          Reservoir (bottom-k replay) + recent tail + holdout
+//        |                      v
+//        |      mini-epoch: candidate RCKT TrainStep over reservoir+tail
+//        |                      v
+//        |      gate: candidate vs incumbent AUC on held-out traffic
+//        |                      v   (promote)
+//        +-- ShardSet::SwapWeights <- publish <dir>/current.ktw (KTW2+meta)
+//
+// Determinism contracts (tests/continual_test.cc):
+//   * the replay set is shard-count and arrival-order invariant (see
+//     reservoir.h), digest-gated at 1 vs 4 shards;
+//   * a mini-epoch over a fixed replay set is deterministic: canonical
+//     sample order, GroupIntoBatches without shuffling, dropout disabled
+//     in the candidate config (so no RNG stream to checkpoint);
+//   * SaveCheckpoint/LoadCheckpoint round-trips the reservoir, the rings,
+//     the candidate weights and the Adam moments bit-identically, so a
+//     warm-restarted trainer continues exactly where the killed one was.
+//
+// Crash safety: the checkpoint commits through kt::ckpt (tmp+fsync+rename)
+// and the published weights through nn::SaveModuleWithMeta (same discipline
+// + CRC), so a kill -9 at any byte leaves the previous artifact intact and
+// loadable — never a torn file.
+#ifndef KT_CONTINUAL_TRAINER_H_
+#define KT_CONTINUAL_TRAINER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "continual/collector.h"
+#include "continual/reservoir.h"
+#include "core/status.h"
+#include "rckt/rckt_model.h"
+#include "serve/engine.h"
+#include "serve/shard.h"
+
+namespace kt {
+namespace continual {
+
+struct TrainerOptions {
+  // Publish/checkpoint directory: <dir>/current.ktw (promoted weights),
+  // <dir>/continual.ktc (trainer state). Created if missing.
+  std::string dir;
+  int shards = 1;
+  // A mini-epoch triggers once this many new committed events accumulated.
+  int64_t train_every = 256;
+  int64_t reservoir_capacity = 2048;
+  // Recent-window tail: the last N drained train samples ride along with
+  // every mini-epoch so fresh drift is always represented even when the
+  // uniform reservoir is dominated by old traffic.
+  int64_t tail_capacity = 512;
+  int64_t holdout_capacity = 1024;
+  // Sample shape (see CollectorOptions).
+  int64_t window = 32;
+  int64_t min_history = 4;
+  int64_t holdout_every = 8;
+  int64_t batch_size = 32;
+  // Promotion gate: candidate AUC >= incumbent AUC - gate_eps over at
+  // least gate_min_samples held-out samples.
+  double gate_eps = 0.02;
+  int64_t gate_min_samples = 64;
+  // Drift detector: incumbent holdout AUC this far below its running
+  // baseline (EMA) counts as a drift event.
+  double drift_threshold = 0.05;
+  float lr = 1e-4f;
+  uint64_t seed = 1;
+  // Trainer-thread poll cadence.
+  int64_t poll_ms = 20;
+  // Version of the incumbent at startup (from the resumed current.ktw
+  // meta, or 0 for the offline model); promotions count up from here.
+  int64_t initial_weight_version = 0;
+};
+
+class ContinualTrainer {
+ public:
+  // `serving` is the live model the shards read; the trainer clones it
+  // into a private candidate and never writes it outside SwapWeights'
+  // quiesce barrier. Must outlive the trainer.
+  ContinualTrainer(rckt::RCKT& serving, const TrainerOptions& options);
+  ~ContinualTrainer();
+
+  // The engine update tap (wire as EngineOptions::update_sink). Called on
+  // shard worker threads; cheap (one per-slot lock, no training work).
+  void Record(int shard, const serve::UpdateEvent& event);
+
+  // Background loop against a live shard set. Stop() joins the thread and
+  // takes a final checkpoint; both idempotent.
+  void Start(serve::ShardSet* shards);
+  void Stop();
+
+  // Moves pending collector samples into the reservoir/rings. Safe from
+  // any thread; the stats decorator calls it so `stats` always reflects
+  // every event recorded before the stats op was submitted.
+  void DrainNow();
+
+  // One synchronous mini-epoch over the current replay set (the loop's
+  // body; public for tests and single-threaded drivers). Returns false
+  // when there was nothing to train on. When `shards` was given at Start
+  // (or via this call's argument) a promotion swaps the serving weights;
+  // otherwise it writes current.ktw and updates the incumbent in place.
+  bool RunMiniEpoch();
+
+  // Warm restart: restores reservoir, rings, counters, candidate weights
+  // and optimizer moments from <dir>/continual.ktc. Call before Start.
+  // Returns false (leaving the fresh state) when no checkpoint exists;
+  // dies on a checkpoint for a different architecture.
+  bool LoadCheckpoint();
+  Status SaveCheckpoint();
+
+  struct Stats {
+    int64_t events = 0;       // committed events observed (incl. resumed)
+    int64_t mini_epochs = 0;
+    int64_t promotions = 0;
+    int64_t reservoir_size = 0;
+    uint64_t reservoir_fnv64 = 0;
+    int64_t weight_version = 0;
+    int64_t drift_events = 0;
+    double last_candidate_auc = 0.0;
+    double last_incumbent_auc = 0.0;
+  };
+  // Drains first, so the digest covers all recorded events.
+  Stats GetStats();
+
+  // ShardSet stats decorator (fills the response's continual section).
+  void DecorateStats(serve::ServeResponse* response);
+
+  int64_t weight_version() const {
+    return weight_version_.load(std::memory_order_relaxed);
+  }
+
+  // Test access.
+  rckt::RCKT& candidate() { return *candidate_; }
+
+ private:
+  void Loop();
+  // Snapshot of the replay set in canonical order (reservoir then tail).
+  std::vector<TrainSample> SnapshotTrainSet();
+
+  TrainerOptions options_;
+  rckt::RCKT& serving_;
+  std::unique_ptr<rckt::RCKT> candidate_;
+  EventCollector collector_;
+
+  // Ingest state: reservoir + rings. Held only for drain/snapshot/digest —
+  // never across training, gating, or SwapWeights.
+  std::mutex data_mu_;
+  Reservoir reservoir_;
+  std::vector<TrainSample> tail_;
+  std::vector<TrainSample> holdout_;
+
+  // Cached stats (stats_mu_): updated at the end of each mini-epoch.
+  std::mutex stats_mu_;
+  int64_t events_base_ = 0;  // events carried over from a resumed run
+  int64_t mini_epochs_ = 0;
+  int64_t promotions_ = 0;
+  int64_t drift_events_ = 0;
+  double last_candidate_auc_ = 0.0;
+  double last_incumbent_auc_ = 0.0;
+  double baseline_auc_ = 0.0;
+  bool has_baseline_ = false;
+
+  std::atomic<int64_t> weight_version_{0};
+  int64_t last_epoch_events_ = 0;  // trainer thread only
+
+  serve::ShardSet* shards_ = nullptr;
+  std::thread thread_;
+  std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace continual
+}  // namespace kt
+
+#endif  // KT_CONTINUAL_TRAINER_H_

@@ -23,8 +23,8 @@ constexpr uint32_t kMaxRank = 16;
 // Marks a metadata chunk at the start of the payload; can never collide
 // with a real param_count.
 constexpr uint64_t kMetaSentinel = 0xFFFFFFFFFFFFFFFFull;
-constexpr uint32_t kMetaVersion = 1;
-// A version-1 body is 44 bytes; anything near this bound is corruption.
+constexpr uint32_t kMetaVersion = 2;
+// A version-2 body is 60 bytes; anything near this bound is corruption.
 constexpr uint32_t kMaxMetaBody = 4096;
 
 void AppendMetaChunk(const ModelMeta& meta, std::string* out) {
@@ -35,6 +35,8 @@ void AppendMetaChunk(const ModelMeta& meta, std::string* out) {
   AppendPod(&body, meta.num_heads);
   AppendPod(&body, meta.num_questions);
   AppendPod(&body, meta.num_concepts);
+  AppendPod(&body, meta.weights_fnv64);
+  AppendPod(&body, meta.weight_version);
   AppendPod(out, kMetaSentinel);
   AppendPod(out, kMetaVersion);
   AppendPod(out, static_cast<uint32_t>(body.size()));
@@ -70,12 +72,16 @@ Status ParseMetaChunk(const char* data, size_t size, bool* present,
   if (cursor.remaining() < body_len) {
     return Status::IoError("truncated metadata body");
   }
-  if (version == kMetaVersion) {
+  if (version == 1 || version == kMetaVersion) {
     BinCursor body(cursor.ptr(), body_len);
     if (!body.Read(&meta->encoder_kind) || !body.Read(&meta->dim) ||
         !body.Read(&meta->num_layers) || !body.Read(&meta->num_heads) ||
         !body.Read(&meta->num_questions) || !body.Read(&meta->num_concepts)) {
-      return Status::InvalidArgument("malformed v1 metadata body");
+      return Status::InvalidArgument("malformed metadata body");
+    }
+    if (version >= 2 && (!body.Read(&meta->weights_fnv64) ||
+                         !body.Read(&meta->weight_version))) {
+      return Status::InvalidArgument("malformed v2 metadata body");
     }
     *present = true;
   }
@@ -84,6 +90,25 @@ Status ParseMetaChunk(const char* data, size_t size, bool* present,
 }
 
 }  // namespace
+
+uint64_t FingerprintModule(const Module& module) {
+  const auto params = module.Parameters();
+  const auto names = module.ParameterNames();
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  for (size_t i = 0; i < params.size(); ++i) {
+    mix(names[i].data(), names[i].size());
+    const Tensor& value = params[i].value();
+    mix(reinterpret_cast<const char*>(value.data()),
+        sizeof(float) * static_cast<size_t>(value.numel()));
+  }
+  return h;
+}
 
 void AppendModuleState(const Module& module, std::string* out) {
   const auto params = module.Parameters();

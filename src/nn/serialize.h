@@ -14,6 +14,11 @@
 // from newer versions. Version-1 body:
 //   int32 encoder_kind | int64 dim | int64 num_layers | int64 num_heads |
 //   int64 num_questions | int64 num_concepts
+// Version-2 body appends the model-identity fields the continual-learning
+// publish path stamps (weights_fnv64 is FingerprintModule of the saved
+// parameters; weight_version counts promotions, 0 for offline-trained):
+//   ... v1 fields ... | uint64 weights_fnv64 | int64 weight_version
+// Version-1 files still load with both identity fields zero.
 // Legacy "KTW1" files (same payload, no checksum, never any metadata)
 // still load.
 //
@@ -45,7 +50,18 @@ struct ModelMeta {
   int64_t num_heads = 0;
   int64_t num_questions = 0;
   int64_t num_concepts = 0;
+  // Model identity (meta v2): FNV-1a 64 over all parameter bytes at save
+  // time, and the continual weight-publish generation. Both 0 for files
+  // written before v2 or saved outside the publish path.
+  uint64_t weights_fnv64 = 0;
+  int64_t weight_version = 0;
 };
+
+// FNV-1a 64 over every parameter: name bytes then raw float data, in
+// Parameters() order. Two modules of the same architecture share a
+// fingerprint iff their weights are bit-identical — the identity key for
+// weight swaps, cold-tier snapshots, and the serve `stats` model section.
+uint64_t FingerprintModule(const Module& module);
 
 // Writes all parameters of `module` to `path` (atomically).
 Status SaveModule(const Module& module, const std::string& path);

@@ -98,6 +98,32 @@ void AppendRunLogEntry(const RunLogEntry& entry) {
   }
 }
 
+void AppendContinualLogEntry(const ContinualLogEntry& entry) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (PathStorage().empty()) return;
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"run\":\"continual\",\"mini_epoch\":%lld,\"events\":%lld,"
+      "\"reservoir_size\":%lld,\"samples\":%lld,\"train_loss\":%.9g,"
+      "\"epoch_ms\":%.3f,\"candidate_auc\":%.9g,\"incumbent_auc\":%.9g,"
+      "\"gate_samples\":%lld,\"promoted\":%s,\"weight_version\":%lld}\n",
+      static_cast<long long>(entry.mini_epoch),
+      static_cast<long long>(entry.events),
+      static_cast<long long>(entry.reservoir_size),
+      static_cast<long long>(entry.samples), entry.train_loss, entry.epoch_ms,
+      entry.candidate_auc, entry.incumbent_auc,
+      static_cast<long long>(entry.gate_samples),
+      entry.promoted ? "true" : "false",
+      static_cast<long long>(entry.weight_version));
+  Lines() += line;
+  const Status status = AtomicWriteFile(PathStorage(), Lines());
+  if (!status.ok()) {
+    KT_LOG(WARNING) << "run log write to " << PathStorage()
+                    << " failed: " << status.ToString();
+  }
+}
+
 void ResetRunLog() {
   std::lock_guard<std::mutex> lock(Mutex());
   PathStorage().clear();

@@ -48,6 +48,25 @@ struct RunLogEntry {
 // and atomically rewrites the log file. No-op when no path is set.
 void AppendRunLogEntry(const RunLogEntry& entry);
 
+// One continual-trainer mini-epoch record (kt::continual). Lives in the
+// same JSONL file as training epochs, distinguished by "run":"continual";
+// the promotion gate's held-out online AUCs are logged here so the decision
+// to swap (or not) is always auditable from the run log.
+struct ContinualLogEntry {
+  int64_t mini_epoch = 0;
+  int64_t events = 0;        // stream events consumed since start
+  int64_t reservoir_size = 0;
+  int64_t samples = 0;       // training samples in this mini-epoch
+  double train_loss = 0.0;
+  double epoch_ms = 0.0;
+  double candidate_auc = 0.0;   // held-out online AUC, candidate weights
+  double incumbent_auc = 0.0;   // held-out online AUC, serving weights
+  int64_t gate_samples = 0;
+  bool promoted = false;
+  int64_t weight_version = 0;   // after this mini-epoch
+};
+void AppendContinualLogEntry(const ContinualLogEntry& entry);
+
 // Drops buffered lines and disarms (tests).
 void ResetRunLog();
 

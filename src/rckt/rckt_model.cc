@@ -140,6 +140,8 @@ RcktConfig RcktConfigFor(const std::string& dataset, EncoderKind encoder) {
 
 RCKT::RCKT(int64_t num_questions, int64_t num_concepts, RcktConfig config)
     : config_(config),
+      num_questions_(num_questions),
+      num_concepts_(num_concepts),
       rng_(config.seed * 77 + 13),
       embedder_(num_questions, num_concepts, config.dim, rng_),
       mlp_hidden_(2 * config.dim, config.dim, rng_),

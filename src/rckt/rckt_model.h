@@ -87,6 +87,12 @@ class RCKT : public nn::Module {
   std::string name() const;
   const RcktConfig& config() const { return config_; }
 
+  // The id bounds this model was built for. The continual trainer uses
+  // them to construct an architecture-identical candidate clone; serving
+  // uses them as validation bounds when no dataset is on hand.
+  int64_t num_questions() const { return num_questions_; }
+  int64_t num_concepts() const { return num_concepts_; }
+
   // Checkpointing access (kt::ckpt): the optimizer state and the dropout
   // RNG stream both have to survive a kill/resume for the resumed run to be
   // bit-identical to an uninterrupted one.
@@ -224,6 +230,8 @@ class RCKT : public nn::Module {
   static void CheckEqualLength(const data::Batch& batch);
 
   RcktConfig config_;
+  int64_t num_questions_ = 0;
+  int64_t num_concepts_ = 0;
   Rng rng_;
   models::InteractionEmbedder embedder_;
   std::unique_ptr<BiEncoder> encoder_;

@@ -16,7 +16,9 @@ namespace kt {
 namespace serve {
 namespace {
 
-constexpr uint32_t kSnapshotVersion = 1;
+// v2 appended the model fingerprint to the schema section. v1 snapshots
+// (no fingerprint) predate hot weight swaps and read as misses.
+constexpr uint32_t kSnapshotVersion = 2;
 
 uint64_t Fnv64(const std::string& s) {
   uint64_t h = 1469598103934665603ull;
@@ -100,12 +102,14 @@ void BumpCounter(const char* name) {
 }  // namespace
 
 ColdTier::ColdTier(std::string dir, const rckt::BiEncoder& encoder,
-                   rckt::EncoderKind kind, int64_t dim, int64_t num_layers)
+                   rckt::EncoderKind kind, int64_t dim, int64_t num_layers,
+                   uint64_t model_fingerprint)
     : dir_(std::move(dir)),
       encoder_(encoder),
       kind_(kind),
       dim_(dim),
-      num_layers_(num_layers) {
+      num_layers_(num_layers),
+      model_fingerprint_(model_fingerprint) {
   if (!MakeDirs(dir_)) {
     KT_LOG(WARNING) << "cold tier: cannot create directory " << dir_;
   }
@@ -126,6 +130,7 @@ bool ColdTier::Save(const Session& session) {
   AppendPod<int32_t>(&schema, static_cast<int32_t>(kind_));
   AppendPod<int64_t>(&schema, dim_);
   AppendPod<int64_t>(&schema, num_layers_);
+  AppendPod<uint64_t>(&schema, model_fingerprint_);
   writer.Section("student") = session.id;
   AppendHistory(&writer.Section("history"), session.history);
   encoder_.SerializeStream(*session.stream, &writer.Section("stream"));
@@ -160,6 +165,7 @@ bool ColdTier::Load(Session* session) {
   // Hash-collision / schema guard: the snapshot must name this student and
   // this model shape exactly, else it is a miss.
   if (student != session->id) return false;
+  uint64_t snapshot_fingerprint = 0;
   {
     BinCursor cursor(schema.data(), schema.size());
     uint32_t version = 0;
@@ -168,7 +174,7 @@ bool ColdTier::Load(Session* session) {
     if (!cursor.Read(&version) || version != kSnapshotVersion ||
         !cursor.Read(&kind) || kind != static_cast<int32_t>(kind_) ||
         !cursor.Read(&dim) || dim != dim_ || !cursor.Read(&layers) ||
-        layers != num_layers_) {
+        layers != num_layers_ || !cursor.Read(&snapshot_fingerprint)) {
       return false;
     }
   }
@@ -180,6 +186,19 @@ bool ColdTier::Load(Session* session) {
     // A snapshot that disagrees with the live history is stale garbage
     // (e.g. leftover from a previous run after a reset): drop it.
     std::remove(path.c_str());
+    return false;
+  }
+
+  if (snapshot_fingerprint != model_fingerprint_) {
+    // The stream bits were produced by DIFFERENT weights (a hot swap or a
+    // restart onto new weights happened after the snapshot) — resuming
+    // them would silently serve stale-model predictions. The history is
+    // model-independent ground truth though: adopt it on a warm restart
+    // (session has none yet) so the caller can rebuild by replay against
+    // the CURRENT weights, then drop the stale snapshot.
+    if (session->history.empty()) session->history = std::move(history);
+    std::remove(path.c_str());
+    BumpCounter("serve.cold_fingerprint_miss");
     return false;
   }
 

@@ -19,8 +19,14 @@
 // flush); a `reset` op erases the student's snapshot with the session.
 //
 // Schema guard: snapshots carry the encoder kind/dim/layers they were
-// written under. A mismatching or corrupt snapshot is treated as a miss
-// (the caller falls back to replay), never as state.
+// written under, plus the FINGERPRINT of the weights that produced the
+// stream (nn::FingerprintModule). A mismatching or corrupt snapshot is
+// treated as a miss (the caller falls back to replay), never as state. The
+// fingerprint check is what makes hot weight swaps safe: a snapshot taken
+// under the old weights must never resume as a stream under the new ones —
+// on fingerprint mismatch the snapshot's HISTORY is still adopted (when the
+// session has none, i.e. warm restart), because history is model-independent
+// ground truth, but the stream is rebuilt by replay.
 #ifndef KT_SERVE_COLDTIER_H_
 #define KT_SERVE_COLDTIER_H_
 
@@ -36,9 +42,18 @@ namespace serve {
 class ColdTier {
  public:
   // Creates `dir` (and parents) if needed. The encoder reference must
-  // outlive the tier; `kind`/`dim`/`num_layers` form the schema guard.
+  // outlive the tier; `kind`/`dim`/`num_layers` and `model_fingerprint`
+  // form the schema guard.
   ColdTier(std::string dir, const rckt::BiEncoder& encoder,
-           rckt::EncoderKind kind, int64_t dim, int64_t num_layers);
+           rckt::EncoderKind kind, int64_t dim, int64_t num_layers,
+           uint64_t model_fingerprint = 0);
+
+  // Weight-swap hook: snapshots written from here on carry the new
+  // fingerprint, and existing snapshots under the old one read as misses.
+  void set_model_fingerprint(uint64_t fingerprint) {
+    model_fingerprint_ = fingerprint;
+  }
+  uint64_t model_fingerprint() const { return model_fingerprint_; }
 
   // Snapshots `session` (history + stream + last_f). Returns false for
   // sessions with nothing to snapshot (no stream or empty history) or on
@@ -66,6 +81,7 @@ class ColdTier {
   rckt::EncoderKind kind_;
   int64_t dim_;
   int64_t num_layers_;
+  uint64_t model_fingerprint_;
 };
 
 }  // namespace serve

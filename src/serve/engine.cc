@@ -52,7 +52,7 @@ InferenceEngine::InferenceEngine(rckt::RCKT& model, EngineOptions options)
   if (!options_.cold_dir.empty()) {
     cold_ = std::make_unique<ColdTier>(
         options_.cold_dir, model_.bi_encoder(), model_.config().encoder,
-        dim_, model_.config().num_layers);
+        dim_, model_.config().num_layers, options_.model_fingerprint);
     // Eviction becomes demotion: snapshot the victim's neural state right
     // before the store drops it. The hook only reads the session, so it is
     // safe mid-eviction.
@@ -340,10 +340,20 @@ ServeResponse InferenceEngine::ExecuteUpdate(const ServeRequest& request) {
   const std::vector<int64_t>& concepts = ConceptsFor(request);
   const Tensor a = InteractionRow(request.question, concepts,
                                   request.response);
+  const int64_t index = static_cast<int64_t>(session.history.size());
   session.last_f = model_.bi_encoder().StepForward(*session.stream, a);
   session.history.push_back(
       data::Interaction{request.question, request.response, concepts});
   AccountState(session);
+  if (options_.update_sink) {
+    UpdateEvent event;
+    event.student = session.id;
+    event.index = index;
+    event.question = request.question;
+    event.response = request.response;
+    event.concepts = &session.history.back().concepts;
+    options_.update_sink(options_.shard_index, event);
+  }
   response.history = static_cast<int64_t>(session.history.size());
   return response;
 }
@@ -731,7 +741,30 @@ ServeResponse InferenceEngine::ExecuteStats(const ServeRequest& request) {
   response.history_bytes =
       static_cast<int64_t>(store_.total_history_bytes());
   response.evictions = static_cast<int64_t>(store_.evictions());
+  response.model_fingerprint = options_.model_fingerprint;
   return response;
+}
+
+void InferenceEngine::OnModelSwapped(uint64_t fingerprint) {
+  options_.model_fingerprint = fingerprint;
+  // Drop every cached forward stream (and its accounted bytes): the bits
+  // were computed under the OLD weights. Histories survive, so the next
+  // touch replays them against the new weights — EnsureStream's rebuild is
+  // bit-identical to a fresh engine fed the same history.
+  store_.ForEach([this](Session& session) {
+    session.stream.reset();
+    session.last_f = Tensor();
+    AccountState(session);
+  });
+  if (cold_ != nullptr) cold_->set_model_fingerprint(fingerprint);
+  // The int8 head's weight packs/calibration derive from the old weights;
+  // rebuild the packs and keep the activation scales' calibration policy:
+  // serve --continual requires fp32, so in practice this branch is cold.
+  if (lowp_head_ != nullptr) {
+    lowp_head_ = std::make_unique<LowpHead>(options_.precision,
+                                            model_.mlp_hidden(),
+                                            model_.mlp_out());
+  }
 }
 
 ServeResponse InferenceEngine::Execute(const ServeRequest& request) {
@@ -844,10 +877,20 @@ void InferenceEngine::UpdateRun(const std::vector<ServeRequest>& requests,
   for (size_t j = 0; j < slots.size(); ++j) {
     Session& session = *touched[j];
     const ServeRequest& request = requests[slots[j]];
+    const int64_t index = static_cast<int64_t>(session.history.size());
     session.last_f = outputs[j];
     session.history.push_back(
         data::Interaction{request.question, request.response, *bags[j]});
     AccountState(session);
+    if (options_.update_sink) {
+      UpdateEvent event;
+      event.student = session.id;
+      event.index = index;
+      event.question = request.question;
+      event.response = request.response;
+      event.concepts = &session.history.back().concepts;
+      options_.update_sink(options_.shard_index, event);
+    }
     (*out)[slots[j]].history = static_cast<int64_t>(session.history.size());
   }
 }

@@ -23,8 +23,10 @@
 #ifndef KT_SERVE_ENGINE_H_
 #define KT_SERVE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -106,10 +108,37 @@ struct ServeResponse {
   int64_t state_bytes = 0;
   int64_t history_bytes = 0;
   int64_t evictions = 0;
+  // stats: model identity (which weights served this traffic). The
+  // fingerprint is nn::FingerprintModule of the serving parameters; the
+  // version counts continual-trainer promotions (0 = the offline model).
+  uint64_t model_fingerprint = 0;
+  int64_t weight_version = 0;
+  // stats: continual-trainer section, filled by the ShardSet stats
+  // decorator when `serve --continual` is live (absent from the wire
+  // otherwise).
+  bool has_continual = false;
+  int64_t continual_events = 0;
+  int64_t continual_mini_epochs = 0;
+  int64_t continual_promotions = 0;
+  int64_t continual_reservoir_size = 0;
+  uint64_t continual_reservoir_fnv64 = 0;
   // recourse payload
   float base_p = 0.0f;     // factual predict probability (fp32 head)
   int64_t evaluated = 0;   // candidate sets scored
   std::vector<Counterfactual> candidates;  // ranked, best first
+};
+
+// One committed history update, as seen by the continual-learning event
+// stream: `index` is the student's per-session event index (the history
+// length BEFORE this interaction), which is deterministic for a student's
+// own stream regardless of shard layout. The referenced strings/vectors are
+// only valid for the duration of the sink call.
+struct UpdateEvent {
+  std::string_view student;
+  int64_t index = 0;
+  int64_t question = -1;
+  int response = 0;
+  const std::vector<int64_t>* concepts = nullptr;
 };
 
 struct EngineOptions {
@@ -131,6 +160,17 @@ struct EngineOptions {
   // CalibrateLowp() with sample data before it takes effect; predicts
   // fall back to fp32 until then.
   Precision precision = Precision::kFp32;
+  // Fingerprint of the serving weights at startup (see
+  // nn::FingerprintModule); reported by `stats` and stamped into cold-tier
+  // snapshot headers so stale-model snapshots read as misses.
+  uint64_t model_fingerprint = 0;
+  // Continual-learning event tap: invoked synchronously on the engine's
+  // thread for every COMMITTED update (after the session stepped), with
+  // this engine's shard index. Must be cheap and must not call back into
+  // the engine.
+  std::function<void(int shard, const UpdateEvent&)> update_sink;
+  // Which shard this engine serves (set by ShardSet; 0 for a lone engine).
+  int shard_index = 0;
 };
 
 // NOT thread-safe: one engine is driven by one thread (the micro-batcher's
@@ -175,6 +215,16 @@ class InferenceEngine {
   void FlushColdSnapshots();
   int64_t cold_loads() const { return cold_loads_; }
   int64_t replays() const { return replays_; }
+
+  // Weight-swap notification (must run on the engine's own thread, with no
+  // request in flight — ShardSet::SwapWeights quiesces the workers first).
+  // Every session's cached forward stream and last_f are dropped — the
+  // histories are kept, so the next touch rebuilds by replay against the
+  // NEW weights, bit-identical to a fresh replay — and the cold tier's
+  // snapshot fingerprint moves to the new model so pre-swap snapshots load
+  // as misses.
+  void OnModelSwapped(uint64_t fingerprint);
+  uint64_t model_fingerprint() const { return options_.model_fingerprint; }
 
  private:
   // Concept bag for a request (explicit > map > empty).

@@ -336,6 +336,24 @@ std::string ScenarioSummaryJson(const ScenarioSummary& s) {
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(s.pred_fnv64));
   w.Key("pred_fnv64").String(hex);
+  // Model identity from the final stats poll (empty fingerprint when the
+  // server predates the `model` stats section or the poll failed).
+  w.Key("model_fingerprint").String(s.model_fingerprint);
+  w.Key("weight_version").Int(s.weight_version);
+  if (!s.window_stats.empty()) {
+    w.Key("windows").BeginArray();
+    for (const auto& win : s.window_stats) {
+      w.BeginObject();
+      w.Key("index").Int(win.index);
+      w.Key("students").Int(win.students);
+      w.Key("auc").Double(win.auc);
+      w.Key("auc_samples").Int(win.auc_samples);
+      w.Key("weight_version").Int(win.weight_version);
+      w.Key("model_fingerprint").String(win.model_fingerprint);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.EndObject();
   return w.str();
 }

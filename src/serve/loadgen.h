@@ -176,6 +176,21 @@ std::string RecourseSummaryJson(const RecourseSummary& s);
 // intervention (type, position, question) in rank order.
 uint64_t FnvMixRecourseReply(uint64_t h, const JsonValue& reply);
 
+// One drift-replay phase of a scenario run (kt_loadgen --mode scenario
+// --windows W): a contiguous chunk of the student range replayed with a
+// fresh rolling-AUC ring, plus the serving model's identity polled from
+// the `stats` op right after the chunk finished. check_continual.sh
+// compares first-vs-last window AUC and weight_version to prove the
+// continual trainer promoted (and that the promotion helped).
+struct ScenarioWindow {
+  int64_t index = 0;      // 0-based phase index
+  int64_t students = 0;   // students replayed in this window
+  double auc = 0.5;       // merged rolling AUC over this window only
+  int64_t auc_samples = 0;
+  int64_t weight_version = 0;     // from the post-window stats poll
+  std::string model_fingerprint;  // 16-hex-digit, ditto
+};
+
 // Scenario-mode report (schema documented in DESIGN.md §12; validated by
 // `obs_check scenario`). Latency percentiles come from kt::obs histogram
 // snapshots (bucket resolution), not sorted vectors, so the report stays
@@ -205,6 +220,14 @@ struct ScenarioSummary {
   // bitwise identical — the cross-configuration parity gate (e.g.
   // --shards 1 vs --shards 8 in scripts/check_scenarios.sh).
   uint64_t pred_fnv64 = 0;
+  // Serving model identity from the final `stats` poll: the KTW2 weight
+  // fingerprint (16 hex digits) and monotone weight version. Under
+  // `serve --continual` the version advances on every promotion, so a
+  // first-vs-last mismatch across drift windows proves a hot swap landed.
+  std::string model_fingerprint;
+  int64_t weight_version = 0;
+  // Per-phase breakdown when --windows > 1 (empty for single-window runs).
+  std::vector<ScenarioWindow> window_stats;
 };
 std::string ScenarioSummaryJson(const ScenarioSummary& s);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -198,12 +199,32 @@ std::string SerializeResponse(const ServeResponse& response) {
     case Op::kReset:
       w.Key("student").String(response.student);
       break;
-    case Op::kStats:
+    case Op::kStats: {
       w.Key("sessions").Int(response.sessions);
       w.Key("state_bytes").Int(response.state_bytes);
       w.Key("history_bytes").Int(response.history_bytes);
       w.Key("evictions").Int(response.evictions);
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(response.model_fingerprint));
+      w.Key("model").BeginObject();
+      w.Key("fingerprint").String(hex);
+      w.Key("weight_version").Int(response.weight_version);
+      w.EndObject();
+      if (response.has_continual) {
+        std::snprintf(
+            hex, sizeof(hex), "%016llx",
+            static_cast<unsigned long long>(response.continual_reservoir_fnv64));
+        w.Key("continual").BeginObject();
+        w.Key("events").Int(response.continual_events);
+        w.Key("mini_epochs").Int(response.continual_mini_epochs);
+        w.Key("promotions").Int(response.continual_promotions);
+        w.Key("reservoir_size").Int(response.continual_reservoir_size);
+        w.Key("reservoir_fnv64").String(hex);
+        w.EndObject();
+      }
       break;
+    }
   }
   w.EndObject();
   return w.str();
@@ -294,12 +315,14 @@ int RunStdioServer(ShardSet& shards, size_t max_line_bytes) {
 }  // namespace
 
 int RunServer(rckt::RCKT& model, const ServerOptions& options,
-              const data::Dataset* concept_data) {
+              const data::Dataset* concept_data, const ServeHooks& hooks) {
   ShardSetOptions shard_options;
   shard_options.shards = options.shards;
+  shard_options.initial_weight_version = options.initial_weight_version;
   shard_options.batcher = options.batcher;
   shard_options.engine = options.engine;
   ShardSet shards(model, shard_options, concept_data);
+  if (hooks.on_start) hooks.on_start(shards);
   int code = 0;
   if (options.port > 0) {
     ReactorOptions reactor_options;
@@ -311,6 +334,9 @@ int RunServer(rckt::RCKT& model, const ServerOptions& options,
   } else {
     code = RunStdioServer(shards, options.max_line_bytes);
   }
+  // Trainer (and other hooks) detach first — while the shards can still
+  // take their final checkpoint/stats traffic — then the shards drain.
+  if (hooks.on_stop) hooks.on_stop();
   // Graceful shutdown: persist every resident session so a warm restart
   // resumes it without replay (no-op when no cold dir is configured).
   shards.FlushColdSnapshots();

@@ -21,6 +21,7 @@
 #ifndef KT_SERVE_SERVER_H_
 #define KT_SERVE_SERVER_H_
 
+#include <functional>
 #include <string>
 
 #include "serve/batcher.h"
@@ -31,9 +32,23 @@
 namespace kt {
 namespace serve {
 
+class ShardSet;
+
+// Lifecycle hooks around the serving loop. `on_start` runs after the
+// ShardSet is live and before the first request (the continual trainer
+// attaches here: stats decorator + its training thread); `on_stop` runs
+// after the serving loop exits, BEFORE the cold-snapshot flush and shard
+// stop — so the hook may still SubmitSync/SwapWeights on its way out.
+struct ServeHooks {
+  std::function<void(ShardSet&)> on_start;
+  std::function<void()> on_stop;
+};
+
 struct ServerOptions {
   int port = 0;    // 0 = stdio transport
   int shards = 1;  // worker shards (TCP; stdio always behaves like 1)
+  // Initial weight version for `stats` (see ShardSetOptions).
+  int64_t initial_weight_version = 0;
   // Per-line request cap (serve/framing.h). An oversized line gets an
   // `ok:false` reply; TCP then closes the connection, stdio resyncs to the
   // next newline.
@@ -46,9 +61,11 @@ struct ServerOptions {
 // Serves until stdin EOF / a shutdown op. Flushes cold-tier snapshots on
 // the way out (warm restart), then stops the shards. Returns a process
 // exit code. `concept_data`, when given, seeds the question->concepts
-// fallback map of every shard.
+// fallback map of every shard. `hooks` brackets the serving loop (see
+// ServeHooks).
 int RunServer(rckt::RCKT& model, const ServerOptions& options,
-              const data::Dataset* concept_data = nullptr);
+              const data::Dataset* concept_data = nullptr,
+              const ServeHooks& hooks = {});
 
 // Wire <-> struct conversions (shared by the server, kt_loadgen and
 // tests/serve_test.cc). ParseServeRequest rejects unknown/malformed ops

@@ -26,9 +26,11 @@ uint32_t ShardSet::shard_for(std::string_view student) const {
 
 ShardSet::ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
                    const data::Dataset* concept_data)
-    : options_(options) {
+    : options_(options), model_(&model) {
   const int n = std::max(1, options.shards);
   options_.shards = n;
+  fingerprint_.store(options.engine.model_fingerprint);
+  version_.store(options.initial_weight_version);
   EngineOptions per_shard = options.engine;
   if (per_shard.session_budget_bytes > 0) {
     // Equal budget slices; never round down to 0, which means "unlimited".
@@ -38,6 +40,7 @@ ShardSet::ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
+    per_shard.shard_index = i;
     shard->engine = std::make_unique<InferenceEngine>(model, per_shard);
     if (concept_data != nullptr) {
       shard->engine->LoadConceptMap(*concept_data);
@@ -57,6 +60,10 @@ ShardSet::ShardSet(rckt::RCKT& model, const ShardSetOptions& options,
 ShardSet::~ShardSet() { Stop(); }
 
 void ShardSet::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void ShardSet::set_stats_decorator(std::function<void(ServeResponse&)> decorator) {
+  stats_decorator_ = std::move(decorator);
+}
 
 namespace {
 
@@ -169,6 +176,44 @@ void ShardSet::FlushColdSnapshots() {
   }
 }
 
+bool ShardSet::SwapWeights(const std::vector<Tensor>& state,
+                           uint64_t fingerprint, int64_t weight_version) {
+  if (stopping_.load()) return false;
+  const auto start = std::chrono::steady_clock::now();
+  auto gate = std::make_shared<SwapGate>();
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = Item::Kind::kSwap;
+    item.gate = gate;
+    Enqueue(*shard, std::move(item));
+  }
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->arrived == shards(); });
+  }
+  // Every worker is parked at the gate: no request is in flight anywhere,
+  // so mutating the shared weights and each engine's session cache here is
+  // race-free even though neither is otherwise synchronized.
+  model_->SetState(state);
+  for (auto& shard : shards_) shard->engine->OnModelSwapped(fingerprint);
+  fingerprint_.store(fingerprint);
+  version_.store(weight_version);
+  if (obs::Enabled()) {
+    const double pause_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    obs::Histogram::Get("serve.swap_pause_ms")->Record(pause_ms);
+    obs::Counter::Get("serve.weight_swaps")->Add(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->done = true;
+  }
+  gate->cv.notify_all();
+  return true;
+}
+
 void ShardSet::Stop() {
   stopping_.store(true);
   for (auto& shard : shards_) {
@@ -196,6 +241,11 @@ void ShardSet::Deliver(const Item& item, ServeResponse response) {
       last = --agg.remaining == 0;
     }
     if (!last) return;
+    // Model identity + continual section are shard-set-level facts, filled
+    // once on the aggregate rather than summed per shard.
+    agg.acc.model_fingerprint = fingerprint_.load();
+    agg.acc.weight_version = version_.load();
+    if (stats_decorator_) stats_decorator_(agg.acc);
     if (agg.cell != nullptr) {
       // Notify under the lock: the waiter owns the cell's storage and may
       // destroy it the moment wait() returns, which it cannot do before we
@@ -277,6 +327,19 @@ void ShardSet::WorkerLoop(Shard& shard) {
     // control items (cold flush) run in order between them.
     size_t i = 0;
     while (i < slice.size()) {
+      if (slice[i].kind == Item::Kind::kSwap) {
+        // Park at the barrier until the swapping thread has installed the
+        // new weights (see SwapWeights). The one heavy item this iteration
+        // may have popped executes AFTER the swap — benign: it replays its
+        // session against the new weights, same as any later op.
+        SwapGate& gate = *slice[i].gate;
+        std::unique_lock<std::mutex> lock(gate.mu);
+        ++gate.arrived;
+        gate.cv.notify_all();
+        gate.cv.wait(lock, [&] { return gate.done; });
+        ++i;
+        continue;
+      }
       if (slice[i].kind == Item::Kind::kFlush) {
         shard.engine->FlushColdSnapshots();
         if (slice[i].cell != nullptr) {

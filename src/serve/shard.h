@@ -47,6 +47,10 @@ namespace serve {
 
 struct ShardSetOptions {
   int shards = 1;
+  // Starting weight version reported by `stats` (bumped by SwapWeights).
+  // 0 means "the offline-trained model"; a server resuming a published
+  // continual checkpoint seeds this from the KTW2 meta chunk.
+  int64_t initial_weight_version = 0;
   // Per-shard coalescing knobs (max_batch slice size, max_wait_us poll for
   // stragglers). max_queue is enforced upstream by the reactor's
   // per-connection in-flight cap, not here.
@@ -88,6 +92,27 @@ class ShardSet {
   // threads, synchronously) — the graceful-shutdown warm-restart hook.
   void FlushColdSnapshots();
 
+  // Atomic hot weight swap — the continual trainer's promotion path.
+  // Enqueues a barrier item on every shard, blocks until every worker has
+  // parked at it (so no request is in flight anywhere and all ops enqueued
+  // before the swap have executed against the OLD weights), installs
+  // `state` into the shared model, notifies each engine
+  // (InferenceEngine::OnModelSwapped: cached streams drop, histories
+  // survive, cold tier re-keys), bumps the fingerprint/version reported by
+  // `stats`, and releases the workers. Ops enqueued after SwapWeights
+  // returns are served by the new weights. Must be called from a
+  // NON-worker thread; returns false when the set is stopping.
+  bool SwapWeights(const std::vector<Tensor>& state, uint64_t fingerprint,
+                   int64_t weight_version);
+
+  uint64_t model_fingerprint() const { return fingerprint_.load(); }
+  int64_t weight_version() const { return version_.load(); }
+
+  // Hook that augments the aggregated `stats` response just before
+  // delivery (the continual trainer fills its section here). Set before
+  // the first stats request; invoked on a shard worker thread.
+  void set_stats_decorator(std::function<void(ServeResponse&)> decorator);
+
   // Drains all queues and joins the workers (idempotent; ~ShardSet calls
   // it). SubmitAsync/SubmitSync after Stop return an error response.
   void Stop();
@@ -116,13 +141,24 @@ class ShardSet {
     SyncCell* cell = nullptr;
   };
 
+  // Rendezvous for SwapWeights: each worker parks (++arrived) when it
+  // reaches its swap item, the swapping thread mutates the model once all
+  // have arrived, then releases them (done).
+  struct SwapGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    bool done = false;
+  };
+
   struct Item {
-    enum class Kind { kRequest, kFlush };
+    enum class Kind { kRequest, kFlush, kSwap };
     Kind kind = Kind::kRequest;
     ServeRequest request;
     uint64_t tag = 0;
     SyncCell* cell = nullptr;             // blocking submit
     std::shared_ptr<StatsAgg> agg;        // cross-shard stats
+    std::shared_ptr<SwapGate> gate;       // weight-swap barrier
   };
 
   // Two lanes per shard (both guarded by `mu`): `queue` holds O(1) work
@@ -151,6 +187,10 @@ class ShardSet {
   ShardSetOptions options_;
   Sink sink_;
   std::atomic<bool> stopping_{false};
+  rckt::RCKT* model_ = nullptr;  // the shared serving weights (swap target)
+  std::atomic<uint64_t> fingerprint_{0};
+  std::atomic<int64_t> version_{0};
+  std::function<void(ServeResponse&)> stats_decorator_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

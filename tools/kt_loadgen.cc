@@ -31,7 +31,13 @@
 //           generated stream: equal across runs iff the scenario is
 //           seed-deterministic. pred_fnv64 digests the server's predict
 //           probabilities the same way, so two servers (e.g. --shards 1
-//           vs --shards 8) can be compared for bitwise parity.
+//           vs --shards 8) can be compared for bitwise parity. With
+//           --windows W the student range splits into W contiguous
+//           drift phases replayed back-to-back: each gets a fresh
+//           rolling-AUC ring and a post-phase `stats` poll recording the
+//           serving model's weight fingerprint + version, so a server
+//           running `ktcli serve --continual` shows the hot swap (and
+//           its AUC effect) directly in the report's windows array.
 //   recourse Counterfactual-recourse traffic: per CSV sequence, every
 //           interaction but the last becomes a history update, then one
 //           recourse op fires on the final question. The summary carries
@@ -58,7 +64,7 @@
 //              bitwise equality; for servers running --precision bf16/int8]
 //   bench:    [--requests 200 per connection] [--questions 100] [--seed 1]
 //   scenario: --scenario NAME [--students N] [--scale S] [--seed N]
-//             [--auc-window 50000]
+//             [--auc-window 50000] [--windows 1  drift phases]
 //   recourse: --data data.csv [--window 50] [--min-length 5] [--k 2]
 //             [--top 3] [--target-p -1] [--brute]
 #include <algorithm>
@@ -473,6 +479,26 @@ int CmdBench(const FlagParser& flags, int port, int connections) {
   return 0;
 }
 
+// Polls {"op":"stats"} once and extracts the serving model identity from
+// the reply's "model" section. Returns false (leaving outputs untouched)
+// when the server is unreachable or predates the section.
+bool PollModelIdentity(int port, std::string* fingerprint, int64_t* version) {
+  LineClient client;
+  std::string error, response;
+  if (!client.Connect(port, &error)) return false;
+  if (!client.RoundTrip("{\"op\":\"stats\"}", &response, &error)) return false;
+  serve::JsonValue reply;
+  if (!serve::ParseJson(response, &reply, &error) ||
+      !reply.GetBool("ok", false)) {
+    return false;
+  }
+  const serve::JsonValue* model = reply.Find("model");
+  if (model == nullptr || !model->IsObject()) return false;
+  *fingerprint = model->GetString("fingerprint", "");
+  *version = model->GetInt("weight_version", 0);
+  return true;
+}
+
 int CmdScenario(const FlagParser& flags, int port, int connections) {
   const std::string name = flags.GetString("scenario", "");
   auto resolved = data::ScenarioByName(name, flags.GetDouble("scale", 1.0));
@@ -489,6 +515,14 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
     std::fprintf(stderr, "scenario: --students must be positive\n");
     return 2;
   }
+  // Drift-replay phases: the student range splits into --windows contiguous
+  // chunks replayed back-to-back, each scored with a fresh rolling-AUC ring
+  // and followed by a stats poll recording the serving model's identity.
+  // The per-student traffic is identical for any --windows value, and the
+  // XOR-combined digests are order-independent, so traffic_fnv64 is
+  // invariant across --windows (and --connections) for a fixed seed.
+  const int64_t num_windows = std::max<int64_t>(
+      1, std::min<int64_t>(flags.GetInt("windows", 1), students));
 
   // The simulator builds its question bank once; per-student sequences are
   // then generated on demand inside each worker (streaming, O(1) memory in
@@ -502,101 +536,133 @@ int CmdScenario(const FlagParser& flags, int port, int connections) {
   predict_hist->Reset();
   update_hist->Reset();
 
-  const int num_workers = static_cast<int>(
-      std::max<int64_t>(1, std::min<int64_t>(connections, students)));
   std::mutex mu;
   std::vector<std::string> failures;
   serve::RollingAuc merged_auc(auc_window);
   uint64_t traffic_fnv64 = 0, pred_fnv64 = 0;
   int64_t interactions = 0, predictions = 0;
-  std::vector<std::thread> workers;
+  std::vector<serve::ScenarioWindow> window_stats;
   const auto start = std::chrono::steady_clock::now();
-  for (int w = 0; w < num_workers; ++w) {
-    workers.emplace_back([&, w] {
-      LineClient client;
-      std::string error;
-      if (!client.Connect(port, &error)) {
-        std::lock_guard<std::mutex> lock(mu);
-        failures.push_back(error);
-        return;
-      }
-      // Per-worker ring + digest: merged under the lock after the loop.
-      // Worker w owns students w, w+num_workers, ... — a deterministic
-      // partition, so the merged AUC and XORed digest are reproducible for
-      // a fixed --connections (and the digest for ANY --connections).
-      serve::RollingAuc local_auc(auc_window);
-      uint64_t local_fnv = 0, local_pred_fnv = 0;
-      int64_t local_interactions = 0, local_predictions = 0;
-      std::string response;
-      for (int64_t s = w; s < students; s += num_workers) {
-        const data::ResponseSequence seq =
-            simulator.GenerateStudentAuto(static_cast<uint64_t>(s));
-        const std::string student =
-            config.name + "-s" + std::to_string(s);
-        uint64_t h = serve::kFnvOffset;
-        uint64_t ph = serve::kFnvOffset;  // this student's prediction bits
-        for (const auto& it : seq.interactions) {
-          const auto t0 = std::chrono::steady_clock::now();
-          if (!client.RoundTrip(
-                  serve::PredictLine(student, it.question, it.concepts),
-                  &response, &error)) {
-            std::lock_guard<std::mutex> lock(mu);
-            failures.push_back(error);
-            return;
-          }
-          const auto t1 = std::chrono::steady_clock::now();
-          predict_hist->Record(
-              std::chrono::duration<double, std::micro>(t1 - t0).count());
-          serve::JsonValue reply;
-          if (!serve::ParseJson(response, &reply, &error) ||
-              !reply.GetBool("ok", false)) {
-            std::lock_guard<std::mutex> lock(mu);
-            failures.push_back("bad predict reply: " + response);
-            return;
-          }
-          ++local_predictions;
-          const float p = static_cast<float>(reply.GetNumber("p", NAN));
-          local_auc.Add(p, it.response);
-          ph = serve::FnvMixU64(ph, serve::FloatBits(p));
-
-          const auto t2 = std::chrono::steady_clock::now();
-          if (!client.RoundTrip(serve::UpdateLine(student, it.question,
-                                                  it.concepts, it.response),
-                                &response, &error)) {
-            std::lock_guard<std::mutex> lock(mu);
-            failures.push_back(error);
-            return;
-          }
-          const auto t3 = std::chrono::steady_clock::now();
-          update_hist->Record(
-              std::chrono::duration<double, std::micro>(t3 - t2).count());
-          ++local_interactions;
-          h = serve::FnvMixInteraction(h, it.question, it.concepts,
-                                       it.response);
+  for (int64_t win = 0; win < num_windows; ++win) {
+    const int64_t lo = win * students / num_windows;
+    const int64_t hi = (win + 1) * students / num_windows;
+    if (hi <= lo) continue;
+    const int num_workers = static_cast<int>(
+        std::max<int64_t>(1, std::min<int64_t>(connections, hi - lo)));
+    serve::RollingAuc window_auc(auc_window);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&, w] {
+        LineClient client;
+        std::string error;
+        if (!client.Connect(port, &error)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(error);
+          return;
         }
-        local_fnv ^= h;
-        local_pred_fnv ^= ph;
+        // Per-worker ring + digest: merged under the lock after the loop.
+        // Worker w owns students lo+w, lo+w+num_workers, ... — a
+        // deterministic partition, so the merged AUC and XORed digest are
+        // reproducible for a fixed --connections (and the digest for ANY
+        // --connections).
+        serve::RollingAuc local_auc(auc_window);
+        uint64_t local_fnv = 0, local_pred_fnv = 0;
+        int64_t local_interactions = 0, local_predictions = 0;
+        std::string response;
+        for (int64_t s = lo + w; s < hi; s += num_workers) {
+          const data::ResponseSequence seq =
+              simulator.GenerateStudentAuto(static_cast<uint64_t>(s));
+          const std::string student =
+              config.name + "-s" + std::to_string(s);
+          uint64_t h = serve::kFnvOffset;
+          uint64_t ph = serve::kFnvOffset;  // this student's prediction bits
+          for (const auto& it : seq.interactions) {
+            const auto t0 = std::chrono::steady_clock::now();
+            if (!client.RoundTrip(
+                    serve::PredictLine(student, it.question, it.concepts),
+                    &response, &error)) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back(error);
+              return;
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            predict_hist->Record(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+            serve::JsonValue reply;
+            if (!serve::ParseJson(response, &reply, &error) ||
+                !reply.GetBool("ok", false)) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back("bad predict reply: " + response);
+              return;
+            }
+            ++local_predictions;
+            const float p = static_cast<float>(reply.GetNumber("p", NAN));
+            local_auc.Add(p, it.response);
+            ph = serve::FnvMixU64(ph, serve::FloatBits(p));
+
+            const auto t2 = std::chrono::steady_clock::now();
+            if (!client.RoundTrip(serve::UpdateLine(student, it.question,
+                                                    it.concepts, it.response),
+                                  &response, &error)) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back(error);
+              return;
+            }
+            const auto t3 = std::chrono::steady_clock::now();
+            update_hist->Record(
+                std::chrono::duration<double, std::micro>(t3 - t2).count());
+            ++local_interactions;
+            h = serve::FnvMixInteraction(h, it.question, it.concepts,
+                                         it.response);
+          }
+          local_fnv ^= h;
+          local_pred_fnv ^= ph;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        window_auc.Merge(local_auc);
+        traffic_fnv64 ^= local_fnv;
+        pred_fnv64 ^= local_pred_fnv;
+        interactions += local_interactions;
+        predictions += local_predictions;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto& f : failures) std::fprintf(stderr, "scenario: %s\n",
+                                                f.c_str());
+    if (!failures.empty()) return 1;
+    merged_auc.Merge(window_auc);
+    if (num_windows > 1) {
+      serve::ScenarioWindow ws;
+      ws.index = win;
+      ws.students = hi - lo;
+      ws.auc = window_auc.Auc();
+      ws.auc_samples = window_auc.count();
+      if (!PollModelIdentity(port, &ws.model_fingerprint,
+                             &ws.weight_version)) {
+        std::fprintf(stderr,
+                     "scenario: warning: stats poll failed after window %lld\n",
+                     static_cast<long long>(win));
       }
-      std::lock_guard<std::mutex> lock(mu);
-      merged_auc.Merge(local_auc);
-      traffic_fnv64 ^= local_fnv;
-      pred_fnv64 ^= local_pred_fnv;
-      interactions += local_interactions;
-      predictions += local_predictions;
-    });
+      window_stats.push_back(std::move(ws));
+    }
   }
-  for (auto& worker : workers) worker.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  for (const auto& f : failures) std::fprintf(stderr, "scenario: %s\n",
-                                              f.c_str());
-  if (!failures.empty()) return 1;
-
   serve::ScenarioSummary summary;
+  if (!window_stats.empty()) {
+    // Reuse the last window's poll; the run just ended, so it IS current.
+    summary.model_fingerprint = window_stats.back().model_fingerprint;
+    summary.weight_version = window_stats.back().weight_version;
+  } else {
+    PollModelIdentity(port, &summary.model_fingerprint,
+                      &summary.weight_version);
+  }
+  summary.window_stats = std::move(window_stats);
   summary.scenario = config.name;
-  summary.connections = num_workers;
+  summary.connections = static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(connections, students)));
   summary.seed = config.seed;
   summary.scale = flags.GetDouble("scale", 1.0);
   summary.students = students;

@@ -47,6 +47,19 @@
 //             --autotune-cache enables the per-shape GEMM autotuner
 //             (tensor/autotune.h) for the head shapes, persisting winners
 //             keyed by CPU feature string at PATH.
+//             --continual [--continual-dir DIR] [--train-every N]
+//             [--reservoir K] [--tail K] [--holdout-every K] [--gate-eps E]
+//             [--gate-min N] [--drift-threshold D] [--continual-lr LR]
+//             [--continual-window W] [--continual-min-history H]
+//             [--continual-batch B] [--continual-seed S]
+//             [--continual-poll-ms MS]
+//             Streaming continual learning (kt::continual, DESIGN.md §16):
+//             committed updates feed a deterministic replay reservoir; a
+//             background trainer runs mini-epochs on a candidate clone and,
+//             when the candidate holds up on held-out traffic, publishes
+//             DIR/current.ktw and hot-swaps the serving weights. Requires
+//             --precision fp32. A restart resumes the incumbent from
+//             DIR/current.ktw and the trainer from DIR/continual.ktc.
 //
 // Models saved by `train --save` carry a metadata chunk (encoder kind,
 // dim, layers, heads, question/concept counts), so evaluate/explain/serve
@@ -90,6 +103,7 @@
 #include <memory>
 #include <string>
 
+#include "continual/trainer.h"
 #include "core/flags.h"
 #include "data/io.h"
 #include "obs/obs_flags.h"
@@ -560,15 +574,76 @@ int CmdServe(const FlagParser& flags) {
                  tuned.measured, tuned.cached, autotune_cache.c_str());
   }
 
+  // ---- continual learning (kt::continual) ----
+  std::unique_ptr<continual::ContinualTrainer> trainer;
+  serve::ServeHooks hooks;
+  if (flags.GetBool("continual", false)) {
+    KT_CHECK(server_options.engine.precision == serve::Precision::kFp32)
+        << "--continual requires --precision fp32 (the promotion gate "
+           "compares fp32 predictions)";
+    continual::TrainerOptions trainer_options;
+    trainer_options.dir = flags.GetString("continual-dir", "continual");
+    trainer_options.shards = server_options.shards;
+    trainer_options.train_every = flags.GetInt("train-every", 256);
+    trainer_options.reservoir_capacity = flags.GetInt("reservoir", 2048);
+    trainer_options.tail_capacity = flags.GetInt("tail", 512);
+    trainer_options.window = flags.GetInt("continual-window", 32);
+    trainer_options.min_history = flags.GetInt("continual-min-history", 4);
+    trainer_options.holdout_every = flags.GetInt("holdout-every", 8);
+    trainer_options.batch_size = flags.GetInt("continual-batch", 32);
+    trainer_options.gate_eps = flags.GetDouble("gate-eps", 0.02);
+    trainer_options.gate_min_samples = flags.GetInt("gate-min", 64);
+    trainer_options.drift_threshold =
+        flags.GetDouble("drift-threshold", 0.05);
+    trainer_options.lr =
+        static_cast<float>(flags.GetDouble("continual-lr", 1e-4));
+    trainer_options.seed =
+        static_cast<uint64_t>(flags.GetInt("continual-seed", 1));
+    trainer_options.poll_ms = flags.GetInt("continual-poll-ms", 20);
+
+    // Resume the incumbent: a previously promoted DIR/current.ktw REPLACES
+    // the --load weights, and its meta version seeds the stats counter.
+    const std::string current = trainer_options.dir + "/current.ktw";
+    bool meta_present = false;
+    nn::ModelMeta meta;
+    if (nn::ReadModuleMeta(current, &meta_present, &meta).ok() &&
+        nn::LoadModule(*model, current).ok()) {
+      trainer_options.initial_weight_version =
+          meta_present ? meta.weight_version : 0;
+      std::fprintf(
+          stderr, "ktcli serve: resumed incumbent %s (weight version %lld)\n",
+          current.c_str(),
+          static_cast<long long>(trainer_options.initial_weight_version));
+    }
+    server_options.initial_weight_version =
+        trainer_options.initial_weight_version;
+
+    trainer =
+        std::make_unique<continual::ContinualTrainer>(*model, trainer_options);
+    if (trainer->LoadCheckpoint()) {
+      std::fprintf(stderr, "ktcli serve: resumed continual trainer from %s\n",
+                   (trainer_options.dir + "/continual.ktc").c_str());
+    }
+    continual::ContinualTrainer& tap = *trainer;
+    server_options.engine.update_sink =
+        [&tap](int shard, const serve::UpdateEvent& event) {
+          tap.Record(shard, event);
+        };
+    hooks.on_start = [&tap](serve::ShardSet& shards) { tap.Start(&shards); };
+    hooks.on_stop = [&tap] { tap.Stop(); };
+  }
+  server_options.engine.model_fingerprint = nn::FingerprintModule(*model);
+
   if (server_options.port > 0) {
     std::fprintf(stderr,
-                 "ktcli serve: %s on 127.0.0.1:%d (%d shards, %s head)\n",
+                 "ktcli serve: %s on 127.0.0.1:%d (%d shards, %s head%s)\n",
                  model->name().c_str(), server_options.port,
                  server_options.shards,
-                 serve::PrecisionName(server_options.engine.precision));
+                 serve::PrecisionName(server_options.engine.precision),
+                 trainer != nullptr ? ", continual" : "");
   }
   return serve::RunServer(*model, server_options,
-                          have_data ? &loaded.windows : nullptr);
+                          have_data ? &loaded.windows : nullptr, hooks);
 }
 
 int Main(int argc, char** argv) {

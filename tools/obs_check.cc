@@ -6,13 +6,19 @@
 //                                 (--run-log output).
 //   obs_check scenario report.json [--min-auc A] [--max-p99-us U]
 //                                 [--expect-scenario NAME] [--expect-fnv H]
+//                                 [--min-weight-version N] [--max-auc-drop E]
 //                                 Validate a `kt_loadgen --mode scenario`
 //                                 report (schema in src/serve/loadgen.h)
 //                                 and optionally gate on a minimum rolling
 //                                 AUC, a maximum predict p99 latency, the
 //                                 scenario name, and the deterministic
 //                                 traffic digest (two runs of the same
-//                                 seed must agree on it bit-for-bit).
+//                                 seed must agree on it bit-for-bit). The
+//                                 last two gate `serve --continual` runs:
+//                                 the final weight_version must reach N
+//                                 (>= N promotions landed) and the last
+//                                 drift window's AUC may trail the first
+//                                 window's by at most E.
 //
 // Exit status 0 when the file is well-formed and matches the documented
 // schema (obs/trace.h, obs/runlog.h, src/serve/loadgen.h), 1 with a
@@ -25,6 +31,7 @@
 // enough to hold the two schemas to account without external dependencies.
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -479,6 +486,65 @@ int CheckScenario(const std::string& path, const FlagParser& flags) {
     return FailCheck(path, "auc_samples exceeds predictions");
   }
 
+  // Model identity relayed from the server's `stats` op. The fingerprint
+  // may be empty (stats poll failed) but when present must be 16 hex
+  // digits; the weight version is a non-negative integer that only a
+  // continual-trainer promotion advances.
+  const JsonValue* model_fp = root.Find("model_fingerprint");
+  if (model_fp == nullptr || !model_fp->IsString()) {
+    return FailCheck(path, "lacks a string \"model_fingerprint\"");
+  }
+  if (!model_fp->string_value.empty()) {
+    if (model_fp->string_value.size() != 16) {
+      return FailCheck(path, "\"model_fingerprint\" is not 16 hex digits");
+    }
+    for (char c : model_fp->string_value) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) {
+        return FailCheck(path, "non-hex digit in \"model_fingerprint\"");
+      }
+    }
+  }
+  const JsonValue* weight_version = root.Find("weight_version");
+  if (weight_version == nullptr || !weight_version->IsNumber() ||
+      !weight_version->number_is_integral || weight_version->number < 0.0) {
+    return FailCheck(path, "lacks a non-negative integer \"weight_version\"");
+  }
+
+  // Drift-phase breakdown (--windows > 1): each entry carries its own AUC
+  // plus the post-phase model identity.
+  const JsonValue* windows = root.Find("windows");
+  if (windows != nullptr) {
+    if (!windows->IsArray() || windows->array.empty()) {
+      return FailCheck(path, "\"windows\" is not a non-empty array");
+    }
+    for (size_t i = 0; i < windows->array.size(); ++i) {
+      const JsonValue& win = windows->array[i];
+      const std::string where = "windows[" + std::to_string(i) + "]";
+      if (!win.IsObject()) return FailCheck(path, where + " is not an object");
+      for (const char* key :
+           {"index", "students", "auc_samples", "weight_version"}) {
+        const JsonValue* v = win.Find(key);
+        if (v == nullptr || !v->IsNumber() || !v->number_is_integral ||
+            v->number < 0.0) {
+          return FailCheck(path, where + " lacks a non-negative integer \"" +
+                                     std::string(key) + "\"");
+        }
+      }
+      const JsonValue* win_auc = win.Find("auc");
+      if (win_auc == nullptr || !win_auc->IsNumber() ||
+          win_auc->number < 0.0 || win_auc->number > 1.0) {
+        return FailCheck(path, where + " lacks an \"auc\" in [0, 1]");
+      }
+      const JsonValue* win_fp = win.Find("model_fingerprint");
+      if (win_fp == nullptr || !win_fp->IsString()) {
+        return FailCheck(path, where + " lacks a string \"model_fingerprint\"");
+      }
+      if (win.Find("index")->number != static_cast<double>(i)) {
+        return FailCheck(path, where + " index out of order");
+      }
+    }
+  }
+
   // Optional regression gates.
   const double min_auc = flags.GetDouble("min-auc", -1.0);
   if (min_auc >= 0.0 && auc < min_auc) {
@@ -504,9 +570,45 @@ int CheckScenario(const std::string& path, const FlagParser& flags) {
                                " != expected " + expect_fnv +
                                " — scenario stream is not deterministic");
   }
-  std::printf("obs_check: %s ok (%s: auc %.4f, predict p99 %.0fus, fnv %s)\n",
-              path.c_str(), scenario->string_value.c_str(), auc, p99,
-              fnv->string_value.c_str());
+  // Continual gates (scripts/check_continual.sh). --min-weight-version
+  // requires the serving model to have advanced at least N promotions
+  // (version starts at 0 on a fresh `serve --continual`); --max-auc-drop
+  // bounds how much the LAST drift window's AUC may fall below the FIRST
+  // window's — the "post-swap no worse than pre-swap − ε" acceptance gate.
+  const int64_t min_weight_version = flags.GetInt("min-weight-version", -1);
+  if (min_weight_version >= 0 &&
+      weight_version->number < static_cast<double>(min_weight_version)) {
+    return FailCheck(path, "weight_version " +
+                               std::to_string(
+                                   static_cast<int64_t>(
+                                       weight_version->number)) +
+                               " < required " +
+                               std::to_string(min_weight_version) +
+                               " — no model promotion landed");
+  }
+  const double max_auc_drop = flags.GetDouble("max-auc-drop", -1.0);
+  if (max_auc_drop >= 0.0) {
+    if (windows == nullptr || windows->array.size() < 2) {
+      return FailCheck(path,
+                       "--max-auc-drop needs a \"windows\" array with >= 2 "
+                       "entries (run kt_loadgen with --windows W)");
+    }
+    const double first_auc = windows->array.front().Find("auc")->number;
+    const double last_auc = windows->array.back().Find("auc")->number;
+    if (first_auc - last_auc > max_auc_drop) {
+      return FailCheck(path, "drift AUC regression: last window " +
+                                 std::to_string(last_auc) +
+                                 " < first window " +
+                                 std::to_string(first_auc) + " - " +
+                                 std::to_string(max_auc_drop));
+    }
+  }
+  std::printf(
+      "obs_check: %s ok (%s: auc %.4f, predict p99 %.0fus, fnv %s, "
+      "weights v%lld)\n",
+      path.c_str(), scenario->string_value.c_str(), auc, p99,
+      fnv->string_value.c_str(),
+      static_cast<long long>(weight_version->number));
   return 0;
 }
 
